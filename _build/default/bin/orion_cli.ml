@@ -1,0 +1,235 @@
+(* The `orion` command-line tool.
+
+   Subcommands:
+     orion analyze FILE       statically analyze an OrionScript program
+                              (prints the Fig. 6-style report per loop)
+     orion run FILE           run a driver program on a simulated cluster
+     orion prefetch FILE      show the synthesized prefetch program for
+                              the first parallel loop
+     orion apps               list the built-in applications (Table 2)
+     orion generate KIND OUT  write a synthetic dataset as a text file *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* DistArray declarations for scripts analyzed from the CLI: the JIT
+   knows array sizes because arrays are materialized before the loop
+   compiles; the CLI takes them as --array NAME:DIMS flags instead. *)
+let parse_array_spec spec =
+  match String.split_on_char ':' spec with
+  | [ name; dims ] -> (
+      ( name,
+        String.split_on_char 'x' dims |> List.map int_of_string
+        |> Array.of_list,
+        false ))
+  | [ name; dims; "buffered" ] ->
+      ( name,
+        String.split_on_char 'x' dims |> List.map int_of_string
+        |> Array.of_list,
+        true )
+  | _ ->
+      raise
+        (Invalid_argument
+           (spec ^ ": expected NAME:DIMSxDIMS or NAME:DIMS:buffered"))
+
+let arrays_arg =
+  let doc =
+    "Declare a DistArray, e.g. --array ratings:480000x17000 or --array \
+     w_buf:1000000:buffered.  Needed because the analyzer works on \
+     materialized array shapes."
+  in
+  Arg.(value & opt_all string [] & info [ "array"; "a" ] ~docv:"SPEC" ~doc)
+
+let machines_arg =
+  Arg.(value & opt int 4 & info [ "machines"; "m" ] ~docv:"N" ~doc:"simulated machines")
+
+let wpm_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "workers-per-machine"; "w" ] ~docv:"N" ~doc:"workers per machine")
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"OrionScript source file")
+
+let make_session arrays ~machines ~wpm =
+  let session =
+    Orion.create_session ~num_machines:machines ~workers_per_machine:wpm ()
+  in
+  List.iter
+    (fun spec ->
+      let name, dims, buffered = parse_array_spec spec in
+      Orion.register_meta session ~name ~dims ~buffered
+        ~count:(Array.fold_left ( * ) 1 dims)
+        ())
+    arrays;
+  session
+
+(* ------------------------------------------------------------------ *)
+
+let analyze_cmd =
+  let run arrays machines wpm file =
+    let session = make_session arrays ~machines ~wpm in
+    let src = read_file file in
+    let diags = Orion.check_script session src in
+    List.iter
+      (fun d -> prerr_endline (Orion.Check.diagnostic_to_string d))
+      diags;
+    if Orion.Check.errors diags <> [] then 1
+    else
+      match Orion.analyze_script session src with
+    | [] ->
+        print_endline "no @parallel_for loops found";
+        0
+    | plans ->
+        List.iteri
+          (fun i plan ->
+            Printf.printf "--- parallel loop %d ---\n" (i + 1);
+            print_string (Orion.Plan.explain_to_string plan))
+          plans;
+        0
+  in
+  let term = Term.(const run $ arrays_arg $ machines_arg $ wpm_arg $ file_arg) in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Statically analyze an OrionScript program's parallel loops")
+    term
+
+let run_cmd =
+  let run arrays machines wpm seed file =
+    let session = make_session arrays ~machines ~wpm in
+    (* arrays declared on the command line become real zero-filled
+       DistArrays so the program can execute *)
+    List.iter
+      (fun spec ->
+        let name, dims, buffered = parse_array_spec spec in
+        let arr = Orion.Dist_array.fill_dense ~name ~dims 0.0 in
+        Orion.register session ~buffered arr)
+      arrays;
+    let src = read_file file in
+    let env, stats = Orion.run_script session ~seed src in
+    ignore env;
+    Printf.printf "ran %d parallel-loop executions\n" (List.length stats);
+    Printf.printf "simulated time: %.4f s\n"
+      (Orion.Cluster.now session.Orion.cluster);
+    Printf.printf "bytes communicated: %.0f\n"
+      session.Orion.cluster.Orion.Cluster.bytes_sent;
+    0
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"RNG seed")
+  in
+  let term =
+    Term.(const run $ arrays_arg $ machines_arg $ wpm_arg $ seed $ file_arg)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run an OrionScript driver program on a simulated cluster")
+    term
+
+let prefetch_cmd =
+  let run arrays machines wpm file =
+    let session = make_session arrays ~machines ~wpm in
+    let src = read_file file in
+    let program = Orion.Parser.parse_program src in
+    match Orion.Refs.find_parallel_loops program with
+    | Orion.Ast.For { kind = Each_loop _; body; _ } :: _ ->
+        let plan =
+          match Orion.analyze_script session src with
+          | p :: _ -> p
+          | [] -> failwith "unreachable"
+        in
+        let dist_vars = List.map fst plan.Orion.Plan.placements in
+        let targets =
+          match plan.Orion.Plan.prefetch_arrays with
+          | [] -> dist_vars
+          | l -> l
+        in
+        let generated, stats =
+          Orion.Prefetch.synthesize ~dist_vars ~targets body
+        in
+        Printf.printf
+          "# synthesized prefetch program (%d recordable, %d skipped)\n"
+          stats.Orion.Prefetch.recorded stats.Orion.Prefetch.skipped;
+        print_string (Orion.Pretty.program_to_string generated);
+        0
+    | _ ->
+        prerr_endline "no @parallel_for loop found";
+        1
+  in
+  let term = Term.(const run $ arrays_arg $ machines_arg $ wpm_arg $ file_arg) in
+  Cmd.v
+    (Cmd.info "prefetch"
+       ~doc:"Show the synthesized bulk-prefetch program for the first loop")
+    term
+
+let apps_cmd =
+  let run () =
+    Printf.printf "%-14s %s\n" "SGD MF" "Matrix factorization (2D unordered)";
+    Printf.printf "%-14s %s\n" "SGD MF AdaRev" "MF with adaptive revision";
+    Printf.printf "%-14s %s\n" "SLR" "Sparse logistic regression (1D + buffers + prefetch)";
+    Printf.printf "%-14s %s\n" "LDA" "Topic modeling, collapsed Gibbs (2D unordered + buffer)";
+    Printf.printf "%-14s %s\n" "GBT" "Gradient boosted trees (1D over features)";
+    print_newline ();
+    print_endline "Scripts (as fed to the analyzer):";
+    List.iter
+      (fun (name, script) ->
+        Printf.printf "\n### %s\n%s" name script)
+      [
+        ("SGD MF", Orion_apps.Sgd_mf.script);
+        ("SLR", Orion_apps.Slr.script);
+        ("LDA", Orion_apps.Lda.script);
+        ("GBT", Orion_apps.Gbt.script);
+      ];
+    0
+  in
+  Cmd.v
+    (Cmd.info "apps" ~doc:"List built-in applications and their scripts")
+    Term.(const run $ const ())
+
+let generate_cmd =
+  let run kind out scale =
+    (match kind with
+    | "ratings" ->
+        let d = Orion_data.Ratings.netflix_like ~scale () in
+        let oc = open_out out in
+        Orion.Dist_array.iter
+          (fun key v -> Printf.fprintf oc "%d %d %.3f\n" key.(0) key.(1) v)
+          d.ratings;
+        close_out oc;
+        Printf.printf "wrote %d ratings (%dx%d) to %s\n" d.num_ratings
+          d.num_users d.num_items out
+    | "corpus" ->
+        let c = Orion_data.Corpus.nytimes_like ~scale () in
+        let oc = open_out out in
+        Orion.Dist_array.iter
+          (fun key v -> Printf.fprintf oc "%d %d %.0f\n" key.(0) key.(1) v)
+          c.tokens;
+        close_out oc;
+        Printf.printf "wrote %d tokens (%d docs, vocab %d) to %s\n"
+          c.num_tokens c.num_docs c.vocab_size out
+    | other -> Printf.eprintf "unknown dataset kind %S (ratings|corpus)\n" other);
+    0
+  in
+  let kind =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"KIND" ~doc:"ratings | corpus")
+  in
+  let out =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"OUT" ~doc:"output path")
+  in
+  let scale =
+    Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"S" ~doc:"dataset scale factor")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Write a synthetic dataset to a text file")
+    Term.(const run $ kind $ out $ scale)
+
+let () =
+  let doc =
+    "Orion: automating dependence-aware parallelization of ML training"
+  in
+  let info = Cmd.info "orion" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ analyze_cmd; run_cmd; prefetch_cmd; apps_cmd; generate_cmd ]))

@@ -1,0 +1,1 @@
+examples/gradient_boosted_trees.ml: Array Gbt List Orion Orion_apps Printf

@@ -1,0 +1,1 @@
+examples/matrix_factorization.ml: Bosen_mf List Orion Orion_baselines Orion_data Orion_mf Printf Tf_mf Trajectory

@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Orion Orion_data Printf

@@ -1,0 +1,1 @@
+examples/sparse_logistic_regression.ml: Array List Orion Orion_baselines Orion_data Printf Slr_runner Trajectory

@@ -1,0 +1,1 @@
+examples/topic_modeling.ml: Array Bosen_lda Lda List Orion Orion_apps Orion_baselines Orion_data Orion_lda Printf Trajectory

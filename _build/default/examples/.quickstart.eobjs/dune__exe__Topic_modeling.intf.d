@@ -1,0 +1,1 @@
+examples/topic_modeling.mli:

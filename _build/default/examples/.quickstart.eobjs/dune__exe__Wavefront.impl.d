@@ -1,0 +1,1 @@
+examples/wavefront.ml: List Orion Orion_apps Printf Stencil

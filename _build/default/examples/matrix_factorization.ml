@@ -1,0 +1,77 @@
+(* Matrix factorization for movie recommendation — the paper's running
+   example, at benchmark fidelity: the native loop body stands in for
+   the JIT-generated code, and four systems race on the same dataset:
+   serial, Orion (dependence-aware), Bösen-style data parallelism, and
+   a TensorFlow-style minibatch program.
+
+   Run with:  dune exec examples/matrix_factorization.exe *)
+
+open Orion_baselines
+
+let () =
+  let data = Orion_data.Ratings.netflix_like ~scale:0.4 () in
+  Printf.printf "dataset: %d users x %d items, %d ratings\n%!"
+    data.num_users data.num_items data.num_ratings;
+
+  let epochs = 12 in
+  let cfg =
+    {
+      Orion_mf.default_config with
+      num_machines = 4;
+      workers_per_machine = 4;
+      rank = 16;
+      step_size = 0.005;
+      epochs;
+      per_entry_cost = 2e-6;
+    }
+  in
+
+  let serial = Orion_mf.train_serial ~config:cfg ~data () in
+  let orion = Orion_mf.train ~config:cfg ~data () in
+  let bosen, _ =
+    Bosen_mf.train
+      ~config:
+        {
+          Bosen_mf.default_config with
+          num_machines = 4;
+          workers_per_machine = 4;
+          rank = 16;
+          step_size = 0.005 /. 16.0;
+          epochs;
+          per_entry_cost = 2e-6;
+        }
+      ~data ()
+  in
+  let tf =
+    Tf_mf.train
+      ~config:
+        {
+          Tf_mf.default_config with
+          rank = 16;
+          minibatch = data.num_ratings / 4;
+          step_size = 2.0;
+          epochs;
+          per_entry_cost = 2e-6;
+        }
+      ~data ()
+  in
+
+  print_endline "\n=== What Orion derived ===";
+  print_string (Orion.Plan.explain_to_string orion.Orion_mf.plan);
+
+  print_endline "\n=== Convergence (training loss per pass) ===";
+  let show t =
+    Printf.printf "%-24s" t.Trajectory.system;
+    List.iter
+      (fun p -> Printf.printf " %8.1f" p.Trajectory.metric)
+      t.Trajectory.points;
+    Printf.printf "   (%.2fs simulated)\n" (Trajectory.final_time t)
+  in
+  show serial;
+  show orion.Orion_mf.trajectory;
+  show bosen;
+  show tf;
+  Printf.printf
+    "\nOrion preserves the dependences, so its per-pass losses track the \
+     serial run;\ndata parallelism and giant minibatches need many more \
+     passes for the same loss.\n"

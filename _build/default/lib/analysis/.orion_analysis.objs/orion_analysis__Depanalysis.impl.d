@@ -1,0 +1,1 @@
+lib/analysis/depanalysis.pp.ml: Array Depvec List Refs String Subscript

@@ -1,0 +1,1 @@
+lib/analysis/depanalysis.pp.mli: Depvec Refs

@@ -1,0 +1,1 @@
+lib/analysis/depvec.pp.ml: Array Fmt Fun List Ppx_deriving_runtime String

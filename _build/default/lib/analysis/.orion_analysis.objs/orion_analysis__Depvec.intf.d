@@ -1,0 +1,1 @@
+lib/analysis/depvec.pp.mli: Format

@@ -1,0 +1,1 @@
+lib/analysis/plan.pp.ml: Array Depanalysis Depvec Fmt Fun Int List Option Printf Refs String Subscript Unimodular

@@ -1,0 +1,1 @@
+lib/analysis/plan.pp.mli: Depvec Format Refs Unimodular

@@ -1,0 +1,1 @@
+lib/analysis/prefetch.pp.ml: Ast List Orion_lang Pretty Refs

@@ -1,0 +1,1 @@
+lib/analysis/prefetch.pp.mli: Orion_lang

@@ -1,0 +1,1 @@
+lib/analysis/refs.pp.ml: Array Ast List Orion_lang Printf String Subscript

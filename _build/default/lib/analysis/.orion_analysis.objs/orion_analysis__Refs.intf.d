@@ -1,0 +1,1 @@
+lib/analysis/refs.pp.mli: Orion_lang Subscript

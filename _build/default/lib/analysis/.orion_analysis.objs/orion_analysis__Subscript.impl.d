@@ -1,0 +1,1 @@
+lib/analysis/subscript.pp.ml: Ast List Orion_lang Ppx_deriving_runtime Printf

@@ -1,0 +1,1 @@
+lib/analysis/subscript.pp.mli: Format Orion_lang

@@ -1,0 +1,1 @@
+lib/analysis/unimodular.pp.ml: Array Depvec List String

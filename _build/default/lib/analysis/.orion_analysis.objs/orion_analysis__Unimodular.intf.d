@@ -1,0 +1,1 @@
+lib/analysis/unimodular.pp.mli: Depvec

@@ -1,0 +1,113 @@
+(** Computing dependence vectors — the paper's Algorithm 2.
+
+    For each referenced DistArray, every unique pair of static references
+    (including a write paired with itself) is tested:
+    - read/read pairs carry no dependence;
+    - write/write pairs are skipped when the loop is unordered;
+    - otherwise a distance vector over the iteration space is built by
+      refining an all-∞ vector with the constraints implied by matching
+      subscript positions, or the pair is proven independent. *)
+
+type result = {
+  per_array : (string * Depvec.t list) list;
+      (** dependence vectors attributable to each DistArray *)
+  all : Depvec.t list;  (** deduplicated union *)
+}
+
+let dedup (dvecs : Depvec.t list) =
+  List.fold_left
+    (fun acc d -> if List.exists (Depvec.equal d) acc then acc else d :: acc)
+    [] dvecs
+  |> List.rev
+
+(* Dependence test for one pair of references; [None] = independent. *)
+let pair_dvec ~ndims (a : Refs.ref_info) (b : Refs.ref_info) :
+    Depvec.t option =
+  let dvec = Array.make ndims Depvec.Any in
+  let independent = ref false in
+  let positions = min (Array.length a.subs) (Array.length b.subs) in
+  for p = 0 to positions - 1 do
+    if not !independent then
+      match (a.subs.(p), b.subs.(p)) with
+      | ( Subscript.Loop_index { dim = da; offset = ca },
+          Subscript.Loop_index { dim = db; offset = cb } ) ->
+          if da = db then (
+            let dist = ca - cb in
+            match dvec.(da) with
+            | Depvec.Any -> dvec.(da) <- Depvec.Fin dist
+            | Depvec.Fin prev when prev <> dist -> independent := true
+            | Depvec.Fin _ -> ()
+            | Depvec.Pos_inf | Depvec.Neg_inf ->
+                (* cannot arise here: refinement only writes Fin *)
+                ())
+          else
+            (* different loop index variables at the same position: the
+               subscripts match only when those index values coincide —
+               no distance constraint can be derived (paper: continue) *)
+            ()
+      | Subscript.Const ca, Subscript.Const cb ->
+          if ca <> cb then independent := true
+      | Subscript.Const _, Subscript.Loop_index _
+      | Subscript.Loop_index _, Subscript.Const _
+      | (Subscript.Range_all | Subscript.Unknown), _
+      | _, (Subscript.Range_all | Subscript.Unknown) ->
+          (* positions may always coincide: no refinement *)
+          ()
+  done;
+  if !independent then None
+  else
+    (* drop the self-dependence of an iteration on itself: an exact
+       all-zero vector means "same iteration" *)
+    match Depvec.correct_positive dvec with
+    | None -> None
+    | Some d -> Some d
+
+(** All unique pairs of [refs], including a reference paired with
+    itself when it is a write (two distinct iterations can both execute
+    the same static write). *)
+let reference_pairs refs =
+  let arr = Array.of_list refs in
+  let n = Array.length arr in
+  let pairs = ref [] in
+  for i = 0 to n - 1 do
+    for j = i to n - 1 do
+      if i <> j || arr.(i).Refs.is_write then
+        pairs := (arr.(i), arr.(j)) :: !pairs
+    done
+  done;
+  List.rev !pairs
+
+let array_dvecs ~ndims ~unordered refs =
+  reference_pairs refs
+  |> List.filter_map (fun ((a : Refs.ref_info), (b : Refs.ref_info)) ->
+         if (not a.is_write) && not b.is_write then None
+         else if unordered && a.is_write && b.is_write then None
+         else pair_dvec ~ndims a b)
+  |> dedup
+
+(** Run Algorithm 2 over a whole loop.  Writes to buffered DistArrays
+    are exempt from analysis (paper §3.3): such arrays contribute only
+    their read references. *)
+let analyze (info : Refs.loop_info) : result =
+  let ndims = info.ndims in
+  let unordered = not info.ordered in
+  let arrays =
+    List.map (fun (r : Refs.ref_info) -> r.array) info.refs
+    |> List.sort_uniq String.compare
+  in
+  let per_array =
+    List.map
+      (fun name ->
+        let refs =
+          List.filter (fun (r : Refs.ref_info) -> r.array = name) info.refs
+        in
+        let refs =
+          if List.mem name info.buffered_arrays then
+            List.filter (fun (r : Refs.ref_info) -> not r.is_write) refs
+          else refs
+        in
+        (name, array_dvecs ~ndims ~unordered refs))
+      arrays
+  in
+  let all = dedup (List.concat_map snd per_array) in
+  { per_array; all }

@@ -1,0 +1,18 @@
+(** Computing dependence vectors — the paper's Algorithm 2. *)
+
+type result = {
+  per_array : (string * Depvec.t list) list;
+  all : Depvec.t list;  (** deduplicated union *)
+}
+
+(** Deduplicate a vector list (order-preserving). *)
+val dedup : Depvec.t list -> Depvec.t list
+
+(** Dependence test for one pair of references; [None] = independent
+    or not loop-carried. *)
+val pair_dvec : ndims:int -> Refs.ref_info -> Refs.ref_info -> Depvec.t option
+
+(** Run Algorithm 2 over a loop: read/read pairs skipped, write/write
+    pairs skipped for unordered loops, buffered arrays contribute only
+    their reads. *)
+val analyze : Refs.loop_info -> result

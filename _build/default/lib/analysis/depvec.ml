@@ -1,0 +1,132 @@
+(** Dependence vectors (paper §4.2).
+
+    An element is a distance along one iteration-space dimension.  The
+    paper's infinities: [Any] (written ∞) means the distance may be any
+    integer; [Pos_inf]/[Neg_inf] restrict it to strictly positive /
+    strictly negative values.  [Fin d] is an exact distance. *)
+
+type elt = Fin of int | Pos_inf | Neg_inf | Any
+[@@deriving show { with_path = false }, eq]
+
+type t = elt array
+
+let equal (a : t) (b : t) =
+  Array.length a = Array.length b
+  && Array.for_all2 equal_elt a b
+
+let elt_to_string = function
+  | Fin d -> string_of_int d
+  | Pos_inf -> "+inf"
+  | Neg_inf -> "-inf"
+  | Any -> "inf"
+
+let to_string (d : t) =
+  "(" ^ String.concat ", " (Array.to_list (Array.map elt_to_string d)) ^ ")"
+
+let pp fmt d = Fmt.string fmt (to_string d)
+
+let is_zero_elt = function Fin 0 -> true | Fin _ | Pos_inf | Neg_inf | Any -> false
+
+(** Negate a distance: flips the direction of the dependence. *)
+let neg_elt = function
+  | Fin d -> Fin (-d)
+  | Pos_inf -> Neg_inf
+  | Neg_inf -> Pos_inf
+  | Any -> Any
+
+let neg (d : t) : t = Array.map neg_elt d
+
+(** Sign classification used for lexicographic ordering.  [`Pos]/[`Neg]
+    mean certainly positive / certainly negative; [`Zero] certainly
+    zero; [`Unknown] could be either. *)
+let elt_sign = function
+  | Fin d when d > 0 -> `Pos
+  | Fin d when d < 0 -> `Neg
+  | Fin _ -> `Zero
+  | Pos_inf -> `Pos
+  | Neg_inf -> `Neg
+  | Any -> `Unknown
+
+(** A vector is lexicographically positive if its first element whose
+    sign is determined and nonzero is positive, and no [`Unknown]
+    appears before it (an unknown-direction element subsumes both
+    orientations, so such a vector is canonical as-is and treated as
+    positive). *)
+let lex_status (d : t) =
+  let n = Array.length d in
+  let rec go i =
+    if i >= n then `Zero
+    else
+      match elt_sign d.(i) with
+      | `Zero -> go (i + 1)
+      | `Pos -> `Positive
+      | `Neg -> `Negative
+      | `Unknown -> `Positive
+  in
+  go 0
+
+(** Correct a raw distance vector to be lexicographically positive, as
+    Alg. 2's last step requires.  Returns [None] for the all-zero vector
+    (a self-dependence of an iteration on itself: not loop-carried). *)
+let correct_positive (d : t) : t option =
+  match lex_status d with
+  | `Zero -> None
+  | `Positive -> Some d
+  | `Negative -> Some (neg d)
+
+(** All elements exactly zero — i.e. both iterations are the same. *)
+let is_all_zero (d : t) = Array.for_all is_zero_elt d
+
+(** Candidate dimensions for 1D parallelization: dimensions [i] such
+    that every vector has distance exactly 0 at [i] (paper §4.3). *)
+let candidate_1d_dims ~ndims (dvecs : t list) =
+  List.filter
+    (fun i -> List.for_all (fun d -> is_zero_elt d.(i)) dvecs)
+    (List.init ndims Fun.id)
+
+(** Candidate dimension pairs [(i, j)] for 2D parallelization: for every
+    vector, the distance is 0 at [i] or at [j], so iterations differing
+    in both dimensions are independent (paper §3.2 case 2). *)
+let candidate_2d_pairs ~ndims (dvecs : t list) =
+  let dims = List.init ndims Fun.id in
+  List.concat_map
+    (fun i ->
+      List.filter_map
+        (fun j ->
+          if
+            i < j
+            && List.for_all
+                 (fun d -> is_zero_elt d.(i) || is_zero_elt d.(j))
+                 dvecs
+          then Some (i, j)
+          else None)
+        dims)
+    dims
+
+(** Unimodular transformation applies only when elements are numbers or
+    positive infinity (paper §4.3). *)
+let unimodular_applicable (dvecs : t list) =
+  dvecs <> []
+  && List.for_all
+       (fun d ->
+         Array.for_all
+           (function Fin _ | Pos_inf -> true | Neg_inf | Any -> false)
+           d)
+       dvecs
+
+(** Conservative lower bound of an element's value, treating [Pos_inf]
+    as "at least 1".  Returns [None] when no finite lower bound exists. *)
+let elt_lower_bound = function
+  | Fin d -> Some d
+  | Pos_inf -> Some 1
+  | Neg_inf | Any -> None
+
+(** Largest finite magnitude appearing in the vectors (used to choose
+    skewing factors). *)
+let max_finite_magnitude (dvecs : t list) =
+  List.fold_left
+    (fun acc d ->
+      Array.fold_left
+        (fun acc e -> match e with Fin v -> max acc (abs v) | _ -> acc)
+        acc d)
+    0 dvecs

@@ -1,0 +1,52 @@
+(** Dependence vectors (paper §4.2): per-dimension iteration distances,
+    with the paper's infinities ([Any] = any integer, [Pos_inf] /
+    [Neg_inf] = any strictly positive / negative integer). *)
+
+type elt = Fin of int | Pos_inf | Neg_inf | Any
+
+val equal_elt : elt -> elt -> bool
+val pp_elt : Format.formatter -> elt -> unit
+val show_elt : elt -> string
+
+type t = elt array
+
+val equal : t -> t -> bool
+val elt_to_string : elt -> string
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val is_zero_elt : elt -> bool
+val neg_elt : elt -> elt
+val neg : t -> t
+
+(** Sign classification for lexicographic ordering. *)
+val elt_sign : elt -> [ `Pos | `Neg | `Zero | `Unknown ]
+
+val lex_status : t -> [ `Positive | `Negative | `Zero ]
+
+(** Correct a raw distance vector to be lexicographically positive
+    (Alg. 2's final step); [None] for the all-zero vector (not
+    loop-carried). *)
+val correct_positive : t -> t option
+
+val is_all_zero : t -> bool
+
+(** Dimensions [i] with every vector's distance exactly 0 at [i]:
+    1D-parallelizable (paper §4.3). *)
+val candidate_1d_dims : ndims:int -> t list -> int list
+
+(** Dimension pairs [(i, j)] such that every vector is 0 at [i] or at
+    [j]: iterations differing in both dimensions are independent (2D
+    parallelization, §3.2 case 2). *)
+val candidate_2d_pairs : ndims:int -> t list -> (int * int) list
+
+(** Unimodular transformation applies only to numbers or positive
+    infinity (§4.3). *)
+val unimodular_applicable : t list -> bool
+
+(** Conservative lower bound ([Pos_inf] counts as ≥ 1); [None] if
+    unbounded below. *)
+val elt_lower_bound : elt -> int option
+
+(** Largest finite |distance| across the vectors (picks skew factors). *)
+val max_finite_magnitude : t list -> int

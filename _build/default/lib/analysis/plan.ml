@@ -1,0 +1,327 @@
+(** Parallelization strategy decision and DistArray placement
+    (paper §4.3 "Parallelization and Scheduling" and §4.4 "Reducing
+    Remote Random Access Overhead").
+
+    The decision consumes the dependence vectors of a loop and produces
+    a {!t}: how the iteration space is partitioned, how each accessed
+    DistArray is placed (locally range-partitioned / rotated between
+    workers / served by server processes / replicated), and which
+    server-hosted arrays should be bulk-prefetched. *)
+
+type strategy =
+  | One_d of { space_dim : int }
+  | Two_d of { space_dim : int; time_dim : int }
+  | Two_d_unimodular of {
+      matrix : Unimodular.matrix;  (** T: transformed = T · original *)
+      inverse : Unimodular.matrix;
+      space_dim : int;  (** dimension index in the *transformed* space *)
+      time_dim : int;
+    }
+  | Data_parallel
+      (** no dependence-preserving partitioning exists; all conflicting
+          writes must go through DistArray Buffers *)
+
+type placement =
+  | Local_partitioned of { array_dim : int }
+      (** range-partitioned along [array_dim], aligned with the space
+          dimension: all accesses are local *)
+  | Rotated of { array_dim : int }
+      (** range-partitioned along [array_dim], aligned with the time
+          dimension: partitions rotate between workers each time step *)
+  | Replicated  (** read-only and small: broadcast once *)
+  | Server  (** random access served by server processes *)
+
+type t = {
+  strategy : strategy;
+  ordered : bool;
+  placements : (string * placement) list;
+  dep_vectors : Depvec.t list;
+  per_array_deps : (string * Depvec.t list) list;
+  prefetch_arrays : string list;
+      (** server arrays with runtime-dependent subscripts: candidates
+          for synthesized bulk prefetching *)
+  requires_buffers : string list;
+      (** arrays with statically uncapturable writes that the program
+          did not declare as buffered — the fallback to data
+          parallelism is only sound once these go through buffers *)
+  estimated_comm_cost : float;
+      (** heuristic communicated-elements-per-pass estimate *)
+  loop : Refs.loop_info;
+}
+
+let strategy_to_string = function
+  | One_d { space_dim } -> Printf.sprintf "1D (space dim %d)" space_dim
+  | Two_d { space_dim; time_dim } ->
+      Printf.sprintf "2D (space dim %d, time dim %d)" space_dim time_dim
+  | Two_d_unimodular { matrix; space_dim; time_dim; _ } ->
+      Printf.sprintf "2D w/ unimodular T=%s (space dim %d, time dim %d)"
+        (Unimodular.matrix_to_string matrix)
+        space_dim time_dim
+  | Data_parallel -> "data parallelism (DistArray buffers)"
+
+let placement_to_string = function
+  | Local_partitioned { array_dim } ->
+      Printf.sprintf "local, range-partitioned by dim %d" array_dim
+  | Rotated { array_dim } ->
+      Printf.sprintf "rotated, range-partitioned by dim %d" array_dim
+  | Replicated -> "replicated (read-only)"
+  | Server -> "server-hosted"
+
+(* ------------------------------------------------------------------ *)
+(* Array access summaries                                              *)
+(* ------------------------------------------------------------------ *)
+
+type array_summary = {
+  name : string;
+  keyed_by : (int * int) list;
+      (** (iteration dim, array position) pairs such that *every*
+          reference subscripts that position with that loop index *)
+  read_only : bool;
+  all_static : bool;
+  size : float;  (** element count, from materialized dims *)
+}
+
+let summarize_arrays (info : Refs.loop_info) ~array_dims : array_summary list =
+  let names =
+    List.map (fun (r : Refs.ref_info) -> r.array) info.refs
+    |> List.sort_uniq String.compare
+  in
+  List.map
+    (fun name ->
+      let refs =
+        List.filter (fun (r : Refs.ref_info) -> r.array = name) info.refs
+      in
+      let npos =
+        List.fold_left
+          (fun acc (r : Refs.ref_info) -> max acc (Array.length r.subs))
+          0 refs
+      in
+      let keyed_by =
+        List.concat_map
+          (fun pos ->
+            let dims_at_pos =
+              List.filter_map
+                (fun (r : Refs.ref_info) ->
+                  if pos < Array.length r.subs then
+                    match r.subs.(pos) with
+                    | Subscript.Loop_index { dim; _ } -> Some dim
+                    | _ -> None
+                  else None)
+                refs
+            in
+            match dims_at_pos with
+            | d :: _
+              when List.length dims_at_pos = List.length refs
+                   && List.for_all (Int.equal d) dims_at_pos ->
+                [ (d, pos) ]
+            | _ -> [])
+          (List.init npos Fun.id)
+      in
+      let read_only =
+        List.for_all (fun (r : Refs.ref_info) -> not r.is_write) refs
+      in
+      let all_static =
+        List.for_all (fun (r : Refs.ref_info) -> r.all_static) refs
+      in
+      let size =
+        match array_dims name with
+        | Some dims ->
+            Array.fold_left (fun acc d -> acc *. float_of_int d) 1.0 dims
+        | None -> 1.0
+      in
+      { name; keyed_by; read_only; all_static; size })
+    names
+
+(* ------------------------------------------------------------------ *)
+(* Placement + communication cost for a candidate partitioning         *)
+(* ------------------------------------------------------------------ *)
+
+(* [iter_count] estimates the number of loop iterations per pass (the
+   iteration-space DistArray's entry count); used to price server
+   round-trips for arrays with runtime-dependent subscripts. *)
+let placements_for ~space_dim ~time_dim ~iter_count summaries =
+  List.map
+    (fun s ->
+      let keyed d = List.assoc_opt d s.keyed_by in
+      match keyed space_dim with
+      | Some pos -> (s.name, Local_partitioned { array_dim = pos }, 0.0)
+      | None -> (
+          match Option.bind time_dim keyed with
+          | Some pos ->
+              (* the whole array crosses the network once per pass *)
+              (s.name, Rotated { array_dim = pos }, s.size)
+          | None ->
+              if s.read_only && s.all_static then
+                (s.name, Replicated, 0.0)
+              else
+                (* a server round-trip (read + write-back) per iteration *)
+                (s.name, Server, 2.0 *. iter_count)))
+    summaries
+
+let cost_of placements =
+  List.fold_left (fun acc (_, _, c) -> acc +. c) 0.0 placements
+
+(* ------------------------------------------------------------------ *)
+(* Decision                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Decide the parallelization for an analyzed loop.
+
+    [array_dims] supplies materialized DistArray dimensions (Orion JIT
+    compiles after materialization, so sizes are known).  [iter_count]
+    is the iteration-space entry count, used by the cost heuristic. *)
+let decide (info : Refs.loop_info) ~array_dims ~iter_count : t =
+  let dep = Depanalysis.analyze info in
+  let dvecs = dep.all in
+  let summaries = summarize_arrays info ~array_dims in
+  let non_buffered_nonstatic_writes =
+    List.filter_map
+      (fun (r : Refs.ref_info) ->
+        if
+          r.is_write
+          && (not r.all_static)
+          && not (List.mem r.array info.buffered_arrays)
+        then Some r.array
+        else None)
+      info.refs
+    |> List.sort_uniq String.compare
+  in
+  let prefetch_candidates placements =
+    (* server arrays read with runtime-dependent subscripts; buffers
+       are per-worker local instances, so they never need prefetching *)
+    List.filter_map
+      (fun (name, p, _) ->
+        match p with
+        | Server
+          when (not (List.mem name info.buffered_arrays))
+               && List.exists
+                 (fun (r : Refs.ref_info) ->
+                   r.array = name && (not r.is_write) && not r.all_static)
+                 info.refs ->
+            Some name
+        | Server | Local_partitioned _ | Rotated _ | Replicated -> None)
+      placements
+  in
+  let finish strategy placements =
+    {
+      strategy;
+      ordered = info.ordered;
+      placements = List.map (fun (n, p, _) -> (n, p)) placements;
+      dep_vectors = dvecs;
+      per_array_deps = dep.per_array;
+      prefetch_arrays = prefetch_candidates placements;
+      requires_buffers =
+        (* only the data-parallel fallback depends on buffering the
+           statically-uncapturable writes; a dependence-preserving
+           schedule already covers them conservatively *)
+        (match strategy with
+        | Data_parallel -> non_buffered_nonstatic_writes
+        | One_d _ | Two_d _ | Two_d_unimodular _ -> []);
+      estimated_comm_cost = cost_of placements;
+      loop = info;
+    }
+  in
+  let ndims = info.ndims in
+  let one_d_candidates = Depvec.candidate_1d_dims ~ndims dvecs in
+  let two_d_candidates = Depvec.candidate_2d_pairs ~ndims dvecs in
+  let candidates =
+    List.map
+      (fun dim ->
+        let pl =
+          placements_for ~space_dim:dim ~time_dim:None ~iter_count summaries
+        in
+        (One_d { space_dim = dim }, pl))
+      one_d_candidates
+    @ List.concat_map
+        (fun (i, j) ->
+          List.map
+            (fun (s, t) ->
+              let pl =
+                placements_for ~space_dim:s ~time_dim:(Some t) ~iter_count
+                  summaries
+              in
+              (Two_d { space_dim = s; time_dim = t }, pl))
+            [ (i, j); (j, i) ])
+        two_d_candidates
+  in
+  match candidates with
+  | [] -> (
+      match Unimodular.find_transform ~ndims dvecs with
+      | Some matrix when ndims >= 2 ->
+          let placements =
+            (* after a unimodular transform, alignment with original
+               array dimensions is lost: arrays are served or replicated *)
+            placements_for ~space_dim:(-1) ~time_dim:None ~iter_count summaries
+          in
+          finish
+            (Two_d_unimodular
+               {
+                 matrix;
+                 inverse = Unimodular.inverse matrix;
+                 time_dim = 0;
+                 space_dim = 1;
+               })
+            placements
+      | Some _ | None ->
+          let placements =
+            placements_for ~space_dim:(-1) ~time_dim:None ~iter_count summaries
+          in
+          finish Data_parallel placements)
+  | _ :: _ ->
+      let best =
+        List.fold_left
+          (fun (best_s, best_pl, best_cost) (s, pl) ->
+            let c = cost_of pl in
+            (* strict < keeps the earliest candidate on ties; 1D
+               candidates precede 2D ones, and fewer syncs win ties *)
+            if c < best_cost then (s, pl, c) else (best_s, best_pl, best_cost))
+          (let s, pl = List.hd candidates in
+           (s, pl, cost_of pl))
+          (List.tl candidates)
+      in
+      let s, pl, _ = best in
+      finish s pl
+
+(* ------------------------------------------------------------------ *)
+(* Human-readable explanation (the paper's Fig. 6 panel)               *)
+(* ------------------------------------------------------------------ *)
+
+let explain fmt (plan : t) =
+  let info = plan.loop in
+  Fmt.pf fmt "Loop information@.";
+  Fmt.pf fmt "  Iteration space: %s (%d dims)@." info.iter_space info.ndims;
+  Fmt.pf fmt "  Loop index vector: %s@." info.key_var;
+  Fmt.pf fmt "  Iteration ordering: %s@."
+    (if info.ordered then "ordered" else "unordered");
+  List.iter
+    (fun r -> Fmt.pf fmt "  DistArray %s@." (Refs.ref_to_string r))
+    info.refs;
+  Fmt.pf fmt "  Inherited variables: %s@."
+    (String.concat ", " info.inherited);
+  (match info.buffered_arrays with
+  | [] -> ()
+  | bufs ->
+      Fmt.pf fmt "  Buffered (writes exempt): %s@." (String.concat ", " bufs));
+  Fmt.pf fmt "Dependence vectors@.";
+  (match plan.dep_vectors with
+  | [] -> Fmt.pf fmt "  (none — all iterations independent)@."
+  | ds ->
+      List.iter (fun d -> Fmt.pf fmt "  %s@." (Depvec.to_string d)) ds);
+  Fmt.pf fmt "Strategy: %s@." (strategy_to_string plan.strategy);
+  Fmt.pf fmt "Placements@.";
+  List.iter
+    (fun (name, p) ->
+      Fmt.pf fmt "  %s: %s@." name (placement_to_string p))
+    plan.placements;
+  (match plan.prefetch_arrays with
+  | [] -> ()
+  | l -> Fmt.pf fmt "Bulk prefetch: %s@." (String.concat ", " l));
+  match plan.requires_buffers with
+  | [] -> ()
+  | l ->
+      Fmt.pf fmt
+        "Warning: writes to %s cannot be captured statically; declare \
+         DistArray Buffers to run data-parallel@."
+        (String.concat ", " l)
+
+let explain_to_string plan = Fmt.str "%a" explain plan

@@ -1,0 +1,69 @@
+(** Parallelization strategy decision and DistArray placement
+    (paper §4.3–4.4). *)
+
+type strategy =
+  | One_d of { space_dim : int }
+  | Two_d of { space_dim : int; time_dim : int }
+  | Two_d_unimodular of {
+      matrix : Unimodular.matrix;
+      inverse : Unimodular.matrix;
+      space_dim : int;  (** in the transformed space *)
+      time_dim : int;
+    }
+  | Data_parallel
+      (** no dependence-preserving partitioning; conflicting writes
+          must go through DistArray Buffers *)
+
+type placement =
+  | Local_partitioned of { array_dim : int }
+      (** aligned with the space dimension: all accesses local *)
+  | Rotated of { array_dim : int }
+      (** aligned with the time dimension: partitions rotate *)
+  | Replicated  (** read-only: broadcast once *)
+  | Server  (** random access served by server processes *)
+
+type t = {
+  strategy : strategy;
+  ordered : bool;
+  placements : (string * placement) list;
+  dep_vectors : Depvec.t list;
+  per_array_deps : (string * Depvec.t list) list;
+  prefetch_arrays : string list;
+      (** server arrays with runtime-dependent subscripts — candidates
+          for synthesized bulk prefetching *)
+  requires_buffers : string list;
+      (** on a [Data_parallel] fallback: arrays whose statically
+          uncapturable writes must be buffered *)
+  estimated_comm_cost : float;
+  loop : Refs.loop_info;
+}
+
+val strategy_to_string : strategy -> string
+val placement_to_string : placement -> string
+
+(** Per-array access summaries feeding the placement decision. *)
+type array_summary = {
+  name : string;
+  keyed_by : (int * int) list;  (** (iteration dim, array position) *)
+  read_only : bool;
+  all_static : bool;
+  size : float;
+}
+
+val summarize_arrays :
+  Refs.loop_info -> array_dims:(string -> int array option) -> array_summary list
+
+(** Decide the parallelization: 1D and 2D candidates are costed by the
+    communication heuristic (rotate the smaller array, serve what
+    cannot be partitioned); otherwise try a unimodular transformation;
+    otherwise fall back to data parallelism. *)
+val decide :
+  Refs.loop_info ->
+  array_dims:(string -> int array option) ->
+  iter_count:float ->
+  t
+
+(** Human-readable report (the paper's Fig. 6 panel). *)
+val explain : Format.formatter -> t -> unit
+
+val explain_to_string : t -> string

@@ -1,0 +1,165 @@
+(** Bulk-prefetch synthesis (paper §4.4).
+
+    For DistArrays served by server processes, Orion synthesizes a
+    function that executes the loop body's subscript computations —
+    with proper control flow and ordering — but *records* DistArray
+    subscripts instead of reading elements and computing.  Subscripts
+    that depend on values read from DistArrays are not recorded
+    (computing them would itself require remote access); the runtime
+    falls back to on-demand fetches for those.
+
+    The synthesized program calls the host builtins
+    - [__record(name, s1, ..., sn)] for each recordable read,
+    - [__all()] / [__range(lo, hi)] as subscript markers,
+    which the DSM layer interprets to build per-iteration prefetch
+    index lists. *)
+
+open Orion_lang
+
+let record_fn = "__record"
+let all_fn = "__all"
+let range_fn = "__range"
+
+type stats = { mutable recorded : int; mutable skipped : int }
+
+(* ------------------------------------------------------------------ *)
+
+let expr_reads_distarray dist_vars e =
+  Ast.fold_expr
+    (fun acc e ->
+      acc
+      ||
+      match e with
+      | Ast.Index (Var d, _) -> List.mem d dist_vars
+      | _ -> false)
+    false e
+
+let expr_tainted ~dist_vars ~tainted e =
+  List.exists (fun v -> List.mem v tainted) (Ast.expr_vars e)
+  || expr_reads_distarray dist_vars e
+
+let sub_tainted ~dist_vars ~tainted = function
+  | Ast.Sub_all -> false
+  | Ast.Sub_expr e -> expr_tainted ~dist_vars ~tainted e
+  | Ast.Sub_range (lo, hi) ->
+      expr_tainted ~dist_vars ~tainted lo
+      || expr_tainted ~dist_vars ~tainted hi
+
+let sub_to_marker_expr = function
+  | Ast.Sub_expr e -> e
+  | Ast.Sub_all -> Ast.Call (all_fn, [])
+  | Ast.Sub_range (lo, hi) -> Ast.Call (range_fn, [ lo; hi ])
+
+(* ------------------------------------------------------------------ *)
+
+(** Synthesize the prefetch program for [body].
+
+    [targets] are the server-hosted DistArrays whose reads should be
+    recorded; [dist_vars] all DistArray variables in scope (reads of
+    any of them taint subscript values).  Returns the generated block
+    together with counts of recorded/skipped target reads. *)
+let synthesize ~dist_vars ~targets body : Ast.block * stats =
+  (* vars whose value may depend on a DistArray read *)
+  let tainted = Refs.compute_tainted ~dist_vars ~seeds:[] body in
+  let stats = { recorded = 0; skipped = 0 } in
+  let tainted_e e = expr_tainted ~dist_vars ~tainted e in
+  let tainted_s s = sub_tainted ~dist_vars ~tainted s in
+  (* Collect record statements for every recordable target read inside
+     an expression, in evaluation order, recursing into subscripts. *)
+  let rec records_of_expr e : Ast.stmt list =
+    match e with
+    | Ast.Index (Var d, subs) when List.mem d targets ->
+        let inner = List.concat_map records_of_sub subs in
+        if List.exists tainted_s subs then (
+          stats.skipped <- stats.skipped + 1;
+          inner)
+        else (
+          stats.recorded <- stats.recorded + 1;
+          inner
+          @ [
+              Ast.Expr_stmt
+                (Ast.Call
+                   ( record_fn,
+                     Ast.String_lit d :: List.map sub_to_marker_expr subs ));
+            ])
+    | Ast.Index (base, subs) ->
+        records_of_expr base @ List.concat_map records_of_sub subs
+    | Ast.Binop (_, a, b) -> records_of_expr a @ records_of_expr b
+    | Ast.Unop (_, a) -> records_of_expr a
+    | Ast.Call (_, args) -> List.concat_map records_of_expr args
+    | Ast.Tuple es -> List.concat_map records_of_expr es
+    | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Bool_lit _ | Ast.String_lit _
+    | Ast.Var _ ->
+        []
+  and records_of_sub = function
+    | Ast.Sub_all -> []
+    | Ast.Sub_expr e -> records_of_expr e
+    | Ast.Sub_range (lo, hi) -> records_of_expr lo @ records_of_expr hi
+  in
+  let records_of_lhs = function
+    | Ast.Lvar _ -> []
+    | Ast.Lindex (d, subs) ->
+        (* subscripts of a write are evaluated; reads nested in them are
+           reads, and the written array's own elements are prefetched
+           too when it is a target (read-modify-write apply needs the
+           current value) *)
+        records_of_expr (Ast.Index (Var d, subs))
+  in
+  let rec transform_block block = List.concat_map transform_stmt block
+  and transform_stmt stmt : Ast.stmt list =
+    match stmt with
+    | Ast.Assign (lhs, e) -> (
+        let recs = records_of_lhs lhs @ records_of_expr e in
+        match lhs with
+        | Ast.Lvar v
+          when (not (List.mem v tainted)) && not (tainted_e e) ->
+            (* pure scalar computation: replay it for later subscripts *)
+            recs @ [ stmt ]
+        | Ast.Lvar _ | Ast.Lindex _ -> recs)
+    | Ast.Op_assign (op, lhs, e) -> (
+        let recs = records_of_lhs lhs @ records_of_expr e in
+        match lhs with
+        | Ast.Lvar v
+          when (not (List.mem v tainted)) && not (tainted_e e) ->
+            recs @ [ Ast.Op_assign (op, lhs, e) ]
+        | Ast.Lvar _ | Ast.Lindex _ -> recs)
+    | Ast.If (cond, then_b, else_b) ->
+        let then_t = transform_block then_b in
+        let else_t = transform_block else_b in
+        if tainted_e cond then
+          (* branch cannot be determined without remote reads:
+             over-approximate by recording both sides (extra prefetched
+             values are harmless) *)
+          records_of_expr cond @ then_t @ else_t
+        else if then_t = [] && else_t = [] then []
+        else [ Ast.If (cond, then_t, else_t) ]
+    | Ast.While (cond, body) ->
+        let body_t = transform_block body in
+        if tainted_e cond then
+          (* cannot bound the iteration count: fall back to on-demand
+             fetches for reads inside (under-prefetching is safe) *)
+          []
+        else if body_t = [] then []
+        else [ Ast.While (cond, body_t) ]
+    | Ast.For { kind = Ast.Range_loop { var; lo; hi }; body; _ } ->
+        let body_t = transform_block body in
+        if tainted_e lo || tainted_e hi || body_t = [] then []
+        else
+          [
+            Ast.For
+              {
+                kind = Ast.Range_loop { var; lo; hi };
+                body = body_t;
+                parallel = None;
+              };
+          ]
+    | Ast.For { kind = Ast.Each_loop _; _ } ->
+        (* iterating a DistArray inside the body requires its data *)
+        []
+    | Ast.Expr_stmt e -> records_of_expr e
+    | Ast.Break | Ast.Continue -> [ stmt ]
+  in
+  (transform_block body, stats)
+
+(** Pretty-print the synthesized program (for the CLI and docs). *)
+let to_string block = Pretty.program_to_string block

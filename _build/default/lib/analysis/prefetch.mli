@@ -1,0 +1,25 @@
+(** Bulk-prefetch synthesis (paper §4.4): a backward slice of the loop
+    body that records — rather than reads — the subscripts of
+    server-hosted DistArrays, with proper control flow and ordering. *)
+
+(** Names of the host builtins the generated program calls. *)
+val record_fn : string  (** [__record(name, s1, ..., sn)] per read *)
+
+val all_fn : string  (** [__all()] marks a whole-dimension subscript *)
+
+val range_fn : string  (** [__range(lo, hi)] marks a range subscript *)
+
+type stats = { mutable recorded : int; mutable skipped : int }
+
+(** Synthesize the prefetch program for [body].  [targets] are the
+    arrays whose reads to record; reads whose subscripts depend on
+    values read from any of [dist_vars] are skipped (the runtime falls
+    back to on-demand fetches); branches on DistArray-dependent
+    conditions are over-approximated (both sides recorded). *)
+val synthesize :
+  dist_vars:string list ->
+  targets:string list ->
+  Orion_lang.Ast.block ->
+  Orion_lang.Ast.block * stats
+
+val to_string : Orion_lang.Ast.block -> string

@@ -1,0 +1,302 @@
+(** DistArray reference extraction from a parallel for-loop body
+    (the "Statically analyze the loop code" step of paper Fig. 6).
+
+    Produces, for a loop [for (key, value) in iter_space], the list of
+    static DistArray references with abstract subscripts, the inherited
+    driver variables, and the set of runtime-tainted variables (values
+    derived from the loop's value variable or from DistArray reads —
+    subscripts built from these cannot be captured statically). *)
+
+open Orion_lang
+
+type ref_info = {
+  array : string;
+  subs : Subscript.t array;
+  is_write : bool;
+  all_static : bool;
+      (** every subscript is a loop-index-plus-constant, a constant, or
+          a full range — i.e. dependence is captured exactly *)
+}
+
+type loop_info = {
+  iter_space : string;
+  key_var : string;
+  value_var : string;
+  ordered : bool;
+  ndims : int;  (** iteration-space dimensionality *)
+  refs : ref_info list;
+  inherited : string list;
+  runtime_vars : string list;
+  buffered_arrays : string list;
+      (** DistArray names the program declared as written through
+          DistArray Buffers — their writes are exempt from analysis *)
+}
+
+let ref_to_string r =
+  Printf.sprintf "%s%s[%s]"
+    (if r.is_write then "write " else "read ")
+    r.array
+    (String.concat ", "
+       (Array.to_list (Array.map Subscript.to_string r.subs)))
+
+(* ------------------------------------------------------------------ *)
+(* Taint analysis                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A variable is runtime-tainted if its value may depend on the loop's
+   value variable or on data read from a DistArray.  Fixpoint over the
+   body handles loops and order-independence. *)
+
+let expr_reads_distarray dist_vars e =
+  Ast.fold_expr
+    (fun acc e ->
+      acc
+      ||
+      match e with
+      | Ast.Index (Var d, _) -> List.mem d dist_vars
+      | _ -> false)
+    false e
+
+let expr_mentions vars e =
+  List.exists (fun v -> List.mem v vars) (Ast.expr_vars e)
+
+let compute_tainted ~dist_vars ~seeds body =
+  let tainted = ref seeds in
+  let add v = if not (List.mem v !tainted) then tainted := v :: !tainted in
+  let expr_tainted e =
+    expr_mentions !tainted e || expr_reads_distarray dist_vars e
+  in
+  let sub_tainted = function
+    | Ast.Sub_all -> false
+    | Ast.Sub_expr e -> expr_tainted e
+    | Ast.Sub_range (lo, hi) -> expr_tainted lo || expr_tainted hi
+  in
+  let changed = ref true in
+  let rec scan_block ~ctrl_tainted block =
+    List.iter (scan_stmt ~ctrl_tainted) block
+  and scan_stmt ~ctrl_tainted stmt =
+    let taint_lhs = function
+      | Ast.Lvar v ->
+          if not (List.mem v !tainted) then (
+            add v;
+            changed := true)
+      | Ast.Lindex _ -> ()
+    in
+    match stmt with
+    | Ast.Assign (lhs, e) ->
+        if ctrl_tainted || expr_tainted e then taint_lhs lhs
+    | Ast.Op_assign (_, lhs, e) ->
+        let lhs_reads_tainted =
+          match lhs with
+          | Ast.Lvar v -> List.mem v !tainted
+          | Ast.Lindex (v, subs) ->
+              List.mem v dist_vars || List.mem v !tainted
+              || List.exists sub_tainted subs
+        in
+        if ctrl_tainted || lhs_reads_tainted || expr_tainted e then
+          taint_lhs lhs
+    | Ast.If (cond, then_b, else_b) ->
+        let ct = ctrl_tainted || expr_tainted cond in
+        scan_block ~ctrl_tainted:ct then_b;
+        scan_block ~ctrl_tainted:ct else_b
+    | Ast.While (cond, body) ->
+        scan_block ~ctrl_tainted:(ctrl_tainted || expr_tainted cond) body
+    | Ast.For { kind; body; _ } ->
+        let ct =
+          ctrl_tainted
+          ||
+          match kind with
+          | Ast.Range_loop { lo; hi; _ } -> expr_tainted lo || expr_tainted hi
+          | Ast.Each_loop { arr; _ } -> List.mem arr dist_vars
+        in
+        (match kind with
+        | Ast.Range_loop { var; _ } -> if ct then add var
+        | Ast.Each_loop { key; value; _ } ->
+            (* iterating a DistArray yields runtime values *)
+            add key;
+            add value);
+        scan_block ~ctrl_tainted:ct body
+    | Ast.Expr_stmt _ | Ast.Break | Ast.Continue -> ()
+  in
+  while !changed do
+    changed := false;
+    scan_block ~ctrl_tainted:false body
+  done;
+  List.sort String.compare !tainted
+
+let compute_runtime_vars ~dist_vars ~value_var body =
+  compute_tainted ~dist_vars ~seeds:[ value_var ] body
+
+(* ------------------------------------------------------------------ *)
+(* Reference collection                                                *)
+(* ------------------------------------------------------------------ *)
+
+let collect_refs ~dist_vars ~(ctx : Subscript.ctx) body =
+  let refs = ref [] in
+  let sub_reads_distarray = function
+    | Ast.Sub_all -> false
+    | Ast.Sub_expr e -> expr_reads_distarray dist_vars e
+    | Ast.Sub_range (lo, hi) ->
+        expr_reads_distarray dist_vars lo || expr_reads_distarray dist_vars hi
+  in
+  let add array subs ~is_write =
+    let abstract = Array.of_list (List.map (Subscript.classify ctx) subs) in
+    let all_static =
+      List.for_all
+        (fun s ->
+          Subscript.expr_is_static ctx s && not (sub_reads_distarray s))
+        subs
+    in
+    refs := { array; subs = abstract; is_write; all_static } :: !refs
+  in
+  let rec scan_expr e =
+    match e with
+    | Ast.Index (Var d, subs) when List.mem d dist_vars ->
+        add d subs ~is_write:false;
+        List.iter scan_sub subs
+    | Ast.Index (base, subs) ->
+        scan_expr base;
+        List.iter scan_sub subs
+    | Ast.Binop (_, a, b) ->
+        scan_expr a;
+        scan_expr b
+    | Ast.Unop (_, a) -> scan_expr a
+    | Ast.Call (_, args) -> List.iter scan_expr args
+    | Ast.Tuple es -> List.iter scan_expr es
+    | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Bool_lit _ | Ast.String_lit _
+    | Ast.Var _ ->
+        ()
+  and scan_sub = function
+    | Ast.Sub_all -> ()
+    | Ast.Sub_expr e -> scan_expr e
+    | Ast.Sub_range (lo, hi) ->
+        scan_expr lo;
+        scan_expr hi
+  in
+  let scan_lhs ~also_read = function
+    | Ast.Lvar _ -> ()
+    | Ast.Lindex (d, subs) ->
+        if List.mem d dist_vars then (
+          add d subs ~is_write:true;
+          if also_read then add d subs ~is_write:false);
+        List.iter scan_sub subs
+  in
+  let rec scan_block block = List.iter scan_stmt block
+  and scan_stmt = function
+    | Ast.Assign (lhs, e) ->
+        scan_lhs ~also_read:false lhs;
+        scan_expr e
+    | Ast.Op_assign (_, lhs, e) ->
+        scan_lhs ~also_read:true lhs;
+        scan_expr e
+    | Ast.If (cond, then_b, else_b) ->
+        scan_expr cond;
+        scan_block then_b;
+        scan_block else_b
+    | Ast.While (cond, body) ->
+        scan_expr cond;
+        scan_block body
+    | Ast.For { kind; body; _ } ->
+        (match kind with
+        | Ast.Range_loop { lo; hi; _ } ->
+            scan_expr lo;
+            scan_expr hi
+        | Ast.Each_loop _ -> ());
+        scan_block body
+    | Ast.Expr_stmt e -> scan_expr e
+    | Ast.Break | Ast.Continue -> ()
+  in
+  scan_block body;
+  List.rev !refs
+
+(* ------------------------------------------------------------------ *)
+(* Inherited variables                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let inherited_vars ~dist_vars ~key_var ~value_var body =
+  let mentioned =
+    Ast.fold_stmts
+      (fun acc stmt ->
+        let exprs =
+          match stmt with
+          | Ast.Assign (lhs, e) | Ast.Op_assign (_, lhs, e) ->
+              let lhs_vars =
+                match lhs with
+                | Ast.Lvar v -> [ v ]
+                | Ast.Lindex (v, subs) ->
+                    v
+                    :: List.concat_map
+                         (function
+                           | Ast.Sub_all -> []
+                           | Ast.Sub_expr e -> Ast.expr_vars e
+                           | Ast.Sub_range (a, b) ->
+                               Ast.expr_vars a @ Ast.expr_vars b)
+                         subs
+              in
+              lhs_vars @ Ast.expr_vars e
+          | Ast.If (c, _, _) | Ast.While (c, _) | Ast.Expr_stmt c ->
+              Ast.expr_vars c
+          | Ast.For { kind = Ast.Range_loop { lo; hi; _ }; _ } ->
+              Ast.expr_vars lo @ Ast.expr_vars hi
+          | Ast.For { kind = Ast.Each_loop { arr; _ }; _ } -> [ arr ]
+          | Ast.Break | Ast.Continue -> []
+        in
+        exprs @ acc)
+      [] body
+    |> List.sort_uniq String.compare
+  in
+  let local = key_var :: value_var :: Ast.assigned_names body in
+  List.filter
+    (fun v -> (not (List.mem v local)) && not (List.mem v dist_vars))
+    mentioned
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+exception Not_a_parallel_loop of string
+
+(** Analyze a parallel for-loop statement.  [dist_vars] names the
+    variables bound to DistArrays in the driver, [buffered_arrays] the
+    subset written through DistArray Buffers (their writes are exempt
+    from dependence analysis, §3.3), and [iter_space_ndims] gives the
+    dimensionality of the iteration-space DistArray (known at JIT time
+    because the DistArray has been materialized). *)
+let analyze_loop ~dist_vars ~buffered_arrays ~iter_space_ndims stmt =
+  match stmt with
+  | Ast.For { kind = Ast.Each_loop { key; value; arr }; body; parallel } ->
+      let ordered =
+        match parallel with
+        | Some { Ast.ordered } -> ordered
+        | None -> raise (Not_a_parallel_loop "loop lacks @parallel_for")
+      in
+      let runtime_vars = compute_runtime_vars ~dist_vars ~value_var:value body in
+      let ctx = { Subscript.key_var = key; runtime_vars } in
+      let refs = collect_refs ~dist_vars ~ctx body in
+      let inherited = inherited_vars ~dist_vars ~key_var:key ~value_var:value body in
+      {
+        iter_space = arr;
+        key_var = key;
+        value_var = value;
+        ordered;
+        ndims = iter_space_ndims;
+        refs;
+        inherited;
+        runtime_vars;
+        buffered_arrays;
+      }
+  | Ast.For { kind = Ast.Range_loop _; _ } ->
+      raise
+        (Not_a_parallel_loop
+           "@parallel_for requires iteration over a DistArray")
+  | _ -> raise (Not_a_parallel_loop "not a for-loop")
+
+(** Find the [n]-th parallel for-loop in a program (top-level or nested). *)
+let find_parallel_loops program =
+  Ast.fold_stmts
+    (fun acc stmt ->
+      match stmt with
+      | Ast.For { parallel = Some _; _ } -> stmt :: acc
+      | _ -> acc)
+    [] program
+  |> List.rev

@@ -1,0 +1,48 @@
+(** DistArray reference extraction from a parallel for-loop body (the
+    "Statically analyze the loop code" step of paper Fig. 6). *)
+
+type ref_info = {
+  array : string;
+  subs : Subscript.t array;
+  is_write : bool;
+  all_static : bool;
+      (** no subscript depends on runtime values or DistArray reads *)
+}
+
+type loop_info = {
+  iter_space : string;
+  key_var : string;
+  value_var : string;
+  ordered : bool;
+  ndims : int;
+  refs : ref_info list;
+  inherited : string list;  (** driver variables captured by the body *)
+  runtime_vars : string list;  (** values derived from the loop value
+                                   variable or DistArray reads *)
+  buffered_arrays : string list;
+      (** arrays written through DistArray Buffers (writes exempt) *)
+}
+
+val ref_to_string : ref_info -> string
+
+(** Fixpoint taint analysis: variables whose value may depend on
+    [seeds] or on any DistArray read. *)
+val compute_tainted :
+  dist_vars:string list -> seeds:string list -> Orion_lang.Ast.block -> string list
+
+val compute_runtime_vars :
+  dist_vars:string list -> value_var:string -> Orion_lang.Ast.block -> string list
+
+exception Not_a_parallel_loop of string
+
+(** Analyze one [@parallel_for] statement.
+    @raise Not_a_parallel_loop if [stmt] is not a parallel each-loop. *)
+val analyze_loop :
+  dist_vars:string list ->
+  buffered_arrays:string list ->
+  iter_space_ndims:int ->
+  Orion_lang.Ast.stmt ->
+  loop_info
+
+(** Every [@parallel_for] statement in the program, in order. *)
+val find_parallel_loops : Orion_lang.Ast.program -> Orion_lang.Ast.stmt list

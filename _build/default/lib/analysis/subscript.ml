@@ -1,0 +1,92 @@
+(** Abstract subscripts — the paper's 3-tuple [(dim_idx, const, stype)]
+    (§4.2).
+
+    Orion accurately captures dependence only for subscripts of the form
+    "one loop index variable plus or minus a constant"; everything else
+    is conservatively treated as possibly taking any value within the
+    DistArray's bounds. *)
+
+open Orion_lang
+
+(** One abstract subscript position of a DistArray reference. *)
+type t =
+  | Loop_index of { dim : int; offset : int }
+      (** [key\[dim+1\] + offset] — [dim] is the 0-based iteration-space
+          dimension of the loop index variable *)
+  | Const of int  (** a compile-time constant position (0-based) *)
+  | Range_all  (** the whole dimension, [:] *)
+  | Unknown  (** anything else: may take any value within bounds *)
+[@@deriving show { with_path = false }, eq]
+
+(** Classification context: the name of the loop's key variable, and the
+    names whose values are only known at run time (the loop's value
+    variable plus anything derived from it or from DistArray reads). *)
+type ctx = { key_var : string; runtime_vars : string list }
+
+let is_runtime ctx v = List.mem v ctx.runtime_vars
+
+(* Recognise [key[i]], [key[i] + c], [key[i] - c], [c + key[i]] and plain
+   integer constants.  Surface subscripts are 1-based; the abstract form
+   is 0-based. *)
+let classify_point ctx (e : Ast.expr) : t =
+  let key_dim = function
+    | Ast.Index (Var k, [ Sub_expr (Int_lit d) ]) when k = ctx.key_var ->
+        Some (d - 1)
+    | _ -> None
+  in
+  match e with
+  | Ast.Int_lit c -> Const (c - 1)
+  | _ -> (
+      match key_dim e with
+      | Some dim -> Loop_index { dim; offset = 0 }
+      | None -> (
+          match e with
+          | Ast.Binop (Add, a, Int_lit c) -> (
+              match key_dim a with
+              | Some dim -> Loop_index { dim; offset = c }
+              | None -> Unknown)
+          | Ast.Binop (Add, Int_lit c, b) -> (
+              match key_dim b with
+              | Some dim -> Loop_index { dim; offset = c }
+              | None -> Unknown)
+          | Ast.Binop (Sub, a, Int_lit c) -> (
+              match key_dim a with
+              | Some dim -> Loop_index { dim; offset = -c }
+              | None -> Unknown)
+          | _ -> Unknown))
+
+(** Classify one AST subscript.  [Sub_range] with constant bounds could
+    in principle be analysed as a constant interval; Orion treats any
+    non-full range conservatively, and so do we. *)
+let classify ctx (s : Ast.subscript) : t =
+  match s with
+  | Ast.Sub_all -> Range_all
+  | Ast.Sub_range (_, _) -> Unknown
+  | Ast.Sub_expr e -> classify_point ctx e
+
+(** Does this abstract subscript depend on runtime values (so that the
+    reference cannot be captured statically)?  Used to decide whether a
+    loop must fall back to DistArray buffers. *)
+let expr_is_static ctx (s : Ast.subscript) =
+  match s with
+  | Ast.Sub_all -> true
+  | Ast.Sub_range (lo, hi) ->
+      let static e =
+        List.for_all
+          (fun v -> (not (is_runtime ctx v)) || v = ctx.key_var)
+          (Ast.expr_vars e)
+      in
+      static lo && static hi
+  | Ast.Sub_expr e ->
+      List.for_all
+        (fun v -> (not (is_runtime ctx v)) || v = ctx.key_var)
+        (Ast.expr_vars e)
+
+let to_string = function
+  | Loop_index { dim; offset } ->
+      if offset = 0 then Printf.sprintf "key[%d]" (dim + 1)
+      else if offset > 0 then Printf.sprintf "key[%d]+%d" (dim + 1) offset
+      else Printf.sprintf "key[%d]-%d" (dim + 1) (-offset)
+  | Const c -> string_of_int (c + 1)
+  | Range_all -> ":"
+  | Unknown -> "?"

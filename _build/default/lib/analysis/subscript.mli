@@ -1,0 +1,29 @@
+(** Abstract subscripts — the paper's 3-tuple [(dim_idx, const, stype)]
+    (§4.2).  Dependence is captured exactly only for "one loop index
+    variable plus or minus a constant"; everything else is conservative. *)
+
+type t =
+  | Loop_index of { dim : int; offset : int }
+      (** [key\[dim+1\] + offset], 0-based iteration-space dimension *)
+  | Const of int  (** a compile-time constant position (0-based) *)
+  | Range_all  (** the whole dimension, [:] *)
+  | Unknown  (** may take any value within bounds *)
+
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+val equal : t -> t -> bool
+
+(** Classification context: the loop's key variable and the names whose
+    values are only known at run time. *)
+type ctx = { key_var : string; runtime_vars : string list }
+
+val is_runtime : ctx -> string -> bool
+
+(** Classify one AST subscript against the context. *)
+val classify : ctx -> Orion_lang.Ast.subscript -> t
+
+(** Is the subscript expression statically determined (no runtime-
+    tainted variables)? *)
+val expr_is_static : ctx -> Orion_lang.Ast.subscript -> bool
+
+val to_string : t -> string

@@ -1,0 +1,246 @@
+(** Unimodular loop transformations (paper §4.3; Wolf & Lam).
+
+    When neither 1D nor 2D parallelization applies and the dependence
+    vectors contain only numbers or positive infinity, Orion searches
+    for a unimodular matrix [T] such that every transformed dependence
+    vector is carried by the outermost loop (first component certainly
+    positive).  The inner transformed loops are then free of
+    dependences within one outer iteration and can be partitioned
+    across workers. *)
+
+(* ------------------------------------------------------------------ *)
+(* Integer matrices                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type matrix = int array array
+
+let identity n : matrix =
+  Array.init n (fun i -> Array.init n (fun j -> if i = j then 1 else 0))
+
+let interchange n i j : matrix =
+  let m = identity n in
+  m.(i).(i) <- 0;
+  m.(j).(j) <- 0;
+  m.(i).(j) <- 1;
+  m.(j).(i) <- 1;
+  m
+
+let mat_mul (a : matrix) (b : matrix) : matrix =
+  let n = Array.length a and p = Array.length b.(0) in
+  let k = Array.length b in
+  Array.init n (fun i ->
+      Array.init p (fun j ->
+          let acc = ref 0 in
+          for l = 0 to k - 1 do
+            acc := !acc + (a.(i).(l) * b.(l).(j))
+          done;
+          !acc))
+
+let mat_vec (m : matrix) (v : int array) : int array =
+  Array.init (Array.length m) (fun i ->
+      let acc = ref 0 in
+      Array.iteri (fun j x -> acc := !acc + (m.(i).(j) * x)) v;
+      !acc)
+
+(* Cofactor-expansion determinant; matrices here are tiny (loop depth). *)
+let rec determinant (m : matrix) =
+  let n = Array.length m in
+  if n = 0 then 1
+  else if n = 1 then m.(0).(0)
+  else if n = 2 then (m.(0).(0) * m.(1).(1)) - (m.(0).(1) * m.(1).(0))
+  else
+    let minor col =
+      Array.init (n - 1) (fun i ->
+          Array.init (n - 1) (fun j ->
+              m.(i + 1).(if j < col then j else j + 1)))
+    in
+    let acc = ref 0 in
+    for col = 0 to n - 1 do
+      let sign = if col mod 2 = 0 then 1 else -1 in
+      acc := !acc + (sign * m.(0).(col) * determinant (minor col))
+    done;
+    !acc
+
+(** Inverse of a unimodular matrix (integer entries, via the adjugate;
+    valid because [det = ±1]). *)
+let inverse (m : matrix) : matrix =
+  let n = Array.length m in
+  let det = determinant m in
+  assert (abs det = 1);
+  let minor i j =
+    Array.init (n - 1) (fun r ->
+        Array.init (n - 1) (fun c ->
+            m.(if r < i then r else r + 1).(if c < j then c else c + 1)))
+  in
+  Array.init n (fun i ->
+      Array.init n (fun j ->
+          let sign = if (i + j) mod 2 = 0 then 1 else -1 in
+          sign * determinant (minor j i) * det))
+
+let is_unimodular (m : matrix) = abs (determinant m) = 1
+
+let matrix_to_string (m : matrix) =
+  "["
+  ^ String.concat "; "
+      (Array.to_list
+         (Array.map
+            (fun row ->
+              "["
+              ^ String.concat ", "
+                  (Array.to_list (Array.map string_of_int row))
+              ^ "]")
+            m))
+  ^ "]"
+
+(* ------------------------------------------------------------------ *)
+(* Interval arithmetic over extended dependence distances              *)
+(* ------------------------------------------------------------------ *)
+
+(* A dependence element denotes a set of integers; linear combinations
+   are soundly approximated by interval arithmetic with infinite
+   endpoints. *)
+
+type bound = Neg_infinite | Finite of int | Pos_infinite
+
+type interval = { lo : bound; hi : bound }
+
+let interval_of_elt = function
+  | Depvec.Fin v -> { lo = Finite v; hi = Finite v }
+  | Depvec.Pos_inf -> { lo = Finite 1; hi = Pos_infinite }
+  | Depvec.Neg_inf -> { lo = Neg_infinite; hi = Finite (-1) }
+  | Depvec.Any -> { lo = Neg_infinite; hi = Pos_infinite }
+
+let bound_add a b =
+  match (a, b) with
+  | Neg_infinite, _ | _, Neg_infinite -> Neg_infinite
+  | Pos_infinite, _ | _, Pos_infinite -> Pos_infinite
+  | Finite x, Finite y -> Finite (x + y)
+
+let bound_scale c = function
+  | Finite v -> Finite (c * v)
+  | Neg_infinite -> if c > 0 then Neg_infinite else Pos_infinite
+  | Pos_infinite -> if c > 0 then Pos_infinite else Neg_infinite
+
+let interval_scale c itv =
+  if c = 0 then { lo = Finite 0; hi = Finite 0 }
+  else if c > 0 then { lo = bound_scale c itv.lo; hi = bound_scale c itv.hi }
+  else { lo = bound_scale c itv.hi; hi = bound_scale c itv.lo }
+
+let interval_add a b = { lo = bound_add a.lo b.lo; hi = bound_add a.hi b.hi }
+
+let elt_of_interval itv =
+  match (itv.lo, itv.hi) with
+  | Finite l, Finite h when l = h -> Depvec.Fin l
+  | Finite l, _ when l >= 1 -> Depvec.Pos_inf
+  | _, Finite h when h <= -1 -> Depvec.Neg_inf
+  | _ -> Depvec.Any
+
+(** Apply a transformation matrix to a dependence vector, soundly. *)
+let transform_dvec (t : matrix) (d : Depvec.t) : Depvec.t =
+  let n = Array.length t in
+  Array.init n (fun i ->
+      let acc = ref { lo = Finite 0; hi = Finite 0 } in
+      Array.iteri
+        (fun j elt ->
+          acc := interval_add !acc (interval_scale t.(i).(j) (interval_of_elt elt)))
+        d;
+      elt_of_interval !acc)
+
+(* Is the first component of the transformed vector certainly >= 1? *)
+let row_carries (row : int array) (d : Depvec.t) =
+  let acc = ref { lo = Finite 0; hi = Finite 0 } in
+  Array.iteri
+    (fun j elt ->
+      acc := interval_add !acc (interval_scale row.(j) (interval_of_elt elt)))
+    d;
+  match !acc.lo with Finite l -> l >= 1 | Pos_infinite -> true | Neg_infinite -> false
+
+(* ------------------------------------------------------------------ *)
+(* Completing a primitive row to a unimodular matrix                   *)
+(* ------------------------------------------------------------------ *)
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+let gcd_list l = List.fold_left gcd 0 l
+
+(* extended gcd: returns (g, x, y) with a*x + b*y = g, g >= 0 *)
+let rec egcd a b =
+  if b = 0 then if a >= 0 then (a, 1, 0) else (-a, -1, 0)
+  else
+    let g, x, y = egcd b (a mod b) in
+    (g, y, x - (a / b * y))
+
+(** Extend a primitive integer vector (gcd of entries = 1) to a
+    unimodular matrix whose first row is that vector.  Standard
+    inductive construction; see e.g. Newman, "Integral Matrices". *)
+let rec complete_to_unimodular (w : int array) : matrix =
+  let n = Array.length w in
+  assert (n >= 1);
+  assert (gcd_list (Array.to_list w) = 1);
+  if n = 1 then [| [| w.(0) |] |]
+  else
+    let tail = Array.sub w 1 (n - 1) in
+    let d = gcd_list (Array.to_list tail) in
+    if d = 0 then (
+      (* all trailing entries zero: w0 = ±1 *)
+      let m = identity n in
+      m.(0).(0) <- w.(0);
+      m)
+    else
+      let u = Array.map (fun v -> v / d) tail in
+      let sub = complete_to_unimodular u in
+      let g, x, y = egcd w.(0) d in
+      assert (g = 1);
+      let m = Array.make_matrix n n 0 in
+      (* row 0 = w *)
+      Array.blit w 0 m.(0) 0 n;
+      (* row 1 = (-y, x*u) *)
+      m.(1).(0) <- -y;
+      Array.iteri (fun j v -> m.(1).(j + 1) <- x * v) u;
+      (* rows 2.. = (0, rows 1.. of sub) *)
+      for i = 2 to n - 1 do
+        for j = 1 to n - 1 do
+          m.(i).(j) <- sub.(i - 1).(j - 1)
+        done
+      done;
+      m
+
+(* ------------------------------------------------------------------ *)
+(* Search                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Find a unimodular [T] such that every vector in [dvecs], transformed
+    by [T], has a certainly-positive first component (all dependences
+    carried by the outermost transformed loop).  Tries, in order: the
+    identity, dimension interchanges, and a hyperplane (wavefront) row
+    built from powers of [B = 1 + max |finite distance|], which is
+    guaranteed to work for lexicographically positive vectors whose
+    entries are numbers or positive infinity. *)
+let find_transform ~ndims (dvecs : Depvec.t list) : matrix option =
+  if not (Depvec.unimodular_applicable dvecs) then None
+  else
+    let carries_all (t : matrix) =
+      List.for_all (fun d -> row_carries t.(0) d) dvecs
+    in
+    let id = identity ndims in
+    if carries_all id then Some id
+    else
+      let interchanged =
+        List.find_map
+          (fun j ->
+            let t = interchange ndims 0 j in
+            if carries_all t then Some t else None)
+          (List.init (ndims - 1) (fun k -> k + 1))
+      in
+      match interchanged with
+      | Some t -> Some t
+      | None ->
+          let b = Depvec.max_finite_magnitude dvecs + 1 in
+          let w =
+            Array.init ndims (fun i ->
+                int_of_float (float_of_int b ** float_of_int (ndims - 1 - i)))
+          in
+          let g = gcd_list (Array.to_list w) in
+          let w = if g > 1 then Array.map (fun v -> v / g) w else w in
+          let t = complete_to_unimodular w in
+          if carries_all t then Some t else None

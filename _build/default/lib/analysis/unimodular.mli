@@ -1,0 +1,41 @@
+(** Unimodular loop transformations (paper §4.3; Wolf & Lam): find an
+    integer matrix with determinant ±1 whose application makes every
+    dependence carried by the outermost transformed loop. *)
+
+type matrix = int array array
+
+val identity : int -> matrix
+val interchange : int -> int -> int -> matrix
+val mat_mul : matrix -> matrix -> matrix
+val mat_vec : matrix -> int array -> int array
+val determinant : matrix -> int
+
+(** Integer inverse of a unimodular matrix (via the adjugate). *)
+val inverse : matrix -> matrix
+
+val is_unimodular : matrix -> bool
+val matrix_to_string : matrix -> string
+
+val gcd : int -> int -> int
+val gcd_list : int list -> int
+
+(** [egcd a b] returns [(g, x, y)] with [a*x + b*y = g], [g >= 0]. *)
+val egcd : int -> int -> int * int * int
+
+(** Extend a primitive integer vector (gcd 1) to a unimodular matrix
+    with that first row. *)
+val complete_to_unimodular : int array -> matrix
+
+(** Soundly transform a dependence vector (interval arithmetic over the
+    extended distances). *)
+val transform_dvec : matrix -> Depvec.t -> Depvec.t
+
+(** Does this row make every vector's transformed first component
+    certainly positive? *)
+val row_carries : int array -> Depvec.t -> bool
+
+(** Search for a transformation: identity, then interchanges, then the
+    wavefront hyperplane built from powers of [1 + max |distance|]
+    (guaranteed for lexicographically positive finite/[Pos_inf]
+    vectors).  [None] if not applicable. *)
+val find_transform : ndims:int -> Depvec.t list -> matrix option

@@ -1,0 +1,1 @@
+lib/apps/gbt.ml: Array Float Fun List Losses Option Orion_data

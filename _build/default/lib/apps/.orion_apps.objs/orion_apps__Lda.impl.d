@@ -1,0 +1,1 @@
+lib/apps/lda.ml: Array Dist_array Hashtbl Losses Orion Orion_data Orion_dsm

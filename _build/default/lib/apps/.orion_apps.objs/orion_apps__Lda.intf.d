@@ -1,0 +1,1 @@
+lib/apps/lda.mli: Hashtbl Orion Orion_data Orion_dsm

@@ -1,0 +1,1 @@
+lib/apps/losses.ml: Array Float Orion_dsm

@@ -1,0 +1,1 @@
+lib/apps/losses.mli: Orion_dsm

@@ -1,0 +1,1 @@
+lib/apps/sgd_mf.ml: Adarev Array Dist_array Orion Orion_data Orion_dsm String

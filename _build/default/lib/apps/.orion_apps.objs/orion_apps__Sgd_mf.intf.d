@@ -1,0 +1,1 @@
+lib/apps/sgd_mf.mli: Adarev Orion Orion_dsm

@@ -1,0 +1,1 @@
+lib/apps/slr.ml: Array Dist_array Losses Orion Orion_data Orion_dsm Sparse_features

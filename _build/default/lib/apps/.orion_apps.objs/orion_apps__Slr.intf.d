@@ -1,0 +1,1 @@
+lib/apps/slr.mli: Orion Orion_data Orion_dsm

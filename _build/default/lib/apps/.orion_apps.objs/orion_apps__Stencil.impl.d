@@ -1,0 +1,1 @@
+lib/apps/stencil.ml: Array Dist_array Orion Orion_dsm Printf

@@ -1,0 +1,59 @@
+(** Adaptive Revision (AdaRevision; McMahan & Streeter, NIPS'14) — the
+    delay-tolerant adaptive gradient algorithm the paper evaluates as
+    "SGD MF AdaRev" and that Bösen implements server-side.
+
+    Per coordinate the server keeps the accumulated gradient [g_bck],
+    the accumulated squared revised gradient [z] and its running max
+    [z_max].  A delayed update carries the gradient [g] and the value
+    of [g_bck] observed when the gradient was computed ([g_old]); the
+    missed progress [g_bck − g_old] both inflates the step-size
+    statistic and revises the previously-applied step:
+
+      z     += g² + 2·g·(g_bck − g_old)
+      z_max  = max(z_max, z)
+      η      = α / sqrt(z_max)
+      Δ      = −η·g − (η − η_old)·(g_bck − g_old)
+      g_bck += g
+
+    With no delay ([g_old = g_bck]) this reduces to AdaGrad with a
+    max-normalized accumulator. *)
+
+type t = {
+  alpha : float;
+  z : float array;
+  z_max : float array;
+  g_bck : float array;
+}
+
+let create ~size ~alpha =
+  {
+    alpha;
+    z = Array.make size 1e-8;
+    z_max = Array.make size 1e-8;
+    g_bck = Array.make size 0.0;
+  }
+
+let size t = Array.length t.z
+
+(** The accumulated-gradient snapshot a worker captures when reading
+    parameter [i] (sent back with the update). *)
+let read_version t i = t.g_bck.(i)
+
+(** Apply a (possibly delayed) gradient [g] for coordinate [i] to
+    [params], returning the applied delta.  [g_old] is the
+    accumulated-gradient snapshot captured at read time. *)
+let apply t ~(params : float array) ~i ~g ~g_old =
+  let missed = t.g_bck.(i) -. g_old in
+  let eta_old = t.alpha /. sqrt t.z_max.(i) in
+  t.z.(i) <- t.z.(i) +. (g *. g) +. (2.0 *. g *. missed);
+  (* z can temporarily dip with adversarial missed terms; z_max keeps
+     the step size monotone non-increasing *)
+  if t.z.(i) > t.z_max.(i) then t.z_max.(i) <- t.z.(i);
+  let eta = t.alpha /. sqrt t.z_max.(i) in
+  let delta = (-.eta *. g) -. ((eta -. eta_old) *. missed) in
+  t.g_bck.(i) <- t.g_bck.(i) +. g;
+  params.(i) <- params.(i) +. delta;
+  delta
+
+(** Convenience for the no-delay (serializable) path. *)
+let apply_fresh t ~params ~i ~g = apply t ~params ~i ~g ~g_old:t.g_bck.(i)

@@ -1,0 +1,26 @@
+(** Adaptive Revision (AdaRevision; McMahan & Streeter, NIPS'14): the
+    delay-tolerant adaptive gradient rule the paper evaluates as
+    "AdaRev" and Bösen implements server-side.  A delayed update
+    carries the gradient and the accumulated-gradient snapshot taken at
+    read time; the missed progress both inflates the step-size
+    statistic and revises the previously applied step. *)
+
+type t = {
+  alpha : float;
+  z : float array;  (** accumulated squared revised gradients *)
+  z_max : float array;  (** running max of [z] (monotone step sizes) *)
+  g_bck : float array;  (** accumulated gradients *)
+}
+
+val create : size:int -> alpha:float -> t
+val size : t -> int
+
+(** The accumulated-gradient snapshot captured when reading coordinate
+    [i] (travels with the update). *)
+val read_version : t -> int -> float
+
+(** Apply a (possibly delayed) gradient; returns the applied delta. *)
+val apply : t -> params:float array -> i:int -> g:float -> g_old:float -> float
+
+(** No-delay (serializable) path: [g_old] is the current accumulator. *)
+val apply_fresh : t -> params:float array -> i:int -> g:float -> float

@@ -1,0 +1,81 @@
+(** Gradient boosted trees (Table 2 "GBT"): second-order boosting with
+    histogram split finding; the per-feature split search is the
+    1D-parallel loop. *)
+
+type dataset = {
+  features : float array array;  (** samples × feature values *)
+  labels : float array;  (** 0/1 *)
+}
+
+type node =
+  | Leaf of float
+  | Split of { feature : int; threshold : float; left : node; right : node }
+
+type model = {
+  base_score : float;
+  learning_rate : float;
+  mutable trees : node list;  (** newest first *)
+}
+
+type params = {
+  num_trees : int;
+  max_depth : int;
+  learning_rate : float;
+  min_child_weight : float;
+  lambda : float;
+  num_bins : int;
+}
+
+val default_params : params
+
+(** The OrionScript split-finding loop (what the analyzer sees). *)
+val script : string
+
+val eval_tree : node -> float array -> float
+val raw_score : model -> float array -> float
+val predict : model -> float array -> float
+val log_loss : model -> dataset -> float
+val accuracy : model -> dataset -> float
+
+type split_candidate = { gain : float; threshold : float }
+
+val feature_edges : dataset -> num_bins:int -> float array array
+val bin_of : float array -> float -> int
+
+(** Best split of [members] on one feature — the 1D loop's body. *)
+val best_split_for_feature :
+  dataset ->
+  edges:float array array ->
+  grads:float array ->
+  hess:float array ->
+  members:int list ->
+  f:int ->
+  lambda:float ->
+  min_child_weight:float ->
+  split_candidate option
+
+(** Grow one tree; [parallel_feature_scan] maps the per-feature search
+    (the Orion-parallelized loop; defaults to a serial scan). *)
+val grow_tree :
+  ?parallel_feature_scan:
+    (int list -> (int -> (int * split_candidate) option) ->
+    (int * split_candidate) option list) ->
+  dataset ->
+  params:params ->
+  edges:float array array ->
+  grads:float array ->
+  hess:float array ->
+  node
+
+(** Train a boosted ensemble; returns the model and the per-round
+    training log-loss trajectory. *)
+val train :
+  ?params:params ->
+  ?parallel_feature_scan:
+    (int list -> (int -> (int * split_candidate) option) ->
+    (int * split_candidate) option list) ->
+  dataset ->
+  model * float array
+
+(** A planted nonlinear concept (trees beat linear models on it). *)
+val synthetic : ?seed:int -> num_samples:int -> num_features:int -> unit -> dataset

@@ -1,0 +1,197 @@
+(** Topic modeling with Latent Dirichlet Allocation, trained by
+    collapsed Gibbs sampling (Table 2 row "LDA"; evaluated on the
+    NYTimes and ClueWeb proxies).
+
+    The iteration space is the sparse (doc × word) token-count matrix.
+    Sampling a token touches its document's topic counts (keyed by the
+    doc dimension), its word's topic counts (keyed by the word
+    dimension) and the global topic totals.  Orion parallelizes the
+    loop 2D-unordered; the topic-totals vector is written through a
+    DistArray Buffer — the "non-critical dependence" the paper permits
+    violating (§6.3). *)
+
+open Orion_dsm
+
+type model = {
+  num_topics : int;
+  num_docs : int;
+  vocab_size : int;
+  alpha : float;  (** document-topic smoothing *)
+  beta : float;  (** topic-word smoothing *)
+  doc_topic : float array array;  (** docs × topics *)
+  word_topic : float array array;  (** vocab × topics *)
+  totals : float array;  (** per-topic token totals *)
+  assignments : (int, int array) Hashtbl.t;
+      (** (doc * vocab + word) -> topic of each occurrence *)
+  rng : Orion_data.Rng.t;
+  mutable doc_lengths : float array;
+}
+
+let init_model ?(seed = 11) ~num_topics ~corpus () =
+  let open Orion_data.Corpus in
+  let m =
+    {
+      num_topics;
+      num_docs = corpus.num_docs;
+      vocab_size = corpus.vocab_size;
+      alpha = 50.0 /. float_of_int num_topics;
+      beta = 0.01;
+      doc_topic = Array.make_matrix corpus.num_docs num_topics 0.0;
+      word_topic = Array.make_matrix corpus.vocab_size num_topics 0.0;
+      totals = Array.make num_topics 0.0;
+      assignments = Hashtbl.create (Dist_array.count corpus.tokens);
+      rng = Orion_data.Rng.create seed;
+      doc_lengths = Array.make corpus.num_docs 0.0;
+    }
+  in
+  (* random initial topic assignment for every token occurrence *)
+  Dist_array.iter
+    (fun key count ->
+      let d = key.(0) and w = key.(1) in
+      let c = int_of_float count in
+      let topics =
+        Array.init c (fun _ -> Orion_data.Rng.int m.rng num_topics)
+      in
+      Array.iter
+        (fun z ->
+          m.doc_topic.(d).(z) <- m.doc_topic.(d).(z) +. 1.0;
+          m.word_topic.(w).(z) <- m.word_topic.(w).(z) +. 1.0;
+          m.totals.(z) <- m.totals.(z) +. 1.0;
+          m.doc_lengths.(d) <- m.doc_lengths.(d) +. 1.0)
+        topics;
+      Hashtbl.replace m.assignments ((d * m.vocab_size) + w) topics)
+    corpus.tokens;
+  m
+
+(** The OrionScript source for the sampling loop (condensed: the real
+    sampler body below is the generated code; this is what the
+    analyzer sees — the access pattern is what matters). *)
+let script =
+  {|
+for iter = 1:num_iterations
+  @parallel_for for (key, cnt) in tokens
+    old_t = int(token_topic[key[1], key[2]])
+    doc_topic[key[1], old_t] = doc_topic[key[1], old_t] - cnt
+    word_topic[key[2], old_t] = word_topic[key[2], old_t] - cnt
+    new_t = sample_topic(key[1], key[2])
+    doc_topic[key[1], new_t] = doc_topic[key[1], new_t] + cnt
+    word_topic[key[2], new_t] = word_topic[key[2], new_t] + cnt
+    totals_buf[old_t] += 0.0 - cnt
+    totals_buf[new_t] += cnt
+    token_topic[key[1], key[2]] = float(new_t)
+  end
+end
+|}
+
+let register_arrays session ~(tokens : float Dist_array.t) model =
+  Orion.register session tokens;
+  Orion.register_meta session ~name:"doc_topic"
+    ~dims:[| model.num_docs; model.num_topics |]
+    ();
+  Orion.register_meta session ~name:"word_topic"
+    ~dims:[| model.vocab_size; model.num_topics |]
+    ();
+  Orion.register_meta session ~name:"token_topic"
+    ~dims:[| model.num_docs; model.vocab_size |]
+    ();
+  Orion.register_meta session ~name:"totals_buf"
+    ~dims:[| model.num_topics |]
+    ~buffered:true ()
+
+(* Sample a topic for one token occurrence after decrementing its old
+   assignment.  [dt], [wt] and [totals] are the doc's and word's count
+   rows and the (possibly worker-local) topic totals. *)
+let sample_topic m ~dt ~wt ~totals =
+  let k = m.num_topics in
+  let vbeta = float_of_int m.vocab_size *. m.beta in
+  let cumulative = Array.make k 0.0 in
+  let acc = ref 0.0 in
+  for z = 0 to k - 1 do
+    let p =
+      (dt.(z) +. m.alpha) *. (wt.(z) +. m.beta) /. (totals.(z) +. vbeta)
+    in
+    acc := !acc +. p;
+    cumulative.(z) <- !acc
+  done;
+  let u = Orion_data.Rng.float m.rng *. !acc in
+  let lo = ref 0 and hi = ref (k - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cumulative.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(** Gibbs-sample every occurrence of token (doc, word) against the
+    provided views of the word-topic matrix and topic totals.  The
+    systems under comparison differ only in which views they pass
+    (shared-fresh for serializable schedules, worker-local-stale for
+    data parallelism) and how updates propagate. *)
+let body_with_views m ~(wt : float array) ~(totals : float array)
+    ~on_update ~key =
+  let d = key.(0) and w = key.(1) in
+  let topics = Hashtbl.find m.assignments ((d * m.vocab_size) + w) in
+  let dt = m.doc_topic.(d) in
+  Array.iteri
+    (fun occ z_old ->
+      dt.(z_old) <- dt.(z_old) -. 1.0;
+      wt.(z_old) <- wt.(z_old) -. 1.0;
+      totals.(z_old) <- totals.(z_old) -. 1.0;
+      on_update ~word:w ~topic:z_old ~delta:(-1.0);
+      let z_new = sample_topic m ~dt ~wt ~totals in
+      dt.(z_new) <- dt.(z_new) +. 1.0;
+      wt.(z_new) <- wt.(z_new) +. 1.0;
+      totals.(z_new) <- totals.(z_new) +. 1.0;
+      on_update ~word:w ~topic:z_new ~delta:1.0;
+      topics.(occ) <- z_new)
+    topics
+
+(** The straightforward shared-state loop body (serial execution and
+    serializable schedules). *)
+let body m ~worker:_ ~key ~value:_ =
+  body_with_views m ~wt:m.word_topic.(key.(1)) ~totals:m.totals
+    ~on_update:(fun ~word:_ ~topic:_ ~delta:_ -> ())
+    ~key
+
+(** Joint log-likelihood log p(w, z) of the collapsed model — the
+    convergence metric of Figs. 9c, 10c, 11b/c (higher is better). *)
+let log_likelihood m =
+  let k = float_of_int m.num_topics in
+  let v = float_of_int m.vocab_size in
+  let lg = Losses.lgamma in
+  let word_part = ref 0.0 in
+  for z = 0 to m.num_topics - 1 do
+    let sum = ref 0.0 in
+    for w = 0 to m.vocab_size - 1 do
+      let c = m.word_topic.(w).(z) in
+      if c > 0.0 then sum := !sum +. lg (c +. m.beta) -. lg m.beta
+    done;
+    word_part :=
+      !word_part +. !sum +. lg (v *. m.beta) -. lg (m.totals.(z) +. (v *. m.beta))
+  done;
+  let doc_part = ref 0.0 in
+  for d = 0 to m.num_docs - 1 do
+    let sum = ref 0.0 in
+    for z = 0 to m.num_topics - 1 do
+      let c = m.doc_topic.(d).(z) in
+      if c > 0.0 then sum := !sum +. lg (c +. m.alpha) -. lg m.alpha
+    done;
+    doc_part :=
+      !doc_part +. !sum
+      +. lg (k *. m.alpha)
+      -. lg (m.doc_lengths.(d) +. (k *. m.alpha))
+  done;
+  !word_part +. !doc_part
+
+(** Serial Gibbs sampling for [epochs] passes, returning the
+    log-likelihood trajectory. *)
+let train_serial m ~tokens ~epochs =
+  let traj = Array.make (epochs + 1) 0.0 in
+  traj.(0) <- log_likelihood m;
+  for e = 1 to epochs do
+    Dist_array.iter (fun key v -> body m ~worker:0 ~key ~value:v) tokens;
+    traj.(e) <- log_likelihood m
+  done;
+  traj
+
+(** Per-token flop estimate: one pass over the topics for sampling. *)
+let flops_per_token num_topics = float_of_int (8 * num_topics)

@@ -1,0 +1,51 @@
+(** Topic modeling with LDA by collapsed Gibbs sampling (Table 2
+    "LDA").  Orion parallelizes the sampling loop 2D-unordered; the
+    topic-totals vector goes through a DistArray Buffer (the
+    "non-critical dependence" the paper permits violating). *)
+
+type model = {
+  num_topics : int;
+  num_docs : int;
+  vocab_size : int;
+  alpha : float;
+  beta : float;
+  doc_topic : float array array;  (** docs × topics *)
+  word_topic : float array array;  (** vocab × topics *)
+  totals : float array;  (** per-topic token totals *)
+  assignments : (int, int array) Hashtbl.t;
+  rng : Orion_data.Rng.t;
+  mutable doc_lengths : float array;
+}
+
+(** Random initial topic assignment for every token occurrence. *)
+val init_model :
+  ?seed:int -> num_topics:int -> corpus:Orion_data.Corpus.t -> unit -> model
+
+(** The OrionScript sampling loop (what the analyzer sees). *)
+val script : string
+
+val register_arrays :
+  Orion.session -> tokens:float Orion_dsm.Dist_array.t -> model -> unit
+
+(** Gibbs-sample a token's occurrences against the given views of the
+    word-topic row and (possibly worker-local) topic totals; [on_update]
+    reports each count delta (e.g. into a DistArray Buffer). *)
+val body_with_views :
+  model ->
+  wt:float array ->
+  totals:float array ->
+  on_update:(word:int -> topic:int -> delta:float -> unit) ->
+  key:int array ->
+  unit
+
+(** Shared-state loop body (serial / serializable schedules). *)
+val body : model -> worker:int -> key:int array -> value:float -> unit
+
+(** Joint log-likelihood log p(w, z) — higher is better. *)
+val log_likelihood : model -> float
+
+(** Serial Gibbs sampling; returns the log-likelihood trajectory. *)
+val train_serial :
+  model -> tokens:float Orion_dsm.Dist_array.t -> epochs:int -> float array
+
+val flops_per_token : int -> float

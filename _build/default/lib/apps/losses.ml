@@ -1,0 +1,59 @@
+(** Shared numeric helpers: losses and special functions. *)
+
+let sigmoid x =
+  if x >= 0.0 then 1.0 /. (1.0 +. exp (-.x))
+  else
+    let e = exp x in
+    e /. (1.0 +. e)
+
+(** Numerically-stable binary cross-entropy for label in {0, 1}. *)
+let log_loss ~label ~p =
+  let p = Float.min (1.0 -. 1e-12) (Float.max 1e-12 p) in
+  -.((label *. log p) +. ((1.0 -. label) *. log (1.0 -. p)))
+
+(** Log-gamma via the Lanczos approximation (g = 7, n = 9); accurate to
+    ~1e-13 for x > 0, which is ample for LDA log-likelihoods. *)
+let lgamma =
+  let coeffs =
+    [|
+      0.99999999999980993;
+      676.5203681218851;
+      -1259.1392167224028;
+      771.32342877765313;
+      -176.61502916214059;
+      12.507343278686905;
+      -0.13857109526572012;
+      9.9843695780195716e-6;
+      1.5056327351493116e-7;
+    |]
+  in
+  let rec lg x =
+    if x < 0.5 then
+      (* reflection formula *)
+      log (Float.pi /. sin (Float.pi *. x)) -. lg (1.0 -. x)
+    else
+      let x = x -. 1.0 in
+      let a = ref coeffs.(0) in
+      let t = x +. 7.5 in
+      for i = 1 to 8 do
+        a := !a +. (coeffs.(i) /. (x +. float_of_int i))
+      done;
+      (0.5 *. log (2.0 *. Float.pi))
+      +. ((x +. 0.5) *. log t)
+      -. t
+      +. log !a
+  in
+  lg
+
+(** Nonzero squared loss for matrix factorization:
+    L = Σ_{(i,j) ∈ Z} (V_ij − Σ_k W_ki H_kj)². *)
+let mf_loss ~(w : float array array) ~(h : float array array) ratings =
+  let rank = Array.length w in
+  Orion_dsm.Dist_array.fold
+    (fun acc key v ->
+      let pred = ref 0.0 in
+      for k = 0 to rank - 1 do
+        pred := !pred +. (w.(k).(key.(0)) *. h.(k).(key.(1)))
+      done;
+      acc +. ((v -. !pred) ** 2.0))
+    0.0 ratings

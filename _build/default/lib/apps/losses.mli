@@ -1,0 +1,18 @@
+(** Shared numeric helpers: losses and special functions. *)
+
+(** Numerically stable logistic function. *)
+val sigmoid : float -> float
+
+(** Binary cross-entropy for a label in {0, 1}, clipped away from 0/1. *)
+val log_loss : label:float -> p:float -> float
+
+(** Log-gamma (Lanczos, g = 7, n = 9; ~1e-13 accurate for x > 0). *)
+val lgamma : float -> float
+
+(** Nonzero squared loss for matrix factorization over rank × n factor
+    matrices. *)
+val mf_loss :
+  w:float array array ->
+  h:float array array ->
+  float Orion_dsm.Dist_array.t ->
+  float

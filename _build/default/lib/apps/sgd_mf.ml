@@ -1,0 +1,175 @@
+(** SGD matrix factorization (paper Alg. 1 / Fig. 5; Table 2 rows
+    "SGD MF" and "SGD MF AdaRev").
+
+    The model factorizes the sparse ratings matrix V (users × items) as
+    Wᵀ H with W : rank × users and H : rank × items, both stored
+    flattened (coordinate [k*n + i]) so adaptive optimizers can address
+    them as plain parameter vectors.  The loop body is the paper's:
+    read the two factor columns, compute the residual, apply gradient
+    steps.  Orion parallelizes this loop 2D-unordered (stratified SGD).
+
+    [script] is the OrionScript source submitted to the static
+    analyzer — the native bodies below are what the JIT would have
+    generated for it. *)
+
+open Orion_dsm
+
+type model = {
+  rank : int;
+  num_users : int;
+  num_items : int;
+  w : float array;  (** rank × users, index [k * num_users + i] *)
+  h : float array;  (** rank × items, index [k * num_items + j] *)
+}
+
+let init_model ?(seed = 5) ~rank ~num_users ~num_items () =
+  let rng = Orion_data.Rng.create seed in
+  let scale = 1.0 /. sqrt (float_of_int rank) in
+  {
+    rank;
+    num_users;
+    num_items;
+    w =
+      Array.init (rank * num_users) (fun _ ->
+          Orion_data.Rng.gaussian rng *. scale);
+    h =
+      Array.init (rank * num_items) (fun _ ->
+          Orion_data.Rng.gaussian rng *. scale);
+  }
+
+(** Nonzero squared loss over the training set. *)
+let loss model ratings =
+  Dist_array.fold
+    (fun acc key v ->
+      let i = key.(0) and j = key.(1) in
+      let pred = ref 0.0 in
+      for k = 0 to model.rank - 1 do
+        pred :=
+          !pred
+          +. (model.w.((k * model.num_users) + i)
+             *. model.h.((k * model.num_items) + j))
+      done;
+      acc +. ((v -. !pred) ** 2.0))
+    0.0 ratings
+
+(** The serial training program (paper Fig. 5, condensed to the
+    analyzable core). *)
+let script =
+  {|
+step_size = 0.01
+for iter = 1:num_iterations
+  @parallel_for for (key, rv) in ratings
+    W_row = W[:, key[1]]
+    H_row = H[:, key[2]]
+    pred = dot(W_row, H_row)
+    diff = rv - pred
+    W_grad = -2.0 * diff * H_row
+    H_grad = -2.0 * diff * W_row
+    W[:, key[1]] = W_row - W_grad * step_size
+    H[:, key[2]] = H_row - H_grad * step_size
+  end
+end
+|}
+
+(** The same source with the [ordered] loop annotation (Table 3's
+    ordered-vs-unordered comparison). *)
+let script_src ~ordered =
+  if not ordered then script
+  else
+    (* replace the first occurrence of the macro *)
+    let sub = "@parallel_for" and by = "@parallel_for ordered" in
+    let n = String.length script and m = String.length sub in
+    let rec find i =
+      if i + m > n then None
+      else if String.sub script i m = sub then Some i
+      else find (i + 1)
+    in
+    (match find 0 with
+    | None -> script
+    | Some i ->
+        String.sub script 0 i ^ by ^ String.sub script (i + m) (n - i - m))
+
+(** Deep copy (for per-worker caches in data-parallel baselines). *)
+let copy_model m = { m with w = Array.copy m.w; h = Array.copy m.h }
+
+(** Register the MF DistArray metadata (names/dims used by [script])
+    in a session so the analyzer can plan the loop. *)
+let register_arrays session ~(ratings : float Dist_array.t) model =
+  Orion.register session ratings;
+  Orion.register_meta session ~name:"W"
+    ~dims:[| model.rank; model.num_users |]
+    ();
+  Orion.register_meta session ~name:"H"
+    ~dims:[| model.rank; model.num_items |]
+    ()
+
+(** One SGD step on rating (i, j) — the generated loop body. *)
+let body model ~step_size ~worker:_ ~key ~value =
+  let i = key.(0) and j = key.(1) in
+  let w = model.w and h = model.h in
+  let nu = model.num_users and ni = model.num_items in
+  let pred = ref 0.0 in
+  for k = 0 to model.rank - 1 do
+    pred := !pred +. (w.((k * nu) + i) *. h.((k * ni) + j))
+  done;
+  let diff = value -. !pred in
+  let c = 2.0 *. step_size *. diff in
+  for k = 0 to model.rank - 1 do
+    let wi = (k * nu) + i and hj = (k * ni) + j in
+    let wk = w.(wi) and hk = h.(hj) in
+    w.(wi) <- wk +. (c *. hk);
+    h.(hj) <- hk +. (c *. wk)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* AdaRev variant                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type adarev_model = { base : model; opt_w : Adarev.t; opt_h : Adarev.t }
+
+let init_adarev ?(seed = 5) ~rank ~num_users ~num_items ~alpha () =
+  let base = init_model ~seed ~rank ~num_users ~num_items () in
+  {
+    base;
+    opt_w = Adarev.create ~size:(rank * num_users) ~alpha;
+    opt_h = Adarev.create ~size:(rank * num_items) ~alpha;
+  }
+
+(** Serializable (fresh-gradient) AdaRev step. *)
+let body_adarev am ~worker:_ ~key ~value =
+  let m = am.base in
+  let i = key.(0) and j = key.(1) in
+  let nu = m.num_users and ni = m.num_items in
+  let pred = ref 0.0 in
+  for k = 0 to m.rank - 1 do
+    pred := !pred +. (m.w.((k * nu) + i) *. m.h.((k * ni) + j))
+  done;
+  let diff = value -. !pred in
+  for k = 0 to m.rank - 1 do
+    let wi = (k * nu) + i and hj = (k * ni) + j in
+    let gw = -2.0 *. diff *. m.h.(hj) and gh = -2.0 *. diff *. m.w.(wi) in
+    ignore (Adarev.apply_fresh am.opt_w ~params:m.w ~i:wi ~g:gw);
+    ignore (Adarev.apply_fresh am.opt_h ~params:m.h ~i:hj ~g:gh)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Convenience training loops (serial and Orion-scheduled)             *)
+(* ------------------------------------------------------------------ *)
+
+(** Train serially for [epochs] passes, recording the loss after each
+    pass.  Returns the loss trajectory (element 0 is the initial
+    loss). *)
+let train_serial model ~ratings ~step_size ~epochs =
+  let traj = Array.make (epochs + 1) 0.0 in
+  traj.(0) <- loss model ratings;
+  for e = 1 to epochs do
+    Dist_array.iter
+      (fun key v -> body model ~step_size ~worker:0 ~key ~value:v)
+      ratings;
+    traj.(e) <- loss model ratings
+  done;
+  traj
+
+(** Per-sample flop estimate (for the modeled compute cost): one dot
+    product and one update over [rank] coordinates. *)
+let flops_per_sample rank = float_of_int (6 * rank)

@@ -1,0 +1,59 @@
+(** SGD matrix factorization (paper Alg. 1 / Fig. 5; Table 2 "SGD MF"
+    and "SGD MF AdaRev").  W and H are stored flattened so adaptive
+    optimizers can address them as parameter vectors. *)
+
+type model = {
+  rank : int;
+  num_users : int;
+  num_items : int;
+  w : float array;  (** rank × users, index [k * num_users + i] *)
+  h : float array;  (** rank × items, index [k * num_items + j] *)
+}
+
+val init_model :
+  ?seed:int -> rank:int -> num_users:int -> num_items:int -> unit -> model
+
+(** Nonzero squared loss over the training set. *)
+val loss : model -> float Orion_dsm.Dist_array.t -> float
+
+(** The serial OrionScript training program (what the analyzer sees). *)
+val script : string
+
+(** The same source with the [ordered] annotation (Table 3). *)
+val script_src : ordered:bool -> string
+
+(** Deep copy (per-worker caches in data-parallel baselines). *)
+val copy_model : model -> model
+
+(** Register the DistArray metadata [script] references. *)
+val register_arrays :
+  Orion.session -> ratings:float Orion_dsm.Dist_array.t -> model -> unit
+
+(** One SGD step on rating (i, j) — the generated loop body. *)
+val body :
+  model -> step_size:float -> worker:int -> key:int array -> value:float -> unit
+
+type adarev_model = { base : model; opt_w : Adarev.t; opt_h : Adarev.t }
+
+val init_adarev :
+  ?seed:int ->
+  rank:int ->
+  num_users:int ->
+  num_items:int ->
+  alpha:float ->
+  unit ->
+  adarev_model
+
+(** Serializable (fresh-gradient) AdaRev step. *)
+val body_adarev :
+  adarev_model -> worker:int -> key:int array -> value:float -> unit
+
+(** Serial training; returns the loss trajectory (index 0 = initial). *)
+val train_serial :
+  model ->
+  ratings:float Orion_dsm.Dist_array.t ->
+  step_size:float ->
+  epochs:int ->
+  float array
+
+val flops_per_sample : int -> float

@@ -1,0 +1,45 @@
+(** Sparse logistic regression with SGD (Table 2 "SLR"): weight
+    subscripts depend on each sample's features, so Orion parallelizes
+    1D with a DistArray Buffer and serves the weights from server
+    processes, bulk-prefetching their indices (§6.3). *)
+
+type model = { num_features : int; w : float array }
+
+val init_model : num_features:int -> unit -> model
+
+(** The OrionScript training program (what the analyzer sees). *)
+val script : string
+
+val register_arrays :
+  Orion.session -> data:Orion_data.Sparse_features.t -> model -> unit
+
+val predict : model -> Orion_data.Sparse_features.sample -> float
+
+(** Mean logistic loss over the dataset. *)
+val loss :
+  model -> Orion_data.Sparse_features.sample Orion_dsm.Dist_array.t -> float
+
+(** One SGD step: weights read through [read]; per-coordinate raw
+    gradients pushed through [update] (callers scale — plain SGD or
+    AdaRevision). *)
+val step :
+  read:(int -> float) ->
+  update:(int -> float -> unit) ->
+  Orion_data.Sparse_features.sample ->
+  unit
+
+(** Local (serial) loop body. *)
+val body :
+  model ->
+  step_size:float ->
+  worker:int ->
+  key:int array ->
+  value:Orion_data.Sparse_features.sample ->
+  unit
+
+val train_serial :
+  model ->
+  data:Orion_data.Sparse_features.t ->
+  step_size:float ->
+  epochs:int ->
+  float array

@@ -1,0 +1,38 @@
+(** A skewed stencil recurrence — the paper's "2D parallelization w/
+    unimodular transformation" case (§3.2 case 3): dependence vectors
+    {(1,-1), (0,1)} admit neither 1D nor 2D partitioning, forcing a
+    wavefront (skewing) transformation. *)
+
+type model = {
+  rows : int;
+  cols : int;
+  s : float array;  (** the recurrence state, row-major *)
+  a : float;
+  b : float;
+  c : float;
+}
+
+val init_model :
+  rows:int -> cols:int -> ?a:float -> ?b:float -> ?c:float -> unit -> model
+
+(** The ordered OrionScript program (edge guards keep subscripts in
+    bounds). *)
+val script : string
+
+(** A complete driver (constants included) for the interpreted path. *)
+val driver_script : cols:int -> string
+
+val register_arrays :
+  Orion.session -> grid:float Orion_dsm.Dist_array.t -> model -> unit
+
+(** The generated loop body. *)
+val body : model -> worker:int -> key:int array -> value:float -> unit
+
+(** Serial reference in lexicographic order. *)
+val run_serial : model -> float Orion_dsm.Dist_array.t -> unit
+
+(** A dense input grid with a deterministic pattern. *)
+val make_grid : rows:int -> cols:int -> float Orion_dsm.Dist_array.t
+
+(** Mean absolute state (benchmark fingerprint). *)
+val fingerprint : model -> float

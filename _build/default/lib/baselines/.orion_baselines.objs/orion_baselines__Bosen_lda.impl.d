@@ -1,0 +1,1 @@
+lib/baselines/bosen_lda.ml: Array Hashtbl Lda List Option Orion_apps Orion_data Orion_dsm Orion_sim Trajectory

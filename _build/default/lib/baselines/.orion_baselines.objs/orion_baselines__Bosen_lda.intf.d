@@ -1,0 +1,1 @@
+lib/baselines/bosen_lda.mli: Orion_data Orion_sim Trajectory

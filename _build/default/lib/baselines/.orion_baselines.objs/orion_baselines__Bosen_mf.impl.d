@@ -1,0 +1,1 @@
+lib/baselines/bosen_mf.ml: Adarev Array Hashtbl List Option Orion_apps Orion_data Orion_dsm Orion_sim Sgd_mf Trajectory

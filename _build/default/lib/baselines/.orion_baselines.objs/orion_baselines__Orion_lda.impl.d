@@ -1,0 +1,1 @@
+lib/baselines/orion_lda.ml: Array Lda Orion Orion_apps Orion_data String Trajectory

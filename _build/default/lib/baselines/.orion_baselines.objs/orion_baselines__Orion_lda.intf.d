@@ -1,0 +1,1 @@
+lib/baselines/orion_lda.mli: Orion Orion_apps Orion_data Trajectory

@@ -1,0 +1,1 @@
+lib/baselines/orion_mf.ml: Orion Orion_apps Orion_data Sgd_mf Trajectory

@@ -1,0 +1,1 @@
+lib/baselines/orion_mf.mli: Orion Orion_data Trajectory

@@ -1,0 +1,1 @@
+lib/baselines/slr_runner.ml: Adarev Array Hashtbl List Orion Orion_apps Orion_data Printf Slr Sparse_features Trajectory Unix

@@ -1,0 +1,1 @@
+lib/baselines/slr_runner.mli: Orion Orion_data Trajectory

@@ -1,0 +1,1 @@
+lib/baselines/strads_lda.ml: Lda Orion_apps Orion_data Orion_runtime Orion_sim Trajectory

@@ -1,0 +1,1 @@
+lib/baselines/strads_lda.mli: Orion_data Trajectory

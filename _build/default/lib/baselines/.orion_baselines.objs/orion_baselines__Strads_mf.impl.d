@@ -1,0 +1,1 @@
+lib/baselines/strads_mf.ml: Array Orion_apps Orion_data Orion_runtime Orion_sim Sgd_mf Trajectory

@@ -1,0 +1,1 @@
+lib/baselines/strads_mf.mli: Orion_data Trajectory

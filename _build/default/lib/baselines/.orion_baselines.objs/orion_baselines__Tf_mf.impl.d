@@ -1,0 +1,1 @@
+lib/baselines/tf_mf.ml: Array Float Orion_apps Orion_data Orion_dsm Orion_runtime Orion_sim Printf Sgd_mf Trajectory

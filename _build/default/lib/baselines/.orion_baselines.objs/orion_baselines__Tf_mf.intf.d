@@ -1,0 +1,1 @@
+lib/baselines/tf_mf.mli: Orion_data Trajectory

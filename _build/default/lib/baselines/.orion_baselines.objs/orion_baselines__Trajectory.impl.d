@@ -1,0 +1,1 @@
+lib/baselines/trajectory.ml: Fmt List

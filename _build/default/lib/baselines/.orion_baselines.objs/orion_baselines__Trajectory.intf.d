@@ -1,0 +1,1 @@
+lib/baselines/trajectory.mli: Format

@@ -1,0 +1,200 @@
+(** LDA on a Bösen-style parameter server — the data-parallel baseline
+    of Figs. 9c and 10c.
+
+    Documents are partitioned among workers (so doc-topic counts are
+    local), but the word-topic matrix and topic totals are shared:
+    each worker samples a full pass against its own stale cached copy
+    and pushes count deltas at the synchronization barrier.  Managed
+    communication sends the largest-magnitude word-topic deltas early
+    under a bandwidth budget. *)
+
+open Orion_apps
+module Cluster = Orion_sim.Cluster
+module Cost_model = Orion_sim.Cost_model
+module Recorder = Orion_sim.Recorder
+
+type config = {
+  num_machines : int;
+  workers_per_machine : int;
+  num_topics : int;
+  comm_rounds : int;  (** CM rounds per pass; 0 = plain data parallelism *)
+  bandwidth_budget_mbps : float;  (** per-machine (paper: 2560 for LDA) *)
+  epochs : int;
+  per_token_cost : float;
+  cost : Cost_model.t;
+}
+
+let default_config =
+  {
+    num_machines = 12;
+    workers_per_machine = 2;
+    num_topics = 50;
+    comm_rounds = 0;
+    bandwidth_budget_mbps = 2560.0;
+    epochs = 20;
+    per_token_cost = 2e-7;
+    cost = Cost_model.default;
+  }
+
+let train ?(config = default_config) ?recorder ~(corpus : Orion_data.Corpus.t) () =
+  let recorder =
+    match recorder with Some r -> r | None -> Recorder.create ()
+  in
+  let cluster =
+    Cluster.create ~recorder ~num_machines:config.num_machines
+      ~workers_per_machine:config.workers_per_machine ~cost:config.cost ()
+  in
+  let p = Cluster.num_workers cluster in
+  let model = Lda.init_model ~num_topics:config.num_topics ~corpus () in
+  let k = config.num_topics in
+  let v = corpus.vocab_size in
+  (* per-worker stale views of word-topic and totals, plus deltas *)
+  let wt_views =
+    Array.init p (fun _ -> Array.map Array.copy model.Lda.word_topic)
+  in
+  let totals_views = Array.init p (fun _ -> Array.copy model.Lda.totals) in
+  let deltas = Array.init p (fun _ -> Hashtbl.create 4096) in
+  (* doc-partitioned shards, balanced by token count *)
+  let counts = Orion_dsm.Partitioner.histogram corpus.tokens ~dim:0 in
+  let boundaries = Orion_dsm.Partitioner.balanced_ranges ~counts ~parts:p in
+  let entries = Orion_dsm.Dist_array.entries corpus.tokens in
+  let shards = Array.make p [] in
+  Array.iter
+    (fun ((key, _) as e) ->
+      let w = Orion_dsm.Partitioner.part_of ~boundaries key.(0) in
+      shards.(w) <- e :: shards.(w))
+    entries;
+  let shards = Array.map (fun l -> Array.of_list (List.rev l)) shards in
+
+  let accumulate w word topic delta =
+    let key = (word * k) + topic in
+    let tbl = deltas.(w) in
+    match Hashtbl.find_opt tbl key with
+    | None -> Hashtbl.replace tbl key delta
+    | Some prev -> Hashtbl.replace tbl key (prev +. delta)
+  in
+  let process w (key, _) =
+    Lda.body_with_views model
+      ~wt:wt_views.(w).(key.(1))
+      ~totals:totals_views.(w)
+      ~on_update:(fun ~word ~topic ~delta -> accumulate w word topic delta)
+      ~key
+  in
+
+  let sorted_pending tbl =
+    Hashtbl.fold (fun i u acc -> (i, u) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let apply_delta (key, delta) =
+    let word = key / k and topic = key mod k in
+    model.Lda.word_topic.(word).(topic) <-
+      model.Lda.word_topic.(word).(topic) +. delta;
+    model.Lda.totals.(topic) <- model.Lda.totals.(topic) +. delta
+  in
+  let refresh_views () =
+    for w = 0 to p - 1 do
+      for word = 0 to v - 1 do
+        Array.blit model.Lda.word_topic.(word) 0 wt_views.(w).(word) 0 k
+      done;
+      Array.blit model.Lda.totals 0 totals_views.(w) 0 k
+    done
+  in
+  let sync () =
+    let max_pending =
+      Array.fold_left (fun acc t -> max acc (Hashtbl.length t)) 0 deltas
+    in
+    let refresh_bytes = float_of_int (v * k) *. 8.0 in
+    Cluster.all_reduce cluster
+      ~bytes_per_worker:
+        ((float_of_int max_pending *. 12.0) +. refresh_bytes);
+    Array.iter
+      (fun tbl ->
+        List.iter apply_delta (sorted_pending tbl);
+        Hashtbl.reset tbl)
+      deltas;
+    refresh_views ()
+  in
+  let cm_round ~round_seconds =
+    let budget_bytes_per_worker =
+      config.bandwidth_budget_mbps /. 8.0 *. 1e6 *. round_seconds
+      /. float_of_int config.workers_per_machine
+    in
+    let per_entry = 20.0 in
+    let kk = int_of_float (budget_bytes_per_worker /. per_entry) in
+    if kk > 0 then begin
+      let touched = Hashtbl.create 1024 in
+      Array.iteri
+        (fun w tbl ->
+          let chosen =
+            Hashtbl.fold (fun i u acc -> (i, u) :: acc) tbl []
+            |> List.sort (fun (_, a) (_, b) ->
+                   compare (abs_float b) (abs_float a))
+            |> List.filteri (fun idx _ -> idx < kk)
+            |> List.sort (fun (a, _) (b, _) -> compare a b)
+          in
+          List.iter
+            (fun ((key, _) as kv) ->
+              apply_delta kv;
+              Hashtbl.remove tbl key;
+              Hashtbl.replace touched key ())
+            chosen;
+          let bytes = float_of_int (List.length chosen) *. per_entry in
+          cluster.Cluster.bytes_sent <- cluster.Cluster.bytes_sent +. bytes;
+          Cluster.compute_raw cluster ~worker:w
+            (Cost_model.marshal_time config.cost bytes);
+          Recorder.record recorder
+            ~start_sec:(Cluster.clock cluster w)
+            ~duration_sec:(Cost_model.transfer_time config.cost bytes)
+            ~bytes)
+        deltas;
+      (* fresh values for the touched cells flow back to all caches *)
+      Hashtbl.iter
+        (fun key () ->
+          let word = key / k and topic = key mod k in
+          for w = 0 to p - 1 do
+            let pending =
+              Option.value (Hashtbl.find_opt deltas.(w) key) ~default:0.0
+            in
+            wt_views.(w).(word).(topic) <-
+              model.Lda.word_topic.(word).(topic) +. pending
+          done)
+        touched
+    end
+  in
+
+  let name = if config.comm_rounds > 0 then "Bosen CM" else "Bosen DP" in
+  let traj = ref (Trajectory.create ~system:name ~workload:"LDA") in
+  traj :=
+    Trajectory.add !traj ~time:0.0 ~iteration:0
+      ~metric:(Lda.log_likelihood model);
+  for e = 1 to config.epochs do
+    let chunks = max 1 config.comm_rounds + 1 in
+    for chunk = 0 to chunks - 1 do
+      for w = 0 to p - 1 do
+        let shard = shards.(w) in
+        let sz = Array.length shard in
+        let lo = chunk * sz / chunks and hi = (chunk + 1) * sz / chunks in
+        let tokens = ref 0 in
+        for idx = lo to hi - 1 do
+          let _, count = shard.(idx) in
+          tokens := !tokens + int_of_float count;
+          process w shard.(idx)
+        done;
+        Cluster.compute cluster ~worker:w
+          (float_of_int !tokens *. config.per_token_cost)
+      done;
+      if config.comm_rounds > 0 && chunk < chunks - 1 then
+        cm_round
+          ~round_seconds:
+            (float_of_int corpus.num_tokens
+            /. float_of_int (p * chunks)
+            *. config.per_token_cost)
+    done;
+    sync ();
+    traj :=
+      Trajectory.add !traj
+        ~time:(Cluster.now cluster)
+        ~iteration:e
+        ~metric:(Lda.log_likelihood model)
+  done;
+  (!traj, recorder)

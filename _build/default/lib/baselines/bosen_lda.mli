@@ -1,0 +1,23 @@
+(** LDA on a Bösen-style parameter server (Figs. 9c, 10c): documents
+    partitioned among workers (doc-topic counts local), stale per-worker
+    word-topic caches, sync per pass, optional managed communication. *)
+
+type config = {
+  num_machines : int;
+  workers_per_machine : int;
+  num_topics : int;
+  comm_rounds : int;
+  bandwidth_budget_mbps : float;
+  epochs : int;
+  per_token_cost : float;
+  cost : Orion_sim.Cost_model.t;
+}
+
+val default_config : config
+
+val train :
+  ?config:config ->
+  ?recorder:Orion_sim.Recorder.t ->
+  corpus:Orion_data.Corpus.t ->
+  unit ->
+  Trajectory.t * Orion_sim.Recorder.t

@@ -1,0 +1,299 @@
+(** SGD matrix factorization on a Bösen-style parameter server — the
+    manual data-parallel baseline of Figs. 9b and 10 (Wei et al.,
+    SoCC'15).
+
+    Ratings are randomly partitioned among workers (data parallelism);
+    each worker runs SGD sequentially against its own cached copy of W
+    and H (a worker always observes its own updates), and workers
+    synchronize once per data pass.  Two refinements reproduce the
+    paper's comparison points:
+
+    - {b managed communication (CM)}: between syncs, each worker sends
+      its largest-magnitude pending updates under a per-worker
+      bandwidth budget, and fresh values propagate back;
+    - {b AdaRevision}: workers accumulate raw gradients and the server
+      applies them with the delay-compensating adaptive rule
+      ({!Orion_apps.Adarev}). *)
+
+open Orion_apps
+module Cluster = Orion_sim.Cluster
+module Cost_model = Orion_sim.Cost_model
+module Recorder = Orion_sim.Recorder
+
+type config = {
+  num_machines : int;
+  workers_per_machine : int;
+  rank : int;
+  step_size : float;
+  alpha : float;
+  adarev : bool;
+  comm_rounds : int;  (** CM rounds per data pass; 0 disables CM *)
+  bandwidth_budget_mbps : float;  (** per-machine CM budget (paper: 1600) *)
+  epochs : int;
+  per_entry_cost : float;
+  cost : Cost_model.t;
+}
+
+let default_config =
+  {
+    num_machines = 12;
+    workers_per_machine = 32;
+    rank = 32;
+    step_size = 0.005;
+    alpha = 0.08;
+    adarev = false;
+    comm_rounds = 0;
+    bandwidth_budget_mbps = 1600.0;
+    epochs = 20;
+    per_entry_cost = 1e-6;
+    cost = Cost_model.default;
+  }
+
+(* per-worker state *)
+type worker_state = {
+  cache : Sgd_mf.model;  (** local view of W and H *)
+  dw : (int, float) Hashtbl.t;  (** pending W updates/gradients *)
+  dh : (int, float) Hashtbl.t;
+  mutable gw_snap : float array;  (** AdaRev g_bck snapshot at refresh *)
+  mutable gh_snap : float array;
+}
+
+let train ?(config = default_config) ~(data : Orion_data.Ratings.t) () =
+  let recorder = Recorder.create () in
+  let cluster =
+    Cluster.create ~recorder ~num_machines:config.num_machines
+      ~workers_per_machine:config.workers_per_machine ~cost:config.cost ()
+  in
+  let p = Cluster.num_workers cluster in
+  let master =
+    Sgd_mf.init_model ~rank:config.rank ~num_users:data.num_users
+      ~num_items:data.num_items ()
+  in
+  let opt_w =
+    Adarev.create ~size:(Array.length master.w) ~alpha:config.alpha
+  in
+  let opt_h =
+    Adarev.create ~size:(Array.length master.h) ~alpha:config.alpha
+  in
+  let states =
+    Array.init p (fun _ ->
+        {
+          cache = Sgd_mf.copy_model master;
+          dw = Hashtbl.create 1024;
+          dh = Hashtbl.create 1024;
+          gw_snap = Array.copy opt_w.Adarev.g_bck;
+          gh_snap = Array.copy opt_h.Adarev.g_bck;
+        })
+  in
+  let rng = Orion_data.Rng.create 2024 in
+  let entries = Orion_dsm.Dist_array.entries data.ratings in
+  let n = Array.length entries in
+  let nu = master.num_users and ni = master.num_items in
+
+  let accumulate tbl i g =
+    match Hashtbl.find_opt tbl i with
+    | None -> Hashtbl.replace tbl i g
+    | Some prev -> Hashtbl.replace tbl i (prev +. g)
+  in
+
+  (* one SGD step against worker w's cache *)
+  let process w (key, value) =
+    let st = states.(w) in
+    let m = st.cache in
+    let i = key.(0) and j = key.(1) in
+    let pred = ref 0.0 in
+    for k = 0 to m.Sgd_mf.rank - 1 do
+      pred := !pred +. (m.Sgd_mf.w.((k * nu) + i) *. m.Sgd_mf.h.((k * ni) + j))
+    done;
+    let diff = value -. !pred in
+    for k = 0 to m.Sgd_mf.rank - 1 do
+      let wi = (k * nu) + i and hj = (k * ni) + j in
+      let gw = -2.0 *. diff *. m.Sgd_mf.h.(hj) in
+      let gh = -2.0 *. diff *. m.Sgd_mf.w.(wi) in
+      if config.adarev then begin
+        (* local step uses the step-size statistic snapshot (including
+           the current gradient, so the very first steps are bounded by
+           alpha); the raw gradient is what travels to the server *)
+        let eta_w =
+          config.alpha /. sqrt (opt_w.Adarev.z_max.(wi) +. (gw *. gw))
+        in
+        let eta_h =
+          config.alpha /. sqrt (opt_h.Adarev.z_max.(hj) +. (gh *. gh))
+        in
+        m.Sgd_mf.w.(wi) <- m.Sgd_mf.w.(wi) -. (eta_w *. gw);
+        m.Sgd_mf.h.(hj) <- m.Sgd_mf.h.(hj) -. (eta_h *. gh);
+        accumulate st.dw wi gw;
+        accumulate st.dh hj gh
+      end
+      else begin
+        let du = -.config.step_size *. gw and dv = -.config.step_size *. gh in
+        m.Sgd_mf.w.(wi) <- m.Sgd_mf.w.(wi) +. du;
+        m.Sgd_mf.h.(hj) <- m.Sgd_mf.h.(hj) +. dv;
+        accumulate st.dw wi du;
+        accumulate st.dh hj dv
+      end
+    done
+  in
+
+  (* apply one worker's pending updates for one table to the master *)
+  let apply_to_master ~adarev ~params ~opt ~snap tbl chosen =
+    List.iter
+      (fun (i, u) ->
+        if adarev then
+          ignore (Adarev.apply opt ~params ~i ~g:u ~g_old:snap.(i))
+        else params.(i) <- params.(i) +. u;
+        Hashtbl.remove tbl i)
+      chosen
+  in
+
+  let sorted_pending tbl =
+    Hashtbl.fold (fun i u acc -> (i, u) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+
+  let refresh_coord st ~table i =
+    match table with
+    | `W ->
+        let pending = Option.value (Hashtbl.find_opt st.dw i) ~default:0.0 in
+        let local =
+          if config.adarev then
+            -.(config.alpha /. sqrt (opt_w.Adarev.z_max.(i) +. (pending *. pending)))
+            *. pending
+          else pending
+        in
+        st.cache.Sgd_mf.w.(i) <- master.w.(i) +. local;
+        st.gw_snap.(i) <- opt_w.Adarev.g_bck.(i)
+    | `H ->
+        let pending = Option.value (Hashtbl.find_opt st.dh i) ~default:0.0 in
+        let local =
+          if config.adarev then
+            -.(config.alpha /. sqrt (opt_h.Adarev.z_max.(i) +. (pending *. pending)))
+            *. pending
+          else pending
+        in
+        st.cache.Sgd_mf.h.(i) <- master.h.(i) +. local;
+        st.gh_snap.(i) <- opt_h.Adarev.g_bck.(i)
+  in
+
+  (* full synchronization barrier at the end of a pass *)
+  let sync () =
+    let max_pending =
+      Array.fold_left
+        (fun acc st ->
+          max acc (Hashtbl.length st.dw + Hashtbl.length st.dh))
+        0 states
+    in
+    let model_bytes =
+      float_of_int (Array.length master.w + Array.length master.h) *. 8.0
+    in
+    Cluster.all_reduce cluster
+      ~bytes_per_worker:(float_of_int max_pending *. 12.0 +. model_bytes);
+    Array.iter
+      (fun st ->
+        apply_to_master ~adarev:config.adarev ~params:master.w ~opt:opt_w
+          ~snap:st.gw_snap st.dw (sorted_pending st.dw);
+        apply_to_master ~adarev:config.adarev ~params:master.h ~opt:opt_h
+          ~snap:st.gh_snap st.dh (sorted_pending st.dh))
+      states;
+    Array.iter
+      (fun st ->
+        Array.blit master.w 0 st.cache.Sgd_mf.w 0 (Array.length master.w);
+        Array.blit master.h 0 st.cache.Sgd_mf.h 0 (Array.length master.h);
+        st.gw_snap <- Array.copy opt_w.Adarev.g_bck;
+        st.gh_snap <- Array.copy opt_h.Adarev.g_bck)
+      states
+  in
+
+  (* one managed-communication round: top-k updates under the budget *)
+  let cm_round ~round_seconds =
+    let budget_bytes_per_machine =
+      config.bandwidth_budget_mbps /. 8.0 *. 1e6 *. round_seconds
+    in
+    let budget_bytes_per_worker =
+      budget_bytes_per_machine /. float_of_int config.workers_per_machine
+    in
+    let per_entry = 20.0 (* key + value up, value down *) in
+    let k = int_of_float (budget_bytes_per_worker /. per_entry) in
+    if k > 0 then begin
+      let touched_w = Hashtbl.create 256 and touched_h = Hashtbl.create 256 in
+      Array.iteri
+        (fun w st ->
+          let top tbl =
+            Hashtbl.fold (fun i u acc -> (i, u) :: acc) tbl []
+            |> List.sort (fun (_, a) (_, b) ->
+                   compare (abs_float b) (abs_float a))
+            |> List.filteri (fun idx _ -> idx < k)
+            |> List.sort (fun (a, _) (b, _) -> compare a b)
+          in
+          let cw = top st.dw and ch = top st.dh in
+          apply_to_master ~adarev:config.adarev ~params:master.w ~opt:opt_w
+            ~snap:st.gw_snap st.dw cw;
+          apply_to_master ~adarev:config.adarev ~params:master.h ~opt:opt_h
+            ~snap:st.gh_snap st.dh ch;
+          List.iter (fun (i, _) -> Hashtbl.replace touched_w i ()) cw;
+          List.iter (fun (i, _) -> Hashtbl.replace touched_h i ()) ch;
+          let bytes =
+            float_of_int (List.length cw + List.length ch) *. per_entry
+          in
+          cluster.Cluster.bytes_sent <- cluster.Cluster.bytes_sent +. bytes;
+          Cluster.compute_raw cluster ~worker:w
+            (Cost_model.marshal_time config.cost bytes);
+          Recorder.record recorder
+            ~start_sec:(Cluster.clock cluster w)
+            ~duration_sec:(Cost_model.transfer_time config.cost bytes)
+            ~bytes)
+        states;
+      (* fresh values flow to every cache *)
+      Array.iter
+        (fun st ->
+          Hashtbl.iter (fun i () -> refresh_coord st ~table:`W i) touched_w;
+          Hashtbl.iter (fun i () -> refresh_coord st ~table:`H i) touched_h)
+        states
+    end
+  in
+
+  let name =
+    match (config.adarev, config.comm_rounds > 0) with
+    | false, false -> "Bosen DP"
+    | false, true -> "Bosen CM"
+    | true, false -> "Bosen DP (AdaRev)"
+    | true, true -> "Bosen CM (AdaRev)"
+  in
+  let traj = ref (Trajectory.create ~system:name ~workload:"SGD MF") in
+  traj :=
+    Trajectory.add !traj ~time:0.0 ~iteration:0
+      ~metric:(Sgd_mf.loss master data.ratings);
+  for epoch = 1 to config.epochs do
+    (* random (re)partitioning of the samples: data parallelism *)
+    let perm = Orion_data.Rng.permutation rng n in
+    let chunks = max 1 config.comm_rounds + 1 in
+    let shard_size = (n + p - 1) / p in
+    for chunk = 0 to chunks - 1 do
+      let chunk_entries = ref 0 in
+      for w = 0 to p - 1 do
+        let lo = (w * shard_size) + (chunk * shard_size / chunks) in
+        let hi = min ((w * shard_size) + ((chunk + 1) * shard_size / chunks)) n in
+        let hi = min hi ((w + 1) * shard_size) in
+        for idx = lo to hi - 1 do
+          if idx < n then begin
+            process w entries.(perm.(idx));
+            incr chunk_entries
+          end
+        done;
+        Cluster.compute cluster ~worker:w
+          (float_of_int (max 0 (hi - lo)) *. config.per_entry_cost)
+      done;
+      if config.comm_rounds > 0 && chunk < chunks - 1 then
+        cm_round
+          ~round_seconds:
+            (float_of_int shard_size /. float_of_int chunks
+            *. config.per_entry_cost)
+    done;
+    sync ();
+    traj :=
+      Trajectory.add !traj
+        ~time:(Cluster.now cluster)
+        ~iteration:epoch
+        ~metric:(Sgd_mf.loss master data.ratings)
+  done;
+  (!traj, recorder)

@@ -1,0 +1,27 @@
+(** SGD MF on a Bösen-style parameter server — the manual data-parallel
+    baseline of Figs. 9b and 10: random sample partitioning, per-worker
+    stale caches, sync once per pass; optional managed communication
+    and server-side AdaRevision. *)
+
+type config = {
+  num_machines : int;
+  workers_per_machine : int;
+  rank : int;
+  step_size : float;
+  alpha : float;
+  adarev : bool;
+  comm_rounds : int;  (** CM rounds per pass; 0 disables CM *)
+  bandwidth_budget_mbps : float;  (** per-machine CM budget *)
+  epochs : int;
+  per_entry_cost : float;
+  cost : Orion_sim.Cost_model.t;
+}
+
+val default_config : config
+
+(** Returns the trajectory and the bandwidth recorder (Fig. 12). *)
+val train :
+  ?config:config ->
+  data:Orion_data.Ratings.t ->
+  unit ->
+  Trajectory.t * Orion_sim.Recorder.t

@@ -1,0 +1,145 @@
+(** LDA under Orion's automatic parallelization.
+
+    The sampling loop is analyzed to a 2D-unordered plan: doc-topic
+    counts are locality-partitioned with the space (document)
+    dimension, word-topic counts rotate with the time (word)
+    dimension, and the topic-totals vector — whose dependence the
+    paper's LDA deliberately violates — goes through a DistArray
+    Buffer: each worker samples against a slightly-stale local totals
+    view, and the buffered deltas merge at the end of the pass. *)
+
+open Orion_apps
+
+type config = {
+  num_machines : int;
+  workers_per_machine : int;
+  num_topics : int;
+  ordered : bool;
+  epochs : int;
+  per_token_cost : float;
+  pipeline_depth : int;
+  cost : Orion.Cost_model.t;
+}
+
+let default_config =
+  {
+    num_machines = 12;
+    workers_per_machine = 2;
+    num_topics = 50;
+    ordered = false;
+    epochs = 20;
+    per_token_cost = 2e-7;
+    pipeline_depth = 2;
+    cost = Orion.Cost_model.julia_orion_lda;
+  }
+
+type result = {
+  trajectory : Trajectory.t;
+  session : Orion.session;
+  plan : Orion.Plan.t;
+  model : Lda.model;
+}
+
+let script_src ~ordered =
+  if not ordered then Lda.script
+  else
+    let sub = "@parallel_for" and by = "@parallel_for ordered" in
+    let s = Lda.script in
+    let n = String.length s and m = String.length sub in
+    let rec find i =
+      if i + m > n then None
+      else if String.sub s i m = sub then Some i
+      else find (i + 1)
+    in
+    (match find 0 with
+    | None -> s
+    | Some i -> String.sub s 0 i ^ by ^ String.sub s (i + m) (n - i - m))
+
+let train ?(config = default_config) ?recorder ~(corpus : Orion_data.Corpus.t) () =
+  let session =
+    Orion.create_session ~cost:config.cost ?recorder
+      ~num_machines:config.num_machines
+      ~workers_per_machine:config.workers_per_machine ()
+  in
+  let workers = Orion.Cluster.num_workers session.Orion.cluster in
+  let model = Lda.init_model ~num_topics:config.num_topics ~corpus () in
+  Lda.register_arrays session ~tokens:corpus.tokens model;
+  let plan =
+    match Orion.analyze_script session (script_src ~ordered:config.ordered) with
+    | p :: _ -> p
+    | [] -> failwith "no parallel loop in LDA script"
+  in
+  let compiled =
+    Orion.compile session ~plan ~iter:corpus.tokens
+      ~pipeline_depth:config.pipeline_depth ()
+  in
+  (* per-worker topic-total views + the DistArray Buffer for deltas *)
+  let totals_views =
+    Array.init workers (fun _ -> Array.copy model.Lda.totals)
+  in
+  let totals_buffer =
+    Orion.Dist_buffer.create ~name:"totals_buf" ~num_workers:workers
+      ~combine:( +. )
+  in
+  let body ~worker ~key ~value:_ =
+    Lda.body_with_views model
+      ~wt:model.Lda.word_topic.(key.(1))
+      ~totals:totals_views.(worker)
+      ~on_update:(fun ~word:_ ~topic ~delta ->
+        Orion.Dist_buffer.update totals_buffer ~worker ~key:topic delta)
+      ~key
+  in
+  let merge_totals () =
+    for w = 0 to workers - 1 do
+      ignore
+        (Orion.Dist_buffer.flush_apply totals_buffer ~worker:w
+           ~udf:(fun topic delta ->
+             model.Lda.totals.(topic) <- model.Lda.totals.(topic) +. delta))
+    done;
+    Array.iter
+      (fun view -> Array.blit model.Lda.totals 0 view 0 config.num_topics)
+      totals_views
+  in
+  let name = if config.ordered then "Orion (ordered)" else "Orion" in
+  let traj = ref (Trajectory.create ~system:name ~workload:"LDA") in
+  traj :=
+    Trajectory.add !traj ~time:0.0 ~iteration:0
+      ~metric:(Lda.log_likelihood model);
+  for e = 1 to config.epochs do
+    ignore
+      (Orion.execute session compiled
+         ~compute:(Orion.Executor.Per_entry config.per_token_cost)
+         ~body ());
+    merge_totals ();
+    traj :=
+      Trajectory.add !traj
+        ~time:(Orion.Cluster.now session.cluster)
+        ~iteration:e
+        ~metric:(Lda.log_likelihood model)
+  done;
+  { trajectory = !traj; session; plan; model }
+
+(** Serial baseline on one simulated core. *)
+let train_serial ?(config = default_config) ~(corpus : Orion_data.Corpus.t)
+    () =
+  let cluster =
+    Orion.Cluster.create ~num_machines:1 ~workers_per_machine:1
+      ~cost:config.cost ()
+  in
+  let model = Lda.init_model ~num_topics:config.num_topics ~corpus () in
+  let traj = ref (Trajectory.create ~system:"Serial" ~workload:"LDA") in
+  traj :=
+    Trajectory.add !traj ~time:0.0 ~iteration:0
+      ~metric:(Lda.log_likelihood model);
+  for e = 1 to config.epochs do
+    ignore
+      (Orion.Executor.run_serial cluster
+         ~compute:(Orion.Executor.Per_entry config.per_token_cost)
+         ~shuffle_seed:17 corpus.tokens (Lda.body model));
+    traj :=
+      Trajectory.add !traj
+        ~time:(Orion.Cluster.now cluster)
+        ~iteration:e
+        ~metric:(Lda.log_likelihood model)
+  done;
+  !traj

@@ -1,0 +1,36 @@
+(** LDA under Orion's automatic parallelization: 2D-unordered plan,
+    doc-topic counts locality-partitioned, word-topic counts rotated,
+    topic totals through a DistArray Buffer (per-worker stale views
+    merged each pass — the relaxed non-critical dependence). *)
+
+type config = {
+  num_machines : int;
+  workers_per_machine : int;
+  num_topics : int;
+  ordered : bool;
+  epochs : int;
+  per_token_cost : float;
+  pipeline_depth : int;
+  cost : Orion.Cost_model.t;
+}
+
+val default_config : config
+
+type result = {
+  trajectory : Trajectory.t;
+  session : Orion.session;
+  plan : Orion.Plan.t;
+  model : Orion_apps.Lda.model;
+}
+
+val script_src : ordered:bool -> string
+
+val train :
+  ?config:config ->
+  ?recorder:Orion.Recorder.t ->
+  corpus:Orion_data.Corpus.t ->
+  unit ->
+  result
+
+val train_serial :
+  ?config:config -> corpus:Orion_data.Corpus.t -> unit -> Trajectory.t

@@ -1,0 +1,139 @@
+(** SGD matrix factorization under Orion's automatic parallelization:
+    the script is analyzed, the loop compiled to a (2D unordered, or
+    ordered for Table 3) schedule, and executed with the native body.
+
+    Because the schedule preserves all data dependences, the numerics
+    equal a serial execution over a permutation of the ratings — this
+    is the "Dep-Aware Parallelism" line of Figs. 9–11. *)
+
+open Orion_apps
+
+type config = {
+  num_machines : int;
+  workers_per_machine : int;
+  rank : int;
+  step_size : float;  (** plain-SGD step size *)
+  alpha : float;  (** AdaRev base rate *)
+  adarev : bool;
+  ordered : bool;
+  epochs : int;
+  per_entry_cost : float;  (** modeled seconds per rating per core *)
+  pipeline_depth : int;
+  cost : Orion.Cost_model.t;
+}
+
+let default_config =
+  {
+    num_machines = 12;
+    workers_per_machine = 32;
+    rank = 32;
+    step_size = 0.005;
+    alpha = 0.08;
+    adarev = false;
+    ordered = false;
+    epochs = 20;
+    per_entry_cost = 1e-6;
+    pipeline_depth = 2;
+    cost = Orion.Cost_model.julia_orion;
+  }
+
+type result = {
+  trajectory : Trajectory.t;
+  session : Orion.session;
+  plan : Orion.Plan.t;
+}
+
+let train ?(config = default_config) ~(data : Orion_data.Ratings.t) () =
+  let session =
+    Orion.create_session ~cost:config.cost ~num_machines:config.num_machines
+      ~workers_per_machine:config.workers_per_machine ()
+  in
+  let model =
+    Sgd_mf.init_model ~rank:config.rank ~num_users:data.num_users
+      ~num_items:data.num_items ()
+  in
+  let adarev_model =
+    if config.adarev then
+      Some
+        (Sgd_mf.init_adarev ~rank:config.rank ~num_users:data.num_users
+           ~num_items:data.num_items ~alpha:config.alpha ())
+    else None
+  in
+  let model =
+    match adarev_model with Some am -> am.Sgd_mf.base | None -> model
+  in
+  Sgd_mf.register_arrays session ~ratings:data.ratings model;
+  let plan =
+    match
+      Orion.analyze_script session (Sgd_mf.script_src ~ordered:config.ordered)
+    with
+    | p :: _ -> p
+    | [] -> failwith "no parallel loop in MF script"
+  in
+  let compiled =
+    Orion.compile session ~plan ~iter:data.ratings
+      ~pipeline_depth:config.pipeline_depth ()
+  in
+  let body =
+    match adarev_model with
+    | Some am -> Sgd_mf.body_adarev am
+    | None -> Sgd_mf.body model ~step_size:config.step_size
+  in
+  (* adaptive revision roughly doubles the per-sample arithmetic *)
+  let per_entry_cost =
+    if config.adarev then config.per_entry_cost *. 2.5
+    else config.per_entry_cost
+  in
+  let name =
+    if config.adarev then "Orion (AdaRev)"
+    else if config.ordered then "Orion (ordered)"
+    else "Orion"
+  in
+  let traj = ref (Trajectory.create ~system:name ~workload:"SGD MF") in
+  traj :=
+    Trajectory.add !traj ~time:0.0 ~iteration:0
+      ~metric:(Sgd_mf.loss model data.ratings);
+  for e = 1 to config.epochs do
+    (* local data is shuffled before every pass, as SGD trainers do *)
+    Orion.Schedule.reshuffle compiled.Orion.schedule ~seed:(1000 * e);
+    ignore
+      (Orion.execute session compiled
+         ~compute:(Orion.Executor.Per_entry per_entry_cost)
+         ~body ());
+    traj :=
+      Trajectory.add !traj
+        ~time:(Orion.Cluster.now session.cluster)
+        ~iteration:e
+        ~metric:(Sgd_mf.loss model data.ratings)
+  done;
+  { trajectory = !traj; session; plan }
+
+(** A purely-serial run on one simulated core (the "serial Julia"
+    baseline of Figs. 9a/9b). *)
+let train_serial ?(config = default_config) ~(data : Orion_data.Ratings.t) ()
+    =
+  let session =
+    Orion.create_session ~cost:config.cost ~num_machines:1
+      ~workers_per_machine:1 ()
+  in
+  let model =
+    Sgd_mf.init_model ~rank:config.rank ~num_users:data.num_users
+      ~num_items:data.num_items ()
+  in
+  let traj = ref (Trajectory.create ~system:"Serial" ~workload:"SGD MF") in
+  traj :=
+    Trajectory.add !traj ~time:0.0 ~iteration:0
+      ~metric:(Sgd_mf.loss model data.ratings);
+  for e = 1 to config.epochs do
+    ignore
+      (Orion.Executor.run_serial session.Orion.cluster
+         ~compute:(Orion.Executor.Per_entry config.per_entry_cost)
+         ~shuffle_seed:17 data.ratings
+         (Sgd_mf.body model ~step_size:config.step_size));
+    traj :=
+      Trajectory.add !traj
+        ~time:(Orion.Cluster.now session.cluster)
+        ~iteration:e
+        ~metric:(Sgd_mf.loss model data.ratings)
+  done;
+  !traj

@@ -1,0 +1,33 @@
+(** SGD MF under Orion's automatic parallelization (the "Dep-Aware
+    Parallelism" series of Figs. 9–11): script analyzed, loop compiled
+    to a 2D (un)ordered schedule, native body executed with exact
+    numerics. *)
+
+type config = {
+  num_machines : int;
+  workers_per_machine : int;
+  rank : int;
+  step_size : float;
+  alpha : float;  (** AdaRev base rate *)
+  adarev : bool;
+  ordered : bool;  (** Table 3's ordered 2D variant *)
+  epochs : int;
+  per_entry_cost : float;  (** modeled seconds per rating per core *)
+  pipeline_depth : int;
+  cost : Orion.Cost_model.t;
+}
+
+val default_config : config
+
+type result = {
+  trajectory : Trajectory.t;
+  session : Orion.session;
+  plan : Orion.Plan.t;
+}
+
+val train : ?config:config -> data:Orion_data.Ratings.t -> unit -> result
+
+(** One simulated core, shuffled sample order (the "serial Julia"
+    baseline of Figs. 9a/9b). *)
+val train_serial :
+  ?config:config -> data:Orion_data.Ratings.t -> unit -> Trajectory.t

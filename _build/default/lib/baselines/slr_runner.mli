@@ -1,0 +1,35 @@
+(** Sparse logistic regression runner — the bulk-prefetching experiment
+    of §6.3 and the "SLR (AdaRev)" rows of Table 2.  The weight vector
+    is server-hosted; three access modes are compared. *)
+
+type access_mode =
+  | No_prefetch  (** a network round trip per weight read *)
+  | Prefetch  (** the synthesized slice gathers indices, bulk fetch *)
+  | Prefetch_cached  (** gathered indices cached across passes *)
+
+val mode_name : access_mode -> string
+
+type config = {
+  num_machines : int;
+  workers_per_machine : int;
+  step_size : float;
+  adarev : bool;
+  alpha : float;
+  epochs : int;
+  per_sample_cost : float;
+  mode : access_mode;
+  cost : Orion.Cost_model.t;
+}
+
+val default_config : config
+
+type result = {
+  trajectory : Trajectory.t;
+  plan : Orion.Plan.t;
+  seconds_per_pass : float array;
+  prefetch_program : Orion.Ast.block;
+      (** really synthesized from the loop body and interpreted *)
+}
+
+val train :
+  ?config:config -> data:Orion_data.Sparse_features.t -> unit -> result

@@ -1,0 +1,15 @@
+(** LDA under STRADS-style manual model parallelism (Fig. 11b/11c):
+    the same stratified schedule with the C++ cost model (pointer-swap
+    intra-machine communication, no marshalling). *)
+
+type config = {
+  num_machines : int;
+  workers_per_machine : int;
+  num_topics : int;
+  epochs : int;
+  per_token_cost : float;
+}
+
+val default_config : config
+
+val train : ?config:config -> corpus:Orion_data.Corpus.t -> unit -> Trajectory.t

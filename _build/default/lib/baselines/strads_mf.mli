@@ -1,0 +1,17 @@
+(** SGD MF under STRADS-style manual model parallelism (Fig. 11a): the
+    hand-coded stratified schedule with the C++ cost model. *)
+
+type config = {
+  num_machines : int;
+  workers_per_machine : int;
+  rank : int;
+  alpha : float;
+  adarev : bool;
+  step_size : float;
+  epochs : int;
+  per_entry_cost : float;
+}
+
+val default_config : config
+
+val train : ?config:config -> data:Orion_data.Ratings.t -> unit -> Trajectory.t

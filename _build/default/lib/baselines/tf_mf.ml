@@ -1,0 +1,130 @@
+(** SGD MF as a TensorFlow-style minibatch dataflow program — the
+    comparison of Fig. 13.
+
+    The TF program builds a DAG that processes one minibatch of matrix
+    entries with dense operators and updates W and H only after the
+    whole minibatch (parameters are frozen within it).  Consequences
+    reproduced here:
+
+    - {b convergence}: minibatch gradient descent with a huge batch
+      (the paper uses 25M of Netflix's 100M entries) converges far
+      slower per pass than per-sample SGD;
+    - {b throughput}: dense operators do redundant work on sparse data
+      (modeled by [dense_redundancy]), and small batches under-utilize
+      the cores ([min_batch_for_full_util]), making *smaller*
+      minibatches slower per pass (paper Fig. 13b). *)
+
+open Orion_apps
+module Cluster = Orion_sim.Cluster
+module Cost_model = Orion_sim.Cost_model
+
+type config = {
+  cores : int;  (** single machine, CPU only (paper §6.4) *)
+  rank : int;
+  step_size : float;
+  minibatch : int;
+  epochs : int;
+  per_entry_cost : float;
+  dense_redundancy : float;  (** extra compute from dense ops on sparse data *)
+  min_batch_for_full_util : int;
+      (** batches smaller than this leave cores idle *)
+}
+
+let default_config =
+  {
+    cores = 32;
+    rank = 32;
+    step_size = 10.0;
+    minibatch = 10_000;
+    epochs = 20;
+    per_entry_cost = 1e-6;
+    dense_redundancy = 2.2;
+    min_batch_for_full_util = 20_000;
+  }
+
+(** Seconds of wall-clock for one minibatch on the multi-core machine. *)
+let minibatch_seconds config batch_n =
+  let work =
+    float_of_int batch_n *. config.per_entry_cost *. config.dense_redundancy
+  in
+  let utilization =
+    Float.min 1.0
+      (float_of_int batch_n /. float_of_int config.min_batch_for_full_util)
+  in
+  let effective_cores = Float.max 1.0 (float_of_int config.cores *. utilization) in
+  (work /. effective_cores) +. 2e-3 (* per-step DAG dispatch overhead *)
+
+let train ?(config = default_config) ~(data : Orion_data.Ratings.t) () =
+  let cluster =
+    Cluster.create ~num_machines:1 ~workers_per_machine:1
+      ~cost:Cost_model.default ()
+  in
+  let model =
+    Sgd_mf.init_model ~rank:config.rank ~num_users:data.num_users
+      ~num_items:data.num_items ()
+  in
+  let nu = model.num_users and ni = model.num_items in
+  let entries = Orion_dsm.Dist_array.entries data.ratings in
+  Orion_runtime.Schedule.shuffle_in_place ~seed:17 entries;
+  let n = Array.length entries in
+  let gw = Array.make (Array.length model.Sgd_mf.w) 0.0 in
+  let gh = Array.make (Array.length model.Sgd_mf.h) 0.0 in
+  let traj =
+    ref
+      (Trajectory.create
+         ~system:(Printf.sprintf "TensorFlow (batch %d)" config.minibatch)
+         ~workload:"SGD MF")
+  in
+  traj :=
+    Trajectory.add !traj ~time:0.0 ~iteration:0
+      ~metric:(Sgd_mf.loss model data.ratings);
+  for e = 1 to config.epochs do
+    let off = ref 0 in
+    while !off < n do
+      let batch_n = min config.minibatch (n - !off) in
+      Array.fill gw 0 (Array.length gw) 0.0;
+      Array.fill gh 0 (Array.length gh) 0.0;
+      (* gradients w.r.t. parameters frozen for the whole minibatch *)
+      for idx = !off to !off + batch_n - 1 do
+        let key, v = entries.(idx) in
+        let i = key.(0) and j = key.(1) in
+        let pred = ref 0.0 in
+        for k = 0 to model.rank - 1 do
+          pred :=
+            !pred +. (model.Sgd_mf.w.((k * nu) + i) *. model.Sgd_mf.h.((k * ni) + j))
+        done;
+        let diff = v -. !pred in
+        for k = 0 to model.rank - 1 do
+          let wi = (k * nu) + i and hj = (k * ni) + j in
+          gw.(wi) <- gw.(wi) -. (2.0 *. diff *. model.Sgd_mf.h.(hj));
+          gh.(hj) <- gh.(hj) -. (2.0 *. diff *. model.Sgd_mf.w.(wi))
+        done
+      done;
+      (* single parameter update per minibatch (mean gradient, so the
+         step size is comparable across batch sizes) *)
+      let scale = config.step_size /. float_of_int batch_n in
+      for i = 0 to Array.length gw - 1 do
+        model.Sgd_mf.w.(i) <- model.Sgd_mf.w.(i) -. (scale *. gw.(i))
+      done;
+      for i = 0 to Array.length gh - 1 do
+        model.Sgd_mf.h.(i) <- model.Sgd_mf.h.(i) -. (scale *. gh.(i))
+      done;
+      Cluster.compute_raw cluster ~worker:0 (minibatch_seconds config batch_n);
+      off := !off + batch_n
+    done;
+    traj :=
+      Trajectory.add !traj
+        ~time:(Cluster.now cluster)
+        ~iteration:e
+        ~metric:(Sgd_mf.loss model data.ratings)
+  done;
+  !traj
+
+(** Time for one full data pass at a given minibatch size (Fig. 13b). *)
+let seconds_per_pass config ~num_entries =
+  let batches = (num_entries + config.minibatch - 1) / config.minibatch in
+  let full = num_entries / config.minibatch in
+  let rem = num_entries - (full * config.minibatch) in
+  (float_of_int full *. minibatch_seconds config config.minibatch)
+  +. (if rem > 0 then minibatch_seconds config rem else 0.0)
+  +. (0.0 *. float_of_int batches)

@@ -1,0 +1,23 @@
+(** SGD MF as a TensorFlow-style minibatch dataflow program (Fig. 13):
+    parameters frozen within each (giant) minibatch, dense-operator
+    redundancy, core under-utilization at small batches. *)
+
+type config = {
+  cores : int;
+  rank : int;
+  step_size : float;  (** on the mean minibatch gradient *)
+  minibatch : int;
+  epochs : int;
+  per_entry_cost : float;
+  dense_redundancy : float;
+  min_batch_for_full_util : int;
+}
+
+val default_config : config
+
+val minibatch_seconds : config -> int -> float
+
+val train : ?config:config -> data:Orion_data.Ratings.t -> unit -> Trajectory.t
+
+(** Time for one full data pass at the config's batch size (Fig. 13b). *)
+val seconds_per_pass : config -> num_entries:int -> float

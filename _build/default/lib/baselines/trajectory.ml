@@ -1,0 +1,50 @@
+(** Convergence trajectories: (simulated time, iteration, metric)
+    samples recorded after each data pass, the raw material of every
+    convergence figure in the paper's evaluation. *)
+
+type point = { time : float; iteration : int; metric : float }
+
+type t = {
+  system : string;  (** e.g. "Orion", "Bosen DP", "STRADS" *)
+  workload : string;
+  points : point list;  (** chronological *)
+}
+
+let create ~system ~workload = { system; workload; points = [] }
+
+let add t ~time ~iteration ~metric =
+  { t with points = t.points @ [ { time; iteration; metric } ] }
+
+let final_metric t =
+  match List.rev t.points with [] -> nan | p :: _ -> p.metric
+
+let final_time t =
+  match List.rev t.points with [] -> 0.0 | p :: _ -> p.time
+
+(** First time the metric reaches [threshold] ([`Below] for losses,
+    [`Above] for log-likelihoods); [None] if never. *)
+let time_to_reach t ~threshold ~direction =
+  let ok m =
+    match direction with `Below -> m <= threshold | `Above -> m >= threshold
+  in
+  List.find_map (fun p -> if ok p.metric then Some p.time else None) t.points
+
+(** Average seconds per iteration over the recorded points (excluding
+    iteration 0). *)
+let avg_time_per_iteration t =
+  match t.points with
+  | [] | [ _ ] -> nan
+  | first :: _ ->
+      let last = List.nth t.points (List.length t.points - 1) in
+      let iters = last.iteration - first.iteration in
+      if iters <= 0 then nan
+      else (last.time -. first.time) /. float_of_int iters
+
+let pp fmt t =
+  Fmt.pf fmt "# %s on %s@." t.system t.workload;
+  Fmt.pf fmt "# iter  time(s)  metric@.";
+  List.iter
+    (fun p -> Fmt.pf fmt "%6d  %10.3f  %.6g@." p.iteration p.time p.metric)
+    t.points
+
+let to_string t = Fmt.str "%a" pp t

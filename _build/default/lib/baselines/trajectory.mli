@@ -1,0 +1,25 @@
+(** Convergence trajectories: (simulated time, iteration, metric)
+    samples, the raw material of every convergence figure. *)
+
+type point = { time : float; iteration : int; metric : float }
+
+type t = {
+  system : string;
+  workload : string;
+  points : point list;  (** chronological *)
+}
+
+val create : system:string -> workload:string -> t
+val add : t -> time:float -> iteration:int -> metric:float -> t
+val final_metric : t -> float
+val final_time : t -> float
+
+(** First time the metric crosses [threshold]; [None] if never. *)
+val time_to_reach :
+  t -> threshold:float -> direction:[ `Below | `Above ] -> float option
+
+(** Average seconds per iteration over the recorded points. *)
+val avg_time_per_iteration : t -> float
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,430 @@
+(** Orion — automating dependence-aware parallelization of serial
+    imperative ML programs on distributed shared memory.
+
+    This is the public facade reproducing the system of Wei et al.
+    (EuroSys'19).  A {!session} owns a simulated cluster and a registry
+    of DistArrays.  Serial OrionScript programs are analyzed
+    statically ({!analyze_script}); each [@parallel_for] loop receives
+    a {!Plan.t} describing its parallelization (1D / 2D / 2D with
+    unimodular transformation / data parallelism via buffers) and the
+    placement of every accessed DistArray.  Loops are then executed —
+    either fully interpreted ({!run_script}) or with native OCaml loop
+    bodies standing in for the JIT-generated code ({!compile} /
+    {!execute}) — under dependence-preserving schedules with the
+    cluster charging virtual time.
+
+    Re-exports: the submodules below are the supporting libraries. *)
+
+module Ast = Orion_lang.Ast
+module Parser = Orion_lang.Parser
+module Pretty = Orion_lang.Pretty
+module Interp = Orion_lang.Interp
+module Value = Orion_lang.Value
+module Check = Orion_lang.Check
+module Subscript = Orion_analysis.Subscript
+module Depvec = Orion_analysis.Depvec
+module Depanalysis = Orion_analysis.Depanalysis
+module Unimodular = Orion_analysis.Unimodular
+module Plan = Orion_analysis.Plan
+module Refs = Orion_analysis.Refs
+module Prefetch = Orion_analysis.Prefetch
+module Cost_model = Orion_sim.Cost_model
+module Cluster = Orion_sim.Cluster
+module Recorder = Orion_sim.Recorder
+module Dist_array = Orion_dsm.Dist_array
+module Partitioner = Orion_dsm.Partitioner
+module Pipeline = Orion_dsm.Pipeline
+module Dist_buffer = Orion_dsm.Buffer
+module Accumulator = Orion_dsm.Accumulator
+module Param_server = Orion_dsm.Param_server
+module Schedule = Orion_runtime.Schedule
+module Executor = Orion_runtime.Executor
+
+(* ------------------------------------------------------------------ *)
+(* Session and registry                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** How an iterable DistArray executes a compiled loop for interpreted
+    bodies: captures the typed array, hiding its element type. *)
+type runner =
+  session ->
+  Plan.t ->
+  pipeline_depth:int ->
+  (key:int array -> value:Value.t -> unit) ->
+  Executor.pass_stats
+
+and registered = {
+  reg_name : string;
+  reg_dims : int array;
+  reg_size_bytes : float;
+  reg_count : int;
+  reg_buffered : bool;
+  reg_extern : Value.extern option;
+  reg_runner : runner option;
+}
+
+and session = {
+  cluster : Cluster.t;
+  mutable registry : registered list;
+  mutable loop_cache : (Ast.stmt * Plan.t) list;
+      (** memoized analysis per loop statement (the paper: macro
+          expansion runs once even for loops inside driver loops) *)
+  mutable default_pipeline_depth : int;
+  mutable prefetch_recorded : (string * int array) list;
+      (** most recent synthesized-prefetch recording, newest first *)
+}
+
+let create_session ?(cost = Cost_model.default) ?recorder ~num_machines
+    ~workers_per_machine () =
+  {
+    cluster = Cluster.create ?recorder ~num_machines ~workers_per_machine ~cost ();
+    registry = [];
+    loop_cache = [];
+    default_pipeline_depth = 2;
+    prefetch_recorded = [];
+  }
+
+let find_registered session name =
+  List.find_opt (fun r -> r.reg_name = name) session.registry
+
+let dist_var_names session = List.map (fun r -> r.reg_name) session.registry
+
+let buffered_names session =
+  List.filter_map
+    (fun r -> if r.reg_buffered then Some r.reg_name else None)
+    session.registry
+
+let array_dims_fn session name =
+  Option.map (fun r -> r.reg_dims) (find_registered session name)
+
+let register_meta session ~name ~dims ?(buffered = false) ?(count = 0) () =
+  session.registry <-
+    {
+      reg_name = name;
+      reg_dims = dims;
+      reg_size_bytes =
+        float_of_int (max count (Array.fold_left ( * ) 1 dims))
+        *. Dist_array.bytes_per_element;
+      reg_count = count;
+      reg_buffered = buffered;
+      reg_extern = None;
+      reg_runner = None;
+    }
+    :: List.filter (fun r -> r.reg_name <> name) session.registry
+
+(* ------------------------------------------------------------------ *)
+(* Compilation: plan -> schedule -> executable                         *)
+(* ------------------------------------------------------------------ *)
+
+type 'v compiled = {
+  plan : Plan.t;
+  schedule : 'v Schedule.t;
+  rotated_bytes_per_partition : float;
+  pipeline_depth : int;
+}
+
+let rotated_bytes session (plan : Plan.t) ~time_parts =
+  List.fold_left
+    (fun acc (name, placement) ->
+      match placement with
+      | Plan.Rotated _ -> (
+          match find_registered session name with
+          | Some r -> acc +. (r.reg_size_bytes /. float_of_int time_parts)
+          | None -> acc)
+      | Plan.Local_partitioned _ | Plan.Replicated | Plan.Server -> acc)
+    0.0 plan.placements
+
+(** Build the static computation schedule for [plan] over iteration
+    space [iter].  Space partitions = number of workers; time
+    partitions = workers × [pipeline_depth] for unordered 2D loops
+    (multiple time indices per worker enable pipelining, Fig. 8). *)
+let compile session ~(plan : Plan.t) ~(iter : 'v Dist_array.t)
+    ?pipeline_depth ?(shuffle_seed = Some 17) () : 'v compiled =
+  let workers = Cluster.num_workers session.cluster in
+  let depth =
+    Option.value pipeline_depth ~default:session.default_pipeline_depth
+  in
+  let schedule, depth =
+    match plan.strategy with
+    | Plan.One_d { space_dim } ->
+        (Schedule.partition_1d ?shuffle_seed iter ~space_dim ~space_parts:workers, 1)
+    | Plan.Two_d { space_dim; time_dim } ->
+        let depth = if plan.ordered then 1 else depth in
+        ( Schedule.partition_2d ?shuffle_seed iter ~space_dim ~time_dim
+            ~space_parts:workers ~time_parts:(workers * depth),
+          depth )
+    | Plan.Two_d_unimodular { matrix; _ } ->
+        ( Schedule.partition_unimodular ?shuffle_seed iter ~matrix
+            ~space_parts:workers ~time_parts:(workers * 4),
+          1 )
+    | Plan.Data_parallel ->
+        (Schedule.partition_1d ?shuffle_seed iter ~space_dim:0 ~space_parts:workers, 1)
+  in
+  {
+    plan;
+    schedule;
+    rotated_bytes_per_partition =
+      rotated_bytes session plan ~time_parts:schedule.Schedule.time_parts;
+    pipeline_depth = depth;
+  }
+
+(** Execute a compiled loop with a native loop body. *)
+let execute session (c : 'v compiled) ?(compute = Executor.Measured)
+    ~(body : 'v Executor.body) () =
+  let cluster = session.cluster in
+  match c.plan.strategy with
+  | Plan.One_d _ | Plan.Data_parallel ->
+      Executor.run_1d cluster ~compute c.schedule body
+  | Plan.Two_d _ ->
+      if c.plan.ordered then
+        Executor.run_2d_ordered cluster ~compute
+          ~rotated_bytes_per_partition:c.rotated_bytes_per_partition
+          c.schedule body
+      else
+        Executor.run_2d_unordered cluster ~compute
+          ~pipeline_depth:c.pipeline_depth
+          ~rotated_bytes_per_partition:c.rotated_bytes_per_partition
+          c.schedule body
+  | Plan.Two_d_unimodular _ ->
+      Executor.run_time_major cluster ~compute
+        ~comm_bytes_per_step:c.rotated_bytes_per_partition c.schedule body
+
+(* ------------------------------------------------------------------ *)
+(* Registration                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let make_runner (iter : 'v Dist_array.t) ~(to_value : 'v -> Value.t) : runner =
+  (* memoize one schedule per plan (per loop statement) *)
+  let cache : (Plan.t * 'v compiled) list ref = ref [] in
+  fun session plan ~pipeline_depth body_fn ->
+    let compiled =
+      match List.assq_opt plan !cache with
+      | Some c -> c
+      | None ->
+          let c = compile session ~plan ~iter ~pipeline_depth () in
+          cache := (plan, c) :: !cache;
+          c
+    in
+    let body ~worker:_ ~key ~value = body_fn ~key ~value:(to_value value) in
+    execute session compiled ~body ()
+
+(** Register a float DistArray: visible to interpreted programs (as a
+    DSM extern) and to the analyzer (name, dims).  [buffered] marks it
+    as written through a DistArray Buffer, exempting its writes from
+    dependence analysis. *)
+let register session ?(buffered = false) (arr : float Dist_array.t) =
+  let name = Dist_array.name arr in
+  session.registry <-
+    {
+      reg_name = name;
+      reg_dims = Dist_array.dims arr;
+      reg_size_bytes = Dist_array.size_bytes arr;
+      reg_count = Dist_array.count arr;
+      reg_buffered = buffered;
+      reg_extern = Some (Dist_array.to_extern arr);
+      reg_runner =
+        Some (make_runner arr ~to_value:(fun v -> Value.Vfloat v));
+    }
+    :: List.filter (fun r -> r.reg_name <> name) session.registry
+
+(** Register a DistArray with arbitrary element type for iteration only
+    (e.g. an SLR sample array), with a conversion to interpreter
+    values. *)
+let register_iterable session (arr : 'v Dist_array.t)
+    ~(to_value : 'v -> Value.t) =
+  let name = Dist_array.name arr in
+  session.registry <-
+    {
+      reg_name = name;
+      reg_dims = Dist_array.dims arr;
+      reg_size_bytes = Dist_array.size_bytes arr;
+      reg_count = Dist_array.count arr;
+      reg_buffered = false;
+      reg_extern = Some (Dist_array.to_iter_extern ~to_value arr);
+      reg_runner = Some (make_runner arr ~to_value);
+    }
+    :: List.filter (fun r -> r.reg_name <> name) session.registry
+
+(* ------------------------------------------------------------------ *)
+(* Analysis                                                            *)
+(* ------------------------------------------------------------------ *)
+
+exception Analysis_error of string
+
+(** Analyze one [@parallel_for] statement against the session registry. *)
+let analyze_loop session (stmt : Ast.stmt) : Plan.t =
+  match List.assq_opt stmt session.loop_cache with
+  | Some plan -> plan
+  | None ->
+      let iter_name =
+        match stmt with
+        | Ast.For { kind = Ast.Each_loop { arr; _ }; _ } -> arr
+        | _ -> raise (Analysis_error "not a parallel for-loop")
+      in
+      let iter_reg =
+        match find_registered session iter_name with
+        | Some r -> r
+        | None ->
+            raise
+              (Analysis_error
+                 (Printf.sprintf "iteration space %s is not a registered \
+                                  DistArray" iter_name))
+      in
+      let info =
+        Refs.analyze_loop
+          ~dist_vars:(dist_var_names session)
+          ~buffered_arrays:(buffered_names session)
+          ~iter_space_ndims:(Array.length iter_reg.reg_dims)
+          stmt
+      in
+      let plan =
+        Plan.decide info
+          ~array_dims:(array_dims_fn session)
+          ~iter_count:(float_of_int (max iter_reg.reg_count 1))
+      in
+      session.loop_cache <- (stmt, plan) :: session.loop_cache;
+      plan
+
+(** Analyze every [@parallel_for] loop in a script. *)
+let analyze_script session src : Plan.t list =
+  let program = Parser.parse_program src in
+  List.map (analyze_loop session) (Refs.find_parallel_loops program)
+
+(** Run the semantic checker on a script, treating the session's
+    registered DistArrays as defined globals. *)
+let check_script session src : Check.diagnostic list =
+  Check.check_program ~globals:(dist_var_names session)
+    (Parser.parse_program src)
+
+(* ------------------------------------------------------------------ *)
+(* Interpreted execution of whole driver programs                      *)
+(* ------------------------------------------------------------------ *)
+
+let concrete_sub_of_value (v : Value.t) : Value.concrete_sub =
+  match v with
+  | Value.Vint i -> Value.Cpoint (i - 1)
+  | Value.Vstring "*" -> Value.Call_dim
+  | Value.Vtuple [ Value.Vstring "range"; Value.Vint lo; Value.Vint hi ] ->
+      Value.Crange (lo - 1, hi - 1)
+  | _ -> raise (Analysis_error "bad prefetch subscript")
+
+(* host builtins: prefetch recording markers and accumulator helpers *)
+let host_builtins session env_ref name (args : Value.t list) =
+  match (name, args) with
+  | "__all", [] -> Some (Value.Vstring "*")
+  | "__range", [ lo; hi ] ->
+      Some (Value.Vtuple [ Value.Vstring "range"; lo; hi ])
+  | "__record", Value.Vstring arr :: subs ->
+      let csubs = List.map concrete_sub_of_value subs in
+      (match find_registered session arr with
+      | Some r ->
+          (* expand to the point indices of the first dimension touched *)
+          let points =
+            List.mapi
+              (fun i s ->
+                match s with
+                | Value.Cpoint p -> [ p ]
+                | Value.Crange (a, b) -> List.init (b - a + 1) (fun k -> a + k)
+                | Value.Call_dim -> List.init r.reg_dims.(i) Fun.id)
+              csubs
+          in
+          (* record the cartesian key set (bounded by practicality) *)
+          let rec cart = function
+            | [] -> [ [] ]
+            | d :: rest ->
+                let tails = cart rest in
+                List.concat_map (fun p -> List.map (fun t -> p :: t) tails) d
+          in
+          List.iter
+            (fun key ->
+              session.prefetch_recorded <-
+                (arr, Array.of_list key) :: session.prefetch_recorded)
+            (cart points)
+      | None -> ());
+      Some Value.Vunit
+  | "get_aggregated_value", [ Value.Vstring var ] -> (
+      match !env_ref with
+      | Some env -> Some (Interp.get_var env var)
+      | None -> None)
+  | "reset_accumulator", [ Value.Vstring var ] -> (
+      match !env_ref with
+      | Some env ->
+          Interp.set_var env var (Value.Vfloat 0.0);
+          Some Value.Vunit
+      | None -> None)
+  | _ -> None
+
+(** Run a whole OrionScript driver program: statements execute in the
+    interpreter; [@parallel_for] loops are analyzed (once), compiled
+    to a schedule, and executed on the simulated cluster.  Returns the
+    final environment and the per-loop-execution statistics. *)
+let run_script session ?(seed = 42) src =
+  let program = Parser.parse_program src in
+  let env_ref = ref None in
+  let env =
+    Interp.create_env ~seed ~host_call:(host_builtins session env_ref) ()
+  in
+  env_ref := Some env;
+  (* bind registered DistArrays *)
+  List.iter
+    (fun r ->
+      match r.reg_extern with
+      | Some ex -> Interp.set_var env r.reg_name (Value.Vextern ex)
+      | None -> ())
+    session.registry;
+  let stats = ref [] in
+  env.Interp.on_parallel_for <-
+    Some
+      (fun env stmt ->
+        match stmt with
+        | Ast.For { kind = Ast.Each_loop { key; value; arr }; body; _ } ->
+            let plan = analyze_loop session stmt in
+            let reg =
+              match find_registered session arr with
+              | Some r -> r
+              | None -> raise (Analysis_error ("unknown DistArray " ^ arr))
+            in
+            let runner =
+              match reg.reg_runner with
+              | Some r -> r
+              | None ->
+                  raise (Analysis_error (arr ^ " is not iterable"))
+            in
+            let body_fn ~key:k ~value:v =
+              Interp.eval_body_for env ~key_var:key ~value_var:value ~key:k
+                ~value:v body
+            in
+            let s =
+              runner session plan
+                ~pipeline_depth:session.default_pipeline_depth body_fn
+            in
+            stats := s :: !stats
+        | _ -> raise (Analysis_error "unexpected parallel statement"));
+  Interp.run_program env program;
+  (env, List.rev !stats)
+
+(* ------------------------------------------------------------------ *)
+(* Prefetch execution support                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Run the synthesized prefetch program for one iteration and return
+    the recorded (array, key) accesses, newest-cleared each call. *)
+let run_prefetch_program session ~(generated : Ast.block) ~key_var ~value_var
+    ~key ~value ~bindings =
+  session.prefetch_recorded <- [];
+  let env_ref = ref None in
+  let env =
+    Interp.create_env ~host_call:(host_builtins session env_ref) ()
+  in
+  env_ref := Some env;
+  List.iter (fun (k, v) -> Interp.set_var env k v) bindings;
+  List.iter
+    (fun r ->
+      match r.reg_extern with
+      | Some ex -> Interp.set_var env r.reg_name (Value.Vextern ex)
+      | None -> ())
+    session.registry;
+  Interp.eval_body_for env ~key_var ~value_var ~key ~value generated;
+  let recorded = List.rev session.prefetch_recorded in
+  session.prefetch_recorded <- [];
+  recorded

@@ -1,0 +1,175 @@
+(** Orion — automating dependence-aware parallelization of serial
+    imperative ML programs on distributed shared memory (Wei et al.,
+    EuroSys'19).
+
+    A {!session} owns a simulated cluster and a registry of DistArrays.
+    Serial OrionScript programs are analyzed statically
+    ({!analyze_script}); each [@parallel_for] loop receives a {!Plan.t}
+    (1D / 2D / 2D-unimodular / data parallelism) with DistArray
+    placements; loops execute either fully interpreted ({!run_script})
+    or with native loop bodies ({!compile} / {!execute}) under
+    dependence-preserving schedules, charging virtual time. *)
+
+(** {1 Re-exported supporting libraries} *)
+
+module Ast = Orion_lang.Ast
+module Parser = Orion_lang.Parser
+module Pretty = Orion_lang.Pretty
+module Interp = Orion_lang.Interp
+module Value = Orion_lang.Value
+module Check = Orion_lang.Check
+module Subscript = Orion_analysis.Subscript
+module Depvec = Orion_analysis.Depvec
+module Depanalysis = Orion_analysis.Depanalysis
+module Unimodular = Orion_analysis.Unimodular
+module Plan = Orion_analysis.Plan
+module Refs = Orion_analysis.Refs
+module Prefetch = Orion_analysis.Prefetch
+module Cost_model = Orion_sim.Cost_model
+module Cluster = Orion_sim.Cluster
+module Recorder = Orion_sim.Recorder
+module Dist_array = Orion_dsm.Dist_array
+module Partitioner = Orion_dsm.Partitioner
+module Pipeline = Orion_dsm.Pipeline
+module Dist_buffer = Orion_dsm.Buffer
+module Accumulator = Orion_dsm.Accumulator
+module Param_server = Orion_dsm.Param_server
+module Schedule = Orion_runtime.Schedule
+module Executor = Orion_runtime.Executor
+
+(** {1 Sessions} *)
+
+type runner =
+  session ->
+  Plan.t ->
+  pipeline_depth:int ->
+  (key:int array -> value:Value.t -> unit) ->
+  Executor.pass_stats
+
+and registered = {
+  reg_name : string;
+  reg_dims : int array;
+  reg_size_bytes : float;
+  reg_count : int;
+  reg_buffered : bool;
+  reg_extern : Value.extern option;
+  reg_runner : runner option;
+}
+
+and session = {
+  cluster : Cluster.t;
+  mutable registry : registered list;
+  mutable loop_cache : (Ast.stmt * Plan.t) list;
+      (** analysis memoized per loop statement (macro expansion runs
+          once, even for loops nested in driver loops) *)
+  mutable default_pipeline_depth : int;
+  mutable prefetch_recorded : (string * int array) list;
+}
+
+val create_session :
+  ?cost:Cost_model.t ->
+  ?recorder:Recorder.t ->
+  num_machines:int ->
+  workers_per_machine:int ->
+  unit ->
+  session
+
+val find_registered : session -> string -> registered option
+val dist_var_names : session -> string list
+val buffered_names : session -> string list
+val array_dims_fn : session -> string -> int array option
+
+(** Declare a DistArray by name/shape only (native-body workflows where
+    the actual storage is app-managed). *)
+val register_meta :
+  session ->
+  name:string ->
+  dims:int array ->
+  ?buffered:bool ->
+  ?count:int ->
+  unit ->
+  unit
+
+(** Register a float DistArray: visible to interpreted programs and the
+    analyzer.  [buffered] marks it as written through a DistArray
+    Buffer (writes exempt from dependence analysis). *)
+val register : session -> ?buffered:bool -> float Dist_array.t -> unit
+
+(** Register a DistArray of arbitrary element type for iteration (e.g.
+    SLR samples), with a conversion to interpreter values. *)
+val register_iterable :
+  session -> 'v Dist_array.t -> to_value:('v -> Value.t) -> unit
+
+(** {1 Analysis} *)
+
+exception Analysis_error of string
+
+(** Analyze one [@parallel_for] statement (memoized per statement). *)
+val analyze_loop : session -> Ast.stmt -> Plan.t
+
+(** Analyze every [@parallel_for] loop in a script, in order. *)
+val analyze_script : session -> string -> Plan.t list
+
+(** Run the semantic checker with the registered DistArrays as
+    globals. *)
+val check_script : session -> string -> Check.diagnostic list
+
+(** {1 Compilation and native execution} *)
+
+type 'v compiled = {
+  plan : Plan.t;
+  schedule : 'v Schedule.t;
+  rotated_bytes_per_partition : float;
+  pipeline_depth : int;
+}
+
+(** Build the static computation schedule for [plan] over [iter]:
+    space partitions = workers; time partitions = workers ×
+    [pipeline_depth] for unordered 2D (Fig. 8); exact wavefronts for
+    unimodular plans.  [shuffle_seed] randomizes within-block sample
+    order (SGD practice); [None] keeps ascending key order. *)
+val compile :
+  session ->
+  plan:Plan.t ->
+  iter:'v Dist_array.t ->
+  ?pipeline_depth:int ->
+  ?shuffle_seed:int option ->
+  unit ->
+  'v compiled
+
+(** Execute a compiled loop with a native body under the plan's
+    executor (1D / ordered wavefront / unordered pipelined rotation /
+    time-major). *)
+val execute :
+  session ->
+  'v compiled ->
+  ?compute:Executor.compute_cost ->
+  body:'v Executor.body ->
+  unit ->
+  Executor.pass_stats
+
+(** {1 Interpreted driver programs} *)
+
+(** Run a whole OrionScript driver program: statements execute in the
+    interpreter; [@parallel_for] loops are analyzed (once), compiled,
+    and executed on the simulated cluster.  Host builtins provided:
+    [get_aggregated_value], [reset_accumulator], and the prefetch
+    markers.  Returns the final environment and per-loop-execution
+    statistics. *)
+val run_script :
+  session -> ?seed:int -> string -> Interp.env * Executor.pass_stats list
+
+(** {1 Prefetch execution} *)
+
+(** Run a synthesized prefetch program ({!Prefetch.synthesize}) for one
+    iteration; returns the recorded (array, 0-based key) accesses in
+    order. *)
+val run_prefetch_program :
+  session ->
+  generated:Ast.block ->
+  key_var:string ->
+  value_var:string ->
+  key:int array ->
+  value:Value.t ->
+  bindings:(string * Value.t) list ->
+  (string * int array) list

@@ -1,0 +1,1 @@
+lib/data/corpus.ml: Array Dist_array Hashtbl Option Orion_dsm Rng

@@ -1,0 +1,1 @@
+lib/data/ratings.ml: Array Dist_array Float Hashtbl Orion_dsm Rng

@@ -1,0 +1,1 @@
+lib/data/ratings.mli: Orion_dsm

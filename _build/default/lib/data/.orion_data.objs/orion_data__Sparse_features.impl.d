@@ -1,0 +1,1 @@
+lib/data/sparse_features.ml: Array Dist_array Hashtbl List Orion_dsm Orion_lang Rng

@@ -1,0 +1,1 @@
+lib/data/sparse_features.mli: Orion_dsm Orion_lang

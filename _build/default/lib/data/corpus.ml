@@ -1,0 +1,79 @@
+(** Synthetic text corpora for LDA (the "nytimes_like" and
+    "clueweb_like" datasets).
+
+    Documents are drawn from a planted topic model: each document mixes
+    a few topics; each topic has a Zipf-ish word distribution over a
+    topic-specific region of the vocabulary.  Token occurrences are
+    emitted as a sparse (doc × word) -> count DistArray, matching the
+    bag-of-words representation Orion's LDA iterates over. *)
+
+open Orion_dsm
+
+type t = {
+  tokens : float Dist_array.t;
+      (** sparse docs × vocab; value = occurrence count of the word in
+          the document *)
+  num_docs : int;
+  vocab_size : int;
+  num_tokens : int;  (** total token occurrences *)
+  num_topics_truth : int;
+}
+
+let generate ?(seed = 4321) ~num_docs ~vocab_size ~avg_doc_len
+    ?(num_topics_truth = 20) ?(word_skew = 1.05) () =
+  let rng = Rng.create seed in
+  let word_zipf = Rng.zipf_create ~n:vocab_size ~s:word_skew in
+  let word_perm = Rng.permutation rng vocab_size in
+  (* each topic prefers a contiguous region of the permuted vocabulary *)
+  let topic_offset t = t * vocab_size / num_topics_truth in
+  let counts = Hashtbl.create (num_docs * avg_doc_len) in
+  let total = ref 0 in
+  for d = 0 to num_docs - 1 do
+    (* 1-3 topics per document *)
+    let k = 1 + Rng.int rng 3 in
+    let topics = Array.init k (fun _ -> Rng.int rng num_topics_truth) in
+    let len = max 4 (avg_doc_len / 2) + Rng.int rng avg_doc_len in
+    for _ = 1 to len do
+      let topic = topics.(Rng.int rng k) in
+      let w =
+        word_perm.((Rng.zipf_draw rng word_zipf + topic_offset topic)
+                   mod vocab_size)
+      in
+      let key = (d * vocab_size) + w in
+      Hashtbl.replace counts key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts key));
+      incr total
+    done
+  done;
+  let entries =
+    Hashtbl.fold
+      (fun key c acc ->
+        ([| key / vocab_size; key mod vocab_size |], float_of_int c) :: acc)
+      counts []
+  in
+  let tokens =
+    Dist_array.of_entries ~name:"tokens" ~dims:[| num_docs; vocab_size |]
+      ~default:0.0 entries
+  in
+  {
+    tokens;
+    num_docs;
+    vocab_size;
+    num_tokens = !total;
+    num_topics_truth;
+  }
+
+(** ~300K-doc NYTimes proxy, scaled down (the real corpus has ~3x
+    more documents than vocabulary entries). *)
+let nytimes_like ?(scale = 1.0) () =
+  generate
+    ~num_docs:(max 64 (int_of_float (900.0 *. scale)))
+    ~vocab_size:(max 32 (int_of_float (300.0 *. scale)))
+    ~avg_doc_len:40 ()
+
+(** ~25M-doc ClueWeb subset proxy: more documents, bigger vocabulary. *)
+let clueweb_like ?(scale = 1.0) () =
+  generate ~seed:9999
+    ~num_docs:(max 128 (int_of_float (2000.0 *. scale)))
+    ~vocab_size:(max 64 (int_of_float (500.0 *. scale)))
+    ~avg_doc_len:50 ()

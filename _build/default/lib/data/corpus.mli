@@ -1,0 +1,25 @@
+(** Synthetic text corpora for LDA (the "nytimes_like" and
+    "clueweb_like" proxies): documents drawn from a planted topic model
+    with Zipf-ish word distributions. *)
+
+type t = {
+  tokens : float Orion_dsm.Dist_array.t;
+      (** sparse docs × vocab; value = occurrence count *)
+  num_docs : int;
+  vocab_size : int;
+  num_tokens : int;
+  num_topics_truth : int;
+}
+
+val generate :
+  ?seed:int ->
+  num_docs:int ->
+  vocab_size:int ->
+  avg_doc_len:int ->
+  ?num_topics_truth:int ->
+  ?word_skew:float ->
+  unit ->
+  t
+
+val nytimes_like : ?scale:float -> unit -> t
+val clueweb_like : ?scale:float -> unit -> t

@@ -1,0 +1,79 @@
+(** Synthetic recommender-system ratings (the "netflix_like" dataset).
+
+    The paper's Netflix dataset has ~100M ratings over ~480K users ×
+    ~17K movies with strongly skewed popularity.  We plant a low-rank
+    model: V = Wᵀ H + noise, sample nonzero positions with Zipf-skewed
+    row and column popularity, and emit ratings clipped to [1, 5].
+    Because a ground-truth low-rank structure exists, SGD MF converges
+    and training-loss comparisons are meaningful. *)
+
+open Orion_dsm
+
+type t = {
+  ratings : float Dist_array.t;  (** sparse users × items *)
+  num_users : int;
+  num_items : int;
+  num_ratings : int;
+  rank_truth : int;
+}
+
+let generate ?(seed = 1234) ~num_users ~num_items ~num_ratings
+    ?(rank_truth = 8) ?(noise = 0.1) ?(user_skew = 0.8) ?(item_skew = 1.0) ()
+    =
+  let rng = Rng.create seed in
+  let wt =
+    Array.init rank_truth (fun _ ->
+        Array.init num_users (fun _ -> Rng.gaussian rng /. sqrt (float_of_int rank_truth)))
+  in
+  let ht =
+    Array.init rank_truth (fun _ ->
+        Array.init num_items (fun _ -> Rng.gaussian rng /. sqrt (float_of_int rank_truth)))
+  in
+  let user_zipf = Rng.zipf_create ~n:num_users ~s:user_skew in
+  let item_zipf = Rng.zipf_create ~n:num_items ~s:item_skew in
+  (* scatter popularity so hot users/items are not adjacent indices *)
+  let user_perm = Rng.permutation rng num_users in
+  let item_perm = Rng.permutation rng num_items in
+  let seen = Hashtbl.create (num_ratings * 2) in
+  let entries = ref [] in
+  let added = ref 0 in
+  let attempts = ref 0 in
+  while !added < num_ratings && !attempts < num_ratings * 50 do
+    incr attempts;
+    let u = user_perm.(Rng.zipf_draw rng user_zipf) in
+    let i = item_perm.(Rng.zipf_draw rng item_zipf) in
+    if not (Hashtbl.mem seen ((u * num_items) + i)) then begin
+      Hashtbl.add seen ((u * num_items) + i) ();
+      let v = ref 0.0 in
+      for k = 0 to rank_truth - 1 do
+        v := !v +. (wt.(k).(u) *. ht.(k).(i))
+      done;
+      let rating =
+        Float.min 5.0
+          (Float.max 1.0 (3.0 +. !v +. (noise *. Rng.gaussian rng)))
+      in
+      entries := ([| u; i |], rating) :: !entries;
+      incr added
+    end
+  done;
+  let ratings =
+    Dist_array.of_entries ~name:"ratings" ~dims:[| num_users; num_items |]
+      ~default:0.0 !entries
+  in
+  {
+    ratings;
+    num_users;
+    num_items;
+    num_ratings = Dist_array.count ratings;
+    rank_truth;
+  }
+
+(** The standard scaled-down instance used across the benchmark
+    harness (documented in EXPERIMENTS.md). *)
+let netflix_like ?(scale = 1.0) () =
+  let s = scale in
+  generate
+    ~num_users:(max 32 (int_of_float (600.0 *. s)))
+    ~num_items:(max 32 (int_of_float (400.0 *. s)))
+    ~num_ratings:(max 512 (int_of_float (40_000.0 *. s)))
+    ()

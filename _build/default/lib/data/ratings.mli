@@ -1,0 +1,26 @@
+(** Synthetic recommender-system ratings (the "netflix_like" proxy):
+    a planted low-rank model with Zipf-skewed user/item popularity;
+    ratings clipped to [1, 5]. *)
+
+type t = {
+  ratings : float Orion_dsm.Dist_array.t;  (** sparse users × items *)
+  num_users : int;
+  num_items : int;
+  num_ratings : int;
+  rank_truth : int;
+}
+
+val generate :
+  ?seed:int ->
+  num_users:int ->
+  num_items:int ->
+  num_ratings:int ->
+  ?rank_truth:int ->
+  ?noise:float ->
+  ?user_skew:float ->
+  ?item_skew:float ->
+  unit ->
+  t
+
+(** The standard scaled-down instance used by the bench harness. *)
+val netflix_like : ?scale:float -> unit -> t

@@ -1,0 +1,68 @@
+(** Deterministic random number generation for synthetic datasets
+    (splitmix64; independent of OCaml's global [Random] state so
+    experiments are reproducible across runs and machines). *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(** uniform float in [0, 1) *)
+let float t =
+  let bits = Int64.shift_right_logical (next t) 11 in
+  Int64.to_float bits /. 9007199254740992.0
+
+(** uniform int in [0, bound) *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive"
+  else int_of_float (float t *. float_of_int bound)
+
+(** standard normal (Box–Muller) *)
+let gaussian t =
+  let u1 = Float.max (float t) 1e-300 in
+  let u2 = float t in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+(** Zipf-distributed rank in [0, n): P(k) ∝ 1/(k+1)^s, via precomputed
+    CDF + binary search. *)
+type zipf = { cdf : float array }
+
+let zipf_create ~n ~s =
+  let weights = Array.init n (fun k -> 1.0 /. Float.pow (float_of_int (k + 1)) s) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. (w /. total);
+      cdf.(i) <- !acc)
+    weights;
+  { cdf }
+
+let zipf_draw t z =
+  let u = float t in
+  let n = Array.length z.cdf in
+  let lo = ref 0 and hi = ref (n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if z.cdf.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(** a random permutation of [0, n) *)
+let permutation t n =
+  let p = Array.init n Fun.id in
+  for i = n - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = p.(i) in
+    p.(i) <- p.(j);
+    p.(j) <- tmp
+  done;
+  p

@@ -1,0 +1,25 @@
+(** Deterministic random number generation for synthetic datasets
+    (splitmix64, independent of OCaml's global [Random]). *)
+
+type t
+
+val create : int -> t
+val next : t -> int64
+
+(** Uniform in [0, 1). *)
+val float : t -> float
+
+(** Uniform in [0, bound); [bound] must be positive. *)
+val int : t -> int -> int
+
+(** Standard normal (Box–Muller). *)
+val gaussian : t -> float
+
+(** Zipf-distributed ranks: P(k) ∝ 1/(k+1)^s. *)
+type zipf
+
+val zipf_create : n:int -> s:float -> zipf
+val zipf_draw : t -> zipf -> int
+
+(** A random permutation of [0, n). *)
+val permutation : t -> int -> int array

@@ -1,0 +1,32 @@
+(** Synthetic high-dimensional sparse classification data (the
+    "kdd_like" proxy for SLR): a planted sparse weight vector, Zipf
+    feature popularity, labels from the noisy margin sign. *)
+
+type sample = {
+  label : float;  (** 0.0 or 1.0 *)
+  features : int array;  (** active feature indices, ascending *)
+  values : float array;
+}
+
+type t = {
+  samples : sample Orion_dsm.Dist_array.t;  (** 1-D, one entry per sample *)
+  num_samples : int;
+  num_features : int;
+  avg_nnz : float;
+}
+
+val generate :
+  ?seed:int ->
+  num_samples:int ->
+  num_features:int ->
+  nnz_per_sample:int ->
+  ?feature_skew:float ->
+  ?noise:float ->
+  unit ->
+  t
+
+val kdd_like : ?scale:float -> unit -> t
+
+(** Interpreter value [(label, 1-based indices, values)] for the SLR
+    OrionScript program. *)
+val sample_to_value : sample -> Orion_lang.Value.t

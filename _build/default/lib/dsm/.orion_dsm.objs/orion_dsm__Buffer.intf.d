@@ -1,0 +1,1 @@
+lib/dsm/buffer.mli: Hashtbl

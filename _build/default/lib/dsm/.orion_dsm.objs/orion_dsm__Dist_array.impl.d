@@ -1,0 +1,1 @@
+lib/dsm/dist_array.ml: Array Fun Hashtbl List Marshal Option Orion_lang Printf String

@@ -1,0 +1,1 @@
+lib/dsm/dist_array.mli: Hashtbl Orion_lang

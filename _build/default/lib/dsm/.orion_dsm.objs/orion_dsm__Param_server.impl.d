@@ -1,0 +1,1 @@
+lib/dsm/param_server.ml: Array Hashtbl List Option Orion_sim

@@ -1,0 +1,1 @@
+lib/dsm/param_server.mli: Orion_sim

@@ -1,0 +1,1 @@
+lib/dsm/partitioner.ml: Array Dist_array Fun Int64 List

@@ -1,0 +1,1 @@
+lib/dsm/partitioner.mli: Dist_array

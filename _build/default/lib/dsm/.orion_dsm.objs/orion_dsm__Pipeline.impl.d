@@ -1,0 +1,1 @@
+lib/dsm/pipeline.ml: Dist_array Fun List Option String

@@ -1,0 +1,1 @@
+lib/dsm/pipeline.mli: Dist_array

@@ -1,0 +1,30 @@
+(** Accumulators (paper §3.4).
+
+    An accumulator variable has one instance per worker, retained
+    across for-loop executions; the driver aggregates all instances
+    with a user-defined commutative and associative operator and can
+    reset them. *)
+
+type 'a t = {
+  name : string;
+  init : 'a;
+  instances : 'a array;  (** one per worker *)
+}
+
+let create ~name ~num_workers ~init =
+  { name; init; instances = Array.make num_workers init }
+
+let add t ~worker ~op v =
+  t.instances.(worker) <- op t.instances.(worker) v
+
+let set t ~worker v = t.instances.(worker) <- v
+
+let get t ~worker = t.instances.(worker)
+
+(** Aggregate all workers' instances with [op] (the paper's
+    [Orion.get_aggregated_value]).  Pure aggregation; the runtime
+    charges the all-reduce communication separately. *)
+let aggregated t ~op =
+  Array.fold_left op t.init t.instances
+
+let reset t = Array.fill t.instances 0 (Array.length t.instances) t.init

@@ -1,0 +1,19 @@
+(** Accumulators (paper §3.4): one instance per worker, retained across
+    loop executions, aggregated with a user-defined commutative and
+    associative operator. *)
+
+type 'a t = {
+  name : string;
+  init : 'a;
+  instances : 'a array;
+}
+
+val create : name:string -> num_workers:int -> init:'a -> 'a t
+val add : 'a t -> worker:int -> op:('a -> 'a -> 'a) -> 'a -> unit
+val set : 'a t -> worker:int -> 'a -> unit
+val get : 'a t -> worker:int -> 'a
+
+(** The paper's [Orion.get_aggregated_value]. *)
+val aggregated : 'a t -> op:('a -> 'a -> 'a) -> 'a
+
+val reset : 'a t -> unit

@@ -1,0 +1,63 @@
+(** DistArray Buffers (paper §3.3).
+
+    A write-back buffer for a DistArray: each simulated worker holds a
+    buffer instance (initially empty); the application applies writes
+    to the buffer instead of the DistArray, exempting them from
+    dependence analysis.  Buffered writes are later applied to the
+    backing DistArray through an element-wise user-defined function
+    executed atomically per element (which is what makes adaptive
+    gradient algorithms such as AdaRevision implementable). *)
+
+type 'u t = {
+  name : string;
+  num_workers : int;
+  tables : (int, 'u) Hashtbl.t array;  (** linearized key -> pending update *)
+  combine : 'u -> 'u -> 'u;
+      (** merge a new update into a pending one for the same element *)
+}
+
+let create ~name ~num_workers ~combine =
+  {
+    name;
+    num_workers;
+    tables = Array.init num_workers (fun _ -> Hashtbl.create 256);
+    combine;
+  }
+
+(** Record an update for [key] in worker [w]'s buffer instance. *)
+let update t ~worker ~key (u : 'u) =
+  let tbl = t.tables.(worker) in
+  match Hashtbl.find_opt tbl key with
+  | None -> Hashtbl.replace tbl key u
+  | Some prev -> Hashtbl.replace tbl key (t.combine prev u)
+
+let pending_count t ~worker = Hashtbl.length t.tables.(worker)
+
+(** Bytes a flush would send (key + update payload). *)
+let pending_bytes ?(bytes_per_update = 16.0) t ~worker =
+  float_of_int (pending_count t ~worker) *. bytes_per_update
+
+(** Drain worker [w]'s buffer, returning updates sorted by key so that
+    applying them is deterministic. *)
+let flush t ~worker =
+  let tbl = t.tables.(worker) in
+  let items = Hashtbl.fold (fun k u acc -> (k, u) :: acc) tbl [] in
+  Hashtbl.reset tbl;
+  List.sort (fun (a, _) (b, _) -> compare a b) items
+
+(** Drain and apply through the user-defined apply function, which
+    receives the element's linearized key and the merged update.  The
+    UDF is executed once per element (atomic read-modify-write). *)
+let flush_apply t ~worker ~udf =
+  let items = flush t ~worker in
+  List.iter (fun (k, u) -> udf k u) items;
+  List.length items
+
+(** Peek without draining (used by communication managers to pick the
+    largest pending updates). *)
+let peek t ~worker =
+  Hashtbl.fold (fun k u acc -> (k, u) :: acc) t.tables.(worker) []
+
+let remove t ~worker ~key = Hashtbl.remove t.tables.(worker) key
+
+let reset t = Array.iter Hashtbl.reset t.tables

@@ -1,0 +1,29 @@
+(** DistArray Buffers (paper §3.3): per-worker write-back buffers whose
+    writes are exempt from dependence analysis, later applied to the
+    backing DistArray through an atomic element-wise UDF. *)
+
+type 'u t = {
+  name : string;
+  num_workers : int;
+  tables : (int, 'u) Hashtbl.t array;
+  combine : 'u -> 'u -> 'u;
+}
+
+val create : name:string -> num_workers:int -> combine:('u -> 'u -> 'u) -> 'u t
+
+(** Record an update for a (linearized) element key in one worker's
+    instance; merged with any pending update via [combine]. *)
+val update : 'u t -> worker:int -> key:int -> 'u -> unit
+
+val pending_count : 'u t -> worker:int -> int
+val pending_bytes : ?bytes_per_update:float -> 'u t -> worker:int -> float
+
+(** Drain one worker's buffer, sorted by key (deterministic apply). *)
+val flush : 'u t -> worker:int -> (int * 'u) list
+
+(** Drain and apply through the UDF; returns the element count. *)
+val flush_apply : 'u t -> worker:int -> udf:(int -> 'u -> unit) -> int
+
+val peek : 'u t -> worker:int -> (int * 'u) list
+val remove : 'u t -> worker:int -> key:int -> unit
+val reset : 'u t -> unit

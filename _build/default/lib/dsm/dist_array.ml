@@ -1,0 +1,434 @@
+(** Distributed Arrays — Orion's DSM abstraction (paper §3.1).
+
+    A DistArray is an N-dimensional matrix, dense or sparse, holding
+    elements of any type.  It supports random access via point and set
+    queries, iteration, map, and creation from text files with a
+    user-defined parser.
+
+    In this reproduction the storage lives in one process; *placement*
+    (which partition lives on which simulated worker) is tracked by the
+    runtime for communication accounting, exactly because the numerics
+    of a serializable schedule do not depend on placement. *)
+
+exception Out_of_bounds of string
+exception Dimension_mismatch of string
+
+type 'a storage =
+  | Dense of 'a array  (** row-major *)
+  | Sparse of {
+      table : (int, 'a) Hashtbl.t;  (** linearized key -> value *)
+      mutable sorted_keys : int array option;
+          (** cache of keys in ascending order, for deterministic
+              iteration; invalidated when a new key is inserted *)
+    }
+
+type 'a t = {
+  name : string;
+  dims : int array;
+  strides : int array;
+  storage : 'a storage;
+  default : 'a;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Keys                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let compute_strides dims =
+  let n = Array.length dims in
+  let strides = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    strides.(i) <- strides.(i + 1) * dims.(i + 1)
+  done;
+  strides
+
+let total_size dims = Array.fold_left ( * ) 1 dims
+
+let check_dims name dims =
+  if Array.length dims = 0 then
+    raise (Dimension_mismatch (name ^ ": zero-dimensional array"));
+  Array.iter
+    (fun d ->
+      if d <= 0 then
+        raise (Dimension_mismatch (name ^ ": nonpositive dimension")))
+    dims;
+  (* linearized keys must fit in an int *)
+  let rec check acc = function
+    | [] -> ()
+    | d :: rest ->
+        if acc > max_int / d then
+          raise (Dimension_mismatch (name ^ ": dimensions overflow int keys"))
+        else check (acc * d) rest
+  in
+  check 1 (Array.to_list dims)
+
+let linearize t key =
+  let n = Array.length t.dims in
+  if Array.length key <> n then
+    raise
+      (Dimension_mismatch
+         (Printf.sprintf "%s: key has %d dims, array has %d" t.name
+            (Array.length key) n));
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    let k = key.(i) in
+    if k < 0 || k >= t.dims.(i) then
+      raise
+        (Out_of_bounds
+           (Printf.sprintf "%s: index %d out of bounds for dim %d (size %d)"
+              t.name k i t.dims.(i)));
+    acc := !acc + (k * t.strides.(i))
+  done;
+  !acc
+
+let delinearize t lin =
+  Array.mapi (fun i _ -> lin / t.strides.(i) mod t.dims.(i)) t.dims
+
+(* ------------------------------------------------------------------ *)
+(* Creation                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Dense array initialized from the structured key. *)
+let init_dense ~name ~dims ~f =
+  check_dims name dims;
+  let strides = compute_strides dims in
+  let size = total_size dims in
+  let delin lin = Array.mapi (fun i _ -> lin / strides.(i) mod dims.(i)) dims in
+  let data = Array.init size (fun lin -> f (delin lin)) in
+  { name; dims; strides; storage = Dense data; default = data.(0) }
+
+let fill_dense ~name ~dims value =
+  check_dims name dims;
+  let strides = compute_strides dims in
+  {
+    name;
+    dims;
+    strides;
+    storage = Dense (Array.make (total_size dims) value);
+    default = value;
+  }
+
+let create_sparse ~name ~dims ~default =
+  check_dims name dims;
+  {
+    name;
+    dims;
+    strides = compute_strides dims;
+    storage = Sparse { table = Hashtbl.create 1024; sorted_keys = None };
+    default;
+  }
+
+let of_entries ~name ~dims ~default entries =
+  let t = create_sparse ~name ~dims ~default in
+  (match t.storage with
+  | Sparse s ->
+      List.iter
+        (fun (key, v) -> Hashtbl.replace s.table (linearize t key) v)
+        entries
+  | Dense _ -> assert false);
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Basic access                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let name t = t.name
+let dims t = t.dims
+let ndims t = Array.length t.dims
+
+let count t =
+  match t.storage with
+  | Dense d -> Array.length d
+  | Sparse s -> Hashtbl.length s.table
+
+let is_sparse t = match t.storage with Dense _ -> false | Sparse _ -> true
+
+(** Element count × 8 bytes: the communication size of a partition is
+    derived from this (values are floats or similarly-sized scalars). *)
+let bytes_per_element = 8.0
+
+let size_bytes t = float_of_int (count t) *. bytes_per_element
+
+let get t key =
+  let lin = linearize t key in
+  match t.storage with
+  | Dense d -> d.(lin)
+  | Sparse s -> ( match Hashtbl.find_opt s.table lin with Some v -> v | None -> t.default)
+
+let get_opt t key =
+  let lin = linearize t key in
+  match t.storage with
+  | Dense d -> Some d.(lin)
+  | Sparse s -> Hashtbl.find_opt s.table lin
+
+let set t key v =
+  let lin = linearize t key in
+  match t.storage with
+  | Dense d -> d.(lin) <- v
+  | Sparse s ->
+      if not (Hashtbl.mem s.table lin) then s.sorted_keys <- None;
+      Hashtbl.replace s.table lin v
+
+let update t key f =
+  let lin = linearize t key in
+  match t.storage with
+  | Dense d -> d.(lin) <- f d.(lin)
+  | Sparse s ->
+      let cur =
+        match Hashtbl.find_opt s.table lin with
+        | Some v -> v
+        | None ->
+            s.sorted_keys <- None;
+            t.default
+      in
+      Hashtbl.replace s.table lin (f cur)
+
+(* ------------------------------------------------------------------ *)
+(* Iteration (deterministic order)                                     *)
+(* ------------------------------------------------------------------ *)
+
+let sorted_keys t =
+  match t.storage with
+  | Dense d -> Array.init (Array.length d) Fun.id
+  | Sparse s -> (
+      match s.sorted_keys with
+      | Some k -> k
+      | None ->
+          let keys = Array.make (Hashtbl.length s.table) 0 in
+          let i = ref 0 in
+          Hashtbl.iter
+            (fun k _ ->
+              keys.(!i) <- k;
+              incr i)
+            s.table;
+          Array.sort compare keys;
+          s.sorted_keys <- Some keys;
+          keys)
+
+let value_of_lin t lin =
+  match t.storage with
+  | Dense d -> d.(lin)
+  | Sparse s -> (
+      match Hashtbl.find_opt s.table lin with Some v -> v | None -> t.default)
+
+(** Iterate over stored entries in ascending key order (deterministic
+    across runs, so serial executions are reproducible). *)
+let iter f t =
+  Array.iter (fun lin -> f (delinearize t lin) (value_of_lin t lin)) (sorted_keys t)
+
+let fold f acc t =
+  Array.fold_left
+    (fun acc lin -> f acc (delinearize t lin) (value_of_lin t lin))
+    acc (sorted_keys t)
+
+(** Stored entries, ascending key order. *)
+let entries t =
+  Array.map (fun lin -> (delinearize t lin, value_of_lin t lin)) (sorted_keys t)
+
+(* ------------------------------------------------------------------ *)
+(* Transformations                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let map ~name ~f t =
+  match t.storage with
+  | Dense d ->
+      {
+        t with
+        name;
+        storage = Dense (Array.map f d);
+        default = f t.default;
+      }
+  | Sparse s ->
+      let table = Hashtbl.create (Hashtbl.length s.table) in
+      Hashtbl.iter (fun k v -> Hashtbl.replace table k (f v)) s.table;
+      {
+        t with
+        name;
+        storage = Sparse { table; sorted_keys = s.sorted_keys };
+        default = f t.default;
+      }
+
+let map_entries ~name ~default ~f t =
+  let acc = fold (fun acc key v -> (key, v) :: acc) [] t in
+  of_entries ~name ~dims:t.dims ~default
+    (List.rev_map (fun (key, v) -> (key, f key v)) acc)
+
+(** Group stored entries by their index along [dim]; returns an
+    association from the index value to that slice's entries (the
+    paper's groupBy, evaluated eagerly). *)
+let group_by ~dim t =
+  let groups = Hashtbl.create 64 in
+  iter
+    (fun key v ->
+      let g = key.(dim) in
+      let cur = Option.value ~default:[] (Hashtbl.find_opt groups g) in
+      Hashtbl.replace groups g ((key, v) :: cur))
+    t;
+  Hashtbl.fold (fun g l acc -> (g, List.rev l) :: acc) groups []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* ------------------------------------------------------------------ *)
+(* Set queries on float arrays (for the interpreter and apps)          *)
+(* ------------------------------------------------------------------ *)
+
+(** Extract the 1-D slice of a float DistArray where exactly one
+    subscript is a range/All and the rest are points, e.g. [W\[:, j\]]. *)
+let slice_vec (t : float t) (subs : Orion_lang.Value.concrete_sub array) :
+    float array =
+  let n = Array.length t.dims in
+  if Array.length subs <> n then
+    raise (Dimension_mismatch (t.name ^ ": bad subscript arity"));
+  let var_dim = ref (-1) in
+  let lo = Array.make n 0 in
+  let hi = Array.make n 0 in
+  Array.iteri
+    (fun i s ->
+      match s with
+      | Orion_lang.Value.Cpoint p ->
+          lo.(i) <- p;
+          hi.(i) <- p
+      | Orion_lang.Value.Crange (a, b) ->
+          if !var_dim >= 0 then
+            raise (Dimension_mismatch (t.name ^ ": multiple range subscripts"));
+          var_dim := i;
+          lo.(i) <- a;
+          hi.(i) <- b
+      | Orion_lang.Value.Call_dim ->
+          if !var_dim >= 0 then
+            raise (Dimension_mismatch (t.name ^ ": multiple range subscripts"));
+          var_dim := i;
+          lo.(i) <- 0;
+          hi.(i) <- t.dims.(i) - 1)
+    subs;
+  if !var_dim < 0 then [| get t lo |]
+  else
+    let d = !var_dim in
+    Array.init
+      (hi.(d) - lo.(d) + 1)
+      (fun k ->
+        let key = Array.copy lo in
+        key.(d) <- lo.(d) + k;
+        get t key)
+
+let set_slice_vec (t : float t) (subs : Orion_lang.Value.concrete_sub array)
+    (v : float array) =
+  let n = Array.length t.dims in
+  let var_dim = ref (-1) in
+  let lo = Array.make n 0 in
+  let hi = Array.make n 0 in
+  Array.iteri
+    (fun i s ->
+      match s with
+      | Orion_lang.Value.Cpoint p ->
+          lo.(i) <- p;
+          hi.(i) <- p
+      | Orion_lang.Value.Crange (a, b) ->
+          var_dim := i;
+          lo.(i) <- a;
+          hi.(i) <- b
+      | Orion_lang.Value.Call_dim ->
+          var_dim := i;
+          lo.(i) <- 0;
+          hi.(i) <- t.dims.(i) - 1)
+    subs;
+  if !var_dim < 0 then set t lo v.(0)
+  else begin
+    let d = !var_dim in
+    let len = hi.(d) - lo.(d) + 1 in
+    if Array.length v <> len then
+      raise (Dimension_mismatch (t.name ^ ": slice length mismatch"));
+    for k = 0 to len - 1 do
+      let key = Array.copy lo in
+      key.(d) <- lo.(d) + k;
+      set t key v.(k)
+    done
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter bridge                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Expose a float DistArray to interpreted OrionScript code.  Optional
+    [on_get]/[on_set] hooks let the runtime charge communication or
+    record accesses. *)
+let to_extern ?(on_get = fun _ -> ()) ?(on_set = fun _ -> ()) (t : float t) :
+    Orion_lang.Value.extern =
+  let module V = Orion_lang.Value in
+  let all_points subs =
+    Array.for_all (function V.Cpoint _ -> true | _ -> false) subs
+  in
+  {
+    V.ex_name = t.name;
+    ex_dims = t.dims;
+    ex_get =
+      (fun subs ->
+        on_get subs;
+        if all_points subs then
+          V.Vfloat
+            (get t (Array.map (function V.Cpoint p -> p | _ -> 0) subs))
+        else V.Vvec (slice_vec t subs));
+    ex_set =
+      (fun subs v ->
+        on_set subs;
+        match v with
+        | V.Vfloat f when all_points subs ->
+            set t (Array.map (function V.Cpoint p -> p | _ -> 0) subs) f
+        | V.Vint i when all_points subs ->
+            set t
+              (Array.map (function V.Cpoint p -> p | _ -> 0) subs)
+              (float_of_int i)
+        | _ -> set_slice_vec t subs (V.to_vec v));
+    ex_iter = (fun f -> iter (fun key v -> f key (V.Vfloat v)) t);
+    ex_count = (fun () -> count t);
+  }
+
+(** Expose a sparse DistArray with arbitrary element type by converting
+    values with [to_value] (iteration only — e.g. SLR samples). *)
+let to_iter_extern ~to_value (t : 'a t) : Orion_lang.Value.extern =
+  let module V = Orion_lang.Value in
+  {
+    V.ex_name = t.name;
+    ex_dims = t.dims;
+    ex_get = (fun _ -> raise (Out_of_bounds (t.name ^ ": iteration only")));
+    ex_set = (fun _ _ -> raise (Out_of_bounds (t.name ^ ": iteration only")));
+    ex_iter = (fun f -> iter (fun key v -> f key (to_value v)) t);
+    ex_count = (fun () -> count t);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Text-file loading and checkpointing                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Load a sparse DistArray from a text file with a user-defined
+    per-line parser (paper: [Orion.text_file(path, parse_line)]). *)
+let text_file ~name ~dims ~default ~parse_line path =
+  let ic = open_in path in
+  let entries = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then
+         match parse_line line with
+         | Some (key, v) -> entries := (key, v) :: !entries
+         | None -> ()
+     done
+   with End_of_file -> close_in ic);
+  of_entries ~name ~dims ~default (List.rev !entries)
+
+(** Checkpoint to disk (eagerly evaluated; paper §4.3 fault tolerance). *)
+let checkpoint t path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Marshal.to_channel oc (t.name, t.dims, t.default, entries t) [])
+
+let restore ~name path : 'a t =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let saved_name, dims, default, (entries : (int array * 'a) array) =
+        (Marshal.from_channel ic : string * int array * 'a * (int array * 'a) array)
+      in
+      ignore saved_name;
+      of_entries ~name ~dims ~default (Array.to_list entries))

@@ -1,0 +1,119 @@
+(** Distributed Arrays — Orion's DSM abstraction (paper §3.1):
+    N-dimensional dense or sparse matrices with point/set queries,
+    deterministic iteration, map/group-by, text-file loading and
+    checkpointing.
+
+    Storage lives in one process; placement across simulated workers is
+    tracked by the runtime for communication accounting (serializable
+    schedules make the numerics placement-independent). *)
+
+exception Out_of_bounds of string
+exception Dimension_mismatch of string
+
+type 'a storage =
+  | Dense of 'a array  (** row-major *)
+  | Sparse of {
+      table : (int, 'a) Hashtbl.t;
+      mutable sorted_keys : int array option;
+    }
+
+type 'a t = {
+  name : string;
+  dims : int array;
+  strides : int array;
+  storage : 'a storage;
+  default : 'a;
+}
+
+(** {1 Keys} *)
+
+(** Row-major linearization of a structured key.
+    @raise Out_of_bounds / Dimension_mismatch on bad keys. *)
+val linearize : 'a t -> int array -> int
+
+val delinearize : 'a t -> int -> int array
+
+(** {1 Creation} *)
+
+(** Dense array initialized from the structured key. *)
+val init_dense : name:string -> dims:int array -> f:(int array -> 'a) -> 'a t
+
+val fill_dense : name:string -> dims:int array -> 'a -> 'a t
+val create_sparse : name:string -> dims:int array -> default:'a -> 'a t
+val of_entries :
+  name:string -> dims:int array -> default:'a -> (int array * 'a) list -> 'a t
+
+(** {1 Access} *)
+
+val name : 'a t -> string
+val dims : 'a t -> int array
+val ndims : 'a t -> int
+
+(** Stored entries (dense: every cell). *)
+val count : 'a t -> int
+
+val is_sparse : 'a t -> bool
+
+val bytes_per_element : float
+val size_bytes : 'a t -> float
+
+val get : 'a t -> int array -> 'a
+val get_opt : 'a t -> int array -> 'a option
+val set : 'a t -> int array -> 'a -> unit
+val update : 'a t -> int array -> ('a -> 'a) -> unit
+
+(** {1 Iteration — ascending key order, deterministic across runs} *)
+
+val sorted_keys : 'a t -> int array
+val iter : (int array -> 'a -> unit) -> 'a t -> unit
+val fold : ('acc -> int array -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val entries : 'a t -> (int array * 'a) array
+
+(** {1 Transformations} *)
+
+val map : name:string -> f:('a -> 'b) -> 'a t -> 'b t
+val map_entries :
+  name:string -> default:'b -> f:(int array -> 'a -> 'b) -> 'a t -> 'b t
+
+(** Group stored entries by their index along [dim] (the paper's
+    eagerly-evaluated groupBy). *)
+val group_by : dim:int -> 'a t -> (int * (int array * 'a) list) list
+
+(** {1 Set queries on float arrays} *)
+
+(** Extract a 1-D slice where at most one subscript is a range. *)
+val slice_vec : float t -> Orion_lang.Value.concrete_sub array -> float array
+
+val set_slice_vec :
+  float t -> Orion_lang.Value.concrete_sub array -> float array -> unit
+
+(** {1 Interpreter bridge} *)
+
+(** Expose a float DistArray to interpreted code; the hooks let the
+    runtime charge or record accesses. *)
+val to_extern :
+  ?on_get:(Orion_lang.Value.concrete_sub array -> unit) ->
+  ?on_set:(Orion_lang.Value.concrete_sub array -> unit) ->
+  float t ->
+  Orion_lang.Value.extern
+
+(** Iteration-only extern for arbitrary element types. *)
+val to_iter_extern :
+  to_value:('a -> Orion_lang.Value.t) -> 'a t -> Orion_lang.Value.extern
+
+(** {1 Text files and checkpointing} *)
+
+(** Load a sparse DistArray with a user-defined per-line parser
+    ([None] skips the line). *)
+val text_file :
+  name:string ->
+  dims:int array ->
+  default:'a ->
+  parse_line:(string -> (int array * 'a) option) ->
+  string ->
+  'a t
+
+(** Eagerly write to disk (paper §4.3 fault tolerance). *)
+val checkpoint : 'a t -> string -> unit
+
+val restore : name:string -> string -> 'a t

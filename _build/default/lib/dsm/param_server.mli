@@ -1,0 +1,44 @@
+(** A Bösen-style parameter server (Wei et al., SoCC'15): sharded master
+    copy, per-worker caches that always reflect the worker's own
+    updates, per-pass synchronization, managed communication under a
+    bandwidth budget, and the random-access / bulk-prefetch read paths
+    of paper §6.3. *)
+
+type t
+
+val create :
+  cluster:Orion_sim.Cluster.t ->
+  name:string ->
+  size:int ->
+  init:(int -> float) ->
+  t
+
+val size : t -> int
+
+(** The master copy (mutated by [sync] / [communicate_round]). *)
+val master : t -> float array
+
+(** Read parameter [i] from one worker's cache. *)
+val read : t -> worker:int -> int -> float
+
+(** Apply a delta: visible to this worker immediately, to others after
+    communication. *)
+val update : t -> worker:int -> int -> float -> unit
+
+val pending_updates : t -> worker:int -> int
+
+(** Per-pass synchronization barrier: apply all deltas, refresh caches;
+    charges the all-reduce.  [cache_entries] bounds the per-worker
+    refresh size (defaults to the whole model). *)
+val sync : ?cache_entries:int -> t -> unit
+
+(** One managed-communication round: each worker's largest-magnitude
+    pending deltas, limited by the byte budget, reach the master and
+    fresh values flow back.  Returns bytes sent. *)
+val communicate_round : t -> budget_bytes_per_worker:float -> float
+
+(** A server-side random access: charges a network round trip. *)
+val random_access_read : t -> worker:int -> int -> float
+
+(** A bulk prefetch of [n] entries: one round trip plus streaming. *)
+val bulk_fetch : t -> worker:int -> n:int -> unit

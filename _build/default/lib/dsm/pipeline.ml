@@ -1,0 +1,115 @@
+(** Lazy DistArray creation pipelines (paper §3.1).
+
+    Text-file loading and [map] operations are *recorded* rather than
+    evaluated; [materialize] forces the chain, fusing the user-defined
+    functions so no intermediate DistArray is allocated (the paper's
+    RDD-inspired optimization).  Set operations that shuffle (group-by)
+    are evaluated eagerly, as in the paper, so they live on
+    {!Dist_array} directly. *)
+
+type 'a source =
+  | Text_file of {
+      path : string;
+      dims : int array;
+      parse_line : string -> (int array * 'a) option;
+    }
+  | Entries of { dims : int array; entries : (int array * 'a) list }
+  | Of_array of 'a Dist_array.t
+
+(** A deferred DistArray of element type ['b], built from a source of
+    element type ['a] and a fused transformation chain. *)
+type ('a, 'b) t = {
+  name : string;
+  source : 'a source;
+  fused : int array -> 'a -> 'b option;
+      (** composed map/filter chain: [None] drops the entry *)
+  mutable op_count : int;  (** number of recorded operations *)
+}
+
+let dims_of_source = function
+  | Text_file { dims; _ } -> dims
+  | Entries { dims; _ } -> dims
+  | Of_array a -> Dist_array.dims a
+
+(** Start a pipeline from a text file with a user-defined parser. *)
+let text_file ~name ~dims ~parse_line path : ('a, 'a) t =
+  {
+    name;
+    source = Text_file { path; dims; parse_line };
+    fused = (fun _ v -> Some v);
+    op_count = 0;
+  }
+
+(** Start a pipeline from in-memory entries. *)
+let of_entries ~name ~dims entries : ('a, 'a) t =
+  {
+    name;
+    source = Entries { dims; entries };
+    fused = (fun _ v -> Some v);
+    op_count = 0;
+  }
+
+(** Start a pipeline from an existing DistArray. *)
+let of_dist_array (a : 'a Dist_array.t) : ('a, 'a) t =
+  {
+    name = Dist_array.name a;
+    source = Of_array a;
+    fused = (fun _ v -> Some v);
+    op_count = 0;
+  }
+
+(** Record a value map (the paper's [Orion.map ... map_values=true]);
+    lazy — fused into any previous operations. *)
+let map ?name ~f (p : ('a, 'b) t) : ('a, 'c) t =
+  {
+    name = Option.value name ~default:p.name;
+    source = p.source;
+    fused = (fun key v -> Option.map (f key) (p.fused key v));
+    op_count = p.op_count + 1;
+  }
+
+(** Record a filter; dropped entries never materialize. *)
+let filter ?name ~f (p : ('a, 'b) t) : ('a, 'b) t =
+  {
+    p with
+    name = Option.value name ~default:p.name;
+    fused =
+      (fun key v ->
+        match p.fused key v with
+        | Some v' when f key v' -> Some v'
+        | Some _ | None -> None);
+    op_count = p.op_count + 1;
+  }
+
+(** Number of recorded (fused) operations — observable laziness. *)
+let recorded_ops p = p.op_count
+
+(** Force the pipeline: a single pass over the source evaluates the
+    whole fused chain into one DistArray. *)
+let materialize ~default (p : ('a, 'b) t) : 'b Dist_array.t =
+  let dims = dims_of_source p.source in
+  let collect push =
+    match p.source with
+    | Text_file { path; parse_line; _ } ->
+        let ic = open_in path in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () ->
+            try
+              while true do
+                let line = input_line ic in
+                if String.trim line <> "" then
+                  match parse_line line with
+                  | Some (key, v) -> push key v
+                  | None -> ()
+              done
+            with End_of_file -> ())
+    | Entries { entries; _ } -> List.iter (fun (key, v) -> push key v) entries
+    | Of_array a -> Dist_array.iter push a
+  in
+  let out = ref [] in
+  collect (fun key v ->
+      match p.fused key v with
+      | Some v' -> out := (key, v') :: !out
+      | None -> ());
+  Dist_array.of_entries ~name:p.name ~dims ~default (List.rev !out)

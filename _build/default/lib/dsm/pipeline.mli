@@ -1,0 +1,27 @@
+(** Lazy DistArray creation pipelines (paper §3.1): text-file loading
+    and [map]/[filter] are recorded and fused; [materialize] forces the
+    chain in a single pass with no intermediate allocation. *)
+
+type ('a, 'b) t
+
+val text_file :
+  name:string ->
+  dims:int array ->
+  parse_line:(string -> (int array * 'a) option) ->
+  string ->
+  ('a, 'a) t
+
+val of_entries : name:string -> dims:int array -> (int array * 'a) list -> ('a, 'a) t
+val of_dist_array : 'a Dist_array.t -> ('a, 'a) t
+
+(** Lazy per-entry map (receives the structured key). *)
+val map : ?name:string -> f:(int array -> 'b -> 'c) -> ('a, 'b) t -> ('a, 'c) t
+
+(** Lazy filter; dropped entries never materialize. *)
+val filter : ?name:string -> f:(int array -> 'b -> bool) -> ('a, 'b) t -> ('a, 'b) t
+
+(** Number of recorded (fused) operations. *)
+val recorded_ops : ('a, 'b) t -> int
+
+(** Force the chain into one DistArray (single pass over the source). *)
+val materialize : default:'b -> ('a, 'b) t -> 'b Dist_array.t

@@ -1,0 +1,1 @@
+lib/lang/check.pp.ml: Ast Hashtbl List Map Printf String

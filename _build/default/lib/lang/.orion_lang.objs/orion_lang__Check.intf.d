@@ -1,0 +1,1 @@
+lib/lang/check.pp.mli: Ast

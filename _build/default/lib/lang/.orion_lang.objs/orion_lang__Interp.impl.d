@@ -1,0 +1,1 @@
+lib/lang/interp.pp.ml: Array Ast Float Hashtbl Int64 List Printf String Value

@@ -1,0 +1,1 @@
+lib/lang/interp.pp.mli: Ast Hashtbl Value

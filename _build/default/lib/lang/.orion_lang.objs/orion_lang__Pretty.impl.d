@@ -1,0 +1,1 @@
+lib/lang/pretty.pp.ml: Ast Float Fmt List String

@@ -1,0 +1,1 @@
+lib/lang/pretty.pp.mli: Ast Format

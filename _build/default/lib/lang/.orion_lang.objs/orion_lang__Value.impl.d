@@ -1,0 +1,1 @@
+lib/lang/value.pp.ml: Float Fmt Printf

@@ -1,0 +1,199 @@
+(** Static semantic checks for OrionScript programs.
+
+    The interpreter reports these problems at run time; checking them
+    before JIT compilation gives the driver programmer compile-time
+    feedback, like Julia's linting.  Checks:
+
+    - use of a variable before any definition reaches it (an error when
+      no path defines it, a warning when only some paths do);
+    - [break]/[continue] outside any loop;
+    - wrong arity for the built-in functions;
+    - a [@parallel_for] nested inside another [@parallel_for]
+      (unsupported by the runtime);
+    - assignment to a parallel loop's key variable inside its body. *)
+
+open Ast
+
+type severity = Error | Warning
+
+type diagnostic = { severity : severity; message : string }
+
+let errorf fmt = Printf.ksprintf (fun message -> { severity = Error; message }) fmt
+let warnf fmt = Printf.ksprintf (fun message -> { severity = Warning; message }) fmt
+
+let errors diags = List.filter (fun d -> d.severity = Error) diags
+
+let diagnostic_to_string d =
+  (match d.severity with Error -> "error: " | Warning -> "warning: ")
+  ^ d.message
+
+(* arities of the built-ins the interpreter provides; [None] in the
+   list means the name is variadic *)
+let builtin_arities =
+  [
+    ("dot", [ 2 ]);
+    ("norm", [ 1 ]);
+    ("zeros", [ 1 ]);
+    ("fill", [ 2 ]);
+    ("length", [ 1 ]);
+    ("size", [ 1; 2 ]);
+    ("sum", [ 1 ]);
+    ("abs", [ 1 ]);
+    ("abs2", [ 1 ]);
+    ("exp", [ 1 ]);
+    ("log", [ 1 ]);
+    ("sqrt", [ 1 ]);
+    ("sigmoid", [ 1 ]);
+    ("floor", [ 1 ]);
+    ("ceil", [ 1 ]);
+    ("round", [ 1 ]);
+    ("float", [ 1 ]);
+    ("int", [ 1 ]);
+    ("min", [ 2 ]);
+    ("max", [ 2 ]);
+    ("rand", [ 0 ]);
+    ("randn", [ 0; 1 ]);
+    ("rand_int", [ 1 ]);
+    ("get_aggregated_value", [ 1 ]);
+    ("reset_accumulator", [ 1 ]);
+  ]
+
+(* A variable's definedness state along the current path. *)
+module Env = Map.Make (String)
+
+type defined = Definitely | Maybe
+
+let join a b =
+  match (a, b) with
+  | Some Definitely, Some Definitely -> Some Definitely
+  | None, None -> None
+  | _ -> Some Maybe
+
+let join_envs (a : defined Env.t) (b : defined Env.t) =
+  Env.merge (fun _ va vb -> join va vb) a b
+
+(** Check a program.  [globals] are names defined by the host (registered
+    DistArrays, CLI bindings, ...). *)
+let check_program ?(globals = []) (program : block) : diagnostic list =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let seen_undefined = Hashtbl.create 16 in
+  let report_use env v =
+    match Env.find_opt v env with
+    | Some Definitely -> ()
+    | (Some Maybe | None) when Hashtbl.mem seen_undefined v -> ()
+    | Some Maybe ->
+        Hashtbl.add seen_undefined v ();
+        add (warnf "variable %s may be undefined on some paths" v)
+    | None ->
+        Hashtbl.add seen_undefined v ();
+        add (errorf "variable %s is used before being defined" v)
+  in
+  let check_call name nargs =
+    match List.assoc_opt name builtin_arities with
+    | Some arities when not (List.mem nargs arities) ->
+        add
+          (errorf "%s expects %s argument(s), got %d" name
+             (String.concat " or " (List.map string_of_int arities))
+             nargs)
+    | Some _ | None -> ()
+  in
+  let rec check_expr env e =
+    match e with
+    | Int_lit _ | Float_lit _ | Bool_lit _ | String_lit _ -> ()
+    | Var v -> report_use env v
+    | Index (base, subs) ->
+        check_expr env base;
+        List.iter (check_sub env) subs
+    | Binop (_, a, b) ->
+        check_expr env a;
+        check_expr env b
+    | Unop (_, a) -> check_expr env a
+    | Call (name, args) ->
+        check_call name (List.length args);
+        List.iter (check_expr env) args
+    | Tuple es -> List.iter (check_expr env) es
+  and check_sub env = function
+    | Sub_all -> ()
+    | Sub_expr e -> check_expr env e
+    | Sub_range (lo, hi) ->
+        check_expr env lo;
+        check_expr env hi
+  in
+  (* returns the environment after the statement *)
+  let rec check_stmt ~in_loop ~parallel_keys env stmt =
+    match stmt with
+    | Assign (lhs, e) ->
+        check_expr env e;
+        check_lhs ~parallel_keys env lhs
+    | Op_assign (_, lhs, e) ->
+        check_expr env e;
+        (* an op-assign also reads the left-hand side *)
+        (match lhs with
+        | Lvar v -> report_use env v
+        | Lindex (v, subs) ->
+            report_use env v;
+            List.iter (check_sub env) subs);
+        check_lhs ~parallel_keys env lhs
+    | If (cond, then_b, else_b) ->
+        check_expr env cond;
+        let env_t = check_block ~in_loop ~parallel_keys env then_b in
+        let env_e = check_block ~in_loop ~parallel_keys env else_b in
+        join_envs env_t env_e
+    | While (cond, body) ->
+        check_expr env cond;
+        let env_body = check_block ~in_loop:true ~parallel_keys env body in
+        (* the body may not run: definitions inside are Maybe *)
+        join_envs env env_body
+    | For { kind; body; parallel } ->
+        let env_loop, parallel_keys =
+          match kind with
+          | Range_loop { var; lo; hi } ->
+              check_expr env lo;
+              check_expr env hi;
+              (Env.add var Definitely env, parallel_keys)
+          | Each_loop { key; value; arr } ->
+              report_use env arr;
+              (match parallel with
+              | Some _ when parallel_keys <> [] ->
+                  add
+                    (errorf
+                       "@parallel_for cannot be nested inside another \
+                        @parallel_for")
+              | Some _ | None -> ());
+              ( Env.add key Definitely (Env.add value Definitely env),
+                match parallel with
+                | Some _ -> key :: parallel_keys
+                | None -> parallel_keys )
+        in
+        let env_body =
+          check_block ~in_loop:true ~parallel_keys env_loop body
+        in
+        join_envs env env_body
+    | Expr_stmt e ->
+        check_expr env e;
+        env
+    | Break | Continue ->
+        if not in_loop then
+          add
+            (errorf "%s outside of a loop"
+               (match stmt with Break -> "break" | _ -> "continue"));
+        env
+  and check_lhs ~parallel_keys env lhs =
+    match lhs with
+    | Lvar v ->
+        if List.mem v parallel_keys then
+          add (warnf "assignment to parallel loop index variable %s" v);
+        Env.add v Definitely env
+    | Lindex (v, subs) ->
+        report_use env v;
+        List.iter (check_sub env) subs;
+        env
+  and check_block ~in_loop ~parallel_keys env block =
+    List.fold_left (check_stmt ~in_loop ~parallel_keys) env block
+  in
+  let env0 =
+    List.fold_left (fun e v -> Env.add v Definitely e) Env.empty globals
+  in
+  ignore (check_block ~in_loop:false ~parallel_keys:[] env0 program);
+  List.rev !diags

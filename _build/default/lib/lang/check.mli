@@ -1,0 +1,16 @@
+(** Static semantic checks for OrionScript programs: use before
+    definition, [break]/[continue] placement, builtin arity, nested
+    [@parallel_for], assignment to a parallel loop's index variable. *)
+
+type severity = Error | Warning
+
+type diagnostic = { severity : severity; message : string }
+
+val diagnostic_to_string : diagnostic -> string
+
+(** The subset of [diags] that are errors. *)
+val errors : diagnostic list -> diagnostic list
+
+(** Check a program.  [globals] are names defined by the host
+    (registered DistArrays, CLI bindings, driver constants). *)
+val check_program : ?globals:string list -> Ast.block -> diagnostic list

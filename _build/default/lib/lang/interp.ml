@@ -1,0 +1,382 @@
+(** Tree-walking interpreter for OrionScript.
+
+    This plays the role of Julia's JIT in the paper's prototype: the
+    analysis operates on the AST, and the same AST is then *executed* —
+    either serially by the driver, or iteration-by-iteration by the
+    distributed executor via {!eval_body_for}.
+
+    Distributed arrays are visible only through {!Value.extern} handles
+    installed in the environment by the host. *)
+
+open Ast
+open Value
+
+exception Runtime_error of string
+
+exception Break_exc
+exception Continue_exc
+
+(** A deterministic splitmix64 generator so interpreted programs are
+    reproducible across runs and platforms. *)
+module Rng = struct
+  type t = { mutable state : int64 }
+
+  let create seed = { state = Int64.of_int seed }
+
+  let next t =
+    let open Int64 in
+    t.state <- add t.state 0x9E3779B97F4A7C15L;
+    let z = t.state in
+    let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+    logxor z (shift_right_logical z 31)
+
+  let float t =
+    (* uniform in [0, 1) from the top 53 bits *)
+    let bits = Int64.shift_right_logical (next t) 11 in
+    Int64.to_float bits /. 9007199254740992.0
+
+  let gaussian t =
+    (* Box–Muller; one value per call is fine at our scale *)
+    let u1 = max (float t) 1e-300 in
+    let u2 = float t in
+    sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+end
+
+type env = {
+  vars : (string, Value.t) Hashtbl.t;
+  rng : Rng.t;
+  host_call : string -> Value.t list -> Value.t option;
+      (** extra builtins supplied by the host; returns [None] if the
+          name is not a host builtin *)
+  mutable on_parallel_for : (env -> Ast.stmt -> unit) option;
+      (** when set, @parallel_for statements are routed here (the
+          distributed runtime) instead of executing serially *)
+}
+
+let create_env ?(seed = 42) ?(host_call = fun _ _ -> None) () =
+  {
+    vars = Hashtbl.create 64;
+    rng = Rng.create seed;
+    host_call;
+    on_parallel_for = None;
+  }
+
+let set_var env name v = Hashtbl.replace env.vars name v
+
+let get_var env name =
+  match Hashtbl.find_opt env.vars name with
+  | Some v -> v
+  | None -> raise (Runtime_error (Printf.sprintf "undefined variable %s" name))
+
+let var_opt env name = Hashtbl.find_opt env.vars name
+
+(* ------------------------------------------------------------------ *)
+(* Arithmetic                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let vec_map2 op a b =
+  if Array.length a <> Array.length b then
+    raise
+      (Runtime_error
+         (Printf.sprintf "vector length mismatch: %d vs %d" (Array.length a)
+            (Array.length b)))
+  else Array.init (Array.length a) (fun i -> op a.(i) b.(i))
+
+let num_binop op_int op_float a b =
+  match (a, b) with
+  | Vint x, Vint y -> Vint (op_int x y)
+  | (Vint _ | Vfloat _), (Vint _ | Vfloat _) ->
+      Vfloat (op_float (to_float a) (to_float b))
+  | Vvec x, Vvec y -> Vvec (vec_map2 op_float x y)
+  | Vvec x, (Vint _ | Vfloat _) ->
+      let s = to_float b in
+      Vvec (Array.map (fun v -> op_float v s) x)
+  | (Vint _ | Vfloat _), Vvec y ->
+      let s = to_float a in
+      Vvec (Array.map (fun v -> op_float s v) y)
+  | _ ->
+      raise
+        (Type_error
+           (Printf.sprintf "cannot apply arithmetic to %s and %s" (type_name a)
+              (type_name b)))
+
+let compare_values op a b =
+  match (a, b) with
+  | (Vint _ | Vfloat _), (Vint _ | Vfloat _) ->
+      Vbool (op (compare (to_float a) (to_float b)) 0)
+  | Vstring x, Vstring y -> Vbool (op (String.compare x y) 0)
+  | Vbool x, Vbool y -> Vbool (op (compare x y) 0)
+  | _ ->
+      raise
+        (Type_error
+           (Printf.sprintf "cannot compare %s and %s" (type_name a)
+              (type_name b)))
+
+let eval_binop op a b =
+  match op with
+  | Add -> num_binop ( + ) ( +. ) a b
+  | Sub -> num_binop ( - ) ( -. ) a b
+  | Mul -> num_binop ( * ) ( *. ) a b
+  | Div -> (
+      match (a, b) with
+      | Vint x, Vint y ->
+          if y = 0 then raise (Runtime_error "division by zero")
+          else Vint (x / y)
+      | _ -> num_binop ( / ) ( /. ) a b)
+  | Mod -> (
+      match (a, b) with
+      | Vint x, Vint y ->
+          if y = 0 then raise (Runtime_error "mod by zero")
+          else Vint (((x mod y) + y) mod y)
+      | _ -> Vfloat (Float.rem (to_float a) (to_float b)))
+  | Pow -> (
+      match (a, b) with
+      | Vint x, Vint y when y >= 0 ->
+          let rec go acc n = if n = 0 then acc else go (acc * x) (n - 1) in
+          Vint (go 1 y)
+      | _ -> Vfloat (Float.pow (to_float a) (to_float b)))
+  | Eq -> compare_values ( = ) a b
+  | Ne -> compare_values ( <> ) a b
+  | Lt -> compare_values ( < ) a b
+  | Le -> compare_values ( <= ) a b
+  | Gt -> compare_values ( > ) a b
+  | Ge -> compare_values ( >= ) a b
+  | And -> Vbool (to_bool a && to_bool b)
+  | Or -> Vbool (to_bool a || to_bool b)
+
+(* ------------------------------------------------------------------ *)
+(* Builtins                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let float_fun1 name f args =
+  match args with
+  | [ v ] -> Vfloat (f (to_float v))
+  | _ -> raise (Runtime_error (name ^ " expects 1 argument"))
+
+let eval_builtin env name args =
+  match (name, args) with
+  | "dot", [ a; b ] ->
+      let x = to_vec a and y = to_vec b in
+      let acc = ref 0.0 in
+      Array.iteri (fun i v -> acc := !acc +. (v *. y.(i))) x;
+      Vfloat !acc
+  | "norm", [ a ] ->
+      let x = to_vec a in
+      Vfloat (sqrt (Array.fold_left (fun s v -> s +. (v *. v)) 0.0 x))
+  | "zeros", [ n ] -> Vvec (Array.make (to_int n) 0.0)
+  | "fill", [ v; n ] -> Vvec (Array.make (to_int n) (to_float v))
+  | "length", [ Vvec v ] -> Vint (Array.length v)
+  | "length", [ Vextern ex ] -> Vint (ex.ex_count ())
+  | "length", [ Vtuple vs ] -> Vint (List.length vs)
+  | "length", [ Vindex idx ] -> Vint (Array.length idx)
+  | "size", [ Vextern ex ] ->
+      Vtuple (Array.to_list (Array.map (fun d -> Vint d) ex.ex_dims))
+  | "size", [ Vextern ex; d ] -> Vint ex.ex_dims.(to_int d - 1)
+  | "sum", [ Vvec v ] -> Vfloat (Array.fold_left ( +. ) 0.0 v)
+  | "abs", [ Vint n ] -> Vint (abs n)
+  | "abs", [ v ] -> Vfloat (Float.abs (to_float v))
+  | "abs2", [ v ] ->
+      let f = to_float v in
+      Vfloat (f *. f)
+  | "exp", args -> float_fun1 "exp" exp args
+  | "log", args -> float_fun1 "log" log args
+  | "sqrt", args -> float_fun1 "sqrt" sqrt args
+  | "sigmoid", [ v ] ->
+      let x = to_float v in
+      Vfloat (1.0 /. (1.0 +. exp (-.x)))
+  | "floor", [ v ] -> Vint (int_of_float (Float.floor (to_float v)))
+  | "ceil", [ v ] -> Vint (int_of_float (Float.ceil (to_float v)))
+  | "round", [ v ] -> Vint (int_of_float (Float.round (to_float v)))
+  | "float", [ v ] -> Vfloat (to_float v)
+  | "int", [ v ] -> Vint (to_int v)
+  | "min", [ a; b ] -> Vfloat (Float.min (to_float a) (to_float b))
+  | "max", [ a; b ] -> Vfloat (Float.max (to_float a) (to_float b))
+  | "rand", [] -> Vfloat (Rng.float env.rng)
+  | "randn", [] -> Vfloat (Rng.gaussian env.rng)
+  | "randn", [ n ] ->
+      Vvec (Array.init (to_int n) (fun _ -> Rng.gaussian env.rng))
+  | "rand_int", [ n ] ->
+      (* uniform in [0, n) *)
+      let n = to_int n in
+      if n <= 0 then raise (Runtime_error "rand_int expects a positive bound")
+      else Vint (int_of_float (Rng.float env.rng *. float_of_int n))
+  | "println", args ->
+      List.iter (fun v -> print_string (Value.to_string v)) args;
+      print_newline ();
+      Vunit
+  | _, _ -> (
+      match env.host_call name args with
+      | Some v -> v
+      | None ->
+          raise (Runtime_error (Printf.sprintf "unknown function %s/%d" name
+                                   (List.length args))))
+
+(* ------------------------------------------------------------------ *)
+(* Subscript evaluation                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Surface subscripts are 1-based (Julia); concrete subscripts are
+   0-based. *)
+
+let rec eval_concrete_sub env = function
+  | Sub_all -> Call_dim
+  | Sub_expr e -> Cpoint (to_int (eval_expr env e) - 1)
+  | Sub_range (lo, hi) ->
+      Crange (to_int (eval_expr env lo) - 1, to_int (eval_expr env hi) - 1)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+and eval_expr env e =
+  match e with
+  | Int_lit n -> Vint n
+  | Float_lit f -> Vfloat f
+  | Bool_lit b -> Vbool b
+  | String_lit s -> Vstring s
+  | Var v -> get_var env v
+  | Binop (And, a, b) ->
+      (* short-circuit *)
+      if to_bool (eval_expr env a) then Vbool (to_bool (eval_expr env b))
+      else Vbool false
+  | Binop (Or, a, b) ->
+      if to_bool (eval_expr env a) then Vbool true
+      else Vbool (to_bool (eval_expr env b))
+  | Binop (op, a, b) -> eval_binop op (eval_expr env a) (eval_expr env b)
+  | Unop (Neg, a) -> (
+      match eval_expr env a with
+      | Vint n -> Vint (-n)
+      | Vfloat f -> Vfloat (-.f)
+      | Vvec v -> Vvec (Array.map Float.neg v)
+      | v -> raise (Type_error ("cannot negate " ^ type_name v)))
+  | Unop (Not, a) -> Vbool (not (to_bool (eval_expr env a)))
+  | Call (f, args) ->
+      let args = List.map (eval_expr env) args in
+      eval_builtin env f args
+  | Tuple es -> Vtuple (List.map (eval_expr env) es)
+  | Index (base, subs) -> (
+      match eval_expr env base with
+      | Vextern ex ->
+          let csubs = Array.of_list (List.map (eval_concrete_sub env) subs) in
+          ex.ex_get csubs
+      | Vvec v -> (
+          match subs with
+          | [ Sub_expr e ] -> Vfloat v.(to_int (eval_expr env e) - 1)
+          | [ Sub_all ] -> Vvec (Array.copy v)
+          | [ Sub_range (lo, hi) ] ->
+              let lo = to_int (eval_expr env lo) - 1 in
+              let hi = to_int (eval_expr env hi) - 1 in
+              Vvec (Array.sub v lo (hi - lo + 1))
+          | _ -> raise (Runtime_error "vectors take exactly one subscript"))
+      | Vindex idx -> (
+          match subs with
+          | [ Sub_expr e ] -> Vint (idx.(to_int (eval_expr env e) - 1) + 1)
+          | _ -> raise (Runtime_error "index vectors take one point subscript"))
+      | Vtuple vs -> (
+          match subs with
+          | [ Sub_expr e ] -> List.nth vs (to_int (eval_expr env e) - 1)
+          | _ -> raise (Runtime_error "tuples take one point subscript"))
+      | v -> raise (Type_error ("cannot index a " ^ type_name v)))
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let assign_lvalue env lhs v =
+  match lhs with
+  | Lvar name -> set_var env name v
+  | Lindex (name, subs) -> (
+      match get_var env name with
+      | Vextern ex ->
+          let csubs = Array.of_list (List.map (eval_concrete_sub env) subs) in
+          ex.ex_set csubs v
+      | Vvec arr -> (
+          match subs with
+          | [ Sub_expr e ] ->
+              arr.(to_int (eval_expr env e) - 1) <- to_float v
+          | [ Sub_all ] ->
+              let src = to_vec v in
+              if Array.length src <> Array.length arr then
+                raise (Runtime_error "vector length mismatch in assignment")
+              else Array.blit src 0 arr 0 (Array.length arr)
+          | [ Sub_range (lo, hi) ] ->
+              let lo = to_int (eval_expr env lo) - 1 in
+              let hi = to_int (eval_expr env hi) - 1 in
+              let src = to_vec v in
+              if Array.length src <> hi - lo + 1 then
+                raise (Runtime_error "vector length mismatch in assignment")
+              else Array.blit src 0 arr lo (hi - lo + 1)
+          | _ -> raise (Runtime_error "unsupported vector assignment"))
+      | other ->
+          raise (Type_error ("cannot assign into a " ^ type_name other)))
+
+let read_lvalue env = function
+  | Lvar name -> get_var env name
+  | Lindex (name, subs) -> eval_expr env (Index (Var name, subs))
+
+let rec exec_stmt env stmt =
+  match stmt with
+  | Assign (lhs, e) -> assign_lvalue env lhs (eval_expr env e)
+  | Op_assign (op, lhs, e) ->
+      let cur = read_lvalue env lhs in
+      let rhs = eval_expr env e in
+      assign_lvalue env lhs (eval_binop op cur rhs)
+  | If (cond, then_b, else_b) ->
+      if to_bool (eval_expr env cond) then exec_block env then_b
+      else exec_block env else_b
+  | While (cond, body) ->
+      (try
+         while to_bool (eval_expr env cond) do
+           try exec_block env body with Continue_exc -> ()
+         done
+       with Break_exc -> ())
+  | For { kind; body; parallel } -> (
+      match (parallel, env.on_parallel_for) with
+      | Some _, Some handler -> handler env stmt
+      | (Some _ | None), _ ->
+          (* without a runtime handler the driver executes a parallel
+             for-loop serially *)
+          exec_loop env kind body)
+  | Expr_stmt e -> ignore (eval_expr env e)
+  | Break -> raise Break_exc
+  | Continue -> raise Continue_exc
+
+and exec_loop env kind body =
+  match kind with
+  | Range_loop { var; lo; hi } -> (
+      let lo = to_int (eval_expr env lo) in
+      let hi = to_int (eval_expr env hi) in
+      try
+        for i = lo to hi do
+          set_var env var (Vint i);
+          try exec_block env body with Continue_exc -> ()
+        done
+      with Break_exc -> ())
+  | Each_loop { key; value; arr } -> (
+      match get_var env arr with
+      | Vextern ex -> (
+          try
+            ex.ex_iter (fun idx v ->
+                set_var env key (Vindex idx);
+                set_var env value v;
+                try exec_block env body with Continue_exc -> ())
+          with Break_exc -> ())
+      | v ->
+          raise
+            (Type_error
+               (Printf.sprintf "cannot iterate over %s (variable %s)"
+                  (type_name v) arr)))
+
+and exec_block env block = List.iter (exec_stmt env) block
+
+(** Run a whole program in [env]. *)
+let run_program env program = exec_block env program
+
+(** Execute the body of a parallel for-loop for a single iteration:
+    binds the loop's key and value variables, then runs the body.
+    This is the unit of work the distributed executor schedules. *)
+let eval_body_for env ~key_var ~value_var ~key ~value body =
+  set_var env key_var (Vindex key);
+  set_var env value_var value;
+  try exec_block env body with Continue_exc -> ()

@@ -1,0 +1,59 @@
+(** Tree-walking interpreter for OrionScript — the stand-in for Julia's
+    JIT in the paper's prototype.  Distributed arrays appear only as
+    {!Value.extern} handles installed in the environment by the host. *)
+
+exception Runtime_error of string
+exception Break_exc
+exception Continue_exc
+
+(** Deterministic splitmix64 RNG backing [rand]/[randn]. *)
+module Rng : sig
+  type t
+
+  val create : int -> t
+  val float : t -> float  (** uniform in [0, 1) *)
+  val gaussian : t -> float  (** standard normal *)
+end
+
+type env = {
+  vars : (string, Value.t) Hashtbl.t;
+  rng : Rng.t;
+  host_call : string -> Value.t list -> Value.t option;
+      (** extra builtins supplied by the host; [None] = not handled *)
+  mutable on_parallel_for : (env -> Ast.stmt -> unit) option;
+      (** when set, [@parallel_for] statements are routed here (the
+          distributed runtime) instead of executing serially *)
+}
+
+val create_env :
+  ?seed:int -> ?host_call:(string -> Value.t list -> Value.t option) -> unit -> env
+
+val set_var : env -> string -> Value.t -> unit
+
+(** @raise Runtime_error if the variable is undefined. *)
+val get_var : env -> string -> Value.t
+
+val var_opt : env -> string -> Value.t option
+
+(** Evaluate a binary operation on values (numeric promotion,
+    element-wise vector arithmetic). *)
+val eval_binop : Ast.binop -> Value.t -> Value.t -> Value.t
+
+val eval_expr : env -> Ast.expr -> Value.t
+val exec_stmt : env -> Ast.stmt -> unit
+val exec_block : env -> Ast.block -> unit
+
+(** Run a whole program in [env]. *)
+val run_program : env -> Ast.program -> unit
+
+(** Execute the body of a parallel for-loop for one iteration: binds
+    the loop's key and value variables, runs the body (this is the unit
+    of work the distributed executor schedules). *)
+val eval_body_for :
+  env ->
+  key_var:string ->
+  value_var:string ->
+  key:int array ->
+  value:Value.t ->
+  Ast.block ->
+  unit

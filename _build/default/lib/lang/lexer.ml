@@ -1,0 +1,338 @@
+(** Hand-written lexer for OrionScript.
+
+    Produces a token stream with line/column positions for error
+    reporting.  Comments start with [#] and run to end of line. *)
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | IDENT of string
+  | KW_FOR
+  | KW_IN
+  | KW_END
+  | KW_IF
+  | KW_ELSE
+  | KW_ELSEIF
+  | KW_WHILE
+  | KW_TRUE
+  | KW_FALSE
+  | KW_BREAK
+  | KW_CONTINUE
+  | KW_PARALLEL_FOR  (** [@parallel_for] *)
+  | KW_ORDERED
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | CARET
+  | EQ  (** [=] *)
+  | PLUS_EQ
+  | MINUS_EQ
+  | STAR_EQ
+  | SLASH_EQ
+  | EQEQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | ANDAND
+  | OROR
+  | BANG
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | COLON
+  | NEWLINE
+  | EOF
+
+type pos = { line : int; col : int }
+
+type located = { tok : token; pos : pos }
+
+exception Lex_error of string * pos
+
+let token_name = function
+  | INT n -> Printf.sprintf "INT(%d)" n
+  | FLOAT f -> Printf.sprintf "FLOAT(%g)" f
+  | STRING s -> Printf.sprintf "STRING(%S)" s
+  | IDENT s -> Printf.sprintf "IDENT(%s)" s
+  | KW_FOR -> "for"
+  | KW_IN -> "in"
+  | KW_END -> "end"
+  | KW_IF -> "if"
+  | KW_ELSE -> "else"
+  | KW_ELSEIF -> "elseif"
+  | KW_WHILE -> "while"
+  | KW_TRUE -> "true"
+  | KW_FALSE -> "false"
+  | KW_BREAK -> "break"
+  | KW_CONTINUE -> "continue"
+  | KW_PARALLEL_FOR -> "@parallel_for"
+  | KW_ORDERED -> "ordered"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | CARET -> "^"
+  | EQ -> "="
+  | PLUS_EQ -> "+="
+  | MINUS_EQ -> "-="
+  | STAR_EQ -> "*="
+  | SLASH_EQ -> "/="
+  | EQEQ -> "=="
+  | NE -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | ANDAND -> "&&"
+  | OROR -> "||"
+  | BANG -> "!"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | COMMA -> ","
+  | COLON -> ":"
+  | NEWLINE -> "<newline>"
+  | EOF -> "<eof>"
+
+let keyword_of_ident = function
+  | "for" -> Some KW_FOR
+  | "in" -> Some KW_IN
+  | "end" -> Some KW_END
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "elseif" -> Some KW_ELSEIF
+  | "while" -> Some KW_WHILE
+  | "true" -> Some KW_TRUE
+  | "false" -> Some KW_FALSE
+  | "break" -> Some KW_BREAK
+  | "continue" -> Some KW_CONTINUE
+  | "ordered" -> Some KW_ORDERED
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+type state = {
+  src : string;
+  mutable off : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let peek st = if st.off < String.length st.src then Some st.src.[st.off] else None
+
+let peek2 st =
+  if st.off + 1 < String.length st.src then Some st.src.[st.off + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.off <- st.off + 1
+
+let current_pos st = { line = st.line; col = st.col }
+
+let rec skip_spaces_and_comments st =
+  match peek st with
+  | Some (' ' | '\t' | '\r') ->
+      advance st;
+      skip_spaces_and_comments st
+  | Some '#' ->
+      let rec to_eol () =
+        match peek st with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance st;
+            to_eol ()
+      in
+      to_eol ();
+      skip_spaces_and_comments st
+  | Some _ | None -> ()
+
+let lex_number st =
+  let start = st.off in
+  let pos = current_pos st in
+  let consume_digits () =
+    while (match peek st with Some c -> is_digit c | None -> false) do
+      advance st
+    done
+  in
+  consume_digits ();
+  let is_float = ref false in
+  (* A '.' starts a fraction only if followed by a digit; this keeps
+     future field-access syntax available. *)
+  (match (peek st, peek2 st) with
+  | Some '.', Some c when is_digit c ->
+      is_float := true;
+      advance st;
+      consume_digits ()
+  | _ -> ());
+  (match peek st with
+  | Some ('e' | 'E') ->
+      is_float := true;
+      advance st;
+      (match peek st with Some ('+' | '-') -> advance st | _ -> ());
+      consume_digits ()
+  | _ -> ());
+  let text = String.sub st.src start (st.off - start) in
+  if !is_float then
+    match float_of_string_opt text with
+    | Some f -> FLOAT f
+    | None -> raise (Lex_error (Printf.sprintf "bad float literal %S" text, pos))
+  else
+    match int_of_string_opt text with
+    | Some n -> INT n
+    | None -> raise (Lex_error (Printf.sprintf "bad int literal %S" text, pos))
+
+let lex_string st =
+  let pos = current_pos st in
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> raise (Lex_error ("unterminated string", pos))
+    | Some '"' -> advance st
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | Some 'n' ->
+            Buffer.add_char buf '\n';
+            advance st;
+            go ()
+        | Some 't' ->
+            Buffer.add_char buf '\t';
+            advance st;
+            go ()
+        | Some c ->
+            Buffer.add_char buf c;
+            advance st;
+            go ()
+        | None -> raise (Lex_error ("unterminated string escape", pos)))
+    | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        go ()
+  in
+  go ();
+  STRING (Buffer.contents buf)
+
+let lex_ident st =
+  let start = st.off in
+  while (match peek st with Some c -> is_ident_char c | None -> false) do
+    advance st
+  done;
+  let text = String.sub st.src start (st.off - start) in
+  match keyword_of_ident text with Some kw -> kw | None -> IDENT text
+
+let lex_at st =
+  let pos = current_pos st in
+  advance st;
+  let start = st.off in
+  while (match peek st with Some c -> is_ident_char c | None -> false) do
+    advance st
+  done;
+  let text = String.sub st.src start (st.off - start) in
+  match text with
+  | "parallel_for" -> KW_PARALLEL_FOR
+  | other -> raise (Lex_error (Printf.sprintf "unknown macro @%s" other, pos))
+
+let next_token st =
+  skip_spaces_and_comments st;
+  let pos = current_pos st in
+  match peek st with
+  | None -> { tok = EOF; pos }
+  | Some c ->
+      let simple tok =
+        advance st;
+        { tok; pos }
+      in
+      let two_char next one two =
+        advance st;
+        if peek st = Some next then (
+          advance st;
+          { tok = two; pos })
+        else { tok = one; pos }
+      in
+      if c = '\n' then simple NEWLINE
+      else if is_digit c then { tok = lex_number st; pos }
+      else if c = '"' then { tok = lex_string st; pos }
+      else if is_ident_start c then { tok = lex_ident st; pos }
+      else if c = '@' then { tok = lex_at st; pos }
+      else
+        match c with
+        | '+' -> two_char '=' PLUS PLUS_EQ
+        | '-' -> two_char '=' MINUS MINUS_EQ
+        | '*' -> two_char '=' STAR STAR_EQ
+        | '/' -> two_char '=' SLASH SLASH_EQ
+        | '%' -> simple PERCENT
+        | '^' -> simple CARET
+        | '=' -> two_char '=' EQ EQEQ
+        | '!' -> two_char '=' BANG NE
+        | '<' -> two_char '=' LT LE
+        | '>' -> two_char '=' GT GE
+        | '&' ->
+            advance st;
+            if peek st = Some '&' then (
+              advance st;
+              { tok = ANDAND; pos })
+            else raise (Lex_error ("expected '&&'", pos))
+        | '|' ->
+            advance st;
+            if peek st = Some '|' then (
+              advance st;
+              { tok = OROR; pos })
+            else raise (Lex_error ("expected '||'", pos))
+        | '(' -> simple LPAREN
+        | ')' -> simple RPAREN
+        | '[' -> simple LBRACKET
+        | ']' -> simple RBRACKET
+        | ',' -> simple COMMA
+        | ':' -> simple COLON
+        | '.' ->
+            (* Julia broadcast assignment [.=] and broadcast ops [.*], [.-]
+               behave element-wise; OrionScript treats them as their plain
+               counterparts since vectors are values. *)
+            advance st;
+            (match peek st with
+            | Some '=' ->
+                advance st;
+                { tok = EQ; pos }
+            | Some '*' ->
+                advance st;
+                { tok = STAR; pos }
+            | Some '+' ->
+                advance st;
+                { tok = PLUS; pos }
+            | Some '-' ->
+                advance st;
+                { tok = MINUS; pos }
+            | Some '/' ->
+                advance st;
+                { tok = SLASH; pos }
+            | _ -> raise (Lex_error ("unexpected '.'", pos)))
+        | other ->
+            raise
+              (Lex_error (Printf.sprintf "unexpected character %C" other, pos))
+
+(** Tokenize a whole source string. The resulting list always ends with
+    [EOF]. Raises {!Lex_error} on malformed input. *)
+let tokenize src =
+  let st = { src; off = 0; line = 1; col = 1 } in
+  let rec go acc =
+    let t = next_token st in
+    if t.tok = EOF then List.rev (t :: acc) else go (t :: acc)
+  in
+  go []

@@ -1,0 +1,63 @@
+(** Lexer for OrionScript. *)
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | IDENT of string
+  | KW_FOR
+  | KW_IN
+  | KW_END
+  | KW_IF
+  | KW_ELSE
+  | KW_ELSEIF
+  | KW_WHILE
+  | KW_TRUE
+  | KW_FALSE
+  | KW_BREAK
+  | KW_CONTINUE
+  | KW_PARALLEL_FOR
+  | KW_ORDERED
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | CARET
+  | EQ
+  | PLUS_EQ
+  | MINUS_EQ
+  | STAR_EQ
+  | SLASH_EQ
+  | EQEQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | ANDAND
+  | OROR
+  | BANG
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | COLON
+  | NEWLINE
+  | EOF
+
+type pos = { line : int; col : int }
+
+type located = { tok : token; pos : pos }
+
+exception Lex_error of string * pos
+
+(** Human-readable token name (for error messages). *)
+val token_name : token -> string
+
+(** Tokenize a source string; the result always ends with [EOF].
+    Comments ([#] to end of line) are skipped; Julia's broadcast
+    operators ([.=], [.*], ...) lex as their plain counterparts.
+    @raise Lex_error on malformed input. *)
+val tokenize : string -> located list

@@ -1,0 +1,374 @@
+(** Recursive-descent parser for OrionScript.
+
+    Statements are separated by newlines; blocks are terminated by the
+    [end] keyword (Julia style).  Expression parsing uses precedence
+    climbing.  Ranges ([lo:hi]) are only recognised in subscripts and
+    in [for i = lo:hi] loop heads, matching the subset of Julia that
+    Orion programs use. *)
+
+open Ast
+
+exception Parse_error of string * Lexer.pos
+
+type state = { toks : Lexer.located array; mutable idx : int }
+
+let peek st = st.toks.(st.idx)
+let peek_tok st = (peek st).tok
+
+let peek2_tok st =
+  if st.idx + 1 < Array.length st.toks then st.toks.(st.idx + 1).tok
+  else Lexer.EOF
+
+let advance st = if st.idx < Array.length st.toks - 1 then st.idx <- st.idx + 1
+
+let error st msg = raise (Parse_error (msg, (peek st).pos))
+
+let expect st tok =
+  if peek_tok st = tok then advance st
+  else
+    error st
+      (Printf.sprintf "expected %s but found %s" (Lexer.token_name tok)
+         (Lexer.token_name (peek_tok st)))
+
+let rec skip_newlines st =
+  if peek_tok st = Lexer.NEWLINE then (
+    advance st;
+    skip_newlines st)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let binop_of_token = function
+  | Lexer.PLUS -> Some (Add, 5)
+  | Lexer.MINUS -> Some (Sub, 5)
+  | Lexer.STAR -> Some (Mul, 6)
+  | Lexer.SLASH -> Some (Div, 6)
+  | Lexer.PERCENT -> Some (Mod, 6)
+  | Lexer.EQEQ -> Some (Eq, 4)
+  | Lexer.NE -> Some (Ne, 4)
+  | Lexer.LT -> Some (Lt, 4)
+  | Lexer.LE -> Some (Le, 4)
+  | Lexer.GT -> Some (Gt, 4)
+  | Lexer.GE -> Some (Ge, 4)
+  | Lexer.ANDAND -> Some (And, 3)
+  | Lexer.OROR -> Some (Or, 2)
+  | _ -> None
+
+let rec parse_expr st = parse_binop st 2
+
+and parse_binop st min_prec =
+  let lhs = parse_unary st in
+  let rec loop lhs =
+    match binop_of_token (peek_tok st) with
+    | Some (op, prec) when prec >= min_prec ->
+        advance st;
+        skip_newlines st;
+        let rhs = parse_binop st (prec + 1) in
+        loop (Binop (op, lhs, rhs))
+    | Some _ | None -> lhs
+  in
+  loop lhs
+
+and parse_unary st =
+  match peek_tok st with
+  | Lexer.MINUS ->
+      advance st;
+      Unop (Neg, parse_unary st)
+  | Lexer.BANG ->
+      advance st;
+      Unop (Not, parse_unary st)
+  | _ -> parse_power st
+
+and parse_power st =
+  let base = parse_postfix st in
+  if peek_tok st = Lexer.CARET then (
+    advance st;
+    (* right-associative *)
+    let exponent = parse_unary st in
+    Binop (Pow, base, exponent))
+  else base
+
+and parse_postfix st =
+  let base = parse_primary st in
+  let rec loop base =
+    match peek_tok st with
+    | Lexer.LBRACKET ->
+        advance st;
+        skip_newlines st;
+        let subs = parse_subscripts st in
+        expect st Lexer.RBRACKET;
+        loop (Index (base, subs))
+    | _ -> base
+  in
+  loop base
+
+and parse_subscripts st =
+  let rec loop acc =
+    let sub = parse_subscript st in
+    skip_newlines st;
+    if peek_tok st = Lexer.COMMA then (
+      advance st;
+      skip_newlines st;
+      loop (sub :: acc))
+    else List.rev (sub :: acc)
+  in
+  loop []
+
+and parse_subscript st =
+  if peek_tok st = Lexer.COLON then (
+    advance st;
+    Sub_all)
+  else
+    let e = parse_expr st in
+    if peek_tok st = Lexer.COLON then (
+      advance st;
+      let hi = parse_expr st in
+      Sub_range (e, hi))
+    else Sub_expr e
+
+and parse_primary st =
+  match peek_tok st with
+  | Lexer.INT n ->
+      advance st;
+      Int_lit n
+  | Lexer.FLOAT f ->
+      advance st;
+      Float_lit f
+  | Lexer.STRING s ->
+      advance st;
+      String_lit s
+  | Lexer.KW_TRUE ->
+      advance st;
+      Bool_lit true
+  | Lexer.KW_FALSE ->
+      advance st;
+      Bool_lit false
+  | Lexer.IDENT name -> (
+      advance st;
+      match peek_tok st with
+      | Lexer.LPAREN ->
+          advance st;
+          skip_newlines st;
+          if peek_tok st = Lexer.RPAREN then (
+            advance st;
+            Call (name, []))
+          else
+            let args = parse_expr_list st in
+            expect st Lexer.RPAREN;
+            Call (name, args)
+      | _ -> Var name)
+  | Lexer.LPAREN ->
+      advance st;
+      skip_newlines st;
+      let first = parse_expr st in
+      skip_newlines st;
+      if peek_tok st = Lexer.COMMA then (
+        advance st;
+        skip_newlines st;
+        let rest = parse_expr_list st in
+        expect st Lexer.RPAREN;
+        Tuple (first :: rest))
+      else (
+        expect st Lexer.RPAREN;
+        first)
+  | other ->
+      error st
+        (Printf.sprintf "expected an expression, found %s"
+           (Lexer.token_name other))
+
+and parse_expr_list st =
+  let rec loop acc =
+    let e = parse_expr st in
+    skip_newlines st;
+    if peek_tok st = Lexer.COMMA then (
+      advance st;
+      skip_newlines st;
+      loop (e :: acc))
+    else List.rev (e :: acc)
+  in
+  loop []
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let lvalue_of_expr st = function
+  | Var v -> Lvar v
+  | Index (Var v, subs) -> Lindex (v, subs)
+  | _ -> error st "left-hand side of assignment must be a variable or index"
+
+let rec parse_block st ~stop =
+  skip_newlines st;
+  let rec loop acc =
+    let tok = peek_tok st in
+    if List.mem tok stop then List.rev acc
+    else if tok = Lexer.EOF then
+      if stop = [ Lexer.EOF ] then List.rev acc
+      else error st "unexpected end of input (missing 'end'?)"
+    else
+      let stmt = parse_stmt st in
+      skip_newlines st;
+      loop (stmt :: acc)
+  in
+  loop []
+
+and parse_stmt st =
+  match peek_tok st with
+  | Lexer.KW_IF -> parse_if st
+  | Lexer.KW_WHILE ->
+      advance st;
+      let cond = parse_expr st in
+      let body = parse_block st ~stop:[ Lexer.KW_END ] in
+      expect st Lexer.KW_END;
+      While (cond, body)
+  | Lexer.KW_FOR -> parse_for st ~parallel:None
+  | Lexer.KW_PARALLEL_FOR ->
+      advance st;
+      let ordered =
+        if peek_tok st = Lexer.KW_ORDERED then (
+          advance st;
+          true)
+        else false
+      in
+      if peek_tok st <> Lexer.KW_FOR then
+        error st "expected 'for' after @parallel_for"
+      else parse_for st ~parallel:(Some { ordered })
+  | Lexer.KW_BREAK ->
+      advance st;
+      Break
+  | Lexer.KW_CONTINUE ->
+      advance st;
+      Continue
+  | _ -> (
+      let e = parse_expr st in
+      match peek_tok st with
+      | Lexer.EQ ->
+          advance st;
+          skip_newlines st;
+          Assign (lvalue_of_expr st e, parse_expr st)
+      | Lexer.PLUS_EQ ->
+          advance st;
+          Op_assign (Add, lvalue_of_expr st e, parse_expr st)
+      | Lexer.MINUS_EQ ->
+          advance st;
+          Op_assign (Sub, lvalue_of_expr st e, parse_expr st)
+      | Lexer.STAR_EQ ->
+          advance st;
+          Op_assign (Mul, lvalue_of_expr st e, parse_expr st)
+      | Lexer.SLASH_EQ ->
+          advance st;
+          Op_assign (Div, lvalue_of_expr st e, parse_expr st)
+      | _ -> Expr_stmt e)
+
+and parse_if st =
+  (* [if] and [elseif] share the same structure, so [elseif] re-enters
+     here as a nested If in the else branch. *)
+  advance st;
+  let cond = parse_expr st in
+  let then_b =
+    parse_block st ~stop:[ Lexer.KW_END; Lexer.KW_ELSE; Lexer.KW_ELSEIF ]
+  in
+  match peek_tok st with
+  | Lexer.KW_END ->
+      advance st;
+      If (cond, then_b, [])
+  | Lexer.KW_ELSE ->
+      advance st;
+      let else_b = parse_block st ~stop:[ Lexer.KW_END ] in
+      expect st Lexer.KW_END;
+      If (cond, then_b, else_b)
+  | Lexer.KW_ELSEIF ->
+      let nested = parse_if_as_elseif st in
+      If (cond, then_b, [ nested ])
+  | other ->
+      error st
+        (Printf.sprintf "expected end/else/elseif, found %s"
+           (Lexer.token_name other))
+
+and parse_if_as_elseif st =
+  (* Current token is ELSEIF; treat it exactly like IF.  The chain
+     shares the final single [end]. *)
+  advance st;
+  let cond = parse_expr st in
+  let then_b =
+    parse_block st ~stop:[ Lexer.KW_END; Lexer.KW_ELSE; Lexer.KW_ELSEIF ]
+  in
+  match peek_tok st with
+  | Lexer.KW_END ->
+      advance st;
+      If (cond, then_b, [])
+  | Lexer.KW_ELSE ->
+      advance st;
+      let else_b = parse_block st ~stop:[ Lexer.KW_END ] in
+      expect st Lexer.KW_END;
+      If (cond, then_b, else_b)
+  | Lexer.KW_ELSEIF ->
+      let nested = parse_if_as_elseif st in
+      If (cond, then_b, [ nested ])
+  | other ->
+      error st
+        (Printf.sprintf "expected end/else/elseif, found %s"
+           (Lexer.token_name other))
+
+and parse_for st ~parallel =
+  expect st Lexer.KW_FOR;
+  let kind =
+    match (peek_tok st, peek2_tok st) with
+    | Lexer.LPAREN, _ ->
+        (* for (key, v) in arr *)
+        advance st;
+        let key =
+          match peek_tok st with
+          | Lexer.IDENT k ->
+              advance st;
+              k
+          | _ -> error st "expected identifier in loop pattern"
+        in
+        expect st Lexer.COMMA;
+        let value =
+          match peek_tok st with
+          | Lexer.IDENT v ->
+              advance st;
+              v
+          | _ -> error st "expected identifier in loop pattern"
+        in
+        expect st Lexer.RPAREN;
+        expect st Lexer.KW_IN;
+        let arr =
+          match peek_tok st with
+          | Lexer.IDENT a ->
+              advance st;
+              a
+          | _ -> error st "expected array name after 'in'"
+        in
+        Each_loop { key; value; arr }
+    | Lexer.IDENT var, Lexer.EQ ->
+        advance st;
+        advance st;
+        let lo = parse_expr st in
+        expect st Lexer.COLON;
+        let hi = parse_expr st in
+        Range_loop { var; lo; hi }
+    | _ -> error st "expected 'for i = lo:hi' or 'for (key, v) in arr'"
+  in
+  let body = parse_block st ~stop:[ Lexer.KW_END ] in
+  expect st Lexer.KW_END;
+  For { kind; body; parallel }
+
+(** Parse a whole program.  Raises {!Parse_error} or {!Lexer.Lex_error}. *)
+let parse_program src =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  let st = { toks; idx = 0 } in
+  let block = parse_block st ~stop:[ Lexer.EOF ] in
+  block
+
+(** Parse a single expression (used by tests and the REPL-style tools). *)
+let parse_expression src =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  let st = { toks; idx = 0 } in
+  skip_newlines st;
+  let e = parse_expr st in
+  skip_newlines st;
+  if peek_tok st <> Lexer.EOF then error st "trailing tokens after expression"
+  else e

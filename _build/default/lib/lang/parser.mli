@@ -1,0 +1,11 @@
+(** Recursive-descent parser for OrionScript. *)
+
+exception Parse_error of string * Lexer.pos
+
+(** Parse a whole program (statements separated by newlines, blocks
+    closed by [end]).
+    @raise Parse_error or {!Lexer.Lex_error} on malformed input. *)
+val parse_program : string -> Ast.program
+
+(** Parse a single expression (no trailing tokens allowed). *)
+val parse_expression : string -> Ast.expr

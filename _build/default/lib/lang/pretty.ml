@@ -1,0 +1,123 @@
+(** Pretty-printer for OrionScript.
+
+    The output re-parses to an equal AST (a property the test suite
+    checks), so it doubles as a formatter for generated programs such
+    as the synthesized prefetch functions. *)
+
+open Ast
+
+let binop_str = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Pow -> "^"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "&&"
+  | Or -> "||"
+
+let binop_prec = function
+  | Or -> 2
+  | And -> 3
+  | Eq | Ne | Lt | Le | Gt | Ge -> 4
+  | Add | Sub -> 5
+  | Mul | Div | Mod -> 6
+  | Pow -> 8
+
+let rec pp_expr ?(prec = 0) fmt e =
+  match e with
+  | Int_lit n -> Fmt.int fmt n
+  | Float_lit f ->
+      (* Keep a decimal point so the literal re-lexes as a float. *)
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Fmt.pf fmt "%.1f" f
+      else Fmt.pf fmt "%.17g" f
+  | Bool_lit b -> Fmt.bool fmt b
+  | String_lit s -> Fmt.pf fmt "%S" s
+  | Var v -> Fmt.string fmt v
+  | Index (base, subs) ->
+      Fmt.pf fmt "%a[%a]" (pp_expr ~prec:9) base
+        (Fmt.list ~sep:(Fmt.any ", ") pp_subscript)
+        subs
+  | Binop (op, a, b) ->
+      let p = binop_prec op in
+      let open_paren = p < prec in
+      (* ^ is right-associative; everything else associates left *)
+      let lp, rp = if op = Pow then (p + 1, p) else (p, p + 1) in
+      if open_paren then Fmt.string fmt "(";
+      Fmt.pf fmt "%a %s %a" (pp_expr ~prec:lp) a (binop_str op)
+        (pp_expr ~prec:rp) b;
+      if open_paren then Fmt.string fmt ")"
+  | Unop (op, a) ->
+      (* unary operators bind looser than ^ and indexing: parenthesize
+         when they appear in those positions *)
+      let open_paren = prec > 7 in
+      if open_paren then Fmt.string fmt "(";
+      Fmt.pf fmt "%s%a"
+        (match op with Neg -> "-" | Not -> "!")
+        (pp_expr ~prec:7) a;
+      if open_paren then Fmt.string fmt ")"
+  | Call (f, args) ->
+      Fmt.pf fmt "%s(%a)" f
+        (Fmt.list ~sep:(Fmt.any ", ") (pp_expr ~prec:0))
+        args
+  | Tuple es ->
+      Fmt.pf fmt "(%a)" (Fmt.list ~sep:(Fmt.any ", ") (pp_expr ~prec:0)) es
+
+and pp_subscript fmt = function
+  | Sub_expr e -> pp_expr ~prec:0 fmt e
+  | Sub_range (lo, hi) -> Fmt.pf fmt "%a:%a" (pp_expr ~prec:0) lo (pp_expr ~prec:0) hi
+  | Sub_all -> Fmt.string fmt ":"
+
+let pp_lvalue fmt = function
+  | Lvar v -> Fmt.string fmt v
+  | Lindex (v, subs) ->
+      Fmt.pf fmt "%s[%a]" v (Fmt.list ~sep:(Fmt.any ", ") pp_subscript) subs
+
+let rec pp_stmt ~indent fmt stmt =
+  let pad = String.make indent ' ' in
+  match stmt with
+  | Assign (lhs, e) -> Fmt.pf fmt "%s%a = %a" pad pp_lvalue lhs (pp_expr ~prec:0) e
+  | Op_assign (op, lhs, e) ->
+      Fmt.pf fmt "%s%a %s= %a" pad pp_lvalue lhs (binop_str op) (pp_expr ~prec:0) e
+  | If (cond, then_b, else_b) ->
+      Fmt.pf fmt "%sif %a\n%a" pad (pp_expr ~prec:0) cond (pp_block ~indent:(indent + 2))
+        then_b;
+      (match else_b with
+      | [] -> ()
+      | _ ->
+          Fmt.pf fmt "%selse\n%a" pad (pp_block ~indent:(indent + 2)) else_b);
+      Fmt.pf fmt "%send" pad
+  | While (cond, body) ->
+      Fmt.pf fmt "%swhile %a\n%a%send" pad (pp_expr ~prec:0) cond
+        (pp_block ~indent:(indent + 2))
+        body pad
+  | For { kind; body; parallel } ->
+      (match parallel with
+      | Some { ordered = true } -> Fmt.pf fmt "%s@parallel_for ordered " pad
+      | Some { ordered = false } -> Fmt.pf fmt "%s@parallel_for " pad
+      | None -> Fmt.string fmt pad);
+      (match kind with
+      | Range_loop { var; lo; hi } ->
+          Fmt.pf fmt "for %s = %a:%a\n" var (pp_expr ~prec:0) lo (pp_expr ~prec:0) hi
+      | Each_loop { key; value; arr } ->
+          Fmt.pf fmt "for (%s, %s) in %s\n" key value arr);
+      Fmt.pf fmt "%a%send" (pp_block ~indent:(indent + 2)) body pad
+  | Expr_stmt e -> Fmt.pf fmt "%s%a" pad (pp_expr ~prec:0) e
+  | Break -> Fmt.pf fmt "%sbreak" pad
+  | Continue -> Fmt.pf fmt "%scontinue" pad
+
+and pp_block ~indent fmt block =
+  List.iter (fun stmt -> Fmt.pf fmt "%a\n" (pp_stmt ~indent) stmt) block
+
+let pp_program fmt program = pp_block ~indent:0 fmt program
+
+let expr_to_string e = Fmt.str "%a" (pp_expr ~prec:0) e
+let stmt_to_string s = Fmt.str "%a" (pp_stmt ~indent:0) s
+let program_to_string p = Fmt.str "%a" pp_program p

@@ -1,0 +1,16 @@
+(** Pretty-printer for OrionScript.  The output re-parses to an equal
+    AST, so it doubles as the formatter for generated programs (e.g.
+    synthesized prefetch slices). *)
+
+val binop_str : Ast.binop -> string
+
+val pp_expr : ?prec:int -> Format.formatter -> Ast.expr -> unit
+val pp_subscript : Format.formatter -> Ast.subscript -> unit
+val pp_lvalue : Format.formatter -> Ast.lvalue -> unit
+val pp_stmt : indent:int -> Format.formatter -> Ast.stmt -> unit
+val pp_block : indent:int -> Format.formatter -> Ast.block -> unit
+val pp_program : Format.formatter -> Ast.program -> unit
+
+val expr_to_string : Ast.expr -> string
+val stmt_to_string : Ast.stmt -> string
+val program_to_string : Ast.program -> string

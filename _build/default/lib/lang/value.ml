@@ -1,0 +1,82 @@
+(** Runtime values for the OrionScript interpreter.
+
+    Distributed arrays appear to interpreted code as {!extern} handles:
+    opaque objects with get/set/iterate callbacks supplied by the host
+    (the DSM layer).  This keeps the language library free of any
+    dependency on the runtime. *)
+
+type concrete_sub =
+  | Cpoint of int  (** a single (0-based) position *)
+  | Crange of int * int  (** inclusive 0-based range *)
+  | Call_dim  (** the whole dimension, [:] *)
+
+type t =
+  | Vunit
+  | Vint of int
+  | Vfloat of float
+  | Vbool of bool
+  | Vstring of string
+  | Vvec of float array  (** result of a set query on one dimension *)
+  | Vtuple of t list
+  | Vindex of int array  (** a loop-iteration index vector (0-based) *)
+  | Vextern of extern
+
+and extern = {
+  ex_name : string;
+  ex_dims : int array;
+  ex_get : concrete_sub array -> t;
+  ex_set : concrete_sub array -> t -> unit;
+  ex_iter : (int array -> t -> unit) -> unit;
+      (** iterate over stored entries with their (0-based) index vectors *)
+  ex_count : unit -> int;  (** number of stored entries *)
+}
+
+exception Type_error of string
+
+let type_name = function
+  | Vunit -> "unit"
+  | Vint _ -> "int"
+  | Vfloat _ -> "float"
+  | Vbool _ -> "bool"
+  | Vstring _ -> "string"
+  | Vvec _ -> "vector"
+  | Vtuple _ -> "tuple"
+  | Vindex _ -> "index"
+  | Vextern _ -> "distarray"
+
+let to_float = function
+  | Vint n -> float_of_int n
+  | Vfloat f -> f
+  | v -> raise (Type_error (Printf.sprintf "expected a number, got %s" (type_name v)))
+
+let to_int = function
+  | Vint n -> n
+  | Vfloat f when Float.is_integer f -> int_of_float f
+  | v -> raise (Type_error (Printf.sprintf "expected an int, got %s" (type_name v)))
+
+let to_bool = function
+  | Vbool b -> b
+  | v -> raise (Type_error (Printf.sprintf "expected a bool, got %s" (type_name v)))
+
+let to_vec = function
+  | Vvec v -> v
+  | Vfloat f -> [| f |]
+  | Vint n -> [| float_of_int n |]
+  | v -> raise (Type_error (Printf.sprintf "expected a vector, got %s" (type_name v)))
+
+let rec pp fmt = function
+  | Vunit -> Fmt.string fmt "()"
+  | Vint n -> Fmt.int fmt n
+  | Vfloat f -> Fmt.pf fmt "%g" f
+  | Vbool b -> Fmt.bool fmt b
+  | Vstring s -> Fmt.pf fmt "%S" s
+  | Vvec v ->
+      Fmt.pf fmt "[%a]"
+        Fmt.(array ~sep:(any ", ") (fmt "%g"))
+        v
+  | Vtuple vs -> Fmt.pf fmt "(%a)" (Fmt.list ~sep:(Fmt.any ", ") pp) vs
+  | Vindex idx ->
+      Fmt.pf fmt "#[%a]" Fmt.(array ~sep:(any ", ") int) idx
+  | Vextern ex -> Fmt.pf fmt "<distarray %s>" ex.ex_name
+
+let to_string v = Fmt.str "%a" pp v

@@ -1,0 +1,1 @@
+lib/runtime/executor.ml: Array Cluster Orion_dsm Orion_sim Schedule Unix

@@ -1,0 +1,1 @@
+lib/runtime/executor.mli: Orion_dsm Orion_sim Schedule

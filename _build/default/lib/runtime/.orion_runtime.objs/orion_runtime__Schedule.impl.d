@@ -1,0 +1,1 @@
+lib/runtime/schedule.ml: Array Dist_array Fun Int64 List Orion_analysis Orion_dsm Partitioner

@@ -1,0 +1,1 @@
+lib/runtime/schedule.mli: Orion_analysis Orion_dsm

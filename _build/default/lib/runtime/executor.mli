@@ -1,0 +1,70 @@
+(** Distributed execution of scheduled loops (paper §4.3–4.4,
+    Figs. 7–8).  The loop body really runs (serializable schedules
+    execute in a dependence-respecting order, so numerics are exact);
+    computation and communication are charged to the simulated
+    cluster's virtual clocks. *)
+
+type 'v body = worker:int -> key:int array -> value:'v -> unit
+
+type pass_stats = {
+  sim_time : float;
+  compute_seconds : float;
+  bytes_sent : float;
+  entries_executed : int;
+  steps : int;
+}
+
+(** [Measured] charges real wall-clock per block (scaled by the cost
+    model's language factor); [Per_entry c] charges [c] seconds per
+    iteration (calibrated benchmark mode). *)
+type compute_cost = Measured | Per_entry of float
+
+(** 1D: each worker runs its space partition; one global barrier. *)
+val run_1d :
+  Orion_sim.Cluster.t ->
+  ?compute:compute_cost ->
+  'v Schedule.t ->
+  'v body ->
+  pass_stats
+
+(** Ordered 2D: wavefront over anti-diagonals with a barrier per step;
+    rotated-partition transfers sit on the critical path (Fig. 7e). *)
+val run_2d_ordered :
+  Orion_sim.Cluster.t ->
+  ?compute:compute_cost ->
+  rotated_bytes_per_partition:float ->
+  'v Schedule.t ->
+  'v body ->
+  pass_stats
+
+(** Unordered 2D: workers start at different time indices and rotate
+    partitions; [pipeline_depth] time partitions per worker overlap
+    communication with computation (Figs. 7f and 8). *)
+val run_2d_unordered :
+  Orion_sim.Cluster.t ->
+  ?compute:compute_cost ->
+  ?pipeline_depth:int ->
+  rotated_bytes_per_partition:float ->
+  'v Schedule.t ->
+  'v body ->
+  pass_stats
+
+(** Sequential over time partitions (all dependences carried by the
+    transformed outer dimension), parallel across space partitions. *)
+val run_time_major :
+  Orion_sim.Cluster.t ->
+  ?compute:compute_cost ->
+  comm_bytes_per_step:float ->
+  'v Schedule.t ->
+  'v body ->
+  pass_stats
+
+(** All entries on worker 0; [shuffle_seed] randomizes the sample order
+    as serial SGD training would. *)
+val run_serial :
+  Orion_sim.Cluster.t ->
+  ?compute:compute_cost ->
+  ?shuffle_seed:int ->
+  'v Orion_dsm.Dist_array.t ->
+  'v body ->
+  pass_stats

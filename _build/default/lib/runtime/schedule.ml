@@ -1,0 +1,168 @@
+(** Iteration-space partitioning into schedulable blocks (paper §4.3,
+    Fig. 7).
+
+    A 2D-parallelized loop's iteration space is cut into
+    [space_parts × time_parts] blocks using histogram-balanced range
+    partitions along the chosen dimensions; a 1D loop into
+    [space_parts] blocks.  Unimodular plans partition the *transformed*
+    coordinates. *)
+
+open Orion_dsm
+
+type 'v block = {
+  space_idx : int;
+  time_idx : int;  (** -1 for 1D blocks *)
+  entries : (int array * 'v) array;  (** ascending key order *)
+}
+
+type 'v t = {
+  space_parts : int;
+  time_parts : int;  (** 1 for 1D *)
+  blocks : 'v block array array;  (** indexed [space][time] *)
+  space_boundaries : Partitioner.boundaries;
+  time_boundaries : Partitioner.boundaries option;
+}
+
+let block t ~space ~time = t.blocks.(space).(time)
+
+(* Deterministic Fisher–Yates over a block's entries.  SGD convergence
+   depends on sample order: stratified SGD (Gemulla et al.) shuffles
+   entries within blocks, and serial SGD shuffles the dataset; a
+   [shuffle_seed] reproduces that here while keeping runs replayable. *)
+let shuffle_in_place ~seed (a : 'a array) =
+  let state = ref (Int64.of_int (seed lxor 0x5DEECE66)) in
+  let next bound =
+    state :=
+      Int64.add (Int64.mul !state 6364136223846793005L) 1442695040888963407L;
+    Int64.to_int (Int64.shift_right_logical !state 33) mod bound
+  in
+  for i = Array.length a - 1 downto 1 do
+    let j = next (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+(** Reshuffle every block's entries in place (SGD implementations
+    shuffle their local data each pass; vary [seed] per epoch). *)
+let reshuffle t ~seed =
+  Array.iteri
+    (fun s row ->
+      Array.iteri
+        (fun ti b -> shuffle_in_place ~seed:(seed + (s * 7919) + ti) b.entries)
+        row)
+    t.blocks
+
+let total_entries t =
+  Array.fold_left
+    (fun acc row ->
+      Array.fold_left (fun acc b -> acc + Array.length b.entries) acc row)
+    0 t.blocks
+
+(* build blocks from entry classification functions *)
+let build ?shuffle_seed ~space_parts ~time_parts ~space_boundaries
+    ~time_boundaries ~classify entries =
+  let buckets =
+    Array.init space_parts (fun _ -> Array.init time_parts (fun _ -> ref []))
+  in
+  Array.iter
+    (fun ((key, _) as e) ->
+      let s, t = classify key in
+      buckets.(s).(t) := e :: !(buckets.(s).(t)))
+    entries;
+  let blocks =
+    Array.init space_parts (fun s ->
+        Array.init time_parts (fun t ->
+            (* entries arrive in ascending key order and were consed,
+               so reverse restores the deterministic order *)
+            let entries = Array.of_list (List.rev !(buckets.(s).(t))) in
+            (match shuffle_seed with
+            | Some seed ->
+                shuffle_in_place ~seed:(seed + (s * 7919) + t) entries
+            | None -> ());
+            {
+              space_idx = s;
+              time_idx = (if time_parts = 1 then -1 else t);
+              entries;
+            }))
+  in
+  { space_parts; time_parts; blocks; space_boundaries; time_boundaries }
+
+(** Histogram-balanced 1D partitioning along [space_dim]. *)
+let partition_1d ?shuffle_seed iter ~space_dim ~space_parts =
+  let counts = Partitioner.histogram iter ~dim:space_dim in
+  let sb = Partitioner.balanced_ranges ~counts ~parts:space_parts in
+  let space_parts = Partitioner.num_parts sb in
+  build ?shuffle_seed ~space_parts ~time_parts:1 ~space_boundaries:sb
+    ~time_boundaries:None
+    ~classify:(fun key ->
+      (Partitioner.part_of ~boundaries:sb key.(space_dim), 0))
+    (Dist_array.entries iter)
+
+(** Histogram-balanced 2D partitioning along [space_dim] / [time_dim]. *)
+let partition_2d ?shuffle_seed iter ~space_dim ~time_dim ~space_parts
+    ~time_parts =
+  let s_counts = Partitioner.histogram iter ~dim:space_dim in
+  let t_counts = Partitioner.histogram iter ~dim:time_dim in
+  let sb = Partitioner.balanced_ranges ~counts:s_counts ~parts:space_parts in
+  let tb = Partitioner.balanced_ranges ~counts:t_counts ~parts:time_parts in
+  let space_parts = Partitioner.num_parts sb in
+  let time_parts = Partitioner.num_parts tb in
+  build ?shuffle_seed ~space_parts ~time_parts ~space_boundaries:sb
+    ~time_boundaries:(Some tb)
+    ~classify:(fun key ->
+      ( Partitioner.part_of ~boundaries:sb key.(space_dim),
+        Partitioner.part_of ~boundaries:tb key.(time_dim) ))
+    (Dist_array.entries iter)
+
+(** Partition the image of the iteration space under a unimodular
+    transformation [matrix]: transformed dim 0 is time, dim 1 is
+    space.  Transformed coordinates may be negative; boundaries are
+    computed over the shifted coordinate range.
+
+    All dependences are carried by the outer (time) dimension, which
+    means they may connect *consecutive* time values across arbitrary
+    space partitions: time partitions must therefore be exact
+    wavefronts (one partition per distinct transformed-time value) —
+    grouping several values into one partition would let a block on one
+    worker race with its same-range dependents on another.
+    [time_parts] is accordingly ignored beyond sanity-capping. *)
+let partition_unimodular ?shuffle_seed iter ~matrix ~space_parts
+    ~time_parts =
+  ignore time_parts;
+  let entries = Dist_array.entries iter in
+  let tcoords =
+    Array.map
+      (fun (key, _) -> Orion_analysis.Unimodular.mat_vec matrix key)
+      entries
+  in
+  let extent dim =
+    Array.fold_left
+      (fun (lo, hi) c -> (min lo c.(dim), max hi c.(dim)))
+      (max_int, min_int) tcoords
+  in
+  let t_lo, t_hi = extent 0 in
+  let s_lo, s_hi = extent 1 in
+  let count_along dim lo hi =
+    let counts = Array.make (hi - lo + 1) 0 in
+    Array.iter (fun c -> counts.(c.(dim) - lo) <- counts.(c.(dim) - lo) + 1) tcoords;
+    counts
+  in
+  let sb =
+    Partitioner.balanced_ranges
+      ~counts:(count_along 1 s_lo s_hi)
+      ~parts:space_parts
+  in
+  (* one time partition per distinct transformed-time value *)
+  let tb = Array.init (t_hi - t_lo + 2) Fun.id in
+  let space_parts = Partitioner.num_parts sb in
+  let time_parts = Partitioner.num_parts tb in
+  let idx = ref (-1) in
+  build ?shuffle_seed ~space_parts ~time_parts ~space_boundaries:sb
+    ~time_boundaries:(Some tb)
+    ~classify:(fun _key ->
+      incr idx;
+      let c = tcoords.(!idx) in
+      ( Partitioner.part_of ~boundaries:sb (c.(1) - s_lo),
+        Partitioner.part_of ~boundaries:tb (c.(0) - t_lo) ))
+    entries

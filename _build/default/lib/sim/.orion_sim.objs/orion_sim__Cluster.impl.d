@@ -1,0 +1,1 @@
+lib/sim/cluster.ml: Array Cost_model Recorder

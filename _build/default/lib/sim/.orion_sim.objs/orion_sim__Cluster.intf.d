@@ -1,0 +1,1 @@
+lib/sim/cluster.mli: Cost_model Recorder

@@ -1,0 +1,117 @@
+(** The simulated distributed cluster.
+
+    Workers are arranged on machines; each worker advances a private
+    virtual clock.  Computation charges time to one worker's clock;
+    communication charges marshalling CPU to the sender, transfer time
+    over the (shared per-machine) network, and synchronizes the
+    receiver's clock with the arrival time.  Barriers align all clocks.
+
+    The real numeric work is executed in-process by the caller; the
+    cluster only accounts for *when* each piece would have happened on
+    the paper's testbed. *)
+
+type t = {
+  num_machines : int;
+  workers_per_machine : int;
+  cost : Cost_model.t;
+  clocks : float array;  (** per-worker virtual time *)
+  recorder : Recorder.t;
+  mutable bytes_sent : float;
+  mutable messages_sent : int;
+}
+
+let create ?(recorder = Recorder.create ()) ~num_machines ~workers_per_machine
+    ~cost () =
+  {
+    num_machines;
+    workers_per_machine;
+    cost;
+    clocks = Array.make (num_machines * workers_per_machine) 0.0;
+    recorder;
+    bytes_sent = 0.0;
+    messages_sent = 0;
+  }
+
+let num_workers t = t.num_machines * t.workers_per_machine
+let machine_of t w = w / t.workers_per_machine
+let clock t w = t.clocks.(w)
+let now t = Array.fold_left max 0.0 t.clocks
+
+(** Advance all clocks to at least [time] (e.g. after driver-side work). *)
+let advance_all t time =
+  Array.iteri (fun i c -> if c < time then t.clocks.(i) <- time) t.clocks
+
+(** Charge [seconds] of computation (already scaled by the caller if
+    it was measured rather than modeled) to worker [w]. *)
+let compute t ~worker seconds =
+  t.clocks.(worker) <- t.clocks.(worker) +. (seconds *. t.cost.language_overhead)
+
+(** Charge unscaled time (system work such as hash-table maintenance
+    that is not application-language code). *)
+let compute_raw t ~worker seconds =
+  t.clocks.(worker) <- t.clocks.(worker) +. seconds
+
+(** Transfer [bytes] from [src] to [dst]; returns the arrival time but
+    does not block the receiver (use [recv] or [send_recv]). *)
+let send t ~src ~dst ~bytes =
+  t.bytes_sent <- t.bytes_sent +. bytes;
+  t.messages_sent <- t.messages_sent + 1;
+  let same_machine = machine_of t src = machine_of t dst in
+  if same_machine then begin
+    let d = Cost_model.intra_transfer_time t.cost bytes in
+    t.clocks.(src) <- t.clocks.(src) +. d;
+    t.clocks.(src)
+  end
+  else begin
+    let m = Cost_model.marshal_time t.cost bytes in
+    t.clocks.(src) <- t.clocks.(src) +. m;
+    let start = t.clocks.(src) in
+    let d = Cost_model.transfer_time t.cost bytes in
+    Recorder.record t.recorder ~start_sec:start ~duration_sec:d ~bytes;
+    start +. t.cost.network_latency_sec +. d
+  end
+
+(** Block worker [dst] until [arrival] (plus unmarshalling cost for
+    cross-machine transfers, charged as marshalling again). *)
+let recv t ~dst ~arrival ~bytes ~cross_machine =
+  t.clocks.(dst) <- max t.clocks.(dst) arrival;
+  if cross_machine then
+    t.clocks.(dst) <- t.clocks.(dst) +. Cost_model.marshal_time t.cost bytes
+
+(** Synchronous point-to-point transfer. *)
+let send_recv t ~src ~dst ~bytes =
+  let arrival = send t ~src ~dst ~bytes in
+  recv t ~dst ~arrival ~bytes
+    ~cross_machine:(machine_of t src <> machine_of t dst)
+
+(** Global barrier: all workers wait for the slowest. *)
+let barrier t =
+  let m = now t +. t.cost.barrier_cost_sec in
+  Array.fill t.clocks 0 (Array.length t.clocks) m
+
+(** Reduce-and-broadcast of [bytes_per_worker] (e.g. accumulators or a
+    data-parallel parameter sync): a simple flat aggregation model —
+    every machine sends its workers' data to a coordinator and receives
+    the merged result. *)
+let all_reduce t ~bytes_per_worker =
+  barrier t;
+  let per_machine = bytes_per_worker *. float_of_int t.workers_per_machine in
+  let total_in = per_machine *. float_of_int (max 0 (t.num_machines - 1)) in
+  (* inbound to the coordinator is serialized on its NIC; outbound
+     broadcast likewise *)
+  let d = 2.0 *. Cost_model.transfer_time t.cost total_in in
+  let m =
+    2.0 *. Cost_model.marshal_time t.cost per_machine
+    +. t.cost.network_latency_sec *. 2.0
+  in
+  t.bytes_sent <- t.bytes_sent +. (2.0 *. total_in);
+  Recorder.record t.recorder ~start_sec:(now t) ~duration_sec:d
+    ~bytes:(2.0 *. total_in);
+  let finish = now t +. d +. m in
+  Array.fill t.clocks 0 (Array.length t.clocks) finish
+
+(** Reset clocks (new experiment) without discarding the recorder. *)
+let reset t =
+  Array.fill t.clocks 0 (Array.length t.clocks) 0.0;
+  t.bytes_sent <- 0.0;
+  t.messages_sent <- 0

@@ -1,0 +1,60 @@
+(** The simulated distributed cluster: per-worker virtual clocks with
+    computation and communication charging.  Numeric work executes
+    in-process; the cluster only accounts for *when* it would have
+    happened on the paper's testbed. *)
+
+type t = {
+  num_machines : int;
+  workers_per_machine : int;
+  cost : Cost_model.t;
+  clocks : float array;
+  recorder : Recorder.t;
+  mutable bytes_sent : float;
+  mutable messages_sent : int;
+}
+
+val create :
+  ?recorder:Recorder.t ->
+  num_machines:int ->
+  workers_per_machine:int ->
+  cost:Cost_model.t ->
+  unit ->
+  t
+
+val num_workers : t -> int
+val machine_of : t -> int -> int
+val clock : t -> int -> float
+
+(** The latest clock — "cluster time". *)
+val now : t -> float
+
+(** Advance every clock to at least [time]. *)
+val advance_all : t -> float -> unit
+
+(** Charge computation to one worker, scaled by the cost model's
+    language factor. *)
+val compute : t -> worker:int -> float -> unit
+
+(** Charge unscaled (system) time to one worker. *)
+val compute_raw : t -> worker:int -> float -> unit
+
+(** Start a transfer; returns the arrival time.  Same-machine transfers
+    are memory copies charged to the sender. *)
+val send : t -> src:int -> dst:int -> bytes:float -> float
+
+(** Block [dst] until [arrival] (plus unmarshalling for cross-machine
+    transfers). *)
+val recv : t -> dst:int -> arrival:float -> bytes:float -> cross_machine:bool -> unit
+
+(** Synchronous point-to-point transfer. *)
+val send_recv : t -> src:int -> dst:int -> bytes:float -> unit
+
+(** Global barrier: align all clocks on the slowest worker. *)
+val barrier : t -> unit
+
+(** Reduce-and-broadcast of [bytes_per_worker] (accumulators,
+    data-parallel parameter syncs). *)
+val all_reduce : t -> bytes_per_worker:float -> unit
+
+(** Reset clocks and counters (keeps the recorder). *)
+val reset : t -> unit

@@ -1,0 +1,30 @@
+(** Cost model for the simulated cluster (paper testbed: 42 machines,
+    16-core Xeons, 40 Gbps Ethernet).  See DESIGN.md §5 for
+    calibration. *)
+
+type t = {
+  network_bandwidth_bytes_per_sec : float;
+  network_latency_sec : float;
+  marshal_cost_sec_per_byte : float;
+      (** serialization CPU cost — a significant Julia overhead per
+          paper §6.4 *)
+  intra_machine_bytes_per_sec : float;
+  language_overhead : float;
+      (** multiplier on compute time modeling the application language *)
+  barrier_cost_sec : float;
+}
+
+val default : t
+
+(** Julia / Orion prototype: array kernels at ~C++ speed. *)
+val julia_orion : t
+
+(** Julia LDA: scalar sampling loops, 1.8–4x slower than C++ (§6.4). *)
+val julia_orion_lda : t
+
+(** STRADS C++: no marshalling, pointer-swap intra-machine transfers. *)
+val strads_cpp : t
+
+val transfer_time : t -> float -> float
+val marshal_time : t -> float -> float
+val intra_transfer_time : t -> float -> float

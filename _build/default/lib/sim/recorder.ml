@@ -1,0 +1,56 @@
+(** Bandwidth-usage recorder (for the paper's Fig. 12).
+
+    Communication events are binned into fixed-width time windows; the
+    result is a cluster-aggregate bytes-per-window series that the
+    bench harness converts to Mbps. *)
+
+type t = {
+  bin_width_sec : float;
+  mutable bins : float array;  (** bytes transferred per bin *)
+}
+
+let create ?(bin_width_sec = 1.0) () = { bin_width_sec; bins = Array.make 64 0.0 }
+
+let ensure t idx =
+  if idx >= Array.length t.bins then begin
+    let bins = Array.make (max (idx + 1) (2 * Array.length t.bins)) 0.0 in
+    Array.blit t.bins 0 bins 0 (Array.length t.bins);
+    t.bins <- bins
+  end
+
+(** Record [bytes] transferred over [start_sec, start_sec + duration_sec),
+    spread proportionally over the covered bins. *)
+let record t ~start_sec ~duration_sec ~bytes =
+  if bytes > 0.0 && start_sec >= 0.0 then
+    if duration_sec <= 0.0 then begin
+      let idx = int_of_float (start_sec /. t.bin_width_sec) in
+      ensure t idx;
+      t.bins.(idx) <- t.bins.(idx) +. bytes
+    end
+    else begin
+      let finish = start_sec +. duration_sec in
+      let first = int_of_float (start_sec /. t.bin_width_sec) in
+      let last = int_of_float (finish /. t.bin_width_sec) in
+      ensure t last;
+      for idx = first to last do
+        let bin_lo = float_of_int idx *. t.bin_width_sec in
+        let bin_hi = bin_lo +. t.bin_width_sec in
+        let overlap = min finish bin_hi -. max start_sec bin_lo in
+        if overlap > 0.0 then
+          t.bins.(idx) <- t.bins.(idx) +. (bytes *. overlap /. duration_sec)
+      done
+    end
+
+(** Bytes per bin up to the last nonzero bin. *)
+let series t =
+  let last = ref (-1) in
+  Array.iteri (fun i b -> if b > 0.0 then last := i) t.bins;
+  Array.init (!last + 1) (fun i -> t.bins.(i))
+
+(** Average megabits per second within each bin. *)
+let mbps_series t =
+  Array.map (fun bytes -> bytes *. 8.0 /. 1e6 /. t.bin_width_sec) (series t)
+
+let total_bytes t = Array.fold_left ( +. ) 0.0 t.bins
+
+let reset t = Array.fill t.bins 0 (Array.length t.bins) 0.0

@@ -1,0 +1,22 @@
+(** Bandwidth-usage recorder (paper Fig. 12): communication events are
+    spread proportionally over fixed-width time bins. *)
+
+type t = {
+  bin_width_sec : float;
+  mutable bins : float array;
+}
+
+val create : ?bin_width_sec:float -> unit -> t
+
+(** Record [bytes] transferred over
+    [start_sec, start_sec + duration_sec). *)
+val record : t -> start_sec:float -> duration_sec:float -> bytes:float -> unit
+
+(** Bytes per bin, up to the last nonzero bin. *)
+val series : t -> float array
+
+(** Average megabits per second within each bin. *)
+val mbps_series : t -> float array
+
+val total_bytes : t -> float
+val reset : t -> unit

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Depanalysis Depvec Gen List Orion_analysis Orion_lang Plan Prefetch Printf QCheck QCheck_alcotest Refs String Subscript Unimodular

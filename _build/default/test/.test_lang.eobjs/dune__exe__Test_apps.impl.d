@@ -1,0 +1,1 @@
+test/test_apps.ml: Adarev Alcotest Array Float Gbt Gen Lda List Losses Orion Orion_apps Orion_data Orion_dsm Printf QCheck QCheck_alcotest Sgd_mf Slr

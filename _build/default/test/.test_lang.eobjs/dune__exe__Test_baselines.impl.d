@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Bosen_lda Bosen_mf Float Lazy List Orion_baselines Orion_data Orion_lda Orion_mf Orion_sim Printf Slr_runner Strads_lda Strads_mf Tf_mf Trajectory

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Cluster Dist_array Executor Interp List Orion Parser Plan Prefetch Printf Refs String Value

@@ -1,0 +1,1 @@
+test/test_data.ml: Alcotest Array Corpus Fun Orion_data Orion_dsm Orion_lang Printf QCheck QCheck_alcotest Ratings Rng Sparse_features

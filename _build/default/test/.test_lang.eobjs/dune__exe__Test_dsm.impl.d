@@ -1,0 +1,1 @@
+test/test_dsm.ml: Accumulator Alcotest Array Buffer Dist_array Filename Gen List Orion_dsm Orion_lang Orion_sim Param_server Partitioner Pipeline QCheck QCheck_alcotest String Sys

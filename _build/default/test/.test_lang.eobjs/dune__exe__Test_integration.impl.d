@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Check Dist_array Filename Float Interp List Orion Orion_apps Orion_data Plan Printf Sys Value

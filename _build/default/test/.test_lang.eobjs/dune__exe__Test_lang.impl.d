@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Array Ast Check Interp Lexer List Orion_apps Orion_lang Parser Pretty Printf QCheck QCheck_alcotest String Value

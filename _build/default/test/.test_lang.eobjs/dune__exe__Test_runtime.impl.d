@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Dist_array Executor Hashtbl List Option Orion_analysis Orion_data Orion_dsm Orion_runtime Orion_sim Printf QCheck QCheck_alcotest Schedule

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Cluster Cost_model Gen List Orion_sim Printf QCheck QCheck_alcotest Recorder

@@ -1,0 +1,1 @@
+test/test_stencil.ml: Alcotest Array Float List Orion Orion_apps Printf Stencil

@@ -1,0 +1,734 @@
+(* Tests for the static dependence analysis: subscript abstraction,
+   Algorithm 2, strategy decision, unimodular transforms, prefetch
+   synthesis. *)
+
+open Orion_analysis
+
+let dv l = Array.of_list l
+
+(* substring containment without extra deps *)
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let replace_first s ~sub ~by =
+  let n = String.length s and m = String.length sub in
+  let rec find i = if i + m > n then None else if String.sub s i m = sub then Some i else find (i + 1) in
+  match find 0 with
+  | None -> s
+  | Some i -> String.sub s 0 i ^ by ^ String.sub s (i + m) (n - i - m)
+
+let check_dvecs msg expected actual =
+  let to_s ds = String.concat " " (List.map Depvec.to_string ds) in
+  let sort = List.sort compare in
+  Alcotest.(check string) msg (to_s (sort expected)) (to_s (sort actual))
+
+(* The paper's running example (Fig. 5 / Fig. 6): SGD matrix
+   factorization. *)
+let sgd_mf_loop_src =
+  {|
+@parallel_for for (key, rv) in ratings
+  W_row = W[:, key[1]]
+  H_row = H[:, key[2]]
+  pred = dot(W_row, H_row)
+  diff = rv - pred
+  W_grad = -2.0 * diff * H_row
+  H_grad = -2.0 * diff * W_row
+  W[:, key[1]] = W_row - W_grad * step_size
+  H[:, key[2]] = H_row - H_grad * step_size
+end
+|}
+
+let parse_loop src =
+  match Orion_lang.Parser.parse_program src with
+  | [ (Orion_lang.Ast.For _ as stmt) ] -> stmt
+  | _ -> Alcotest.fail "expected a single for-loop"
+
+let analyze_mf ?(ordered = false) () =
+  let src =
+    if ordered then
+      replace_first sgd_mf_loop_src ~sub:"@parallel_for"
+        ~by:"@parallel_for ordered"
+    else sgd_mf_loop_src
+  in
+  let stmt = parse_loop src in
+  Refs.analyze_loop
+    ~dist_vars:[ "ratings"; "W"; "H" ]
+    ~buffered_arrays:[] ~iter_space_ndims:2 stmt
+
+(* ------------------------------------------------------------------ *)
+(* Reference extraction                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_mf_refs () =
+  let info = analyze_mf () in
+  Alcotest.(check string) "iteration space" "ratings" info.iter_space;
+  Alcotest.(check int) "ndims" 2 info.ndims;
+  let reads =
+    List.filter (fun (r : Refs.ref_info) -> not r.is_write) info.refs
+  in
+  let writes = List.filter (fun (r : Refs.ref_info) -> r.is_write) info.refs in
+  Alcotest.(check int) "2 reads" 2 (List.length reads);
+  Alcotest.(check int) "2 writes" 2 (List.length writes);
+  let w_read = List.find (fun (r : Refs.ref_info) -> r.array = "W") reads in
+  Alcotest.(check bool) "W read static" true w_read.all_static;
+  (match w_read.subs with
+  | [| Subscript.Range_all; Subscript.Loop_index { dim = 0; offset = 0 } |] ->
+      ()
+  | _ -> Alcotest.fail "W read subscripts wrong");
+  let h_write = List.find (fun (r : Refs.ref_info) -> r.array = "H") writes in
+  match h_write.subs with
+  | [| Subscript.Range_all; Subscript.Loop_index { dim = 1; offset = 0 } |] ->
+      ()
+  | _ -> Alcotest.fail "H write subscripts wrong"
+
+let test_mf_inherited () =
+  let info = analyze_mf () in
+  Alcotest.(check bool)
+    "step_size inherited" true
+    (List.mem "step_size" info.inherited);
+  Alcotest.(check bool)
+    "W_row not inherited (assigned in body)" false
+    (List.mem "W_row" info.inherited)
+
+let test_mf_runtime_vars () =
+  let info = analyze_mf () in
+  (* rv is the loop value; pred and diff derive from it / from reads *)
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        (v ^ " runtime-tainted") true
+        (List.mem v info.runtime_vars))
+    [ "rv"; "pred"; "diff"; "W_row"; "H_row" ]
+
+(* ------------------------------------------------------------------ *)
+(* Dependence vectors (Alg. 2)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_mf_dvecs () =
+  let info = analyze_mf () in
+  let result = Depanalysis.analyze info in
+  (* Paper Fig. 6: dependence vectors are (0, inf) and (inf, 0). *)
+  check_dvecs "MF dependence vectors"
+    [ dv [ Depvec.Fin 0; Depvec.Any ]; dv [ Depvec.Any; Depvec.Fin 0 ] ]
+    result.all;
+  let w_deps = List.assoc "W" result.per_array in
+  check_dvecs "W deps" [ dv [ Depvec.Fin 0; Depvec.Any ] ] w_deps;
+  let h_deps = List.assoc "H" result.per_array in
+  check_dvecs "H deps" [ dv [ Depvec.Any; Depvec.Fin 0 ] ] h_deps
+
+let test_mf_ordered_same_dvecs () =
+  (* write-write pairs are skipped for unordered loops, but here the
+     read-write pairs already produce the same vectors, so ordered
+     analysis yields the same set *)
+  let info = analyze_mf ~ordered:true () in
+  let result = Depanalysis.analyze info in
+  check_dvecs "MF ordered dvecs"
+    [ dv [ Depvec.Fin 0; Depvec.Any ]; dv [ Depvec.Any; Depvec.Fin 0 ] ]
+    result.all
+
+let loop_of_body ?(arr_dims = 2) body_src ~dist_vars ~buffered =
+  let src =
+    Printf.sprintf "@parallel_for for (key, v) in data\n%s\nend" body_src
+  in
+  let stmt = parse_loop src in
+  Refs.analyze_loop ~dist_vars:("data" :: dist_vars)
+    ~buffered_arrays:buffered ~iter_space_ndims:arr_dims stmt
+
+let test_offset_dvec () =
+  (* A[key[1]] and A[key[1] - 1]: classic distance-1 dependence *)
+  let info =
+    loop_of_body ~arr_dims:1 "A[key[1]] = A[key[1] - 1] + v"
+      ~dist_vars:[ "A" ] ~buffered:[]
+  in
+  let result = Depanalysis.analyze info in
+  check_dvecs "distance-1" [ dv [ Depvec.Fin 1 ] ] result.all
+
+let test_lex_correction () =
+  (* A[key[1]] read, A[key[1] + 1] written: raw distance is -1, must be
+     corrected to +1 *)
+  let info =
+    loop_of_body ~arr_dims:1 "x = A[key[1]]\nA[key[1] + 1] = x + v"
+      ~dist_vars:[ "A" ] ~buffered:[]
+  in
+  let result = Depanalysis.analyze info in
+  check_dvecs "lex-corrected" [ dv [ Depvec.Fin 1 ] ] result.all
+
+let test_const_subscripts_independent () =
+  (* writes to two different constant positions never conflict *)
+  let info =
+    loop_of_body ~arr_dims:1 "A[1] = v\nx = A[2]" ~dist_vars:[ "A" ]
+      ~buffered:[]
+  in
+  let result = Depanalysis.analyze info in
+  (* the write-write self pair is skipped (unordered); A[1] vs A[2] are
+     proven independent *)
+  check_dvecs "const positions independent" [] result.all
+
+let test_const_subscript_write_write_ordered () =
+  let src =
+    "@parallel_for ordered for (key, v) in data\nA[1] = v\nend"
+  in
+  let stmt = parse_loop src in
+  let info =
+    Refs.analyze_loop ~dist_vars:[ "data"; "A" ] ~buffered_arrays:[]
+      ~iter_space_ndims:1 stmt
+  in
+  let result = Depanalysis.analyze info in
+  (* every iteration writes A[1]: all-Any dependence in an ordered loop *)
+  check_dvecs "ww const" [ dv [ Depvec.Any ] ] result.all
+
+let test_conflicting_distance_independent () =
+  (* A[key[1], key[1]] vs A[key[1]+1, key[1]]: position 1 forces
+     distance 1, position 2 forces 0 — contradictory, so independent *)
+  let info =
+    loop_of_body ~arr_dims:1 "A[key[1], key[1]] = A[key[1] + 1, key[1]] + v"
+      ~dist_vars:[ "A" ] ~buffered:[]
+  in
+  let result = Depanalysis.analyze info in
+  check_dvecs "contradictory distances" [] result.all
+
+let test_unknown_subscript_conservative () =
+  (* subscript depends on the loop value: conservatively Any *)
+  let info =
+    loop_of_body ~arr_dims:1 "i = int(v)\nw[i] = w[i] + 1.0"
+      ~dist_vars:[ "w" ] ~buffered:[]
+  in
+  let result = Depanalysis.analyze info in
+  check_dvecs "runtime subscript" [ dv [ Depvec.Any ] ] result.all;
+  let r = List.hd info.refs in
+  Alcotest.(check bool) "not static" false r.all_static
+
+let test_buffered_writes_exempt () =
+  let info =
+    loop_of_body ~arr_dims:1 "i = int(v)\nw_buf[i] = w_buf[i] + 1.0"
+      ~dist_vars:[ "w_buf" ] ~buffered:[ "w_buf" ]
+  in
+  let result = Depanalysis.analyze info in
+  check_dvecs "buffered exempt" [] result.all
+
+(* ------------------------------------------------------------------ *)
+(* Strategy decision                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let mf_dims = function
+  | "W" -> Some [| 100; 4000 |]
+  | "H" -> Some [| 100; 3000 |]
+  | "ratings" -> Some [| 4000; 3000 |]
+  | _ -> None
+
+let test_mf_strategy_2d () =
+  let info = analyze_mf () in
+  let plan = Plan.decide info ~array_dims:mf_dims ~iter_count:100000.0 in
+  (match plan.strategy with
+  | Plan.Two_d { space_dim; time_dim } ->
+      (* W (keyed by dim 0) is larger than H, so dim 0 should be the
+         space dimension and H the rotated array *)
+      Alcotest.(check int) "space dim" 0 space_dim;
+      Alcotest.(check int) "time dim" 1 time_dim
+  | s -> Alcotest.fail ("expected 2D, got " ^ Plan.strategy_to_string s));
+  Alcotest.(check bool) "unordered" false plan.ordered;
+  (match List.assoc "W" plan.placements with
+  | Plan.Local_partitioned { array_dim = 1 } -> ()
+  | p -> Alcotest.fail ("W placement: " ^ Plan.placement_to_string p));
+  match List.assoc "H" plan.placements with
+  | Plan.Rotated { array_dim = 1 } -> ()
+  | p -> Alcotest.fail ("H placement: " ^ Plan.placement_to_string p)
+
+let test_mf_strategy_rotates_smaller () =
+  (* swap sizes: H now bigger, so space dim should flip to 1 *)
+  let dims = function
+    | "W" -> Some [| 100; 3000 |]
+    | "H" -> Some [| 100; 90000 |]
+    | "ratings" -> Some [| 3000; 90000 |]
+    | _ -> None
+  in
+  let info = analyze_mf () in
+  let plan = Plan.decide info ~array_dims:dims ~iter_count:100000.0 in
+  match plan.strategy with
+  | Plan.Two_d { space_dim = 1; time_dim = 0 } -> ()
+  | s -> Alcotest.fail ("expected space=1: " ^ Plan.strategy_to_string s)
+
+let test_slr_strategy_data_parallel_1d () =
+  (* sparse logistic regression: runtime subscripts on w, buffered *)
+  let body =
+    {|
+idx = v[2]
+val = v[3]
+margin = 0.0
+for k = 1:length(idx)
+  margin += w[int(idx[k])] * val[k]
+end
+p = sigmoid(margin)
+g = p - v[1]
+for k = 1:length(idx)
+  w_buf[int(idx[k])] += -1.0 * step_size * g * val[k]
+end
+|}
+  in
+  let info =
+    loop_of_body ~arr_dims:1 body ~dist_vars:[ "w"; "w_buf" ]
+      ~buffered:[ "w_buf" ]
+  in
+  let plan =
+    Plan.decide info
+      ~array_dims:(function
+        | "w" | "w_buf" -> Some [| 1000000 |]
+        | "data" -> Some [| 50000 |]
+        | _ -> None)
+      ~iter_count:50000.0
+  in
+  (match plan.strategy with
+  | Plan.One_d { space_dim = 0 } -> ()
+  | s -> Alcotest.fail ("expected 1D: " ^ Plan.strategy_to_string s));
+  (match List.assoc "w" plan.placements with
+  | Plan.Server -> ()
+  | p -> Alcotest.fail ("w placement: " ^ Plan.placement_to_string p));
+  Alcotest.(check (list string)) "prefetch w" [ "w" ] plan.prefetch_arrays
+
+let test_unbuffered_conflicts_fall_back () =
+  let info =
+    loop_of_body ~arr_dims:1 "i = int(v)\nw[i] = w[i] + 1.0"
+      ~dist_vars:[ "w" ] ~buffered:[]
+  in
+  let plan =
+    Plan.decide info
+      ~array_dims:(function "w" -> Some [| 1000 |] | _ -> None)
+      ~iter_count:1000.0
+  in
+  (match plan.strategy with
+  | Plan.Data_parallel -> ()
+  | s ->
+      Alcotest.fail ("expected data parallel: " ^ Plan.strategy_to_string s));
+  Alcotest.(check (list string)) "requires buffers" [ "w" ]
+    plan.requires_buffers
+
+let test_lda_strategy () =
+  (* LDA: doc-topic keyed by doc, word-topic keyed by word, totals
+     buffered *)
+  let body =
+    {|
+old_t = int(v)
+doc_topic[key[1], old_t] = doc_topic[key[1], old_t] - 1.0
+word_topic[key[2], old_t] = word_topic[key[2], old_t] - 1.0
+new_t = old_t
+doc_topic[key[1], new_t] = doc_topic[key[1], new_t] + 1.0
+word_topic[key[2], new_t] = word_topic[key[2], new_t] + 1.0
+totals_buf[old_t] += -1.0
+totals_buf[new_t] += 1.0
+|}
+  in
+  let info =
+    loop_of_body ~arr_dims:2 body
+      ~dist_vars:[ "doc_topic"; "word_topic"; "totals"; "totals_buf" ]
+      ~buffered:[ "totals_buf" ]
+  in
+  let plan =
+    Plan.decide info
+      ~array_dims:(function
+        | "doc_topic" -> Some [| 30000; 100 |]
+        | "word_topic" -> Some [| 10000; 100 |]
+        | "totals" | "totals_buf" -> Some [| 100 |]
+        | "data" -> Some [| 30000; 10000 |]
+        | _ -> None)
+      ~iter_count:1000000.0
+  in
+  match plan.strategy with
+  | Plan.Two_d { space_dim = 0; time_dim = 1 } ->
+      (* word_topic is smaller than doc_topic: rotated *)
+      (match List.assoc "word_topic" plan.placements with
+      | Plan.Rotated _ -> ()
+      | p ->
+          Alcotest.fail ("word_topic placement: " ^ Plan.placement_to_string p))
+  | s -> Alcotest.fail ("expected 2D: " ^ Plan.strategy_to_string s)
+
+let test_one_d_preferred_over_two_d_on_tie () =
+  (* refs constrain only dimension 0: both 1D (dim 0) and 2D apply;
+     the decision must take the cheaper/earlier 1D candidate *)
+  let info =
+    loop_of_body ~arr_dims:2 "A[key[1]] = A[key[1]] + v" ~dist_vars:[ "A" ]
+      ~buffered:[]
+  in
+  let plan =
+    Plan.decide info
+      ~array_dims:(function
+        | "A" -> Some [| 100 |] | "data" -> Some [| 100; 80 |] | _ -> None)
+      ~iter_count:1000.0
+  in
+  match plan.strategy with
+  | Plan.One_d { space_dim = 0 } -> ()
+  | s -> Alcotest.fail (Plan.strategy_to_string s)
+
+let test_explain_data_parallel_warning () =
+  let info =
+    loop_of_body ~arr_dims:1 "i = int(v)\nw[i] = w[i] + 1.0"
+      ~dist_vars:[ "w" ] ~buffered:[]
+  in
+  let plan =
+    Plan.decide info
+      ~array_dims:(function "w" -> Some [| 50 |] | _ -> None)
+      ~iter_count:100.0
+  in
+  let text = Plan.explain_to_string plan in
+  Alcotest.(check bool) "warns about buffers" true
+    (contains ~sub:"DistArray Buffers" text);
+  Alcotest.(check bool) "names the array" true (contains ~sub:"w" text)
+
+let test_summarize_arrays () =
+  let info = analyze_mf () in
+  let summaries =
+    Plan.summarize_arrays info
+      ~array_dims:(function
+        | "W" -> Some [| 8; 40 |]
+        | "H" -> Some [| 8; 30 |]
+        | _ -> None)
+  in
+  let w = List.find (fun s -> s.Plan.name = "W") summaries in
+  Alcotest.(check bool) "W not read-only" false w.Plan.read_only;
+  Alcotest.(check bool) "W keyed by iter dim 0 at pos 1" true
+    (List.mem (0, 1) w.Plan.keyed_by);
+  Alcotest.(check (float 0.0)) "W size" 320.0 w.Plan.size
+
+let test_read_only_array_replicated () =
+  (* a small array only read with static subscripts gets replicated *)
+  let info =
+    loop_of_body ~arr_dims:2
+      "x = bias[1]\nA[key[1], key[2]] = v + x"
+      ~dist_vars:[ "A"; "bias" ] ~buffered:[]
+  in
+  let plan =
+    Plan.decide info
+      ~array_dims:(function
+        | "A" -> Some [| 40; 30 |]
+        | "bias" -> Some [| 4 |]
+        | "data" -> Some [| 40; 30 |]
+        | _ -> None)
+      ~iter_count:500.0
+  in
+  match List.assoc "bias" plan.placements with
+  | Plan.Replicated -> ()
+  | p -> Alcotest.fail (Plan.placement_to_string p)
+
+let test_correct_positive_involution_qcheck () =
+  QCheck.Test.make ~count:300 ~name:"correct_positive is idempotent"
+    QCheck.(
+      list_of_size (Gen.int_range 1 4)
+        (oneof
+           [
+             map (fun v -> Depvec.Fin v) (int_range (-5) 5);
+             oneofl Depvec.[ Pos_inf; Neg_inf; Any ];
+           ]))
+    (fun l ->
+      let d = Array.of_list l in
+      match Depvec.correct_positive d with
+      | None -> Depvec.is_all_zero d
+      | Some d' -> (
+          Depvec.lex_status d' = `Positive
+          &&
+          match Depvec.correct_positive d' with
+          | Some d'' -> Depvec.equal d' d''
+          | None -> false))
+
+(* ------------------------------------------------------------------ *)
+(* Soundness of Algorithm 2 against a brute-force oracle               *)
+(* ------------------------------------------------------------------ *)
+
+(* Enumerate a small concrete iteration space and check that every
+   actually-conflicting pair of iterations is covered by some computed
+   dependence vector.  Subscripts are drawn from the analyzable forms
+   plus Range_all (conservative). *)
+
+type concrete_pos = Wild | At of int
+
+let concrete_sub (p : int array) = function
+  | Subscript.Loop_index { dim; offset } -> At (p.(dim) + offset)
+  | Subscript.Const c -> At c
+  | Subscript.Range_all | Subscript.Unknown -> Wild
+
+let positions_alias a b =
+  match (a, b) with Wild, _ | _, Wild -> true | At x, At y -> x = y
+
+let refs_conflict (a : Refs.ref_info) (b : Refs.ref_info) p q =
+  Array.length a.subs = Array.length b.subs
+  && Array.for_all2 positions_alias
+       (Array.map (concrete_sub p) a.subs)
+       (Array.map (concrete_sub q) b.subs)
+
+(* does [d] (or its negation) match dependence vector [dv]? *)
+let distance_covered (d : int array) (dv : Depvec.t) =
+  let matches sign =
+    Array.for_all2
+      (fun di e ->
+        match e with
+        | Depvec.Fin v -> sign * di = v
+        | Depvec.Any -> true
+        | Depvec.Pos_inf -> sign * di >= 1
+        | Depvec.Neg_inf -> sign * di <= -1)
+      d dv
+  in
+  matches 1 || matches (-1)
+
+let gen_subscript =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map2 (fun dim offset -> Subscript.Loop_index { dim; offset })
+              (int_range 0 1) (int_range (-1) 1));
+        (1, map (fun c -> Subscript.Const c) (int_range 0 2));
+        (1, return Subscript.Range_all);
+      ])
+
+let gen_ref =
+  QCheck.Gen.(
+    map2
+      (fun subs is_write ->
+        {
+          Refs.array = "D";
+          subs = Array.of_list subs;
+          is_write;
+          all_static = true;
+        })
+      (list_size (return 2) gen_subscript)
+      bool)
+
+let gen_loop_refs = QCheck.Gen.(list_size (int_range 2 4) gen_ref)
+
+let alg2_soundness ~ordered =
+  QCheck.Test.make ~count:300
+    ~name:
+      (Printf.sprintf "Alg 2 covers all concrete dependences (%s)"
+         (if ordered then "ordered" else "unordered"))
+    (QCheck.make gen_loop_refs)
+    (fun refs ->
+      QCheck.assume
+        (List.exists (fun (r : Refs.ref_info) -> r.is_write) refs);
+      let info =
+        {
+          Refs.iter_space = "data";
+          key_var = "key";
+          value_var = "v";
+          ordered;
+          ndims = 2;
+          refs;
+          inherited = [];
+          runtime_vars = [];
+          buffered_arrays = [];
+        }
+      in
+      let dvecs = (Depanalysis.analyze info).Depanalysis.all in
+      (* brute force over a 4x4 iteration space *)
+      let ok = ref true in
+      let size = 4 in
+      for p0 = 0 to size - 1 do
+        for p1 = 0 to size - 1 do
+          for q0 = 0 to size - 1 do
+            for q1 = 0 to size - 1 do
+              if (p0, p1) <> (q0, q1) then
+                let p = [| p0; p1 |] and q = [| q0; q1 |] in
+                List.iter
+                  (fun (a : Refs.ref_info) ->
+                    List.iter
+                      (fun (b : Refs.ref_info) ->
+                        let relevant =
+                          (a.is_write || b.is_write)
+                          && not
+                               ((not ordered) && a.is_write && b.is_write)
+                        in
+                        if relevant && refs_conflict a b p q then begin
+                          let d = [| p0 - q0; p1 - q1 |] in
+                          if
+                            not
+                              (List.exists (distance_covered d) dvecs)
+                          then ok := false
+                        end)
+                      refs)
+                  refs
+            done
+          done
+        done
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Unimodular transformations                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_unimodular_identity () =
+  (* all deps already carried by outermost loop *)
+  let dvecs = [ dv [ Depvec.Fin 1; Depvec.Fin 0 ] ] in
+  match Unimodular.find_transform ~ndims:2 dvecs with
+  | Some t ->
+      Alcotest.(check bool) "identity works" true
+        (t = Unimodular.identity 2)
+  | None -> Alcotest.fail "no transform"
+
+let test_unimodular_interchange () =
+  let dvecs = [ dv [ Depvec.Fin 0; Depvec.Fin 1 ] ] in
+  match Unimodular.find_transform ~ndims:2 dvecs with
+  | Some t ->
+      let d' = Unimodular.transform_dvec t (dv [ Depvec.Fin 0; Depvec.Fin 1 ]) in
+      (match d'.(0) with
+      | Depvec.Fin v -> Alcotest.(check bool) "carried" true (v >= 1)
+      | Depvec.Pos_inf -> ()
+      | _ -> Alcotest.fail "not carried")
+  | None -> Alcotest.fail "no transform"
+
+let test_unimodular_skew () =
+  (* the classic wavefront case: {(1, -1), (0, 1)} needs skewing *)
+  let dvecs =
+    [ dv [ Depvec.Fin 1; Depvec.Fin (-1) ]; dv [ Depvec.Fin 0; Depvec.Fin 1 ] ]
+  in
+  match Unimodular.find_transform ~ndims:2 dvecs with
+  | Some t ->
+      Alcotest.(check bool) "unimodular" true (Unimodular.is_unimodular t);
+      List.iter
+        (fun d ->
+          let d' = Unimodular.transform_dvec t d in
+          match d'.(0) with
+          | Depvec.Fin v when v >= 1 -> ()
+          | Depvec.Pos_inf -> ()
+          | e ->
+              Alcotest.fail
+                ("dep not carried by outer loop: " ^ Depvec.elt_to_string e))
+        dvecs
+  | None -> Alcotest.fail "no transform found"
+
+let test_unimodular_not_applicable_any () =
+  let dvecs = [ dv [ Depvec.Any; Depvec.Fin 0 ] ] in
+  Alcotest.(check bool) "Any blocks unimodular" true
+    (Unimodular.find_transform ~ndims:2 dvecs = None)
+
+let test_complete_to_unimodular_qcheck () =
+  QCheck.Test.make ~count:200 ~name:"complete_to_unimodular det = +/-1"
+    QCheck.(
+      list_of_size (Gen.int_range 1 4) (int_range (-20) 20))
+    (fun l ->
+      let w = Array.of_list l in
+      let g = Unimodular.gcd_list l in
+      QCheck.assume (g = 1);
+      let t = Unimodular.complete_to_unimodular w in
+      Unimodular.is_unimodular t && t.(0) = w)
+
+let test_inverse_qcheck () =
+  QCheck.Test.make ~count:100 ~name:"inverse of unimodular is inverse"
+    QCheck.(list_of_size (Gen.int_range 2 4) (int_range (-9) 9))
+    (fun l ->
+      let w = Array.of_list l in
+      QCheck.assume (Unimodular.gcd_list l = 1);
+      let t = Unimodular.complete_to_unimodular w in
+      let ti = Unimodular.inverse t in
+      let n = Array.length t in
+      Unimodular.mat_mul t ti = Unimodular.identity n)
+
+(* ------------------------------------------------------------------ *)
+(* Prefetch synthesis                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_prefetch_slr () =
+  let body_src =
+    {|
+idx = v[2]
+vals = v[3]
+margin = 0.0
+for k = 1:length(idx)
+  margin += w[int(idx[k])] * vals[k]
+end
+|}
+  in
+  let body = Orion_lang.Parser.parse_program body_src in
+  let gen, stats =
+    Prefetch.synthesize ~dist_vars:[ "w" ] ~targets:[ "w" ] body
+  in
+  Alcotest.(check int) "one recordable read" 1 stats.recorded;
+  Alcotest.(check int) "no skipped reads" 0 stats.skipped;
+  let text = Prefetch.to_string gen in
+  Alcotest.(check bool) "records w" true (contains ~sub:"__record(\"w\"" text);
+  Alcotest.(check bool) "keeps the feature loop" true
+    (contains ~sub:"for k = 1:length(idx)" text)
+
+let test_prefetch_skips_distarray_dependent () =
+  (* the subscript of B depends on a value read from A: not recorded *)
+  let body =
+    Orion_lang.Parser.parse_program "i = int(A[key[1]])\nx = B[i]"
+  in
+  let gen, stats =
+    Prefetch.synthesize ~dist_vars:[ "A"; "B" ] ~targets:[ "A"; "B" ] body
+  in
+  Alcotest.(check int) "A recorded" 1 stats.recorded;
+  Alcotest.(check int) "B skipped" 1 stats.skipped;
+  let text = Prefetch.to_string gen in
+  Alcotest.(check bool) "records A" true (contains ~sub:"__record(\"A\"" text);
+  Alcotest.(check bool) "does not record B" false
+    (contains ~sub:"__record(\"B\"" text)
+
+let test_prefetch_tainted_condition_over_records () =
+  let body =
+    Orion_lang.Parser.parse_program
+      "if A[key[1]] > 0.0\n  x = B[key[1]]\nelse\n  x = C[key[1]]\nend"
+  in
+  let _, stats =
+    Prefetch.synthesize ~dist_vars:[ "A"; "B"; "C" ]
+      ~targets:[ "A"; "B"; "C" ] body
+  in
+  (* A's read recorded; both branches' reads recorded (over-approx) *)
+  Alcotest.(check int) "three records" 3 stats.recorded
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let tc = Alcotest.test_case in
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "analysis"
+    [
+      ( "refs",
+        [
+          tc "mf refs" `Quick test_mf_refs;
+          tc "mf inherited" `Quick test_mf_inherited;
+          tc "mf runtime vars" `Quick test_mf_runtime_vars;
+        ] );
+      ( "depvecs",
+        [
+          tc "mf dvecs" `Quick test_mf_dvecs;
+          tc "mf ordered dvecs" `Quick test_mf_ordered_same_dvecs;
+          tc "offset distance" `Quick test_offset_dvec;
+          tc "lex correction" `Quick test_lex_correction;
+          tc "const independent" `Quick test_const_subscripts_independent;
+          tc "ww const ordered" `Quick test_const_subscript_write_write_ordered;
+          tc "contradictory" `Quick test_conflicting_distance_independent;
+          tc "unknown conservative" `Quick test_unknown_subscript_conservative;
+          tc "buffered exempt" `Quick test_buffered_writes_exempt;
+          qc (alg2_soundness ~ordered:false);
+          qc (alg2_soundness ~ordered:true);
+        ] );
+      ( "strategy",
+        [
+          tc "mf 2d" `Quick test_mf_strategy_2d;
+          tc "mf rotates smaller" `Quick test_mf_strategy_rotates_smaller;
+          tc "slr 1d data parallel" `Quick test_slr_strategy_data_parallel_1d;
+          tc "unbuffered fallback" `Quick test_unbuffered_conflicts_fall_back;
+          tc "lda 2d" `Quick test_lda_strategy;
+          tc "1d preferred on tie" `Quick test_one_d_preferred_over_two_d_on_tie;
+          tc "explain dp warning" `Quick test_explain_data_parallel_warning;
+          tc "summarize arrays" `Quick test_summarize_arrays;
+          tc "read-only replicated" `Quick test_read_only_array_replicated;
+          qc (test_correct_positive_involution_qcheck ());
+        ] );
+      ( "unimodular",
+        [
+          tc "identity" `Quick test_unimodular_identity;
+          tc "interchange" `Quick test_unimodular_interchange;
+          tc "skew" `Quick test_unimodular_skew;
+          tc "any blocks" `Quick test_unimodular_not_applicable_any;
+          qc (test_complete_to_unimodular_qcheck ());
+          qc (test_inverse_qcheck ());
+        ] );
+      ( "prefetch",
+        [
+          tc "slr prefetch" `Quick test_prefetch_slr;
+          tc "skips distarray-dependent" `Quick
+            test_prefetch_skips_distarray_dependent;
+          tc "tainted condition" `Quick
+            test_prefetch_tainted_condition_over_records;
+        ] );
+    ]

@@ -1,0 +1,374 @@
+(* Tests for the ML applications: losses, AdaRevision, SGD MF, LDA,
+   SLR, GBT — including that each app's OrionScript source analyzes to
+   the parallelization Table 2 reports. *)
+
+open Orion_apps
+
+(* ------------------------------------------------------------------ *)
+(* Losses and special functions                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_sigmoid () =
+  Alcotest.(check (float 1e-12)) "sigmoid 0" 0.5 (Losses.sigmoid 0.0);
+  Alcotest.(check bool) "monotone" true
+    (Losses.sigmoid 2.0 > Losses.sigmoid 1.0);
+  Alcotest.(check bool) "stable at -1000" true
+    (Losses.sigmoid (-1000.0) >= 0.0);
+  Alcotest.(check bool) "stable at 1000" true (Losses.sigmoid 1000.0 <= 1.0)
+
+let test_log_loss () =
+  Alcotest.(check (float 1e-9)) "perfect prediction" 0.0
+    (Losses.log_loss ~label:1.0 ~p:(1.0 -. 1e-12));
+  Alcotest.(check bool) "bad prediction is costly" true
+    (Losses.log_loss ~label:1.0 ~p:0.01 > 4.0);
+  Alcotest.(check bool) "clipped, finite" true
+    (Float.is_finite (Losses.log_loss ~label:0.0 ~p:1.0))
+
+let test_lgamma_known_values () =
+  let check name expected x =
+    Alcotest.(check (float 1e-9)) name expected (Losses.lgamma x)
+  in
+  check "lgamma 1" 0.0 1.0;
+  check "lgamma 2" 0.0 2.0;
+  check "lgamma 5 = log 24" (log 24.0) 5.0;
+  check "lgamma 0.5 = log sqrt(pi)" (0.5 *. log Float.pi) 0.5
+
+let test_lgamma_recurrence_qcheck () =
+  QCheck.Test.make ~count:300 ~name:"lgamma(x+1) = lgamma(x) + log x"
+    QCheck.(float_range 0.1 50.0)
+    (fun x ->
+      let lhs = Losses.lgamma (x +. 1.0) in
+      let rhs = Losses.lgamma x +. log x in
+      abs_float (lhs -. rhs) < 1e-8 *. (1.0 +. abs_float lhs))
+
+(* ------------------------------------------------------------------ *)
+(* AdaRevision                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_adarev_moves_against_gradient () =
+  let opt = Adarev.create ~size:4 ~alpha:1.0 in
+  let params = Array.make 4 0.0 in
+  ignore (Adarev.apply_fresh opt ~params ~i:2 ~g:1.0);
+  Alcotest.(check bool) "param decreased for positive gradient" true
+    (params.(2) < 0.0);
+  ignore (Adarev.apply_fresh opt ~params ~i:2 ~g:(-1.0));
+  Alcotest.(check bool) "moves back up" true (params.(2) > -1.1)
+
+let test_adarev_step_size_shrinks () =
+  let opt = Adarev.create ~size:1 ~alpha:1.0 in
+  let params = Array.make 1 0.0 in
+  let d1 = abs_float (Adarev.apply_fresh opt ~params ~i:0 ~g:1.0) in
+  let d2 = abs_float (Adarev.apply_fresh opt ~params ~i:0 ~g:1.0) in
+  let d3 = abs_float (Adarev.apply_fresh opt ~params ~i:0 ~g:1.0) in
+  Alcotest.(check bool) "steps shrink" true (d1 > d2 && d2 > d3)
+
+let test_adarev_delay_shrinks_step () =
+  (* a delayed gradient (other updates landed in between) must take a
+     smaller step than a fresh one with the same statistics *)
+  let fresh = Adarev.create ~size:1 ~alpha:1.0 in
+  let delayed = Adarev.create ~size:1 ~alpha:1.0 in
+  let pf = Array.make 1 0.0 and pd = Array.make 1 0.0 in
+  (* both see a first update *)
+  ignore (Adarev.apply_fresh fresh ~params:pf ~i:0 ~g:1.0);
+  ignore (Adarev.apply_fresh delayed ~params:pd ~i:0 ~g:1.0);
+  (* fresh: g_old is current; delayed: g_old from before the first
+     update (missed progress = 1.0) *)
+  let df = Adarev.apply fresh ~params:pf ~i:0 ~g:1.0 ~g_old:fresh.Adarev.g_bck.(0) in
+  let dd = Adarev.apply delayed ~params:pd ~i:0 ~g:1.0 ~g_old:0.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "delayed step (%.4f) smaller than fresh (%.4f)" dd df)
+    true
+    (abs_float dd < abs_float df)
+
+let test_adarev_version_tracking () =
+  let opt = Adarev.create ~size:2 ~alpha:0.5 in
+  let params = Array.make 2 0.0 in
+  Alcotest.(check (float 0.0)) "initial version" 0.0 (Adarev.read_version opt 0);
+  ignore (Adarev.apply_fresh opt ~params ~i:0 ~g:2.0);
+  Alcotest.(check (float 1e-12)) "version accumulates" 2.0
+    (Adarev.read_version opt 0)
+
+(* ------------------------------------------------------------------ *)
+(* SGD MF                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let mf_data () =
+  Orion_data.Ratings.generate ~num_users:40 ~num_items:30 ~num_ratings:400
+    ~rank_truth:4 ()
+
+let test_mf_serial_converges () =
+  let data = mf_data () in
+  let model =
+    Sgd_mf.init_model ~rank:8 ~num_users:data.num_users
+      ~num_items:data.num_items ()
+  in
+  let traj =
+    Sgd_mf.train_serial model ~ratings:data.ratings ~step_size:0.02 ~epochs:15
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "loss %.3f -> %.3f" traj.(0) traj.(15))
+    true
+    (traj.(15) < traj.(0) /. 5.0);
+  (* trajectory is (mostly) decreasing *)
+  Alcotest.(check bool) "monotone-ish" true (traj.(15) <= traj.(5))
+
+let test_mf_adarev_converges () =
+  let data = mf_data () in
+  let am =
+    Sgd_mf.init_adarev ~rank:8 ~num_users:data.num_users
+      ~num_items:data.num_items ~alpha:0.15 ()
+  in
+  let before = Sgd_mf.loss am.Sgd_mf.base data.ratings in
+  for _ = 1 to 15 do
+    Orion_dsm.Dist_array.iter
+      (fun key v -> Sgd_mf.body_adarev am ~worker:0 ~key ~value:v)
+      data.ratings
+  done;
+  let after = Sgd_mf.loss am.Sgd_mf.base data.ratings in
+  Alcotest.(check bool)
+    (Printf.sprintf "adarev loss %.3f -> %.3f" before after)
+    true (after < before /. 3.0)
+
+let test_mf_script_analyzes_2d () =
+  let session =
+    Orion.create_session ~num_machines:2 ~workers_per_machine:2 ()
+  in
+  let data = mf_data () in
+  let model =
+    Sgd_mf.init_model ~rank:8 ~num_users:data.num_users
+      ~num_items:data.num_items ()
+  in
+  Sgd_mf.register_arrays session ~ratings:data.ratings model;
+  (match Orion.analyze_script session Sgd_mf.script with
+  | [ plan ] -> (
+      match plan.Orion.Plan.strategy with
+      | Orion.Plan.Two_d _ ->
+          Alcotest.(check bool) "unordered" false plan.Orion.Plan.ordered
+      | s -> Alcotest.fail (Orion.Plan.strategy_to_string s))
+  | _ -> Alcotest.fail "expected one loop");
+  (* ordered variant *)
+  match Orion.analyze_script session (Sgd_mf.script_src ~ordered:true) with
+  | [ plan ] -> Alcotest.(check bool) "ordered flag" true plan.Orion.Plan.ordered
+  | _ -> Alcotest.fail "expected one loop"
+
+(* ------------------------------------------------------------------ *)
+(* LDA                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let lda_corpus () =
+  Orion_data.Corpus.generate ~num_docs:40 ~vocab_size:120 ~avg_doc_len:25
+    ~num_topics_truth:5 ()
+
+(* count-consistency invariant of collapsed Gibbs state *)
+let check_lda_invariants m ~num_tokens =
+  let dt_sum =
+    Array.fold_left
+      (fun acc row -> Array.fold_left ( +. ) acc row)
+      0.0 m.Lda.doc_topic
+  in
+  let wt_sum =
+    Array.fold_left
+      (fun acc row -> Array.fold_left ( +. ) acc row)
+      0.0 m.Lda.word_topic
+  in
+  let tot_sum = Array.fold_left ( +. ) 0.0 m.Lda.totals in
+  let n = float_of_int num_tokens in
+  Alcotest.(check (float 0.01)) "doc-topic sums to tokens" n dt_sum;
+  Alcotest.(check (float 0.01)) "word-topic sums to tokens" n wt_sum;
+  Alcotest.(check (float 0.01)) "totals sum to tokens" n tot_sum;
+  Array.iter
+    (fun row ->
+      Array.iter
+        (fun c -> Alcotest.(check bool) "non-negative counts" true (c >= 0.0))
+        row)
+    m.Lda.word_topic
+
+let test_lda_serial_improves_likelihood () =
+  let corpus = lda_corpus () in
+  let m = Lda.init_model ~num_topics:5 ~corpus () in
+  let traj = Lda.train_serial m ~tokens:corpus.tokens ~epochs:10 in
+  Alcotest.(check bool)
+    (Printf.sprintf "loglik %.1f -> %.1f" traj.(0) traj.(10))
+    true
+    (traj.(10) > traj.(0));
+  check_lda_invariants m ~num_tokens:corpus.num_tokens
+
+let test_lda_invariants_preserved_by_body () =
+  let corpus = lda_corpus () in
+  let m = Lda.init_model ~num_topics:5 ~corpus () in
+  (* run with per-worker totals views and merge, as the Orion runner
+     does — invariants must still hold after the merge *)
+  let views = Array.init 3 (fun _ -> Array.copy m.Lda.totals) in
+  let deltas = Array.init 3 (fun _ -> Array.make 5 0.0) in
+  let widx = ref 0 in
+  Orion_dsm.Dist_array.iter
+    (fun key _ ->
+      let w = !widx mod 3 in
+      incr widx;
+      Lda.body_with_views m
+        ~wt:m.Lda.word_topic.(key.(1))
+        ~totals:views.(w)
+        ~on_update:(fun ~word:_ ~topic ~delta ->
+          deltas.(w).(topic) <- deltas.(w).(topic) +. delta)
+        ~key)
+    corpus.tokens;
+  for w = 0 to 2 do
+    for z = 0 to 4 do
+      m.Lda.totals.(z) <- m.Lda.totals.(z) +. deltas.(w).(z)
+    done
+  done;
+  check_lda_invariants m ~num_tokens:corpus.num_tokens
+
+let test_lda_script_analyzes_2d_with_buffer () =
+  let session =
+    Orion.create_session ~num_machines:2 ~workers_per_machine:2 ()
+  in
+  (* realistic shape: many more documents than vocabulary entries, so
+     the (smaller) word-topic matrix is the one that rotates *)
+  let corpus =
+    Orion_data.Corpus.generate ~num_docs:200 ~vocab_size:50 ~avg_doc_len:10
+      ~num_topics_truth:5 ()
+  in
+  let m = Lda.init_model ~num_topics:5 ~corpus () in
+  Lda.register_arrays session ~tokens:corpus.tokens m;
+  match Orion.analyze_script session Lda.script with
+  | [ plan ] -> (
+      (match plan.Orion.Plan.strategy with
+      | Orion.Plan.Two_d { space_dim = 0; time_dim = 1 } -> ()
+      | s -> Alcotest.fail (Orion.Plan.strategy_to_string s));
+      (* word_topic rotates with the time dimension *)
+      match List.assoc "word_topic" plan.Orion.Plan.placements with
+      | Orion.Plan.Rotated _ -> ()
+      | p -> Alcotest.fail (Orion.Plan.placement_to_string p))
+  | _ -> Alcotest.fail "expected one loop"
+
+(* ------------------------------------------------------------------ *)
+(* SLR                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let slr_data () =
+  Orion_data.Sparse_features.generate ~num_samples:300 ~num_features:400
+    ~nnz_per_sample:12 ()
+
+let test_slr_serial_converges () =
+  let data = slr_data () in
+  let model = Slr.init_model ~num_features:data.num_features () in
+  let traj = Slr.train_serial model ~data ~step_size:0.5 ~epochs:8 in
+  Alcotest.(check bool)
+    (Printf.sprintf "logloss %.4f -> %.4f" traj.(0) traj.(8))
+    true
+    (traj.(8) < traj.(0) *. 0.7)
+
+let test_slr_script_analyzes_1d_prefetch () =
+  let session =
+    Orion.create_session ~num_machines:2 ~workers_per_machine:2 ()
+  in
+  let data = slr_data () in
+  let model = Slr.init_model ~num_features:data.num_features () in
+  Slr.register_arrays session ~data model;
+  match Orion.analyze_script session Slr.script with
+  | [ plan ] ->
+      (match plan.Orion.Plan.strategy with
+      | Orion.Plan.One_d { space_dim = 0 } -> ()
+      | s -> Alcotest.fail (Orion.Plan.strategy_to_string s));
+      Alcotest.(check (list string)) "w prefetched" [ "w" ]
+        plan.Orion.Plan.prefetch_arrays
+  | _ -> Alcotest.fail "expected one loop"
+
+(* ------------------------------------------------------------------ *)
+(* GBT                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_gbt_learns_nonlinear_concept () =
+  let data = Gbt.synthetic ~num_samples:400 ~num_features:6 () in
+  let model, traj = Gbt.train ~params:Gbt.default_params data in
+  Alcotest.(check bool)
+    (Printf.sprintf "logloss %.4f -> %.4f" traj.(0)
+       traj.(Gbt.default_params.num_trees))
+    true
+    (traj.(Gbt.default_params.num_trees) < traj.(0) /. 2.0);
+  let acc = Gbt.accuracy model data in
+  Alcotest.(check bool) (Printf.sprintf "accuracy %.3f" acc) true (acc > 0.85)
+
+let test_gbt_parallel_scan_equivalent () =
+  let data = Gbt.synthetic ~num_samples:200 ~num_features:5 () in
+  let calls = ref 0 in
+  let scan fs find =
+    incr calls;
+    List.map find fs
+  in
+  let _, t1 = Gbt.train ~parallel_feature_scan:scan data in
+  let _, t2 = Gbt.train data in
+  Alcotest.(check bool) "scan used" true (!calls > 0);
+  Alcotest.(check (float 1e-12)) "same final loss"
+    t2.(Gbt.default_params.num_trees)
+    t1.(Gbt.default_params.num_trees)
+
+let test_gbt_script_analyzes_1d () =
+  let session =
+    Orion.create_session ~num_machines:1 ~workers_per_machine:2 ()
+  in
+  Orion.register_meta session ~name:"feature_index" ~dims:[| 50 |] ~count:50 ();
+  Orion.register_meta session ~name:"split_gain" ~dims:[| 50 |] ();
+  match Orion.analyze_script session Gbt.script with
+  | [ plan ] -> (
+      match plan.Orion.Plan.strategy with
+      | Orion.Plan.One_d { space_dim = 0 } -> ()
+      | s -> Alcotest.fail (Orion.Plan.strategy_to_string s))
+  | _ -> Alcotest.fail "expected one loop"
+
+let test_gbt_prediction_bounds () =
+  QCheck.Test.make ~count:100 ~name:"gbt predictions are probabilities"
+    QCheck.(list_of_size (Gen.return 6) (float_range 0.0 1.0))
+    (fun xs ->
+      let data = Gbt.synthetic ~num_samples:100 ~num_features:6 () in
+      let model, _ =
+        Gbt.train ~params:{ Gbt.default_params with num_trees = 3 } data
+      in
+      let p = Gbt.predict model (Array.of_list xs) in
+      p >= 0.0 && p <= 1.0)
+
+let () =
+  let tc = Alcotest.test_case in
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "apps"
+    [
+      ( "losses",
+        [
+          tc "sigmoid" `Quick test_sigmoid;
+          tc "log loss" `Quick test_log_loss;
+          tc "lgamma values" `Quick test_lgamma_known_values;
+          qc (test_lgamma_recurrence_qcheck ());
+        ] );
+      ( "adarev",
+        [
+          tc "moves against gradient" `Quick test_adarev_moves_against_gradient;
+          tc "step size shrinks" `Quick test_adarev_step_size_shrinks;
+          tc "delay shrinks step" `Quick test_adarev_delay_shrinks_step;
+          tc "version tracking" `Quick test_adarev_version_tracking;
+        ] );
+      ( "sgd_mf",
+        [
+          tc "serial converges" `Quick test_mf_serial_converges;
+          tc "adarev converges" `Quick test_mf_adarev_converges;
+          tc "script -> 2D" `Quick test_mf_script_analyzes_2d;
+        ] );
+      ( "lda",
+        [
+          tc "serial improves loglik" `Quick test_lda_serial_improves_likelihood;
+          tc "invariants with views" `Quick test_lda_invariants_preserved_by_body;
+          tc "script -> 2D + buffer" `Quick test_lda_script_analyzes_2d_with_buffer;
+        ] );
+      ( "slr",
+        [
+          tc "serial converges" `Quick test_slr_serial_converges;
+          tc "script -> 1D + prefetch" `Quick test_slr_script_analyzes_1d_prefetch;
+        ] );
+      ( "gbt",
+        [
+          tc "learns nonlinear concept" `Quick test_gbt_learns_nonlinear_concept;
+          tc "parallel scan equivalent" `Quick test_gbt_parallel_scan_equivalent;
+          tc "script -> 1D" `Quick test_gbt_script_analyzes_1d;
+          qc (test_gbt_prediction_bounds ());
+        ] );
+    ]

@@ -1,0 +1,358 @@
+(* Tests for the systems under comparison.  These check the *shapes*
+   the paper reports: dependence-aware parallelization matches serial
+   per-iteration convergence; data parallelism converges slower;
+   managed communication helps; STRADS matches Orion's convergence;
+   TF-style minibatching converges slower and is slower per pass at
+   small batch sizes; prefetching collapses SLR pass times. *)
+
+open Orion_baselines
+
+let mf_data =
+  lazy
+    (Orion_data.Ratings.generate ~num_users:60 ~num_items:48 ~num_ratings:900
+       ~rank_truth:4 ())
+
+let small_mf_config =
+  {
+    Orion_mf.default_config with
+    num_machines = 4;
+    workers_per_machine = 2;
+    rank = 8;
+    step_size = 0.005;
+    epochs = 10;
+    (* large enough that compute dominates the tiny test dataset *)
+    per_entry_cost = 1e-4;
+  }
+
+(* Data parallelism sums K workers' SGD deltas per sync, which diverges
+   at the serial step size (exactly the pathology the paper discusses);
+   like practitioners, the baseline runs a tuned-down step. *)
+let bosen_base =
+  {
+    Bosen_mf.default_config with
+    num_machines = 4;
+    workers_per_machine = 2;
+    rank = 8;
+    step_size = 0.005 /. 8.0;
+    epochs = 10;
+  }
+
+let final t = Trajectory.final_metric t
+
+(* ------------------------------------------------------------------ *)
+(* SGD MF across systems                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_orion_mf_matches_serial () =
+  let data = Lazy.force mf_data in
+  let serial = Orion_mf.train_serial ~config:small_mf_config ~data () in
+  let orion = (Orion_mf.train ~config:small_mf_config ~data ()).trajectory in
+  Alcotest.(check bool)
+    (Printf.sprintf "orion %.4f ~ serial %.4f" (final orion) (final serial))
+    true
+    (final orion < (final serial *. 1.3) +. 1e-9);
+  (* and the 8-worker run is faster in simulated time *)
+  Alcotest.(check bool)
+    (Printf.sprintf "orion time %.3f < serial %.3f"
+       (Trajectory.final_time orion)
+       (Trajectory.final_time serial))
+    true
+    (Trajectory.final_time orion < Trajectory.final_time serial)
+
+let test_bosen_dp_converges_slower_per_iteration () =
+  let data = Lazy.force mf_data in
+  let orion = (Orion_mf.train ~config:small_mf_config ~data ()).trajectory in
+  let bosen, _ = Bosen_mf.train ~config:bosen_base ~data () in
+  Alcotest.(check bool)
+    (Printf.sprintf "bosen %.4f worse than orion %.4f" (final bosen)
+       (final orion))
+    true
+    (final bosen > final orion *. 1.2)
+
+let test_bosen_cm_improves_dp () =
+  let data = Lazy.force mf_data in
+  let dp, _ = Bosen_mf.train ~config:bosen_base ~data () in
+  let cm, _ =
+    Bosen_mf.train
+      ~config:
+        { bosen_base with comm_rounds = 8; bandwidth_budget_mbps = 1600.0 }
+      ~data ()
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "CM %.4f <= DP %.4f" (final cm) (final dp))
+    true
+    (final cm <= final dp +. 1e-9)
+
+let test_bosen_cm_uses_more_bandwidth () =
+  let data = Lazy.force mf_data in
+  let base = { bosen_base with epochs = 5 } in
+  let _, rec_dp = Bosen_mf.train ~config:base ~data () in
+  let _, rec_cm =
+    Bosen_mf.train ~config:{ base with comm_rounds = 8 } ~data ()
+  in
+  Alcotest.(check bool) "CM sends more bytes" true
+    (Orion_sim.Recorder.total_bytes rec_cm
+    > Orion_sim.Recorder.total_bytes rec_dp)
+
+let test_strads_matches_orion_convergence () =
+  let data = Lazy.force mf_data in
+  let orion =
+    (Orion_mf.train
+       ~config:{ small_mf_config with adarev = true; alpha = 0.1 }
+       ~data ())
+      .trajectory
+  in
+  let strads =
+    Strads_mf.train
+      ~config:
+        {
+          Strads_mf.default_config with
+          num_machines = 4;
+          workers_per_machine = 2;
+          rank = 8;
+          alpha = 0.1;
+          epochs = 10;
+        }
+      ~data ()
+  in
+  let ratio = final strads /. Float.max (final orion) 1e-12 in
+  Alcotest.(check bool)
+    (Printf.sprintf "per-iteration quality comparable (ratio %.3f)" ratio)
+    true
+    (ratio > 0.5 && ratio < 2.0)
+
+let test_tf_minibatch_converges_slower () =
+  let data = Lazy.force mf_data in
+  let orion = (Orion_mf.train ~config:small_mf_config ~data ()).trajectory in
+  let tf =
+    Tf_mf.train
+      ~config:
+        {
+          Tf_mf.default_config with
+          rank = 8;
+          minibatch = 450 (* half the dataset *);
+          step_size = 2.0;
+          epochs = 10;
+        }
+      ~data ()
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "TF %.4f worse than Orion %.4f" (final tf) (final orion))
+    true
+    (final tf > final orion *. 1.2)
+
+let test_tf_smaller_batch_slower_per_pass () =
+  (* Fig 13b: smaller minibatches under-utilize the cores *)
+  let cfg b = { Tf_mf.default_config with minibatch = b } in
+  let t_small = Tf_mf.seconds_per_pass (cfg 1_000) ~num_entries:100_000 in
+  let t_large = Tf_mf.seconds_per_pass (cfg 25_000) ~num_entries:100_000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "batch 1k (%.3fs) slower than 25k (%.3fs)" t_small t_large)
+    true (t_small > t_large)
+
+(* ------------------------------------------------------------------ *)
+(* LDA across systems                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let lda_corpus =
+  lazy
+    (Orion_data.Corpus.generate ~num_docs:120 ~vocab_size:60 ~avg_doc_len:20
+       ~num_topics_truth:5 ())
+
+let test_orion_lda_close_to_serial () =
+  let corpus = Lazy.force lda_corpus in
+  let cfg =
+    {
+      Orion_lda.default_config with
+      num_machines = 4;
+      workers_per_machine = 1;
+      num_topics = 5;
+      epochs = 8;
+    }
+  in
+  let serial = Orion_lda.train_serial ~config:cfg ~corpus () in
+  let orion = (Orion_lda.train ~config:cfg ~corpus ()).trajectory in
+  (* log-likelihoods are negative; "close" = within 2% *)
+  let s = final serial and o = final orion in
+  Alcotest.(check bool)
+    (Printf.sprintf "orion %.1f ~ serial %.1f" o s)
+    true
+    (o > s -. (0.02 *. abs_float s));
+  Alcotest.(check bool) "improved over init" true
+    (o > List.(hd (orion.Trajectory.points)).Trajectory.metric)
+
+let test_bosen_lda_slower_convergence () =
+  let corpus = Lazy.force lda_corpus in
+  let orion =
+    (Orion_lda.train
+       ~config:
+         {
+           Orion_lda.default_config with
+           num_machines = 4;
+           workers_per_machine = 1;
+           num_topics = 5;
+           epochs = 8;
+         }
+       ~corpus ())
+      .trajectory
+  in
+  let bosen, _ =
+    Bosen_lda.train
+      ~config:
+        {
+          Bosen_lda.default_config with
+          num_machines = 4;
+          workers_per_machine = 1;
+          num_topics = 5;
+          epochs = 8;
+        }
+      ~corpus ()
+  in
+  (* higher loglik is better: Orion should be at least as good *)
+  Alcotest.(check bool)
+    (Printf.sprintf "orion %.1f >= bosen %.1f" (final orion) (final bosen))
+    true
+    (final orion >= final bosen -. 1e-6)
+
+let test_strads_lda_faster_iterations_than_orion () =
+  let corpus = Lazy.force lda_corpus in
+  let orion =
+    (Orion_lda.train
+       ~config:
+         {
+           Orion_lda.default_config with
+           num_machines = 4;
+           workers_per_machine = 1;
+           num_topics = 5;
+           epochs = 5;
+         }
+       ~corpus ())
+      .trajectory
+  in
+  let strads =
+    Strads_lda.train
+      ~config:
+        {
+          Strads_lda.default_config with
+          num_machines = 4;
+          workers_per_machine = 1;
+          num_topics = 5;
+          epochs = 5;
+        }
+      ~corpus ()
+  in
+  let o = Trajectory.avg_time_per_iteration orion in
+  let s = Trajectory.avg_time_per_iteration strads in
+  Alcotest.(check bool)
+    (Printf.sprintf "STRADS iter %.4fs faster than Orion %.4fs" s o)
+    true (s < o)
+
+(* ------------------------------------------------------------------ *)
+(* SLR prefetching                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let slr_data =
+  lazy
+    (Orion_data.Sparse_features.generate ~num_samples:150 ~num_features:600
+       ~nnz_per_sample:10 ())
+
+let slr_cfg mode =
+  {
+    Slr_runner.default_config with
+    mode;
+    epochs = 2;
+    num_machines = 1;
+    workers_per_machine = 2;
+  }
+
+let test_prefetch_time_shape () =
+  let data = Lazy.force slr_data in
+  let r_none =
+    Slr_runner.train ~config:(slr_cfg Slr_runner.No_prefetch) ~data ()
+  in
+  let r_pre = Slr_runner.train ~config:(slr_cfg Slr_runner.Prefetch) ~data () in
+  let r_cached =
+    Slr_runner.train ~config:(slr_cfg Slr_runner.Prefetch_cached) ~data ()
+  in
+  let t mode_result = mode_result.Slr_runner.seconds_per_pass.(1) in
+  Alcotest.(check bool)
+    (Printf.sprintf "no-prefetch %.4fs >> prefetch %.4fs >= cached %.4fs"
+       (t r_none) (t r_pre) (t r_cached))
+    true
+    (t r_none > 5.0 *. t r_pre && t r_pre >= t r_cached);
+  (* convergence unaffected by the access mode *)
+  Alcotest.(check bool) "loss decreases" true
+    (final r_pre.Slr_runner.trajectory
+    < List.(hd r_pre.Slr_runner.trajectory.Trajectory.points).Trajectory.metric
+    )
+
+let test_slr_adarev_converges () =
+  let data = Lazy.force slr_data in
+  let r =
+    Slr_runner.train
+      ~config:{ (slr_cfg Slr_runner.Prefetch) with adarev = true; alpha = 0.2; epochs = 5 }
+      ~data ()
+  in
+  let first =
+    List.(hd r.Slr_runner.trajectory.Trajectory.points).Trajectory.metric
+  in
+  let last = final r.Slr_runner.trajectory in
+  Alcotest.(check bool)
+    (Printf.sprintf "adarev logloss %.4f -> %.4f" first last)
+    true
+    (last < first *. 0.85)
+
+let test_prefetch_program_nonempty () =
+  let data = Lazy.force slr_data in
+  let r = Slr_runner.train ~config:(slr_cfg Slr_runner.Prefetch) ~data () in
+  Alcotest.(check bool) "synthesized program has statements" true
+    (List.length r.Slr_runner.prefetch_program > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Trajectory utilities                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_trajectory_utilities () =
+  let t = Trajectory.create ~system:"X" ~workload:"Y" in
+  let t = Trajectory.add t ~time:0.0 ~iteration:0 ~metric:10.0 in
+  let t = Trajectory.add t ~time:2.0 ~iteration:1 ~metric:5.0 in
+  let t = Trajectory.add t ~time:4.0 ~iteration:2 ~metric:2.0 in
+  Alcotest.(check (float 0.0)) "final metric" 2.0 (Trajectory.final_metric t);
+  Alcotest.(check (float 0.0)) "final time" 4.0 (Trajectory.final_time t);
+  Alcotest.(check (float 0.0)) "avg iter time" 2.0
+    (Trajectory.avg_time_per_iteration t);
+  (match Trajectory.time_to_reach t ~threshold:5.0 ~direction:`Below with
+  | Some 2.0 -> ()
+  | _ -> Alcotest.fail "time_to_reach below");
+  match Trajectory.time_to_reach t ~threshold:100.0 ~direction:`Above with
+  | None -> ()
+  | Some _ -> Alcotest.fail "unreachable threshold"
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "baselines"
+    [
+      ( "sgd_mf",
+        [
+          tc "orion matches serial" `Quick test_orion_mf_matches_serial;
+          tc "bosen dp slower" `Quick test_bosen_dp_converges_slower_per_iteration;
+          tc "cm improves dp" `Quick test_bosen_cm_improves_dp;
+          tc "cm more bandwidth" `Quick test_bosen_cm_uses_more_bandwidth;
+          tc "strads matches orion" `Quick test_strads_matches_orion_convergence;
+          tc "tf converges slower" `Quick test_tf_minibatch_converges_slower;
+          tc "tf small batch slower" `Quick test_tf_smaller_batch_slower_per_pass;
+        ] );
+      ( "lda",
+        [
+          tc "orion close to serial" `Quick test_orion_lda_close_to_serial;
+          tc "bosen slower" `Quick test_bosen_lda_slower_convergence;
+          tc "strads faster iters" `Quick test_strads_lda_faster_iterations_than_orion;
+        ] );
+      ( "slr",
+        [
+          tc "prefetch time shape" `Quick test_prefetch_time_shape;
+          tc "adarev converges" `Quick test_slr_adarev_converges;
+          tc "prefetch program" `Quick test_prefetch_program_nonempty;
+        ] );
+      ("trajectory", [ tc "utilities" `Quick test_trajectory_utilities ]);
+    ]

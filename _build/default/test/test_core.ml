@@ -1,0 +1,293 @@
+(* End-to-end tests of the Orion facade: analyze + compile + execute,
+   and whole interpreted driver programs (the paper's Fig. 5 workflow). *)
+
+open Orion
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let mk_session ?(machines = 2) ?(wpm = 2) () =
+  create_session ~num_machines:machines ~workers_per_machine:wpm ()
+
+(* planted low-rank ratings matrix *)
+let mk_ratings ?(name = "ratings") rows cols rank density_mod =
+  let state = ref 99 in
+  let randf () =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    float_of_int (!state mod 1000) /. 1000.0
+  in
+  let wt = Array.init rank (fun _ -> Array.init rows (fun _ -> randf ())) in
+  let ht = Array.init rank (fun _ -> Array.init cols (fun _ -> randf ())) in
+  let entries = ref [] in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      if (i + (3 * j)) mod density_mod = 0 then begin
+        let v = ref 0.0 in
+        for k = 0 to rank - 1 do
+          v := !v +. (wt.(k).(i) *. ht.(k).(j))
+        done;
+        entries := ([| i; j |], !v) :: !entries
+      end
+    done
+  done;
+  Dist_array.of_entries ~name ~dims:[| rows; cols |] ~default:0.0 !entries
+
+let sgd_mf_script =
+  {|
+step_size = 0.1
+err = 0.0
+for iter = 1:8
+  @parallel_for for (key, rv) in ratings
+    W_row = W[:, key[1]]
+    H_row = H[:, key[2]]
+    pred = dot(W_row, H_row)
+    diff = rv - pred
+    W_grad = -2.0 * diff * H_row
+    H_grad = -2.0 * diff * W_row
+    W[:, key[1]] = W_row - W_grad * step_size
+    H[:, key[2]] = H_row - H_grad * step_size
+  end
+end
+err = 0.0
+@parallel_for for (key, rv) in ratings
+  W_row = W[:, key[1]]
+  H_row = H[:, key[2]]
+  pred = dot(W_row, H_row)
+  err += abs2(rv - pred)
+end
+final_err = get_aggregated_value("err")
+|}
+
+let setup_mf_session ?machines ?wpm () =
+  let rows = 20 and cols = 16 and rank = 3 in
+  let session = mk_session ?machines ?wpm () in
+  let ratings = mk_ratings rows cols rank 4 in
+  let w = Dist_array.fill_dense ~name:"W" ~dims:[| rank; rows |] 0.1 in
+  let h = Dist_array.fill_dense ~name:"H" ~dims:[| rank; cols |] 0.1 in
+  register session ratings;
+  register session w;
+  register session h;
+  (session, ratings, w, h)
+
+(* ------------------------------------------------------------------ *)
+(* Analysis through the facade                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_analyze_script_mf () =
+  let session, _, _, _ = setup_mf_session () in
+  match analyze_script session sgd_mf_script with
+  | [ train_plan; eval_plan ] ->
+      (match train_plan.Plan.strategy with
+      | Plan.Two_d _ -> ()
+      | s -> Alcotest.fail ("train loop: " ^ Plan.strategy_to_string s));
+      Alcotest.(check bool) "unordered" false train_plan.Plan.ordered;
+      (* the evaluation loop only reads W and H: no deps at all *)
+      (match eval_plan.Plan.strategy with
+      | Plan.One_d _ | Plan.Two_d _ -> ()
+      | s -> Alcotest.fail ("eval loop: " ^ Plan.strategy_to_string s));
+      Alcotest.(check int) "eval loop has no dependence vectors" 0
+        (List.length eval_plan.Plan.dep_vectors)
+  | plans ->
+      Alcotest.fail
+        (Printf.sprintf "expected 2 loops, got %d" (List.length plans))
+
+let test_analysis_memoized () =
+  let session, _, _, _ = setup_mf_session () in
+  let program = Parser.parse_program sgd_mf_script in
+  let loops = Refs.find_parallel_loops program in
+  let loop = List.hd loops in
+  let p1 = analyze_loop session loop in
+  let p2 = analyze_loop session loop in
+  Alcotest.(check bool) "same plan object" true (p1 == p2)
+
+let test_explain_output () =
+  let session, _, _, _ = setup_mf_session () in
+  let plan = List.hd (analyze_script session sgd_mf_script) in
+  let text = Plan.explain_to_string plan in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        ("explain mentions " ^ needle)
+        true
+        (contains ~sub:needle text))
+    [ "Iteration space: ratings"; "Dependence vectors"; "2D"; "step_size" ]
+
+(* ------------------------------------------------------------------ *)
+(* Interpreted end-to-end run                                          *)
+(* ------------------------------------------------------------------ *)
+
+let interp_loss env = Value.to_float (Interp.get_var env "final_err")
+
+let test_run_script_mf_converges () =
+  let session, ratings, _, _ = setup_mf_session () in
+  let env, stats = run_script session sgd_mf_script in
+  let final = interp_loss env in
+  (* initial loss with all-0.1 factors *)
+  let initial =
+    Dist_array.fold
+      (fun acc _ v -> acc +. ((v -. (0.1 *. 0.1 *. 3.0)) ** 2.0))
+      0.0 ratings
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "converged: %.5f << %.5f" final initial)
+    true
+    (final < initial /. 10.0);
+  (* 8 training passes + 1 eval pass *)
+  Alcotest.(check int) "9 loop executions" 9 (List.length stats);
+  List.iter
+    (fun s ->
+      Alcotest.(check int) "each pass covers all entries"
+        (Dist_array.count ratings) s.Executor.entries_executed)
+    stats
+
+let test_run_script_matches_serial_quality () =
+  (* the 4-worker scheduled run must reach the quality of the 1-worker
+     (serial) run: serializability at work *)
+  let session, _, _, _ = setup_mf_session () in
+  let env_dist, _ = run_script session sgd_mf_script in
+  let dist_loss = interp_loss env_dist in
+  let session_serial, _, _, _ = setup_mf_session ~machines:1 ~wpm:1 () in
+  let env_serial, _ = run_script session_serial sgd_mf_script in
+  let serial_loss = interp_loss env_serial in
+  Alcotest.(check bool)
+    (Printf.sprintf "distributed %.6f ~ serial %.6f" dist_loss serial_loss)
+    true
+    (dist_loss < (serial_loss *. 1.25) +. 1e-9)
+
+let test_run_script_charges_time () =
+  let session, _, _, _ = setup_mf_session () in
+  let _ = run_script session sgd_mf_script in
+  Alcotest.(check bool) "cluster time advanced" true
+    (Cluster.now session.cluster > 0.0)
+
+let test_accumulator_in_script () =
+  let session = mk_session () in
+  let data =
+    Dist_array.of_entries ~name:"data" ~dims:[| 10 |] ~default:0.0
+      (List.init 10 (fun i -> ([| i |], float_of_int (i + 1))))
+  in
+  register session data;
+  let env, _ =
+    run_script session
+      {|
+total = 0.0
+@parallel_for for (k, v) in data
+  total += v
+end
+result = get_aggregated_value("total")
+reset_accumulator("total")
+|}
+  in
+  Alcotest.(check (float 1e-9)) "sum 1..10" 55.0
+    (Value.to_float (Interp.get_var env "result"));
+  Alcotest.(check (float 1e-9)) "reset" 0.0
+    (Value.to_float (Interp.get_var env "total"))
+
+(* ------------------------------------------------------------------ *)
+(* Prefetch through the facade                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_prefetch_records_match_actual_reads () =
+  (* The synthesized prefetch program must record exactly the DistArray
+     elements the real loop body reads. *)
+  let session = mk_session () in
+  let w =
+    Dist_array.init_dense ~name:"w" ~dims:[| 20 |]
+      ~f:(fun k -> float_of_int k.(0))
+  in
+  register session w;
+  (* branch condition depends only on the loop key: the synthesized
+     program follows control flow exactly *)
+  let body_src =
+    "i1 = key[1]\nx = w[i1]\nif i1 > 8\n  y = w[i1 + 1]\nend"
+  in
+  let body = Parser.parse_program body_src in
+  let generated, stats =
+    Prefetch.synthesize ~dist_vars:[ "w" ] ~targets:[ "w" ] body
+  in
+  Alcotest.(check int) "two record sites" 2 stats.Prefetch.recorded;
+  (* key = [| 9 |] (1-based subscript 10 > 8): both reads happen *)
+  let recorded =
+    run_prefetch_program session ~generated ~key_var:"key" ~value_var:"v"
+      ~key:[| 9 |] ~value:(Value.Vfloat 0.0) ~bindings:[]
+  in
+  let keys = List.map (fun (_, k) -> k.(0)) recorded in
+  Alcotest.(check (list int)) "records w[9] and w[10] (0-based)" [ 9; 10 ] keys;
+  (* for a small key the branch is not taken: only one read *)
+  let recorded2 =
+    run_prefetch_program session ~generated ~key_var:"key" ~value_var:"v"
+      ~key:[| 2 |] ~value:(Value.Vfloat 0.0) ~bindings:[]
+  in
+  Alcotest.(check int) "one read" 1 (List.length recorded2)
+
+let test_prefetch_tainted_condition_over_approximates () =
+  (* when the branch condition itself reads a DistArray, the prefetch
+     program cannot evaluate it and records both branches *)
+  let session = mk_session () in
+  let w =
+    Dist_array.init_dense ~name:"w" ~dims:[| 20 |]
+      ~f:(fun k -> float_of_int k.(0))
+  in
+  register session w;
+  let body =
+    Parser.parse_program
+      "i1 = key[1]\nx = w[i1]\nif x > 5.0\n  y = w[i1 + 1]\nend"
+  in
+  let generated, _ =
+    Prefetch.synthesize ~dist_vars:[ "w" ] ~targets:[ "w" ] body
+  in
+  (* even for a key whose branch would not be taken, both candidate
+     reads are prefetched (sound over-approximation) *)
+  let recorded =
+    run_prefetch_program session ~generated ~key_var:"key" ~value_var:"v"
+      ~key:[| 2 |] ~value:(Value.Vfloat 0.0) ~bindings:[]
+  in
+  Alcotest.(check int) "both branches prefetched" 2 (List.length recorded)
+
+(* ------------------------------------------------------------------ *)
+(* Native compile/execute path                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_native_compile_execute () =
+  let session, ratings, _, _ = setup_mf_session () in
+  let plan = List.hd (analyze_script session sgd_mf_script) in
+  let compiled = compile session ~plan ~iter:ratings () in
+  Alcotest.(check bool) "has rotated bytes" true
+    (compiled.rotated_bytes_per_partition > 0.0);
+  let count = ref 0 in
+  let stats =
+    execute session compiled
+      ~body:(fun ~worker:_ ~key:_ ~value:_ -> incr count)
+      ()
+  in
+  Alcotest.(check int) "all entries" (Dist_array.count ratings) !count;
+  Alcotest.(check int) "stats agree" !count stats.Executor.entries_executed
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "core"
+    [
+      ( "analysis",
+        [
+          tc "analyze mf script" `Quick test_analyze_script_mf;
+          tc "memoized" `Quick test_analysis_memoized;
+          tc "explain" `Quick test_explain_output;
+        ] );
+      ( "run_script",
+        [
+          tc "mf converges" `Quick test_run_script_mf_converges;
+          tc "matches serial" `Quick test_run_script_matches_serial_quality;
+          tc "charges time" `Quick test_run_script_charges_time;
+          tc "accumulators" `Quick test_accumulator_in_script;
+        ] );
+      ( "prefetch",
+        [
+          tc "records = actual reads" `Quick
+            test_prefetch_records_match_actual_reads;
+          tc "tainted condition over-approximates" `Quick
+            test_prefetch_tainted_condition_over_approximates;
+        ] );
+      ( "native", [ tc "compile/execute" `Quick test_native_compile_execute ] );
+    ]

@@ -1,0 +1,170 @@
+(* Tests for the synthetic dataset generators and the deterministic
+   RNG. *)
+
+open Orion_data
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check (float 0.0)) "same stream" (Rng.float a) (Rng.float b)
+  done
+
+let test_rng_uniform_range () =
+  QCheck.Test.make ~count:500 ~name:"rng float in [0,1), int in [0,n)"
+    QCheck.(int_range 1 1000)
+    (fun n ->
+      let rng = Rng.create n in
+      let f = Rng.float rng in
+      let i = Rng.int rng n in
+      f >= 0.0 && f < 1.0 && i >= 0 && i < n)
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create 7 in
+  let n = 20000 in
+  let sum = ref 0.0 and sq = ref 0.0 in
+  for _ = 1 to n do
+    let x = Rng.gaussian rng in
+    sum := !sum +. x;
+    sq := !sq +. (x *. x)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sq /. float_of_int n) -. (mean *. mean) in
+  Alcotest.(check bool) "mean ~ 0" true (abs_float mean < 0.05);
+  Alcotest.(check bool) "var ~ 1" true (abs_float (var -. 1.0) < 0.1)
+
+let test_zipf_skew () =
+  let rng = Rng.create 3 in
+  let z = Rng.zipf_create ~n:100 ~s:1.0 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 20000 do
+    let k = Rng.zipf_draw rng z in
+    counts.(k) <- counts.(k) + 1
+  done;
+  (* rank 0 must dominate rank 50 roughly by factor ~51 *)
+  Alcotest.(check bool) "rank 0 most frequent" true
+    (counts.(0) > counts.(50) * 10);
+  Alcotest.(check bool) "all in range" true
+    (Array.for_all (fun c -> c >= 0) counts)
+
+let test_permutation_is_permutation () =
+  QCheck.Test.make ~count:100 ~name:"permutation is a bijection"
+    QCheck.(int_range 1 500)
+    (fun n ->
+      let rng = Rng.create n in
+      let p = Rng.permutation rng n in
+      let seen = Array.make n false in
+      Array.iter (fun i -> seen.(i) <- true) p;
+      Array.for_all Fun.id seen)
+
+(* ------------------------------------------------------------------ *)
+
+let test_ratings_properties () =
+  let d =
+    Ratings.generate ~num_users:50 ~num_items:40 ~num_ratings:300 ()
+  in
+  Alcotest.(check int) "requested count" 300 d.num_ratings;
+  Alcotest.(check (array int)) "dims" [| 50; 40 |]
+    (Orion_dsm.Dist_array.dims d.ratings);
+  Orion_dsm.Dist_array.iter
+    (fun key v ->
+      Alcotest.(check bool) "rating in [1,5]" true (v >= 1.0 && v <= 5.0);
+      Alcotest.(check bool) "key in range" true
+        (key.(0) < 50 && key.(1) < 40))
+    d.ratings
+
+let test_ratings_deterministic () =
+  let d1 = Ratings.generate ~num_users:20 ~num_items:20 ~num_ratings:50 () in
+  let d2 = Ratings.generate ~num_users:20 ~num_items:20 ~num_ratings:50 () in
+  let e1 = Orion_dsm.Dist_array.entries d1.ratings in
+  let e2 = Orion_dsm.Dist_array.entries d2.ratings in
+  Alcotest.(check bool) "same dataset" true (e1 = e2)
+
+let test_ratings_skewed () =
+  let d =
+    Ratings.generate ~num_users:100 ~num_items:100 ~num_ratings:2000
+      ~item_skew:1.2 ()
+  in
+  let counts = Orion_dsm.Partitioner.histogram d.ratings ~dim:1 in
+  Array.sort compare counts;
+  let hottest = counts.(99) and median = counts.(50) in
+  Alcotest.(check bool)
+    (Printf.sprintf "popularity skew (%d vs %d)" hottest median)
+    true
+    (hottest > 4 * max median 1)
+
+let test_corpus_properties () =
+  let c = Corpus.generate ~num_docs:60 ~vocab_size:200 ~avg_doc_len:30 () in
+  Alcotest.(check bool) "tokens counted" true (c.num_tokens > 60 * 10);
+  let total =
+    Orion_dsm.Dist_array.fold (fun acc _ v -> acc +. v) 0.0 c.tokens
+  in
+  Alcotest.(check (float 0.01)) "entry counts sum to token count"
+    (float_of_int c.num_tokens) total;
+  Orion_dsm.Dist_array.iter
+    (fun key v ->
+      Alcotest.(check bool) "count positive" true (v >= 1.0);
+      Alcotest.(check bool) "in range" true (key.(0) < 60 && key.(1) < 200))
+    c.tokens
+
+let test_sparse_features_properties () =
+  let d =
+    Sparse_features.generate ~num_samples:100 ~num_features:500
+      ~nnz_per_sample:10 ()
+  in
+  Alcotest.(check int) "sample count" 100
+    (Orion_dsm.Dist_array.count d.samples);
+  Alcotest.(check bool) "avg nnz near request" true
+    (d.avg_nnz >= 5.0 && d.avg_nnz <= 20.0);
+  let pos = ref 0 in
+  Orion_dsm.Dist_array.iter
+    (fun _ (s : Sparse_features.sample) ->
+      if s.label = 1.0 then incr pos;
+      Alcotest.(check bool) "label binary" true
+        (s.label = 0.0 || s.label = 1.0);
+      Alcotest.(check bool) "features sorted unique" true
+        (let ok = ref true in
+         for k = 1 to Array.length s.features - 1 do
+           if s.features.(k) <= s.features.(k - 1) then ok := false
+         done;
+         !ok);
+      Array.iter
+        (fun f -> Alcotest.(check bool) "feature in range" true (f < 500))
+        s.features)
+    d.samples;
+  (* labels are not degenerate *)
+  Alcotest.(check bool) "both classes present" true (!pos > 5 && !pos < 95)
+
+let test_sample_to_value () =
+  let s =
+    Sparse_features.{ label = 1.0; features = [| 2; 7 |]; values = [| 1.0; 1.0 |] }
+  in
+  match Sparse_features.sample_to_value s with
+  | Orion_lang.Value.Vtuple
+      [ Vfloat 1.0; Vvec idx; Vvec [| 1.0; 1.0 |] ] ->
+      (* 1-based indices for OrionScript *)
+      Alcotest.(check (array (float 0.0))) "indices 1-based" [| 3.0; 8.0 |] idx
+  | _ -> Alcotest.fail "bad value shape"
+
+let () =
+  let tc = Alcotest.test_case in
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "data"
+    [
+      ( "rng",
+        [
+          tc "deterministic" `Quick test_rng_deterministic;
+          qc (test_rng_uniform_range ());
+          tc "gaussian moments" `Quick test_rng_gaussian_moments;
+          tc "zipf skew" `Quick test_zipf_skew;
+          qc (test_permutation_is_permutation ());
+        ] );
+      ( "datasets",
+        [
+          tc "ratings properties" `Quick test_ratings_properties;
+          tc "ratings deterministic" `Quick test_ratings_deterministic;
+          tc "ratings skewed" `Quick test_ratings_skewed;
+          tc "corpus properties" `Quick test_corpus_properties;
+          tc "sparse features" `Quick test_sparse_features_properties;
+          tc "sample to value" `Quick test_sample_to_value;
+        ] );
+    ]

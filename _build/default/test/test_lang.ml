@@ -1,0 +1,744 @@
+(* Tests for the OrionScript language: lexer, parser, pretty-printer
+   round-trips, and the interpreter. *)
+
+open Orion_lang
+
+let parse = Parser.parse_program
+let parse_e = Parser.parse_expression
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let toks src = List.map (fun (t : Lexer.located) -> t.tok) (Lexer.tokenize src)
+
+let test_lex_basic () =
+  Alcotest.(check int) "token count" 6
+    (List.length (toks "x = 1 + 2"));
+  (* x = 1 + 2 -> IDENT EQ INT PLUS INT EOF *)
+  match toks "x = 1 + 2" with
+  | [ IDENT "x"; EQ; INT 1; PLUS; INT 2; EOF ] -> ()
+  | _ -> Alcotest.fail "unexpected tokens"
+
+let test_lex_floats () =
+  (match toks "1.5 2e3 0.25" with
+  | [ FLOAT a; FLOAT b; FLOAT c; EOF ] ->
+      Alcotest.(check (float 0.0)) "1.5" 1.5 a;
+      Alcotest.(check (float 0.0)) "2e3" 2000.0 b;
+      Alcotest.(check (float 0.0)) "0.25" 0.25 c
+  | _ -> Alcotest.fail "floats");
+  match toks "1:3" with
+  | [ INT 1; COLON; INT 3; EOF ] -> ()
+  | _ -> Alcotest.fail "range is not a float"
+
+let test_lex_comments () =
+  match toks "x = 1 # a comment\ny = 2" with
+  | [ IDENT "x"; EQ; INT 1; NEWLINE; IDENT "y"; EQ; INT 2; EOF ] -> ()
+  | _ -> Alcotest.fail "comments"
+
+let test_lex_operators () =
+  match toks "a += b .* c .= d" with
+  | [ IDENT "a"; PLUS_EQ; IDENT "b"; STAR; IDENT "c"; EQ; IDENT "d"; EOF ] ->
+      ()
+  | _ -> Alcotest.fail "operators"
+
+let test_lex_macro () =
+  match toks "@parallel_for ordered for" with
+  | [ KW_PARALLEL_FOR; KW_ORDERED; KW_FOR; EOF ] -> ()
+  | _ -> Alcotest.fail "macro"
+
+let test_lex_string_escapes () =
+  match toks {|"a\nb"|} with
+  | [ STRING "a\nb"; EOF ] -> ()
+  | _ -> Alcotest.fail "string escapes"
+
+let test_lex_error_pos () =
+  try
+    ignore (Lexer.tokenize "x = $");
+    Alcotest.fail "expected lex error"
+  with Lexer.Lex_error (_, pos) ->
+    Alcotest.(check int) "line" 1 pos.line;
+    Alcotest.(check int) "col" 5 pos.col
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_precedence () =
+  let e = parse_e "1 + 2 * 3" in
+  Alcotest.(check bool) "mul binds tighter" true
+    (e = Ast.(Binop (Add, Int_lit 1, Binop (Mul, Int_lit 2, Int_lit 3))))
+
+let test_parse_power_right_assoc () =
+  let e = parse_e "2 ^ 3 ^ 2" in
+  Alcotest.(check bool) "right assoc" true
+    (e
+    = Ast.(
+        Binop (Pow, Int_lit 2, Binop (Pow, Int_lit 3, Int_lit 2))))
+
+let test_parse_unary_precedence () =
+  let e = parse_e "-x + y" in
+  Alcotest.(check bool) "neg binds tighter than +" true
+    (e = Ast.(Binop (Add, Unop (Neg, Var "x"), Var "y")))
+
+let test_parse_comparison_chain () =
+  let e = parse_e "a + 1 < b * 2 && c > 3" in
+  match e with
+  | Ast.Binop (And, Binop (Lt, _, _), Binop (Gt, _, _)) -> ()
+  | _ -> Alcotest.fail "precedence of comparisons and &&"
+
+let test_parse_subscripts () =
+  let e = parse_e "W[:, key[1], 2:5]" in
+  match e with
+  | Ast.Index
+      ( Var "W",
+        [
+          Sub_all;
+          Sub_expr (Index (Var "key", [ Sub_expr (Int_lit 1) ]));
+          Sub_range (Int_lit 2, Int_lit 5);
+        ] ) ->
+      ()
+  | _ -> Alcotest.fail "subscripts"
+
+let test_parse_call_and_tuple () =
+  (match parse_e "dot(a, b)" with
+  | Ast.Call ("dot", [ Var "a"; Var "b" ]) -> ()
+  | _ -> Alcotest.fail "call");
+  match parse_e "(a, b, 3)" with
+  | Ast.Tuple [ Var "a"; Var "b"; Int_lit 3 ] -> ()
+  | _ -> Alcotest.fail "tuple"
+
+let test_parse_if_elseif () =
+  let p =
+    parse
+      "if a > 0\n  x = 1\nelseif a < 0\n  x = 2\nelse\n  x = 3\nend"
+  in
+  match p with
+  | [ Ast.If (_, [ _ ], [ Ast.If (_, [ _ ], [ _ ]) ]) ] -> ()
+  | _ -> Alcotest.fail "elseif chain"
+
+let test_parse_for_range () =
+  match parse "for i = 1:10\n  s += i\nend" with
+  | [ Ast.For { kind = Range_loop { var = "i"; _ }; parallel = None; _ } ] ->
+      ()
+  | _ -> Alcotest.fail "range loop"
+
+let test_parse_parallel_for () =
+  match parse "@parallel_for for (k, v) in data\n  x = v\nend" with
+  | [
+   Ast.For
+     {
+       kind = Each_loop { key = "k"; value = "v"; arr = "data" };
+       parallel = Some { ordered = false };
+       _;
+     };
+  ] ->
+      ()
+  | _ -> Alcotest.fail "parallel for"
+
+let test_parse_parallel_for_ordered () =
+  match parse "@parallel_for ordered for (k, v) in data\nend" with
+  | [ Ast.For { parallel = Some { ordered = true }; _ } ] -> ()
+  | _ -> Alcotest.fail "ordered"
+
+let test_parse_op_assign_index () =
+  match parse "A[i] += 1" with
+  | [ Ast.Op_assign (Add, Lindex ("A", [ Sub_expr (Var "i") ]), Int_lit 1) ]
+    ->
+      ()
+  | _ -> Alcotest.fail "op-assign on index"
+
+let test_parse_error_missing_end () =
+  try
+    ignore (parse "for i = 1:3\n x = i\n");
+    Alcotest.fail "expected parse error"
+  with Parser.Parse_error (_, _) -> ()
+
+let test_parse_broadcast_assign () =
+  (* Julia's .= is accepted as plain assignment *)
+  match parse "W[:, k] .= W_row - g * s" with
+  | [ Ast.Assign (Lindex ("W", _), _) ] -> ()
+  | _ -> Alcotest.fail "broadcast assign"
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printer round-trip                                           *)
+(* ------------------------------------------------------------------ *)
+
+let roundtrip_program src =
+  let p1 = parse src in
+  let printed = Pretty.program_to_string p1 in
+  let p2 = parse printed in
+  Alcotest.(check bool)
+    (Printf.sprintf "roundtrip of %S via %S" src printed)
+    true (Ast.equal_program p1 p2)
+
+let test_pretty_roundtrip_samples () =
+  List.iter roundtrip_program
+    [
+      "x = 1 + 2 * 3";
+      "y = -x ^ 2";
+      "if a > 0\n  b = 1\nelse\n  b = 2\nend";
+      "for i = 1:10\n  s += i * i\nend";
+      "@parallel_for for (key, rv) in ratings\n\
+       W_row = W[:, key[1]]\n\
+       W[:, key[1]] = W_row - g * s\n\
+       end";
+      "while x < 10\n  x = x + 1\n  if x == 5\n    break\n  end\nend";
+      "z = dot(a[1:3], b[2:4]) + abs2(c)";
+      "t = (a, b, a + b)";
+    ]
+
+(* random expression generator for the qcheck round-trip *)
+let gen_expr =
+  let open QCheck.Gen in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          if n <= 0 then
+            oneof
+              [
+                map (fun i -> Ast.Int_lit i) (int_range 0 100);
+                map (fun f -> Ast.Float_lit (float_of_int f /. 4.0))
+                  (int_range 0 100);
+                oneofl [ Ast.Var "x"; Ast.Var "y"; Ast.Var "key" ];
+                return (Ast.Bool_lit true);
+              ]
+          else
+            oneof
+              [
+                map3
+                  (fun op a b -> Ast.Binop (op, a, b))
+                  (oneofl
+                     Ast.[ Add; Sub; Mul; Div; Pow; Lt; Le; Eq; And; Or ])
+                  (self (n / 2))
+                  (self (n / 2));
+                map (fun a -> Ast.Unop (Ast.Neg, a)) (self (n - 1));
+                map
+                  (fun a -> Ast.Index (Ast.Var "A", [ Ast.Sub_expr a ]))
+                  (self (n - 1));
+                map2
+                  (fun a b -> Ast.Call ("f", [ a; b ]))
+                  (self (n / 2))
+                  (self (n / 2));
+              ])
+        n)
+
+let arb_expr = QCheck.make ~print:Pretty.expr_to_string gen_expr
+
+let test_expr_roundtrip_qcheck () =
+  QCheck.Test.make ~count:500 ~name:"pretty-print/parse expr roundtrip"
+    arb_expr (fun e ->
+      let printed = Pretty.expr_to_string e in
+      Ast.equal_expr e (Parser.parse_expression printed))
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let run ?host_call ?(bindings = []) src =
+  let env = Interp.create_env ?host_call () in
+  List.iter (fun (k, v) -> Interp.set_var env k v) bindings;
+  Interp.run_program env (parse src);
+  env
+
+let check_float env name expected =
+  match Interp.get_var env name with
+  | Value.Vfloat f -> Alcotest.(check (float 1e-9)) name expected f
+  | Value.Vint n -> Alcotest.(check (float 1e-9)) name expected (float_of_int n)
+  | v -> Alcotest.fail (name ^ " has type " ^ Value.type_name v)
+
+let test_interp_arith () =
+  let env = run "x = 1 + 2 * 3\ny = x / 2\nz = 2.0 ^ 3 + float(x % 5)" in
+  check_float env "x" 7.0;
+  check_float env "y" 3.0;
+  (* int division *)
+  check_float env "z" 10.0
+
+let test_interp_loops () =
+  let env = run "s = 0\nfor i = 1:10\n  s += i\nend" in
+  check_float env "s" 55.0
+
+let test_interp_while_break () =
+  let env =
+    run "x = 0\nwhile true\n  x += 1\n  if x >= 7\n    break\n  end\nend"
+  in
+  check_float env "x" 7.0
+
+let test_interp_continue () =
+  let env =
+    run "s = 0\nfor i = 1:10\n  if i % 2 == 0\n    continue\n  end\n  s += i\nend"
+  in
+  check_float env "s" 25.0
+
+let test_interp_vectors () =
+  let env =
+    run
+      "v = zeros(3)\nv[1] = 1.0\nv[2] = 2.0\nv[3] = 3.0\n\
+       w = v * 2.0\nd = dot(v, w)\ns = sum(v[1:2])"
+  in
+  check_float env "d" 28.0;
+  check_float env "s" 3.0
+
+let test_interp_vector_ops () =
+  let env = run "a = fill(2.0, 4)\nb = fill(3.0, 4)\nc = a * b + a\nn = norm(fill(3.0, 1))" in
+  (match Interp.get_var env "c" with
+  | Value.Vvec v ->
+      Alcotest.(check (float 1e-9)) "elementwise" 8.0 v.(0)
+  | _ -> Alcotest.fail "c not vec");
+  check_float env "n" 3.0
+
+let test_interp_builtins () =
+  let env =
+    run "a = abs(-3)\nb = abs2(2.0)\nc = sigmoid(0.0)\nd = max(1.0, 2.0)\ne = exp(0.0)"
+  in
+  check_float env "a" 3.0;
+  check_float env "b" 4.0;
+  check_float env "c" 0.5;
+  check_float env "d" 2.0;
+  check_float env "e" 1.0
+
+let test_interp_rng_deterministic () =
+  let env1 = run "x = rand()\ny = randn()" in
+  let env2 = run "x = rand()\ny = randn()" in
+  let get e n = Value.to_float (Interp.get_var e n) in
+  Alcotest.(check (float 0.0)) "rand deterministic" (get env1 "x") (get env2 "x");
+  Alcotest.(check (float 0.0))
+    "randn deterministic" (get env1 "y") (get env2 "y");
+  let x = get env1 "x" in
+  Alcotest.(check bool) "in range" true (x >= 0.0 && x < 1.0)
+
+let test_interp_host_call () =
+  let calls = ref [] in
+  let host_call name args =
+    if name = "observe" then (
+      calls := args :: !calls;
+      Some Value.Vunit)
+    else None
+  in
+  let _ = run ~host_call "observe(1, 2.0)" in
+  Alcotest.(check int) "host called" 1 (List.length !calls)
+
+let test_interp_extern () =
+  (* a tiny dense 2x2 "distarray" backed by a float array *)
+  let data = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let get subs =
+    match subs with
+    | [| Value.Cpoint i; Value.Cpoint j |] -> Value.Vfloat data.((i * 2) + j)
+    | _ -> Alcotest.fail "bad subs"
+  in
+  let set subs v =
+    match subs with
+    | [| Value.Cpoint i; Value.Cpoint j |] ->
+        data.((i * 2) + j) <- Value.to_float v
+    | _ -> Alcotest.fail "bad subs"
+  in
+  let iter f =
+    for i = 0 to 1 do
+      for j = 0 to 1 do
+        f [| i; j |] (Value.Vfloat data.((i * 2) + j))
+      done
+    done
+  in
+  let ex =
+    Value.
+      {
+        ex_name = "A";
+        ex_dims = [| 2; 2 |];
+        ex_get = get;
+        ex_set = set;
+        ex_iter = iter;
+        ex_count = (fun () -> 4);
+      }
+  in
+  let env =
+    run
+      ~bindings:[ ("A", Value.Vextern ex) ]
+      "s = 0.0\nfor (k, v) in A\n  s += v\n  A[k[1], k[2]] = v * 10.0\nend"
+  in
+  check_float env "s" 10.0;
+  Alcotest.(check (float 0.0)) "written back" 40.0 data.(3)
+
+let test_interp_error_undefined () =
+  try
+    ignore (run "x = undefined_var + 1");
+    Alcotest.fail "expected runtime error"
+  with Interp.Runtime_error _ -> ()
+
+let test_interp_division_by_zero () =
+  try
+    ignore (run "x = 1 / 0");
+    Alcotest.fail "expected error"
+  with Interp.Runtime_error _ -> ()
+
+let test_interp_short_circuit () =
+  (* the right operand must not be evaluated: 1/0 would raise *)
+  let env = run "ok = false && 1 / 0 == 0\nok2 = true || 1 / 0 == 0" in
+  (match Interp.get_var env "ok" with
+  | Value.Vbool false -> ()
+  | _ -> Alcotest.fail "&& short circuit");
+  match Interp.get_var env "ok2" with
+  | Value.Vbool true -> ()
+  | _ -> Alcotest.fail "|| short circuit"
+
+(* the full SGD MF body interpreted over a toy problem: the training
+   loss must decrease *)
+let test_interp_mf_epoch () =
+  (* 2x2 ratings, rank 2 *)
+  let ratings = [| [| 5.0; 1.0 |]; [| 1.0; 5.0 |] |] in
+  let w = Array.make_matrix 2 2 0.1 in
+  let h = Array.make_matrix 2 2 0.1 in
+  w.(0).(0) <- 0.3;
+  h.(1).(1) <- 0.2;
+  let vec_of col m = Array.init 2 (fun r -> m.(r).(col)) in
+  let set_col col m v = Array.iteri (fun r x -> m.(r).(col) <- x) v in
+  let mk_extern name arr2 =
+    Value.
+      {
+        ex_name = name;
+        ex_dims = [| 2; 2 |];
+        ex_get =
+          (fun subs ->
+            match subs with
+            | [| Call_dim; Cpoint j |] -> Vvec (vec_of j arr2)
+            | [| Cpoint i; Cpoint j |] -> Vfloat arr2.(i).(j)
+            | _ -> Alcotest.fail "subs");
+        ex_set =
+          (fun subs v ->
+            match subs with
+            | [| Call_dim; Cpoint j |] -> set_col j arr2 (Value.to_vec v)
+            | _ -> Alcotest.fail "subs");
+        ex_iter =
+          (fun f ->
+            for i = 0 to 1 do
+              for j = 0 to 1 do
+                f [| i; j |] (Vfloat arr2.(i).(j))
+              done
+            done);
+        ex_count = (fun () -> 4);
+      }
+  in
+  let ratings_ex =
+    Value.
+      {
+        ex_name = "ratings";
+        ex_dims = [| 2; 2 |];
+        ex_get = (fun _ -> Alcotest.fail "no get");
+        ex_set = (fun _ _ -> Alcotest.fail "no set");
+        ex_iter =
+          (fun f ->
+            for i = 0 to 1 do
+              for j = 0 to 1 do
+                f [| i; j |] (Vfloat ratings.(i).(j))
+              done
+            done);
+        ex_count = (fun () -> 4);
+      }
+  in
+  let loss () =
+    let total = ref 0.0 in
+    for i = 0 to 1 do
+      for j = 0 to 1 do
+        let pred = ref 0.0 in
+        for k = 0 to 1 do
+          pred := !pred +. (w.(k).(i) *. h.(k).(j))
+        done;
+        total := !total +. ((ratings.(i).(j) -. !pred) ** 2.0)
+      done
+    done;
+    !total
+  in
+  let before = loss () in
+  let body =
+    "for iter = 1:30\n\
+     for (key, rv) in ratings\n\
+     W_row = W[:, key[1]]\n\
+     H_row = H[:, key[2]]\n\
+     pred = dot(W_row, H_row)\n\
+     diff = rv - pred\n\
+     W_grad = -2.0 * diff * H_row\n\
+     H_grad = -2.0 * diff * W_row\n\
+     W[:, key[1]] = W_row - W_grad * step_size\n\
+     H[:, key[2]] = H_row - H_grad * step_size\n\
+     end\n\
+     end"
+  in
+  let _ =
+    run
+      ~bindings:
+        [
+          ("ratings", Value.Vextern ratings_ex);
+          ("W", Value.Vextern (mk_extern "W" w));
+          ("H", Value.Vextern (mk_extern "H" h));
+          ("step_size", Value.Vfloat 0.05);
+        ]
+      body
+  in
+  let after = loss () in
+  Alcotest.(check bool)
+    (Printf.sprintf "loss decreased (%g -> %g)" before after)
+    true
+    (after < before /. 4.0)
+
+(* more interpreter edge cases *)
+
+let test_interp_tuple_and_index_values () =
+  let env =
+    run
+      ~bindings:[ ("k", Value.Vindex [| 4; 9 |]) ]
+      "t = (1, 2.5, true)\na = t[2]\ni = k[1]\nj = k[2]"
+  in
+  check_float env "a" 2.5;
+  (* Vindex subscripts are 1-based on the surface *)
+  check_float env "i" 5.0;
+  check_float env "j" 10.0
+
+let test_interp_mod_semantics () =
+  (* mathematical (non-negative) modulo on ints *)
+  let env = run "a = -7 % 3\nb = 7 % 3\nc = 7.5 % 2.0" in
+  check_float env "a" 2.0;
+  check_float env "b" 1.0;
+  check_float env "c" 1.5
+
+let test_interp_int_pow () =
+  let env = run "a = 2 ^ 10\nb = 2.0 ^ -1.0" in
+  check_float env "a" 1024.0;
+  check_float env "b" 0.5
+
+let test_interp_string_compare () =
+  let env = run {|eq = "abc" == "abc"
+ne = "a" != "b"
+lt = "a" < "b"|} in
+  List.iter
+    (fun v ->
+      match Interp.get_var env v with
+      | Value.Vbool true -> ()
+      | _ -> Alcotest.fail (v ^ " not true"))
+    [ "eq"; "ne"; "lt" ]
+
+let test_interp_vector_length_mismatch () =
+  try
+    ignore (run "a = zeros(3) + zeros(4)");
+    Alcotest.fail "expected error"
+  with Interp.Runtime_error _ -> ()
+
+let test_interp_index_non_indexable () =
+  try
+    ignore (run "x = 5\ny = x[1]");
+    Alcotest.fail "expected type error"
+  with Value.Type_error _ -> ()
+
+let test_interp_op_assign_vector_element () =
+  let env = run "v = zeros(3)\nv[2] += 1.5\nv[2] *= 2.0\nx = v[2]" in
+  check_float env "x" 3.0
+
+let test_interp_vector_range_assign () =
+  let env =
+    run "v = zeros(5)\nw = fill(7.0, 3)\nv[2:4] = w\ns = sum(v)\nx = v[1]"
+  in
+  check_float env "s" 21.0;
+  check_float env "x" 0.0
+
+let test_interp_nested_loops () =
+  let env =
+    run "s = 0\nfor i = 1:4\n  for j = 1:4\n    if j > i\n      continue\n    end\n    s += 1\n  end\nend"
+  in
+  (* sum over i of i = 10 *)
+  check_float env "s" 10.0
+
+let test_interp_elseif_execution () =
+  let prog v =
+    Printf.sprintf
+      "x = %d\nif x > 10\n  r = 1\nelseif x > 5\n  r = 2\nelseif x > 0\n  r = 3\nelse\n  r = 4\nend"
+      v
+  in
+  List.iter
+    (fun (v, expect) ->
+      let env = run (prog v) in
+      check_float env "r" expect)
+    [ (20, 1.0); (7, 2.0); (3, 3.0); (-1, 4.0) ]
+
+let test_interp_unknown_function_error () =
+  try
+    ignore (run "x = frobnicate(1)");
+    Alcotest.fail "expected error"
+  with Interp.Runtime_error msg ->
+    Alcotest.(check bool) "mentions name" true
+      (String.length msg > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Semantic checker                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let diags ?globals src =
+  Check.check_program ?globals (Parser.parse_program src)
+
+let has_error ds sub =
+  List.exists
+    (fun d ->
+      d.Check.severity = Check.Error
+      &&
+      let m = d.Check.message and n = String.length sub in
+      let rec go i =
+        i + n <= String.length m && (String.sub m i n = sub || go (i + 1))
+      in
+      go 0)
+    ds
+
+let has_warning ds sub =
+  List.exists
+    (fun d ->
+      d.Check.severity = Check.Warning
+      &&
+      let m = d.Check.message and n = String.length sub in
+      let rec go i =
+        i + n <= String.length m && (String.sub m i n = sub || go (i + 1))
+      in
+      go 0)
+    ds
+
+let test_check_clean_program () =
+  let ds =
+    diags ~globals:[ "data" ]
+      "x = 1\ny = x + 2\nfor i = 1:10\n  y += i\nend"
+  in
+  Alcotest.(check int) "no diagnostics" 0 (List.length ds)
+
+let test_check_undefined_variable () =
+  let ds = diags "x = y + 1" in
+  Alcotest.(check bool) "undefined y" true (has_error ds "y is used before")
+
+let test_check_maybe_undefined () =
+  let ds = diags "a = 1\nif a > 0\n  b = 2\nend\nc = b" in
+  Alcotest.(check bool) "maybe undefined b" true
+    (has_warning ds "b may be undefined")
+
+let test_check_defined_in_both_branches () =
+  let ds = diags "a = 1\nif a > 0\n  b = 2\nelse\n  b = 3\nend\nc = b" in
+  Alcotest.(check int) "no diagnostics" 0 (List.length ds)
+
+let test_check_break_outside_loop () =
+  let ds = diags "x = 1\nbreak" in
+  Alcotest.(check bool) "break error" true (has_error ds "break outside");
+  let ok = diags "while true\n  break\nend" in
+  Alcotest.(check int) "break in loop ok" 0 (List.length ok)
+
+let test_check_builtin_arity () =
+  let ds = diags "x = dot(zeros(3))" in
+  Alcotest.(check bool) "dot arity" true (has_error ds "dot expects 2");
+  let ok = diags "x = dot(zeros(3), zeros(3))" in
+  Alcotest.(check int) "correct arity ok" 0 (List.length ok)
+
+let test_check_nested_parallel_for () =
+  let ds =
+    diags ~globals:[ "a"; "b" ]
+      "@parallel_for for (k, v) in a\n\
+       @parallel_for for (k2, v2) in b\n\
+       x = v2\n\
+       end\n\
+       end"
+  in
+  Alcotest.(check bool) "nested error" true (has_error ds "cannot be nested")
+
+let test_check_assign_loop_key () =
+  let ds =
+    diags ~globals:[ "a" ]
+      "@parallel_for for (k, v) in a\n  k = (1, 2)\nend"
+  in
+  Alcotest.(check bool) "key assignment warning" true
+    (has_warning ds "loop index variable k")
+
+let test_check_loop_body_definitions_are_maybe () =
+  (* a for-loop body may run zero times *)
+  let ds = diags "for i = 1:0\n  x = i\nend\ny = x" in
+  Alcotest.(check bool) "x maybe undefined" true
+    (has_warning ds "x may be undefined")
+
+let test_check_mf_script_clean () =
+  let ds =
+    diags
+      ~globals:[ "ratings"; "W"; "H"; "num_iterations" ]
+      Orion_apps.Sgd_mf.script
+  in
+  Alcotest.(check (list string)) "mf script clean" []
+    (List.map Check.diagnostic_to_string ds)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let tc = Alcotest.test_case in
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "lang"
+    [
+      ( "lexer",
+        [
+          tc "basic" `Quick test_lex_basic;
+          tc "floats" `Quick test_lex_floats;
+          tc "comments" `Quick test_lex_comments;
+          tc "operators" `Quick test_lex_operators;
+          tc "macro" `Quick test_lex_macro;
+          tc "string escapes" `Quick test_lex_string_escapes;
+          tc "error position" `Quick test_lex_error_pos;
+        ] );
+      ( "parser",
+        [
+          tc "precedence" `Quick test_parse_precedence;
+          tc "power right assoc" `Quick test_parse_power_right_assoc;
+          tc "unary precedence" `Quick test_parse_unary_precedence;
+          tc "comparisons" `Quick test_parse_comparison_chain;
+          tc "subscripts" `Quick test_parse_subscripts;
+          tc "call and tuple" `Quick test_parse_call_and_tuple;
+          tc "if/elseif" `Quick test_parse_if_elseif;
+          tc "for range" `Quick test_parse_for_range;
+          tc "parallel for" `Quick test_parse_parallel_for;
+          tc "parallel for ordered" `Quick test_parse_parallel_for_ordered;
+          tc "op-assign index" `Quick test_parse_op_assign_index;
+          tc "missing end" `Quick test_parse_error_missing_end;
+          tc "broadcast assign" `Quick test_parse_broadcast_assign;
+        ] );
+      ( "pretty",
+        [
+          tc "roundtrip samples" `Quick test_pretty_roundtrip_samples;
+          qc (test_expr_roundtrip_qcheck ());
+        ] );
+      ( "interp",
+        [
+          tc "arith" `Quick test_interp_arith;
+          tc "loops" `Quick test_interp_loops;
+          tc "while/break" `Quick test_interp_while_break;
+          tc "continue" `Quick test_interp_continue;
+          tc "vectors" `Quick test_interp_vectors;
+          tc "vector ops" `Quick test_interp_vector_ops;
+          tc "builtins" `Quick test_interp_builtins;
+          tc "rng deterministic" `Quick test_interp_rng_deterministic;
+          tc "host call" `Quick test_interp_host_call;
+          tc "extern arrays" `Quick test_interp_extern;
+          tc "undefined var" `Quick test_interp_error_undefined;
+          tc "division by zero" `Quick test_interp_division_by_zero;
+          tc "short circuit" `Quick test_interp_short_circuit;
+          tc "mf epoch converges" `Quick test_interp_mf_epoch;
+          tc "tuples and index values" `Quick test_interp_tuple_and_index_values;
+          tc "mod semantics" `Quick test_interp_mod_semantics;
+          tc "int pow" `Quick test_interp_int_pow;
+          tc "string compare" `Quick test_interp_string_compare;
+          tc "vector length mismatch" `Quick test_interp_vector_length_mismatch;
+          tc "index non-indexable" `Quick test_interp_index_non_indexable;
+          tc "op-assign vector elt" `Quick test_interp_op_assign_vector_element;
+          tc "vector range assign" `Quick test_interp_vector_range_assign;
+          tc "nested loops" `Quick test_interp_nested_loops;
+          tc "elseif execution" `Quick test_interp_elseif_execution;
+          tc "unknown function" `Quick test_interp_unknown_function_error;
+        ] );
+      ( "check",
+        [
+          tc "clean program" `Quick test_check_clean_program;
+          tc "undefined variable" `Quick test_check_undefined_variable;
+          tc "maybe undefined" `Quick test_check_maybe_undefined;
+          tc "both branches define" `Quick test_check_defined_in_both_branches;
+          tc "break outside loop" `Quick test_check_break_outside_loop;
+          tc "builtin arity" `Quick test_check_builtin_arity;
+          tc "nested parallel_for" `Quick test_check_nested_parallel_for;
+          tc "assign loop key" `Quick test_check_assign_loop_key;
+          tc "loop body maybe" `Quick test_check_loop_body_definitions_are_maybe;
+          tc "mf script clean" `Quick test_check_mf_script_clean;
+        ] );
+    ]

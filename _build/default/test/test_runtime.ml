@@ -1,0 +1,504 @@
+(* Tests for schedules and the executor: partition correctness,
+   serializability invariants, and the time-accounting shapes the paper
+   reports (unordered 2D beats ordered 2D; speedup with workers). *)
+
+open Orion_dsm
+open Orion_runtime
+module Cluster = Orion_sim.Cluster
+module Cost_model = Orion_sim.Cost_model
+
+let mk_cluster ?(machines = 2) ?(wpm = 2) () =
+  Cluster.create ~num_machines:machines ~workers_per_machine:wpm
+    ~cost:Cost_model.default ()
+
+(* a deterministic pseudo-random sparse iteration space *)
+let mk_iter ?(rows = 40) ?(cols = 30) ?(n = 400) () =
+  let n = min n (rows * cols / 2) in
+  let entries = ref [] in
+  let rng = Orion_data.Rng.create 123456789 in
+  let rand bound = Orion_data.Rng.int rng bound in
+  let seen = Hashtbl.create 64 in
+  let added = ref 0 in
+  while !added < n do
+    let i = rand rows and j = rand cols in
+    if not (Hashtbl.mem seen (i, j)) then begin
+      Hashtbl.add seen (i, j) ();
+      entries := ([| i; j |], float_of_int ((i * cols) + j)) :: !entries;
+      incr added
+    end
+  done;
+  Dist_array.of_entries ~name:"iter" ~dims:[| rows; cols |] ~default:0.0
+    !entries
+
+(* ------------------------------------------------------------------ *)
+(* Schedule                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_partition_2d_covers_all () =
+  let iter = mk_iter () in
+  let s =
+    Schedule.partition_2d iter ~space_dim:0 ~time_dim:1 ~space_parts:4
+      ~time_parts:8
+  in
+  Alcotest.(check int) "all entries partitioned" (Dist_array.count iter)
+    (Schedule.total_entries s)
+
+let test_partition_2d_respects_boundaries () =
+  let iter = mk_iter () in
+  let s =
+    Schedule.partition_2d iter ~space_dim:0 ~time_dim:1 ~space_parts:4
+      ~time_parts:4
+  in
+  let sb = s.Schedule.space_boundaries in
+  let tb = Option.get s.Schedule.time_boundaries in
+  Array.iteri
+    (fun si row ->
+      Array.iteri
+        (fun ti b ->
+          Array.iter
+            (fun (key, _) ->
+              Alcotest.(check bool) "row in space range" true
+                (key.(0) >= sb.(si) && key.(0) < sb.(si + 1));
+              Alcotest.(check bool) "col in time range" true
+                (key.(1) >= tb.(ti) && key.(1) < tb.(ti + 1)))
+            b.Schedule.entries)
+        row)
+    s.Schedule.blocks
+
+let test_partition_1d_balanced_under_skew () =
+  (* all entries in few rows: histogram partitioning must still spread
+     entries across partitions reasonably *)
+  let entries =
+    List.concat_map
+      (fun i -> List.init 50 (fun j -> ([| i; j |], 1.0)))
+      [ 0; 1; 2; 3 ]
+  in
+  let iter =
+    Dist_array.of_entries ~name:"skew" ~dims:[| 100; 50 |] ~default:0.0
+      entries
+  in
+  let s = Schedule.partition_1d iter ~space_dim:0 ~space_parts:4 in
+  let sizes =
+    Array.map
+      (fun row -> Array.length row.(0).Schedule.entries)
+      s.Schedule.blocks
+  in
+  Alcotest.(check int) "covers all" 200 (Array.fold_left ( + ) 0 sizes);
+  Alcotest.(check bool) "no partition empty" true
+    (Array.for_all (fun n -> n > 0) sizes)
+
+let test_partition_unimodular_covers_all () =
+  let iter = mk_iter ~rows:20 ~cols:20 ~n:150 () in
+  (* wavefront matrix for deps {(1,-1),(0,1)} *)
+  let matrix =
+    match
+      Orion_analysis.Unimodular.find_transform ~ndims:2
+        [
+          [| Orion_analysis.Depvec.Fin 1; Orion_analysis.Depvec.Fin (-1) |];
+          [| Orion_analysis.Depvec.Fin 0; Orion_analysis.Depvec.Fin 1 |];
+        ]
+    with
+    | Some m -> m
+    | None -> Alcotest.fail "no transform"
+  in
+  let s =
+    Schedule.partition_unimodular iter ~matrix ~space_parts:4 ~time_parts:6
+  in
+  Alcotest.(check int) "all entries" (Dist_array.count iter)
+    (Schedule.total_entries s)
+
+(* ------------------------------------------------------------------ *)
+(* Executor: correctness                                               *)
+(* ------------------------------------------------------------------ *)
+
+let run_and_collect run =
+  let seen : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let body ~worker:_ ~key ~value:_ =
+    let k = (key.(0), key.(1)) in
+    Hashtbl.replace seen k (1 + Option.value ~default:0 (Hashtbl.find_opt seen k))
+  in
+  let stats = run body in
+  (seen, stats)
+
+let test_executor_runs_each_entry_once () =
+  let iter = mk_iter () in
+  let cluster = mk_cluster () in
+  let sched =
+    Schedule.partition_2d iter ~space_dim:0 ~time_dim:1 ~space_parts:4
+      ~time_parts:8
+  in
+  let seen, stats =
+    run_and_collect (fun body ->
+        Executor.run_2d_unordered cluster ~rotated_bytes_per_partition:100.0
+          sched body)
+  in
+  Alcotest.(check int) "entries executed" (Dist_array.count iter)
+    stats.Executor.entries_executed;
+  Hashtbl.iter
+    (fun _ n -> Alcotest.(check int) "exactly once" 1 n)
+    seen;
+  Alcotest.(check int) "all keys seen" (Dist_array.count iter)
+    (Hashtbl.length seen)
+
+let test_executor_1d_and_ordered_run_all () =
+  let iter = mk_iter () in
+  let n = Dist_array.count iter in
+  let c1 = mk_cluster () in
+  let s1 = Schedule.partition_1d iter ~space_dim:0 ~space_parts:4 in
+  let _, st1 = run_and_collect (fun b -> Executor.run_1d c1 s1 b) in
+  Alcotest.(check int) "1d all" n st1.Executor.entries_executed;
+  let c2 = mk_cluster () in
+  let s2 =
+    Schedule.partition_2d iter ~space_dim:0 ~time_dim:1 ~space_parts:4
+      ~time_parts:4
+  in
+  let _, st2 =
+    run_and_collect (fun b ->
+        Executor.run_2d_ordered c2 ~rotated_bytes_per_partition:10.0 s2 b)
+  in
+  Alcotest.(check int) "ordered all" n st2.Executor.entries_executed;
+  let c3 = mk_cluster () in
+  let _, st3 =
+    run_and_collect (fun b ->
+        Executor.run_time_major c3 ~comm_bytes_per_step:10.0 s2 b)
+  in
+  Alcotest.(check int) "time-major all" n st3.Executor.entries_executed
+
+(* serializability invariant of the unordered rotation: within one
+   step, concurrently-executing blocks touch disjoint space AND time
+   partitions *)
+let test_unordered_step_blocks_disjoint () =
+  let sp = 6 and tp = 12 and depth = 2 in
+  for step = 0 to tp - 1 do
+    let times = List.init sp (fun s -> ((s * depth) + step) mod tp) in
+    let distinct = List.sort_uniq compare times in
+    Alcotest.(check int)
+      (Printf.sprintf "step %d time indices distinct" step)
+      sp (List.length distinct)
+  done
+
+(* running SGD-MF via the unordered 2D schedule must produce the same
+   quality as a serial pass: the schedule is serializable, so the loss
+   after training must be as low as the serial one's *)
+let mf_loss ratings w h rank =
+  Dist_array.fold
+    (fun acc key v ->
+      let pred = ref 0.0 in
+      for k = 0 to rank - 1 do
+        pred := !pred +. (w.(k).(key.(0)) *. h.(k).(key.(1)))
+      done;
+      acc +. ((v -. !pred) ** 2.0))
+    0.0 ratings
+
+let mf_body ~rank ~step_size w h ~worker:_ ~key ~value =
+  let i = key.(0) and j = key.(1) in
+  let pred = ref 0.0 in
+  for k = 0 to rank - 1 do
+    pred := !pred +. (w.(k).(i) *. h.(k).(j))
+  done;
+  let diff = value -. !pred in
+  for k = 0 to rank - 1 do
+    let wk = w.(k).(i) and hk = h.(k).(j) in
+    w.(k).(i) <- wk +. (2.0 *. step_size *. diff *. hk);
+    h.(k).(j) <- hk +. (2.0 *. step_size *. diff *. wk)
+  done
+
+let mk_ratings rows cols rank =
+  (* planted low-rank matrix *)
+  let state = ref 42 in
+  let randf () =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    float_of_int (!state mod 1000) /. 1000.0
+  in
+  let wt = Array.init rank (fun _ -> Array.init rows (fun _ -> randf ())) in
+  let ht = Array.init rank (fun _ -> Array.init cols (fun _ -> randf ())) in
+  let entries = ref [] in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      if (i + j) mod 3 = 0 then begin
+        let v = ref 0.0 in
+        for k = 0 to rank - 1 do
+          v := !v +. (wt.(k).(i) *. ht.(k).(j))
+        done;
+        entries := ([| i; j |], !v) :: !entries
+      end
+    done
+  done;
+  Dist_array.of_entries ~name:"ratings" ~dims:[| rows; cols |] ~default:0.0
+    !entries
+
+let test_scheduled_mf_matches_serial_quality () =
+  let rows = 30 and cols = 24 and rank = 4 in
+  let ratings = mk_ratings rows cols rank in
+  let train run_pass =
+    let w = Array.init rank (fun _ -> Array.make rows 0.1) in
+    let h = Array.init rank (fun _ -> Array.make cols 0.1) in
+    for _ = 1 to 15 do
+      run_pass (mf_body ~rank ~step_size:0.05 w h)
+    done;
+    mf_loss ratings w h rank
+  in
+  let serial_loss =
+    train (fun body ->
+        Dist_array.iter (fun key v -> body ~worker:0 ~key ~value:v) ratings)
+  in
+  let cluster = mk_cluster () in
+  let sched =
+    Schedule.partition_2d ratings ~space_dim:0 ~time_dim:1 ~space_parts:4
+      ~time_parts:8
+  in
+  let sched_loss =
+    train (fun body ->
+        ignore
+          (Executor.run_2d_unordered cluster ~rotated_bytes_per_partition:0.0
+             sched body))
+  in
+  let initial =
+    let w = Array.init rank (fun _ -> Array.make rows 0.1) in
+    let h = Array.init rank (fun _ -> Array.make cols 0.1) in
+    mf_loss ratings w h rank
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "scheduled (%.4f) within 10%% of serial (%.4f), initial %.4f"
+       sched_loss serial_loss initial)
+    true
+    (sched_loss < serial_loss *. 1.1 +. 1e-9 && sched_loss < initial /. 5.0)
+
+(* ------------------------------------------------------------------ *)
+(* Executor: time accounting shapes                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_unordered_faster_than_ordered () =
+  (* Table 3's shape: with modeled per-entry cost and rotated data,
+     relaxing the ordering wins by ~2x *)
+  let iter = mk_iter ~rows:64 ~cols:64 ~n:2000 () in
+  let body ~worker:_ ~key:_ ~value:_ = () in
+  let per_entry = Executor.Per_entry 1e-4 in
+  let rot = 1e6 in
+  let c_ord = mk_cluster ~machines:4 ~wpm:1 () in
+  let s_ord =
+    Schedule.partition_2d iter ~space_dim:0 ~time_dim:1 ~space_parts:4
+      ~time_parts:4
+  in
+  let st_ord =
+    Executor.run_2d_ordered c_ord ~compute:per_entry
+      ~rotated_bytes_per_partition:rot s_ord body
+  in
+  let c_un = mk_cluster ~machines:4 ~wpm:1 () in
+  let s_un =
+    Schedule.partition_2d iter ~space_dim:0 ~time_dim:1 ~space_parts:4
+      ~time_parts:8
+  in
+  let st_un =
+    Executor.run_2d_unordered c_un ~compute:per_entry ~pipeline_depth:2
+      ~rotated_bytes_per_partition:(rot /. 2.0) s_un body
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "unordered (%.4fs) beats ordered (%.4fs)"
+       st_un.Executor.sim_time st_ord.Executor.sim_time)
+    true
+    (st_un.Executor.sim_time < st_ord.Executor.sim_time)
+
+let test_more_workers_faster () =
+  (* Fig 9a's shape: scaling workers reduces time per pass *)
+  let iter = mk_iter ~rows:128 ~cols:128 ~n:4000 () in
+  let body ~worker:_ ~key:_ ~value:_ = () in
+  let per_entry = Executor.Per_entry 1e-4 in
+  let time_for workers =
+    let c = mk_cluster ~machines:workers ~wpm:1 () in
+    let s =
+      Schedule.partition_2d iter ~space_dim:0 ~time_dim:1 ~space_parts:workers
+        ~time_parts:(workers * 2)
+    in
+    (Executor.run_2d_unordered c ~compute:per_entry
+       ~rotated_bytes_per_partition:1000.0 s body)
+      .Executor.sim_time
+  in
+  let t2 = time_for 2 and t8 = time_for 8 in
+  Alcotest.(check bool)
+    (Printf.sprintf "8 workers (%.4fs) faster than 2 (%.4fs)" t8 t2)
+    true (t8 < t2)
+
+let test_serial_runs_on_worker_zero () =
+  let iter = mk_iter ~n:100 () in
+  let c = mk_cluster () in
+  let st =
+    Executor.run_serial c ~compute:(Executor.Per_entry 1e-3) iter
+      (fun ~worker ~key:_ ~value:_ ->
+        Alcotest.(check int) "worker 0" 0 worker)
+  in
+  Alcotest.(check int) "all entries" 100 st.Executor.entries_executed;
+  Alcotest.(check (float 1e-9)) "time = n*cost" 0.1 st.Executor.sim_time
+
+let test_measured_compute_positive () =
+  let iter = mk_iter ~n:200 () in
+  let c = mk_cluster () in
+  let s = Schedule.partition_1d iter ~space_dim:0 ~space_parts:4 in
+  let st =
+    Executor.run_1d c s (fun ~worker:_ ~key:_ ~value:_ -> ignore (sin 1.0))
+  in
+  Alcotest.(check bool) "measured compute > 0" true
+    (st.Executor.compute_seconds > 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* More schedule properties                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_shuffle_preserves_entries_qcheck () =
+  QCheck.Test.make ~count:200 ~name:"shuffle is a permutation"
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, l) ->
+      let a = Array.of_list l in
+      let b = Array.copy a in
+      Schedule.shuffle_in_place ~seed b;
+      List.sort compare (Array.to_list a)
+      = List.sort compare (Array.to_list b))
+
+let test_reshuffle_preserves_blocks () =
+  let iter = mk_iter () in
+  let s =
+    Schedule.partition_2d ~shuffle_seed:1 iter ~space_dim:0 ~time_dim:1
+      ~space_parts:4 ~time_parts:8
+  in
+  let sorted_block b =
+    List.sort compare (Array.to_list b.Schedule.entries)
+  in
+  let before =
+    Array.map (fun row -> Array.map sorted_block row) s.Schedule.blocks
+  in
+  Schedule.reshuffle s ~seed:99;
+  let after =
+    Array.map (fun row -> Array.map sorted_block row) s.Schedule.blocks
+  in
+  Alcotest.(check bool) "same entries per block" true (before = after);
+  Alcotest.(check int) "total unchanged" (Dist_array.count iter)
+    (Schedule.total_entries s)
+
+let test_shuffled_schedule_covers_all () =
+  let iter = mk_iter () in
+  let with_shuffle =
+    Schedule.partition_2d ~shuffle_seed:5 iter ~space_dim:0 ~time_dim:1
+      ~space_parts:3 ~time_parts:6
+  in
+  let without =
+    Schedule.partition_2d iter ~space_dim:0 ~time_dim:1 ~space_parts:3
+      ~time_parts:6
+  in
+  Alcotest.(check int) "same totals" (Schedule.total_entries without)
+    (Schedule.total_entries with_shuffle)
+
+let test_unimodular_time_partitions_are_exact () =
+  (* each time partition must contain exactly one transformed-time
+     value — grouping would allow intra-partition cross-space deps *)
+  let iter = mk_iter ~rows:15 ~cols:15 ~n:100 () in
+  let matrix = [| [| 2; 1 |]; [| -1; 0 |] |] in
+  let s = Schedule.partition_unimodular iter ~matrix ~space_parts:4 ~time_parts:3 in
+  Array.iter
+    (fun row ->
+      Array.iter
+        (fun b ->
+          let tvals =
+            Array.to_list b.Schedule.entries
+            |> List.map (fun (key, _) ->
+                   (Orion_analysis.Unimodular.mat_vec matrix key).(0))
+            |> List.sort_uniq compare
+          in
+          Alcotest.(check bool) "at most one t value per block" true
+            (List.length tvals <= 1))
+        row)
+    s.Schedule.blocks
+
+let test_pipeline_depth_reduces_wait () =
+  (* deeper pipelining hides more of the rotation latency *)
+  let iter = mk_iter ~rows:64 ~cols:64 ~n:2000 () in
+  let body ~worker:_ ~key:_ ~value:_ = () in
+  let time_for depth =
+    let c = mk_cluster ~machines:4 ~wpm:1 () in
+    let s =
+      Schedule.partition_2d iter ~space_dim:0 ~time_dim:1 ~space_parts:4
+        ~time_parts:(4 * depth)
+    in
+    (Executor.run_2d_unordered c ~compute:(Executor.Per_entry 5e-6)
+       ~pipeline_depth:depth ~rotated_bytes_per_partition:2e5 s body)
+      .Executor.sim_time
+  in
+  let t1 = time_for 1 and t2 = time_for 2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "depth 2 (%.5f) <= depth 1 (%.5f)" t2 t1)
+    true (t2 <= t1 +. 1e-12)
+
+let test_empty_blocks_are_fine () =
+  (* an iteration space much smaller than the partition grid leaves
+     many empty blocks; execution must still cover everything *)
+  let iter =
+    Dist_array.of_entries ~name:"tiny" ~dims:[| 100; 100 |] ~default:0.0
+      [ ([| 3; 7 |], 1.0); ([| 90; 90 |], 2.0) ]
+  in
+  let c = mk_cluster () in
+  let s =
+    Schedule.partition_2d iter ~space_dim:0 ~time_dim:1 ~space_parts:4
+      ~time_parts:8
+  in
+  let n = ref 0 in
+  let stats =
+    Executor.run_2d_unordered c ~rotated_bytes_per_partition:10.0 s
+      (fun ~worker:_ ~key:_ ~value:_ -> incr n)
+  in
+  Alcotest.(check int) "both entries" 2 !n;
+  Alcotest.(check int) "stats agree" 2 stats.Executor.entries_executed
+
+let test_single_worker_cluster () =
+  (* degenerate cluster: everything runs on worker 0, still correct *)
+  let iter = mk_iter ~n:50 () in
+  let c = mk_cluster ~machines:1 ~wpm:1 () in
+  let s =
+    Schedule.partition_2d iter ~space_dim:0 ~time_dim:1 ~space_parts:1
+      ~time_parts:2
+  in
+  let stats =
+    Executor.run_2d_unordered c ~rotated_bytes_per_partition:10.0 s
+      (fun ~worker ~key:_ ~value:_ ->
+        Alcotest.(check int) "worker 0" 0 worker)
+  in
+  Alcotest.(check int) "covers all" 50 stats.Executor.entries_executed
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let tc = Alcotest.test_case in
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "runtime"
+    [
+      ( "schedule",
+        [
+          tc "2d covers all" `Quick test_partition_2d_covers_all;
+          tc "2d respects boundaries" `Quick test_partition_2d_respects_boundaries;
+          tc "1d balanced under skew" `Quick test_partition_1d_balanced_under_skew;
+          tc "unimodular covers all" `Quick test_partition_unimodular_covers_all;
+        ] );
+      ( "executor",
+        [
+          tc "each entry once" `Quick test_executor_runs_each_entry_once;
+          tc "1d/ordered/time-major all" `Quick test_executor_1d_and_ordered_run_all;
+          tc "step blocks disjoint" `Quick test_unordered_step_blocks_disjoint;
+          tc "scheduled MF quality" `Quick test_scheduled_mf_matches_serial_quality;
+        ] );
+      ( "timing",
+        [
+          tc "unordered beats ordered" `Quick test_unordered_faster_than_ordered;
+          tc "more workers faster" `Quick test_more_workers_faster;
+          tc "serial on worker 0" `Quick test_serial_runs_on_worker_zero;
+          tc "measured compute" `Quick test_measured_compute_positive;
+        ] );
+      ( "properties",
+        [
+          qc (test_shuffle_preserves_entries_qcheck ());
+          tc "reshuffle preserves blocks" `Quick test_reshuffle_preserves_blocks;
+          tc "shuffled covers all" `Quick test_shuffled_schedule_covers_all;
+          tc "unimodular exact time parts" `Quick
+            test_unimodular_time_partitions_are_exact;
+          tc "pipeline depth reduces wait" `Quick test_pipeline_depth_reduces_wait;
+          tc "empty blocks" `Quick test_empty_blocks_are_fine;
+          tc "single worker" `Quick test_single_worker_cluster;
+        ] );
+    ]

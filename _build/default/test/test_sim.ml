@@ -1,0 +1,232 @@
+(* Tests for the simulated cluster: clocks, communication accounting,
+   barriers, bandwidth recorder. *)
+
+open Orion_sim
+
+let cost = Cost_model.default
+
+let mk ?(machines = 2) ?(wpm = 2) ?recorder () =
+  Cluster.create ?recorder ~num_machines:machines ~workers_per_machine:wpm
+    ~cost ()
+
+let test_compute_advances_one_clock () =
+  let c = mk () in
+  Cluster.compute c ~worker:1 2.0;
+  Alcotest.(check (float 1e-12)) "worker 1" 2.0 (Cluster.clock c 1);
+  Alcotest.(check (float 1e-12)) "worker 0 untouched" 0.0 (Cluster.clock c 0);
+  Alcotest.(check (float 1e-12)) "now = max" 2.0 (Cluster.now c)
+
+let test_language_overhead_scales_compute () =
+  let c =
+    Cluster.create ~num_machines:1 ~workers_per_machine:1
+      ~cost:{ cost with language_overhead = 3.0 }
+      ()
+  in
+  Cluster.compute c ~worker:0 1.0;
+  Alcotest.(check (float 1e-12)) "scaled" 3.0 (Cluster.clock c 0);
+  Cluster.compute_raw c ~worker:0 1.0;
+  Alcotest.(check (float 1e-12)) "raw unscaled" 4.0 (Cluster.clock c 0)
+
+let test_send_cross_machine () =
+  let c = mk () in
+  (* workers 0,1 on machine 0; worker 2 on machine 1 *)
+  let bytes = 1e6 in
+  let arrival = Cluster.send c ~src:0 ~dst:2 ~bytes in
+  let expect_min =
+    Cost_model.marshal_time cost bytes
+    +. cost.network_latency_sec
+    +. Cost_model.transfer_time cost bytes
+  in
+  Alcotest.(check bool) "arrival after costs" true (arrival >= expect_min);
+  Alcotest.(check bool) "sender charged marshal" true
+    (Cluster.clock c 0 >= Cost_model.marshal_time cost bytes);
+  Cluster.recv c ~dst:2 ~arrival ~bytes ~cross_machine:true;
+  Alcotest.(check bool) "receiver waits" true (Cluster.clock c 2 >= arrival)
+
+let test_send_same_machine_cheaper () =
+  let c1 = mk () in
+  let c2 = mk () in
+  let bytes = 1e7 in
+  Cluster.send_recv c1 ~src:0 ~dst:1 ~bytes;
+  (* same machine *)
+  Cluster.send_recv c2 ~src:0 ~dst:2 ~bytes;
+  (* cross machine *)
+  Alcotest.(check bool) "intra-machine faster" true
+    (Cluster.now c1 < Cluster.now c2)
+
+let test_barrier_aligns_clocks () =
+  let c = mk () in
+  Cluster.compute c ~worker:0 5.0;
+  Cluster.compute c ~worker:3 1.0;
+  Cluster.barrier c;
+  let expected = 5.0 +. cost.barrier_cost_sec in
+  for w = 0 to 3 do
+    Alcotest.(check (float 1e-12))
+      (Printf.sprintf "worker %d aligned" w)
+      expected (Cluster.clock c w)
+  done
+
+let test_all_reduce_costs_grow_with_bytes () =
+  let c1 = mk () in
+  let c2 = mk () in
+  Cluster.all_reduce c1 ~bytes_per_worker:1e3;
+  Cluster.all_reduce c2 ~bytes_per_worker:1e8;
+  Alcotest.(check bool) "bigger payload slower" true
+    (Cluster.now c2 > Cluster.now c1)
+
+let test_bytes_accounting () =
+  let c = mk () in
+  ignore (Cluster.send c ~src:0 ~dst:2 ~bytes:123.0);
+  ignore (Cluster.send c ~src:2 ~dst:0 ~bytes:77.0);
+  Alcotest.(check (float 1e-9)) "bytes summed" 200.0 c.Cluster.bytes_sent;
+  Alcotest.(check int) "messages" 2 c.Cluster.messages_sent
+
+let test_reset () =
+  let c = mk () in
+  Cluster.compute c ~worker:0 1.0;
+  ignore (Cluster.send c ~src:0 ~dst:2 ~bytes:10.0);
+  Cluster.reset c;
+  Alcotest.(check (float 0.0)) "clock reset" 0.0 (Cluster.now c);
+  Alcotest.(check (float 0.0)) "bytes reset" 0.0 c.Cluster.bytes_sent
+
+(* ------------------------------------------------------------------ *)
+(* Recorder                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_recorder_single_bin () =
+  let r = Recorder.create ~bin_width_sec:1.0 () in
+  Recorder.record r ~start_sec:0.2 ~duration_sec:0.1 ~bytes:1000.0;
+  let s = Recorder.series r in
+  Alcotest.(check int) "one bin" 1 (Array.length s);
+  Alcotest.(check (float 1e-9)) "bytes in bin" 1000.0 s.(0)
+
+let test_recorder_spreads_across_bins () =
+  let r = Recorder.create ~bin_width_sec:1.0 () in
+  (* 2 seconds of transfer starting at t=0.5: bins 0,1,2 get 25%,50%,25% *)
+  Recorder.record r ~start_sec:0.5 ~duration_sec:2.0 ~bytes:4000.0;
+  let s = Recorder.series r in
+  Alcotest.(check int) "three bins" 3 (Array.length s);
+  Alcotest.(check (float 1e-6)) "bin0" 1000.0 s.(0);
+  Alcotest.(check (float 1e-6)) "bin1" 2000.0 s.(1);
+  Alcotest.(check (float 1e-6)) "bin2" 1000.0 s.(2)
+
+let test_recorder_total_preserved_qcheck () =
+  QCheck.Test.make ~count:200 ~name:"recorder preserves total bytes"
+    QCheck.(
+      list_of_size (Gen.int_range 1 20)
+        (triple (float_range 0.0 50.0) (float_range 0.0 10.0)
+           (float_range 1.0 1e6)))
+    (fun events ->
+      let r = Recorder.create ~bin_width_sec:1.0 () in
+      List.iter
+        (fun (start_sec, duration_sec, bytes) ->
+          Recorder.record r ~start_sec ~duration_sec ~bytes)
+        events;
+      let expected = List.fold_left (fun a (_, _, b) -> a +. b) 0.0 events in
+      abs_float (Recorder.total_bytes r -. expected) < 1e-6 *. expected +. 1e-6)
+
+let test_recorder_mbps () =
+  let r = Recorder.create ~bin_width_sec:1.0 () in
+  Recorder.record r ~start_sec:0.0 ~duration_sec:1.0 ~bytes:(1e6 /. 8.0);
+  let mbps = Recorder.mbps_series r in
+  Alcotest.(check (float 1e-6)) "1 Mbps" 1.0 mbps.(0)
+
+let test_recorder_integrates_with_cluster () =
+  let r = Recorder.create ~bin_width_sec:1.0 () in
+  let c = mk ~recorder:r () in
+  ignore (Cluster.send c ~src:0 ~dst:2 ~bytes:5e6);
+  Alcotest.(check bool) "recorded" true (Recorder.total_bytes r > 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Cost-model presets                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_cost_model_presets () =
+  Alcotest.(check (float 0.0)) "orion julia overhead" 1.0
+    Cost_model.julia_orion.language_overhead;
+  Alcotest.(check bool) "lda overhead > 1" true
+    (Cost_model.julia_orion_lda.language_overhead > 1.0);
+  Alcotest.(check (float 0.0)) "strads no marshalling" 0.0
+    Cost_model.strads_cpp.marshal_cost_sec_per_byte;
+  Alcotest.(check bool) "strads pointer swap" true
+    (Cost_model.strads_cpp.intra_machine_bytes_per_sec = infinity)
+
+let test_cost_model_times () =
+  let c = Cost_model.default in
+  Alcotest.(check (float 1e-12)) "transfer of 5GB/s link" 1.0
+    (Cost_model.transfer_time c c.network_bandwidth_bytes_per_sec);
+  Alcotest.(check bool) "marshal linear" true
+    (Cost_model.marshal_time c 2e6 = 2.0 *. Cost_model.marshal_time c 1e6);
+  Alcotest.(check (float 0.0)) "strads intra free" 0.0
+    (Cost_model.intra_transfer_time Cost_model.strads_cpp 1e9)
+
+let test_clock_monotonicity_qcheck () =
+  QCheck.Test.make ~count:200 ~name:"cluster clocks are monotone"
+    QCheck.(
+      list_of_size (Gen.int_range 1 30)
+        (triple (int_range 0 3) (int_range 0 3) (float_range 0.0 1e6)))
+    (fun ops ->
+      let c = mk () in
+      let prev = Array.make 4 0.0 in
+      List.for_all
+        (fun (src, dst, bytes) ->
+          (if src = dst then Cluster.compute c ~worker:src (bytes *. 1e-9)
+           else Cluster.send_recv c ~src ~dst ~bytes);
+          let ok = ref true in
+          for w = 0 to 3 do
+            if Cluster.clock c w < prev.(w) then ok := false;
+            prev.(w) <- Cluster.clock c w
+          done;
+          !ok)
+        ops)
+
+let test_machine_of () =
+  let c = mk ~machines:3 ~wpm:4 () in
+  Alcotest.(check int) "w0 on m0" 0 (Cluster.machine_of c 0);
+  Alcotest.(check int) "w3 on m0" 0 (Cluster.machine_of c 3);
+  Alcotest.(check int) "w4 on m1" 1 (Cluster.machine_of c 4);
+  Alcotest.(check int) "w11 on m2" 2 (Cluster.machine_of c 11);
+  Alcotest.(check int) "12 workers" 12 (Cluster.num_workers c)
+
+let test_advance_all () =
+  let c = mk () in
+  Cluster.compute c ~worker:2 5.0;
+  Cluster.advance_all c 3.0;
+  Alcotest.(check (float 0.0)) "w0 advanced" 3.0 (Cluster.clock c 0);
+  Alcotest.(check (float 0.0)) "w2 not rolled back" 5.0 (Cluster.clock c 2)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let tc = Alcotest.test_case in
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "sim"
+    [
+      ( "cluster",
+        [
+          tc "compute one clock" `Quick test_compute_advances_one_clock;
+          tc "language overhead" `Quick test_language_overhead_scales_compute;
+          tc "send cross machine" `Quick test_send_cross_machine;
+          tc "same machine cheaper" `Quick test_send_same_machine_cheaper;
+          tc "barrier" `Quick test_barrier_aligns_clocks;
+          tc "all_reduce scales" `Quick test_all_reduce_costs_grow_with_bytes;
+          tc "bytes accounting" `Quick test_bytes_accounting;
+          tc "reset" `Quick test_reset;
+        ] );
+      ( "cost_model",
+        [
+          tc "presets" `Quick test_cost_model_presets;
+          tc "times" `Quick test_cost_model_times;
+          qc (test_clock_monotonicity_qcheck ());
+          tc "machine mapping" `Quick test_machine_of;
+          tc "advance all" `Quick test_advance_all;
+        ] );
+      ( "recorder",
+        [
+          tc "single bin" `Quick test_recorder_single_bin;
+          tc "spread bins" `Quick test_recorder_spreads_across_bins;
+          qc (test_recorder_total_preserved_qcheck ());
+          tc "mbps" `Quick test_recorder_mbps;
+          tc "cluster integration" `Quick test_recorder_integrates_with_cluster;
+        ] );
+    ]
