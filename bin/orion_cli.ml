@@ -227,9 +227,151 @@ let generate_cmd =
     (Cmd.info "generate" ~doc:"Write a synthetic dataset to a text file")
     Term.(const run $ kind $ out $ scale)
 
+let trace_cmd =
+  let run machines wpm strategy passes scale cost_per_entry out csv =
+    let d = Orion_data.Ratings.netflix_like ~scale () in
+    let cluster =
+      Orion.Cluster.create ~num_machines:machines ~workers_per_machine:wpm
+        ~cost:Orion.Cost_model.default ()
+    in
+    let workers = Orion.Cluster.num_workers cluster in
+    let rank = 16 in
+    let model =
+      Orion_apps.Sgd_mf.init_model ~rank
+        ~num_users:d.Orion_data.Ratings.num_users
+        ~num_items:d.Orion_data.Ratings.num_items ()
+    in
+    let body ~worker ~key ~value =
+      Orion_apps.Sgd_mf.body model ~step_size:0.005 ~worker ~key ~value
+    in
+    let ratings = d.Orion_data.Ratings.ratings in
+    let compute = Orion.Executor.Per_entry cost_per_entry in
+    (* H is the rotated DistArray for 2D MF schedules: rank x items
+       floats, split across space partitions *)
+    let h_bytes_per_partition =
+      float_of_int (rank * d.Orion_data.Ratings.num_items)
+      *. 8.0 /. float_of_int workers
+    in
+    let depth = 2 in
+    let run_pass =
+      match strategy with
+      | `Serial -> fun () -> Orion.Executor.run_serial cluster ~compute ratings body
+      | `One_d ->
+          let sched =
+            Orion.Schedule.partition_1d ratings ~space_dim:0
+              ~space_parts:workers
+          in
+          fun () -> Orion.Executor.run_1d cluster ~compute sched body
+      | `Ordered_2d ->
+          let sched =
+            Orion.Schedule.partition_2d ratings ~space_dim:0 ~time_dim:1
+              ~space_parts:workers ~time_parts:workers
+          in
+          fun () ->
+            Orion.Executor.run_2d_ordered cluster ~compute ~rotated_label:"H"
+              ~rotated_bytes_per_partition:h_bytes_per_partition sched body
+      | `Unordered_2d ->
+          let sched =
+            Orion.Schedule.partition_2d ratings ~space_dim:0 ~time_dim:1
+              ~space_parts:workers ~time_parts:(workers * depth)
+          in
+          fun () ->
+            Orion.Executor.run_2d_unordered cluster ~compute
+              ~pipeline_depth:depth ~rotated_label:"H"
+              ~rotated_bytes_per_partition:
+                (h_bytes_per_partition /. float_of_int depth)
+              sched body
+    in
+    Printf.printf
+      "SGD MF (%d ratings, %dx%d, rank %d) on %d machines x %d workers\n"
+      d.Orion_data.Ratings.num_ratings d.Orion_data.Ratings.num_users
+      d.Orion_data.Ratings.num_items rank machines wpm;
+    let metrics_rows = ref [] in
+    for pass = 1 to passes do
+      let since = Orion.Cluster.now cluster in
+      ignore (run_pass ());
+      let m = Orion.Cluster.metrics ~since cluster in
+      metrics_rows := m :: !metrics_rows;
+      Printf.printf "pass %2d | loss %12.2f | %s\n" pass
+        (Orion_apps.Sgd_mf.loss model ratings)
+        (Orion.Metrics.summary m)
+    done;
+    let trace = cluster.Orion.Cluster.trace in
+    let oc = open_out out in
+    output_string oc
+      (Orion.Trace.to_chrome_json
+         ~pid_of_worker:(Orion.Cluster.machine_of cluster)
+         trace);
+    close_out oc;
+    Printf.printf "wrote %d spans (%d dropped) to %s (chrome://tracing)\n"
+      (Orion.Trace.length trace) (Orion.Trace.dropped trace) out;
+    (match csv with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Orion.Metrics.csv_header ^ "\n");
+        List.iter
+          (fun m -> output_string oc (Orion.Metrics.csv_row m ^ "\n"))
+          (List.rev !metrics_rows);
+        close_out oc;
+        Printf.printf "wrote per-pass metrics to %s\n" path);
+    0
+  in
+  let strategy =
+    let choices =
+      [
+        ("serial", `Serial);
+        ("1d", `One_d);
+        ("2d-ordered", `Ordered_2d);
+        ("2d-unordered", `Unordered_2d);
+      ]
+    in
+    Arg.(
+      value
+      & opt (enum choices) `Unordered_2d
+      & info [ "strategy"; "s" ] ~docv:"STRATEGY"
+          ~doc:"execution strategy: serial | 1d | 2d-ordered | 2d-unordered")
+  in
+  let passes =
+    Arg.(value & opt int 3 & info [ "passes"; "p" ] ~docv:"N" ~doc:"training passes")
+  in
+  let scale =
+    Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"S" ~doc:"dataset scale factor")
+  in
+  let cost_per_entry =
+    Arg.(
+      value & opt float 6.4e-7
+      & info [ "cost-per-entry" ] ~docv:"SEC"
+          ~doc:"modeled compute seconds per SGD sample")
+  in
+  let out =
+    Arg.(
+      value & opt string "orion-trace.json"
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Chrome trace-event JSON output")
+  in
+  let csv =
+    Arg.(
+      value & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"also write per-pass metrics as CSV")
+  in
+  let term =
+    Term.(
+      const run $ machines_arg $ wpm_arg $ strategy $ passes $ scale
+      $ cost_per_entry $ out $ csv)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run SGD MF under an execution strategy and export a worker \
+          timeline (Chrome trace-event JSON) plus per-pass metrics")
+    term
+
 let () =
   let doc =
     "Orion: automating dependence-aware parallelization of ML training"
   in
   let info = Cmd.info "orion" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ analyze_cmd; run_cmd; prefetch_cmd; apps_cmd; generate_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ analyze_cmd; run_cmd; prefetch_cmd; apps_cmd; generate_cmd; trace_cmd ]))

@@ -31,6 +31,8 @@ module Prefetch = Orion_analysis.Prefetch
 module Cost_model = Orion_sim.Cost_model
 module Cluster = Orion_sim.Cluster
 module Recorder = Orion_sim.Recorder
+module Trace = Orion_sim.Trace
+module Metrics = Orion_sim.Metrics
 module Dist_array = Orion_dsm.Dist_array
 module Partitioner = Orion_dsm.Partitioner
 module Pipeline = Orion_dsm.Pipeline
@@ -168,6 +170,20 @@ let compile session ~(plan : Plan.t) ~(iter : 'v Dist_array.t)
     pipeline_depth = depth;
   }
 
+(* trace spans for rotated transfers carry the rotated DistArrays'
+   names, so per-array communication volume survives into the metrics *)
+let rotated_label (plan : Plan.t) =
+  match
+    List.filter_map
+      (fun (name, placement) ->
+        match placement with
+        | Plan.Rotated _ -> Some name
+        | Plan.Local_partitioned _ | Plan.Replicated | Plan.Server -> None)
+      plan.placements
+  with
+  | [] -> "rotated"
+  | names -> String.concat "+" names
+
 (** Execute a compiled loop with a native loop body. *)
 let execute session (c : 'v compiled) ?(compute = Executor.Measured)
     ~(body : 'v Executor.body) () =
@@ -178,15 +194,18 @@ let execute session (c : 'v compiled) ?(compute = Executor.Measured)
   | Plan.Two_d _ ->
       if c.plan.ordered then
         Executor.run_2d_ordered cluster ~compute
+          ~rotated_label:(rotated_label c.plan)
           ~rotated_bytes_per_partition:c.rotated_bytes_per_partition
           c.schedule body
       else
         Executor.run_2d_unordered cluster ~compute
           ~pipeline_depth:c.pipeline_depth
+          ~rotated_label:(rotated_label c.plan)
           ~rotated_bytes_per_partition:c.rotated_bytes_per_partition
           c.schedule body
   | Plan.Two_d_unimodular _ ->
       Executor.run_time_major cluster ~compute
+        ~comm_label:(rotated_label c.plan)
         ~comm_bytes_per_step:c.rotated_bytes_per_partition c.schedule body
 
 (* ------------------------------------------------------------------ *)

@@ -28,6 +28,8 @@ module Prefetch = Orion_analysis.Prefetch
 module Cost_model = Orion_sim.Cost_model
 module Cluster = Orion_sim.Cluster
 module Recorder = Orion_sim.Recorder
+module Trace = Orion_sim.Trace
+module Metrics = Orion_sim.Metrics
 module Dist_array = Orion_dsm.Dist_array
 module Partitioner = Orion_dsm.Partitioner
 module Pipeline = Orion_dsm.Pipeline

@@ -23,8 +23,23 @@ let get t ~worker = t.instances.(worker)
 
 (** Aggregate all workers' instances with [op] (the paper's
     [Orion.get_aggregated_value]).  Pure aggregation; the runtime
-    charges the all-reduce communication separately. *)
+    charges the all-reduce communication separately.
+
+    Every per-worker instance already starts from [init], so the fold
+    seeds from the instances themselves — seeding it with [init] again
+    would count a non-neutral [init] (a sum seeded nonzero, a running
+    max seeded with a floor) [num_workers + 1] times.  Callers should
+    still pick [init] as the identity of [op] whenever more than one
+    worker contributes, since each of the [num_workers] instances
+    incorporates it once. *)
 let aggregated t ~op =
-  Array.fold_left op t.init t.instances
+  match Array.length t.instances with
+  | 0 -> t.init
+  | n ->
+      let acc = ref t.instances.(0) in
+      for w = 1 to n - 1 do
+        acc := op !acc t.instances.(w)
+      done;
+      !acc
 
 let reset t = Array.fill t.instances 0 (Array.length t.instances) t.init

@@ -13,7 +13,11 @@ val add : 'a t -> worker:int -> op:('a -> 'a -> 'a) -> 'a -> unit
 val set : 'a t -> worker:int -> 'a -> unit
 val get : 'a t -> worker:int -> 'a
 
-(** The paper's [Orion.get_aggregated_value]. *)
+(** The paper's [Orion.get_aggregated_value]: folds the per-worker
+    instances with [op].  Since every instance starts from [init],
+    [init] itself is not folded in again; it should be the identity of
+    [op] when more than one worker contributes (each instance
+    incorporates it once). *)
 val aggregated : 'a t -> op:('a -> 'a -> 'a) -> 'a
 
 val reset : 'a t -> unit

@@ -85,7 +85,7 @@ let sync ?cache_entries t =
     (float_of_int max_pending *. t.bytes_per_entry_up)
     +. (down_entries *. t.bytes_per_entry_down)
   in
-  Orion_sim.Cluster.all_reduce cluster ~bytes_per_worker;
+  Orion_sim.Cluster.all_reduce cluster ~label:t.name ~bytes_per_worker;
   for w = 0 to workers - 1 do
     ignore (apply_deltas_to_master t ~worker:w)
   done;
@@ -126,16 +126,24 @@ let communicate_round t ~budget_bytes_per_worker =
       let bytes = float_of_int (List.length chosen) *. per_entry in
       total_bytes := !total_bytes +. bytes;
       (* early communication happens in the background; charge the
-         network (recorder) and a small marshalling cost to the worker *)
+         network (recorder) and a small marshalling cost to the worker.
+         The background transfer is traced without advancing the clock
+         — it overlaps the worker's ongoing computation. *)
       Orion_sim.Cluster.compute_raw cluster ~worker:w
+        ~category:Orion_sim.Trace.Marshal ~label:t.name
         (Orion_sim.Cost_model.marshal_time
            cluster.Orion_sim.Cluster.cost bytes);
+      let transfer_sec =
+        Orion_sim.Cost_model.transfer_time
+          cluster.Orion_sim.Cluster.cost bytes
+      in
+      Orion_sim.Trace.add cluster.Orion_sim.Cluster.trace ~label:t.name
+        ~bytes ~worker:w ~category:Orion_sim.Trace.Transfer
+        ~start_sec:(Orion_sim.Cluster.clock cluster w)
+        ~duration_sec:transfer_sec;
       Orion_sim.Recorder.record cluster.Orion_sim.Cluster.recorder
         ~start_sec:(Orion_sim.Cluster.clock cluster w)
-        ~duration_sec:
-          (Orion_sim.Cost_model.transfer_time
-             cluster.Orion_sim.Cluster.cost bytes)
-        ~bytes
+        ~duration_sec:transfer_sec ~bytes
     done;
     (* fresh values flow back to every cache for the touched entries,
        preserving each worker's still-pending local deltas *)
@@ -156,20 +164,25 @@ let communicate_round t ~budget_bytes_per_worker =
 let random_access_read t ~worker i =
   let cluster = t.cluster in
   let lat = cluster.Orion_sim.Cluster.cost.network_latency_sec in
-  Orion_sim.Cluster.compute_raw cluster ~worker (2.0 *. lat);
+  Orion_sim.Cluster.compute_raw cluster ~worker
+    ~category:Orion_sim.Trace.Idle ~label:t.name (2.0 *. lat);
   t.master.(i)
 
 (** A bulk prefetch of [n] entries: one round trip plus streaming. *)
 let bulk_fetch t ~worker ~n =
   let cluster = t.cluster in
   let bytes = float_of_int n *. t.bytes_per_entry_down in
-  let lat = cluster.Orion_sim.Cluster.cost.network_latency_sec in
-  Orion_sim.Cluster.compute_raw cluster ~worker
-    (2.0 *. lat
-    +. Orion_sim.Cost_model.transfer_time cluster.Orion_sim.Cluster.cost bytes
-    +. Orion_sim.Cost_model.marshal_time cluster.Orion_sim.Cluster.cost bytes);
+  let cost = cluster.Orion_sim.Cluster.cost in
+  let lat = cost.network_latency_sec in
+  let transfer_sec = Orion_sim.Cost_model.transfer_time cost bytes in
+  (* record the stream at its start (pre-advance clock), not after the
+     round trip completed *)
+  let start = Orion_sim.Cluster.clock cluster worker +. (2.0 *. lat) in
   Orion_sim.Recorder.record cluster.Orion_sim.Cluster.recorder
-    ~start_sec:(Orion_sim.Cluster.clock cluster worker)
-    ~duration_sec:
-      (Orion_sim.Cost_model.transfer_time cluster.Orion_sim.Cluster.cost bytes)
-    ~bytes
+    ~start_sec:start ~duration_sec:transfer_sec ~bytes;
+  Orion_sim.Cluster.compute_raw cluster ~worker
+    ~category:Orion_sim.Trace.Transfer ~label:t.name ~bytes
+    ((2.0 *. lat) +. transfer_sec);
+  Orion_sim.Cluster.compute_raw cluster ~worker
+    ~category:Orion_sim.Trace.Marshal ~label:t.name
+    (Orion_sim.Cost_model.marshal_time cost bytes)

@@ -88,6 +88,30 @@ let recorded_ops p = p.op_count
     whole fused chain into one DistArray. *)
 let materialize ~default (p : ('a, 'b) t) : 'b Dist_array.t =
   let dims = dims_of_source p.source in
+  (* validate keys against the declared dims here, where we can still
+     name the pipeline and the offending key — a malformed input line
+     would otherwise surface much later as an anonymous out-of-bounds
+     inside Partitioner.histogram *)
+  let key_to_string key =
+    "("
+    ^ String.concat ", " (Array.to_list (Array.map string_of_int key))
+    ^ ")"
+  in
+  let dims_to_string dims =
+    String.concat "x" (Array.to_list (Array.map string_of_int dims))
+  in
+  let check_key key =
+    let ok =
+      Array.length key = Array.length dims
+      && Array.for_all2 (fun k d -> k >= 0 && k < d) key dims
+    in
+    if not ok then
+      invalid_arg
+        (Printf.sprintf
+           "Pipeline.materialize(%s): key %s out of bounds for declared \
+            dims %s"
+           p.name (key_to_string key) (dims_to_string dims))
+  in
   let collect push =
     match p.source with
     | Text_file { path; parse_line; _ } ->
@@ -109,6 +133,7 @@ let materialize ~default (p : ('a, 'b) t) : 'b Dist_array.t =
   in
   let out = ref [] in
   collect (fun key v ->
+      check_key key;
       match p.fused key v with
       | Some v' -> out := (key, v') :: !out
       | None -> ());

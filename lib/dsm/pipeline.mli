@@ -23,5 +23,10 @@ val filter : ?name:string -> f:(int array -> 'b -> bool) -> ('a, 'b) t -> ('a, '
 (** Number of recorded (fused) operations. *)
 val recorded_ops : ('a, 'b) t -> int
 
-(** Force the chain into one DistArray (single pass over the source). *)
+(** Force the chain into one DistArray (single pass over the source).
+
+    @raise Invalid_argument if a source entry's key does not match the
+    declared dims (wrong arity, negative, or out of range), naming the
+    pipeline, the offending key and the dims — malformed input lines
+    fail here rather than deep inside partitioning. *)
 val materialize : default:'b -> ('a, 'b) t -> 'b Dist_array.t

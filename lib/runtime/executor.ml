@@ -64,9 +64,9 @@ let run_1d cluster ?(compute = Measured) (sched : 'v Schedule.t) (body : 'v body
     let secs = block_cost compute measured (Array.length b.Schedule.entries) in
     compute_total := !compute_total +. secs;
     executed := !executed + Array.length b.Schedule.entries;
-    Cluster.compute cluster ~worker:w secs
+    Cluster.compute cluster ~worker:w ~label:(Printf.sprintf "1d s%d" s) secs
   done;
-  Cluster.barrier cluster;
+  Cluster.barrier cluster ~label:"1d";
   {
     sim_time = Cluster.now cluster -. t_start;
     compute_seconds = !compute_total;
@@ -79,7 +79,7 @@ let run_1d cluster ?(compute = Measured) (sched : 'v Schedule.t) (body : 'v body
 (* Ordered 2D (wavefront)                                              *)
 (* ------------------------------------------------------------------ *)
 
-let run_2d_ordered cluster ?(compute = Measured)
+let run_2d_ordered cluster ?(compute = Measured) ?(rotated_label = "rotated")
     ~rotated_bytes_per_partition (sched : 'v Schedule.t) (body : 'v body) =
   let t_start = Cluster.now cluster in
   let bytes0 = cluster.Cluster.bytes_sent in
@@ -102,15 +102,22 @@ let run_2d_ordered cluster ?(compute = Measured)
            computation — the ordering constraint forbids proceeding) *)
         if s > 0 && rotated_bytes_per_partition > 0.0 then begin
           let bytes = rotated_bytes_per_partition in
+          let cost = cluster.Cluster.cost in
           cluster.Cluster.bytes_sent <- cluster.Cluster.bytes_sent +. bytes;
+          (* marshal + unmarshal, then the wire transfer; the transfer
+             is recorded at its start (the clock *before* the charge —
+             recording after the charge used to shift the Fig.-12-style
+             bandwidth series one transfer-window late) *)
+          Cluster.compute_raw cluster ~worker:w ~category:Orion_sim.Trace.Marshal
+            ~label:rotated_label
+            (2.0 *. Orion_sim.Cost_model.marshal_time cost bytes);
+          let start = Cluster.clock cluster w in
           Cluster.compute_raw cluster ~worker:w
-            (Orion_sim.Cost_model.transfer_time cluster.Cluster.cost bytes
-            +. cluster.Cluster.cost.network_latency_sec
-            +. (2.0 *. Orion_sim.Cost_model.marshal_time cluster.Cluster.cost bytes));
-          Orion_sim.Recorder.record cluster.Cluster.recorder
-            ~start_sec:(Cluster.clock cluster w)
-            ~duration_sec:
-              (Orion_sim.Cost_model.transfer_time cluster.Cluster.cost bytes)
+            ~category:Orion_sim.Trace.Transfer ~label:rotated_label ~bytes
+            (Orion_sim.Cost_model.transfer_time cost bytes
+            +. cost.network_latency_sec);
+          Orion_sim.Recorder.record cluster.Cluster.recorder ~start_sec:start
+            ~duration_sec:(Orion_sim.Cost_model.transfer_time cost bytes)
             ~bytes
         end;
         let b = Schedule.block sched ~space:s ~time:t in
@@ -120,10 +127,12 @@ let run_2d_ordered cluster ?(compute = Measured)
         in
         compute_total := !compute_total +. secs;
         executed := !executed + Array.length b.Schedule.entries;
-        Cluster.compute cluster ~worker:w secs
+        Cluster.compute cluster ~worker:w
+          ~label:(Printf.sprintf "2d-ordered s%d.t%d" s t)
+          secs
       end
     done;
-    Cluster.barrier cluster
+    Cluster.barrier cluster ~label:"2d-ordered"
   done;
   {
     sim_time = Cluster.now cluster -. t_start;
@@ -142,7 +151,8 @@ let run_2d_ordered cluster ?(compute = Measured)
    then ships that partition's rotated data to its predecessor, who
    will need it [depth] steps later. *)
 let run_2d_unordered cluster ?(compute = Measured) ?(pipeline_depth = 2)
-    ~rotated_bytes_per_partition (sched : 'v Schedule.t) (body : 'v body) =
+    ?(rotated_label = "rotated") ~rotated_bytes_per_partition
+    (sched : 'v Schedule.t) (body : 'v body) =
   let t_start = Cluster.now cluster in
   let bytes0 = cluster.Cluster.bytes_sent in
   let workers = Cluster.num_workers cluster in
@@ -164,7 +174,7 @@ let run_2d_unordered cluster ?(compute = Measured) ?(pipeline_depth = 2)
          successor worker *)
       if step >= depth && rotated_bytes_per_partition > 0.0 then
         Cluster.recv cluster ~dst:w ~arrival:arrivals.(t)
-          ~bytes:rotated_bytes_per_partition
+          ~label:rotated_label ~bytes:rotated_bytes_per_partition
           ~cross_machine:
             (Cluster.machine_of cluster w
             <> Cluster.machine_of cluster ((s + 1) mod sp mod workers));
@@ -175,17 +185,19 @@ let run_2d_unordered cluster ?(compute = Measured) ?(pipeline_depth = 2)
       in
       compute_total := !compute_total +. secs;
       executed := !executed + Array.length b.Schedule.entries;
-      Cluster.compute cluster ~worker:w secs;
+      Cluster.compute cluster ~worker:w
+        ~label:(Printf.sprintf "2d-unordered s%d.t%d" s t)
+        secs;
       (* ship the just-used partition to the predecessor worker *)
       if rotated_bytes_per_partition > 0.0 then begin
         let pred = (s - 1 + sp) mod sp mod workers in
         arrivals.(t) <-
-          Cluster.send cluster ~src:w ~dst:pred
+          Cluster.send cluster ~src:w ~dst:pred ~label:rotated_label
             ~bytes:rotated_bytes_per_partition
       end
     done
   done;
-  Cluster.barrier cluster;
+  Cluster.barrier cluster ~label:"2d-unordered";
   {
     sim_time = Cluster.now cluster -. t_start;
     compute_seconds = !compute_total;
@@ -202,8 +214,8 @@ let run_2d_unordered cluster ?(compute = Measured) ?(pipeline_depth = 2)
     the outermost (time) transformed dimension: time partitions run
     sequentially with a barrier, space partitions within one time
     partition run in parallel. *)
-let run_time_major cluster ?(compute = Measured) ~comm_bytes_per_step
-    (sched : 'v Schedule.t) (body : 'v body) =
+let run_time_major cluster ?(compute = Measured) ?(comm_label = "shifted")
+    ~comm_bytes_per_step (sched : 'v Schedule.t) (body : 'v body) =
   let t_start = Cluster.now cluster in
   let bytes0 = cluster.Cluster.bytes_sent in
   let workers = Cluster.num_workers cluster in
@@ -219,13 +231,15 @@ let run_time_major cluster ?(compute = Measured) ~comm_bytes_per_step
       in
       compute_total := !compute_total +. secs;
       executed := !executed + Array.length b.Schedule.entries;
-      Cluster.compute cluster ~worker:w secs;
+      Cluster.compute cluster ~worker:w
+        ~label:(Printf.sprintf "time-major s%d.t%d" s t)
+        secs;
       if comm_bytes_per_step > 0.0 then
         ignore
           (Cluster.send cluster ~src:w ~dst:((s + 1) mod workers)
-             ~bytes:comm_bytes_per_step)
+             ~label:comm_label ~bytes:comm_bytes_per_step)
     done;
-    Cluster.barrier cluster
+    Cluster.barrier cluster ~label:"time-major"
   done;
   {
     sim_time = Cluster.now cluster -. t_start;
@@ -263,8 +277,8 @@ let run_serial cluster ?(compute = Measured) ?shuffle_seed
         iter);
   let measured = now_wall () -. t0 in
   let secs = block_cost compute measured !n in
-  Cluster.compute cluster ~worker:0 secs;
-  Cluster.advance_all cluster (Cluster.clock cluster 0);
+  Cluster.compute cluster ~worker:0 ~label:"serial" secs;
+  Cluster.advance_all cluster ~label:"serial" (Cluster.clock cluster 0);
   {
     sim_time = Cluster.now cluster -. t_start;
     compute_seconds = secs;

@@ -28,10 +28,13 @@ val run_1d :
   pass_stats
 
 (** Ordered 2D: wavefront over anti-diagonals with a barrier per step;
-    rotated-partition transfers sit on the critical path (Fig. 7e). *)
+    rotated-partition transfers sit on the critical path (Fig. 7e).
+    [rotated_label] names the rotated data in trace spans (e.g. the
+    DistArray being shipped). *)
 val run_2d_ordered :
   Orion_sim.Cluster.t ->
   ?compute:compute_cost ->
+  ?rotated_label:string ->
   rotated_bytes_per_partition:float ->
   'v Schedule.t ->
   'v body ->
@@ -39,11 +42,13 @@ val run_2d_ordered :
 
 (** Unordered 2D: workers start at different time indices and rotate
     partitions; [pipeline_depth] time partitions per worker overlap
-    communication with computation (Figs. 7f and 8). *)
+    communication with computation (Figs. 7f and 8).  [rotated_label]
+    names the rotated data in trace spans. *)
 val run_2d_unordered :
   Orion_sim.Cluster.t ->
   ?compute:compute_cost ->
   ?pipeline_depth:int ->
+  ?rotated_label:string ->
   rotated_bytes_per_partition:float ->
   'v Schedule.t ->
   'v body ->
@@ -54,6 +59,7 @@ val run_2d_unordered :
 val run_time_major :
   Orion_sim.Cluster.t ->
   ?compute:compute_cost ->
+  ?comm_label:string ->
   comm_bytes_per_step:float ->
   'v Schedule.t ->
   'v body ->

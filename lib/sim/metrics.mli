@@ -1,0 +1,34 @@
+(** Per-pass aggregates over a {!Trace}: per-worker busy time,
+    straggler ratio, barrier-wait fraction, communication/computation
+    overlap, and bytes grouped by label (DistArray). *)
+
+type t = {
+  window_start : float;
+  window_end : float;
+  busy_per_worker : float array;  (** Compute + Marshal + Transfer *)
+  compute_sec : float;
+  marshal_sec : float;
+  transfer_sec : float;
+  barrier_wait_sec : float;
+  idle_sec : float;
+  straggler_ratio : float;
+      (** max busy / mean busy over workers (1.0 when balanced or when
+          nothing ran) *)
+  barrier_wait_fraction : float;
+      (** barrier-wait time / total span time (busy + waiting) *)
+  comm_compute_overlap : float;
+      (** fraction of transfer-interval time (union over workers)
+          overlapped by some compute interval; 0 when no transfers *)
+  bytes_by_label : (string * float) list;  (** largest first *)
+  total_bytes : float;
+}
+
+(** Aggregate the spans starting at or after [since] (capture
+    [Cluster.now] before a pass to scope metrics to that pass). *)
+val of_trace : ?since:float -> num_workers:int -> Trace.t -> t
+
+(** One-line human summary. *)
+val summary : t -> string
+
+val csv_header : string
+val csv_row : t -> string

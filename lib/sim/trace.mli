@@ -1,0 +1,50 @@
+(** Span-based worker-timeline tracer: per-worker virtual-time spans
+    tagged with a category, emitted by the cluster primitives and the
+    executor.  Export as Chrome [trace_event] JSON (chrome://tracing /
+    Perfetto) or CSV; {!Metrics} derives per-pass aggregates. *)
+
+type category = Compute | Marshal | Transfer | Barrier_wait | Idle
+
+val category_to_string : category -> string
+
+type span = {
+  worker : int;
+  category : category;
+  label : string;  (** "" means "just the category" *)
+  start_sec : float;
+  duration_sec : float;
+  bytes : float;  (** 0 for non-communication spans *)
+}
+
+type t
+
+(** [max_spans] bounds memory on long runs (default 500k spans); spans
+    beyond it are counted in {!dropped} but not stored. *)
+val create : ?enabled:bool -> ?max_spans:int -> unit -> t
+
+val set_enabled : t -> bool -> unit
+val length : t -> int
+val dropped : t -> int
+
+(** Record one span.  Zero-duration spans carrying no bytes are elided;
+    so is everything while disabled. *)
+val add :
+  ?label:string ->
+  ?bytes:float ->
+  t ->
+  worker:int ->
+  category:category ->
+  start_sec:float ->
+  duration_sec:float ->
+  unit
+
+val iter : (span -> unit) -> t -> unit
+val spans : t -> span array
+val reset : t -> unit
+
+(** Chrome trace-event JSON; [pid_of_worker] groups workers into
+    process lanes (pass the cluster's machine mapping). *)
+val to_chrome_json : ?pid_of_worker:(int -> int) -> t -> string
+
+val csv_header : string
+val to_csv : t -> string

@@ -379,6 +379,59 @@ let test_accumulator () =
   Alcotest.(check (float 0.0)) "reset" 0.0
     (Accumulator.aggregated acc ~op:( +. ))
 
+let test_accumulator_nonneutral_init () =
+  (* regression: [aggregated] used to seed the fold with [init] on top
+     of the per-worker instances (which already start at [init]),
+     counting a non-neutral init num_workers + 1 times *)
+  let acc = Accumulator.create ~name:"count" ~num_workers:4 ~init:1.0 in
+  Alcotest.(check (float 0.0)) "init counted once per worker" 4.0
+    (Accumulator.aggregated acc ~op:( +. ));
+  Accumulator.add acc ~worker:2 ~op:( +. ) 10.0;
+  Alcotest.(check (float 0.0)) "adds on top" 14.0
+    (Accumulator.aggregated acc ~op:( +. ));
+  (* max with a floor init: the floor must not dominate real values *)
+  let m = Accumulator.create ~name:"peak" ~num_workers:2 ~init:(-1e30) in
+  Accumulator.add m ~worker:0 ~op:max 3.0;
+  Accumulator.add m ~worker:1 ~op:max 7.0;
+  Alcotest.(check (float 0.0)) "max aggregate" 7.0
+    (Accumulator.aggregated m ~op:max)
+
+let test_pipeline_rejects_bad_keys () =
+  (* a malformed source entry fails at materialize with a message
+     naming the pipeline, key and dims — not later inside the
+     partitioner *)
+  let expect_invalid msg p =
+    Alcotest.check_raises "materialize rejects" (Invalid_argument msg)
+      (fun () -> ignore (Pipeline.materialize ~default:0.0 p))
+  in
+  expect_invalid
+    "Pipeline.materialize(oob): key (3, 99) out of bounds for declared dims \
+     10x5"
+    (Pipeline.of_entries ~name:"oob" ~dims:[| 10; 5 |]
+       [ ([| 0; 0 |], 1.0); ([| 3; 99 |], 2.0) ]);
+  expect_invalid
+    "Pipeline.materialize(neg): key (-1) out of bounds for declared dims 4"
+    (Pipeline.of_entries ~name:"neg" ~dims:[| 4 |] [ ([| -1 |], 1.0) ]);
+  expect_invalid
+    "Pipeline.materialize(arity): key (1, 2) out of bounds for declared dims 4"
+    (Pipeline.of_entries ~name:"arity" ~dims:[| 4 |] [ ([| 1; 2 |], 1.0) ]);
+  (* a parser emitting out-of-range keys is caught too *)
+  let path = Filename.temp_file "orion_pipe" ".txt" in
+  let oc = open_out path in
+  output_string oc "0 1.0\n9 2.0\n";
+  close_out oc;
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      expect_invalid
+        "Pipeline.materialize(t): key (9) out of bounds for declared dims 3"
+        (Pipeline.text_file ~name:"t" ~dims:[| 3 |]
+           ~parse_line:(fun line ->
+             match String.split_on_char ' ' line with
+             | [ k; v ] -> Some ([| int_of_string k |], float_of_string v)
+             | _ -> None)
+           path))
+
 (* ------------------------------------------------------------------ *)
 (* Parameter server                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -475,6 +528,7 @@ let () =
           tc "filter" `Quick test_pipeline_filter;
           tc "text file" `Quick test_pipeline_text_file;
           tc "of dist array" `Quick test_pipeline_of_dist_array;
+          tc "rejects bad keys" `Quick test_pipeline_rejects_bad_keys;
           qc (test_pipeline_fusion_law_qcheck ());
           qc (test_group_by_partitions_entries_qcheck ());
         ] );
@@ -492,6 +546,8 @@ let () =
           tc "combine/flush" `Quick test_buffer_combine_and_flush;
           tc "flush apply udf" `Quick test_buffer_flush_apply_udf;
           tc "accumulator" `Quick test_accumulator;
+          tc "accumulator non-neutral init" `Quick
+            test_accumulator_nonneutral_init;
         ] );
       ( "param_server",
         [

@@ -462,6 +462,60 @@ let test_single_worker_cluster () =
   in
   Alcotest.(check int) "covers all" 50 stats.Executor.entries_executed
 
+let test_ordered_transfer_recorded_at_start () =
+  (* regression: the rotated-partition transfer used to be recorded
+     *after* Cluster.compute_raw had advanced the worker's clock past
+     it, binning the bytes one transfer-window late in the Fig.-12
+     bandwidth series *)
+  let cost =
+    {
+      Cost_model.default with
+      network_bandwidth_bytes_per_sec = 1.0;
+      network_latency_sec = 0.0;
+      marshal_cost_sec_per_byte = 0.0;
+      barrier_cost_sec = 0.0;
+    }
+  in
+  let recorder = Orion_sim.Recorder.create ~bin_width_sec:1.0 () in
+  let cluster =
+    Cluster.create ~recorder ~num_machines:2 ~workers_per_machine:1 ~cost ()
+  in
+  let iter =
+    Dist_array.of_entries ~name:"iter" ~dims:[| 2; 2 |] ~default:0.0
+      [ ([| 0; 0 |], 1.0); ([| 1; 1 |], 2.0) ]
+  in
+  let s =
+    Schedule.partition_2d iter ~space_dim:0 ~time_dim:1 ~space_parts:2
+      ~time_parts:1
+  in
+  ignore
+    (Executor.run_2d_ordered cluster ~compute:(Executor.Per_entry 0.0)
+       ~rotated_bytes_per_partition:1.5 s
+       (fun ~worker:_ ~key:_ ~value:_ -> ()));
+  (* exactly one 1.5-byte rotation (space partition 1), at 1 B/s,
+     starting from an aligned clock of 0: 1 byte lands in bin [0,1) and
+     0.5 in bin [1,2).  The pre-fix code recorded the whole transfer at
+     its *end* (t = 1.5), leaving bin 0 empty. *)
+  let series = Orion_sim.Recorder.series recorder in
+  Alcotest.(check (float 1e-9)) "bin 0 has the start" 1.0 series.(0);
+  Alcotest.(check (float 1e-9)) "bin 1 has the tail" 0.5 series.(1);
+  (* the trace span agrees with the recorder *)
+  let transfers =
+    Array.to_list (Orion_sim.Trace.spans cluster.Cluster.trace)
+    |> List.filter (fun sp ->
+           sp.Orion_sim.Trace.category = Orion_sim.Trace.Transfer)
+  in
+  match transfers with
+  | [ sp ] ->
+      Alcotest.(check (float 1e-9)) "span starts pre-advance" 0.0
+        sp.Orion_sim.Trace.start_sec;
+      Alcotest.(check (float 1e-9)) "span duration" 1.5
+        sp.Orion_sim.Trace.duration_sec;
+      Alcotest.(check (float 1e-9)) "span bytes" 1.5 sp.Orion_sim.Trace.bytes
+  | l ->
+      Alcotest.failf "expected exactly one transfer span, got %d"
+        (List.length l)
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -489,6 +543,8 @@ let () =
           tc "more workers faster" `Quick test_more_workers_faster;
           tc "serial on worker 0" `Quick test_serial_runs_on_worker_zero;
           tc "measured compute" `Quick test_measured_compute_positive;
+          tc "ordered transfer recorded at start" `Quick
+            test_ordered_transfer_recorded_at_start;
         ] );
       ( "properties",
         [
