@@ -137,7 +137,8 @@ let bench_prefetch =
     (let program = Orion.Parser.parse_program Slr.script in
      let body, key_var, value_var =
        match Orion.Refs.find_parallel_loops program with
-       | Orion.Ast.For { kind = Each_loop { key; value; _ }; body; _ } :: _ ->
+       | { Orion.Ast.sk = Orion.Ast.For { kind = Each_loop { key; value; _ }; body; _ }; _ }
+         :: _ ->
            (body, key, value)
        | _ -> assert false
      in

@@ -3,7 +3,10 @@
    Subcommands:
      orion analyze FILE       statically analyze an OrionScript program
                               (prints the Fig. 6-style report per loop)
+     orion explain FILE       full analysis provenance: per-pair dependence
+                              derivation + strategy decision tree (or --app)
      orion run FILE           run a driver program on a simulated cluster
+                              (--profile for a per-line hot-spot report)
      orion prefetch FILE      show the synthesized prefetch program for
                               the first parallel loop
      orion apps               list the built-in applications (Table 2)
@@ -56,6 +59,22 @@ let wpm_arg =
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"OrionScript source file")
 
+(* --log LEVEL mirrors the ORION_LOG environment variable (the flag
+   wins when both are given). *)
+let log_arg =
+  let doc =
+    "Enable the structured event log at $(docv) (debug | info | warn); \
+     equivalent to setting ORION_LOG."
+  in
+  Arg.(value & opt (some string) None & info [ "log" ] ~docv:"LEVEL" ~doc)
+
+let setup_log = function
+  | None -> ()
+  | Some s -> (
+      match Orion.Log.level_of_string s with
+      | Some l -> Orion.Log.set_level (Some l)
+      | None -> Printf.eprintf "orion: unknown log level %S (ignored)\n" s)
+
 let make_session arrays ~machines ~wpm =
   let session =
     Orion.create_session ~num_machines:machines ~workers_per_machine:wpm ()
@@ -72,7 +91,8 @@ let make_session arrays ~machines ~wpm =
 (* ------------------------------------------------------------------ *)
 
 let analyze_cmd =
-  let run arrays machines wpm file =
+  let run arrays machines wpm log file =
+    setup_log log;
     let session = make_session arrays ~machines ~wpm in
     let src = read_file file in
     let diags = Orion.check_script session src in
@@ -93,14 +113,141 @@ let analyze_cmd =
           plans;
         0
   in
-  let term = Term.(const run $ arrays_arg $ machines_arg $ wpm_arg $ file_arg) in
+  let term =
+    Term.(const run $ arrays_arg $ machines_arg $ wpm_arg $ log_arg $ file_arg)
+  in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Statically analyze an OrionScript program's parallel loops")
     term
 
+(* Built-in application sessions for `orion explain --app`: the four
+   Table 2 workloads with representative (paper-scale) array shapes, so
+   the full analysis pipeline can be exercised without a dataset. *)
+let builtin_app session = function
+  | "mf" ->
+      Orion.register_meta session ~name:"ratings"
+        ~dims:[| 480_189; 17_770 |]
+        ~count:100_480_507 ();
+      Orion.register_meta session ~name:"W" ~dims:[| 40; 480_189 |] ();
+      Orion.register_meta session ~name:"H" ~dims:[| 40; 17_770 |] ();
+      Some Orion_apps.Sgd_mf.script
+  | "slr" ->
+      Orion.register_meta session ~name:"samples"
+        ~dims:[| 20_000_000 |]
+        ~count:20_000_000 ();
+      Orion.register_meta session ~name:"w" ~dims:[| 20_216_830 |] ();
+      Orion.register_meta session ~name:"w_buf"
+        ~dims:[| 20_216_830 |]
+        ~buffered:true ();
+      Some Orion_apps.Slr.script
+  | "lda" ->
+      Orion.register_meta session ~name:"tokens"
+        ~dims:[| 299_752; 101_636 |]
+        ~count:99_542_125 ();
+      Orion.register_meta session ~name:"doc_topic"
+        ~dims:[| 299_752; 1000 |]
+        ();
+      Orion.register_meta session ~name:"word_topic"
+        ~dims:[| 101_636; 1000 |]
+        ();
+      Orion.register_meta session ~name:"token_topic"
+        ~dims:[| 299_752; 101_636 |]
+        ();
+      Orion.register_meta session ~name:"totals_buf" ~dims:[| 1000 |]
+        ~buffered:true ();
+      Some Orion_apps.Lda.script
+  | "gbt" ->
+      Orion.register_meta session ~name:"feature_index" ~dims:[| 90 |]
+        ~count:90 ();
+      Orion.register_meta session ~name:"split_gain" ~dims:[| 90 |] ();
+      Some Orion_apps.Gbt.script
+  | _ -> None
+
+let explain_cmd =
+  let run arrays machines wpm log app json file =
+    setup_log log;
+    let session = make_session arrays ~machines ~wpm in
+    (* [checked] is false for built-in app scripts: they are driver
+       fragments with free variables (e.g. num_iterations) that a real
+       driver would define, so the whole-program checker does not
+       apply. *)
+    let src =
+      match (app, file) with
+      | Some _, Some _ ->
+          prerr_endline "orion explain: give either FILE or --app, not both";
+          None
+      | Some name, None -> (
+          match builtin_app session name with
+          | Some src -> Some (src, false)
+          | None ->
+              Printf.eprintf
+                "orion explain: unknown app %S (mf | slr | lda | gbt)\n" name;
+              None)
+      | None, Some path -> Some (read_file path, true)
+      | None, None ->
+          prerr_endline "orion explain: need an OrionScript FILE or --app NAME";
+          None
+    in
+    match src with
+    | None -> 1
+    | Some (src, checked) -> (
+        let diags = if checked then Orion.check_script session src else [] in
+        List.iter
+          (fun d -> prerr_endline (Orion.Check.diagnostic_to_string d))
+          diags;
+        if Orion.Check.errors diags <> [] then 1
+        else
+          match Orion.analyze_script session src with
+          | [] ->
+              print_endline "no @parallel_for loops found";
+              0
+          | plans ->
+              List.iteri
+                (fun i plan ->
+                  if json then print_endline (Orion.Explain.to_json plan)
+                  else begin
+                    Printf.printf "=== parallel loop %d ===\n" (i + 1);
+                    print_string (Orion.Explain.report_to_string plan)
+                  end)
+                plans;
+              0)
+  in
+  let app_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "app" ] ~docv:"NAME"
+          ~doc:"explain a built-in application instead of a file: mf | slr | \
+                lda | gbt")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"emit one machine-readable JSON object per loop instead of text")
+  in
+  let file_pos =
+    Arg.(
+      value & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"OrionScript source file")
+  in
+  let term =
+    Term.(
+      const run $ arrays_arg $ machines_arg $ wpm_arg $ log_arg $ app_arg
+      $ json_arg $ file_pos)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Show the full analysis provenance for each parallel loop: \
+          per-reference-pair dependence derivation (Algorithm 2) and the \
+          strategy decision tree")
+    term
+
 let run_cmd =
-  let run arrays machines wpm seed file =
+  let run arrays machines wpm log seed profile file =
+    setup_log log;
     let session = make_session arrays ~machines ~wpm in
     (* arrays declared on the command line become real zero-filled
        DistArrays so the program can execute *)
@@ -111,20 +258,36 @@ let run_cmd =
         Orion.register session ~buffered arr)
       arrays;
     let src = read_file file in
-    let env, stats = Orion.run_script session ~seed src in
+    let prof = if profile then Some (Orion.Profile.create ()) else None in
+    let env, stats = Orion.run_script session ~seed ?profile:prof src in
     ignore env;
     Printf.printf "ran %d parallel-loop executions\n" (List.length stats);
     Printf.printf "simulated time: %.4f s\n"
       (Orion.Cluster.now session.Orion.cluster);
     Printf.printf "bytes communicated: %.0f\n"
       session.Orion.cluster.Orion.Cluster.bytes_sent;
+    (match prof with
+    | Some p ->
+        print_newline ();
+        print_string (Orion.Profile.report ~src p)
+    | None -> ());
     0
   in
   let seed =
     Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"RNG seed")
   in
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "profile the interpreted driver: per-line hit counts and \
+             inclusive wall time, plus per-DistArray element access counts")
+  in
   let term =
-    Term.(const run $ arrays_arg $ machines_arg $ wpm_arg $ seed $ file_arg)
+    Term.(
+      const run $ arrays_arg $ machines_arg $ wpm_arg $ log_arg $ seed $ profile
+      $ file_arg)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run an OrionScript driver program on a simulated cluster")
@@ -136,7 +299,7 @@ let prefetch_cmd =
     let src = read_file file in
     let program = Orion.Parser.parse_program src in
     match Orion.Refs.find_parallel_loops program with
-    | Orion.Ast.For { kind = Each_loop _; body; _ } :: _ ->
+    | { Orion.Ast.sk = Orion.Ast.For { kind = Each_loop _; body; _ }; _ } :: _ ->
         let plan =
           match Orion.analyze_script session src with
           | p :: _ -> p
@@ -374,4 +537,12 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ analyze_cmd; run_cmd; prefetch_cmd; apps_cmd; generate_cmd; trace_cmd ]))
+          [
+            analyze_cmd;
+            explain_cmd;
+            run_cmd;
+            prefetch_cmd;
+            apps_cmd;
+            generate_cmd;
+            trace_cmd;
+          ]))

@@ -6,7 +6,11 @@
     - write/write pairs are skipped when the loop is unordered;
     - otherwise a distance vector over the iteration space is built by
       refining an all-∞ vector with the constraints implied by matching
-      subscript positions, or the pair is proven independent. *)
+      subscript positions, or the pair is proven independent.
+
+    [analyze_traced] additionally records, for every pair visited, the
+    refinement steps taken and the outcome — the provenance rendered by
+    {!Explain} and the [orion explain] subcommand. *)
 
 type result = {
   per_array : (string * Depvec.t list) list;
@@ -14,17 +18,80 @@ type result = {
   all : Depvec.t list;  (** deduplicated union *)
 }
 
+(* ------------------------------------------------------------------ *)
+(* Provenance                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type refine_step =
+  | Refine of { position : int; dim : int; distance : int }
+      (** matching loop indices at [position] constrain dimension [dim]
+          of the vector to exactly [distance] *)
+  | Conflict of { position : int; dim : int; prev : int; next : int }
+      (** contradictory distances for [dim] — the pair is independent *)
+  | Const_unequal of { position : int; left : int; right : int }
+      (** unequal constants can never alias — the pair is independent *)
+  | No_constraint of { position : int; why : string }
+      (** the position pair yields no refinement *)
+
+type skip_reason = Read_read | Write_write_unordered
+
+type pair_outcome =
+  | Skipped of skip_reason
+  | Independent  (** proven by a [Conflict] or [Const_unequal] step *)
+  | Self_dependence
+      (** the refined vector is all-zero: same iteration, not loop-carried *)
+  | Dependence of { raw : Depvec.t; vec : Depvec.t; negated : bool }
+      (** [vec] is [raw] corrected to be lexicographically positive *)
+
+type pair_trace = {
+  pt_array : string;
+  pt_a : Refs.ref_info;
+  pt_b : Refs.ref_info;
+  pt_steps : refine_step list;
+  pt_outcome : pair_outcome;
+}
+
+type trace = {
+  pairs : pair_trace list;
+  dropped_writes : (string * int) list;
+      (** write references exempted per buffered DistArray (§3.3) *)
+}
+
+let skip_reason_to_string = function
+  | Read_read -> "read/read pairs carry no dependence"
+  | Write_write_unordered ->
+      "write/write pairs are commutative in an unordered loop"
+
+let refine_step_to_string = function
+  | Refine { position; dim; distance } ->
+      Printf.sprintf "position %d: matching loop index constrains dim %d to %d"
+        (position + 1) dim distance
+  | Conflict { position; dim; prev; next } ->
+      Printf.sprintf
+        "position %d: dim %d already constrained to %d, contradicts %d"
+        (position + 1) dim prev next
+  | Const_unequal { position; left; right } ->
+      Printf.sprintf "position %d: constants %d <> %d never alias"
+        (position + 1) left right
+  | No_constraint { position; why } ->
+      Printf.sprintf "position %d: no constraint (%s)" (position + 1) why
+
+(* ------------------------------------------------------------------ *)
+
 let dedup (dvecs : Depvec.t list) =
   List.fold_left
     (fun acc d -> if List.exists (Depvec.equal d) acc then acc else d :: acc)
     [] dvecs
   |> List.rev
 
-(* Dependence test for one pair of references; [None] = independent. *)
-let pair_dvec ~ndims (a : Refs.ref_info) (b : Refs.ref_info) :
-    Depvec.t option =
+(* Dependence test for one pair of references, recording refinement
+   steps.  Returns the steps in visit order and the outcome. *)
+let pair_dvec_traced ~ndims (a : Refs.ref_info) (b : Refs.ref_info) :
+    refine_step list * pair_outcome =
   let dvec = Array.make ndims Depvec.Any in
   let independent = ref false in
+  let steps = ref [] in
+  let push s = steps := s :: !steps in
   let positions = min (Array.length a.subs) (Array.length b.subs) in
   for p = 0 to positions - 1 do
     if not !independent then
@@ -34,9 +101,14 @@ let pair_dvec ~ndims (a : Refs.ref_info) (b : Refs.ref_info) :
           if da = db then (
             let dist = ca - cb in
             match dvec.(da) with
-            | Depvec.Any -> dvec.(da) <- Depvec.Fin dist
-            | Depvec.Fin prev when prev <> dist -> independent := true
-            | Depvec.Fin _ -> ()
+            | Depvec.Any ->
+                dvec.(da) <- Depvec.Fin dist;
+                push (Refine { position = p; dim = da; distance = dist })
+            | Depvec.Fin prev when prev <> dist ->
+                independent := true;
+                push (Conflict { position = p; dim = da; prev; next = dist })
+            | Depvec.Fin dist ->
+                push (Refine { position = p; dim = da; distance = dist })
             | Depvec.Pos_inf | Depvec.Neg_inf ->
                 (* cannot arise here: refinement only writes Fin *)
                 ())
@@ -44,23 +116,43 @@ let pair_dvec ~ndims (a : Refs.ref_info) (b : Refs.ref_info) :
             (* different loop index variables at the same position: the
                subscripts match only when those index values coincide —
                no distance constraint can be derived (paper: continue) *)
-            ()
+            push
+              (No_constraint
+                 { position = p; why = "different loop index dimensions" })
       | Subscript.Const ca, Subscript.Const cb ->
-          if ca <> cb then independent := true
+          if ca <> cb then (
+            independent := true;
+            push (Const_unequal { position = p; left = ca; right = cb }))
+          else push (No_constraint { position = p; why = "equal constants" })
       | Subscript.Const _, Subscript.Loop_index _
-      | Subscript.Loop_index _, Subscript.Const _
+      | Subscript.Loop_index _, Subscript.Const _ ->
+          (* positions may always coincide: no refinement *)
+          push
+            (No_constraint
+               { position = p; why = "constant vs loop index may coincide" })
       | (Subscript.Range_all | Subscript.Unknown), _
       | _, (Subscript.Range_all | Subscript.Unknown) ->
-          (* positions may always coincide: no refinement *)
-          ()
+          push
+            (No_constraint
+               { position = p; why = "range or runtime subscript" })
   done;
-  if !independent then None
+  let steps = List.rev !steps in
+  if !independent then (steps, Independent)
   else
     (* drop the self-dependence of an iteration on itself: an exact
        all-zero vector means "same iteration" *)
+    let raw = Array.copy dvec in
     match Depvec.correct_positive dvec with
-    | None -> None
-    | Some d -> Some d
+    | None -> (steps, Self_dependence)
+    | Some vec ->
+        (steps, Dependence { raw; vec; negated = not (Depvec.equal raw vec) })
+
+(* Dependence test for one pair of references; [None] = independent. *)
+let pair_dvec ~ndims (a : Refs.ref_info) (b : Refs.ref_info) : Depvec.t option
+    =
+  match pair_dvec_traced ~ndims a b with
+  | _, Dependence { vec; _ } -> Some vec
+  | _, (Independent | Self_dependence | Skipped _) -> None
 
 (** All unique pairs of [refs], including a reference paired with
     itself when it is a write (two distinct iterations can both execute
@@ -77,37 +169,81 @@ let reference_pairs refs =
   done;
   List.rev !pairs
 
-let array_dvecs ~ndims ~unordered refs =
-  reference_pairs refs
-  |> List.filter_map (fun ((a : Refs.ref_info), (b : Refs.ref_info)) ->
-         if (not a.is_write) && not b.is_write then None
-         else if unordered && a.is_write && b.is_write then None
-         else pair_dvec ~ndims a b)
-  |> dedup
+let array_dvecs_traced ~array ~ndims ~unordered refs :
+    Depvec.t list * pair_trace list =
+  let traces =
+    reference_pairs refs
+    |> List.map (fun ((a : Refs.ref_info), (b : Refs.ref_info)) ->
+           let pt_steps, pt_outcome =
+             if (not a.is_write) && not b.is_write then
+               ([], Skipped Read_read)
+             else if unordered && a.is_write && b.is_write then
+               ([], Skipped Write_write_unordered)
+             else pair_dvec_traced ~ndims a b
+           in
+           { pt_array = array; pt_a = a; pt_b = b; pt_steps; pt_outcome })
+  in
+  let dvecs =
+    List.filter_map
+      (fun t ->
+        match t.pt_outcome with
+        | Dependence { vec; _ } -> Some vec
+        | Skipped _ | Independent | Self_dependence -> None)
+      traces
+    |> dedup
+  in
+  (dvecs, traces)
 
-(** Run Algorithm 2 over a whole loop.  Writes to buffered DistArrays
-    are exempt from analysis (paper §3.3): such arrays contribute only
-    their read references. *)
-let analyze (info : Refs.loop_info) : result =
+(** Run Algorithm 2 over a whole loop, recording per-pair provenance.
+    Writes to buffered DistArrays are exempt from analysis (paper §3.3):
+    such arrays contribute only their read references. *)
+let analyze_traced (info : Refs.loop_info) : result * trace =
   let ndims = info.ndims in
   let unordered = not info.ordered in
   let arrays =
     List.map (fun (r : Refs.ref_info) -> r.array) info.refs
     |> List.sort_uniq String.compare
   in
-  let per_array =
+  let dropped_writes = ref [] in
+  let per_array_traced =
     List.map
       (fun name ->
         let refs =
           List.filter (fun (r : Refs.ref_info) -> r.array = name) info.refs
         in
         let refs =
-          if List.mem name info.buffered_arrays then
-            List.filter (fun (r : Refs.ref_info) -> not r.is_write) refs
+          if List.mem name info.buffered_arrays then (
+            let writes =
+              List.length (List.filter (fun (r : Refs.ref_info) -> r.is_write) refs)
+            in
+            if writes > 0 then
+              dropped_writes := (name, writes) :: !dropped_writes;
+            List.filter (fun (r : Refs.ref_info) -> not r.is_write) refs)
           else refs
         in
-        (name, array_dvecs ~ndims ~unordered refs))
+        (name, array_dvecs_traced ~array:name ~ndims ~unordered refs))
       arrays
   in
+  let per_array =
+    List.map (fun (name, (dvecs, _)) -> (name, dvecs)) per_array_traced
+  in
   let all = dedup (List.concat_map snd per_array) in
-  { per_array; all }
+  let pairs = List.concat_map (fun (_, (_, ts)) -> ts) per_array_traced in
+  if Log.enabled Log.Debug then
+    List.iter
+      (fun (name, dvecs) ->
+        Log.debug ~src:"depanalysis"
+          ~kv:
+            [
+              ("array", name);
+              ("vectors", Log.int (List.length dvecs));
+              ( "vecs",
+                String.concat " " (List.map Depvec.to_string dvecs) );
+            ]
+          "array analyzed")
+      per_array;
+  ( { per_array; all },
+    { pairs; dropped_writes = List.rev !dropped_writes } )
+
+(** Run Algorithm 2 over a whole loop (see [analyze_traced]). *)
+let analyze (info : Refs.loop_info) : result = fst (analyze_traced info)

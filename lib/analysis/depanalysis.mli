@@ -5,6 +5,43 @@ type result = {
   all : Depvec.t list;  (** deduplicated union *)
 }
 
+(** {1 Provenance}
+
+    [analyze_traced] records, for every reference pair visited, the
+    subscript refinement steps taken and the outcome.  This is the raw
+    material for {!Explain} and [orion explain]. *)
+
+type refine_step =
+  | Refine of { position : int; dim : int; distance : int }
+  | Conflict of { position : int; dim : int; prev : int; next : int }
+  | Const_unequal of { position : int; left : int; right : int }
+  | No_constraint of { position : int; why : string }
+
+type skip_reason = Read_read | Write_write_unordered
+
+type pair_outcome =
+  | Skipped of skip_reason
+  | Independent
+  | Self_dependence
+  | Dependence of { raw : Depvec.t; vec : Depvec.t; negated : bool }
+
+type pair_trace = {
+  pt_array : string;
+  pt_a : Refs.ref_info;
+  pt_b : Refs.ref_info;
+  pt_steps : refine_step list;
+  pt_outcome : pair_outcome;
+}
+
+type trace = {
+  pairs : pair_trace list;
+  dropped_writes : (string * int) list;
+      (** write references exempted per buffered DistArray (§3.3) *)
+}
+
+val skip_reason_to_string : skip_reason -> string
+val refine_step_to_string : refine_step -> string
+
 (** Deduplicate a vector list (order-preserving). *)
 val dedup : Depvec.t list -> Depvec.t list
 
@@ -12,7 +49,15 @@ val dedup : Depvec.t list -> Depvec.t list
     or not loop-carried. *)
 val pair_dvec : ndims:int -> Refs.ref_info -> Refs.ref_info -> Depvec.t option
 
+(** Traced dependence test for one pair (no read/read or write/write
+    skipping — that is the caller's context). *)
+val pair_dvec_traced :
+  ndims:int -> Refs.ref_info -> Refs.ref_info -> refine_step list * pair_outcome
+
 (** Run Algorithm 2 over a loop: read/read pairs skipped, write/write
     pairs skipped for unordered loops, buffered arrays contribute only
     their reads. *)
 val analyze : Refs.loop_info -> result
+
+(** Like [analyze], also returning the per-pair provenance. *)
+val analyze_traced : Refs.loop_info -> result * trace

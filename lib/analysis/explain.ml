@@ -1,0 +1,393 @@
+(** Rendering analysis provenance — the full "why" behind a {!Plan.t}.
+
+    {!Plan.explain} prints the paper's Fig. 6 panel (the decision);
+    this module renders the evidence: every reference pair Algorithm 2
+    visited with its refinement steps and outcome, and the strategy
+    decision tree (candidates costed, partitioning dimensions rejected
+    and by which vector, the unimodular outcome).  Both a human-readable
+    text report and machine-readable JSON are provided; the [orion
+    explain] subcommand exposes them. *)
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON builder (hand-rolled; the repo carries no JSON dep)    *)
+(* ------------------------------------------------------------------ *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let rec emit b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (string_of_bool v)
+  | Int n -> Buffer.add_string b (string_of_int n)
+  | Float f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Buffer.add_string b (Printf.sprintf "%.1f" f)
+      else Buffer.add_string b (Printf.sprintf "%.17g" f)
+  | Str s ->
+      Buffer.add_char b '"';
+      Buffer.add_string b (escape s);
+      Buffer.add_char b '"'
+  | List items ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char b ',';
+          emit b item)
+        items;
+      Buffer.add_char b ']'
+  | Obj fields ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_char b '"';
+          Buffer.add_string b (escape k);
+          Buffer.add_string b "\":";
+          emit b v)
+        fields;
+      Buffer.add_char b '}'
+
+let json_to_string j =
+  let b = Buffer.create 1024 in
+  emit b j;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* JSON report                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let json_of_depvec (d : Depvec.t) =
+  List (Array.to_list (Array.map (fun e -> Str (Depvec.elt_to_string e)) d))
+
+let json_of_ref (r : Refs.ref_info) =
+  Obj
+    [
+      ("array", Str r.array);
+      ("mode", Str (if r.is_write then "write" else "read"));
+      ( "subscripts",
+        List
+          (Array.to_list
+             (Array.map (fun s -> Str (Subscript.to_string s)) r.subs)) );
+      ("all_static", Bool r.all_static);
+    ]
+
+let json_of_step (s : Depanalysis.refine_step) =
+  match s with
+  | Depanalysis.Refine { position; dim; distance } ->
+      Obj
+        [
+          ("kind", Str "refine");
+          ("position", Int (position + 1));
+          ("dim", Int dim);
+          ("distance", Int distance);
+        ]
+  | Depanalysis.Conflict { position; dim; prev; next } ->
+      Obj
+        [
+          ("kind", Str "conflict");
+          ("position", Int (position + 1));
+          ("dim", Int dim);
+          ("prev", Int prev);
+          ("next", Int next);
+        ]
+  | Depanalysis.Const_unequal { position; left; right } ->
+      Obj
+        [
+          ("kind", Str "const_unequal");
+          ("position", Int (position + 1));
+          ("left", Int left);
+          ("right", Int right);
+        ]
+  | Depanalysis.No_constraint { position; why } ->
+      Obj
+        [
+          ("kind", Str "no_constraint");
+          ("position", Int (position + 1));
+          ("why", Str why);
+        ]
+
+let json_of_pair (p : Depanalysis.pair_trace) =
+  let outcome =
+    match p.pt_outcome with
+    | Depanalysis.Skipped reason ->
+        Obj
+          [
+            ("kind", Str "skipped");
+            ( "reason",
+              Str
+                (match reason with
+                | Depanalysis.Read_read -> "read_read"
+                | Depanalysis.Write_write_unordered -> "write_write_unordered")
+            );
+          ]
+    | Depanalysis.Independent -> Obj [ ("kind", Str "independent") ]
+    | Depanalysis.Self_dependence -> Obj [ ("kind", Str "self_dependence") ]
+    | Depanalysis.Dependence { raw; vec; negated } ->
+        Obj
+          [
+            ("kind", Str "dependence");
+            ("raw", json_of_depvec raw);
+            ("vector", json_of_depvec vec);
+            ("negated", Bool negated);
+          ]
+  in
+  Obj
+    [
+      ("array", Str p.pt_array);
+      ("a", json_of_ref p.pt_a);
+      ("b", json_of_ref p.pt_b);
+      ("steps", List (List.map json_of_step p.pt_steps));
+      ("outcome", outcome);
+    ]
+
+let json_of_matrix (m : Unimodular.matrix) =
+  List
+    (Array.to_list
+       (Array.map (fun row -> List (Array.to_list (Array.map (fun v -> Int v) row))) m))
+
+let json_of_strategy (s : Plan.strategy) =
+  match s with
+  | Plan.One_d { space_dim } ->
+      Obj [ ("kind", Str "1d"); ("space_dim", Int space_dim) ]
+  | Plan.Two_d { space_dim; time_dim } ->
+      Obj
+        [
+          ("kind", Str "2d");
+          ("space_dim", Int space_dim);
+          ("time_dim", Int time_dim);
+        ]
+  | Plan.Two_d_unimodular { matrix; inverse; space_dim; time_dim } ->
+      Obj
+        [
+          ("kind", Str "2d_unimodular");
+          ("matrix", json_of_matrix matrix);
+          ("inverse", json_of_matrix inverse);
+          ("space_dim", Int space_dim);
+          ("time_dim", Int time_dim);
+        ]
+  | Plan.Data_parallel -> Obj [ ("kind", Str "data_parallel") ]
+
+let json_of_candidate (c : Plan.candidate) =
+  Obj
+    [
+      ("strategy", json_of_strategy c.cand_strategy);
+      ("label", Str (Plan.strategy_to_string c.cand_strategy));
+      ("cost", Float c.cand_cost);
+      ("chosen", Bool c.cand_chosen);
+      ( "placements",
+        List
+          (List.map
+             (fun (name, p, cost) ->
+               Obj
+                 [
+                   ("array", Str name);
+                   ("placement", Str (Plan.placement_to_string p));
+                   ("comm_cost", Float cost);
+                 ])
+             c.cand_placements) );
+    ]
+
+let json_of_unimodular (u : Plan.unimodular_outcome) =
+  match u with
+  | Plan.Uni_not_attempted -> Obj [ ("kind", Str "not_attempted") ]
+  | Plan.Uni_applied { matrix } ->
+      Obj [ ("kind", Str "applied"); ("matrix", json_of_matrix matrix) ]
+  | Plan.Uni_rejected_ndims { matrix } ->
+      Obj [ ("kind", Str "rejected_ndims"); ("matrix", json_of_matrix matrix) ]
+  | Plan.Uni_inapplicable { blocker } ->
+      Obj
+        [
+          ("kind", Str "inapplicable");
+          ( "blocker",
+            match blocker with None -> Null | Some d -> json_of_depvec d );
+        ]
+  | Plan.Uni_search_failed -> Obj [ ("kind", Str "search_failed") ]
+
+let to_json_value (plan : Plan.t) : json =
+  let info = plan.loop in
+  let prov = plan.provenance in
+  let tr = plan.dep_trace in
+  Obj
+    [
+      ( "loop",
+        Obj
+          [
+            ("iter_space", Str info.iter_space);
+            ("key_var", Str info.key_var);
+            ("value_var", Str info.value_var);
+            ("ordered", Bool info.ordered);
+            ("ndims", Int info.ndims);
+            ("refs", List (List.map json_of_ref info.refs));
+            ("inherited", List (List.map (fun v -> Str v) info.inherited));
+            ( "buffered_arrays",
+              List (List.map (fun v -> Str v) info.buffered_arrays) );
+          ] );
+      ( "dependence",
+        Obj
+          [
+            ("pairs", List (List.map json_of_pair tr.pairs));
+            ( "dropped_writes",
+              List
+                (List.map
+                   (fun (name, n) ->
+                     Obj [ ("array", Str name); ("writes", Int n) ])
+                   tr.dropped_writes) );
+            ("vectors", List (List.map json_of_depvec plan.dep_vectors));
+            ( "per_array",
+              Obj
+                (List.map
+                   (fun (name, ds) -> (name, List (List.map json_of_depvec ds)))
+                   plan.per_array_deps) );
+          ] );
+      ( "decision",
+        Obj
+          [
+            ("candidates", List (List.map json_of_candidate prov.considered));
+            ( "rejected_1d",
+              List
+                (List.map
+                   (fun (dim, killer) ->
+                     Obj [ ("dim", Int dim); ("killer", json_of_depvec killer) ])
+                   prov.rejected_1d) );
+            ( "rejected_2d",
+              List
+                (List.map
+                   (fun ((i, j), killer) ->
+                     Obj
+                       [
+                         ("dims", List [ Int i; Int j ]);
+                         ("killer", json_of_depvec killer);
+                       ])
+                   prov.rejected_2d) );
+            ("unimodular", json_of_unimodular prov.unimodular);
+          ] );
+      ( "plan",
+        Obj
+          [
+            ("strategy", json_of_strategy plan.strategy);
+            ("label", Str (Plan.strategy_to_string plan.strategy));
+            ( "placements",
+              Obj
+                (List.map
+                   (fun (name, p) -> (name, Str (Plan.placement_to_string p)))
+                   plan.placements) );
+            ( "prefetch_arrays",
+              List (List.map (fun v -> Str v) plan.prefetch_arrays) );
+            ( "requires_buffers",
+              List (List.map (fun v -> Str v) plan.requires_buffers) );
+            ("estimated_comm_cost", Float plan.estimated_comm_cost);
+          ] );
+    ]
+
+let to_json plan = json_to_string (to_json_value plan)
+
+(* ------------------------------------------------------------------ *)
+(* Text report                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let pp_pair fmt (p : Depanalysis.pair_trace) =
+  Fmt.pf fmt "  %s  vs  %s@."
+    (Refs.ref_to_string p.pt_a)
+    (Refs.ref_to_string p.pt_b);
+  List.iter
+    (fun s ->
+      Fmt.pf fmt "    %s@." (Depanalysis.refine_step_to_string s))
+    p.pt_steps;
+  match p.pt_outcome with
+  | Depanalysis.Skipped reason ->
+      Fmt.pf fmt "    => skipped: %s@."
+        (Depanalysis.skip_reason_to_string reason)
+  | Depanalysis.Independent -> Fmt.pf fmt "    => independent@."
+  | Depanalysis.Self_dependence ->
+      Fmt.pf fmt "    => same-iteration only (all-zero vector, dropped)@."
+  | Depanalysis.Dependence { raw; vec; negated } ->
+      if negated then
+        Fmt.pf fmt "    => dependence %s (raw %s negated to be lex-positive)@."
+          (Depvec.to_string vec) (Depvec.to_string raw)
+      else Fmt.pf fmt "    => dependence %s@." (Depvec.to_string vec)
+
+let pp_report fmt (plan : Plan.t) =
+  let prov = plan.provenance in
+  let tr = plan.dep_trace in
+  (* the decision summary first (the Fig. 6 panel), then the evidence *)
+  Plan.explain fmt plan;
+  Fmt.pf fmt "@.Dependence provenance (Algorithm 2)@.";
+  (match tr.dropped_writes with
+  | [] -> ()
+  | l ->
+      List.iter
+        (fun (name, n) ->
+          Fmt.pf fmt "  %s: %d write reference(s) exempt (DistArray Buffer)@."
+            name n)
+        l);
+  (match tr.pairs with
+  | [] -> Fmt.pf fmt "  (no static DistArray reference pairs)@."
+  | pairs -> List.iter (pp_pair fmt) pairs);
+  Fmt.pf fmt "@.Strategy decision tree@.";
+  (match prov.rejected_1d with
+  | [] -> ()
+  | l ->
+      List.iter
+        (fun (dim, killer) ->
+          Fmt.pf fmt "  1D over dim %d rejected by %s@." dim
+            (Depvec.to_string killer))
+        l);
+  (match prov.rejected_2d with
+  | [] -> ()
+  | l ->
+      List.iter
+        (fun ((i, j), killer) ->
+          Fmt.pf fmt "  2D over dims (%d, %d) rejected by %s@." i j
+            (Depvec.to_string killer))
+        l);
+  (match prov.considered with
+  | [] -> Fmt.pf fmt "  no 1D/2D candidate survives the dependence vectors@."
+  | cands ->
+      List.iter
+        (fun (c : Plan.candidate) ->
+          Fmt.pf fmt "  candidate %s: cost %.1f%s@."
+            (Plan.strategy_to_string c.cand_strategy)
+            c.cand_cost
+            (if c.cand_chosen then "  <= chosen (min cost, earliest wins ties)"
+             else ""))
+        cands);
+  (match prov.unimodular with
+  | Plan.Uni_not_attempted -> ()
+  | Plan.Uni_applied { matrix } ->
+      Fmt.pf fmt
+        "  unimodular transform %s applied (dims sequenced along \
+         transformed time dim 0)@."
+        (Unimodular.matrix_to_string matrix)
+  | Plan.Uni_rejected_ndims { matrix } ->
+      Fmt.pf fmt
+        "  unimodular transform %s found but iteration space has < 2 dims@."
+        (Unimodular.matrix_to_string matrix)
+  | Plan.Uni_inapplicable { blocker } ->
+      Fmt.pf fmt "  unimodular transform inapplicable%s@."
+        (match blocker with
+        | Some d -> ": " ^ Depvec.to_string d ^ " contains -inf or inf"
+        | None -> "")
+  | Plan.Uni_search_failed ->
+      Fmt.pf fmt "  unimodular transform applicable but no basis found@.")
+
+let report_to_string plan = Fmt.str "%a" pp_report plan

@@ -1,0 +1,13 @@
+(** Rendering analysis provenance — the full "why" behind a {!Plan.t}:
+    per-reference-pair dependence provenance (Algorithm 2) and the
+    strategy decision tree (§4.3), as human-readable text or JSON.
+    Backs the [orion explain] subcommand. *)
+
+(** Full text report: the {!Plan.explain} panel followed by the
+    dependence provenance and the strategy decision tree. *)
+val pp_report : Format.formatter -> Plan.t -> unit
+
+val report_to_string : Plan.t -> string
+
+(** The same report as a machine-readable JSON object (single line). *)
+val to_json : Plan.t -> string

@@ -31,6 +31,38 @@ type placement =
   | Replicated  (** read-only and small: broadcast once *)
   | Server  (** random access served by server processes *)
 
+(** One costed strategy candidate considered by {!decide}. *)
+type candidate = {
+  cand_strategy : strategy;
+  cand_placements : (string * placement * float) list;
+      (** placement with its per-array communication cost *)
+  cand_cost : float;
+  cand_chosen : bool;
+}
+
+(** Why the unimodular step did or did not fire. *)
+type unimodular_outcome =
+  | Uni_not_attempted  (** a 1D/2D candidate already existed *)
+  | Uni_applied of { matrix : Unimodular.matrix }
+  | Uni_rejected_ndims of { matrix : Unimodular.matrix }
+      (** a transform exists but the space has < 2 dims, so there is no
+          separate time dimension to sequence *)
+  | Uni_inapplicable of { blocker : Depvec.t option }
+      (** some vector contains -inf or ∞ (paper §4.3 applicability) *)
+  | Uni_search_failed  (** applicable, but no skewing basis was found *)
+
+(** The strategy decision tree: every candidate considered with its
+    cost, every rejected partitioning dimension with the dependence
+    vector that killed it, and the unimodular outcome. *)
+type provenance = {
+  considered : candidate list;
+  rejected_1d : (int * Depvec.t) list;
+      (** dimension, first vector with a nonzero distance there *)
+  rejected_2d : ((int * int) * Depvec.t) list;
+      (** (i, j), first vector nonzero in both *)
+  unimodular : unimodular_outcome;
+}
+
 type t = {
   strategy : strategy;
   ordered : bool;
@@ -47,6 +79,9 @@ type t = {
   estimated_comm_cost : float;
       (** heuristic communicated-elements-per-pass estimate *)
   loop : Refs.loop_info;
+  provenance : provenance;
+  dep_trace : Depanalysis.trace;
+      (** per-reference-pair provenance from Algorithm 2 *)
 }
 
 let strategy_to_string = function
@@ -171,7 +206,7 @@ let cost_of placements =
     compiles after materialization, so sizes are known).  [iter_count]
     is the iteration-space entry count, used by the cost heuristic. *)
 let decide (info : Refs.loop_info) ~array_dims ~iter_count : t =
-  let dep = Depanalysis.analyze info in
+  let dep, dep_trace = Depanalysis.analyze_traced info in
   let dvecs = dep.all in
   let summaries = summarize_arrays info ~array_dims in
   let non_buffered_nonstatic_writes =
@@ -202,28 +237,73 @@ let decide (info : Refs.loop_info) ~array_dims ~iter_count : t =
         | Server | Local_partitioned _ | Rotated _ | Replicated -> None)
       placements
   in
-  let finish strategy placements =
-    {
-      strategy;
-      ordered = info.ordered;
-      placements = List.map (fun (n, p, _) -> (n, p)) placements;
-      dep_vectors = dvecs;
-      per_array_deps = dep.per_array;
-      prefetch_arrays = prefetch_candidates placements;
-      requires_buffers =
-        (* only the data-parallel fallback depends on buffering the
-           statically-uncapturable writes; a dependence-preserving
-           schedule already covers them conservatively *)
-        (match strategy with
-        | Data_parallel -> non_buffered_nonstatic_writes
-        | One_d _ | Two_d _ | Two_d_unimodular _ -> []);
-      estimated_comm_cost = cost_of placements;
-      loop = info;
-    }
+  let finish strategy placements ~provenance =
+    let plan =
+      {
+        strategy;
+        ordered = info.ordered;
+        placements = List.map (fun (n, p, _) -> (n, p)) placements;
+        dep_vectors = dvecs;
+        per_array_deps = dep.per_array;
+        prefetch_arrays = prefetch_candidates placements;
+        requires_buffers =
+          (* only the data-parallel fallback depends on buffering the
+             statically-uncapturable writes; a dependence-preserving
+             schedule already covers them conservatively *)
+          (match strategy with
+          | Data_parallel -> non_buffered_nonstatic_writes
+          | One_d _ | Two_d _ | Two_d_unimodular _ -> []);
+        estimated_comm_cost = cost_of placements;
+        loop = info;
+        provenance;
+        dep_trace;
+      }
+    in
+    Log.info ~src:"plan"
+      ~kv:
+        [
+          ("loop", info.iter_space);
+          ("strategy", strategy_to_string strategy);
+          ("cost", Log.float plan.estimated_comm_cost);
+          ("candidates", Log.int (List.length provenance.considered));
+          ("vectors", Log.int (List.length dvecs));
+        ]
+      "strategy selected";
+    plan
   in
   let ndims = info.ndims in
   let one_d_candidates = Depvec.candidate_1d_dims ~ndims dvecs in
   let two_d_candidates = Depvec.candidate_2d_pairs ~ndims dvecs in
+  (* the decision tree: which dimensions were ruled out, and by which
+     dependence vector *)
+  let rejected_1d =
+    List.filter_map
+      (fun dim ->
+        if List.mem dim one_d_candidates then None
+        else
+          List.find_opt
+            (fun (d : Depvec.t) -> not (Depvec.is_zero_elt d.(dim)))
+            dvecs
+          |> Option.map (fun killer -> (dim, killer)))
+      (List.init ndims Fun.id)
+  in
+  let rejected_2d =
+    let dims = List.init ndims Fun.id in
+    List.concat_map
+      (fun i ->
+        List.filter_map
+          (fun j ->
+            if i >= j || List.mem (i, j) two_d_candidates then None
+            else
+              List.find_opt
+                (fun (d : Depvec.t) ->
+                  (not (Depvec.is_zero_elt d.(i)))
+                  && not (Depvec.is_zero_elt d.(j)))
+                dvecs
+              |> Option.map (fun killer -> ((i, j), killer)))
+          dims)
+      dims
+  in
   let candidates =
     List.map
       (fun dim ->
@@ -244,15 +324,30 @@ let decide (info : Refs.loop_info) ~array_dims ~iter_count : t =
             [ (i, j); (j, i) ])
         two_d_candidates
   in
+  let considered ~chosen_idx =
+    List.mapi
+      (fun i (s, pl) ->
+        {
+          cand_strategy = s;
+          cand_placements = pl;
+          cand_cost = cost_of pl;
+          cand_chosen = i = chosen_idx;
+        })
+      candidates
+  in
+  let provenance ~chosen_idx ~unimodular =
+    { considered = considered ~chosen_idx; rejected_1d; rejected_2d; unimodular }
+  in
   match candidates with
   | [] -> (
+      let placements =
+        (* after a unimodular transform (or in the data-parallel
+           fallback), alignment with original array dimensions is lost:
+           arrays are served or replicated *)
+        placements_for ~space_dim:(-1) ~time_dim:None ~iter_count summaries
+      in
       match Unimodular.find_transform ~ndims dvecs with
       | Some matrix when ndims >= 2 ->
-          let placements =
-            (* after a unimodular transform, alignment with original
-               array dimensions is lost: arrays are served or replicated *)
-            placements_for ~space_dim:(-1) ~time_dim:None ~iter_count summaries
-          in
           finish
             (Two_d_unimodular
                {
@@ -262,25 +357,49 @@ let decide (info : Refs.loop_info) ~array_dims ~iter_count : t =
                  space_dim = 1;
                })
             placements
-      | Some _ | None ->
-          let placements =
-            placements_for ~space_dim:(-1) ~time_dim:None ~iter_count summaries
+            ~provenance:
+              (provenance ~chosen_idx:(-1)
+                 ~unimodular:(Uni_applied { matrix }))
+      | Some matrix ->
+          finish Data_parallel placements
+            ~provenance:
+              (provenance ~chosen_idx:(-1)
+                 ~unimodular:(Uni_rejected_ndims { matrix }))
+      | None ->
+          let unimodular =
+            if Depvec.unimodular_applicable dvecs then Uni_search_failed
+            else
+              Uni_inapplicable
+                {
+                  blocker =
+                    List.find_opt
+                      (fun (d : Depvec.t) ->
+                        Array.exists
+                          (function
+                            | Depvec.Neg_inf | Depvec.Any -> true
+                            | Depvec.Fin _ | Depvec.Pos_inf -> false)
+                          d)
+                      dvecs;
+                }
           in
-          finish Data_parallel placements)
-  | _ :: _ ->
+          finish Data_parallel placements
+            ~provenance:(provenance ~chosen_idx:(-1) ~unimodular))
+  | first :: rest ->
       let best =
         List.fold_left
-          (fun (best_s, best_pl, best_cost) (s, pl) ->
+          (fun (best_i, best_s, best_pl, best_cost) (i, (s, pl)) ->
             let c = cost_of pl in
             (* strict < keeps the earliest candidate on ties; 1D
                candidates precede 2D ones, and fewer syncs win ties *)
-            if c < best_cost then (s, pl, c) else (best_s, best_pl, best_cost))
-          (let s, pl = List.hd candidates in
-           (s, pl, cost_of pl))
-          (List.tl candidates)
+            if c < best_cost then (i, s, pl, c)
+            else (best_i, best_s, best_pl, best_cost))
+          (let s, pl = first in
+           (0, s, pl, cost_of pl))
+          (List.mapi (fun i c -> (i + 1, c)) rest)
       in
-      let s, pl, _ = best in
+      let chosen_idx, s, pl, _ = best in
       finish s pl
+        ~provenance:(provenance ~chosen_idx ~unimodular:Uni_not_attempted)
 
 (* ------------------------------------------------------------------ *)
 (* Human-readable explanation (the paper's Fig. 6 panel)               *)

@@ -22,6 +22,36 @@ type placement =
   | Replicated  (** read-only: broadcast once *)
   | Server  (** random access served by server processes *)
 
+(** One costed strategy candidate considered by {!decide}. *)
+type candidate = {
+  cand_strategy : strategy;
+  cand_placements : (string * placement * float) list;
+      (** placement with its per-array communication cost *)
+  cand_cost : float;
+  cand_chosen : bool;
+}
+
+(** Why the unimodular step did or did not fire. *)
+type unimodular_outcome =
+  | Uni_not_attempted  (** a 1D/2D candidate already existed *)
+  | Uni_applied of { matrix : Unimodular.matrix }
+  | Uni_rejected_ndims of { matrix : Unimodular.matrix }
+      (** a transform exists but the space has < 2 dims *)
+  | Uni_inapplicable of { blocker : Depvec.t option }
+      (** some vector contains -inf or ∞ (paper §4.3 applicability) *)
+  | Uni_search_failed  (** applicable, but no skewing basis was found *)
+
+(** The strategy decision tree recorded by {!decide}: every candidate
+    considered with its cost, every rejected partitioning dimension
+    with the dependence vector that killed it, and the unimodular
+    outcome. *)
+type provenance = {
+  considered : candidate list;
+  rejected_1d : (int * Depvec.t) list;
+  rejected_2d : ((int * int) * Depvec.t) list;
+  unimodular : unimodular_outcome;
+}
+
 type t = {
   strategy : strategy;
   ordered : bool;
@@ -36,6 +66,9 @@ type t = {
           uncapturable writes must be buffered *)
   estimated_comm_cost : float;
   loop : Refs.loop_info;
+  provenance : provenance;
+  dep_trace : Depanalysis.trace;
+      (** per-reference-pair provenance from Algorithm 2 *)
 }
 
 val strategy_to_string : strategy -> string

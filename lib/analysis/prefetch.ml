@@ -77,10 +77,11 @@ let synthesize ~dist_vars ~targets body : Ast.block * stats =
           stats.recorded <- stats.recorded + 1;
           inner
           @ [
-              Ast.Expr_stmt
-                (Ast.Call
-                   ( record_fn,
-                     Ast.String_lit d :: List.map sub_to_marker_expr subs ));
+              Ast.mk
+                (Ast.Expr_stmt
+                   (Ast.Call
+                      ( record_fn,
+                        Ast.String_lit d :: List.map sub_to_marker_expr subs )));
             ])
     | Ast.Index (base, subs) ->
         records_of_expr base @ List.concat_map records_of_sub subs
@@ -107,7 +108,8 @@ let synthesize ~dist_vars ~targets body : Ast.block * stats =
   in
   let rec transform_block block = List.concat_map transform_stmt block
   and transform_stmt stmt : Ast.stmt list =
-    match stmt with
+    let pos = stmt.Ast.spos in
+    match stmt.Ast.sk with
     | Ast.Assign (lhs, e) -> (
         let recs = records_of_lhs lhs @ records_of_expr e in
         match lhs with
@@ -121,7 +123,7 @@ let synthesize ~dist_vars ~targets body : Ast.block * stats =
         match lhs with
         | Ast.Lvar v
           when (not (List.mem v tainted)) && not (tainted_e e) ->
-            recs @ [ Ast.Op_assign (op, lhs, e) ]
+            recs @ [ Ast.mk ~pos (Ast.Op_assign (op, lhs, e)) ]
         | Ast.Lvar _ | Ast.Lindex _ -> recs)
     | Ast.If (cond, then_b, else_b) ->
         let then_t = transform_block then_b in
@@ -132,7 +134,7 @@ let synthesize ~dist_vars ~targets body : Ast.block * stats =
              values are harmless) *)
           records_of_expr cond @ then_t @ else_t
         else if then_t = [] && else_t = [] then []
-        else [ Ast.If (cond, then_t, else_t) ]
+        else [ Ast.mk ~pos (Ast.If (cond, then_t, else_t)) ]
     | Ast.While (cond, body) ->
         let body_t = transform_block body in
         if tainted_e cond then
@@ -140,18 +142,19 @@ let synthesize ~dist_vars ~targets body : Ast.block * stats =
              fetches for reads inside (under-prefetching is safe) *)
           []
         else if body_t = [] then []
-        else [ Ast.While (cond, body_t) ]
+        else [ Ast.mk ~pos (Ast.While (cond, body_t)) ]
     | Ast.For { kind = Ast.Range_loop { var; lo; hi }; body; _ } ->
         let body_t = transform_block body in
         if tainted_e lo || tainted_e hi || body_t = [] then []
         else
           [
-            Ast.For
-              {
-                kind = Ast.Range_loop { var; lo; hi };
-                body = body_t;
-                parallel = None;
-              };
+            Ast.mk ~pos
+              (Ast.For
+                 {
+                   kind = Ast.Range_loop { var; lo; hi };
+                   body = body_t;
+                   parallel = None;
+                 });
           ]
     | Ast.For { kind = Ast.Each_loop _; _ } ->
         (* iterating a DistArray inside the body requires its data *)

@@ -82,7 +82,7 @@ let compute_tainted ~dist_vars ~seeds body =
             changed := true)
       | Ast.Lindex _ -> ()
     in
-    match stmt with
+    match stmt.Ast.sk with
     | Ast.Assign (lhs, e) ->
         if ctrl_tainted || expr_tainted e then taint_lhs lhs
     | Ast.Op_assign (_, lhs, e) ->
@@ -182,7 +182,8 @@ let collect_refs ~dist_vars ~(ctx : Subscript.ctx) body =
         List.iter scan_sub subs
   in
   let rec scan_block block = List.iter scan_stmt block
-  and scan_stmt = function
+  and scan_stmt stmt =
+    match stmt.Ast.sk with
     | Ast.Assign (lhs, e) ->
         scan_lhs ~also_read:false lhs;
         scan_expr e
@@ -218,7 +219,7 @@ let inherited_vars ~dist_vars ~key_var ~value_var body =
     Ast.fold_stmts
       (fun acc stmt ->
         let exprs =
-          match stmt with
+          match stmt.Ast.sk with
           | Ast.Assign (lhs, e) | Ast.Op_assign (_, lhs, e) ->
               let lhs_vars =
                 match lhs with
@@ -263,7 +264,7 @@ exception Not_a_parallel_loop of string
     dimensionality of the iteration-space DistArray (known at JIT time
     because the DistArray has been materialized). *)
 let analyze_loop ~dist_vars ~buffered_arrays ~iter_space_ndims stmt =
-  match stmt with
+  match stmt.Ast.sk with
   | Ast.For { kind = Ast.Each_loop { key; value; arr }; body; parallel } ->
       let ordered =
         match parallel with
@@ -295,7 +296,7 @@ let analyze_loop ~dist_vars ~buffered_arrays ~iter_space_ndims stmt =
 let find_parallel_loops program =
   Ast.fold_stmts
     (fun acc stmt ->
-      match stmt with
+      match stmt.Ast.sk with
       | Ast.For { parallel = Some _; _ } -> stmt :: acc
       | _ -> acc)
     [] program

@@ -72,7 +72,7 @@ let train ?(config = default_config) ~(data : Sparse_features.t) () =
   (* synthesize the prefetch program from the loop body *)
   let loop_body, key_var, value_var =
     match Orion.Refs.find_parallel_loops (Orion.Parser.parse_program Slr.script) with
-    | Orion.Ast.For { kind = Each_loop { key; value; _ }; body; _ } :: _ ->
+    | { Orion.Ast.sk = Orion.Ast.For { kind = Each_loop { key; value; _ }; body; _ }; _ } :: _ ->
         (body, key, value)
     | _ -> failwith "SLR loop not found"
   in

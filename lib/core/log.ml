@@ -1,0 +1,88 @@
+(** Structured event log for the Orion libraries.
+
+    Leveled (debug < info < warn) key-value logging in logfmt style:
+
+    {v orion level=info src=plan msg="strategy selected" strategy=2D v}
+
+    Logging is off by default.  It is switched on by the [ORION_LOG]
+    environment variable ([debug], [info] or [warn]) read at program
+    start, or programmatically via {!set_level} (the CLI's [--log]
+    flag).  Events below the enabled level are dropped before their
+    key-value lists are formatted, so disabled call sites cost one
+    branch. *)
+
+type level = Debug | Info | Warn
+
+let level_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+
+let level_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" | "warning" -> Some Warn
+  | _ -> None
+
+let rank = function Debug -> 0 | Info -> 1 | Warn -> 2
+
+(* [None] = logging disabled *)
+let threshold : level option ref = ref None
+
+let set_level l = threshold := l
+let current_level () = !threshold
+
+let init_from_env () =
+  match Sys.getenv_opt "ORION_LOG" with
+  | None -> ()
+  | Some s -> (
+      match level_of_string s with
+      | Some _ as l -> threshold := l
+      | None ->
+          if String.trim s <> "" then
+            Printf.eprintf
+              "orion: ignoring ORION_LOG=%S (expected debug|info|warn)\n%!" s)
+
+let () = init_from_env ()
+
+let enabled l =
+  match !threshold with None -> false | Some t -> rank l >= rank t
+
+(* Output goes through a formatter so tests can capture it. *)
+let out = ref Format.err_formatter
+let set_formatter fmt = out := fmt
+
+(* logfmt-style value: bare if it looks like a token, quoted otherwise *)
+let needs_quoting s =
+  s = ""
+  || String.exists
+       (fun c ->
+         not
+           ((c >= 'a' && c <= 'z')
+           || (c >= 'A' && c <= 'Z')
+           || (c >= '0' && c <= '9')
+           || c = '_' || c = '-' || c = '.' || c = '+' || c = ':' || c = ','
+           || c = '(' || c = ')' || c = '/'))
+       s
+
+let pp_value fmt s =
+  if needs_quoting s then Format.fprintf fmt "%S" s
+  else Format.pp_print_string fmt s
+
+let log level ~src ?(kv = []) msg =
+  if enabled level then (
+    let fmt = !out in
+    Format.fprintf fmt "orion level=%s src=%s msg=%a"
+      (level_to_string level) src pp_value msg;
+    List.iter (fun (k, v) -> Format.fprintf fmt " %s=%a" k pp_value v) kv;
+    Format.fprintf fmt "@.")
+
+let debug ~src ?kv msg = log Debug ~src ?kv msg
+let info ~src ?kv msg = log Info ~src ?kv msg
+let warn ~src ?kv msg = log Warn ~src ?kv msg
+
+(* Convenience value formatters for key-value pairs. *)
+let int = string_of_int
+let float f = Printf.sprintf "%g" f
+let bool = string_of_bool

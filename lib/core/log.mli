@@ -1,0 +1,44 @@
+(** Structured event log for the Orion libraries.
+
+    Leveled (debug < info < warn) key-value logging in logfmt style,
+    written to [stderr] by default:
+
+    {v orion level=info src=plan msg="strategy selected" strategy=2D v}
+
+    Logging is disabled until a level is enabled via the [ORION_LOG]
+    environment variable (read once at program start) or {!set_level}.
+    Disabled call sites cost a single branch. *)
+
+type level = Debug | Info | Warn
+
+val level_to_string : level -> string
+
+(** Parses ["debug"], ["info"], ["warn"]/["warning"] (any case). *)
+val level_of_string : string -> level option
+
+(** Enable events at [l] and above; [None] disables logging. *)
+val set_level : level option -> unit
+
+val current_level : unit -> level option
+
+(** Re-read [ORION_LOG] (done automatically at module init). *)
+val init_from_env : unit -> unit
+
+(** [enabled l] is true when an event at level [l] would be emitted —
+    use to guard expensive key-value construction. *)
+val enabled : level -> bool
+
+(** Redirect output (default [Format.err_formatter]); used by tests. *)
+val set_formatter : Format.formatter -> unit
+
+val debug : src:string -> ?kv:(string * string) list -> string -> unit
+val info : src:string -> ?kv:(string * string) list -> string -> unit
+val warn : src:string -> ?kv:(string * string) list -> string -> unit
+
+(** Value formatters for key-value pairs. *)
+
+val int : int -> string
+
+val float : float -> string
+
+val bool : bool -> string

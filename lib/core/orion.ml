@@ -41,6 +41,9 @@ module Accumulator = Orion_dsm.Accumulator
 module Param_server = Orion_dsm.Param_server
 module Schedule = Orion_runtime.Schedule
 module Executor = Orion_runtime.Executor
+module Explain = Orion_analysis.Explain
+module Profile = Orion_lang.Profile
+module Log = Log
 
 (* ------------------------------------------------------------------ *)
 (* Session and registry                                                *)
@@ -276,7 +279,7 @@ let analyze_loop session (stmt : Ast.stmt) : Plan.t =
   | Some plan -> plan
   | None ->
       let iter_name =
-        match stmt with
+        match stmt.Ast.sk with
         | Ast.For { kind = Ast.Each_loop { arr; _ }; _ } -> arr
         | _ -> raise (Analysis_error "not a parallel for-loop")
       in
@@ -377,11 +380,12 @@ let host_builtins session env_ref name (args : Value.t list) =
     interpreter; [@parallel_for] loops are analyzed (once), compiled
     to a schedule, and executed on the simulated cluster.  Returns the
     final environment and the per-loop-execution statistics. *)
-let run_script session ?(seed = 42) src =
+let run_script session ?(seed = 42) ?profile src =
   let program = Parser.parse_program src in
   let env_ref = ref None in
   let env =
-    Interp.create_env ~seed ~host_call:(host_builtins session env_ref) ()
+    Interp.create_env ~seed ~host_call:(host_builtins session env_ref) ?profile
+      ()
   in
   env_ref := Some env;
   (* bind registered DistArrays *)
@@ -395,7 +399,7 @@ let run_script session ?(seed = 42) src =
   env.Interp.on_parallel_for <-
     Some
       (fun env stmt ->
-        match stmt with
+        match stmt.Ast.sk with
         | Ast.For { kind = Ast.Each_loop { key; value; arr }; body; _ } ->
             let plan = analyze_loop session stmt in
             let reg =

@@ -38,6 +38,9 @@ module Accumulator = Orion_dsm.Accumulator
 module Param_server = Orion_dsm.Param_server
 module Schedule = Orion_runtime.Schedule
 module Executor = Orion_runtime.Executor
+module Explain = Orion_analysis.Explain
+module Profile = Orion_lang.Profile
+module Log = Log
 
 (** {1 Sessions} *)
 
@@ -159,7 +162,11 @@ val execute :
     markers.  Returns the final environment and per-loop-execution
     statistics. *)
 val run_script :
-  session -> ?seed:int -> string -> Interp.env * Executor.pass_stats list
+  session ->
+  ?seed:int ->
+  ?profile:Profile.t ->
+  string ->
+  Interp.env * Executor.pass_stats list
 
 (** {1 Prefetch execution} *)
 

@@ -58,7 +58,17 @@ type loop_kind =
 type parallel_spec = { ordered : bool }
 [@@deriving show { with_path = false }, eq]
 
-type stmt =
+(** Source position of a statement (1-based; [dummy_pos] for synthesized
+    code).  Positions are metadata: AST equality ignores them, so a
+    pretty-printed program re-parses to an [equal] AST. *)
+type pos = { line : int; col : int } [@@deriving show { with_path = false }]
+
+let equal_pos (_ : pos) (_ : pos) = true
+let dummy_pos = { line = 0; col = 0 }
+
+type stmt = { sk : stmt_kind; spos : pos }
+
+and stmt_kind =
   | Assign of lvalue * expr
   | Op_assign of binop * lvalue * expr  (** [+=], [-=], [*=], [/=] *)
   | If of expr * block * block
@@ -69,6 +79,10 @@ type stmt =
   | Continue
 
 and block = stmt list [@@deriving show { with_path = false }, eq]
+
+(** Wrap a statement kind with a source position (synthesized code omits
+    [?pos] and gets [dummy_pos]). *)
+let mk ?(pos = dummy_pos) sk = { sk; spos = pos }
 
 type program = block [@@deriving show { with_path = false }, eq]
 
@@ -105,7 +119,7 @@ let rec fold_stmts f acc block = List.fold_left (fold_stmt f) acc block
 
 and fold_stmt f acc stmt =
   let acc = f acc stmt in
-  match stmt with
+  match stmt.sk with
   | Assign _ | Op_assign _ | Expr_stmt _ | Break | Continue -> acc
   | If (_, then_b, else_b) -> fold_stmts f (fold_stmts f acc then_b) else_b
   | For { body; _ } -> fold_stmts f acc body
@@ -115,7 +129,7 @@ and fold_stmt f acc stmt =
 let assigned_names block =
   fold_stmts
     (fun acc stmt ->
-      match stmt with
+      match stmt.sk with
       | Assign (Lvar v, _) | Op_assign (_, Lvar v, _) -> v :: acc
       | Assign (Lindex (v, _), _) | Op_assign (_, Lindex (v, _), _) ->
           v :: acc

@@ -16,15 +16,21 @@ open Ast
 
 type severity = Error | Warning
 
-type diagnostic = { severity : severity; message : string }
+type diagnostic = { severity : severity; pos : Ast.pos option; message : string }
 
-let errorf fmt = Printf.ksprintf (fun message -> { severity = Error; message }) fmt
-let warnf fmt = Printf.ksprintf (fun message -> { severity = Warning; message }) fmt
+let errorf fmt =
+  Printf.ksprintf (fun message -> { severity = Error; pos = None; message }) fmt
+
+let warnf fmt =
+  Printf.ksprintf (fun message -> { severity = Warning; pos = None; message }) fmt
 
 let errors diags = List.filter (fun d -> d.severity = Error) diags
 
 let diagnostic_to_string d =
-  (match d.severity with Error -> "error: " | Warning -> "warning: ")
+  (match d.pos with
+  | Some p when p.Ast.line > 0 -> Printf.sprintf "%d:%d: " p.Ast.line p.Ast.col
+  | Some _ | None -> "")
+  ^ (match d.severity with Error -> "error: " | Warning -> "warning: ")
   ^ d.message
 
 (* arities of the built-ins the interpreter provides; [None] in the
@@ -76,7 +82,10 @@ let join_envs (a : defined Env.t) (b : defined Env.t) =
     DistArrays, CLI bindings, ...). *)
 let check_program ?(globals = []) (program : block) : diagnostic list =
   let diags = ref [] in
-  let add d = diags := d :: !diags in
+  (* position of the statement currently being checked; diagnostics
+     raised while inside it are attributed to its line:col *)
+  let cur_pos = ref None in
+  let add d = diags := { d with pos = !cur_pos } :: !diags in
   let seen_undefined = Hashtbl.create 16 in
   let report_use env v =
     match Env.find_opt v env with
@@ -122,7 +131,8 @@ let check_program ?(globals = []) (program : block) : diagnostic list =
   in
   (* returns the environment after the statement *)
   let rec check_stmt ~in_loop ~parallel_keys env stmt =
-    match stmt with
+    cur_pos := (if stmt.spos.line > 0 then Some stmt.spos else None);
+    match stmt.sk with
     | Assign (lhs, e) ->
         check_expr env e;
         check_lhs ~parallel_keys env lhs
@@ -177,7 +187,7 @@ let check_program ?(globals = []) (program : block) : diagnostic list =
         if not in_loop then
           add
             (errorf "%s outside of a loop"
-               (match stmt with Break -> "break" | _ -> "continue"));
+               (match stmt.sk with Break -> "break" | _ -> "continue"));
         env
   and check_lhs ~parallel_keys env lhs =
     match lhs with

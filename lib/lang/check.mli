@@ -4,8 +4,16 @@
 
 type severity = Error | Warning
 
-type diagnostic = { severity : severity; message : string }
+type diagnostic = {
+  severity : severity;
+  pos : Ast.pos option;
+      (** statement the diagnostic is attributed to; [None] for
+          synthesized code with no source position *)
+  message : string;
+}
 
+(** ["LINE:COL: severity: message"] ([LINE:COL:] omitted without a
+    position). *)
 val diagnostic_to_string : diagnostic -> string
 
 (** The subset of [diags] that are errors. *)

@@ -52,14 +52,18 @@ type env = {
   mutable on_parallel_for : (env -> Ast.stmt -> unit) option;
       (** when set, @parallel_for statements are routed here (the
           distributed runtime) instead of executing serially *)
+  mutable profile : Profile.t option;
+      (** when set, statement execution and DistArray accesses are
+          recorded (see {!Profile}) *)
 }
 
-let create_env ?(seed = 42) ?(host_call = fun _ _ -> None) () =
+let create_env ?(seed = 42) ?(host_call = fun _ _ -> None) ?profile () =
   {
     vars = Hashtbl.create 64;
     rng = Rng.create seed;
     host_call;
     on_parallel_for = None;
+    profile;
   }
 
 let set_var env name v = Hashtbl.replace env.vars name v
@@ -258,6 +262,9 @@ and eval_expr env e =
   | Index (base, subs) -> (
       match eval_expr env base with
       | Vextern ex ->
+          (match env.profile with
+          | Some p -> Profile.record_array_read p ex.ex_name
+          | None -> ());
           let csubs = Array.of_list (List.map (eval_concrete_sub env) subs) in
           ex.ex_get csubs
       | Vvec v -> (
@@ -289,6 +296,9 @@ let assign_lvalue env lhs v =
   | Lindex (name, subs) -> (
       match get_var env name with
       | Vextern ex ->
+          (match env.profile with
+          | Some p -> Profile.record_array_write p ex.ex_name
+          | None -> ());
           let csubs = Array.of_list (List.map (eval_concrete_sub env) subs) in
           ex.ex_set csubs v
       | Vvec arr -> (
@@ -316,7 +326,19 @@ let read_lvalue env = function
   | Lindex (name, subs) -> eval_expr env (Index (Var name, subs))
 
 let rec exec_stmt env stmt =
-  match stmt with
+  match env.profile with
+  | None -> exec_stmt_kind env stmt
+  | Some p ->
+      (* [Fun.protect] so break/continue exceptions still record *)
+      let t0 = Unix.gettimeofday () in
+      Fun.protect
+        ~finally:(fun () ->
+          Profile.record_line p ~line:stmt.spos.line
+            ~seconds:(Unix.gettimeofday () -. t0))
+        (fun () -> exec_stmt_kind env stmt)
+
+and exec_stmt_kind env stmt =
+  match stmt.sk with
   | Assign (lhs, e) -> assign_lvalue env lhs (eval_expr env e)
   | Op_assign (op, lhs, e) ->
       let cur = read_lvalue env lhs in
@@ -358,6 +380,9 @@ and exec_loop env kind body =
       | Vextern ex -> (
           try
             ex.ex_iter (fun idx v ->
+                (match env.profile with
+                | Some p -> Profile.record_array_read p ex.ex_name
+                | None -> ());
                 set_var env key (Vindex idx);
                 set_var env value v;
                 try exec_block env body with Continue_exc -> ())

@@ -23,10 +23,17 @@ type env = {
   mutable on_parallel_for : (env -> Ast.stmt -> unit) option;
       (** when set, [@parallel_for] statements are routed here (the
           distributed runtime) instead of executing serially *)
+  mutable profile : Profile.t option;
+      (** when set, statement execution times (by source line) and
+          DistArray element accesses are recorded *)
 }
 
 val create_env :
-  ?seed:int -> ?host_call:(string -> Value.t list -> Value.t option) -> unit -> env
+  ?seed:int ->
+  ?host_call:(string -> Value.t list -> Value.t option) ->
+  ?profile:Profile.t ->
+  unit ->
+  env
 
 val set_var : env -> string -> Value.t -> unit
 

@@ -198,6 +198,12 @@ let lvalue_of_expr st = function
   | Index (Var v, subs) -> Lindex (v, subs)
   | _ -> error st "left-hand side of assignment must be a variable or index"
 
+(* Source position of the next token, as the [Ast.pos] to stamp on the
+   statement that starts there. *)
+let here st =
+  let p = (peek st).Lexer.pos in
+  { Ast.line = p.Lexer.line; col = p.Lexer.col }
+
 let rec parse_block st ~stop =
   skip_newlines st;
   let rec loop acc =
@@ -214,15 +220,16 @@ let rec parse_block st ~stop =
   loop []
 
 and parse_stmt st =
+  let pos = here st in
   match peek_tok st with
-  | Lexer.KW_IF -> parse_if st
+  | Lexer.KW_IF -> parse_if st ~pos
   | Lexer.KW_WHILE ->
       advance st;
       let cond = parse_expr st in
       let body = parse_block st ~stop:[ Lexer.KW_END ] in
       expect st Lexer.KW_END;
-      While (cond, body)
-  | Lexer.KW_FOR -> parse_for st ~parallel:None
+      mk ~pos (While (cond, body))
+  | Lexer.KW_FOR -> parse_for st ~pos ~parallel:None
   | Lexer.KW_PARALLEL_FOR ->
       advance st;
       let ordered =
@@ -233,35 +240,35 @@ and parse_stmt st =
       in
       if peek_tok st <> Lexer.KW_FOR then
         error st "expected 'for' after @parallel_for"
-      else parse_for st ~parallel:(Some { ordered })
+      else parse_for st ~pos ~parallel:(Some { ordered })
   | Lexer.KW_BREAK ->
       advance st;
-      Break
+      mk ~pos Break
   | Lexer.KW_CONTINUE ->
       advance st;
-      Continue
+      mk ~pos Continue
   | _ -> (
       let e = parse_expr st in
       match peek_tok st with
       | Lexer.EQ ->
           advance st;
           skip_newlines st;
-          Assign (lvalue_of_expr st e, parse_expr st)
+          mk ~pos (Assign (lvalue_of_expr st e, parse_expr st))
       | Lexer.PLUS_EQ ->
           advance st;
-          Op_assign (Add, lvalue_of_expr st e, parse_expr st)
+          mk ~pos (Op_assign (Add, lvalue_of_expr st e, parse_expr st))
       | Lexer.MINUS_EQ ->
           advance st;
-          Op_assign (Sub, lvalue_of_expr st e, parse_expr st)
+          mk ~pos (Op_assign (Sub, lvalue_of_expr st e, parse_expr st))
       | Lexer.STAR_EQ ->
           advance st;
-          Op_assign (Mul, lvalue_of_expr st e, parse_expr st)
+          mk ~pos (Op_assign (Mul, lvalue_of_expr st e, parse_expr st))
       | Lexer.SLASH_EQ ->
           advance st;
-          Op_assign (Div, lvalue_of_expr st e, parse_expr st)
-      | _ -> Expr_stmt e)
+          mk ~pos (Op_assign (Div, lvalue_of_expr st e, parse_expr st))
+      | _ -> mk ~pos (Expr_stmt e))
 
-and parse_if st =
+and parse_if st ~pos =
   (* [if] and [elseif] share the same structure, so [elseif] re-enters
      here as a nested If in the else branch. *)
   advance st;
@@ -272,21 +279,21 @@ and parse_if st =
   match peek_tok st with
   | Lexer.KW_END ->
       advance st;
-      If (cond, then_b, [])
+      mk ~pos (If (cond, then_b, []))
   | Lexer.KW_ELSE ->
       advance st;
       let else_b = parse_block st ~stop:[ Lexer.KW_END ] in
       expect st Lexer.KW_END;
-      If (cond, then_b, else_b)
+      mk ~pos (If (cond, then_b, else_b))
   | Lexer.KW_ELSEIF ->
-      let nested = parse_if_as_elseif st in
-      If (cond, then_b, [ nested ])
+      let nested = parse_if_as_elseif st ~pos:(here st) in
+      mk ~pos (If (cond, then_b, [ nested ]))
   | other ->
       error st
         (Printf.sprintf "expected end/else/elseif, found %s"
            (Lexer.token_name other))
 
-and parse_if_as_elseif st =
+and parse_if_as_elseif st ~pos =
   (* Current token is ELSEIF; treat it exactly like IF.  The chain
      shares the final single [end]. *)
   advance st;
@@ -297,21 +304,21 @@ and parse_if_as_elseif st =
   match peek_tok st with
   | Lexer.KW_END ->
       advance st;
-      If (cond, then_b, [])
+      mk ~pos (If (cond, then_b, []))
   | Lexer.KW_ELSE ->
       advance st;
       let else_b = parse_block st ~stop:[ Lexer.KW_END ] in
       expect st Lexer.KW_END;
-      If (cond, then_b, else_b)
+      mk ~pos (If (cond, then_b, else_b))
   | Lexer.KW_ELSEIF ->
-      let nested = parse_if_as_elseif st in
-      If (cond, then_b, [ nested ])
+      let nested = parse_if_as_elseif st ~pos:(here st) in
+      mk ~pos (If (cond, then_b, [ nested ]))
   | other ->
       error st
         (Printf.sprintf "expected end/else/elseif, found %s"
            (Lexer.token_name other))
 
-and parse_for st ~parallel =
+and parse_for st ~pos ~parallel =
   expect st Lexer.KW_FOR;
   let kind =
     match (peek_tok st, peek2_tok st) with
@@ -354,7 +361,7 @@ and parse_for st ~parallel =
   in
   let body = parse_block st ~stop:[ Lexer.KW_END ] in
   expect st Lexer.KW_END;
-  For { kind; body; parallel }
+  mk ~pos (For { kind; body; parallel })
 
 (** Parse a whole program.  Raises {!Parse_error} or {!Lexer.Lex_error}. *)
 let parse_program src =

@@ -82,7 +82,7 @@ let pp_lvalue fmt = function
 
 let rec pp_stmt ~indent fmt stmt =
   let pad = String.make indent ' ' in
-  match stmt with
+  match stmt.sk with
   | Assign (lhs, e) -> Fmt.pf fmt "%s%a = %a" pad pp_lvalue lhs (pp_expr ~prec:0) e
   | Op_assign (op, lhs, e) ->
       Fmt.pf fmt "%s%a %s= %a" pad pp_lvalue lhs (binop_str op) (pp_expr ~prec:0) e

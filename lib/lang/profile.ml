@@ -1,0 +1,113 @@
+(** OrionScript profiler: per-source-line hit counts and cumulative
+    wall time, plus per-DistArray element read/write counters.
+
+    The interpreter records into a [t] installed in its environment
+    (see {!Interp.env}); attribution is by the source line stamped on
+    each statement by the parser ({!Ast.pos}).  Line times are
+    *inclusive*: a loop header accumulates the time of its whole body,
+    like a sampling profiler's "total" column. *)
+
+type line_stat = { mutable hits : int; mutable seconds : float }
+type array_stat = { mutable reads : int; mutable writes : int }
+
+type t = {
+  lines : (int, line_stat) Hashtbl.t;
+  arrays : (string, array_stat) Hashtbl.t;
+}
+
+let create () = { lines = Hashtbl.create 64; arrays = Hashtbl.create 16 }
+
+let reset t =
+  Hashtbl.reset t.lines;
+  Hashtbl.reset t.arrays
+
+let line_stat t line =
+  match Hashtbl.find_opt t.lines line with
+  | Some s -> s
+  | None ->
+      let s = { hits = 0; seconds = 0.0 } in
+      Hashtbl.add t.lines line s;
+      s
+
+let array_stat t name =
+  match Hashtbl.find_opt t.arrays name with
+  | Some s -> s
+  | None ->
+      let s = { reads = 0; writes = 0 } in
+      Hashtbl.add t.arrays name s;
+      s
+
+let record_line t ~line ~seconds =
+  let s = line_stat t line in
+  s.hits <- s.hits + 1;
+  s.seconds <- s.seconds +. seconds
+
+let record_array_read t name =
+  let s = array_stat t name in
+  s.reads <- s.reads + 1
+
+let record_array_write t name =
+  let s = array_stat t name in
+  s.writes <- s.writes + 1
+
+let line_stats t =
+  Hashtbl.fold (fun line s acc -> (line, s.hits, s.seconds) :: acc) t.lines []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+
+let hot_lines t =
+  Hashtbl.fold (fun line s acc -> (line, s.hits, s.seconds) :: acc) t.lines []
+  |> List.sort (fun (la, ha, sa) (lb, hb, sb) ->
+         (* hottest first; ties by hits, then line for determinism *)
+         match compare sb sa with
+         | 0 -> ( match compare hb ha with 0 -> compare la lb | c -> c)
+         | c -> c)
+
+let array_stats t =
+  Hashtbl.fold (fun name s acc -> (name, s.reads, s.writes) :: acc) t.arrays []
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
+let total_seconds t =
+  Hashtbl.fold (fun _ s acc -> acc +. s.seconds) t.lines 0.0
+
+let report ?src ?(limit = 20) t =
+  let buf = Buffer.create 512 in
+  let src_lines =
+    match src with
+    | None -> [||]
+    | Some s -> Array.of_list (String.split_on_char '\n' s)
+  in
+  let source_of line =
+    if line >= 1 && line <= Array.length src_lines then
+      String.trim src_lines.(line - 1)
+    else ""
+  in
+  (* Top-level statements nest their children's time, so a percentage
+     column against the grand total would overcount; report raw seconds
+     and leave interpretation to the (inclusive-time) header. *)
+  Buffer.add_string buf
+    "Hot lines (inclusive time; loop headers include their bodies):\n";
+  Buffer.add_string buf "  line        hits     seconds  source\n";
+  let rows = hot_lines t in
+  let shown = ref 0 in
+  List.iter
+    (fun (line, hits, seconds) ->
+      if !shown < limit then (
+        incr shown;
+        Buffer.add_string buf
+          (Printf.sprintf "  %4d  %10d  %10.6f  %s\n" line hits seconds
+             (source_of line))))
+    rows;
+  if List.length rows > limit then
+    Buffer.add_string buf
+      (Printf.sprintf "  ... %d more line(s)\n" (List.length rows - limit));
+  (match array_stats t with
+  | [] -> ()
+  | stats ->
+      Buffer.add_string buf "DistArray element accesses:\n";
+      Buffer.add_string buf "  array                 reads      writes\n";
+      List.iter
+        (fun (name, reads, writes) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %-16s %10d  %10d\n" name reads writes))
+        stats);
+  Buffer.contents buf

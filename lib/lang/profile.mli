@@ -1,0 +1,37 @@
+(** OrionScript profiler: per-source-line hit counts and cumulative
+    wall time, plus per-DistArray element read/write counters.
+
+    Install a [t] in an interpreter environment
+    ([Interp.create_env ~profile:...]) and every executed statement is
+    attributed to its source line.  Line times are {e inclusive}: a
+    loop header accumulates the time spent in its whole body. *)
+
+type t
+
+val create : unit -> t
+val reset : t -> unit
+
+(** Called by the interpreter; also usable directly in tests. *)
+val record_line : t -> line:int -> seconds:float -> unit
+
+val record_array_read : t -> string -> unit
+val record_array_write : t -> string -> unit
+
+(** [(line, hits, seconds)] sorted by line number. *)
+val line_stats : t -> (int * int * float) list
+
+(** [(line, hits, seconds)] sorted hottest-first (by seconds, then
+    hits). *)
+val hot_lines : t -> (int * int * float) list
+
+(** [(array, reads, writes)] sorted by array name. *)
+val array_stats : t -> (string * int * int) list
+
+(** Sum of all per-line inclusive times (top-level statements nest
+    their children, so this exceeds wall time). *)
+val total_seconds : t -> float
+
+(** Render the sorted hot-line table and the DistArray access counts.
+    [src] (the program source) adds a source-text column; [limit]
+    bounds the number of lines shown (default 20). *)
+val report : ?src:string -> ?limit:int -> t -> string

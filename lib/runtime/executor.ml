@@ -30,6 +30,23 @@ type pass_stats = {
 
 let now_wall () = Unix.gettimeofday ()
 
+(* Structured-log one completed pass; returns [st] so call sites can
+   wrap their result expression. *)
+let log_pass strategy (st : pass_stats) =
+  if Log.enabled Log.Debug then
+    Log.debug ~src:"executor"
+      ~kv:
+        [
+          ("strategy", strategy);
+          ("sim_time", Log.float st.sim_time);
+          ("bytes", Log.float st.bytes_sent);
+          ("entries", Log.int st.entries_executed);
+          ("steps", Log.int st.steps);
+        ]
+      "pass complete";
+  st
+
+
 (* Execute one block, measuring real compute time; returns seconds. *)
 let run_block (body : 'v body) ~worker (b : 'v Schedule.block) =
   let t0 = now_wall () in
@@ -67,13 +84,14 @@ let run_1d cluster ?(compute = Measured) (sched : 'v Schedule.t) (body : 'v body
     Cluster.compute cluster ~worker:w ~label:(Printf.sprintf "1d s%d" s) secs
   done;
   Cluster.barrier cluster ~label:"1d";
-  {
-    sim_time = Cluster.now cluster -. t_start;
-    compute_seconds = !compute_total;
-    bytes_sent = cluster.Cluster.bytes_sent -. bytes0;
-    entries_executed = !executed;
-    steps = 1;
-  }
+  log_pass "1d"
+    {
+      sim_time = Cluster.now cluster -. t_start;
+      compute_seconds = !compute_total;
+      bytes_sent = cluster.Cluster.bytes_sent -. bytes0;
+      entries_executed = !executed;
+      steps = 1;
+    }
 
 (* ------------------------------------------------------------------ *)
 (* Ordered 2D (wavefront)                                              *)
@@ -134,13 +152,14 @@ let run_2d_ordered cluster ?(compute = Measured) ?(rotated_label = "rotated")
     done;
     Cluster.barrier cluster ~label:"2d-ordered"
   done;
-  {
-    sim_time = Cluster.now cluster -. t_start;
-    compute_seconds = !compute_total;
-    bytes_sent = cluster.Cluster.bytes_sent -. bytes0;
-    entries_executed = !executed;
-    steps = sp + tp - 1;
-  }
+  log_pass "2d-ordered"
+    {
+      sim_time = Cluster.now cluster -. t_start;
+      compute_seconds = !compute_total;
+      bytes_sent = cluster.Cluster.bytes_sent -. bytes0;
+      entries_executed = !executed;
+      steps = sp + tp - 1;
+    }
 
 (* ------------------------------------------------------------------ *)
 (* Unordered 2D with pipelined rotation                                *)
@@ -198,13 +217,14 @@ let run_2d_unordered cluster ?(compute = Measured) ?(pipeline_depth = 2)
     done
   done;
   Cluster.barrier cluster ~label:"2d-unordered";
-  {
-    sim_time = Cluster.now cluster -. t_start;
-    compute_seconds = !compute_total;
-    bytes_sent = cluster.Cluster.bytes_sent -. bytes0;
-    entries_executed = !executed;
-    steps = tp;
-  }
+  log_pass "2d-unordered"
+    {
+      sim_time = Cluster.now cluster -. t_start;
+      compute_seconds = !compute_total;
+      bytes_sent = cluster.Cluster.bytes_sent -. bytes0;
+      entries_executed = !executed;
+      steps = tp;
+    }
 
 (* ------------------------------------------------------------------ *)
 (* Time-major (for unimodular transforms)                              *)
@@ -241,13 +261,14 @@ let run_time_major cluster ?(compute = Measured) ?(comm_label = "shifted")
     done;
     Cluster.barrier cluster ~label:"time-major"
   done;
-  {
-    sim_time = Cluster.now cluster -. t_start;
-    compute_seconds = !compute_total;
-    bytes_sent = cluster.Cluster.bytes_sent -. bytes0;
-    entries_executed = !executed;
-    steps = sched.Schedule.time_parts;
-  }
+  log_pass "time-major"
+    {
+      sim_time = Cluster.now cluster -. t_start;
+      compute_seconds = !compute_total;
+      bytes_sent = cluster.Cluster.bytes_sent -. bytes0;
+      entries_executed = !executed;
+      steps = sched.Schedule.time_parts;
+    }
 
 (* ------------------------------------------------------------------ *)
 (* Serial reference                                                    *)
@@ -279,10 +300,11 @@ let run_serial cluster ?(compute = Measured) ?shuffle_seed
   let secs = block_cost compute measured !n in
   Cluster.compute cluster ~worker:0 ~label:"serial" secs;
   Cluster.advance_all cluster ~label:"serial" (Cluster.clock cluster 0);
-  {
-    sim_time = Cluster.now cluster -. t_start;
-    compute_seconds = secs;
-    bytes_sent = 0.0;
-    entries_executed = !n;
-    steps = 1;
-  }
+  log_pass "serial"
+    {
+      sim_time = Cluster.now cluster -. t_start;
+      compute_seconds = secs;
+      bytes_sent = 0.0;
+      entries_executed = !n;
+      steps = 1;
+    }

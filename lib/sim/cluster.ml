@@ -29,6 +29,13 @@ type t = {
 
 let create ?(recorder = Recorder.create ()) ?(trace = Trace.create ())
     ~num_machines ~workers_per_machine ~cost () =
+  Log.info ~src:"cluster"
+    ~kv:
+      [
+        ("machines", Log.int num_machines);
+        ("workers_per_machine", Log.int workers_per_machine);
+      ]
+    "cluster created";
   {
     num_machines;
     workers_per_machine;
@@ -148,6 +155,15 @@ let all_reduce ?label t ~bytes_per_worker =
   in
   t.bytes_sent <- t.bytes_sent +. (2.0 *. total_in);
   let start = now t in
+  if Log.enabled Log.Debug then
+    Log.debug ~src:"cluster"
+      ~kv:
+        [
+          ("start", Log.float start);
+          ("bytes", Log.float (2.0 *. total_in));
+          ("duration", Log.float (d +. m));
+        ]
+      "all_reduce";
   Recorder.record t.recorder ~start_sec:start ~duration_sec:d
     ~bytes:(2.0 *. total_in);
   let share = 2.0 *. total_in /. float_of_int (max 1 (num_workers t)) in

@@ -19,9 +19,14 @@ let ensure t idx =
   end
 
 (** Record [bytes] transferred over [start_sec, start_sec + duration_sec),
-    spread proportionally over the covered bins. *)
+    spread proportionally over the covered bins.  A negative [start_sec]
+    is always an accounting bug upstream (virtual clocks start at 0), so
+    it raises rather than being dropped silently. *)
 let record t ~start_sec ~duration_sec ~bytes =
-  if bytes > 0.0 && start_sec >= 0.0 then
+  if start_sec < 0.0 then
+    invalid_arg
+      (Printf.sprintf "Recorder.record: negative start_sec %g" start_sec);
+  if bytes > 0.0 then
     if duration_sec <= 0.0 then begin
       let idx = int_of_float (start_sec /. t.bin_width_sec) in
       ensure t idx;

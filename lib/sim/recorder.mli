@@ -9,7 +9,9 @@ type t = {
 val create : ?bin_width_sec:float -> unit -> t
 
 (** Record [bytes] transferred over
-    [start_sec, start_sec + duration_sec). *)
+    [start_sec, start_sec + duration_sec).
+    @raise Invalid_argument if [start_sec] is negative (virtual clocks
+    start at 0, so a negative start is an accounting bug upstream). *)
 val record : t -> start_sec:float -> duration_sec:float -> bytes:float -> unit
 
 (** Bytes per bin, up to the last nonzero bin. *)

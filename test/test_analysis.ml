@@ -42,7 +42,7 @@ end
 
 let parse_loop src =
   match Orion_lang.Parser.parse_program src with
-  | [ (Orion_lang.Ast.For _ as stmt) ] -> stmt
+  | [ ({ Orion_lang.Ast.sk = Orion_lang.Ast.For _; _ } as stmt) ] -> stmt
   | _ -> Alcotest.fail "expected a single for-loop"
 
 let analyze_mf ?(ordered = false) () =

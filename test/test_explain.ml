@@ -1,0 +1,411 @@
+(* Tests for analysis explainability: the golden Plan.explain panels,
+   the recorded provenance (dependence trace + strategy decision tree),
+   and the Explain text/JSON renderings across all four strategies. *)
+
+open Orion_analysis
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let check_contains what report sub =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s contains %S" what sub)
+    true
+    (contains ~sub report)
+
+let parse_loop src =
+  match Orion_lang.Parser.parse_program src with
+  | [ ({ Orion_lang.Ast.sk = Orion_lang.Ast.For _; _ } as stmt) ] -> stmt
+  | _ -> Alcotest.fail "expected a single for-loop"
+
+let loop_of_body ?(ordered = false) ?(arr_dims = 2) body_src ~dist_vars
+    ~buffered =
+  let ann = if ordered then "@parallel_for ordered" else "@parallel_for" in
+  let src = Printf.sprintf "%s for (key, v) in data\n%s\nend" ann body_src in
+  Refs.analyze_loop ~dist_vars:("data" :: dist_vars) ~buffered_arrays:buffered
+    ~iter_space_ndims:arr_dims (parse_loop src)
+
+(* --- the four strategy fixtures ----------------------------------- *)
+
+let plan_1d () =
+  let info =
+    loop_of_body "A[key[1]] = A[key[1]] + v" ~dist_vars:[ "A" ] ~buffered:[]
+  in
+  let dims = function
+    | "data" -> Some [| 100; 80 |]
+    | "A" -> Some [| 100 |]
+    | _ -> None
+  in
+  Plan.decide info ~array_dims:dims ~iter_count:8000.0
+
+let mf_loop_src =
+  {|
+@parallel_for for (key, rv) in ratings
+  W_row = W[:, key[1]]
+  H_row = H[:, key[2]]
+  pred = dot(W_row, H_row)
+  diff = rv - pred
+  W_grad = -2.0 * diff * H_row
+  H_grad = -2.0 * diff * W_row
+  W[:, key[1]] = W_row - W_grad * step_size
+  H[:, key[2]] = H_row - H_grad * step_size
+end
+|}
+
+let plan_2d () =
+  let info =
+    Refs.analyze_loop
+      ~dist_vars:[ "ratings"; "W"; "H" ]
+      ~buffered_arrays:[] ~iter_space_ndims:2 (parse_loop mf_loop_src)
+  in
+  let dims = function
+    | "W" -> Some [| 100; 4000 |]
+    | "H" -> Some [| 100; 3000 |]
+    | "ratings" -> Some [| 4000; 3000 |]
+    | _ -> None
+  in
+  Plan.decide info ~array_dims:dims ~iter_count:100000.0
+
+let plan_unimodular () =
+  let info =
+    loop_of_body ~ordered:true
+      "A[key[1], key[2]] = A[key[1] - 1, key[2] + 1] + A[key[1], key[2] - 1]"
+      ~dist_vars:[ "A" ] ~buffered:[]
+  in
+  let dims = function
+    | "data" | "A" -> Some [| 60; 60 |]
+    | _ -> None
+  in
+  Plan.decide info ~array_dims:dims ~iter_count:3600.0
+
+let plan_data_parallel () =
+  let info =
+    loop_of_body ~arr_dims:1 "i = int(v)\nw[i] = w[i] + 1.0"
+      ~dist_vars:[ "w" ] ~buffered:[]
+  in
+  let dims = function
+    | "data" -> Some [| 5000 |]
+    | "w" -> Some [| 300 |]
+    | _ -> None
+  in
+  Plan.decide info ~array_dims:dims ~iter_count:5000.0
+
+(* --- golden Plan.explain panels ----------------------------------- *)
+
+let golden_1d =
+  String.concat "\n"
+    [
+      "Loop information";
+      "  Iteration space: data (2 dims)";
+      "  Loop index vector: key";
+      "  Iteration ordering: unordered";
+      "  DistArray write A[key[1]]";
+      "  DistArray read A[key[1]]";
+      "  Inherited variables: ";
+      "Dependence vectors";
+      "  (0, inf)";
+      "Strategy: 1D (space dim 0)";
+      "Placements";
+      "  A: local, range-partitioned by dim 0";
+      "";
+    ]
+
+let golden_2d =
+  String.concat "\n"
+    [
+      "Loop information";
+      "  Iteration space: ratings (2 dims)";
+      "  Loop index vector: key";
+      "  Iteration ordering: unordered";
+      "  DistArray read W[:, key[1]]";
+      "  DistArray read H[:, key[2]]";
+      "  DistArray write W[:, key[1]]";
+      "  DistArray write H[:, key[2]]";
+      "  Inherited variables: step_size";
+      "Dependence vectors";
+      "  (inf, 0)";
+      "  (0, inf)";
+      "Strategy: 2D (space dim 0, time dim 1)";
+      "Placements";
+      "  H: rotated, range-partitioned by dim 1";
+      "  W: local, range-partitioned by dim 1";
+      "";
+    ]
+
+let golden_unimodular =
+  String.concat "\n"
+    [
+      "Loop information";
+      "  Iteration space: data (2 dims)";
+      "  Loop index vector: key";
+      "  Iteration ordering: ordered";
+      "  DistArray write A[key[1], key[2]]";
+      "  DistArray read A[key[1]-1, key[2]+1]";
+      "  DistArray read A[key[1], key[2]-1]";
+      "  Inherited variables: ";
+      "Dependence vectors";
+      "  (1, -1)";
+      "  (0, 1)";
+      "Strategy: 2D w/ unimodular T=[[2, 1]; [-1, 0]] (space dim 1, time dim 0)";
+      "Placements";
+      "  A: server-hosted";
+      "";
+    ]
+
+let golden_data_parallel =
+  String.concat "\n"
+    [
+      "Loop information";
+      "  Iteration space: data (1 dims)";
+      "  Loop index vector: key";
+      "  Iteration ordering: unordered";
+      "  DistArray write w[?]";
+      "  DistArray read w[?]";
+      "  Inherited variables: ";
+      "Dependence vectors";
+      "  (inf)";
+      "Strategy: data parallelism (DistArray buffers)";
+      "Placements";
+      "  w: server-hosted";
+      "Bulk prefetch: w";
+      "Warning: writes to w cannot be captured statically; declare DistArray Buffers to run data-parallel";
+      "";
+    ]
+
+(* --- golden checks ------------------------------------------------ *)
+
+let test_golden_1d () =
+  Alcotest.(check string) "1d panel" golden_1d
+    (Plan.explain_to_string (plan_1d ()))
+
+let test_golden_2d () =
+  Alcotest.(check string) "2d panel" golden_2d
+    (Plan.explain_to_string (plan_2d ()))
+
+let test_golden_unimodular () =
+  Alcotest.(check string) "unimodular panel" golden_unimodular
+    (Plan.explain_to_string (plan_unimodular ()))
+
+let test_golden_data_parallel () =
+  Alcotest.(check string) "data-parallel panel" golden_data_parallel
+    (Plan.explain_to_string (plan_data_parallel ()))
+
+(* --- recorded provenance ------------------------------------------ *)
+
+let test_provenance_2d () =
+  let plan = plan_2d () in
+  let prov = plan.Plan.provenance in
+  (* both 1D candidates are killed, two 2D candidates are costed and
+     the cheaper one is marked chosen *)
+  Alcotest.(check int) "both 1D dims rejected" 2
+    (List.length prov.Plan.rejected_1d);
+  Alcotest.(check int) "no 2D pair rejected" 0
+    (List.length prov.Plan.rejected_2d);
+  Alcotest.(check int) "two candidates costed" 2
+    (List.length prov.Plan.considered);
+  let chosen =
+    List.filter (fun c -> c.Plan.cand_chosen) prov.Plan.considered
+  in
+  (match chosen with
+  | [ c ] ->
+      Alcotest.(check bool) "chosen has min cost" true
+        (List.for_all
+           (fun c' -> c.Plan.cand_cost <= c'.Plan.cand_cost)
+           prov.Plan.considered)
+  | _ -> Alcotest.fail "expected exactly one chosen candidate");
+  (match prov.Plan.unimodular with
+  | Plan.Uni_not_attempted -> ()
+  | _ -> Alcotest.fail "unimodular should not be attempted for MF");
+  (* every 1D rejection names a killer vector that is nonzero in that
+     dim *)
+  List.iter
+    (fun (dim, killer) ->
+      Alcotest.(check bool) "killer nonzero in dim" false
+        (Depvec.is_zero_elt killer.(dim)))
+    prov.Plan.rejected_1d
+
+let test_provenance_unimodular_applied () =
+  let plan = plan_unimodular () in
+  match plan.Plan.provenance.Plan.unimodular with
+  | Plan.Uni_applied { matrix } ->
+      Alcotest.(check bool) "matrix is unimodular" true
+        (Unimodular.is_unimodular matrix)
+  | _ -> Alcotest.fail "expected Uni_applied"
+
+let test_provenance_data_parallel_inapplicable () =
+  let plan = plan_data_parallel () in
+  match plan.Plan.provenance.Plan.unimodular with
+  | Plan.Uni_inapplicable { blocker = Some v } ->
+      Alcotest.(check bool) "blocker has inf" true
+        (Array.exists (fun e -> e = Depvec.Pos_inf || e = Depvec.Any) v)
+  | _ -> Alcotest.fail "expected Uni_inapplicable with a blocker"
+
+let test_dep_trace_pairs_2d () =
+  let plan = plan_2d () in
+  let pairs = plan.Plan.dep_trace.Depanalysis.pairs in
+  (* W and H each contribute read/write, write/write pairs *)
+  let skipped, kept =
+    List.partition
+      (fun p ->
+        match p.Depanalysis.pt_outcome with
+        | Depanalysis.Skipped _ -> true
+        | _ -> false)
+      pairs
+  in
+  Alcotest.(check int) "write/write pairs skipped" 2 (List.length skipped);
+  Alcotest.(check int) "read/write pairs traced" 2 (List.length kept);
+  List.iter
+    (fun p ->
+      match p.Depanalysis.pt_outcome with
+      | Depanalysis.Dependence { vec; _ } ->
+          Alcotest.(check bool) "vec in plan result" true
+            (List.exists (fun v -> v = vec) plan.Plan.dep_vectors)
+      | _ -> Alcotest.fail "expected a dependence outcome")
+    kept
+
+let test_dep_trace_buffered_writes_counted () =
+  let info =
+    loop_of_body ~arr_dims:1 "i = int(v)\nw_buf[i] = w_buf[i] + 1.0"
+      ~dist_vars:[ "w_buf" ] ~buffered:[ "w_buf" ]
+  in
+  let _, trace = Depanalysis.analyze_traced info in
+  Alcotest.(check (list (pair string int)))
+    "dropped buffered writes" [ ("w_buf", 1) ]
+    trace.Depanalysis.dropped_writes
+
+(* --- Explain text report ------------------------------------------ *)
+
+let test_report_sections () =
+  let r = Explain.report_to_string (plan_2d ()) in
+  check_contains "report" r "Dependence provenance (Algorithm 2)";
+  check_contains "report" r "Strategy decision tree";
+  (* the Fig. 6 panel leads the report *)
+  Alcotest.(check bool) "starts with the explain panel" true
+    (String.length r >= String.length golden_2d
+    && String.sub r 0 (String.length golden_2d) = golden_2d)
+
+let test_report_pair_lines () =
+  let r = Explain.report_to_string (plan_2d ()) in
+  check_contains "report" r
+    "write W[:, key[1]]  vs  write W[:, key[1]]";
+  check_contains "report" r
+    "=> skipped: write/write pairs are commutative in an unordered loop";
+  check_contains "report" r "matching loop index constrains dim 0 to 0";
+  check_contains "report" r "=> dependence (0, inf)";
+  check_contains "report" r "1D over dim 0 rejected by (inf, 0)";
+  check_contains "report" r "<= chosen (min cost, earliest wins ties)"
+
+let test_report_unimodular_lines () =
+  let r = Explain.report_to_string (plan_unimodular ()) in
+  check_contains "report" r "=> same-iteration only";
+  check_contains "report" r "=> skipped: read/read pairs carry no dependence";
+  check_contains "report" r "no 1D/2D candidate survives";
+  check_contains "report" r "unimodular transform [[2, 1]; [-1, 0]] applied"
+
+let test_report_data_parallel_lines () =
+  let r = Explain.report_to_string (plan_data_parallel ()) in
+  check_contains "report" r "no constraint (range or runtime subscript)";
+  check_contains "report" r "=> dependence (inf)";
+  check_contains "report" r "unimodular transform inapplicable"
+
+(* --- Explain JSON -------------------------------------------------- *)
+
+(* a tiny structural check: braces/brackets balance outside strings *)
+let json_balanced s =
+  let depth = ref 0 and in_str = ref false and esc = ref false in
+  let ok = ref true in
+  String.iter
+    (fun c ->
+      if !esc then esc := false
+      else if !in_str then begin
+        if c = '\\' then esc := true else if c = '"' then in_str := false
+      end
+      else
+        match c with
+        | '"' -> in_str := true
+        | '{' | '[' -> incr depth
+        | '}' | ']' ->
+            decr depth;
+            if !depth < 0 then ok := false
+        | _ -> ())
+    s;
+  !ok && !depth = 0 && not !in_str
+
+let test_json_shape () =
+  List.iter
+    (fun (name, plan) ->
+      let j = Explain.to_json (plan ()) in
+      Alcotest.(check bool) (name ^ " json balanced") true (json_balanced j);
+      Alcotest.(check bool) (name ^ " single line") false
+        (String.contains j '\n');
+      check_contains (name ^ " json") j "\"loop\"";
+      check_contains (name ^ " json") j "\"dependence\"";
+      check_contains (name ^ " json") j "\"decision\"";
+      check_contains (name ^ " json") j "\"plan\"")
+    [
+      ("1d", plan_1d);
+      ("2d", plan_2d);
+      ("unimodular", plan_unimodular);
+      ("data_parallel", plan_data_parallel);
+    ]
+
+let test_json_strategy_kinds () =
+  let kind plan = Explain.to_json (plan ()) in
+  check_contains "1d json" (kind plan_1d) "\"kind\":\"1d\"";
+  check_contains "2d json" (kind plan_2d) "\"kind\":\"2d\"";
+  check_contains "unimodular json" (kind plan_unimodular)
+    "\"kind\":\"2d_unimodular\"";
+  check_contains "data-parallel json" (kind plan_data_parallel)
+    "\"kind\":\"data_parallel\""
+
+let test_json_provenance_content () =
+  let j = Explain.to_json (plan_2d ()) in
+  check_contains "2d json" j "\"outcome\":{\"kind\":\"dependence\"";
+  check_contains "2d json" j
+    "\"outcome\":{\"kind\":\"skipped\",\"reason\":\"write_write_unordered\"";
+  check_contains "2d json" j "\"rejected_1d\":[{\"dim\":0";
+  check_contains "2d json" j "\"chosen\":true";
+  let ju = Explain.to_json (plan_unimodular ()) in
+  check_contains "unimodular json" ju
+    "\"unimodular\":{\"kind\":\"applied\",\"matrix\":[[2,1],[-1,0]]}";
+  check_contains "unimodular json" ju "\"kind\":\"refine\""
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "explain"
+    [
+      ( "golden",
+        [
+          tc "1d" `Quick test_golden_1d;
+          tc "2d" `Quick test_golden_2d;
+          tc "unimodular" `Quick test_golden_unimodular;
+          tc "data parallel" `Quick test_golden_data_parallel;
+        ] );
+      ( "provenance",
+        [
+          tc "2d decision" `Quick test_provenance_2d;
+          tc "unimodular applied" `Quick test_provenance_unimodular_applied;
+          tc "data-parallel blocker" `Quick
+            test_provenance_data_parallel_inapplicable;
+          tc "2d pair trace" `Quick test_dep_trace_pairs_2d;
+          tc "buffered writes counted" `Quick
+            test_dep_trace_buffered_writes_counted;
+        ] );
+      ( "report",
+        [
+          tc "sections" `Quick test_report_sections;
+          tc "pair lines" `Quick test_report_pair_lines;
+          tc "unimodular lines" `Quick test_report_unimodular_lines;
+          tc "data-parallel lines" `Quick test_report_data_parallel_lines;
+        ] );
+      ( "json",
+        [
+          tc "shape" `Quick test_json_shape;
+          tc "strategy kinds" `Quick test_json_strategy_kinds;
+          tc "provenance content" `Quick test_json_provenance_content;
+        ] );
+    ]

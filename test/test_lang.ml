@@ -114,37 +114,49 @@ let test_parse_if_elseif () =
       "if a > 0\n  x = 1\nelseif a < 0\n  x = 2\nelse\n  x = 3\nend"
   in
   match p with
-  | [ Ast.If (_, [ _ ], [ Ast.If (_, [ _ ], [ _ ]) ]) ] -> ()
+  | [ { Ast.sk = Ast.If (_, [ _ ], [ { Ast.sk = Ast.If (_, [ _ ], [ _ ]); _ } ]); _ } ]
+    ->
+      ()
   | _ -> Alcotest.fail "elseif chain"
 
 let test_parse_for_range () =
   match parse "for i = 1:10\n  s += i\nend" with
-  | [ Ast.For { kind = Range_loop { var = "i"; _ }; parallel = None; _ } ] ->
+  | [
+   { Ast.sk = Ast.For { kind = Range_loop { var = "i"; _ }; parallel = None; _ }; _ };
+  ] ->
       ()
   | _ -> Alcotest.fail "range loop"
 
 let test_parse_parallel_for () =
   match parse "@parallel_for for (k, v) in data\n  x = v\nend" with
   | [
-   Ast.For
-     {
-       kind = Each_loop { key = "k"; value = "v"; arr = "data" };
-       parallel = Some { ordered = false };
-       _;
-     };
+   {
+     Ast.sk =
+       Ast.For
+         {
+           kind = Each_loop { key = "k"; value = "v"; arr = "data" };
+           parallel = Some { ordered = false };
+           _;
+         };
+     _;
+   };
   ] ->
       ()
   | _ -> Alcotest.fail "parallel for"
 
 let test_parse_parallel_for_ordered () =
   match parse "@parallel_for ordered for (k, v) in data\nend" with
-  | [ Ast.For { parallel = Some { ordered = true }; _ } ] -> ()
+  | [ { Ast.sk = Ast.For { parallel = Some { ordered = true }; _ }; _ } ] -> ()
   | _ -> Alcotest.fail "ordered"
 
 let test_parse_op_assign_index () =
   match parse "A[i] += 1" with
-  | [ Ast.Op_assign (Add, Lindex ("A", [ Sub_expr (Var "i") ]), Int_lit 1) ]
-    ->
+  | [
+   {
+     Ast.sk = Ast.Op_assign (Add, Lindex ("A", [ Sub_expr (Var "i") ]), Int_lit 1);
+     _;
+   };
+  ] ->
       ()
   | _ -> Alcotest.fail "op-assign on index"
 
@@ -157,7 +169,7 @@ let test_parse_error_missing_end () =
 let test_parse_broadcast_assign () =
   (* Julia's .= is accepted as plain assignment *)
   match parse "W[:, k] .= W_row - g * s" with
-  | [ Ast.Assign (Lindex ("W", _), _) ] -> ()
+  | [ { Ast.sk = Ast.Assign (Lindex ("W", _), _); _ } ] -> ()
   | _ -> Alcotest.fail "broadcast assign"
 
 (* ------------------------------------------------------------------ *)
@@ -662,6 +674,112 @@ let test_check_mf_script_clean () =
   Alcotest.(check (list string)) "mf script clean" []
     (List.map Check.diagnostic_to_string ds)
 
+let test_check_diagnostic_positions () =
+  let ds = diags "x = 1\nbreak" in
+  match List.filter (fun d -> d.Check.severity = Check.Error) ds with
+  | [ d ] ->
+      (match d.Check.pos with
+      | Some p ->
+          Alcotest.(check int) "line" 2 p.Ast.line;
+          Alcotest.(check int) "col" 1 p.Ast.col
+      | None -> Alcotest.fail "diagnostic carries no position");
+      let s = Check.diagnostic_to_string d in
+      Alcotest.(check bool) "rendered with line:col prefix" true
+        (String.length s >= 5 && String.sub s 0 5 = "2:1: ")
+  | ds' ->
+      Alcotest.failf "expected exactly one error, got %d" (List.length ds')
+
+let test_check_position_inside_block () =
+  let ds = diags "a = 1\nif a > 0\n  x = y + 1\nend" in
+  match List.filter (fun d -> d.Check.severity = Check.Error) ds with
+  | [ d ] -> (
+      match d.Check.pos with
+      | Some p -> Alcotest.(check int) "line of nested stmt" 3 p.Ast.line
+      | None -> Alcotest.fail "diagnostic carries no position")
+  | ds' ->
+      Alcotest.failf "expected exactly one error, got %d" (List.length ds')
+
+(* ------------------------------------------------------------------ *)
+(* Profiler                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_profile_record_and_hot_lines () =
+  let p = Profile.create () in
+  Profile.record_line p ~line:3 ~seconds:0.5;
+  Profile.record_line p ~line:3 ~seconds:0.25;
+  Profile.record_line p ~line:7 ~seconds:0.1;
+  (match Profile.hot_lines p with
+  | [ (l1, h1, s1); (l2, h2, s2) ] ->
+      Alcotest.(check int) "hottest line" 3 l1;
+      Alcotest.(check int) "hottest hits" 2 h1;
+      Alcotest.(check (float 1e-9)) "hottest seconds" 0.75 s1;
+      Alcotest.(check int) "second line" 7 l2;
+      Alcotest.(check int) "second hits" 1 h2;
+      Alcotest.(check (float 1e-9)) "second seconds" 0.1 s2
+  | l -> Alcotest.failf "expected two lines, got %d" (List.length l));
+  Alcotest.(check (float 1e-9)) "total" 0.85 (Profile.total_seconds p);
+  Profile.reset p;
+  Alcotest.(check int) "reset clears" 0 (List.length (Profile.line_stats p))
+
+let test_profile_interp_line_hits () =
+  let p = Profile.create () in
+  let env = Interp.create_env ~profile:p () in
+  Interp.run_program env (parse "t = 0\nfor i = 1:10\n  t += i\nend");
+  let hits line =
+    match List.find_opt (fun (l, _, _) -> l = line) (Profile.line_stats p) with
+    | Some (_, h, _) -> h
+    | None -> 0
+  in
+  Alcotest.(check int) "assignment once" 1 (hits 1);
+  Alcotest.(check int) "loop header once" 1 (hits 2);
+  Alcotest.(check int) "body per iteration" 10 (hits 3)
+
+let test_profile_array_counters () =
+  let data = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let ex =
+    Value.
+      {
+        ex_name = "A";
+        ex_dims = [| 2; 2 |];
+        ex_get =
+          (fun subs ->
+            match subs with
+            | [| Cpoint i; Cpoint j |] -> Vfloat data.((i * 2) + j)
+            | _ -> Alcotest.fail "bad subs");
+        ex_set =
+          (fun subs v ->
+            match subs with
+            | [| Cpoint i; Cpoint j |] -> data.((i * 2) + j) <- Value.to_float v
+            | _ -> Alcotest.fail "bad subs");
+        ex_iter = (fun _ -> ());
+        ex_count = (fun () -> 4);
+      }
+  in
+  let p = Profile.create () in
+  let env = Interp.create_env ~profile:p () in
+  Interp.set_var env "A" (Value.Vextern ex);
+  Interp.run_program env
+    (parse "x = A[1, 1]\nA[2, 2] = x + 1.0\ny = A[2, 2]");
+  match Profile.array_stats p with
+  | [ ("A", reads, writes) ] ->
+      Alcotest.(check int) "reads" 2 reads;
+      Alcotest.(check int) "writes" 1 writes
+  | l -> Alcotest.failf "expected stats for A only, got %d" (List.length l)
+
+let test_profile_report_renders () =
+  let p = Profile.create () in
+  let src = "t = 0\nfor i = 1:3\n  t += i\nend" in
+  let env = Interp.create_env ~profile:p () in
+  Interp.run_program env (parse src);
+  let r = Profile.report ~src p in
+  let contains sub =
+    let n = String.length sub and m = String.length r in
+    let rec go i = i + n <= m && (String.sub r i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "has header" true (contains "Hot lines");
+  Alcotest.(check bool) "shows source text" true (contains "t += i")
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -740,5 +858,14 @@ let () =
           tc "assign loop key" `Quick test_check_assign_loop_key;
           tc "loop body maybe" `Quick test_check_loop_body_definitions_are_maybe;
           tc "mf script clean" `Quick test_check_mf_script_clean;
+          tc "diagnostic positions" `Quick test_check_diagnostic_positions;
+          tc "position inside block" `Quick test_check_position_inside_block;
+        ] );
+      ( "profile",
+        [
+          tc "record and hot lines" `Quick test_profile_record_and_hot_lines;
+          tc "interp line hits" `Quick test_profile_interp_line_hits;
+          tc "array counters" `Quick test_profile_array_counters;
+          tc "report renders" `Quick test_profile_report_renders;
         ] );
     ]

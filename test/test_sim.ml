@@ -125,6 +125,35 @@ let test_recorder_total_preserved_qcheck () =
       let expected = List.fold_left (fun a (_, _, b) -> a +. b) 0.0 events in
       abs_float (Recorder.total_bytes r -. expected) < 1e-6 *. expected +. 1e-6)
 
+let test_recorder_negative_start_raises () =
+  let r = Recorder.create ~bin_width_sec:1.0 () in
+  Alcotest.check_raises "negative start"
+    (Invalid_argument "Recorder.record: negative start_sec -0.5") (fun () ->
+      Recorder.record r ~start_sec:(-0.5) ~duration_sec:1.0 ~bytes:100.0);
+  (* instantaneous events are validated too *)
+  Alcotest.check_raises "negative instantaneous"
+    (Invalid_argument "Recorder.record: negative start_sec -2") (fun () ->
+      Recorder.record r ~start_sec:(-2.0) ~duration_sec:0.0 ~bytes:100.0);
+  Alcotest.(check (float 0.0)) "nothing recorded" 0.0 (Recorder.total_bytes r)
+
+let test_recorder_exact_bin_boundary () =
+  (* an event spanning exactly [1.0, 2.0) lands entirely in bin 1 and
+     must not leak a zero-width sliver into bin 2 *)
+  let r = Recorder.create ~bin_width_sec:1.0 () in
+  Recorder.record r ~start_sec:1.0 ~duration_sec:1.0 ~bytes:800.0;
+  let s = Recorder.series r in
+  Alcotest.(check int) "series stops at bin 1" 2 (Array.length s);
+  Alcotest.(check (float 1e-9)) "bin0 empty" 0.0 s.(0);
+  Alcotest.(check (float 1e-9)) "bin1 full" 800.0 s.(1)
+
+let test_recorder_five_bin_spread () =
+  (* 5 s event over bins 0..4 at width 1: uniform 20% per bin *)
+  let r = Recorder.create ~bin_width_sec:1.0 () in
+  Recorder.record r ~start_sec:0.0 ~duration_sec:5.0 ~bytes:5000.0;
+  let s = Recorder.series r in
+  Alcotest.(check int) "five bins" 5 (Array.length s);
+  Array.iter (fun b -> Alcotest.(check (float 1e-6)) "uniform bin" 1000.0 b) s
+
 let test_recorder_mbps () =
   let r = Recorder.create ~bin_width_sec:1.0 () in
   Recorder.record r ~start_sec:0.0 ~duration_sec:1.0 ~bytes:(1e6 /. 8.0);
@@ -225,6 +254,9 @@ let () =
         [
           tc "single bin" `Quick test_recorder_single_bin;
           tc "spread bins" `Quick test_recorder_spreads_across_bins;
+          tc "negative start raises" `Quick test_recorder_negative_start_raises;
+          tc "exact bin boundary" `Quick test_recorder_exact_bin_boundary;
+          tc "five-bin uniform spread" `Quick test_recorder_five_bin_spread;
           qc (test_recorder_total_preserved_qcheck ());
           tc "mbps" `Quick test_recorder_mbps;
           tc "cluster integration" `Quick test_recorder_integrates_with_cluster;
