@@ -529,6 +529,83 @@ let trace_cmd =
           timeline (Chrome trace-event JSON) plus per-pass metrics")
     term
 
+let verify_cmd =
+  let run machines wpm log app json schedule pipeline_depth =
+    setup_log log;
+    let override =
+      match schedule with
+      | `Auto -> None
+      | `One_d -> Some Orion_verify.Verify.Force_1d
+      | `Ordered_2d -> Some Orion_verify.Verify.Force_2d_ordered
+      | `Unordered_2d -> Some Orion_verify.Verify.Force_2d_unordered
+    in
+    match
+      Orion_verify.Verify.verify_app ~num_machines:machines
+        ~workers_per_machine:wpm ?pipeline_depth ?schedule_override:override
+        app
+    with
+    | Error e ->
+        prerr_endline ("orion verify: " ^ e);
+        2
+    | Ok report ->
+        print_string
+          (if json then Orion_verify.Verify.report_to_json report ^ "\n"
+           else Orion_verify.Verify.report_to_string report);
+        if report.Orion_verify.Verify.r_passed then 0 else 1
+  in
+  let app_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "app" ] ~docv:"APP"
+          ~doc:"built-in app to verify: mf | slr | lda | gbt")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"emit the report as JSON") in
+  let schedule =
+    let choices =
+      [
+        ("auto", `Auto);
+        ("1d", `One_d);
+        ("2d-ordered", `Ordered_2d);
+        ("2d-unordered", `Unordered_2d);
+      ]
+    in
+    Arg.(
+      value & opt (enum choices) `Auto
+      & info [ "schedule" ] ~docv:"SCHEDULE"
+          ~doc:
+            "schedule to race-check: auto (the planner's) | 1d | 2d-ordered \
+             | 2d-unordered")
+  in
+  let depth =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "pipeline-depth" ] ~docv:"N"
+          ~doc:"pipeline depth for unordered 2-D schedules")
+  in
+  let machines =
+    Arg.(
+      value & opt int 2
+      & info [ "machines"; "m" ] ~docv:"N" ~doc:"simulated machines")
+  in
+  let wpm =
+    Arg.(
+      value & opt int 2
+      & info [ "workers-per-machine"; "w" ] ~docv:"N" ~doc:"workers per machine")
+  in
+  let term =
+    Term.(
+      const run $ machines $ wpm $ log_arg $ app_arg $ json $ schedule $ depth)
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Dynamically validate the dependence analysis and race-check the \
+          schedule for a built-in app (serial observation, soundness check, \
+          adversarial differential execution)")
+    term
+
 let () =
   let doc =
     "Orion: automating dependence-aware parallelization of ML training"
@@ -545,4 +622,5 @@ let () =
             apps_cmd;
             generate_cmd;
             trace_cmd;
+            verify_cmd;
           ]))

@@ -55,6 +55,11 @@ type env = {
   mutable profile : Profile.t option;
       (** when set, statement execution and DistArray accesses are
           recorded (see {!Profile}) *)
+  mutable on_array_access :
+    (Value.extern -> write:bool -> Value.concrete_sub array -> unit) option;
+      (** when set, called after every successful DistArray element
+          access with the concrete (0-based) subscripts — the hook the
+          dynamic dependence validator uses to build its access log *)
 }
 
 let create_env ?(seed = 42) ?(host_call = fun _ _ -> None) ?profile () =
@@ -64,6 +69,7 @@ let create_env ?(seed = 42) ?(host_call = fun _ _ -> None) ?profile () =
     host_call;
     on_parallel_for = None;
     profile;
+    on_array_access = None;
   }
 
 let set_var env name v = Hashtbl.replace env.vars name v
@@ -266,7 +272,11 @@ and eval_expr env e =
           | Some p -> Profile.record_array_read p ex.ex_name
           | None -> ());
           let csubs = Array.of_list (List.map (eval_concrete_sub env) subs) in
-          ex.ex_get csubs
+          let v = ex.ex_get csubs in
+          (match env.on_array_access with
+          | Some f -> f ex ~write:false csubs
+          | None -> ());
+          v
       | Vvec v -> (
           match subs with
           | [ Sub_expr e ] -> Vfloat v.(to_int (eval_expr env e) - 1)
@@ -300,7 +310,10 @@ let assign_lvalue env lhs v =
           | Some p -> Profile.record_array_write p ex.ex_name
           | None -> ());
           let csubs = Array.of_list (List.map (eval_concrete_sub env) subs) in
-          ex.ex_set csubs v
+          ex.ex_set csubs v;
+          (match env.on_array_access with
+          | Some f -> f ex ~write:true csubs
+          | None -> ())
       | Vvec arr -> (
           match subs with
           | [ Sub_expr e ] ->
@@ -325,17 +338,36 @@ let read_lvalue env = function
   | Lvar name -> get_var env name
   | Lindex (name, subs) -> eval_expr env (Index (Var name, subs))
 
+(* Is [msg] already prefixed with a "line:col: " position (added by a
+   nested statement)?  Innermost statements win, so errors carry the
+   most precise position available. *)
+let has_pos_prefix msg =
+  let n = String.length msg in
+  let is_digit c = c >= '0' && c <= '9' in
+  let rec digits i = if i < n && is_digit msg.[i] then digits (i + 1) else i in
+  let i = digits 0 in
+  if i = 0 || i >= n || msg.[i] <> ':' then false
+  else
+    let j = digits (i + 1) in
+    j > i + 1 && j < n && msg.[j] = ':'
+
 let rec exec_stmt env stmt =
-  match env.profile with
-  | None -> exec_stmt_kind env stmt
-  | Some p ->
-      (* [Fun.protect] so break/continue exceptions still record *)
-      let t0 = Unix.gettimeofday () in
-      Fun.protect
-        ~finally:(fun () ->
-          Profile.record_line p ~line:stmt.spos.line
-            ~seconds:(Unix.gettimeofday () -. t0))
-        (fun () -> exec_stmt_kind env stmt)
+  try
+    match env.profile with
+    | None -> exec_stmt_kind env stmt
+    | Some p ->
+        (* [Fun.protect] so break/continue exceptions still record *)
+        let t0 = Unix.gettimeofday () in
+        Fun.protect
+          ~finally:(fun () ->
+            Profile.record_line p ~line:stmt.spos.line
+              ~seconds:(Unix.gettimeofday () -. t0))
+          (fun () -> exec_stmt_kind env stmt)
+  with
+  | Runtime_error msg when stmt.spos.line > 0 && not (has_pos_prefix msg) ->
+      raise
+        (Runtime_error
+           (Printf.sprintf "%d:%d: %s" stmt.spos.line stmt.spos.col msg))
 
 and exec_stmt_kind env stmt =
   match stmt.sk with
@@ -382,6 +414,10 @@ and exec_loop env kind body =
             ex.ex_iter (fun idx v ->
                 (match env.profile with
                 | Some p -> Profile.record_array_read p ex.ex_name
+                | None -> ());
+                (match env.on_array_access with
+                | Some f ->
+                    f ex ~write:false (Array.map (fun i -> Cpoint i) idx)
                 | None -> ());
                 set_var env key (Vindex idx);
                 set_var env value v;

@@ -2,7 +2,12 @@
     JIT in the paper's prototype.  Distributed arrays appear only as
     {!Value.extern} handles installed in the environment by the host. *)
 
+(** Raised on runtime failures (undefined variables, division by zero,
+    unknown functions, …).  When the failure occurs while executing a
+    statement with a known source position, the message is prefixed
+    with the innermost statement's ["line:col: "]. *)
 exception Runtime_error of string
+
 exception Break_exc
 exception Continue_exc
 
@@ -26,6 +31,11 @@ type env = {
   mutable profile : Profile.t option;
       (** when set, statement execution times (by source line) and
           DistArray element accesses are recorded *)
+  mutable on_array_access :
+    (Value.extern -> write:bool -> Value.concrete_sub array -> unit) option;
+      (** when set, called after every successful DistArray element
+          access with the concrete (0-based) subscripts — the hook the
+          dynamic dependence validator uses to build its access log *)
 }
 
 val create_env :

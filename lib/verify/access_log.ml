@@ -1,0 +1,89 @@
+(** Element-granularity DistArray access log.
+
+    The dynamic dependence validator runs a parallel loop's body
+    serially, one iteration at a time, with {!Orion_lang.Interp}'s
+    [on_array_access] hook pointed at {!record}.  Every element touched
+    is logged with the full iteration vector that touched it; range and
+    whole-dimension subscripts are expanded to the individual elements
+    they cover, so the log is the ground truth the observed dependence
+    edges are reconstructed from. *)
+
+open Orion_lang
+
+type event = {
+  ev_array : string;
+  ev_key : int array;  (** element key, 0-based *)
+  ev_write : bool;
+  ev_iter : int array;  (** iteration vector of the accessing iteration *)
+  ev_seq : int;  (** position in serial execution order *)
+}
+
+type t = {
+  mutable rev_events : event list;  (** newest first *)
+  mutable seq : int;
+  mutable current_iter : int array;
+}
+
+let create () = { rev_events = []; seq = 0; current_iter = [||] }
+
+(** Set the iteration vector that subsequent accesses belong to (called
+    once per iteration by the serial observation pass). *)
+let set_iter t iter = t.current_iter <- Array.copy iter
+
+let record_key t ~array ~write key =
+  t.rev_events <-
+    {
+      ev_array = array;
+      ev_key = key;
+      ev_write = write;
+      ev_iter = t.current_iter;
+      ev_seq = t.seq;
+    }
+    :: t.rev_events;
+  t.seq <- t.seq + 1
+
+(* expand a concrete subscript to the point indices it covers *)
+let expand_sub dim = function
+  | Value.Cpoint p -> [ p ]
+  | Value.Crange (a, b) -> List.init (max 0 (b - a + 1)) (fun k -> a + k)
+  | Value.Call_dim -> List.init dim Fun.id
+
+(** Record one access with concrete subscripts, expanding ranges and
+    whole-dimension subscripts against [dims] to element keys. *)
+let record t ~array ~(dims : int array) ~write
+    (subs : Value.concrete_sub array) =
+  let all_points =
+    Array.for_all (function Value.Cpoint _ -> true | _ -> false) subs
+  in
+  if all_points then
+    record_key t ~array ~write
+      (Array.map (function Value.Cpoint p -> p | _ -> 0) subs)
+  else
+    (* cartesian product of the expanded positions *)
+    let rec cart i =
+      if i >= Array.length subs then [ [] ]
+      else
+        let tails = cart (i + 1) in
+        List.concat_map
+          (fun p -> List.map (fun tl -> p :: tl) tails)
+          (expand_sub dims.(i) subs.(i))
+    in
+    List.iter
+      (fun key -> record_key t ~array ~write (Array.of_list key))
+      (cart 0)
+
+(** Events in serial execution order. *)
+let events t = Array.of_list (List.rev t.rev_events)
+
+let length t = t.seq
+
+(** Install this log as [env]'s access hook.  [skip] names arrays to
+    leave out of the log (e.g. the iteration-space array itself). *)
+let attach t ?(skip = []) (env : Interp.env) =
+  env.Interp.on_array_access <-
+    Some
+      (fun ex ~write csubs ->
+        if not (List.mem ex.Value.ex_name skip) then
+          record t ~array:ex.Value.ex_name ~dims:ex.Value.ex_dims ~write csubs)
+
+let detach (env : Interp.env) = env.Interp.on_array_access <- None

@@ -1,0 +1,43 @@
+(** Element-granularity DistArray access log: the raw material for
+    dynamic dependence reconstruction.  Filled by pointing
+    {!Orion_lang.Interp}'s [on_array_access] hook at a log ({!attach})
+    while the loop body runs serially. *)
+
+type event = {
+  ev_array : string;
+  ev_key : int array;  (** element key, 0-based *)
+  ev_write : bool;
+  ev_iter : int array;  (** iteration vector of the accessing iteration *)
+  ev_seq : int;  (** position in serial execution order *)
+}
+
+type t
+
+val create : unit -> t
+
+(** Set the iteration vector subsequent accesses belong to (call once
+    per iteration before executing the body). *)
+val set_iter : t -> int array -> unit
+
+(** Record one access, expanding range / whole-dimension subscripts
+    against [dims] to the individual element keys they cover. *)
+val record :
+  t ->
+  array:string ->
+  dims:int array ->
+  write:bool ->
+  Orion_lang.Value.concrete_sub array ->
+  unit
+
+val record_key : t -> array:string -> write:bool -> int array -> unit
+
+(** Events in serial execution order. *)
+val events : t -> event array
+
+val length : t -> int
+
+(** Install the log as [env]'s access hook; [skip] names arrays to
+    leave out (e.g. the iteration space itself). *)
+val attach : t -> ?skip:string list -> Orion_lang.Interp.env -> unit
+
+val detach : Orion_lang.Interp.env -> unit

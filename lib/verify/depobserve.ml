@@ -1,0 +1,134 @@
+(** Dynamic dependence reconstruction: turn an access log into observed
+    flow / anti / output dependence edges over the loop iteration
+    space.
+
+    Mirroring Algorithm 2's skip rules, read/read pairs never produce
+    edges, output (write/write) edges are produced only for [ordered]
+    loops (unordered loops assume commutative updates, so write/write
+    pairs are exempt from the static analysis too), and arrays written
+    through DistArray Buffers are exempt entirely. *)
+
+type kind = Flow | Anti | Output
+
+let kind_to_string = function
+  | Flow -> "flow"
+  | Anti -> "anti"
+  | Output -> "output"
+
+type edge = {
+  e_array : string;
+  e_kind : kind;
+  e_key : int array;  (** witness element both iterations touch *)
+  e_src : int array;  (** earlier iteration (serial order) *)
+  e_dst : int array;  (** later iteration *)
+}
+
+(** Element-wise iteration distance [dst - src]; always
+    lexicographically positive because the observation pass runs in
+    ascending iteration order. *)
+let distance e = Array.init (Array.length e.e_src) (fun i -> e.e_dst.(i) - e.e_src.(i))
+
+let iter_key (a : int array) =
+  String.concat "," (Array.to_list (Array.map string_of_int a))
+
+(* per-element state while scanning the log *)
+type cell = {
+  mutable last_write : int array option;
+  mutable reads_since : int array list;  (** distinct iterations, newest first *)
+}
+
+(** Reconstruct observed dependence edges from [log].  Edges are
+    deduplicated on (array, kind, src, dst); each keeps one witness
+    element key.  [skip_arrays] (buffered arrays) contribute nothing. *)
+let edges ?(ordered = false) ?(skip_arrays = []) (log : Access_log.t) :
+    edge list =
+  let cells : (string, cell) Hashtbl.t = Hashtbl.create 1024 in
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let out = ref [] in
+  let emit ~array ~kind ~key ~src ~dst =
+    if src != dst && iter_key src <> iter_key dst then begin
+      let id =
+        Printf.sprintf "%s|%s|%s|%s" array (kind_to_string kind)
+          (iter_key src) (iter_key dst)
+      in
+      if not (Hashtbl.mem seen id) then begin
+        Hashtbl.add seen id ();
+        out :=
+          { e_array = array; e_kind = kind; e_key = key; e_src = src; e_dst = dst }
+          :: !out
+      end
+    end
+  in
+  Array.iter
+    (fun (ev : Access_log.event) ->
+      if not (List.mem ev.Access_log.ev_array skip_arrays) then begin
+        let ck =
+          ev.Access_log.ev_array ^ "@" ^ iter_key ev.Access_log.ev_key
+        in
+        let cell =
+          match Hashtbl.find_opt cells ck with
+          | Some c -> c
+          | None ->
+              let c = { last_write = None; reads_since = [] } in
+              Hashtbl.add cells ck c;
+              c
+        in
+        let array = ev.Access_log.ev_array in
+        let key = ev.Access_log.ev_key in
+        let iter = ev.Access_log.ev_iter in
+        if ev.Access_log.ev_write then begin
+          List.iter
+            (fun r -> emit ~array ~kind:Anti ~key ~src:r ~dst:iter)
+            cell.reads_since;
+          (match cell.last_write with
+          | Some w when ordered -> emit ~array ~kind:Output ~key ~src:w ~dst:iter
+          | Some _ | None -> ());
+          cell.last_write <- Some iter;
+          cell.reads_since <- []
+        end
+        else begin
+          (match cell.last_write with
+          | Some w -> emit ~array ~kind:Flow ~key ~src:w ~dst:iter
+          | None -> ());
+          (* keep distinct iterations only: repeated reads of the same
+             element by one iteration add nothing *)
+          match cell.reads_since with
+          | r :: _ when r == iter || iter_key r = iter_key iter -> ()
+          | _ -> cell.reads_since <- iter :: cell.reads_since
+        end
+      end)
+    (Access_log.events log);
+  List.rev !out
+
+(** Distinct observed distance vectors per array, each with a witness
+    edge (the offending iteration pair to report on a miss). *)
+let vectors_by_array (edges : edge list) : (string * (int array * edge) list) list
+    =
+  let tbl : (string, (int array * edge) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let order = ref [] in
+  List.iter
+    (fun e ->
+      let d = distance e in
+      let entry =
+        match Hashtbl.find_opt tbl e.e_array with
+        | Some r -> r
+        | None ->
+            let r = ref [] in
+            Hashtbl.add tbl e.e_array r;
+            order := e.e_array :: !order;
+            r
+      in
+      if not (List.exists (fun (d', _) -> d' = d) !entry) then
+        entry := (d, e) :: !entry)
+    edges;
+  List.rev_map
+    (fun name -> (name, List.rev !(Hashtbl.find tbl name)))
+    !order
+
+let edge_to_string e =
+  Printf.sprintf "%s %s: (%s) -> (%s) at [%s], distance (%s)" e.e_array
+    (kind_to_string e.e_kind) (iter_key e.e_src) (iter_key e.e_dst)
+    (iter_key e.e_key)
+    (iter_key (distance e))

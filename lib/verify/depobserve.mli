@@ -1,0 +1,33 @@
+(** Dynamic dependence reconstruction from an access log: observed
+    flow / anti / output dependence edges over the iteration space,
+    mirroring Algorithm 2's skip rules (no read/read edges; output
+    edges only for ordered loops; buffered arrays exempt). *)
+
+type kind = Flow | Anti | Output
+
+val kind_to_string : kind -> string
+
+type edge = {
+  e_array : string;
+  e_kind : kind;
+  e_key : int array;  (** witness element both iterations touch *)
+  e_src : int array;  (** earlier iteration (serial order) *)
+  e_dst : int array;  (** later iteration *)
+}
+
+(** Element-wise iteration distance [dst - src] (lexicographically
+    positive: observation runs in ascending iteration order). *)
+val distance : edge -> int array
+
+val iter_key : int array -> string
+
+(** Reconstruct the deduplicated observed edges.  [ordered] enables
+    output (write/write) edges; [skip_arrays] lists buffered arrays. *)
+val edges :
+  ?ordered:bool -> ?skip_arrays:string list -> Access_log.t -> edge list
+
+(** Distinct observed distance vectors per array, each with a witness
+    edge. *)
+val vectors_by_array : edge list -> (string * (int array * edge) list) list
+
+val edge_to_string : edge -> string

@@ -1,0 +1,31 @@
+(** Small deterministic app instances for differential verification:
+    real DistArrays, fully interpreted loop bodies, order-independent
+    host builtins. *)
+
+type instance = {
+  session : Orion.session;
+  env : Orion_lang.Interp.env;
+  loop_stmt : Orion_lang.Ast.stmt;
+  key_var : string;
+  value_var : string;
+  body : Orion_lang.Ast.block;
+  iter : Orion_lang.Value.t Orion_dsm.Dist_array.t;
+      (** iteration space carrying interpreter values *)
+  iter_name : string;
+  outputs : (string * float Orion_dsm.Dist_array.t) list;
+      (** model arrays compared by the differential runner *)
+  buffered : string list;  (** buffer-written arrays, dependence-exempt *)
+}
+
+type t = {
+  fx_app : string;
+  fx_tolerance : float option;
+      (** [None]: scheduled and witness runs must agree bitwise *)
+  fx_make : int -> int -> instance;
+      (** [fx_make num_machines workers_per_machine] builds a fresh
+          instance (identical initial state every call) *)
+}
+
+val all : t list
+val find : string -> t option
+val app_names : string list

@@ -1,0 +1,273 @@
+(** Schedule race detection: replay a {!Orion_runtime.Schedule.t}
+    against observed dependence edges.
+
+    Each executor strategy induces a happens-before partial order over
+    schedule blocks — per-worker program order plus the strategy's
+    synchronization (barriers for 1D / ordered-2D / time-major;
+    partition-rotation messages for unordered 2D, Fig. 8).  A
+    dependence edge whose endpoints land in blocks unrelated by
+    happens-before would race on a real cluster (the sequential
+    simulator masks it); for ordered loops, an edge whose endpoints run
+    in the wrong order additionally breaks the serial semantics. *)
+
+type model =
+  | M_1d
+  | M_2d_ordered
+  | M_2d_unordered of { depth : int }
+  | M_time_major
+
+let model_to_string = function
+  | M_1d -> "1d"
+  | M_2d_ordered -> "2d-ordered"
+  | M_2d_unordered { depth } -> Printf.sprintf "2d-unordered(depth=%d)" depth
+  | M_time_major -> "time-major"
+
+(** The executor's effective pipeline depth for an unordered-2D pass
+    (mirrors {!Orion_runtime.Executor.run_2d_unordered}). *)
+let effective_depth ~pipeline_depth ~sp ~tp =
+  max 1 (min pipeline_depth (tp / max sp 1))
+
+(** The execution model {!Orion.execute} uses for a plan's schedule. *)
+let model_of_plan (plan : Orion_analysis.Plan.t) ~pipeline_depth ~sp ~tp =
+  match plan.Orion_analysis.Plan.strategy with
+  | Orion_analysis.Plan.One_d _ | Orion_analysis.Plan.Data_parallel -> M_1d
+  | Orion_analysis.Plan.Two_d _ ->
+      if plan.Orion_analysis.Plan.ordered then M_2d_ordered
+      else M_2d_unordered { depth = effective_depth ~pipeline_depth ~sp ~tp }
+  | Orion_analysis.Plan.Two_d_unimodular _ -> M_time_major
+
+type t = {
+  model : model;
+  workers : int;
+  sp : int;
+  tp : int;
+  block_of : (string, int * int * int) Hashtbl.t;
+      (** iteration key -> (space, time, position within block) *)
+  hb : bool array array;  (** strict happens-before, transitively closed *)
+  natural : (int * int) array;  (** the executor's block execution sequence *)
+}
+
+let bid t ~s ~time = (s * t.tp) + time
+
+(* the sequential order in which the executor visits blocks *)
+let natural_order model ~sp ~tp =
+  let out = ref [] in
+  (match model with
+  | M_1d ->
+      for s = 0 to sp - 1 do
+        out := (s, 0) :: !out
+      done
+  | M_2d_ordered ->
+      for g = 0 to sp + tp - 2 do
+        for s = 0 to sp - 1 do
+          let time = g - s in
+          if time >= 0 && time < tp then out := (s, time) :: !out
+        done
+      done
+  | M_2d_unordered { depth } ->
+      for step = 0 to tp - 1 do
+        for s = 0 to sp - 1 do
+          out := (s, ((s * depth) + step) mod tp) :: !out
+        done
+      done
+  | M_time_major ->
+      for time = 0 to tp - 1 do
+        for s = 0 to sp - 1 do
+          out := (s, time) :: !out
+        done
+      done);
+  Array.of_list (List.rev !out)
+
+(** Build the happens-before analysis of [sched] under [model] with
+    [workers] simulated workers. *)
+let build model ~workers (sched : 'v Orion_runtime.Schedule.t) : t =
+  let sp = sched.Orion_runtime.Schedule.space_parts in
+  let tp = sched.Orion_runtime.Schedule.time_parts in
+  let n = sp * tp in
+  let hb = Array.make_matrix n n false in
+  let t =
+    {
+      model;
+      workers;
+      sp;
+      tp;
+      block_of = Hashtbl.create 1024;
+      hb;
+      natural = natural_order model ~sp ~tp;
+    }
+  in
+  (* index every scheduled iteration *)
+  Array.iteri
+    (fun s row ->
+      Array.iteri
+        (fun time (b : 'v Orion_runtime.Schedule.block) ->
+          Array.iteri
+            (fun pos (key, _) ->
+              Hashtbl.replace t.block_of (Depobserve.iter_key key)
+                (s, time, pos))
+            b.Orion_runtime.Schedule.entries)
+        row)
+    sched.Orion_runtime.Schedule.blocks;
+  let worker_of s = s mod workers in
+  let edge (s1, t1) (s2, t2) = hb.(bid t ~s:s1 ~time:t1).(bid t ~s:s2 ~time:t2) <- true in
+  (match model with
+  | M_1d ->
+      (* same worker: blocks run back-to-back in ascending space order;
+         cross-worker: nothing orders them before the final barrier *)
+      for s1 = 0 to sp - 1 do
+        for s2 = s1 + 1 to sp - 1 do
+          if worker_of s1 = worker_of s2 then edge (s1, 0) (s2, 0)
+        done
+      done
+  | M_2d_ordered ->
+      (* a global barrier closes every anti-diagonal: g1 < g2 orders;
+         within one step a worker holding several space partitions runs
+         them sequentially *)
+      for s1 = 0 to sp - 1 do
+        for t1 = 0 to tp - 1 do
+          for s2 = 0 to sp - 1 do
+            for t2 = 0 to tp - 1 do
+              let g1 = s1 + t1 and g2 = s2 + t2 in
+              if g1 < g2 then edge (s1, t1) (s2, t2)
+              else if g1 = g2 && s1 < s2 && worker_of s1 = worker_of s2 then
+                edge (s1, t1) (s2, t2)
+            done
+          done
+        done
+      done
+  | M_2d_unordered { depth } ->
+      (* per-worker program order by (step, space); a partition-rotation
+         message orders block (s, t) before ((s-1) mod sp, t), which
+         uses the shipped partition [depth] steps later *)
+      let step_of s time = (((time - (s * depth)) mod tp) + tp) mod tp in
+      for s1 = 0 to sp - 1 do
+        for t1 = 0 to tp - 1 do
+          let k1 = step_of s1 t1 in
+          for s2 = 0 to sp - 1 do
+            for t2 = 0 to tp - 1 do
+              if (s1, t1) <> (s2, t2) && worker_of s1 = worker_of s2 then begin
+                let k2 = step_of s2 t2 in
+                if k1 < k2 || (k1 = k2 && s1 < s2) then edge (s1, t1) (s2, t2)
+              end
+            done
+          done;
+          if k1 + depth <= tp - 1 then edge (s1, t1) ((s1 - 1 + sp) mod sp, t1)
+        done
+      done
+  | M_time_major ->
+      (* a barrier closes every time partition *)
+      for s1 = 0 to sp - 1 do
+        for t1 = 0 to tp - 1 do
+          for s2 = 0 to sp - 1 do
+            for t2 = 0 to tp - 1 do
+              if t1 < t2 then edge (s1, t1) (s2, t2)
+              else if t1 = t2 && s1 < s2 && worker_of s1 = worker_of s2 then
+                edge (s1, t1) (s2, t2)
+            done
+          done
+        done
+      done);
+  (* transitive closure *)
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      if hb.(i).(k) then
+        for j = 0 to n - 1 do
+          if hb.(k).(j) then hb.(i).(j) <- true
+        done
+    done
+  done;
+  t
+
+let happens_before t (s1, t1) (s2, t2) =
+  t.hb.(bid t ~s:s1 ~time:t1).(bid t ~s:s2 ~time:t2)
+
+type violation = {
+  v_edge : Depobserve.edge;
+  v_src_block : int * int;
+  v_dst_block : int * int;
+  v_why : [ `Concurrent | `Reversed | `Unscheduled ];
+}
+
+let why_to_string = function
+  | `Concurrent -> "concurrent"
+  | `Reversed -> "reversed"
+  | `Unscheduled -> "unscheduled"
+
+(** Check every observed dependence edge against the schedule.  An edge
+    whose endpoints are in happens-before-unrelated blocks is a race.
+    For [ordered] loops the serial order must also be preserved:
+    reversed block order — or reversed positions within one block — is
+    a violation (for unordered loops any dependence-respecting total
+    order is a valid serial order, so reversal is permitted). *)
+let check t ~ordered (edges : Depobserve.edge list) : violation list =
+  List.filter_map
+    (fun (e : Depobserve.edge) ->
+      let src = Hashtbl.find_opt t.block_of (Depobserve.iter_key e.Depobserve.e_src) in
+      let dst = Hashtbl.find_opt t.block_of (Depobserve.iter_key e.Depobserve.e_dst) in
+      match (src, dst) with
+      | None, _ | _, None ->
+          Some
+            {
+              v_edge = e;
+              v_src_block = (-1, -1);
+              v_dst_block = (-1, -1);
+              v_why = `Unscheduled;
+            }
+      | Some (s1, t1, p1), Some (s2, t2, p2) ->
+          let b1 = (s1, t1) and b2 = (s2, t2) in
+          let mk why =
+            Some { v_edge = e; v_src_block = b1; v_dst_block = b2; v_why = why }
+          in
+          if b1 = b2 then
+            if ordered && p2 < p1 then mk `Reversed else None
+          else if happens_before t b1 b2 then None
+          else if happens_before t b2 b1 then
+            if ordered then mk `Reversed else None
+          else mk `Concurrent)
+    edges
+
+let violation_to_string v =
+  Printf.sprintf "%s dependence %s: block (%d,%d) vs (%d,%d) %s"
+    (Depobserve.kind_to_string v.v_edge.Depobserve.e_kind)
+    (Depobserve.edge_to_string v.v_edge)
+    (fst v.v_src_block) (snd v.v_src_block) (fst v.v_dst_block)
+    (snd v.v_dst_block)
+    (why_to_string v.v_why)
+
+(** A total order on blocks consistent with happens-before.  With
+    [adversarial] false this reproduces the executor's own sequence;
+    with [adversarial] true, ready blocks are emitted in *reverse*
+    executor order, maximally reordering happens-before-unrelated
+    blocks — the witness serial order used by the differential runner
+    (a racy schedule makes the two orders compute different results). *)
+let linearize t ~adversarial : (int * int) array =
+  let n = t.sp * t.tp in
+  let rank = Array.make n 0 in
+  Array.iteri
+    (fun i (s, time) -> rank.(bid t ~s ~time) <- i)
+    t.natural;
+  let emitted = Array.make n false in
+  let out = Array.make n (0, 0) in
+  for i = 0 to n - 1 do
+    let best = ref (-1) in
+    for b = 0 to n - 1 do
+      if not emitted.(b) then begin
+        let ready = ref true in
+        for p = 0 to n - 1 do
+          if t.hb.(p).(b) && not emitted.(p) then ready := false
+        done;
+        if !ready then
+          match !best with
+          | -1 -> best := b
+          | cur ->
+              if
+                (adversarial && rank.(b) > rank.(cur))
+                || ((not adversarial) && rank.(b) < rank.(cur))
+              then best := b
+      end
+    done;
+    assert (!best >= 0);
+    emitted.(!best) <- true;
+    out.(i) <- (!best / t.tp, !best mod t.tp)
+  done;
+  out

@@ -1,0 +1,53 @@
+(** Schedule race detection: replay a schedule's happens-before order
+    against observed dependence edges. *)
+
+type model =
+  | M_1d  (** space partitions, one barrier at the end *)
+  | M_2d_ordered  (** anti-diagonal wavefront, barrier per diagonal *)
+  | M_2d_unordered of { depth : int }  (** pipelined partition rotation *)
+  | M_time_major  (** unimodular time loop, barrier per time step *)
+
+val model_to_string : model -> string
+
+(** The executor's effective pipeline depth for an unordered-2D pass. *)
+val effective_depth : pipeline_depth:int -> sp:int -> tp:int -> int
+
+(** The execution model {!Orion.execute} uses for a plan's schedule. *)
+val model_of_plan :
+  Orion_analysis.Plan.t -> pipeline_depth:int -> sp:int -> tp:int -> model
+
+type t = {
+  model : model;
+  workers : int;
+  sp : int;
+  tp : int;
+  block_of : (string, int * int * int) Hashtbl.t;
+      (** iteration key -> (space, time, position within block) *)
+  hb : bool array array;  (** strict happens-before, transitively closed *)
+  natural : (int * int) array;  (** the executor's block execution sequence *)
+}
+
+val build : model -> workers:int -> 'v Orion_runtime.Schedule.t -> t
+
+val happens_before : t -> int * int -> int * int -> bool
+
+type violation = {
+  v_edge : Depobserve.edge;
+  v_src_block : int * int;
+  v_dst_block : int * int;
+  v_why : [ `Concurrent | `Reversed | `Unscheduled ];
+}
+
+val why_to_string : [ `Concurrent | `Reversed | `Unscheduled ] -> string
+
+(** Check observed dependence edges against the schedule.  Endpoints in
+    happens-before-unrelated blocks race; for [ordered] loops, reversed
+    execution order is also a violation. *)
+val check : t -> ordered:bool -> Depobserve.edge list -> violation list
+
+val violation_to_string : violation -> string
+
+(** A block total order consistent with happens-before: the executor's
+    own order ([adversarial:false]) or a maximally reordered witness
+    ([adversarial:true]) for the differential runner. *)
+val linearize : t -> adversarial:bool -> (int * int) array

@@ -1,0 +1,555 @@
+(** Dynamic dependence validation: observe every DistArray element
+    access during a serial run, reconstruct the dependences that
+    actually happened, and hold the static analysis and the generated
+    schedule to them.
+
+    Three layers, all reported per app:
+
+    - {b soundness} — every observed dependence vector must be covered
+      by a static vector from {!Orion_analysis.Depanalysis.analyze}
+      (misses name the offending iteration pair and element);
+    - {b races} — no observed dependence edge may connect blocks the
+      schedule runs concurrently (or, for ordered loops, in reversed
+      order);
+    - {b differential} — the scheduled execution and an adversarial
+      dependence-respecting reordering of it must produce element-wise
+      equal model arrays (bitwise, or within the fixture's tolerance
+      for buffered floating-point accumulation). *)
+
+open Orion_lang
+open Orion_dsm
+module Buffer = Stdlib.Buffer  (* [open Orion_dsm] shadows it *)
+module Plan = Orion_analysis.Plan
+module Depvec = Orion_analysis.Depvec
+module Schedule = Orion_runtime.Schedule
+module Executor = Orion_runtime.Executor
+
+(* ------------------------------------------------------------------ *)
+(* Serial observation pass (run A)                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Execute the loop serially in ascending key order with the access
+    log attached (this mutates the instance's arrays: the instance
+    afterwards holds the canonical serial result). *)
+let observe (inst : Fixture.instance) : Access_log.t =
+  let log = Access_log.create () in
+  Access_log.attach log ~skip:[ inst.Fixture.iter_name ] inst.Fixture.env;
+  Dist_array.iter
+    (fun key value ->
+      Access_log.set_iter log key;
+      Interp.eval_body_for inst.Fixture.env ~key_var:inst.Fixture.key_var
+        ~value_var:inst.Fixture.value_var ~key ~value inst.Fixture.body)
+    inst.Fixture.iter;
+  Access_log.detach inst.Fixture.env;
+  log
+
+(* ------------------------------------------------------------------ *)
+(* Soundness: observed vectors vs static analysis                      *)
+(* ------------------------------------------------------------------ *)
+
+let covers_elt (e : Depvec.elt) (d : int) =
+  match e with
+  | Depvec.Fin k -> d = k
+  | Depvec.Pos_inf -> d >= 1
+  | Depvec.Neg_inf -> d <= -1
+  | Depvec.Any -> true
+
+(** Does static vector [vec] cover observed distance [dist]? *)
+let covers (vec : Depvec.t) (dist : int array) =
+  Array.length vec = Array.length dist
+  && Array.for_all Fun.id (Array.mapi (fun i e -> covers_elt e dist.(i)) vec)
+
+type miss = {
+  m_array : string;
+  m_kind : Depobserve.kind;
+  m_distance : int array;
+  m_edge : Depobserve.edge;  (** the offending iteration pair *)
+  m_static : Depvec.t list;  (** the static vectors that failed to cover *)
+}
+
+let miss_to_string m =
+  Printf.sprintf
+    "%s: observed %s dependence (%s) -> (%s) at element [%s], distance (%s) \
+     not covered by static {%s}"
+    m.m_array
+    (Depobserve.kind_to_string m.m_kind)
+    (Depobserve.iter_key m.m_edge.Depobserve.e_src)
+    (Depobserve.iter_key m.m_edge.Depobserve.e_dst)
+    (Depobserve.iter_key m.m_edge.Depobserve.e_key)
+    (Depobserve.iter_key m.m_distance)
+    (String.concat "; " (List.map Depvec.to_string m.m_static))
+
+(** Every observed distance vector not covered by any static vector of
+    its array. *)
+let soundness_misses ~(static : (string * Depvec.t list) list)
+    (edges : Depobserve.edge list) : miss list =
+  List.concat_map
+    (fun (array, observed) ->
+      let vecs =
+        match List.assoc_opt array static with Some v -> v | None -> []
+      in
+      List.filter_map
+        (fun (dist, (witness : Depobserve.edge)) ->
+          if List.exists (fun v -> covers v dist) vecs then None
+          else
+            Some
+              {
+                m_array = array;
+                m_kind = witness.Depobserve.e_kind;
+                m_distance = dist;
+                m_edge = witness;
+                m_static = vecs;
+              })
+        observed)
+    (Depobserve.vectors_by_array edges)
+
+(* ------------------------------------------------------------------ *)
+(* Differential comparison                                             *)
+(* ------------------------------------------------------------------ *)
+
+type diff_result = {
+  d_array : string;
+  d_cells : int;
+  d_max_abs : float;
+  d_max_rel : float;
+  d_worst_key : int array option;
+}
+
+let diff_arrays name (a : float Dist_array.t) (b : float Dist_array.t) :
+    diff_result =
+  let keys : (string, int array) Hashtbl.t = Hashtbl.create 997 in
+  let note arr =
+    Array.iter
+      (fun (k, _) -> Hashtbl.replace keys (Depobserve.iter_key k) k)
+      (Dist_array.entries arr)
+  in
+  note a;
+  note b;
+  let r =
+    ref { d_array = name; d_cells = 0; d_max_abs = 0.0; d_max_rel = 0.0; d_worst_key = None }
+  in
+  Hashtbl.iter
+    (fun _ k ->
+      let va = Dist_array.get a k and vb = Dist_array.get b k in
+      let abs = Float.abs (va -. vb) in
+      let rel = abs /. Float.max (Float.max (Float.abs va) (Float.abs vb)) 1e-12 in
+      let cur = !r in
+      r :=
+        {
+          cur with
+          d_cells = cur.d_cells + 1;
+          d_max_abs = Float.max cur.d_max_abs abs;
+          d_max_rel = Float.max cur.d_max_rel rel;
+          d_worst_key = (if abs > cur.d_max_abs then Some k else cur.d_worst_key);
+        })
+    keys;
+  !r
+
+let diff_ok ~tolerance d =
+  match tolerance with
+  | None -> d.d_max_abs = 0.0
+  | Some tol -> d.d_max_rel <= tol
+
+(* ------------------------------------------------------------------ *)
+(* Reports                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type app_report = {
+  r_app : string;
+  r_strategy : string;
+  r_model : string;
+  r_ordered : bool;
+  r_workers : int;
+  r_space_parts : int;
+  r_time_parts : int;
+  r_events : int;
+  r_edges : int;
+  r_observed : (string * int array list) list;
+  r_static : (string * string list) list;
+  r_misses : miss list;
+  r_violations : Race.violation list;
+  r_diff : diff_result list;  (** scheduled vs adversarial witness *)
+  r_serial_diff : diff_result list;  (** scheduled vs serial ascending *)
+  r_tolerance : float option;
+  r_passed : bool;
+}
+
+let take n l =
+  let rec go n = function
+    | x :: rest when n > 0 -> x :: go (n - 1) rest
+    | _ -> []
+  in
+  go n l
+
+let report_to_string (r : app_report) =
+  let b = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "orion verify: app=%s strategy=%s model=%s ordered=%b\n" r.r_app
+    r.r_strategy r.r_model r.r_ordered;
+  pf "  schedule: %d workers, %d space x %d time partitions\n" r.r_workers
+    r.r_space_parts r.r_time_parts;
+  pf "  access log: %d events, %d observed dependence edges\n" r.r_events
+    r.r_edges;
+  List.iter
+    (fun (array, dists) ->
+      let statics =
+        match List.assoc_opt array r.r_static with
+        | Some s -> String.concat " " s
+        | None -> "-"
+      in
+      pf "  %s: observed distances {%s}, static {%s}\n" array
+        (String.concat " "
+           (List.map (fun d -> "(" ^ Depobserve.iter_key d ^ ")") (take 8 dists))
+        ^ (if List.length dists > 8 then
+             Printf.sprintf " +%d more" (List.length dists - 8)
+           else "")
+        )
+        statics)
+    r.r_observed;
+  (match r.r_misses with
+  | [] -> pf "  soundness: OK (every observed vector covered)\n"
+  | misses ->
+      pf "  soundness: FAIL (%d uncovered observed vectors)\n"
+        (List.length misses);
+      List.iter (fun m -> pf "    MISS %s\n" (miss_to_string m)) (take 8 misses);
+      if List.length misses > 8 then
+        pf "    ... and %d more\n" (List.length misses - 8));
+  (match r.r_violations with
+  | [] -> pf "  races: OK (no dependence edge runs concurrently)\n"
+  | vs ->
+      pf "  races: FAIL (%d violations)\n" (List.length vs);
+      List.iter
+        (fun v -> pf "    RACE %s\n" (Race.violation_to_string v))
+        (take 8 vs);
+      if List.length vs > 8 then pf "    ... and %d more\n" (List.length vs - 8));
+  let tol_str =
+    match r.r_tolerance with
+    | None -> "exact"
+    | Some t -> Printf.sprintf "rel tol %.1e" t
+  in
+  List.iter
+    (fun d ->
+      pf "  differential %s (scheduled vs witness, %s): max |delta| = %.3e%s\n"
+        d.d_array tol_str d.d_max_abs
+        (if diff_ok ~tolerance:r.r_tolerance d then "" else "  FAIL"))
+    r.r_diff;
+  List.iter
+    (fun d ->
+      pf "  info %s (scheduled vs serial ascending): max |delta| = %.3e\n"
+        d.d_array d.d_max_abs)
+    r.r_serial_diff;
+  pf (if r.r_passed then "  PASS\n" else "  FAIL\n");
+  Buffer.contents b
+
+(* small Explain-style JSON builder (no external dependency) *)
+type json =
+  | J_null
+  | J_bool of bool
+  | J_int of int
+  | J_float of float
+  | J_string of string
+  | J_list of json list
+  | J_obj of (string * json) list
+
+let rec json_to_buf b = function
+  | J_null -> Buffer.add_string b "null"
+  | J_bool v -> Buffer.add_string b (string_of_bool v)
+  | J_int n -> Buffer.add_string b (string_of_int n)
+  | J_float f ->
+      if Float.is_finite f then Buffer.add_string b (Printf.sprintf "%.17g" f)
+      else Buffer.add_string b (Printf.sprintf "\"%s\"" (Float.to_string f))
+  | J_string s ->
+      Buffer.add_char b '"';
+      String.iter
+        (fun c ->
+          match c with
+          | '"' -> Buffer.add_string b "\\\""
+          | '\\' -> Buffer.add_string b "\\\\"
+          | '\n' -> Buffer.add_string b "\\n"
+          | c when Char.code c < 0x20 ->
+              Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+          | c -> Buffer.add_char b c)
+        s;
+      Buffer.add_char b '"'
+  | J_list l ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char b ',';
+          json_to_buf b v)
+        l;
+      Buffer.add_char b ']'
+  | J_obj fields ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          json_to_buf b (J_string k);
+          Buffer.add_char b ':';
+          json_to_buf b v)
+        fields;
+      Buffer.add_char b '}'
+
+let json_to_string j =
+  let b = Buffer.create 1024 in
+  json_to_buf b j;
+  Buffer.contents b
+
+let ints a = J_list (List.map (fun i -> J_int i) (Array.to_list a))
+
+let miss_json m =
+  J_obj
+    [
+      ("array", J_string m.m_array);
+      ("kind", J_string (Depobserve.kind_to_string m.m_kind));
+      ("distance", ints m.m_distance);
+      ("src_iteration", ints m.m_edge.Depobserve.e_src);
+      ("dst_iteration", ints m.m_edge.Depobserve.e_dst);
+      ("element", ints m.m_edge.Depobserve.e_key);
+      ("static", J_list (List.map (fun v -> J_string (Depvec.to_string v)) m.m_static));
+    ]
+
+let violation_json (v : Race.violation) =
+  let e = v.Race.v_edge in
+  J_obj
+    [
+      ("array", J_string e.Depobserve.e_array);
+      ("kind", J_string (Depobserve.kind_to_string e.Depobserve.e_kind));
+      ("element", ints e.Depobserve.e_key);
+      ("src_iteration", ints e.Depobserve.e_src);
+      ("dst_iteration", ints e.Depobserve.e_dst);
+      ( "src_block",
+        J_list [ J_int (fst v.Race.v_src_block); J_int (snd v.Race.v_src_block) ] );
+      ( "dst_block",
+        J_list [ J_int (fst v.Race.v_dst_block); J_int (snd v.Race.v_dst_block) ] );
+      ("why", J_string (Race.why_to_string v.Race.v_why));
+    ]
+
+let diff_json d =
+  J_obj
+    [
+      ("array", J_string d.d_array);
+      ("cells", J_int d.d_cells);
+      ("max_abs", J_float d.d_max_abs);
+      ("max_rel", J_float d.d_max_rel);
+      ( "worst_key",
+        match d.d_worst_key with None -> J_null | Some k -> ints k );
+    ]
+
+let report_to_json (r : app_report) =
+  json_to_string
+    (J_obj
+       [
+         ("app", J_string r.r_app);
+         ("strategy", J_string r.r_strategy);
+         ("model", J_string r.r_model);
+         ("ordered", J_bool r.r_ordered);
+         ("workers", J_int r.r_workers);
+         ("space_parts", J_int r.r_space_parts);
+         ("time_parts", J_int r.r_time_parts);
+         ("events", J_int r.r_events);
+         ("edges", J_int r.r_edges);
+         ( "observed",
+           J_obj
+             (List.map
+                (fun (a, dists) -> (a, J_list (List.map ints dists)))
+                r.r_observed) );
+         ( "static",
+           J_obj
+             (List.map
+                (fun (a, vs) -> (a, J_list (List.map (fun s -> J_string s) vs)))
+                r.r_static) );
+         ("misses", J_list (List.map miss_json r.r_misses));
+         ("violations", J_list (List.map violation_json r.r_violations));
+         ("differential", J_list (List.map diff_json r.r_diff));
+         ("serial_differential", J_list (List.map diff_json r.r_serial_diff));
+         ( "tolerance",
+           match r.r_tolerance with None -> J_null | Some t -> J_float t );
+         ("passed", J_bool r.r_passed);
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* The differential runner                                             *)
+(* ------------------------------------------------------------------ *)
+
+type schedule_override = Force_1d | Force_2d_ordered | Force_2d_unordered
+
+let override_to_string = function
+  | Force_1d -> "1d"
+  | Force_2d_ordered -> "2d-ordered"
+  | Force_2d_unordered -> "2d-unordered"
+
+let interp_body (inst : Fixture.instance) : Value.t Executor.body =
+ fun ~worker:_ ~key ~value ->
+  Interp.eval_body_for inst.Fixture.env ~key_var:inst.Fixture.key_var
+    ~value_var:inst.Fixture.value_var ~key ~value inst.Fixture.body
+
+(** Replay a schedule on a fresh instance in the given block order
+    (block entries keep their scheduled within-block order). *)
+let replay (inst : Fixture.instance) (sched : Value.t Schedule.t)
+    (order : (int * int) array) =
+  let body = interp_body inst in
+  Array.iter
+    (fun (s, t) ->
+      let blk = Schedule.block sched ~space:s ~time:t in
+      Array.iter
+        (fun (key, value) -> body ~worker:0 ~key ~value)
+        blk.Schedule.entries)
+    order
+
+let forced_schedule ov (inst : Fixture.instance) ~workers ~depth :
+    (Value.t Schedule.t * Race.model * (Fixture.instance -> unit), string)
+    result =
+  let iter = inst.Fixture.iter in
+  let cluster i = i.Fixture.session.Orion.cluster in
+  match ov with
+  | Force_1d ->
+      let sched =
+        Schedule.partition_1d ~shuffle_seed:17 iter ~space_dim:0
+          ~space_parts:workers
+      in
+      Ok
+        ( sched,
+          Race.M_1d,
+          fun i -> ignore (Executor.run_1d (cluster i) sched (interp_body i)) )
+  | (Force_2d_ordered | Force_2d_unordered) when Dist_array.ndims iter < 2 ->
+      Error
+        (Printf.sprintf
+           "--schedule %s needs a 2-D iteration space (%s is 1-D)"
+           (override_to_string ov) (Dist_array.name iter))
+  | Force_2d_ordered ->
+      let sched =
+        Schedule.partition_2d ~shuffle_seed:17 iter ~space_dim:0 ~time_dim:1
+          ~space_parts:workers ~time_parts:workers
+      in
+      Ok
+        ( sched,
+          Race.M_2d_ordered,
+          fun i ->
+            ignore
+              (Executor.run_2d_ordered (cluster i)
+                 ~rotated_bytes_per_partition:0.0 sched (interp_body i)) )
+  | Force_2d_unordered ->
+      let sched =
+        Schedule.partition_2d ~shuffle_seed:17 iter ~space_dim:0 ~time_dim:1
+          ~space_parts:workers
+          ~time_parts:(workers * depth)
+      in
+      let eff =
+        Race.effective_depth ~pipeline_depth:depth
+          ~sp:sched.Schedule.space_parts ~tp:sched.Schedule.time_parts
+      in
+      Ok
+        ( sched,
+          Race.M_2d_unordered { depth = eff },
+          fun i ->
+            ignore
+              (Executor.run_2d_unordered (cluster i) ~pipeline_depth:depth
+                 ~rotated_bytes_per_partition:0.0 sched (interp_body i)) )
+
+(** Verify one built-in app end to end: serial observation + soundness
+    check, scheduled execution + race check, adversarial-witness
+    differential.  [schedule_override] replaces the planner's schedule
+    with a forced one (to demonstrate race detection on wrong
+    schedules). *)
+let verify_app ?(num_machines = 2) ?(workers_per_machine = 2) ?pipeline_depth
+    ?schedule_override app : (app_report, string) result =
+  match Fixture.find app with
+  | None ->
+      Error
+        (Printf.sprintf "unknown app %S (expected one of: %s)" app
+           (String.concat " " Fixture.app_names))
+  | Some fx -> (
+      let make () = fx.Fixture.fx_make num_machines workers_per_machine in
+      (* run A: serial ascending observation *)
+      let inst_a = make () in
+      let log = observe inst_a in
+      let plan = Orion.analyze_loop inst_a.Fixture.session inst_a.Fixture.loop_stmt in
+      let ordered = plan.Plan.ordered in
+      let edges =
+        Depobserve.edges ~ordered ~skip_arrays:inst_a.Fixture.buffered log
+      in
+      let misses = soundness_misses ~static:plan.Plan.per_array_deps edges in
+      (* run B: scheduled execution *)
+      let inst_b = make () in
+      let plan_b = Orion.analyze_loop inst_b.Fixture.session inst_b.Fixture.loop_stmt in
+      let workers =
+        Orion_sim.Cluster.num_workers inst_b.Fixture.session.Orion.cluster
+      in
+      let depth =
+        Option.value pipeline_depth
+          ~default:inst_b.Fixture.session.Orion.default_pipeline_depth
+      in
+      let sched_result =
+        match schedule_override with
+        | Some ov -> forced_schedule ov inst_b ~workers ~depth
+        | None ->
+            let compiled =
+              Orion.compile inst_b.Fixture.session ~plan:plan_b
+                ~iter:inst_b.Fixture.iter ?pipeline_depth ()
+            in
+            let sched = compiled.Orion.schedule in
+            let model =
+              Race.model_of_plan plan_b
+                ~pipeline_depth:compiled.Orion.pipeline_depth
+                ~sp:sched.Schedule.space_parts ~tp:sched.Schedule.time_parts
+            in
+            Ok
+              ( sched,
+                model,
+                fun i ->
+                  ignore
+                    (Orion.execute i.Fixture.session compiled
+                       ~body:(interp_body i) ()) )
+      in
+      match sched_result with
+      | Error e -> Error e
+      | Ok (sched, model, run_scheduled) ->
+          run_scheduled inst_b;
+          let race = Race.build model ~workers sched in
+          let violations = Race.check race ~ordered edges in
+          (* run C: adversarial dependence-respecting witness replay of
+             the same schedule object on a fresh instance *)
+          let inst_c = make () in
+          replay inst_c sched (Race.linearize race ~adversarial:true);
+          let diffs other =
+            List.map2
+              (fun (name, arr_b) (_, arr_o) -> diff_arrays name arr_b arr_o)
+              inst_b.Fixture.outputs other
+          in
+          let diff = diffs inst_c.Fixture.outputs in
+          let serial_diff = diffs inst_a.Fixture.outputs in
+          let tolerance = fx.Fixture.fx_tolerance in
+          let passed =
+            misses = [] && violations = []
+            && List.for_all (diff_ok ~tolerance) diff
+          in
+          Ok
+            {
+              r_app = app;
+              r_strategy =
+                (match schedule_override with
+                | None -> Plan.strategy_to_string plan_b.Plan.strategy
+                | Some ov -> "forced " ^ override_to_string ov);
+              r_model = Race.model_to_string model;
+              r_ordered = ordered;
+              r_workers = workers;
+              r_space_parts = sched.Schedule.space_parts;
+              r_time_parts = sched.Schedule.time_parts;
+              r_events = Access_log.length log;
+              r_edges = List.length edges;
+              r_observed =
+                List.map
+                  (fun (a, ds) -> (a, List.map fst ds))
+                  (Depobserve.vectors_by_array edges);
+              r_static =
+                List.map
+                  (fun (a, vs) -> (a, List.map Depvec.to_string vs))
+                  plan.Plan.per_array_deps;
+              r_misses = misses;
+              r_violations = violations;
+              r_diff = diff;
+              r_serial_diff = serial_diff;
+              r_tolerance = tolerance;
+              r_passed = passed;
+            })

@@ -662,6 +662,24 @@ let test_prefetch_skips_distarray_dependent () =
   Alcotest.(check bool) "does not record B" false
     (contains ~sub:"__record(\"B\"" text)
 
+let test_prefetch_nested_read_skipped () =
+  (* the backward slice of w's first subscript reaches a read of the
+     dist-array q, so that read cannot be prefetched and is skipped;
+     q's own read and w's clean second read are still recorded *)
+  let body =
+    Orion_lang.Parser.parse_program
+      "x = w[int(q[key[1]])]\ny = w[key[1]]"
+  in
+  let gen, stats =
+    Prefetch.synthesize ~dist_vars:[ "w"; "q" ] ~targets:[ "w"; "q" ] body
+  in
+  Alcotest.(check int) "q and clean w read recorded" 2 stats.recorded;
+  Alcotest.(check int) "nested w read skipped" 1 stats.skipped;
+  let text = Prefetch.to_string gen in
+  Alcotest.(check bool) "records q" true (contains ~sub:"__record(\"q\"" text);
+  Alcotest.(check bool) "records w at key[1]" true
+    (contains ~sub:"__record(\"w\", key[1])" text)
+
 let test_prefetch_tainted_condition_over_records () =
   let body =
     Orion_lang.Parser.parse_program
@@ -728,6 +746,7 @@ let () =
           tc "slr prefetch" `Quick test_prefetch_slr;
           tc "skips distarray-dependent" `Quick
             test_prefetch_skips_distarray_dependent;
+          tc "nested read skipped" `Quick test_prefetch_nested_read_skipped;
           tc "tainted condition" `Quick
             test_prefetch_tainted_condition_over_records;
         ] );

@@ -243,6 +243,93 @@ let test_expr_roundtrip_qcheck () =
       let printed = Pretty.expr_to_string e in
       Ast.equal_expr e (Parser.parse_expression printed))
 
+(* random whole-program generator: statements over the constructs the
+   pretty-printer and parser both support, with loop-only statements
+   (break/continue) confined to loop bodies *)
+let gen_program : Ast.program QCheck.Gen.t =
+  let open QCheck.Gen in
+  let mk sk = Ast.mk sk in
+  let var = oneofl [ "x"; "y"; "z"; "acc" ] in
+  let lvalue =
+    oneof
+      [
+        map (fun v -> Ast.Lvar v) var;
+        map (fun e -> Ast.Lindex ("A", [ Ast.Sub_expr e ])) gen_expr;
+      ]
+  in
+  let bound =
+    oneof
+      [
+        map (fun i -> Ast.Int_lit i) (int_range 1 20);
+        map (fun v -> Ast.Var v) var;
+      ]
+  in
+  let rec stmt ~in_loop depth =
+    let leaf =
+      [
+        map2 (fun l e -> mk (Ast.Assign (l, e))) lvalue gen_expr;
+        map3
+          (fun op l e -> mk (Ast.Op_assign (op, l, e)))
+          (oneofl Ast.[ Add; Sub; Mul; Div ])
+          lvalue gen_expr;
+      ]
+    in
+    let leaf = if in_loop then return (mk Ast.Break) :: return (mk Ast.Continue) :: leaf else leaf in
+    if depth <= 0 then oneof leaf
+    else
+      let block ~in_loop = list_size (int_range 1 3) (stmt ~in_loop (depth - 1)) in
+      oneof
+        (leaf
+        @ [
+            map3
+              (fun c t e -> mk (Ast.If (c, t, e)))
+              gen_expr (block ~in_loop)
+              (oneof [ return []; block ~in_loop ]);
+            map3
+              (fun lo hi body ->
+                mk
+                  (Ast.For
+                     {
+                       kind = Ast.Range_loop { var = "i"; lo; hi };
+                       body;
+                       parallel = None;
+                     }))
+              bound bound (block ~in_loop:true);
+            map2
+              (fun c body -> mk (Ast.While (c, body)))
+              gen_expr (block ~in_loop:true);
+            map2
+              (fun ordered body ->
+                mk
+                  (Ast.For
+                     {
+                       kind =
+                         Ast.Each_loop
+                           { key = "key"; value = "v"; arr = "ratings" };
+                       body;
+                       parallel = Some { Ast.ordered };
+                     }))
+              bool (block ~in_loop:true);
+          ])
+  in
+  list_size (int_range 1 5) (stmt ~in_loop:false 2)
+
+(* lexer -> parser -> pretty-printer -> parser round-trip over seeded
+   random programs: the printed form must re-parse to an equal AST *)
+let test_program_roundtrip_seeded () =
+  let rand = Random.State.make [| 0xC0FFEE |] in
+  for _ = 1 to 200 do
+    let p = QCheck.Gen.generate1 ~rand gen_program in
+    let printed = Pretty.program_to_string p in
+    match parse printed with
+    | p2 ->
+        if not (Ast.equal_program p p2) then
+          Alcotest.failf "program roundtrip changed the AST for:\n%s" printed
+    | exception exn ->
+        Alcotest.failf "printed program failed to parse (%s):\n%s"
+          (Printexc.to_string exn) printed
+  done
+
 (* ------------------------------------------------------------------ *)
 (* Interpreter                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -577,6 +664,32 @@ let test_interp_unknown_function_error () =
     Alcotest.(check bool) "mentions name" true
       (String.length msg > 0)
 
+(* runtime errors carry the source position of the failing statement *)
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let test_interp_error_position () =
+  try
+    ignore (run "x = 1\ny = undefined_var + 1");
+    Alcotest.fail "expected error"
+  with Interp.Runtime_error msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "message %S starts with \"2:\"" msg)
+      true
+      (starts_with ~prefix:"2:" msg)
+
+let test_interp_error_position_nested () =
+  let src = "acc = 0\nfor i = 1:3\n  acc = acc + 1\n  z = frobnicate(i)\nend" in
+  try
+    ignore (run src);
+    Alcotest.fail "expected error"
+  with Interp.Runtime_error msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "message %S starts with \"4:\"" msg)
+      true
+      (starts_with ~prefix:"4:" msg)
+
 (* ------------------------------------------------------------------ *)
 (* Semantic checker                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -817,6 +930,7 @@ let () =
         [
           tc "roundtrip samples" `Quick test_pretty_roundtrip_samples;
           qc (test_expr_roundtrip_qcheck ());
+          tc "seeded program roundtrip" `Quick test_program_roundtrip_seeded;
         ] );
       ( "interp",
         [
@@ -845,6 +959,8 @@ let () =
           tc "nested loops" `Quick test_interp_nested_loops;
           tc "elseif execution" `Quick test_interp_elseif_execution;
           tc "unknown function" `Quick test_interp_unknown_function_error;
+          tc "error position" `Quick test_interp_error_position;
+          tc "error position nested" `Quick test_interp_error_position_nested;
         ] );
       ( "check",
         [

@@ -1,0 +1,200 @@
+(* Tests for lib/verify: soundness checking of static dependence
+   vectors against observed dependences, schedule race detection, and
+   the end-to-end differential runner behind [orion verify]. *)
+
+open Orion_verify
+module Depvec = Orion_analysis.Depvec
+
+let tc = Alcotest.test_case
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* Coverage of observed distances by static vectors                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_covers_elt () =
+  let check name expect elt d =
+    Alcotest.(check bool) name expect (Verify.covers_elt elt d)
+  in
+  check "Fin matches equal" true (Depvec.Fin 2) 2;
+  check "Fin rejects other" false (Depvec.Fin 2) 3;
+  check "Pos_inf needs >= 1" true Depvec.Pos_inf 5;
+  check "Pos_inf rejects 0" false Depvec.Pos_inf 0;
+  check "Neg_inf needs <= -1" true Depvec.Neg_inf (-1);
+  check "Neg_inf rejects 0" false Depvec.Neg_inf 0;
+  check "Any matches anything" true Depvec.Any (-7)
+
+let test_covers_vector () =
+  let v = [| Depvec.Fin 1; Depvec.Any |] in
+  Alcotest.(check bool) "covered" true (Verify.covers v [| 1; -3 |]);
+  Alcotest.(check bool) "first elt off" false (Verify.covers v [| 2; 0 |]);
+  Alcotest.(check bool) "rank mismatch" false (Verify.covers v [| 1 |])
+
+(* ------------------------------------------------------------------ *)
+(* Soundness: a deliberately weakened static vector must be caught     *)
+(* ------------------------------------------------------------------ *)
+
+(* Observe mf serially, then check its edges against a static set where
+   W's true vector (0, +inf) has been weakened to the single fixed
+   distance (0, 1).  Every observed W dependence at time distance > 1
+   must surface as a miss naming the exact offending iteration pair. *)
+let test_weakened_vector_reports_pair () =
+  let fx =
+    match Fixture.find "mf" with
+    | Some fx -> fx
+    | None -> Alcotest.fail "mf fixture missing"
+  in
+  let inst = fx.Fixture.fx_make 2 2 in
+  let log = Verify.observe inst in
+  let edges =
+    Depobserve.edges ~ordered:false ~skip_arrays:inst.Fixture.buffered log
+  in
+  Alcotest.(check bool) "mf has observed edges" true (edges <> []);
+  let weakened =
+    [
+      ("W", [ [| Depvec.Fin 0; Depvec.Fin 1 |] ]);
+      ("H", [ [| Depvec.Any; Depvec.Fin 0 |] ]);
+    ]
+  in
+  let misses = Verify.soundness_misses ~static:weakened edges in
+  Alcotest.(check bool) "weakening W is detected" true (misses <> []);
+  List.iter
+    (fun m ->
+      Alcotest.(check string) "all misses are on W" "W" m.Verify.m_array;
+      let d = m.Verify.m_distance in
+      Alcotest.(check int) "same user (distance 0 in dim 0)" 0 d.(0);
+      Alcotest.(check bool) "time distance not the weakened 1" true
+        (d.(1) <> 1);
+      (* the reported pair is the actual offending iterations: the
+         distance is exactly dst - src *)
+      let e = m.Verify.m_edge in
+      Array.iteri
+        (fun i s ->
+          Alcotest.(check int) "src + distance = dst"
+            e.Depobserve.e_dst.(i) (s + d.(i)))
+        e.Depobserve.e_src)
+    misses;
+  (* the correct static set has no misses *)
+  let sound =
+    [
+      ("W", [ [| Depvec.Fin 0; Depvec.Pos_inf |] ]);
+      ("H", [ [| Depvec.Any; Depvec.Fin 0 |] ]);
+    ]
+  in
+  Alcotest.(check int) "true vectors have no misses" 0
+    (List.length (Verify.soundness_misses ~static:sound edges))
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: each built-in app verifies under its planned schedule   *)
+(* ------------------------------------------------------------------ *)
+
+let verify_passes app () =
+  match Verify.verify_app app with
+  | Error e -> Alcotest.failf "verify %s errored: %s" app e
+  | Ok r ->
+      Alcotest.(check int) "no soundness misses" 0
+        (List.length r.Verify.r_misses);
+      Alcotest.(check int) "no race violations" 0
+        (List.length r.Verify.r_violations);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s passes:\n%s" app (Verify.report_to_string r))
+        true r.Verify.r_passed
+
+(* ------------------------------------------------------------------ *)
+(* A wrong schedule is flagged: mf forced onto a 1-D schedule races    *)
+(* ------------------------------------------------------------------ *)
+
+let test_forced_1d_mf_races () =
+  match Verify.verify_app ~schedule_override:Verify.Force_1d "mf" with
+  | Error e -> Alcotest.failf "forced-1d verify errored: %s" e
+  | Ok r ->
+      Alcotest.(check bool) "does not pass" false r.Verify.r_passed;
+      Alcotest.(check bool) "violations reported" true
+        (r.Verify.r_violations <> []);
+      List.iter
+        (fun v ->
+          let e = v.Race.v_edge in
+          Alcotest.(check string) "race is on H" "H"
+            e.Depobserve.e_array;
+          (match v.Race.v_why with
+          | `Concurrent -> ()
+          | `Reversed | `Unscheduled ->
+              Alcotest.failf "expected a concurrent-pair violation, got: %s"
+                (Race.violation_to_string v));
+          (* a 1-D (user) split leaves same-item updates concurrent *)
+          Alcotest.(check int) "endpoints share the item dimension"
+            e.Depobserve.e_src.(1) e.Depobserve.e_dst.(1))
+        r.Verify.r_violations
+
+let test_forced_2d_mf_passes () =
+  List.iter
+    (fun ov ->
+      match Verify.verify_app ~schedule_override:ov "mf" with
+      | Error e ->
+          Alcotest.failf "forced %s errored: %s"
+            (Verify.override_to_string ov) e
+      | Ok r ->
+          Alcotest.(check bool)
+            (Printf.sprintf "mf under %s passes"
+               (Verify.override_to_string ov))
+            true r.Verify.r_passed)
+    [ Verify.Force_2d_ordered; Verify.Force_2d_unordered ]
+
+let test_forced_2d_on_1d_space_errors () =
+  match Verify.verify_app ~schedule_override:Verify.Force_2d_ordered "slr" with
+  | Ok _ -> Alcotest.fail "expected an error for a 1-D iteration space"
+  | Error msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "error mentions dimensionality: %s" msg)
+        true
+        (contains ~sub:"2-D" msg || contains ~sub:"1-D" msg)
+
+(* ------------------------------------------------------------------ *)
+(* Report rendering                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_report () =
+  match Verify.verify_app "gbt" with
+  | Error e -> Alcotest.failf "verify gbt errored: %s" e
+  | Ok r ->
+      let j = Verify.report_to_json r in
+      let has sub = contains ~sub j in
+      Alcotest.(check bool) "names the app" true (has {|"app":"gbt"|});
+      Alcotest.(check bool) "has passed flag" true (has {|"passed":true|});
+      Alcotest.(check bool) "has violations field" true (has {|"violations"|});
+      let t = Verify.report_to_string r in
+      Alcotest.(check bool) "text verdict" true (contains ~sub:"PASS" t)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "verify"
+    [
+      ( "covers",
+        [
+          tc "elements" `Quick test_covers_elt;
+          tc "vectors" `Quick test_covers_vector;
+        ] );
+      ( "soundness",
+        [ tc "weakened vector reports pair" `Quick
+            test_weakened_vector_reports_pair ] );
+      ( "apps",
+        [
+          tc "mf" `Slow (verify_passes "mf");
+          tc "slr" `Slow (verify_passes "slr");
+          tc "lda" `Slow (verify_passes "lda");
+          tc "gbt" `Quick (verify_passes "gbt");
+        ] );
+      ( "races",
+        [
+          tc "forced 1d mf races" `Slow test_forced_1d_mf_races;
+          tc "forced 2d mf passes" `Slow test_forced_2d_mf_passes;
+          tc "forced 2d on 1-D space errors" `Quick
+            test_forced_2d_on_1d_space_errors;
+        ] );
+      ("report", [ tc "json and text" `Quick test_json_report ]);
+    ]
