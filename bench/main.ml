@@ -7,6 +7,7 @@
      dune exec bench/main.exe -- fig9b table3  # selected experiments
      dune exec bench/main.exe -- micro         # micro-benchmarks only
      dune exec bench/main.exe -- metrics       # per-pass executor metrics only
+     dune exec bench/main.exe -- speedup       # multicore domain-pool speedup
      ORION_BENCH_SCALE=2 dune exec bench/main.exe   # larger datasets *)
 
 open Bechamel
@@ -289,6 +290,24 @@ let run_metrics () =
     strategies
 
 (* ------------------------------------------------------------------ *)
+(* Multicore speedup: every registered app on the domain pool at
+   increasing domain counts, results checked against the simulated
+   execution of the same schedule; JSON lands in BENCH_parallel.json   *)
+
+let run_speedup () =
+  print_endline "\nDomain-pool speedup (self-relative, vs simulated results)";
+  print_endline "=========================================================";
+  Printf.printf "available cores: %d\n" (Domain.recommended_domain_count ());
+  let results, json = Speedup.run () in
+  Speedup.print_results results;
+  let out = "BENCH_parallel.json" in
+  let oc = open_out out in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" out
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -299,6 +318,7 @@ let () =
       Experiments.all ()
   | [ "micro" ] -> run_micro ()
   | [ "metrics" ] -> run_metrics ()
+  | [ "speedup" ] -> run_speedup ()
   | names ->
       List.iter
         (fun name ->

@@ -121,52 +121,40 @@ let analyze_cmd =
        ~doc:"Statically analyze an OrionScript program's parallel loops")
     term
 
-(* Built-in application sessions for `orion explain --app`: the four
-   Table 2 workloads with representative (paper-scale) array shapes, so
-   the full analysis pipeline can be exercised without a dataset. *)
-let builtin_app session = function
-  | "mf" ->
-      Orion.register_meta session ~name:"ratings"
-        ~dims:[| 480_189; 17_770 |]
-        ~count:100_480_507 ();
-      Orion.register_meta session ~name:"W" ~dims:[| 40; 480_189 |] ();
-      Orion.register_meta session ~name:"H" ~dims:[| 40; 17_770 |] ();
-      Some Orion_apps.Sgd_mf.script
-  | "slr" ->
-      Orion.register_meta session ~name:"samples"
-        ~dims:[| 20_000_000 |]
-        ~count:20_000_000 ();
-      Orion.register_meta session ~name:"w" ~dims:[| 20_216_830 |] ();
-      Orion.register_meta session ~name:"w_buf"
-        ~dims:[| 20_216_830 |]
-        ~buffered:true ();
-      Some Orion_apps.Slr.script
-  | "lda" ->
-      Orion.register_meta session ~name:"tokens"
-        ~dims:[| 299_752; 101_636 |]
-        ~count:99_542_125 ();
-      Orion.register_meta session ~name:"doc_topic"
-        ~dims:[| 299_752; 1000 |]
-        ();
-      Orion.register_meta session ~name:"word_topic"
-        ~dims:[| 101_636; 1000 |]
-        ();
-      Orion.register_meta session ~name:"token_topic"
-        ~dims:[| 299_752; 101_636 |]
-        ();
-      Orion.register_meta session ~name:"totals_buf" ~dims:[| 1000 |]
-        ~buffered:true ();
-      Some Orion_apps.Lda.script
-  | "gbt" ->
-      Orion.register_meta session ~name:"feature_index" ~dims:[| 90 |]
-        ~count:90 ();
-      Orion.register_meta session ~name:"split_gain" ~dims:[| 90 |] ();
-      Some Orion_apps.Gbt.script
-  | _ -> None
+(* Every subcommand resolves --app through the one registry in
+   Orion.App (populated by Orion_apps.Registry); `--app list` prints
+   it. *)
+let () = Orion_apps.Registry.ensure ()
+
+let print_registry () =
+  List.iter
+    (fun (a : Orion.App.t) ->
+      Printf.printf "%-6s %s\n" a.Orion.App.app_name
+        a.Orion.App.app_description)
+    (Orion.App.all ())
+
+let unknown_app_msg name =
+  Printf.sprintf "unknown app %S (expected one of: %s, or `list`)" name
+    (String.concat " " (Orion.App.names ()))
+
+(* Registers the app's paper-scale (Table 2) array shapes with the
+   session and returns its script, so the full analysis pipeline can be
+   exercised without a dataset. *)
+let builtin_app session name =
+  match Orion.App.find name with
+  | Some a ->
+      a.Orion.App.app_register_meta session;
+      Some a.Orion.App.app_script
+  | None -> None
 
 let explain_cmd =
   let run arrays machines wpm log app json file =
     setup_log log;
+    if app = Some "list" then begin
+      print_registry ();
+      0
+    end
+    else
     let session = make_session arrays ~machines ~wpm in
     (* [checked] is false for built-in app scripts: they are driver
        fragments with free variables (e.g. num_iterations) that a real
@@ -181,8 +169,7 @@ let explain_cmd =
           match builtin_app session name with
           | Some src -> Some (src, false)
           | None ->
-              Printf.eprintf
-                "orion explain: unknown app %S (mf | slr | lda | gbt)\n" name;
+              Printf.eprintf "orion explain: %s\n" (unknown_app_msg name);
               None)
       | None, Some path -> Some (read_file path, true)
       | None, None ->
@@ -245,33 +232,75 @@ let explain_cmd =
           strategy decision tree")
     term
 
-let run_cmd =
-  let run arrays machines wpm log seed profile file =
-    setup_log log;
-    let session = make_session arrays ~machines ~wpm in
-    (* arrays declared on the command line become real zero-filled
-       DistArrays so the program can execute *)
-    List.iter
-      (fun spec ->
-        let name, dims, buffered = parse_array_spec spec in
-        let arr = Orion.Dist_array.fill_dense ~name ~dims 0.0 in
-        Orion.register session ~buffered arr)
-      arrays;
-    let src = read_file file in
-    let prof = if profile then Some (Orion.Profile.create ()) else None in
-    let env, stats = Orion.run_script session ~seed ?profile:prof src in
-    ignore env;
-    Printf.printf "ran %d parallel-loop executions\n" (List.length stats);
-    Printf.printf "simulated time: %.4f s\n"
-      (Orion.Cluster.now session.Orion.cluster);
-    Printf.printf "bytes communicated: %.0f\n"
-      session.Orion.cluster.Orion.Cluster.bytes_sent;
-    (match prof with
-    | Some p ->
-        print_newline ();
-        print_string (Orion.Profile.report ~src p)
-    | None -> ());
+(* run a registered app's parallel loop through the unified engine,
+   either simulated or on the real domain pool *)
+let run_app name ~machines ~wpm ~domains ~passes =
+  if name = "list" then begin
+    print_registry ();
     0
+  end
+  else
+    match Orion.App.find name with
+    | None ->
+        Printf.eprintf "orion run: %s\n" (unknown_app_msg name);
+        1
+    | Some a ->
+        let inst =
+          a.Orion.App.app_make ~num_machines:machines
+            ~workers_per_machine:wpm ()
+        in
+        let mode = if domains <= 1 then `Sim else `Parallel domains in
+        let r =
+          Orion.Engine.run inst.Orion.App.inst_session inst ~mode ~passes ()
+        in
+        Printf.printf
+          "app %s: %d pass(es), strategy %s, model %s, %dx%d blocks\n" name
+          passes r.Orion.Engine.ep_strategy r.Orion.Engine.ep_model
+          r.Orion.Engine.ep_space_parts r.Orion.Engine.ep_time_parts;
+        Printf.printf "mode %s: %d entries, %d steals, wall %.4f s\n"
+          (Orion.Engine.mode_to_string r.Orion.Engine.ep_mode)
+          r.Orion.Engine.ep_entries r.Orion.Engine.ep_steals
+          r.Orion.Engine.ep_wall_seconds;
+        if r.Orion.Engine.ep_sim_time > 0.0 then
+          Printf.printf "simulated time: %.4f s\n" r.Orion.Engine.ep_sim_time;
+        0
+
+let run_cmd =
+  let run arrays machines wpm log seed profile app domains passes file =
+    setup_log log;
+    match (app, file) with
+    | Some _, Some _ ->
+        prerr_endline "orion run: give either FILE or --app, not both";
+        1
+    | Some name, None -> run_app name ~machines ~wpm ~domains ~passes
+    | None, None ->
+        prerr_endline "orion run: need an OrionScript FILE or --app NAME";
+        1
+    | None, Some file ->
+        let session = make_session arrays ~machines ~wpm in
+        (* arrays declared on the command line become real zero-filled
+           DistArrays so the program can execute *)
+        List.iter
+          (fun spec ->
+            let name, dims, buffered = parse_array_spec spec in
+            let arr = Orion.Dist_array.fill_dense ~name ~dims 0.0 in
+            Orion.register session ~buffered arr)
+          arrays;
+        let src = read_file file in
+        let prof = if profile then Some (Orion.Profile.create ()) else None in
+        let env, stats = Orion.run_script session ~seed ?profile:prof src in
+        ignore env;
+        Printf.printf "ran %d parallel-loop executions\n" (List.length stats);
+        Printf.printf "simulated time: %.4f s\n"
+          (Orion.Cluster.now session.Orion.cluster);
+        Printf.printf "bytes communicated: %.0f\n"
+          session.Orion.cluster.Orion.Cluster.bytes_sent;
+        (match prof with
+        | Some p ->
+            print_newline ();
+            print_string (Orion.Profile.report ~src p)
+        | None -> ());
+        0
   in
   let seed =
     Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"RNG seed")
@@ -284,13 +313,43 @@ let run_cmd =
             "profile the interpreted driver: per-line hit counts and \
              inclusive wall time, plus per-DistArray element access counts")
   in
+  let app_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "app" ] ~docv:"NAME"
+          ~doc:
+            "run a registered app's parallel loop instead of a file (`list` \
+             prints the registry)")
+  in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains"; "parallel" ] ~docv:"N"
+          ~doc:
+            "execute --app on a real pool of $(docv) OCaml domains (1 = \
+             simulated cluster)")
+  in
+  let passes =
+    Arg.(
+      value & opt int 1
+      & info [ "passes" ] ~docv:"N" ~doc:"training passes for --app")
+  in
+  let file_pos =
+    Arg.(
+      value & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"OrionScript source file")
+  in
   let term =
     Term.(
       const run $ arrays_arg $ machines_arg $ wpm_arg $ log_arg $ seed $ profile
-      $ file_arg)
+      $ app_arg $ domains $ passes $ file_pos)
   in
   Cmd.v
-    (Cmd.info "run" ~doc:"Run an OrionScript driver program on a simulated cluster")
+    (Cmd.info "run"
+       ~doc:
+         "Run an OrionScript driver program on a simulated cluster, or a \
+          registered app on a real domain pool (--app NAME --domains N)")
     term
 
 let prefetch_cmd =
@@ -331,27 +390,80 @@ let prefetch_cmd =
 
 let apps_cmd =
   let run () =
-    Printf.printf "%-14s %s\n" "SGD MF" "Matrix factorization (2D unordered)";
-    Printf.printf "%-14s %s\n" "SGD MF AdaRev" "MF with adaptive revision";
-    Printf.printf "%-14s %s\n" "SLR" "Sparse logistic regression (1D + buffers + prefetch)";
-    Printf.printf "%-14s %s\n" "LDA" "Topic modeling, collapsed Gibbs (2D unordered + buffer)";
-    Printf.printf "%-14s %s\n" "GBT" "Gradient boosted trees (1D over features)";
+    print_registry ();
     print_newline ();
     print_endline "Scripts (as fed to the analyzer):";
     List.iter
-      (fun (name, script) ->
-        Printf.printf "\n### %s\n%s" name script)
-      [
-        ("SGD MF", Orion_apps.Sgd_mf.script);
-        ("SLR", Orion_apps.Slr.script);
-        ("LDA", Orion_apps.Lda.script);
-        ("GBT", Orion_apps.Gbt.script);
-      ];
+      (fun (a : Orion.App.t) ->
+        Printf.printf "\n### %s\n%s" a.Orion.App.app_name
+          a.Orion.App.app_script)
+      (Orion.App.all ());
     0
   in
   Cmd.v
-    (Cmd.info "apps" ~doc:"List built-in applications and their scripts")
+    (Cmd.info "apps" ~doc:"List registered applications and their scripts")
     Term.(const run $ const ())
+
+let bench_cmd =
+  let run machines wpm log mode apps domains passes out =
+    setup_log log;
+    match mode with
+    | `Speedup ->
+        let apps = match apps with [] -> None | l -> Some l in
+        let results, json =
+          Orion_apps.Speedup.run ?apps ~domains_list:domains ~passes
+            ~num_machines:machines ~workers_per_machine:wpm ()
+        in
+        Orion_apps.Speedup.print_results results;
+        let oc = open_out out in
+        output_string oc (json ^ "\n");
+        close_out oc;
+        Printf.printf "wrote %s\n" out;
+        0
+  in
+  let mode =
+    Arg.(
+      value
+      & opt (enum [ ("speedup", `Speedup) ]) `Speedup
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:"benchmark mode: speedup (domain-pool wall-clock scaling)")
+  in
+  let apps =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "apps" ] ~docv:"NAMES"
+          ~doc:"comma-separated registered apps (default: all)")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (list int) [ 1; 2; 4; 8 ]
+      & info [ "domains" ] ~docv:"NS"
+          ~doc:"comma-separated domain counts to measure")
+  in
+  let passes =
+    Arg.(
+      value & opt int 3
+      & info [ "passes" ] ~docv:"N" ~doc:"training passes per measurement")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "BENCH_parallel.json"
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"JSON output path")
+  in
+  let term =
+    Term.(
+      const run $ machines_arg $ wpm_arg $ log_arg $ mode $ apps $ domains
+      $ passes $ out)
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Benchmark the registered apps on the real multicore domain pool \
+          and record self-relative speedup to BENCH_parallel.json")
+    term
 
 let generate_cmd =
   let run kind out scale =
@@ -532,6 +644,11 @@ let trace_cmd =
 let verify_cmd =
   let run machines wpm log app json schedule pipeline_depth =
     setup_log log;
+    if app = "list" then begin
+      print_registry ();
+      0
+    end
+    else
     let override =
       match schedule with
       | `Auto -> None
@@ -620,6 +737,7 @@ let () =
             run_cmd;
             prefetch_cmd;
             apps_cmd;
+            bench_cmd;
             generate_cmd;
             trace_cmd;
             verify_cmd;

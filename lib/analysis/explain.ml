@@ -9,10 +9,10 @@
     explain] subcommand exposes them. *)
 
 (* ------------------------------------------------------------------ *)
-(* Minimal JSON builder (hand-rolled; the repo carries no JSON dep)    *)
+(* JSON via the shared versioned report library                        *)
 (* ------------------------------------------------------------------ *)
 
-type json =
+type json = Orion_report.json =
   | Null
   | Bool of bool
   | Int of int
@@ -21,56 +21,6 @@ type json =
   | List of json list
   | Obj of (string * json) list
 
-let escape s =
-  let b = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-let rec emit b = function
-  | Null -> Buffer.add_string b "null"
-  | Bool v -> Buffer.add_string b (string_of_bool v)
-  | Int n -> Buffer.add_string b (string_of_int n)
-  | Float f ->
-      if Float.is_integer f && Float.abs f < 1e15 then
-        Buffer.add_string b (Printf.sprintf "%.1f" f)
-      else Buffer.add_string b (Printf.sprintf "%.17g" f)
-  | Str s ->
-      Buffer.add_char b '"';
-      Buffer.add_string b (escape s);
-      Buffer.add_char b '"'
-  | List items ->
-      Buffer.add_char b '[';
-      List.iteri
-        (fun i item ->
-          if i > 0 then Buffer.add_char b ',';
-          emit b item)
-        items;
-      Buffer.add_char b ']'
-  | Obj fields ->
-      Buffer.add_char b '{';
-      List.iteri
-        (fun i (k, v) ->
-          if i > 0 then Buffer.add_char b ',';
-          Buffer.add_char b '"';
-          Buffer.add_string b (escape k);
-          Buffer.add_string b "\":";
-          emit b v)
-        fields;
-      Buffer.add_char b '}'
-
-let json_to_string j =
-  let b = Buffer.create 1024 in
-  emit b j;
-  Buffer.contents b
 
 (* ------------------------------------------------------------------ *)
 (* JSON report                                                         *)
@@ -299,7 +249,7 @@ let to_json_value (plan : Plan.t) : json =
           ] );
     ]
 
-let to_json plan = json_to_string (to_json_value plan)
+let to_json plan = Orion_report.emit ~kind:"explain" (to_json_value plan)
 
 (* ------------------------------------------------------------------ *)
 (* Text report                                                         *)

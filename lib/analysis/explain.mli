@@ -9,5 +9,10 @@ val pp_report : Format.formatter -> Plan.t -> unit
 
 val report_to_string : Plan.t -> string
 
-(** The same report as a machine-readable JSON object (single line). *)
+(** The report as an {!Orion_report} payload (no envelope). *)
+val to_json_value : Plan.t -> Orion_report.json
+
+(** The same report as a machine-readable JSON object (single line),
+    wrapped in the versioned {!Orion_report} envelope
+    (kind ["explain"]). *)
 val to_json : Plan.t -> string

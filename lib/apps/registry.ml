@@ -1,0 +1,406 @@
+(** The one registry of built-in applications (mf, slr, lda, gbt),
+    populating {!Orion.App}.  Each app provides:
+
+    - [app_make]: a small deterministic instance — every DistArray the
+      loop touches is a real {!Orion_dsm.Dist_array} registered with the
+      session, the loop body runs fully interpreted, and host builtins
+      are written to be order-independent across dependence-respecting
+      serializations (so two such runs must agree, exactly or to the
+      declared tolerance).  [?scale] grows the dataset for benchmarking.
+    - [app_register_meta]: the paper-scale (Table 2) array shapes, so
+      the analysis pipeline can run without materializing data.
+
+    Registration happens at module initialization; consumers that only
+    link this library call {!ensure} to force the initializer to run. *)
+
+open Orion_lang
+open Orion_dsm
+
+let parse_loop script =
+  let program = Parser.parse_program script in
+  match Orion_analysis.Refs.find_parallel_loops program with
+  | stmt :: _ -> stmt
+  | [] -> invalid_arg "app script has no @parallel_for loop"
+
+let loop_parts (stmt : Ast.stmt) =
+  match stmt.Ast.sk with
+  | Ast.For { kind = Ast.Each_loop { key; value; arr }; body; _ } ->
+      (key, value, arr, body)
+  | _ -> invalid_arg "app loop is not a parallel each-loop"
+
+let bind_extern env (arr : float Dist_array.t) =
+  Interp.set_var env (Dist_array.name arr)
+    (Value.Vextern (Dist_array.to_extern arr))
+
+(* order-independent integer hash (initial topics, sampling draws) *)
+let mix x =
+  let x = (x + 0x7ED55D16 + (x lsl 12)) land 0x3FFFFFFF in
+  let x = (x lxor 0xC761C23C lxor (x lsr 19)) land 0x3FFFFFFF in
+  let x = (x + 0x165667B1 + (x lsl 5)) land 0x3FFFFFFF in
+  ((x * 1103515245) + 12345) land 0x3FFFFFFF
+
+let scaled scale n = max 2 (int_of_float (Float.round (float_of_int n *. scale)))
+
+(* ------------------------------------------------------------------ *)
+(* SGD matrix factorization                                            *)
+(* ------------------------------------------------------------------ *)
+
+let mf_make ?(scale = 1.0) ~num_machines ~workers_per_machine () =
+  let session =
+    Orion.create_session ~num_machines ~workers_per_machine ()
+  in
+  let data =
+    Orion_data.Ratings.generate ~seed:3
+      ~num_users:(scaled scale 24)
+      ~num_items:(scaled scale 20)
+      ~num_ratings:(scaled scale 240) ()
+  in
+  let rank = 4 in
+  let cell k =
+    (0.05 *. float_of_int ((((k.(0) + 1) * 31) + (k.(1) * 7)) mod 11)) -. 0.2
+  in
+  let w =
+    Dist_array.init_dense ~name:"W" ~dims:[| rank; data.num_users |] ~f:cell
+  in
+  let h =
+    Dist_array.init_dense ~name:"H" ~dims:[| rank; data.num_items |] ~f:cell
+  in
+  Orion.register session data.ratings;
+  Orion.register session w;
+  Orion.register session h;
+  let loop_stmt = parse_loop Sgd_mf.script in
+  let key_var, value_var, iter_name, body = loop_parts loop_stmt in
+  let make_env () =
+    let env = Interp.create_env ~seed:1 () in
+    Interp.set_var env "step_size" (Value.Vfloat 0.01);
+    bind_extern env w;
+    bind_extern env h;
+    env
+  in
+  {
+    Orion.App.inst_name = "mf";
+    inst_session = session;
+    inst_env = make_env ();
+    inst_make_env = make_env;
+    inst_loop = loop_stmt;
+    inst_key_var = key_var;
+    inst_value_var = value_var;
+    inst_body = body;
+    inst_iter =
+      Dist_array.map ~name:iter_name ~f:(fun v -> Value.Vfloat v) data.ratings;
+    inst_iter_name = iter_name;
+    inst_outputs = [ ("W", w); ("H", h) ];
+    inst_buffered = [];
+  }
+
+let mf_register_meta session =
+  Orion.register_meta session ~name:"ratings"
+    ~dims:[| 480_189; 17_770 |]
+    ~count:100_480_507 ();
+  Orion.register_meta session ~name:"W" ~dims:[| 40; 480_189 |] ();
+  Orion.register_meta session ~name:"H" ~dims:[| 40; 17_770 |] ()
+
+(* ------------------------------------------------------------------ *)
+(* Sparse logistic regression                                          *)
+(* ------------------------------------------------------------------ *)
+
+let slr_make ?(scale = 1.0) ~num_machines ~workers_per_machine () =
+  let session =
+    Orion.create_session ~num_machines ~workers_per_machine ()
+  in
+  let data =
+    Orion_data.Sparse_features.generate ~seed:7
+      ~num_samples:(scaled scale 120)
+      ~num_features:30 ~nnz_per_sample:6 ()
+  in
+  let w =
+    Dist_array.init_dense ~name:"w"
+      ~dims:[| data.num_features |]
+      ~f:(fun k -> 0.01 *. float_of_int ((k.(0) mod 7) - 3))
+  in
+  let w_buf =
+    Dist_array.fill_dense ~name:"w_buf" ~dims:[| data.num_features |] 0.0
+  in
+  Orion.register_iterable session data.samples
+    ~to_value:Orion_data.Sparse_features.sample_to_value;
+  Orion.register session w;
+  Orion.register session ~buffered:true w_buf;
+  let loop_stmt = parse_loop Slr.script in
+  let key_var, value_var, iter_name, body = loop_parts loop_stmt in
+  let make_env () =
+    let env = Interp.create_env ~seed:1 () in
+    Interp.set_var env "step_size" (Value.Vfloat 0.1);
+    bind_extern env w;
+    bind_extern env w_buf;
+    env
+  in
+  {
+    Orion.App.inst_name = "slr";
+    inst_session = session;
+    inst_env = make_env ();
+    inst_make_env = make_env;
+    inst_loop = loop_stmt;
+    inst_key_var = key_var;
+    inst_value_var = value_var;
+    inst_body = body;
+    inst_iter =
+      Dist_array.map ~name:iter_name
+        ~f:Orion_data.Sparse_features.sample_to_value data.samples;
+    inst_iter_name = iter_name;
+    inst_outputs = [ ("w_buf", w_buf) ];
+    inst_buffered = [ "w_buf" ];
+  }
+
+let slr_register_meta session =
+  Orion.register_meta session ~name:"samples"
+    ~dims:[| 20_000_000 |]
+    ~count:20_000_000 ();
+  Orion.register_meta session ~name:"w" ~dims:[| 20_216_830 |] ();
+  Orion.register_meta session ~name:"w_buf"
+    ~dims:[| 20_216_830 |]
+    ~buffered:true ()
+
+(* ------------------------------------------------------------------ *)
+(* LDA Gibbs sampling                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The [sample_topic] host builtin is deterministic and
+   order-independent across dependence-respecting serializations: the
+   live doc/word count rows it reads are each written only by same-doc /
+   same-word iterations (which every valid serialization orders
+   identically), the topic totals come from a pass-start snapshot, and
+   the uniform draw is a hash of the token key — never the shared RNG,
+   whose state would depend on execution order. *)
+let lda_make ?(scale = 1.0) ~num_machines ~workers_per_machine () =
+  let session =
+    Orion.create_session ~num_machines ~workers_per_machine ()
+  in
+  let corpus =
+    Orion_data.Corpus.generate ~seed:5
+      ~num_docs:(scaled scale 18)
+      ~vocab_size:15 ~avg_doc_len:20 ()
+  in
+  let k = 5 in
+  let alpha = 50.0 /. float_of_int k and beta = 0.01 in
+  let doc_topic =
+    Dist_array.fill_dense ~name:"doc_topic" ~dims:[| corpus.num_docs; k |] 0.0
+  in
+  let word_topic =
+    Dist_array.fill_dense ~name:"word_topic"
+      ~dims:[| corpus.vocab_size; k |]
+      0.0
+  in
+  let totals_buf = Dist_array.fill_dense ~name:"totals_buf" ~dims:[| k |] 0.0 in
+  (* every token's key is pre-populated here, so parallel execution only
+     ever replaces existing sparse keys (see Dist_array.enter_parallel) *)
+  let token_topic =
+    Dist_array.create_sparse ~name:"token_topic"
+      ~dims:[| corpus.num_docs; corpus.vocab_size |]
+      ~default:0.0
+  in
+  let totals0 = Array.make k 0.0 in
+  Dist_array.iter
+    (fun key cnt ->
+      let d = key.(0) and w = key.(1) in
+      let z = mix ((d * corpus.vocab_size) + w) mod k in
+      (* token_topic stores the 1-based topic, matching the script's
+         1-based subscripting of doc_topic / word_topic columns *)
+      Dist_array.set token_topic key (float_of_int (z + 1));
+      Dist_array.update doc_topic [| d; z |] (fun v -> v +. cnt);
+      Dist_array.update word_topic [| w; z |] (fun v -> v +. cnt);
+      totals0.(z) <- totals0.(z) +. cnt)
+    corpus.tokens;
+  Orion.register session corpus.tokens;
+  Orion.register session doc_topic;
+  Orion.register session word_topic;
+  Orion.register session token_topic;
+  Orion.register session ~buffered:true totals_buf;
+  let vbeta = float_of_int corpus.vocab_size *. beta in
+  let sample_topic name (args : Value.t list) =
+    match (name, args) with
+    | "sample_topic", [ dv; wv ] ->
+        (* 1-based doc / word indices, as [key[...]] evaluates *)
+        let d = Value.to_int dv - 1 and w = Value.to_int wv - 1 in
+        let cumulative = Array.make k 0.0 in
+        let acc = ref 0.0 in
+        for z = 0 to k - 1 do
+          let dt = Dist_array.get doc_topic [| d; z |] in
+          let wt = Dist_array.get word_topic [| w; z |] in
+          let p = (dt +. alpha) *. (wt +. beta) /. (totals0.(z) +. vbeta) in
+          acc := !acc +. p;
+          cumulative.(z) <- !acc
+        done;
+        let u =
+          float_of_int
+            (mix (((d * corpus.vocab_size) + w) lxor 0x2545F49) mod 0x10000)
+          /. 65536.0 *. !acc
+        in
+        let z = ref 0 in
+        while !z < k - 1 && cumulative.(!z) < u do
+          incr z
+        done;
+        Some (Value.Vint (!z + 1))
+    | _ -> None
+  in
+  let loop_stmt = parse_loop Lda.script in
+  let key_var, value_var, iter_name, body = loop_parts loop_stmt in
+  let make_env () =
+    let env = Interp.create_env ~seed:1 ~host_call:sample_topic () in
+    bind_extern env doc_topic;
+    bind_extern env word_topic;
+    bind_extern env token_topic;
+    bind_extern env totals_buf;
+    env
+  in
+  {
+    Orion.App.inst_name = "lda";
+    inst_session = session;
+    inst_env = make_env ();
+    inst_make_env = make_env;
+    inst_loop = loop_stmt;
+    inst_key_var = key_var;
+    inst_value_var = value_var;
+    inst_body = body;
+    inst_iter =
+      Dist_array.map ~name:iter_name ~f:(fun v -> Value.Vfloat v) corpus.tokens;
+    inst_iter_name = iter_name;
+    inst_outputs =
+      [
+        ("doc_topic", doc_topic);
+        ("word_topic", word_topic);
+        ("token_topic", token_topic);
+        ("totals_buf", totals_buf);
+      ];
+    inst_buffered = [ "totals_buf" ];
+  }
+
+let lda_register_meta session =
+  Orion.register_meta session ~name:"tokens"
+    ~dims:[| 299_752; 101_636 |]
+    ~count:99_542_125 ();
+  Orion.register_meta session ~name:"doc_topic" ~dims:[| 299_752; 1000 |] ();
+  Orion.register_meta session ~name:"word_topic" ~dims:[| 101_636; 1000 |] ();
+  Orion.register_meta session ~name:"token_topic"
+    ~dims:[| 299_752; 101_636 |]
+    ();
+  Orion.register_meta session ~name:"totals_buf" ~dims:[| 1000 |]
+    ~buffered:true ()
+
+(* ------------------------------------------------------------------ *)
+(* GBT split finding                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let gbt_make ?(scale = 1.0) ~num_machines ~workers_per_machine () =
+  let session =
+    Orion.create_session ~num_machines ~workers_per_machine ()
+  in
+  let num_features = 10 in
+  let data =
+    Gbt.synthetic ~seed:31 ~num_samples:(scaled scale 80) ~num_features ()
+  in
+  let n = Array.length data.Gbt.labels in
+  let pos = Array.fold_left ( +. ) 0.0 data.Gbt.labels in
+  let p0 = Float.max 1e-6 (Float.min (1.0 -. 1e-6) (pos /. float_of_int n)) in
+  let grads = Array.map (fun label -> p0 -. label) data.Gbt.labels in
+  let hess = Array.make n (Float.max 1e-9 (p0 *. (1.0 -. p0))) in
+  let edges = Gbt.feature_edges data ~num_bins:8 in
+  let members = List.init n Fun.id in
+  let feature_index =
+    Dist_array.fill_dense ~name:"feature_index" ~dims:[| num_features |] 0.0
+  in
+  let split_gain =
+    Dist_array.fill_dense ~name:"split_gain" ~dims:[| num_features |] 0.0
+  in
+  Orion.register session feature_index;
+  Orion.register session split_gain;
+  let find_best_split name (args : Value.t list) =
+    match (name, args) with
+    | "find_best_split", [ fv ] ->
+        let f = Value.to_int fv - 1 in
+        let gain =
+          match
+            Gbt.best_split_for_feature data ~edges ~grads ~hess ~members ~f
+              ~lambda:1.0 ~min_child_weight:1.0
+          with
+          | Some c -> c.Gbt.gain
+          | None -> 0.0
+        in
+        Some (Value.Vfloat gain)
+    | _ -> None
+  in
+  let loop_stmt = parse_loop Gbt.script in
+  let key_var, value_var, iter_name, body = loop_parts loop_stmt in
+  let make_env () =
+    let env = Interp.create_env ~seed:1 ~host_call:find_best_split () in
+    bind_extern env split_gain;
+    env
+  in
+  {
+    Orion.App.inst_name = "gbt";
+    inst_session = session;
+    inst_env = make_env ();
+    inst_make_env = make_env;
+    inst_loop = loop_stmt;
+    inst_key_var = key_var;
+    inst_value_var = value_var;
+    inst_body = body;
+    inst_iter =
+      Dist_array.map ~name:iter_name
+        ~f:(fun v -> Value.Vfloat v)
+        feature_index;
+    inst_iter_name = iter_name;
+    inst_outputs = [ ("split_gain", split_gain) ];
+    inst_buffered = [];
+  }
+
+let gbt_register_meta session =
+  Orion.register_meta session ~name:"feature_index" ~dims:[| 90 |] ~count:90 ();
+  Orion.register_meta session ~name:"split_gain" ~dims:[| 90 |] ()
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  List.iter Orion.App.register
+    [
+      {
+        Orion.App.app_name = "mf";
+        app_description = "SGD matrix factorization (2D unordered)";
+        app_script = Sgd_mf.script;
+        app_tolerance = None;
+        app_make = mf_make;
+        app_register_meta = mf_register_meta;
+      };
+      {
+        Orion.App.app_name = "slr";
+        app_description =
+          "Sparse logistic regression (1D + buffers + prefetch)";
+        app_script = Slr.script;
+        (* buffered FP accumulation is order-sensitive in the last bits *)
+        app_tolerance = Some 1e-9;
+        app_make = slr_make;
+        app_register_meta = slr_register_meta;
+      };
+      {
+        Orion.App.app_name = "lda";
+        app_description =
+          "Topic modeling, collapsed Gibbs (2D unordered + buffer)";
+        app_script = Lda.script;
+        (* Gibbs counts are integer-valued floats: addition is exact *)
+        app_tolerance = None;
+        app_make = lda_make;
+        app_register_meta = lda_register_meta;
+      };
+      {
+        Orion.App.app_name = "gbt";
+        app_description = "Gradient boosted trees (1D over features)";
+        app_script = Gbt.script;
+        app_tolerance = None;
+        app_make = gbt_make;
+        app_register_meta = gbt_register_meta;
+      };
+    ]
+
+(** Force this module's initializer (and thus app registration) to run.
+    Call before the first {!Orion.App.find} in any executable that only
+    links [orion_apps]. *)
+let ensure () = ()

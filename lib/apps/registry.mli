@@ -1,0 +1,9 @@
+(** Populates {!Orion.App} with the four built-in applications
+    (mf, slr, lda, gbt): small deterministic instances for execution and
+    verification, plus paper-scale (Table 2) metadata for analysis-only
+    workflows.  Registration happens at module initialization. *)
+
+(** Force this module's initializer (and thus app registration) to run.
+    Call before the first {!Orion.App.find} in any executable that only
+    links [orion_apps]. *)
+val ensure : unit -> unit

@@ -1,0 +1,178 @@
+(** Self-relative multicore speedup benchmark: run each registered app's
+    parallel loop on the {!Orion.Engine} domain pool at increasing
+    domain counts, record wall-clock time and the speedup relative to
+    the 1-domain run, and check the results element-wise against a
+    simulated ([`Sim]) execution of the same schedule.
+
+    Used by both [orion bench --mode speedup] and [bench/main.ml
+    speedup]; the JSON (kind ["bench-speedup"]) lands in
+    [BENCH_parallel.json].  Speedups are only meaningful on a machine
+    with enough cores — [available_cores] is recorded so a single-core
+    CI shard's flat numbers read as what they are. *)
+
+module Report = Orion.Report
+module App = Orion.App
+
+type run = {
+  run_domains : int;
+  run_wall_seconds : float;
+  run_entries : int;
+  run_steals : int;
+  run_speedup : float;  (** wall(1 domain) / wall(n domains) *)
+  run_max_abs_vs_sim : float;
+  run_max_rel_vs_sim : float;
+  run_equal_vs_sim : bool;  (** within the app's tolerance *)
+}
+
+type app_result = {
+  res_app : string;
+  res_strategy : string;
+  res_model : string;
+  res_runs : run list;
+}
+
+(* element-wise max |a-b| / max rel over an output array pair *)
+let diff_outputs (a : (string * float Orion_dsm.Dist_array.t) list)
+    (b : (string * float Orion_dsm.Dist_array.t) list) =
+  let max_abs = ref 0.0 and max_rel = ref 0.0 in
+  List.iter2
+    (fun (_, arr_a) (_, arr_b) ->
+      Orion_dsm.Dist_array.iter
+        (fun key va ->
+          let vb = Orion_dsm.Dist_array.get arr_b key in
+          let abs = Float.abs (va -. vb) in
+          let rel =
+            abs /. Float.max (Float.max (Float.abs va) (Float.abs vb)) 1e-12
+          in
+          if abs > !max_abs then max_abs := abs;
+          if rel > !max_rel then max_rel := rel)
+        arr_a)
+    a b;
+  (!max_abs, !max_rel)
+
+let bench_app (app : App.t) ~domains_list ~passes ~num_machines
+    ~workers_per_machine : app_result =
+  (* reference: the same schedule executed on the simulated cluster *)
+  let ref_inst = app.App.app_make ~num_machines ~workers_per_machine () in
+  let ref_report =
+    Orion.Engine.run ref_inst.App.inst_session ref_inst ~mode:`Sim ~passes ()
+  in
+  let base_wall = ref None in
+  let runs =
+    List.map
+      (fun domains ->
+        let inst = app.App.app_make ~num_machines ~workers_per_machine () in
+        let r =
+          Orion.Engine.run inst.App.inst_session inst
+            ~mode:(`Parallel domains) ~passes ()
+        in
+        let max_abs, max_rel =
+          diff_outputs inst.App.inst_outputs ref_inst.App.inst_outputs
+        in
+        let equal =
+          match app.App.app_tolerance with
+          | None -> max_abs = 0.0
+          | Some tol -> max_rel <= tol
+        in
+        let base =
+          match !base_wall with
+          | Some b -> b
+          | None ->
+              base_wall := Some r.Orion.Engine.ep_wall_seconds;
+              r.Orion.Engine.ep_wall_seconds
+        in
+        {
+          run_domains = domains;
+          run_wall_seconds = r.Orion.Engine.ep_wall_seconds;
+          run_entries = r.Orion.Engine.ep_entries;
+          run_steals = r.Orion.Engine.ep_steals;
+          run_speedup = base /. Float.max r.Orion.Engine.ep_wall_seconds 1e-12;
+          run_max_abs_vs_sim = max_abs;
+          run_max_rel_vs_sim = max_rel;
+          run_equal_vs_sim = equal;
+        })
+      domains_list
+  in
+  {
+    res_app = app.App.app_name;
+    res_strategy = ref_report.Orion.Engine.ep_strategy;
+    res_model = ref_report.Orion.Engine.ep_model;
+    res_runs = runs;
+  }
+
+let run_json (r : run) : Report.json =
+  Report.Obj
+    [
+      ("domains", Report.Int r.run_domains);
+      ("wall_seconds", Report.Float r.run_wall_seconds);
+      ("entries", Report.Int r.run_entries);
+      ("steals", Report.Int r.run_steals);
+      ("speedup", Report.Float r.run_speedup);
+      ("max_abs_vs_sim", Report.Float r.run_max_abs_vs_sim);
+      ("max_rel_vs_sim", Report.Float r.run_max_rel_vs_sim);
+      ("equal_vs_sim", Report.Bool r.run_equal_vs_sim);
+    ]
+
+let app_result_json (a : app_result) : Report.json =
+  Report.Obj
+    [
+      ("app", Report.Str a.res_app);
+      ("strategy", Report.Str a.res_strategy);
+      ("model", Report.Str a.res_model);
+      ("runs", Report.List (List.map run_json a.res_runs));
+    ]
+
+(** Run the speedup benchmark over [apps] (default: every registered
+    app) at each domain count of [domains_list], [passes] passes per
+    measurement.  Returns the results plus the ["bench-speedup"] JSON
+    envelope for [BENCH_parallel.json]. *)
+let run ?apps ?(domains_list = [ 1; 2; 4; 8 ]) ?(passes = 3)
+    ?(num_machines = 2) ?(workers_per_machine = 2) () :
+    app_result list * string =
+  Registry.ensure ();
+  let selected =
+    match apps with
+    | None -> App.all ()
+    | Some names ->
+        List.filter_map
+          (fun n ->
+            match App.find n with
+            | Some a -> Some a
+            | None ->
+                Printf.eprintf "bench speedup: unknown app %S (skipped)\n" n;
+                None)
+          names
+  in
+  let results =
+    List.map
+      (fun app ->
+        bench_app app ~domains_list ~passes ~num_machines ~workers_per_machine)
+      selected
+  in
+  let payload =
+    Report.Obj
+      [
+        ("available_cores", Report.Int (Domain.recommended_domain_count ()));
+        ("num_machines", Report.Int num_machines);
+        ("workers_per_machine", Report.Int workers_per_machine);
+        ("passes", Report.Int passes);
+        ("apps", Report.List (List.map app_result_json results));
+      ]
+  in
+  (results, Report.emit ~kind:"bench-speedup" payload)
+
+let print_results (results : app_result list) =
+  List.iter
+    (fun a ->
+      Printf.printf "%s (%s, %s):\n" a.res_app a.res_strategy a.res_model;
+      List.iter
+        (fun r ->
+          Printf.printf
+            "  %d domain(s): %8.4fs  speedup %5.2fx  steals %4d  %s\n"
+            r.run_domains r.run_wall_seconds r.run_speedup r.run_steals
+            (if r.run_equal_vs_sim then "results match sim"
+             else
+               Printf.sprintf "MISMATCH vs sim (max abs %.3e rel %.3e)"
+                 r.run_max_abs_vs_sim r.run_max_rel_vs_sim))
+        a.res_runs)
+    results

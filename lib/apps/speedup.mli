@@ -1,0 +1,39 @@
+(** Self-relative multicore speedup benchmark over the registered apps,
+    shared by [orion bench --mode speedup] and the bench harness.
+    Results are checked element-wise against a simulated execution of
+    the same schedule; JSON output uses the versioned report envelope
+    (kind ["bench-speedup"]). *)
+
+type run = {
+  run_domains : int;
+  run_wall_seconds : float;
+  run_entries : int;
+  run_steals : int;
+  run_speedup : float;  (** wall(1 domain) / wall(n domains) *)
+  run_max_abs_vs_sim : float;
+  run_max_rel_vs_sim : float;
+  run_equal_vs_sim : bool;  (** within the app's tolerance *)
+}
+
+type app_result = {
+  res_app : string;
+  res_strategy : string;
+  res_model : string;
+  res_runs : run list;
+}
+
+(** Run the benchmark over [apps] (default: every registered app) at
+    each domain count of [domains_list] (default [1; 2; 4; 8]),
+    [passes] passes per measurement.  Returns the results and the
+    ["bench-speedup"] JSON envelope for [BENCH_parallel.json]. *)
+val run :
+  ?apps:string list ->
+  ?domains_list:int list ->
+  ?passes:int ->
+  ?num_machines:int ->
+  ?workers_per_machine:int ->
+  unit ->
+  app_result list * string
+
+(** Human-readable per-app/per-domain-count table on stdout. *)
+val print_results : app_result list -> unit

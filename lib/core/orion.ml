@@ -41,9 +41,11 @@ module Accumulator = Orion_dsm.Accumulator
 module Param_server = Orion_dsm.Param_server
 module Schedule = Orion_runtime.Schedule
 module Executor = Orion_runtime.Executor
+module Domain_exec = Orion_runtime.Domain_exec
 module Explain = Orion_analysis.Explain
 module Profile = Orion_lang.Profile
 module Log = Log
+module Report = Orion_report
 
 (* ------------------------------------------------------------------ *)
 (* Session and registry                                                *)
@@ -451,3 +453,261 @@ let run_prefetch_program session ~(generated : Ast.block) ~key_var ~value_var
   let recorded = List.rev session.prefetch_recorded in
   session.prefetch_recorded <- [];
   recorded
+
+(* ------------------------------------------------------------------ *)
+(* The application registry                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** One registry for the built-in applications.  Everything that used
+    to hand-wire mf|slr|lda|gbt — the CLI subcommands, the benchmark
+    harness, the verification fixtures — resolves an {!App.t} here
+    instead.  [Orion_apps.Registry] populates the registry; consumers
+    call its [ensure] to force that module to link. *)
+module App = struct
+  (** A materialized app: a session with registered DistArrays, the
+      parsed parallel loop, and interpreter plumbing to run its body.
+      Every DistArray is real storage; host builtins are written to be
+      order-independent across dependence-respecting serializations, so
+      any two such executions agree (exactly, or to {!t.app_tolerance}
+      for buffered floating-point accumulation). *)
+  type instance = {
+    inst_name : string;  (** registry name of the app this came from *)
+    inst_session : session;
+    inst_env : Interp.env;  (** the primary (serial-path) environment *)
+    inst_make_env : unit -> Interp.env;
+        (** a fresh environment over the {e same} DistArrays and host
+            builtins — one per domain for parallel execution, because
+            {!Interp.env} is single-writer *)
+    inst_loop : Ast.stmt;
+    inst_key_var : string;
+    inst_value_var : string;
+    inst_body : Ast.block;
+    inst_iter : Value.t Dist_array.t;
+        (** iteration space carrying interpreter values *)
+    inst_iter_name : string;
+    inst_outputs : (string * float Dist_array.t) list;
+        (** model arrays compared by equality/differential checks *)
+    inst_buffered : string list;
+        (** buffer-written arrays, dependence-exempt; merged from
+            per-domain shadows under parallel execution *)
+  }
+
+  type t = {
+    app_name : string;
+    app_description : string;
+    app_script : string;  (** the OrionScript source fed to the analyzer *)
+    app_tolerance : float option;
+        (** [None]: independent dependence-respecting runs must agree
+            bitwise; [Some rel]: within relative tolerance (buffered FP
+            accumulation is order-sensitive in the last bits) *)
+    app_make :
+      ?scale:float -> num_machines:int -> workers_per_machine:int -> unit ->
+      instance;
+        (** build a fresh deterministic instance (identical initial
+            state every call); [scale] enlarges the dataset for
+            benchmarking *)
+    app_register_meta : session -> unit;
+        (** register the paper-scale array shapes (Table 2) so the
+            analysis pipeline can run without materializing data *)
+  }
+
+  let registered : t list ref = ref []
+
+  (** Register (or replace, by name) an app, preserving first-come
+      registry order. *)
+  let register app =
+    if List.exists (fun a -> a.app_name = app.app_name) !registered then
+      registered :=
+        List.map
+          (fun a -> if a.app_name = app.app_name then app else a)
+          !registered
+    else registered := !registered @ [ app ]
+
+  let all () = !registered
+  let find name = List.find_opt (fun a -> a.app_name = name) !registered
+  let names () = List.map (fun a -> a.app_name) !registered
+end
+
+(* ------------------------------------------------------------------ *)
+(* The engine: one entry point over both execution substrates          *)
+(* ------------------------------------------------------------------ *)
+
+(** Unified execution entry point: run an app's parallel loop either on
+    the simulated cluster ([`Sim], virtual time, sequential) or on a
+    real OCaml 5 domain pool ([`Parallel n], wall-clock time,
+    {!Domain_exec}).  Both modes execute the {e same} compiled schedule
+    under the same happens-before order, so for serializable schedules
+    their results are element-wise equal (up to the app's tolerance for
+    buffered accumulation). *)
+module Engine = struct
+  type mode = [ `Sim | `Parallel of int ]
+
+  let mode_to_string = function
+    | `Sim -> "sim"
+    | `Parallel n -> Printf.sprintf "parallel(%d)" n
+
+  type report = {
+    ep_app : string;
+    ep_mode : mode;
+    ep_strategy : string;
+    ep_model : string;
+    ep_domains : int;  (** 1 for [`Sim] *)
+    ep_space_parts : int;
+    ep_time_parts : int;
+    ep_entries : int;
+    ep_blocks : int;
+    ep_steals : int;  (** 0 for [`Sim] *)
+    ep_wall_seconds : float;  (** real elapsed time of the pass(es) *)
+    ep_sim_time : float;  (** virtual cluster time ([`Sim] only) *)
+  }
+
+  let report_payload (r : report) : Report.json =
+    Report.Obj
+      [
+        ("app", Report.Str r.ep_app);
+        ("mode", Report.Str (mode_to_string r.ep_mode));
+        ("strategy", Report.Str r.ep_strategy);
+        ("model", Report.Str r.ep_model);
+        ("domains", Report.Int r.ep_domains);
+        ("space_parts", Report.Int r.ep_space_parts);
+        ("time_parts", Report.Int r.ep_time_parts);
+        ("entries", Report.Int r.ep_entries);
+        ("blocks", Report.Int r.ep_blocks);
+        ("steals", Report.Int r.ep_steals);
+        ("wall_seconds", Report.Float r.ep_wall_seconds);
+        ("sim_time", Report.Float r.ep_sim_time);
+      ]
+
+  let interp_body env (inst : App.instance) ~key ~value =
+    Interp.eval_body_for env ~key_var:inst.App.inst_key_var
+      ~value_var:inst.App.inst_value_var ~key ~value inst.App.inst_body
+
+  (* Per-domain shadow for a buffered array: zero-filled same-shape
+     dense storage rebound under the array's name in that domain's
+     environment.  Buffered arrays are only ever combined with [+=]
+     inside the loop and never read for their pre-pass value there, so
+     accumulating into zeros and summing the shadows into the shared
+     array afterwards (in fixed domain order) is equivalent to serial
+     accumulation up to FP reassociation. *)
+  let make_shadows (inst : App.instance) env =
+    List.filter_map
+      (fun (name, arr) ->
+        if List.mem name inst.App.inst_buffered then begin
+          let shadow =
+            Dist_array.fill_dense ~name ~dims:(Dist_array.dims arr) 0.0
+          in
+          Interp.set_var env name
+            (Value.Vextern (Dist_array.to_extern shadow));
+          Some (name, arr, shadow)
+        end
+        else None)
+      inst.App.inst_outputs
+
+  let merge_shadows shadows =
+    List.iter
+      (fun (_, shared, shadow) ->
+        Dist_array.iter
+          (fun key v ->
+            if v <> 0.0 then Dist_array.update shared key (fun x -> x +. v))
+          shadow)
+      shadows
+
+  (** Run [inst]'s parallel loop once under [mode].  [passes] repeats
+      the pass (driver loops run several); the report aggregates all of
+      them. *)
+  let run (session : session) (inst : App.instance) ~(mode : mode)
+      ?(passes = 1) ?pipeline_depth () : report =
+    let plan = analyze_loop session inst.App.inst_loop in
+    let compiled =
+      compile session ~plan ~iter:inst.App.inst_iter ?pipeline_depth ()
+    in
+    let sched = compiled.schedule in
+    let sp = sched.Schedule.space_parts and tp = sched.Schedule.time_parts in
+    let model =
+      Domain_exec.model_of_plan plan ~pipeline_depth:compiled.pipeline_depth
+        ~sp ~tp
+    in
+    let strategy = Plan.strategy_to_string plan.Plan.strategy in
+    match mode with
+    | `Sim ->
+        let sim0 = Cluster.now session.cluster in
+        let t0 = Unix.gettimeofday () in
+        let entries = ref 0 in
+        for _ = 1 to passes do
+          let body ~worker:_ ~key ~value =
+            interp_body inst.App.inst_env inst ~key ~value
+          in
+          let st = execute session compiled ~body () in
+          entries := !entries + st.Executor.entries_executed
+        done;
+        {
+          ep_app = inst.App.inst_name;
+          ep_mode = mode;
+          ep_strategy = strategy;
+          ep_model = Domain_exec.model_to_string model;
+          ep_domains = 1;
+          ep_space_parts = sp;
+          ep_time_parts = tp;
+          ep_entries = !entries;
+          ep_blocks = passes * sp * tp;
+          ep_steals = 0;
+          ep_wall_seconds = Unix.gettimeofday () -. t0;
+          ep_sim_time = Cluster.now session.cluster -. sim0;
+        }
+    | `Parallel domains ->
+        let domains = max 1 domains in
+        (* one environment per domain over the same shared DistArrays;
+           buffered arrays get per-domain shadows *)
+        let envs =
+          Array.init domains (fun d ->
+              if d = 0 then inst.App.inst_env else inst.App.inst_make_env ())
+        in
+        let shadows =
+          Array.to_list (Array.map (fun env -> make_shadows inst env) envs)
+        in
+        let bodies =
+          Array.map
+            (fun env -> fun ~key ~value -> interp_body env inst ~key ~value)
+            envs
+        in
+        let t0 = Unix.gettimeofday () in
+        let blocks = ref 0 and entries = ref 0 and steals = ref 0 in
+        Dist_array.enter_parallel ();
+        Fun.protect
+          ~finally:(fun () -> Dist_array.exit_parallel ())
+          (fun () ->
+            for _ = 1 to passes do
+              let st =
+                Domain_exec.run_schedule ~domains ~model sched ~bodies
+              in
+              blocks := !blocks + st.Domain_exec.blocks_run;
+              entries := !entries + st.Domain_exec.entries_run;
+              steals := !steals + st.Domain_exec.steals
+            done);
+        (* deterministic merge: domain 0's shadow first, then 1, ... *)
+        List.iter merge_shadows shadows;
+        (* rebind the shared buffered arrays in every env so a later
+           serial pass (or another Engine.run) sees the merged state *)
+        List.iteri
+          (fun d env_shadows ->
+            List.iter
+              (fun (name, shared, _) ->
+                Interp.set_var envs.(d) name
+                  (Value.Vextern (Dist_array.to_extern shared)))
+              env_shadows)
+          shadows;
+        {
+          ep_app = inst.App.inst_name;
+          ep_mode = mode;
+          ep_strategy = strategy;
+          ep_model = Domain_exec.model_to_string model;
+          ep_domains = domains;
+          ep_space_parts = sp;
+          ep_time_parts = tp;
+          ep_entries = !entries;
+          ep_blocks = !blocks;
+          ep_steals = !steals;
+          ep_wall_seconds = Unix.gettimeofday () -. t0;
+          ep_sim_time = 0.0;
+        }
+end

@@ -38,9 +38,11 @@ module Accumulator = Orion_dsm.Accumulator
 module Param_server = Orion_dsm.Param_server
 module Schedule = Orion_runtime.Schedule
 module Executor = Orion_runtime.Executor
+module Domain_exec = Orion_runtime.Domain_exec
 module Explain = Orion_analysis.Explain
 module Profile = Orion_lang.Profile
 module Log = Log
+module Report = Orion_report
 
 (** {1 Sessions} *)
 
@@ -182,3 +184,104 @@ val run_prefetch_program :
   value:Value.t ->
   bindings:(string * Value.t) list ->
   (string * int array) list
+
+(** {1 Application registry}
+
+    One registry for the built-in applications (mf, slr, lda, gbt).
+    The CLI, benchmark harness, and verification suite all resolve apps
+    here instead of hand-wiring their own copies.
+    [Orion_apps.Registry.ensure ()] populates it. *)
+
+module App : sig
+  (** A materialized app: a session with registered DistArrays, the
+      parsed parallel loop, and interpreter plumbing to run its body. *)
+  type instance = {
+    inst_name : string;  (** registry name of the app this came from *)
+    inst_session : session;
+    inst_env : Interp.env;  (** the primary (serial-path) environment *)
+    inst_make_env : unit -> Interp.env;
+        (** a fresh environment over the {e same} DistArrays and host
+            builtins — one per domain for parallel execution, because
+            {!Interp.env} is single-writer *)
+    inst_loop : Ast.stmt;
+    inst_key_var : string;
+    inst_value_var : string;
+    inst_body : Ast.block;
+    inst_iter : Value.t Dist_array.t;
+    inst_iter_name : string;
+    inst_outputs : (string * float Dist_array.t) list;
+        (** model arrays compared by equality/differential checks *)
+    inst_buffered : string list;
+        (** buffer-written arrays, dependence-exempt; merged from
+            per-domain shadows under parallel execution *)
+  }
+
+  type t = {
+    app_name : string;
+    app_description : string;
+    app_script : string;  (** the OrionScript source fed to the analyzer *)
+    app_tolerance : float option;
+        (** [None]: independent dependence-respecting runs must agree
+            bitwise; [Some rel]: within relative tolerance (buffered FP
+            accumulation is order-sensitive in the last bits) *)
+    app_make :
+      ?scale:float -> num_machines:int -> workers_per_machine:int -> unit ->
+      instance;
+        (** build a fresh deterministic instance (identical initial
+            state every call); [scale] enlarges the dataset *)
+    app_register_meta : session -> unit;
+        (** register the paper-scale array shapes so the analysis
+            pipeline can run without materializing data *)
+  }
+
+  (** Register (or replace, by name) an app. *)
+  val register : t -> unit
+
+  val all : unit -> t list
+  val find : string -> t option
+  val names : unit -> string list
+end
+
+(** {1 The engine}
+
+    Unified execution entry point over both substrates: the simulated
+    cluster ([`Sim], virtual time, sequential) and a real OCaml 5
+    domain pool ([`Parallel n], wall clock, {!Domain_exec}).  Both
+    execute the {e same} compiled schedule under the same
+    happens-before order, so for serializable schedules their results
+    are element-wise equal (up to the app's tolerance for buffered
+    accumulation). *)
+
+module Engine : sig
+  type mode = [ `Sim | `Parallel of int ]
+
+  val mode_to_string : mode -> string
+
+  type report = {
+    ep_app : string;
+    ep_mode : mode;
+    ep_strategy : string;
+    ep_model : string;
+    ep_domains : int;  (** 1 for [`Sim] *)
+    ep_space_parts : int;
+    ep_time_parts : int;
+    ep_entries : int;
+    ep_blocks : int;
+    ep_steals : int;  (** 0 for [`Sim] *)
+    ep_wall_seconds : float;
+    ep_sim_time : float;  (** virtual cluster time ([`Sim] only) *)
+  }
+
+  val report_payload : report -> Report.json
+
+  (** Run [inst]'s parallel loop [passes] times under [mode], mutating
+      its DistArrays in place. *)
+  val run :
+    session ->
+    App.instance ->
+    mode:mode ->
+    ?passes:int ->
+    ?pipeline_depth:int ->
+    unit ->
+    report
+end

@@ -161,12 +161,38 @@ let get_opt t key =
   | Dense d -> Some d.(lin)
   | Sparse s -> Hashtbl.find_opt s.table lin
 
+(* Concurrency contract (OCaml 5 domains, see [Orion.Engine]):
+   disjoint-cell writes to [Dense] storage are plain disjoint field
+   writes and race-free; [Hashtbl.replace] on an EXISTING sparse key
+   mutates the bound cons cell in place and is likewise safe across
+   distinct keys — but inserting a NEW key may resize the table, which
+   is not.  [enter_parallel]/[exit_parallel] bracket parallel sections;
+   inside one, a new-key sparse insert raises instead of corrupting the
+   table (apps must pre-populate every sparse key they will write). *)
+let parallel_mode = Atomic.make false
+let enter_parallel () = Atomic.set parallel_mode true
+let exit_parallel () = Atomic.set parallel_mode false
+
+exception Parallel_sparse_insert of string
+
+let check_sparse_insert t lin =
+  if Atomic.get parallel_mode then
+    raise
+      (Parallel_sparse_insert
+         (Printf.sprintf
+            "DistArray %s: insert of new sparse key %d during a parallel \
+             section (pre-populate sparse keys before running in parallel)"
+            t.name lin))
+
 let set t key v =
   let lin = linearize t key in
   match t.storage with
   | Dense d -> d.(lin) <- v
   | Sparse s ->
-      if not (Hashtbl.mem s.table lin) then s.sorted_keys <- None;
+      if not (Hashtbl.mem s.table lin) then begin
+        check_sparse_insert t lin;
+        s.sorted_keys <- None
+      end;
       Hashtbl.replace s.table lin v
 
 let update t key f =
@@ -178,6 +204,7 @@ let update t key f =
         match Hashtbl.find_opt s.table lin with
         | Some v -> v
         | None ->
+            check_sparse_insert t lin;
             s.sorted_keys <- None;
             t.default
       in

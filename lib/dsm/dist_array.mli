@@ -57,6 +57,20 @@ val is_sparse : 'a t -> bool
 val bytes_per_element : float
 val size_bytes : 'a t -> float
 
+(** {1 Parallel sections}
+
+    Disjoint-cell writes to dense storage (and to {e existing} sparse
+    keys) are race-free across OCaml 5 domains; inserting a new sparse
+    key may resize the hash table and is not.  [enter_parallel] arms a
+    process-wide guard: while armed, a new-key sparse insert raises
+    {!Parallel_sparse_insert} instead of corrupting the table.  Apps
+    must pre-populate every sparse key they write in parallel. *)
+
+exception Parallel_sparse_insert of string
+
+val enter_parallel : unit -> unit
+val exit_parallel : unit -> unit
+
 val get : 'a t -> int array -> 'a
 val get_opt : 'a t -> int array -> 'a option
 val set : 'a t -> int array -> 'a -> unit

@@ -20,6 +20,13 @@ module Rng : sig
   val gaussian : t -> float  (** standard normal *)
 end
 
+(** An interpreter environment is SINGLE-WRITER: [vars] is a plain
+    Hashtbl that {!eval_body_for} mutates on every iteration, so an
+    [env] must only ever be driven by one OCaml domain at a time.
+    Parallel execution gives each domain its own [env] over the same
+    shared DistArrays and host builtins (see [Orion.App.inst_make_env]).
+    The [profile] hook MAY point at one shared {!Profile.t} — its
+    counters take an internal lock. *)
 type env = {
   vars : (string, Value.t) Hashtbl.t;
   rng : Rng.t;

@@ -5,7 +5,12 @@
     (see {!Interp.env}); attribution is by the source line stamped on
     each statement by the parser ({!Ast.pos}).  Line times are
     *inclusive*: a loop header accumulates the time of its whole body,
-    like a sampling profiler's "total" column. *)
+    like a sampling profiler's "total" column.
+
+    A single [t] may be shared by interpreters running on several OCaml
+    domains (one profiler for a parallel pass): the record functions
+    take an internal lock, so counters never tear or lose increments.
+    Readers ([line_stats] etc.) are meant for after the pass. *)
 
 type line_stat = { mutable hits : int; mutable seconds : float }
 type array_stat = { mutable reads : int; mutable writes : int }
@@ -13,13 +18,20 @@ type array_stat = { mutable reads : int; mutable writes : int }
 type t = {
   lines : (int, line_stat) Hashtbl.t;
   arrays : (string, array_stat) Hashtbl.t;
+  lock : Mutex.t;  (** guards all mutation (multi-domain interpreters) *)
 }
 
-let create () = { lines = Hashtbl.create 64; arrays = Hashtbl.create 16 }
+let create () =
+  { lines = Hashtbl.create 64; arrays = Hashtbl.create 16; lock = Mutex.create () }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let reset t =
-  Hashtbl.reset t.lines;
-  Hashtbl.reset t.arrays
+  locked t (fun () ->
+      Hashtbl.reset t.lines;
+      Hashtbl.reset t.arrays)
 
 let line_stat t line =
   match Hashtbl.find_opt t.lines line with
@@ -38,17 +50,20 @@ let array_stat t name =
       s
 
 let record_line t ~line ~seconds =
-  let s = line_stat t line in
-  s.hits <- s.hits + 1;
-  s.seconds <- s.seconds +. seconds
+  locked t (fun () ->
+      let s = line_stat t line in
+      s.hits <- s.hits + 1;
+      s.seconds <- s.seconds +. seconds)
 
 let record_array_read t name =
-  let s = array_stat t name in
-  s.reads <- s.reads + 1
+  locked t (fun () ->
+      let s = array_stat t name in
+      s.reads <- s.reads + 1)
 
 let record_array_write t name =
-  let s = array_stat t name in
-  s.writes <- s.writes + 1
+  locked t (fun () ->
+      let s = array_stat t name in
+      s.writes <- s.writes + 1)
 
 let line_stats t =
   Hashtbl.fold (fun line s acc -> (line, s.hits, s.seconds) :: acc) t.lines []

@@ -1,0 +1,29 @@
+(** The versioned JSON envelope shared by every Orion report emitter
+    (explain / verify / metrics / bench): one [json] builder, one
+    [{"schema_version"; "kind"; "payload"}] shape. *)
+
+(** Bumped on any incompatible payload change. *)
+val schema_version : int
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+val json_to_string : json -> string
+
+(** An int array as a JSON list. *)
+val ints : int array -> json
+
+(** A string list as a JSON list. *)
+val strs : string list -> json
+
+(** Wrap a payload: [{"schema_version": v, "kind": kind, "payload": p}]. *)
+val envelope : kind:string -> json -> json
+
+(** [envelope] rendered to a string — what the [--json] flags print. *)
+val emit : kind:string -> json -> string

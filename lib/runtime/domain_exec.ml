@@ -1,0 +1,301 @@
+(** Real multicore execution of a schedule on a pool of OCaml 5
+    {!Domain}s.
+
+    The simulated executors in {!Executor} walk a schedule's blocks
+    sequentially and charge virtual time; this module executes the same
+    blocks with *actual* parallelism while enforcing the same
+    happens-before order that {!module:Executor} (and the race checker
+    in [lib/verify]) model for each strategy:
+
+    - {b 1D}: space partitions carry no cross-block dependences — every
+      block is immediately ready; the pass ends with an implicit join.
+    - {b ordered 2D}: block [(s, t)] waits for [(s-1, t)] and
+      [(s, t-1)] — the dataflow form of the wavefront.  A 2D plan only
+      exists when every dependence is carried within one space
+      partition (same [s]) or one time partition (same [t]), and the
+      two edges transitively order all same-[s] and all same-[t] pairs
+      in lexicographic order, so serial (ordered-loop) semantics are
+      preserved.
+    - {b unordered 2D}: per-space-partition chains in pipeline-step
+      order, plus the partition-rotation edge [(s, t) -> (s-1 mod sp,
+      t)] that hands time partition [t] to the worker that uses it
+      [depth] steps later — exactly the edges of
+      [Race.M_2d_unordered].
+    - {b time-major} (unimodular): dependences may connect consecutive
+      transformed-time values across arbitrary space partitions, so
+      every block of time partition [t] waits on all blocks of [t-1]
+      (the barrier, as a dependence counter).
+
+    Readiness is tracked with one {!Atomic} pending-predecessor counter
+    per block (the "Atomic epoch counter per partition-window" design);
+    completed blocks decrement their successors and enqueue the newly
+    ready ones.  Work distribution is a small work-stealing pool: each
+    domain owns a LIFO stack of ready blocks, pushes work it unlocks
+    onto its own stack (locality), and steals from the other domains
+    when its stack drains.  Idle domains block on a condition variable
+    rather than spinning, so the pool degrades gracefully on machines
+    with fewer cores than domains.
+
+    The caller provides one loop-body closure {e per domain}: bodies
+    typically close over a per-domain interpreter environment (see
+    [Orion.Engine]), because {!Orion_lang.Interp.env} is single-writer
+    by design. *)
+
+type model =
+  | M_1d
+  | M_2d_ordered
+  | M_2d_unordered of { depth : int }
+  | M_time_major
+
+let model_to_string = function
+  | M_1d -> "1d"
+  | M_2d_ordered -> "2d-ordered"
+  | M_2d_unordered { depth } -> Printf.sprintf "2d-unordered(depth=%d)" depth
+  | M_time_major -> "time-major"
+
+(** The executor's effective pipeline depth for an unordered-2D pass
+    (mirrors {!Executor.run_2d_unordered}). *)
+let effective_depth ~pipeline_depth ~sp ~tp =
+  max 1 (min pipeline_depth (tp / max sp 1))
+
+(** The execution model [Orion.execute] uses for a plan's schedule. *)
+let model_of_plan (plan : Orion_analysis.Plan.t) ~pipeline_depth ~sp ~tp =
+  match plan.Orion_analysis.Plan.strategy with
+  | Orion_analysis.Plan.One_d _ | Orion_analysis.Plan.Data_parallel -> M_1d
+  | Orion_analysis.Plan.Two_d _ ->
+      if plan.Orion_analysis.Plan.ordered then M_2d_ordered
+      else M_2d_unordered { depth = effective_depth ~pipeline_depth ~sp ~tp }
+  | Orion_analysis.Plan.Two_d_unimodular _ -> M_time_major
+
+(** The sequential order in which the simulated executor visits blocks
+    (one dependence-respecting linearization of the model). *)
+let natural_order model ~sp ~tp =
+  let out = ref [] in
+  (match model with
+  | M_1d ->
+      for s = 0 to sp - 1 do
+        out := (s, 0) :: !out
+      done
+  | M_2d_ordered ->
+      for g = 0 to sp + tp - 2 do
+        for s = 0 to sp - 1 do
+          let time = g - s in
+          if time >= 0 && time < tp then out := (s, time) :: !out
+        done
+      done
+  | M_2d_unordered { depth } ->
+      for step = 0 to tp - 1 do
+        for s = 0 to sp - 1 do
+          out := (s, ((s * depth) + step) mod tp) :: !out
+        done
+      done
+  | M_time_major ->
+      for time = 0 to tp - 1 do
+        for s = 0 to sp - 1 do
+          out := (s, time) :: !out
+        done
+      done);
+  Array.of_list (List.rev !out)
+
+(* ------------------------------------------------------------------ *)
+(* Dependence graph (immediate edges only; counters do the rest)       *)
+(* ------------------------------------------------------------------ *)
+
+(* Blocks are numbered s * tp + t.  [succs] lists each block's direct
+   successors; [pending] counts direct predecessors. *)
+let build_graph model ~sp ~tp =
+  let n = sp * tp in
+  let id s t = (s * tp) + t in
+  let succs = Array.make n [] in
+  let pending = Array.make n 0 in
+  let edge src dst =
+    succs.(src) <- dst :: succs.(src);
+    pending.(dst) <- pending.(dst) + 1
+  in
+  (match model with
+  | M_1d -> ()
+  | M_2d_ordered ->
+      for s = 0 to sp - 1 do
+        for t = 0 to tp - 1 do
+          if s > 0 then edge (id (s - 1) t) (id s t);
+          if t > 0 then edge (id s (t - 1)) (id s t)
+        done
+      done
+  | M_2d_unordered { depth } ->
+      (* per-space-partition chain in pipeline-step order *)
+      for s = 0 to sp - 1 do
+        for step = 0 to tp - 2 do
+          edge
+            (id s (((s * depth) + step) mod tp))
+            (id s (((s * depth) + step + 1) mod tp))
+        done
+      done;
+      (* rotation: after (s, t) runs at step k, time partition t is
+         shipped onward and next used at step k+depth.  Chaining each
+         time partition's blocks in (step, s) order yields exactly the
+         rotation edges (s, t) -> (s-1 mod sp, t) in the canonical
+         tp = sp*depth layout, and stays acyclic (steps never decrease
+         along an edge) when the iteration space yields fewer time
+         partitions than sp*depth — where the naive mod-sp rotation
+         would wrap into an earlier step and deadlock the pool. *)
+      let step_of s t = (((t - (s * depth)) mod tp) + tp) mod tp in
+      for t = 0 to tp - 1 do
+        let blocks = Array.init sp (fun s -> (step_of s t, s)) in
+        Array.sort compare blocks;
+        for i = 0 to sp - 2 do
+          let _, s1 = blocks.(i) and _, s2 = blocks.(i + 1) in
+          edge (id s1 t) (id s2 t)
+        done
+      done
+  | M_time_major ->
+      (* barrier between consecutive time partitions *)
+      for t = 1 to tp - 1 do
+        for s1 = 0 to sp - 1 do
+          for s2 = 0 to sp - 1 do
+            edge (id s1 (t - 1)) (id s2 t)
+          done
+        done
+      done);
+  (succs, pending)
+
+(* ------------------------------------------------------------------ *)
+(* The pool                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  domains : int;
+  blocks_run : int;
+  entries_run : int;
+  steals : int;  (** ready blocks taken from another domain's stack *)
+  wall_seconds : float;  (** real elapsed time of the parallel section *)
+}
+
+(** Execute [sched] under [model] on [domains] domains.  [bodies] must
+    have at least [domains] elements; [bodies.(d)] is the loop body run
+    by domain [d] (give each domain its own closure/state — see the
+    module comment).  Blocks execute their entries in scheduled order;
+    the pass returns only when every block has completed.  An exception
+    raised by any body cancels the pass and is re-raised here. *)
+let run_schedule ~domains ~model (sched : 'v Schedule.t)
+    ~(bodies : (key:int array -> value:'v -> unit) array) : stats =
+  let sp = sched.Schedule.space_parts and tp = sched.Schedule.time_parts in
+  let n = sp * tp in
+  let domains = max 1 (min domains (Array.length bodies)) in
+  let succs, pending0 = build_graph model ~sp ~tp in
+  let pending = Array.map Atomic.make pending0 in
+  let remaining = Atomic.make n in
+  let entries_run = Atomic.make 0 in
+  let steals = Atomic.make 0 in
+  (* shared pool state: per-domain LIFO stacks of ready block ids, all
+     guarded by one mutex (blocks are coarse, contention is negligible
+     at this granularity) *)
+  let m = Mutex.create () in
+  let cv = Condition.create () in
+  let stacks = Array.make domains [] in
+  let failed : exn option ref = ref None in
+  let push_ready ~who ids =
+    if ids <> [] then begin
+      Mutex.lock m;
+      stacks.(who) <- ids @ stacks.(who);
+      Condition.broadcast cv;
+      Mutex.unlock m
+    end
+  in
+  let finished () = Atomic.get remaining = 0 in
+  (* take own work first (LIFO), then steal from the other stacks *)
+  let take who =
+    match stacks.(who) with
+    | id :: rest ->
+        stacks.(who) <- rest;
+        Some id
+    | [] ->
+        let found = ref None in
+        let d = ref 1 in
+        while !found = None && !d < domains do
+          let v = (who + !d) mod domains in
+          (match stacks.(v) with
+          | id :: rest ->
+              stacks.(v) <- rest;
+              Atomic.incr steals;
+              found := Some id
+          | [] -> ());
+          incr d
+        done;
+        !found
+  in
+  let next who =
+    Mutex.lock m;
+    let rec loop () =
+      if !failed <> None || finished () then None
+      else
+        match take who with
+        | Some id -> Some id
+        | None ->
+            Condition.wait cv m;
+            loop ()
+    in
+    let r = loop () in
+    Mutex.unlock m;
+    r
+  in
+  let fail e =
+    Mutex.lock m;
+    if !failed = None then failed := Some e;
+    Condition.broadcast cv;
+    Mutex.unlock m
+  in
+  let run_block who id =
+    let b = Schedule.block sched ~space:(id / tp) ~time:(id mod tp) in
+    let body = bodies.(who) in
+    Array.iter (fun (key, value) -> body ~key ~value) b.Schedule.entries;
+    ignore (Atomic.fetch_and_add entries_run (Array.length b.Schedule.entries));
+    (* unlock successors *)
+    let ready =
+      List.filter
+        (fun succ -> Atomic.fetch_and_add pending.(succ) (-1) = 1)
+        succs.(id)
+    in
+    push_ready ~who ready;
+    if Atomic.fetch_and_add remaining (-1) = 1 then begin
+      (* last block: wake everyone up to exit *)
+      Mutex.lock m;
+      Condition.broadcast cv;
+      Mutex.unlock m
+    end
+  in
+  let worker who =
+    let rec loop () =
+      match next who with
+      | None -> ()
+      | Some id ->
+          (match run_block who id with
+          | () -> ()
+          | exception e -> fail e);
+          loop ()
+    in
+    loop ()
+  in
+  (* seed the pool with every block that has no predecessors,
+     round-robin across domains *)
+  let seeds = Array.make domains [] in
+  for id = n - 1 downto 0 do
+    if Atomic.get pending.(id) = 0 then
+      seeds.(id mod domains) <- id :: seeds.(id mod domains)
+  done;
+  Array.iteri (fun d ids -> stacks.(d) <- ids) seeds;
+  let t0 = Unix.gettimeofday () in
+  let spawned =
+    Array.init (domains - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1)))
+  in
+  (* the calling domain is worker 0 *)
+  worker 0;
+  Array.iter Domain.join spawned;
+  let wall = Unix.gettimeofday () -. t0 in
+  (match !failed with Some e -> raise e | None -> ());
+  {
+    domains;
+    blocks_run = n;
+    entries_run = Atomic.get entries_run;
+    steals = Atomic.get steals;
+    wall_seconds = wall;
+  }

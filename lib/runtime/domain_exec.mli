@@ -1,0 +1,47 @@
+(** Real multicore execution of a {!Schedule.t} on a work-stealing pool
+    of OCaml 5 domains, enforcing each strategy's happens-before order
+    with per-block atomic dependence counters.  See the implementation
+    header for the per-model edge sets. *)
+
+(** The happens-before model a strategy induces over schedule blocks
+    (shared with the race checker in [lib/verify]). *)
+type model =
+  | M_1d  (** space partitions, one barrier at the end *)
+  | M_2d_ordered  (** anti-diagonal wavefront, dataflow form *)
+  | M_2d_unordered of { depth : int }  (** pipelined partition rotation *)
+  | M_time_major  (** unimodular time loop, barrier per time step *)
+
+val model_to_string : model -> string
+
+(** The executor's effective pipeline depth for an unordered-2D pass. *)
+val effective_depth : pipeline_depth:int -> sp:int -> tp:int -> int
+
+(** The execution model [Orion.execute] uses for a plan's schedule. *)
+val model_of_plan :
+  Orion_analysis.Plan.t -> pipeline_depth:int -> sp:int -> tp:int -> model
+
+(** The sequential order in which the simulated executor visits blocks
+    (one dependence-respecting linearization of the model). *)
+val natural_order : model -> sp:int -> tp:int -> (int * int) array
+
+type stats = {
+  domains : int;
+  blocks_run : int;
+  entries_run : int;
+  steals : int;  (** ready blocks taken from another domain's stack *)
+  wall_seconds : float;  (** real elapsed time of the parallel section *)
+}
+
+(** [run_schedule ~domains ~model sched ~bodies] executes every block
+    of [sched] with real parallelism under [model]'s happens-before
+    order.  [bodies] needs at least [domains] elements; [bodies.(d)]
+    runs on domain [d] (one closure per domain — interpreter
+    environments are single-writer).  Returns after all blocks
+    complete; an exception from any body cancels the pass and is
+    re-raised. *)
+val run_schedule :
+  domains:int ->
+  model:model ->
+  'v Schedule.t ->
+  bodies:(key:int array -> value:'v -> unit) array ->
+  stats

@@ -169,3 +169,32 @@ let csv_row t =
     t.window_start t.window_end t.compute_sec t.marshal_sec t.transfer_sec
     t.barrier_wait_sec t.idle_sec t.straggler_ratio t.barrier_wait_fraction
     t.comm_compute_overlap t.total_bytes
+
+(* the metrics as an Orion_report payload (kind "metrics" when enveloped) *)
+let to_json_value t : Orion_report.json =
+  Orion_report.Obj
+    [
+      ("window_start", Orion_report.Float t.window_start);
+      ("window_end", Orion_report.Float t.window_end);
+      ( "busy_per_worker",
+        Orion_report.List
+          (Array.to_list
+             (Array.map (fun s -> Orion_report.Float s) t.busy_per_worker)) );
+      ("compute_sec", Orion_report.Float t.compute_sec);
+      ("marshal_sec", Orion_report.Float t.marshal_sec);
+      ("transfer_sec", Orion_report.Float t.transfer_sec);
+      ("barrier_wait_sec", Orion_report.Float t.barrier_wait_sec);
+      ("idle_sec", Orion_report.Float t.idle_sec);
+      ("straggler_ratio", Orion_report.Float t.straggler_ratio);
+      ("barrier_wait_fraction", Orion_report.Float t.barrier_wait_fraction);
+      ("comm_compute_overlap", Orion_report.Float t.comm_compute_overlap);
+      ( "bytes_by_label",
+        Orion_report.Obj
+          (List.map
+             (fun (name, b) -> (name, Orion_report.Float b))
+             t.bytes_by_label) );
+      ("total_bytes", Orion_report.Float t.total_bytes);
+    ]
+
+(** The metrics in the versioned JSON envelope (kind ["metrics"]). *)
+let to_json t = Orion_report.emit ~kind:"metrics" (to_json_value t)

@@ -32,3 +32,10 @@ val summary : t -> string
 
 val csv_header : string
 val csv_row : t -> string
+
+(** The metrics as an {!Orion_report} payload (no envelope). *)
+val to_json_value : t -> Orion_report.json
+
+(** The metrics in the versioned {!Orion_report} JSON envelope
+    (kind ["metrics"]). *)
+val to_json : t -> string

@@ -22,15 +22,22 @@ type t = {
   mutable rev_events : event list;  (** newest first *)
   mutable seq : int;
   mutable current_iter : int array;
+  lock : Mutex.t;
+      (** guards [rev_events]/[seq] so a log attached to interpreters on
+          several domains records every event (event order across
+          domains is then arbitrary — dependence reconstruction needs
+          the serial observation pass, which is single-domain) *)
 }
 
-let create () = { rev_events = []; seq = 0; current_iter = [||] }
+let create () =
+  { rev_events = []; seq = 0; current_iter = [||]; lock = Mutex.create () }
 
 (** Set the iteration vector that subsequent accesses belong to (called
     once per iteration by the serial observation pass). *)
 let set_iter t iter = t.current_iter <- Array.copy iter
 
 let record_key t ~array ~write key =
+  Mutex.lock t.lock;
   t.rev_events <-
     {
       ev_array = array;
@@ -40,7 +47,8 @@ let record_key t ~array ~write key =
       ev_seq = t.seq;
     }
     :: t.rev_events;
-  t.seq <- t.seq + 1
+  t.seq <- t.seq + 1;
+  Mutex.unlock t.lock
 
 (* expand a concrete subscript to the point indices it covers *)
 let expand_sub dim = function

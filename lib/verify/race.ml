@@ -10,31 +10,18 @@
     simulator masks it); for ordered loops, an edge whose endpoints run
     in the wrong order additionally breaks the serial semantics. *)
 
-type model =
+(* The model type and its derivation live with the multicore executor
+   (the same happens-before order drives real parallel execution); this
+   module adds the worker-aware HB matrix and race checks on top. *)
+type model = Orion_runtime.Domain_exec.model =
   | M_1d
   | M_2d_ordered
   | M_2d_unordered of { depth : int }
   | M_time_major
 
-let model_to_string = function
-  | M_1d -> "1d"
-  | M_2d_ordered -> "2d-ordered"
-  | M_2d_unordered { depth } -> Printf.sprintf "2d-unordered(depth=%d)" depth
-  | M_time_major -> "time-major"
-
-(** The executor's effective pipeline depth for an unordered-2D pass
-    (mirrors {!Orion_runtime.Executor.run_2d_unordered}). *)
-let effective_depth ~pipeline_depth ~sp ~tp =
-  max 1 (min pipeline_depth (tp / max sp 1))
-
-(** The execution model {!Orion.execute} uses for a plan's schedule. *)
-let model_of_plan (plan : Orion_analysis.Plan.t) ~pipeline_depth ~sp ~tp =
-  match plan.Orion_analysis.Plan.strategy with
-  | Orion_analysis.Plan.One_d _ | Orion_analysis.Plan.Data_parallel -> M_1d
-  | Orion_analysis.Plan.Two_d _ ->
-      if plan.Orion_analysis.Plan.ordered then M_2d_ordered
-      else M_2d_unordered { depth = effective_depth ~pipeline_depth ~sp ~tp }
-  | Orion_analysis.Plan.Two_d_unimodular _ -> M_time_major
+let model_to_string = Orion_runtime.Domain_exec.model_to_string
+let effective_depth = Orion_runtime.Domain_exec.effective_depth
+let model_of_plan = Orion_runtime.Domain_exec.model_of_plan
 
 type t = {
   model : model;
@@ -49,34 +36,7 @@ type t = {
 
 let bid t ~s ~time = (s * t.tp) + time
 
-(* the sequential order in which the executor visits blocks *)
-let natural_order model ~sp ~tp =
-  let out = ref [] in
-  (match model with
-  | M_1d ->
-      for s = 0 to sp - 1 do
-        out := (s, 0) :: !out
-      done
-  | M_2d_ordered ->
-      for g = 0 to sp + tp - 2 do
-        for s = 0 to sp - 1 do
-          let time = g - s in
-          if time >= 0 && time < tp then out := (s, time) :: !out
-        done
-      done
-  | M_2d_unordered { depth } ->
-      for step = 0 to tp - 1 do
-        for s = 0 to sp - 1 do
-          out := (s, ((s * depth) + step) mod tp) :: !out
-        done
-      done
-  | M_time_major ->
-      for time = 0 to tp - 1 do
-        for s = 0 to sp - 1 do
-          out := (s, time) :: !out
-        done
-      done);
-  Array.of_list (List.rev !out)
+let natural_order = Orion_runtime.Domain_exec.natural_order
 
 (** Build the happens-before analysis of [sched] under [model] with
     [workers] simulated workers. *)
@@ -136,9 +96,14 @@ let build model ~workers (sched : 'v Orion_runtime.Schedule.t) : t =
         done
       done
   | M_2d_unordered { depth } ->
-      (* per-worker program order by (step, space); a partition-rotation
-         message orders block (s, t) before ((s-1) mod sp, t), which
-         uses the shipped partition [depth] steps later *)
+      (* per-worker program order by (step, space); partition-rotation
+         messages order each time partition's blocks in step order —
+         block (s, t) before ((s-1) mod sp, t), which uses the shipped
+         partition [depth] steps later.  Chaining in (step, s) order is
+         identical to those rotation edges in the canonical
+         tp = sp*depth layout and stays acyclic when the iteration
+         space yields fewer time partitions (see
+         {!Orion_runtime.Domain_exec.build_graph}). *)
       let step_of s time = (((time - (s * depth)) mod tp) + tp) mod tp in
       for s1 = 0 to sp - 1 do
         for t1 = 0 to tp - 1 do
@@ -150,8 +115,15 @@ let build model ~workers (sched : 'v Orion_runtime.Schedule.t) : t =
                 if k1 < k2 || (k1 = k2 && s1 < s2) then edge (s1, t1) (s2, t2)
               end
             done
-          done;
-          if k1 + depth <= tp - 1 then edge (s1, t1) ((s1 - 1 + sp) mod sp, t1)
+          done
+        done
+      done;
+      for t = 0 to tp - 1 do
+        let blocks = Array.init sp (fun s -> (step_of s t, s)) in
+        Array.sort compare blocks;
+        for i = 0 to sp - 2 do
+          let _, s1 = blocks.(i) and _, s2 = blocks.(i + 1) in
+          edge (s1, t) (s2, t)
         done
       done
   | M_time_major ->

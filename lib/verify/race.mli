@@ -1,7 +1,9 @@
 (** Schedule race detection: replay a schedule's happens-before order
     against observed dependence edges. *)
 
-type model =
+(** Shared with {!Orion_runtime.Domain_exec}: the same happens-before
+    order drives real multicore execution. *)
+type model = Orion_runtime.Domain_exec.model =
   | M_1d  (** space partitions, one barrier at the end *)
   | M_2d_ordered  (** anti-diagonal wavefront, barrier per diagonal *)
   | M_2d_unordered of { depth : int }  (** pipelined partition rotation *)

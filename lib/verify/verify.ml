@@ -13,8 +13,11 @@
       order);
     - {b differential} — the scheduled execution and an adversarial
       dependence-respecting reordering of it must produce element-wise
-      equal model arrays (bitwise, or within the fixture's tolerance
-      for buffered floating-point accumulation). *)
+      equal model arrays (bitwise, or within the app's tolerance for
+      buffered floating-point accumulation).
+
+    Apps come from the {!Orion.App} registry (populated by
+    {!Orion_apps.Registry}). *)
 
 open Orion_lang
 open Orion_dsm
@@ -23,6 +26,8 @@ module Plan = Orion_analysis.Plan
 module Depvec = Orion_analysis.Depvec
 module Schedule = Orion_runtime.Schedule
 module Executor = Orion_runtime.Executor
+module App = Orion.App
+module Report = Orion.Report
 
 (* ------------------------------------------------------------------ *)
 (* Serial observation pass (run A)                                     *)
@@ -31,16 +36,16 @@ module Executor = Orion_runtime.Executor
 (** Execute the loop serially in ascending key order with the access
     log attached (this mutates the instance's arrays: the instance
     afterwards holds the canonical serial result). *)
-let observe (inst : Fixture.instance) : Access_log.t =
+let observe (inst : App.instance) : Access_log.t =
   let log = Access_log.create () in
-  Access_log.attach log ~skip:[ inst.Fixture.iter_name ] inst.Fixture.env;
+  Access_log.attach log ~skip:[ inst.App.inst_iter_name ] inst.App.inst_env;
   Dist_array.iter
     (fun key value ->
       Access_log.set_iter log key;
-      Interp.eval_body_for inst.Fixture.env ~key_var:inst.Fixture.key_var
-        ~value_var:inst.Fixture.value_var ~key ~value inst.Fixture.body)
-    inst.Fixture.iter;
-  Access_log.detach inst.Fixture.env;
+      Interp.eval_body_for inst.App.inst_env ~key_var:inst.App.inst_key_var
+        ~value_var:inst.App.inst_value_var ~key ~value inst.App.inst_body)
+    inst.App.inst_iter;
+  Access_log.detach inst.App.inst_env;
   log
 
 (* ------------------------------------------------------------------ *)
@@ -241,132 +246,93 @@ let report_to_string (r : app_report) =
   pf (if r.r_passed then "  PASS\n" else "  FAIL\n");
   Buffer.contents b
 
-(* small Explain-style JSON builder (no external dependency) *)
-type json =
-  | J_null
-  | J_bool of bool
-  | J_int of int
-  | J_float of float
-  | J_string of string
-  | J_list of json list
-  | J_obj of (string * json) list
-
-let rec json_to_buf b = function
-  | J_null -> Buffer.add_string b "null"
-  | J_bool v -> Buffer.add_string b (string_of_bool v)
-  | J_int n -> Buffer.add_string b (string_of_int n)
-  | J_float f ->
-      if Float.is_finite f then Buffer.add_string b (Printf.sprintf "%.17g" f)
-      else Buffer.add_string b (Printf.sprintf "\"%s\"" (Float.to_string f))
-  | J_string s ->
-      Buffer.add_char b '"';
-      String.iter
-        (fun c ->
-          match c with
-          | '"' -> Buffer.add_string b "\\\""
-          | '\\' -> Buffer.add_string b "\\\\"
-          | '\n' -> Buffer.add_string b "\\n"
-          | c when Char.code c < 0x20 ->
-              Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-          | c -> Buffer.add_char b c)
-        s;
-      Buffer.add_char b '"'
-  | J_list l ->
-      Buffer.add_char b '[';
-      List.iteri
-        (fun i v ->
-          if i > 0 then Buffer.add_char b ',';
-          json_to_buf b v)
-        l;
-      Buffer.add_char b ']'
-  | J_obj fields ->
-      Buffer.add_char b '{';
-      List.iteri
-        (fun i (k, v) ->
-          if i > 0 then Buffer.add_char b ',';
-          json_to_buf b (J_string k);
-          Buffer.add_char b ':';
-          json_to_buf b v)
-        fields;
-      Buffer.add_char b '}'
-
-let json_to_string j =
-  let b = Buffer.create 1024 in
-  json_to_buf b j;
-  Buffer.contents b
-
-let ints a = J_list (List.map (fun i -> J_int i) (Array.to_list a))
+(* JSON via the shared versioned report library *)
+let ints = Report.ints
 
 let miss_json m =
-  J_obj
+  Report.Obj
     [
-      ("array", J_string m.m_array);
-      ("kind", J_string (Depobserve.kind_to_string m.m_kind));
+      ("array", Report.Str m.m_array);
+      ("kind", Report.Str (Depobserve.kind_to_string m.m_kind));
       ("distance", ints m.m_distance);
       ("src_iteration", ints m.m_edge.Depobserve.e_src);
       ("dst_iteration", ints m.m_edge.Depobserve.e_dst);
       ("element", ints m.m_edge.Depobserve.e_key);
-      ("static", J_list (List.map (fun v -> J_string (Depvec.to_string v)) m.m_static));
+      ( "static",
+        Report.List
+          (List.map (fun v -> Report.Str (Depvec.to_string v)) m.m_static) );
     ]
 
 let violation_json (v : Race.violation) =
   let e = v.Race.v_edge in
-  J_obj
+  Report.Obj
     [
-      ("array", J_string e.Depobserve.e_array);
-      ("kind", J_string (Depobserve.kind_to_string e.Depobserve.e_kind));
+      ("array", Report.Str e.Depobserve.e_array);
+      ("kind", Report.Str (Depobserve.kind_to_string e.Depobserve.e_kind));
       ("element", ints e.Depobserve.e_key);
       ("src_iteration", ints e.Depobserve.e_src);
       ("dst_iteration", ints e.Depobserve.e_dst);
       ( "src_block",
-        J_list [ J_int (fst v.Race.v_src_block); J_int (snd v.Race.v_src_block) ] );
+        Report.List
+          [
+            Report.Int (fst v.Race.v_src_block);
+            Report.Int (snd v.Race.v_src_block);
+          ] );
       ( "dst_block",
-        J_list [ J_int (fst v.Race.v_dst_block); J_int (snd v.Race.v_dst_block) ] );
-      ("why", J_string (Race.why_to_string v.Race.v_why));
+        Report.List
+          [
+            Report.Int (fst v.Race.v_dst_block);
+            Report.Int (snd v.Race.v_dst_block);
+          ] );
+      ("why", Report.Str (Race.why_to_string v.Race.v_why));
     ]
 
 let diff_json d =
-  J_obj
+  Report.Obj
     [
-      ("array", J_string d.d_array);
-      ("cells", J_int d.d_cells);
-      ("max_abs", J_float d.d_max_abs);
-      ("max_rel", J_float d.d_max_rel);
+      ("array", Report.Str d.d_array);
+      ("cells", Report.Int d.d_cells);
+      ("max_abs", Report.Float d.d_max_abs);
+      ("max_rel", Report.Float d.d_max_rel);
       ( "worst_key",
-        match d.d_worst_key with None -> J_null | Some k -> ints k );
+        match d.d_worst_key with None -> Report.Null | Some k -> ints k );
+    ]
+
+let report_payload (r : app_report) : Report.json =
+  Report.Obj
+    [
+      ("app", Report.Str r.r_app);
+      ("strategy", Report.Str r.r_strategy);
+      ("model", Report.Str r.r_model);
+      ("ordered", Report.Bool r.r_ordered);
+      ("workers", Report.Int r.r_workers);
+      ("space_parts", Report.Int r.r_space_parts);
+      ("time_parts", Report.Int r.r_time_parts);
+      ("events", Report.Int r.r_events);
+      ("edges", Report.Int r.r_edges);
+      ( "observed",
+        Report.Obj
+          (List.map
+             (fun (a, dists) -> (a, Report.List (List.map ints dists)))
+             r.r_observed) );
+      ( "static",
+        Report.Obj
+          (List.map
+             (fun (a, vs) ->
+               (a, Report.List (List.map (fun s -> Report.Str s) vs)))
+             r.r_static) );
+      ("misses", Report.List (List.map miss_json r.r_misses));
+      ("violations", Report.List (List.map violation_json r.r_violations));
+      ("differential", Report.List (List.map diff_json r.r_diff));
+      ("serial_differential", Report.List (List.map diff_json r.r_serial_diff));
+      ( "tolerance",
+        match r.r_tolerance with None -> Report.Null | Some t -> Report.Float t
+      );
+      ("passed", Report.Bool r.r_passed);
     ]
 
 let report_to_json (r : app_report) =
-  json_to_string
-    (J_obj
-       [
-         ("app", J_string r.r_app);
-         ("strategy", J_string r.r_strategy);
-         ("model", J_string r.r_model);
-         ("ordered", J_bool r.r_ordered);
-         ("workers", J_int r.r_workers);
-         ("space_parts", J_int r.r_space_parts);
-         ("time_parts", J_int r.r_time_parts);
-         ("events", J_int r.r_events);
-         ("edges", J_int r.r_edges);
-         ( "observed",
-           J_obj
-             (List.map
-                (fun (a, dists) -> (a, J_list (List.map ints dists)))
-                r.r_observed) );
-         ( "static",
-           J_obj
-             (List.map
-                (fun (a, vs) -> (a, J_list (List.map (fun s -> J_string s) vs)))
-                r.r_static) );
-         ("misses", J_list (List.map miss_json r.r_misses));
-         ("violations", J_list (List.map violation_json r.r_violations));
-         ("differential", J_list (List.map diff_json r.r_diff));
-         ("serial_differential", J_list (List.map diff_json r.r_serial_diff));
-         ( "tolerance",
-           match r.r_tolerance with None -> J_null | Some t -> J_float t );
-         ("passed", J_bool r.r_passed);
-       ])
+  Report.emit ~kind:"verify" (report_payload r)
 
 (* ------------------------------------------------------------------ *)
 (* The differential runner                                             *)
@@ -379,14 +345,14 @@ let override_to_string = function
   | Force_2d_ordered -> "2d-ordered"
   | Force_2d_unordered -> "2d-unordered"
 
-let interp_body (inst : Fixture.instance) : Value.t Executor.body =
+let interp_body (inst : App.instance) : Value.t Executor.body =
  fun ~worker:_ ~key ~value ->
-  Interp.eval_body_for inst.Fixture.env ~key_var:inst.Fixture.key_var
-    ~value_var:inst.Fixture.value_var ~key ~value inst.Fixture.body
+  Interp.eval_body_for inst.App.inst_env ~key_var:inst.App.inst_key_var
+    ~value_var:inst.App.inst_value_var ~key ~value inst.App.inst_body
 
 (** Replay a schedule on a fresh instance in the given block order
     (block entries keep their scheduled within-block order). *)
-let replay (inst : Fixture.instance) (sched : Value.t Schedule.t)
+let replay (inst : App.instance) (sched : Value.t Schedule.t)
     (order : (int * int) array) =
   let body = interp_body inst in
   Array.iter
@@ -397,11 +363,10 @@ let replay (inst : Fixture.instance) (sched : Value.t Schedule.t)
         blk.Schedule.entries)
     order
 
-let forced_schedule ov (inst : Fixture.instance) ~workers ~depth :
-    (Value.t Schedule.t * Race.model * (Fixture.instance -> unit), string)
-    result =
-  let iter = inst.Fixture.iter in
-  let cluster i = i.Fixture.session.Orion.cluster in
+let forced_schedule ov (inst : App.instance) ~workers ~depth :
+    (Value.t Schedule.t * Race.model * (App.instance -> unit), string) result =
+  let iter = inst.App.inst_iter in
+  let cluster (i : App.instance) = i.App.inst_session.Orion.cluster in
   match ov with
   | Force_1d ->
       let sched =
@@ -454,39 +419,44 @@ let forced_schedule ov (inst : Fixture.instance) ~workers ~depth :
     schedules). *)
 let verify_app ?(num_machines = 2) ?(workers_per_machine = 2) ?pipeline_depth
     ?schedule_override app : (app_report, string) result =
-  match Fixture.find app with
+  Orion_apps.Registry.ensure ();
+  match App.find app with
   | None ->
       Error
         (Printf.sprintf "unknown app %S (expected one of: %s)" app
-           (String.concat " " Fixture.app_names))
-  | Some fx -> (
-      let make () = fx.Fixture.fx_make num_machines workers_per_machine in
+           (String.concat " " (App.names ())))
+  | Some a -> (
+      let make () = a.App.app_make ~num_machines ~workers_per_machine () in
       (* run A: serial ascending observation *)
       let inst_a = make () in
       let log = observe inst_a in
-      let plan = Orion.analyze_loop inst_a.Fixture.session inst_a.Fixture.loop_stmt in
+      let plan =
+        Orion.analyze_loop inst_a.App.inst_session inst_a.App.inst_loop
+      in
       let ordered = plan.Plan.ordered in
       let edges =
-        Depobserve.edges ~ordered ~skip_arrays:inst_a.Fixture.buffered log
+        Depobserve.edges ~ordered ~skip_arrays:inst_a.App.inst_buffered log
       in
       let misses = soundness_misses ~static:plan.Plan.per_array_deps edges in
       (* run B: scheduled execution *)
       let inst_b = make () in
-      let plan_b = Orion.analyze_loop inst_b.Fixture.session inst_b.Fixture.loop_stmt in
+      let plan_b =
+        Orion.analyze_loop inst_b.App.inst_session inst_b.App.inst_loop
+      in
       let workers =
-        Orion_sim.Cluster.num_workers inst_b.Fixture.session.Orion.cluster
+        Orion_sim.Cluster.num_workers inst_b.App.inst_session.Orion.cluster
       in
       let depth =
         Option.value pipeline_depth
-          ~default:inst_b.Fixture.session.Orion.default_pipeline_depth
+          ~default:inst_b.App.inst_session.Orion.default_pipeline_depth
       in
       let sched_result =
         match schedule_override with
         | Some ov -> forced_schedule ov inst_b ~workers ~depth
         | None ->
             let compiled =
-              Orion.compile inst_b.Fixture.session ~plan:plan_b
-                ~iter:inst_b.Fixture.iter ?pipeline_depth ()
+              Orion.compile inst_b.App.inst_session ~plan:plan_b
+                ~iter:inst_b.App.inst_iter ?pipeline_depth ()
             in
             let sched = compiled.Orion.schedule in
             let model =
@@ -497,9 +467,9 @@ let verify_app ?(num_machines = 2) ?(workers_per_machine = 2) ?pipeline_depth
             Ok
               ( sched,
                 model,
-                fun i ->
+                fun (i : App.instance) ->
                   ignore
-                    (Orion.execute i.Fixture.session compiled
+                    (Orion.execute i.App.inst_session compiled
                        ~body:(interp_body i) ()) )
       in
       match sched_result with
@@ -515,11 +485,11 @@ let verify_app ?(num_machines = 2) ?(workers_per_machine = 2) ?pipeline_depth
           let diffs other =
             List.map2
               (fun (name, arr_b) (_, arr_o) -> diff_arrays name arr_b arr_o)
-              inst_b.Fixture.outputs other
+              inst_b.App.inst_outputs other
           in
-          let diff = diffs inst_c.Fixture.outputs in
-          let serial_diff = diffs inst_a.Fixture.outputs in
-          let tolerance = fx.Fixture.fx_tolerance in
+          let diff = diffs inst_c.App.inst_outputs in
+          let serial_diff = diffs inst_a.App.inst_outputs in
+          let tolerance = a.App.app_tolerance in
           let passed =
             misses = [] && violations = []
             && List.for_all (diff_ok ~tolerance) diff

@@ -8,7 +8,7 @@ module Depvec = Orion_analysis.Depvec
 (** Execute the loop serially in ascending key order with the access
     log attached (mutates the instance's arrays: afterwards they hold
     the canonical serial result). *)
-val observe : Fixture.instance -> Access_log.t
+val observe : Orion.App.instance -> Access_log.t
 
 (** {1 Soundness} *)
 
@@ -73,6 +73,11 @@ type app_report = {
 }
 
 val report_to_string : app_report -> string
+
+(** The report as an {!Orion.Report} payload / versioned JSON envelope
+    (kind ["verify"]). *)
+val report_payload : app_report -> Orion.Report.json
+
 val report_to_json : app_report -> string
 
 (** {1 The differential runner} *)

@@ -1,0 +1,273 @@
+(* Tests for the OCaml 5 domain-pool executor ({!Domain_exec}) and the
+   [`Parallel] mode of {!Orion.Engine}: happens-before enforcement,
+   exception propagation, the non-canonical-layout deadlock regression,
+   and element-wise equivalence + determinism of parallel app runs
+   against the simulated executor. *)
+
+open Orion_dsm
+open Orion_runtime
+module Verify = Orion_verify.Verify
+
+let tc = Alcotest.test_case
+let () = Orion_apps.Registry.ensure ()
+
+(* a deterministic pseudo-random sparse iteration space *)
+let mk_iter ?(rows = 16) ?(cols = 15) ?(n = 200) () =
+  let n = min n (rows * cols / 2) in
+  let entries = ref [] in
+  let rng = Orion_data.Rng.create 987654321 in
+  let seen = Hashtbl.create 64 in
+  let added = ref 0 in
+  while !added < n do
+    let i = Orion_data.Rng.int rng rows and j = Orion_data.Rng.int rng cols in
+    if not (Hashtbl.mem seen (i, j)) then begin
+      Hashtbl.add seen (i, j) ();
+      entries := ([| i; j |], float_of_int ((i * cols) + j)) :: !entries;
+      incr added
+    end
+  done;
+  Dist_array.of_entries ~name:"iter" ~dims:[| rows; cols |] ~default:0.0
+    !entries
+
+(* bodies that append every executed key to one mutex-guarded log; the
+   log order is a real-time interleaving of the pool's execution *)
+let logging_bodies n =
+  let m = Mutex.create () in
+  let log = ref [] in
+  let body ~key ~value:_ =
+    Mutex.lock m;
+    log := Array.copy key :: !log;
+    Mutex.unlock m
+  in
+  (Array.make n body, fun () -> Array.of_list (List.rev !log))
+
+(* map each key of [sched] to its (space, time) block, plus block sizes *)
+let block_index (sched : float Schedule.t) =
+  let tbl = Hashtbl.create 256 in
+  let sizes = Hashtbl.create 64 in
+  for s = 0 to sched.Schedule.space_parts - 1 do
+    for t = 0 to sched.Schedule.time_parts - 1 do
+      let b = Schedule.block sched ~space:s ~time:t in
+      Hashtbl.replace sizes (s, t) (Array.length b.Schedule.entries);
+      Array.iter
+        (fun (key, _) -> Hashtbl.replace tbl (Array.to_list key) (s, t))
+        b.Schedule.entries
+    done
+  done;
+  (tbl, sizes)
+
+(* ------------------------------------------------------------------ *)
+(* Domain_exec: happens-before enforcement                             *)
+(* ------------------------------------------------------------------ *)
+
+(* ordered 2D: when the first entry of block (s, t) executes, blocks
+   (s-1, t) and (s, t-1) must already be complete *)
+let test_2d_ordered_happens_before () =
+  let iter = mk_iter () in
+  let sched =
+    Schedule.partition_2d iter ~space_dim:0 ~time_dim:1 ~space_parts:4
+      ~time_parts:4
+  in
+  let bodies, get_log = logging_bodies 4 in
+  let stats =
+    Domain_exec.run_schedule ~domains:4 ~model:Domain_exec.M_2d_ordered sched
+      ~bodies
+  in
+  Alcotest.(check int) "every entry ran" (Dist_array.count iter)
+    stats.Domain_exec.entries_run;
+  let tbl, sizes = block_index sched in
+  let completed = Hashtbl.create 64 in
+  let count bt = try Hashtbl.find completed bt with Not_found -> 0 in
+  let size bt = try Hashtbl.find sizes bt with Not_found -> 0 in
+  Array.iter
+    (fun key ->
+      let s, t = Hashtbl.find tbl (Array.to_list key) in
+      if count (s, t) = 0 then begin
+        if s > 0 then
+          Alcotest.(check int)
+            (Printf.sprintf "(%d,%d) started only after (%d,%d) done" s t
+               (s - 1) t)
+            (size (s - 1, t))
+            (count (s - 1, t));
+        if t > 0 then
+          Alcotest.(check int)
+            (Printf.sprintf "(%d,%d) started only after (%d,%d) done" s t s
+               (t - 1))
+            (size (s, t - 1))
+            (count (s, t - 1))
+      end;
+      Hashtbl.replace completed (s, t) (count (s, t) + 1))
+    (get_log ())
+
+(* 1D: no cross-block order; the pass still runs everything exactly once *)
+let test_1d_runs_everything_once () =
+  let iter = mk_iter () in
+  let sched = Schedule.partition_1d iter ~space_dim:0 ~space_parts:5 in
+  let bodies, get_log = logging_bodies 3 in
+  let stats =
+    Domain_exec.run_schedule ~domains:3 ~model:Domain_exec.M_1d sched ~bodies
+  in
+  Alcotest.(check int) "all entries ran" (Dist_array.count iter)
+    stats.Domain_exec.entries_run;
+  Alcotest.(check int) "all blocks ran" 5 stats.Domain_exec.blocks_run;
+  let seen = Hashtbl.create 256 in
+  Array.iter
+    (fun key ->
+      let k = Array.to_list key in
+      Alcotest.(check bool) "key not executed twice" false (Hashtbl.mem seen k);
+      Hashtbl.add seen k ())
+    (get_log ())
+
+(* regression: lda at 8 workers yields tp = 15 < sp * depth; the naive
+   mod-sp rotation edge formed a cycle there and deadlocked the pool *)
+let test_2d_unordered_non_canonical_layout_terminates () =
+  let iter = mk_iter ~rows:16 ~cols:15 ~n:110 () in
+  let sched =
+    Schedule.partition_2d iter ~space_dim:0 ~time_dim:1 ~space_parts:8
+      ~time_parts:15
+  in
+  let bodies, _ = logging_bodies 4 in
+  let stats =
+    Domain_exec.run_schedule ~domains:4
+      ~model:(Domain_exec.M_2d_unordered { depth = 1 })
+      sched ~bodies
+  in
+  Alcotest.(check int) "pass terminated with every entry run"
+    (Dist_array.count iter) stats.Domain_exec.entries_run
+
+(* unordered 2D, canonical layout: same-time-partition blocks never
+   overlap — partition rotation serializes them *)
+let test_2d_unordered_serializes_time_partitions () =
+  let iter = mk_iter ~rows:16 ~cols:16 ~n:110 () in
+  let sched =
+    Schedule.partition_2d iter ~space_dim:0 ~time_dim:1 ~space_parts:4
+      ~time_parts:8
+  in
+  let bodies, get_log = logging_bodies 4 in
+  ignore
+    (Domain_exec.run_schedule ~domains:4
+       ~model:(Domain_exec.M_2d_unordered { depth = 2 })
+       sched ~bodies);
+  let tbl, sizes = block_index sched in
+  (* per time partition, the log must show each block's entries as a
+     contiguous run: a block only starts after its predecessor (in
+     rotation order) has completed *)
+  let open_block = Hashtbl.create 16 in
+  let done_in = Hashtbl.create 16 in
+  Array.iter
+    (fun key ->
+      let s, t = Hashtbl.find tbl (Array.to_list key) in
+      (match Hashtbl.find_opt open_block t with
+      | Some (s', n) when s' = s -> Hashtbl.replace open_block t (s, n + 1)
+      | Some (s', n) ->
+          Alcotest.(check int)
+            (Printf.sprintf "block (%d,%d) complete before (%d,%d) starts" s' t
+               s t)
+            (try Hashtbl.find sizes (s', t) with Not_found -> 0)
+            n;
+          Hashtbl.replace done_in t ((s', n) :: (try Hashtbl.find done_in t with Not_found -> []));
+          Hashtbl.replace open_block t (s, 1)
+      | None -> Hashtbl.replace open_block t (s, 1)))
+    (get_log ())
+
+(* an exception in any body cancels the pass and re-raises *)
+exception Boom
+
+let test_exception_propagates () =
+  let iter = mk_iter () in
+  let sched = Schedule.partition_1d iter ~space_dim:0 ~space_parts:4 in
+  let body ~key:_ ~value = if value > 100.0 then raise Boom in
+  Alcotest.check_raises "body exception reaches the caller" Boom (fun () ->
+      ignore
+        (Domain_exec.run_schedule ~domains:4 ~model:Domain_exec.M_1d sched
+           ~bodies:(Array.make 4 body)))
+
+(* domain count is clamped to the number of bodies provided *)
+let test_domains_clamped_to_bodies () =
+  let iter = mk_iter () in
+  let sched = Schedule.partition_1d iter ~space_dim:0 ~space_parts:4 in
+  let bodies, _ = logging_bodies 3 in
+  let stats =
+    Domain_exec.run_schedule ~domains:8 ~model:Domain_exec.M_1d sched ~bodies
+  in
+  Alcotest.(check int) "clamped to 3 domains" 3 stats.Domain_exec.domains;
+  Alcotest.(check bool) "steal counter is sane" true
+    (stats.Domain_exec.steals >= 0)
+
+(* ------------------------------------------------------------------ *)
+(* Engine: parallel runs match the simulated executor element-wise     *)
+(* ------------------------------------------------------------------ *)
+
+let find_app name =
+  match Orion.App.find name with
+  | Some a -> a
+  | None -> Alcotest.failf "app %s missing from registry" name
+
+let run_app (app : Orion.App.t) ~mode ~passes =
+  let inst = app.Orion.App.app_make ~num_machines:2 ~workers_per_machine:2 () in
+  ignore (Orion.Engine.run inst.Orion.App.inst_session inst ~mode ~passes ());
+  inst.Orion.App.inst_outputs
+
+let check_outputs ~what ~tolerance a b =
+  List.iter2
+    (fun (name_a, arr_a) (_, arr_b) ->
+      let d = Verify.diff_arrays name_a arr_a arr_b in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %s equal (max abs %.3e, max rel %.3e)" what
+           name_a d.Verify.d_max_abs d.Verify.d_max_rel)
+        true
+        (Verify.diff_ok ~tolerance d))
+    a b
+
+let parallel_matches_sim name () =
+  let app = find_app name in
+  let sim = run_app app ~mode:`Sim ~passes:2 in
+  let par = run_app app ~mode:(`Parallel 4) ~passes:2 in
+  check_outputs
+    ~what:(name ^ " parallel(4) vs sim")
+    ~tolerance:app.Orion.App.app_tolerance sim par
+
+(* three parallel runs of the same app are deterministic: bitwise for
+   direct-update apps; buffered slr merges per-domain shadows whose
+   accumulation order follows the (nondeterministic) block-to-domain
+   assignment, so its tolerance applies *)
+let parallel_deterministic name () =
+  let app = find_app name in
+  let r1 = run_app app ~mode:(`Parallel 4) ~passes:2 in
+  let r2 = run_app app ~mode:(`Parallel 4) ~passes:2 in
+  let r3 = run_app app ~mode:(`Parallel 4) ~passes:2 in
+  let tolerance = app.Orion.App.app_tolerance in
+  check_outputs ~what:(name ^ " run1 vs run2") ~tolerance r1 r2;
+  check_outputs ~what:(name ^ " run1 vs run3") ~tolerance r1 r3
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "domain_exec",
+        [
+          tc "2d-ordered happens-before" `Quick test_2d_ordered_happens_before;
+          tc "1d runs everything once" `Quick test_1d_runs_everything_once;
+          tc "non-canonical unordered layout terminates" `Quick
+            test_2d_unordered_non_canonical_layout_terminates;
+          tc "unordered serializes time partitions" `Quick
+            test_2d_unordered_serializes_time_partitions;
+          tc "exception propagates" `Quick test_exception_propagates;
+          tc "domains clamped to bodies" `Quick test_domains_clamped_to_bodies;
+        ] );
+      ( "engine_equivalence",
+        [
+          tc "mf" `Slow (parallel_matches_sim "mf");
+          tc "slr" `Slow (parallel_matches_sim "slr");
+          tc "lda" `Slow (parallel_matches_sim "lda");
+          tc "gbt" `Quick (parallel_matches_sim "gbt");
+        ] );
+      ( "determinism",
+        [
+          tc "mf" `Slow (parallel_deterministic "mf");
+          tc "slr" `Slow (parallel_deterministic "slr");
+          tc "lda" `Slow (parallel_deterministic "lda");
+          tc "gbt" `Quick (parallel_deterministic "gbt");
+        ] );
+    ]

@@ -43,15 +43,19 @@ let test_covers_vector () =
    distance (0, 1).  Every observed W dependence at time distance > 1
    must surface as a miss naming the exact offending iteration pair. *)
 let test_weakened_vector_reports_pair () =
-  let fx =
-    match Fixture.find "mf" with
-    | Some fx -> fx
-    | None -> Alcotest.fail "mf fixture missing"
+  Orion_apps.Registry.ensure ();
+  let app =
+    match Orion.App.find "mf" with
+    | Some a -> a
+    | None -> Alcotest.fail "mf app missing from registry"
   in
-  let inst = fx.Fixture.fx_make 2 2 in
+  let inst =
+    app.Orion.App.app_make ~num_machines:2 ~workers_per_machine:2 ()
+  in
   let log = Verify.observe inst in
   let edges =
-    Depobserve.edges ~ordered:false ~skip_arrays:inst.Fixture.buffered log
+    Depobserve.edges ~ordered:false
+      ~skip_arrays:inst.Orion.App.inst_buffered log
   in
   Alcotest.(check bool) "mf has observed edges" true (edges <> []);
   let weakened =
