@@ -232,9 +232,9 @@ let explain_cmd =
           strategy decision tree")
     term
 
-(* run a registered app's parallel loop through the unified engine,
-   either simulated or on the real domain pool *)
-let run_app name ~machines ~wpm ~domains ~passes =
+(* run a registered app's parallel loop through the unified engine:
+   simulated, on the domain pool, or on real worker processes *)
+let run_app name ~machines ~wpm ~domains ~procs ~tcp ~passes =
   if name = "list" then begin
     print_registry ();
     0
@@ -244,35 +244,62 @@ let run_app name ~machines ~wpm ~domains ~passes =
     | None ->
         Printf.eprintf "orion run: %s\n" (unknown_app_msg name);
         1
-    | Some a ->
-        let inst =
-          a.Orion.App.app_make ~num_machines:machines
-            ~workers_per_machine:wpm ()
+    | Some a -> (
+        let inst, mode =
+          match procs with
+          | Some procs ->
+              (* distributed instances are shaped one worker process
+                 per simulated machine *)
+              ( a.Orion.App.app_make ~num_machines:procs
+                  ~workers_per_machine:1 (),
+                `Distributed
+                  {
+                    Orion.Engine.procs;
+                    transport = (if tcp then `Tcp else `Unix);
+                  } )
+          | None ->
+              ( a.Orion.App.app_make ~num_machines:machines
+                  ~workers_per_machine:wpm (),
+                if domains <= 1 then `Sim else `Parallel domains )
         in
-        let mode = if domains <= 1 then `Sim else `Parallel domains in
-        let r =
+        match
           Orion.Engine.run inst.Orion.App.inst_session inst ~mode ~passes ()
-        in
-        Printf.printf
-          "app %s: %d pass(es), strategy %s, model %s, %dx%d blocks\n" name
-          passes r.Orion.Engine.ep_strategy r.Orion.Engine.ep_model
-          r.Orion.Engine.ep_space_parts r.Orion.Engine.ep_time_parts;
-        Printf.printf "mode %s: %d entries, %d steals, wall %.4f s\n"
-          (Orion.Engine.mode_to_string r.Orion.Engine.ep_mode)
-          r.Orion.Engine.ep_entries r.Orion.Engine.ep_steals
-          r.Orion.Engine.ep_wall_seconds;
-        if r.Orion.Engine.ep_sim_time > 0.0 then
-          Printf.printf "simulated time: %.4f s\n" r.Orion.Engine.ep_sim_time;
-        0
+        with
+        | exception (Orion.Engine.Distributed_error _ as exn) ->
+            Printf.eprintf "orion run: %s\n"
+              (Orion.Engine.distributed_error_to_string exn);
+            1
+        | r ->
+            Printf.printf
+              "app %s: %d pass(es), strategy %s, model %s, %dx%d blocks\n"
+              name passes r.Orion.Engine.ep_strategy r.Orion.Engine.ep_model
+              r.Orion.Engine.ep_space_parts r.Orion.Engine.ep_time_parts;
+            Printf.printf "mode %s: %d entries, %d steals, wall %.4f s\n"
+              (Orion.Engine.mode_to_string r.Orion.Engine.ep_mode)
+              r.Orion.Engine.ep_entries r.Orion.Engine.ep_steals
+              r.Orion.Engine.ep_wall_seconds;
+            if r.Orion.Engine.ep_bytes_shipped > 0.0 then begin
+              Printf.printf "bytes shipped: %.0f\n"
+                r.Orion.Engine.ep_bytes_shipped;
+              List.iter
+                (fun (arr, b) -> Printf.printf "  %-16s %.0f\n" arr b)
+                r.Orion.Engine.ep_bytes_by_array
+            end;
+            if r.Orion.Engine.ep_sim_time > 0.0 then
+              Printf.printf "simulated time: %.4f s\n"
+                r.Orion.Engine.ep_sim_time;
+            0)
 
 let run_cmd =
-  let run arrays machines wpm log seed profile app domains passes file =
+  let run arrays machines wpm log seed profile app domains procs tcp passes
+      file =
     setup_log log;
     match (app, file) with
     | Some _, Some _ ->
         prerr_endline "orion run: give either FILE or --app, not both";
         1
-    | Some name, None -> run_app name ~machines ~wpm ~domains ~passes
+    | Some name, None ->
+        run_app name ~machines ~wpm ~domains ~procs ~tcp ~passes
     | None, None ->
         prerr_endline "orion run: need an OrionScript FILE or --app NAME";
         1
@@ -330,6 +357,22 @@ let run_cmd =
             "execute --app on a real pool of $(docv) OCaml domains (1 = \
              simulated cluster)")
   in
+  let procs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "procs" ] ~docv:"N"
+          ~doc:
+            "execute --app on $(docv) real worker processes over sockets \
+             (lib/net); overrides --domains")
+  in
+  let tcp =
+    Arg.(
+      value & flag
+      & info [ "tcp" ]
+          ~doc:
+            "use TCP loopback instead of Unix domain sockets for --procs")
+  in
   let passes =
     Arg.(
       value & opt int 1
@@ -343,13 +386,14 @@ let run_cmd =
   let term =
     Term.(
       const run $ arrays_arg $ machines_arg $ wpm_arg $ log_arg $ seed $ profile
-      $ app_arg $ domains $ passes $ file_pos)
+      $ app_arg $ domains $ procs $ tcp $ passes $ file_pos)
   in
   Cmd.v
     (Cmd.info "run"
        ~doc:
          "Run an OrionScript driver program on a simulated cluster, or a \
-          registered app on a real domain pool (--app NAME --domains N)")
+          registered app on a real domain pool (--app NAME --domains N) or \
+          on real worker processes over sockets (--app NAME --procs N)")
     term
 
 let prefetch_cmd =
@@ -405,28 +449,52 @@ let apps_cmd =
     Term.(const run $ const ())
 
 let bench_cmd =
-  let run machines wpm log mode apps domains passes out =
+  let run machines wpm log mode apps domains procs tcp passes out =
     setup_log log;
+    let apps = match apps with [] -> None | l -> Some l in
+    let write_json out json =
+      let oc = open_out out in
+      output_string oc (json ^ "\n");
+      close_out oc;
+      Printf.printf "wrote %s\n" out
+    in
     match mode with
     | `Speedup ->
-        let apps = match apps with [] -> None | l -> Some l in
         let results, json =
           Orion_apps.Speedup.run ?apps ~domains_list:domains ~passes
             ~num_machines:machines ~workers_per_machine:wpm ()
         in
         Orion_apps.Speedup.print_results results;
-        let oc = open_out out in
-        output_string oc (json ^ "\n");
-        close_out oc;
-        Printf.printf "wrote %s\n" out;
+        write_json (Option.value out ~default:"BENCH_parallel.json") json;
         0
+    | `SpeedupDist -> (
+        let transport = if tcp then `Tcp else `Unix in
+        match
+          Orion_apps.Dist_bench.run ?apps ~procs_list:procs ~passes
+            ~transport ()
+        with
+        | exception (Orion.Engine.Distributed_error _ as exn) ->
+            Printf.eprintf "orion bench: %s\n"
+              (Orion.Engine.distributed_error_to_string exn);
+            1
+        | results, json ->
+            Orion_apps.Dist_bench.print_results results;
+            write_json
+              (Option.value out ~default:"BENCH_distributed.json")
+              json;
+            0)
   in
   let mode =
     Arg.(
       value
-      & opt (enum [ ("speedup", `Speedup) ]) `Speedup
+      & opt
+          (enum
+             [ ("speedup", `Speedup); ("speedup-distributed", `SpeedupDist) ])
+          `Speedup
       & info [ "mode" ] ~docv:"MODE"
-          ~doc:"benchmark mode: speedup (domain-pool wall-clock scaling)")
+          ~doc:
+            "benchmark mode: speedup (domain-pool wall-clock scaling) or \
+             speedup-distributed (multi-process socket runtime scaling)")
   in
   let apps =
     Arg.(
@@ -442,6 +510,23 @@ let bench_cmd =
       & info [ "domains" ] ~docv:"NS"
           ~doc:"comma-separated domain counts to measure")
   in
+  let procs =
+    Arg.(
+      value
+      & opt (list int) [ 1; 2; 4 ]
+      & info [ "procs" ] ~docv:"NS"
+          ~doc:
+            "comma-separated worker-process counts to measure \
+             (speedup-distributed)")
+  in
+  let tcp =
+    Arg.(
+      value & flag
+      & info [ "tcp" ]
+          ~doc:
+            "use TCP loopback instead of Unix domain sockets \
+             (speedup-distributed)")
+  in
   let passes =
     Arg.(
       value & opt int 3
@@ -450,19 +535,23 @@ let bench_cmd =
   let out =
     Arg.(
       value
-      & opt string "BENCH_parallel.json"
-      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"JSON output path")
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:
+            "JSON output path (default BENCH_parallel.json, or \
+             BENCH_distributed.json for --mode speedup-distributed)")
   in
   let term =
     Term.(
       const run $ machines_arg $ wpm_arg $ log_arg $ mode $ apps $ domains
-      $ passes $ out)
+      $ procs $ tcp $ passes $ out)
   in
   Cmd.v
     (Cmd.info "bench"
        ~doc:
          "Benchmark the registered apps on the real multicore domain pool \
-          and record self-relative speedup to BENCH_parallel.json")
+          (BENCH_parallel.json) or the multi-process socket runtime \
+          (BENCH_distributed.json)")
     term
 
 let generate_cmd =
@@ -584,6 +673,8 @@ let trace_cmd =
     | None -> ()
     | Some path ->
         let oc = open_out path in
+        output_string oc
+          (Printf.sprintf "# schema_version %d\n" Orion.Report.schema_version);
         output_string oc (Orion.Metrics.csv_header ^ "\n");
         List.iter
           (fun m -> output_string oc (Orion.Metrics.csv_row m ^ "\n"))

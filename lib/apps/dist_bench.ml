@@ -1,0 +1,166 @@
+(** Distributed speedup benchmark: run each registered app's loop on
+    the multi-process socket runtime ({!Orion_net.Dist_master}) at
+    increasing worker counts, record wall-clock time and the bytes each
+    DistArray shipped over the wire, and check the results element-wise
+    against a simulated ([`Sim]) execution of the same schedule.
+
+    Used by [orion bench --mode speedup-distributed]; the JSON (kind
+    ["bench-speedup-distributed"]) lands in [BENCH_distributed.json].
+    Every [procs] count gets its own simulated reference built with the
+    same cluster shape ([num_machines = procs], one worker per
+    machine): schedule shape determines entry execution order, which
+    order-sensitive apps are bitwise sensitive to. *)
+
+module Report = Orion.Report
+module App = Orion.App
+
+type run = {
+  run_procs : int;  (** worker processes requested *)
+  run_wall_seconds : float;
+  run_entries : int;
+  run_bytes_shipped : float;  (** total wire bytes of DistArray state *)
+  run_bytes_by_array : (string * float) list;
+  run_speedup : float;  (** wall(1 proc) / wall(n procs) *)
+  run_max_abs_vs_sim : float;
+  run_max_rel_vs_sim : float;
+  run_equal_vs_sim : bool;  (** within the app's tolerance *)
+}
+
+type app_result = {
+  res_app : string;
+  res_strategy : string;
+  res_model : string;
+  res_runs : run list;
+}
+
+let bench_app (app : App.t) ~procs_list ~passes ~transport : app_result =
+  let strategy = ref "" and model = ref "" in
+  let base_wall = ref None in
+  let runs =
+    List.map
+      (fun procs ->
+        let ref_inst =
+          app.App.app_make ~num_machines:procs ~workers_per_machine:1 ()
+        in
+        ignore
+          (Orion.Engine.run ref_inst.App.inst_session ref_inst ~mode:`Sim
+             ~passes ());
+        let inst =
+          app.App.app_make ~num_machines:procs ~workers_per_machine:1 ()
+        in
+        let r =
+          Orion.Engine.run inst.App.inst_session inst
+            ~mode:(`Distributed { Orion.Engine.procs; transport })
+            ~passes ()
+        in
+        strategy := r.Orion.Engine.ep_strategy;
+        model := r.Orion.Engine.ep_model;
+        let max_abs, max_rel =
+          Speedup.diff_outputs inst.App.inst_outputs
+            ref_inst.App.inst_outputs
+        in
+        let equal =
+          match app.App.app_tolerance with
+          | None -> max_abs = 0.0
+          | Some tol -> max_rel <= tol
+        in
+        let base =
+          match !base_wall with
+          | Some b -> b
+          | None ->
+              base_wall := Some r.Orion.Engine.ep_wall_seconds;
+              r.Orion.Engine.ep_wall_seconds
+        in
+        {
+          run_procs = procs;
+          run_wall_seconds = r.Orion.Engine.ep_wall_seconds;
+          run_entries = r.Orion.Engine.ep_entries;
+          run_bytes_shipped = r.Orion.Engine.ep_bytes_shipped;
+          run_bytes_by_array = r.Orion.Engine.ep_bytes_by_array;
+          run_speedup = base /. Float.max r.Orion.Engine.ep_wall_seconds 1e-12;
+          run_max_abs_vs_sim = max_abs;
+          run_max_rel_vs_sim = max_rel;
+          run_equal_vs_sim = equal;
+        })
+      procs_list
+  in
+  {
+    res_app = app.App.app_name;
+    res_strategy = !strategy;
+    res_model = !model;
+    res_runs = runs;
+  }
+
+let run_json (r : run) : Report.json =
+  Report.Obj
+    [
+      ("procs", Report.Int r.run_procs);
+      ("wall_seconds", Report.Float r.run_wall_seconds);
+      ("entries", Report.Int r.run_entries);
+      ("bytes_shipped", Report.Float r.run_bytes_shipped);
+      ( "bytes_by_array",
+        Report.Obj
+          (List.map (fun (n, b) -> (n, Report.Float b)) r.run_bytes_by_array)
+      );
+      ("speedup", Report.Float r.run_speedup);
+      ("max_abs_vs_sim", Report.Float r.run_max_abs_vs_sim);
+      ("max_rel_vs_sim", Report.Float r.run_max_rel_vs_sim);
+      ("equal_vs_sim", Report.Bool r.run_equal_vs_sim);
+    ]
+
+let app_result_json (a : app_result) : Report.json =
+  Report.Obj
+    [
+      ("app", Report.Str a.res_app);
+      ("strategy", Report.Str a.res_strategy);
+      ("model", Report.Str a.res_model);
+      ("runs", Report.List (List.map run_json a.res_runs));
+    ]
+
+let run ?apps ?(procs_list = [ 1; 2; 4 ]) ?(passes = 3) ?(transport = `Unix)
+    () : app_result list * string =
+  Registry.ensure ();
+  let selected =
+    match apps with
+    | None -> App.all ()
+    | Some names ->
+        List.filter_map
+          (fun n ->
+            match App.find n with
+            | Some a -> Some a
+            | None ->
+                Printf.eprintf
+                  "bench speedup-distributed: unknown app %S (skipped)\n" n;
+                None)
+          names
+  in
+  let results =
+    List.map (fun app -> bench_app app ~procs_list ~passes ~transport) selected
+  in
+  let payload =
+    Report.Obj
+      [
+        ("available_cores", Report.Int (Domain.recommended_domain_count ()));
+        ( "transport",
+          Report.Str (Orion.Engine.transport_to_string transport) );
+        ("passes", Report.Int passes);
+        ("apps", Report.List (List.map app_result_json results));
+      ]
+  in
+  (results, Report.emit ~kind:"bench-speedup-distributed" payload)
+
+let print_results (results : app_result list) =
+  List.iter
+    (fun a ->
+      Printf.printf "%s (%s, %s):\n" a.res_app a.res_strategy a.res_model;
+      List.iter
+        (fun r ->
+          Printf.printf
+            "  %d proc(s): %8.4fs  speedup %5.2fx  shipped %9.0f B  %s\n"
+            r.run_procs r.run_wall_seconds r.run_speedup r.run_bytes_shipped
+            (if r.run_equal_vs_sim then "results match sim"
+             else
+               Printf.sprintf "MISMATCH vs sim (max abs %.3e rel %.3e)"
+                 r.run_max_abs_vs_sim r.run_max_rel_vs_sim))
+        a.res_runs)
+    results

@@ -1,0 +1,40 @@
+(** Distributed (multi-process, socket) speedup benchmark over the
+    registered apps, behind [orion bench --mode speedup-distributed].
+    Results are checked element-wise against a simulated execution of
+    the same schedule; JSON output uses the versioned report envelope
+    (kind ["bench-speedup-distributed"]). *)
+
+type run = {
+  run_procs : int;  (** worker processes requested *)
+  run_wall_seconds : float;
+  run_entries : int;
+  run_bytes_shipped : float;  (** total wire bytes of DistArray state *)
+  run_bytes_by_array : (string * float) list;
+  run_speedup : float;  (** wall(1 proc) / wall(n procs) *)
+  run_max_abs_vs_sim : float;
+  run_max_rel_vs_sim : float;
+  run_equal_vs_sim : bool;  (** within the app's tolerance *)
+}
+
+type app_result = {
+  res_app : string;
+  res_strategy : string;
+  res_model : string;
+  res_runs : run list;
+}
+
+(** Run the benchmark over [apps] (default: every registered app) at
+    each worker count of [procs_list] (default [1; 2; 4]), [passes]
+    passes per measurement, over [transport] (default [`Unix]).
+    Returns the results and the ["bench-speedup-distributed"] JSON
+    envelope for [BENCH_distributed.json]. *)
+val run :
+  ?apps:string list ->
+  ?procs_list:int list ->
+  ?passes:int ->
+  ?transport:Orion.Engine.transport ->
+  unit ->
+  app_result list * string
+
+(** Human-readable per-app/per-proc-count table on stdout. *)
+val print_results : app_result list -> unit

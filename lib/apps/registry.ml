@@ -90,6 +90,7 @@ let mf_make ?(scale = 1.0) ~num_machines ~workers_per_machine () =
       Dist_array.map ~name:iter_name ~f:(fun v -> Value.Vfloat v) data.ratings;
     inst_iter_name = iter_name;
     inst_outputs = [ ("W", w); ("H", h) ];
+    inst_arrays = [ ("W", w); ("H", h) ];
     inst_buffered = [];
   }
 
@@ -148,6 +149,7 @@ let slr_make ?(scale = 1.0) ~num_machines ~workers_per_machine () =
         ~f:Orion_data.Sparse_features.sample_to_value data.samples;
     inst_iter_name = iter_name;
     inst_outputs = [ ("w_buf", w_buf) ];
+    inst_arrays = [ ("w", w); ("w_buf", w_buf) ];
     inst_buffered = [ "w_buf" ];
   }
 
@@ -271,6 +273,13 @@ let lda_make ?(scale = 1.0) ~num_machines ~workers_per_machine () =
         ("token_topic", token_topic);
         ("totals_buf", totals_buf);
       ];
+    inst_arrays =
+      [
+        ("doc_topic", doc_topic);
+        ("word_topic", word_topic);
+        ("token_topic", token_topic);
+        ("totals_buf", totals_buf);
+      ];
     inst_buffered = [ "totals_buf" ];
   }
 
@@ -350,6 +359,7 @@ let gbt_make ?(scale = 1.0) ~num_machines ~workers_per_machine () =
         feature_index;
     inst_iter_name = iter_name;
     inst_outputs = [ ("split_gain", split_gain) ];
+    inst_arrays = [ ("feature_index", feature_index); ("split_gain", split_gain) ];
     inst_buffered = [];
   }
 
@@ -400,7 +410,25 @@ let () =
       };
     ]
 
-(** Force this module's initializer (and thus app registration) to run.
-    Call before the first {!Orion.App.find} in any executable that only
-    links [orion_apps]. *)
+(** Build a fresh deterministic instance of app [name], or [None] if no
+    such app is registered.  Distributed workers call this to rebuild
+    the master's instance from the app name alone — every [app_make] is
+    deterministic (fixed seeds), so master and all ranks materialize
+    identical initial DistArray state and host builtins (which are
+    closures and cannot travel over the wire). *)
+let materialize name ~scale ~num_machines ~workers_per_machine =
+  match Orion.App.find name with
+  | None -> None
+  | Some app ->
+      Some (app.Orion.App.app_make ~scale ~num_machines ~workers_per_machine ())
+
+(* Installing the distributed master here ties the knot: Orion.Engine
+   dispatches [`Distributed] through a hook so the core library stays
+   free of socket/process dependencies, and any program that links the
+   apps (CLI, worker, tests, benches) gets the runner for free. *)
+let () = Orion_net.Dist_master.install ~materialize
+
+(** Force this module's initializer (and thus app registration and the
+    distributed-runner installation) to run.  Call before the first
+    {!Orion.App.find} in any executable that only links [orion_apps]. *)
 let ensure () = ()

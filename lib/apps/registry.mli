@@ -1,9 +1,22 @@
 (** Populates {!Orion.App} with the four built-in applications
     (mf, slr, lda, gbt): small deterministic instances for execution and
     verification, plus paper-scale (Table 2) metadata for analysis-only
-    workflows.  Registration happens at module initialization. *)
+    workflows.  Registration happens at module initialization, which
+    also installs [lib/net]'s distributed master as
+    [Orion.Engine]'s [`Distributed] runner. *)
 
-(** Force this module's initializer (and thus app registration) to run.
-    Call before the first {!Orion.App.find} in any executable that only
-    links [orion_apps]. *)
+(** Build a fresh deterministic instance of app [name] ([None] if
+    unknown).  Distributed workers rebuild the master's instance through
+    this — every [app_make] is deterministic, so master and workers
+    materialize identical initial state and host builtins. *)
+val materialize :
+  string ->
+  scale:float ->
+  num_machines:int ->
+  workers_per_machine:int ->
+  Orion.App.instance option
+
+(** Force this module's initializer (and thus app registration and the
+    distributed-runner installation) to run.  Call before the first
+    {!Orion.App.find} in any executable that only links [orion_apps]. *)
 val ensure : unit -> unit

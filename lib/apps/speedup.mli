@@ -22,6 +22,13 @@ type app_result = {
   res_runs : run list;
 }
 
+(** Element-wise (max |a-b|, max relative) difference over two output
+    lists of the same shape (also used by {!Dist_bench}). *)
+val diff_outputs :
+  (string * float Orion_dsm.Dist_array.t) list ->
+  (string * float Orion_dsm.Dist_array.t) list ->
+  float * float
+
 (** Run the benchmark over [apps] (default: every registered app) at
     each domain count of [domains_list] (default [1; 2; 4; 8]),
     [passes] passes per measurement.  Returns the results and the

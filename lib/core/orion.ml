@@ -487,6 +487,11 @@ module App = struct
     inst_iter_name : string;
     inst_outputs : (string * float Dist_array.t) list;
         (** model arrays compared by equality/differential checks *)
+    inst_arrays : (string * float Dist_array.t) list;
+        (** every float model DistArray by name — outputs and read-only
+            inputs alike; the handles the distributed runtime ships as
+            partitions, serves prefetches from, and applies write
+            journals to *)
     inst_buffered : string list;
         (** buffer-written arrays, dependence-exempt; merged from
             per-domain shadows under parallel execution *)
@@ -540,11 +545,33 @@ end
     their results are element-wise equal (up to the app's tolerance for
     buffered accumulation). *)
 module Engine = struct
-  type mode = [ `Sim | `Parallel of int ]
+  type transport = [ `Unix | `Tcp ]
+
+  type distributed = { procs : int; transport : transport }
+
+  type mode = [ `Sim | `Parallel of int | `Distributed of distributed ]
+
+  let transport_to_string = function `Unix -> "unix" | `Tcp -> "tcp"
 
   let mode_to_string = function
     | `Sim -> "sim"
     | `Parallel n -> Printf.sprintf "parallel(%d)" n
+    | `Distributed { procs; transport } ->
+        Printf.sprintf "distributed(%d,%s)" procs
+          (transport_to_string transport)
+
+  (** Structured failure of a distributed run: a worker crashed, a
+      socket broke, the protocol was violated, or the deadline passed.
+      [de_rank] is the offending worker when one is known. *)
+  exception
+    Distributed_error of { de_rank : int option; de_reason : string }
+
+  let distributed_error_to_string = function
+    | Distributed_error { de_rank = Some r; de_reason } ->
+        Printf.sprintf "distributed run failed (worker %d): %s" r de_reason
+    | Distributed_error { de_rank = None; de_reason } ->
+        Printf.sprintf "distributed run failed: %s" de_reason
+    | e -> Printexc.to_string e
 
   type report = {
     ep_app : string;
@@ -559,6 +586,11 @@ module Engine = struct
     ep_steals : int;  (** 0 for [`Sim] *)
     ep_wall_seconds : float;  (** real elapsed time of the pass(es) *)
     ep_sim_time : float;  (** virtual cluster time ([`Sim] only) *)
+    ep_bytes_shipped : float;
+        (** wire bytes of serialized DistArray state ([`Distributed]
+            only: partition ship + prefetch + tokens + flushes) *)
+    ep_bytes_by_array : (string * float) list;
+        (** [ep_bytes_shipped] broken down per DistArray *)
   }
 
   let report_payload (r : report) : Report.json =
@@ -576,6 +608,12 @@ module Engine = struct
         ("steals", Report.Int r.ep_steals);
         ("wall_seconds", Report.Float r.ep_wall_seconds);
         ("sim_time", Report.Float r.ep_sim_time);
+        ("bytes_shipped", Report.Float r.ep_bytes_shipped);
+        ( "bytes_by_array",
+          Report.Obj
+            (List.map
+               (fun (name, b) -> (name, Report.Float b))
+               r.ep_bytes_by_array) );
       ]
 
   let interp_body env (inst : App.instance) ~key ~value =
@@ -612,11 +650,45 @@ module Engine = struct
           shadow)
       shadows
 
+  (** The distributed master driver, installed by [lib/net]'s
+      [Dist_master] (via [Orion_apps.Registry.ensure]) so the core
+      library stays free of any socket/process dependency.  Receives
+      the scale the instance was built with, because remote workers
+      rebuild the instance from the app registry. *)
+  type distributed_runner =
+    session ->
+    App.instance ->
+    procs:int ->
+    transport:transport ->
+    passes:int ->
+    pipeline_depth:int option ->
+    scale:float ->
+    report
+
+  let distributed_runner : distributed_runner option ref = ref None
+
   (** Run [inst]'s parallel loop once under [mode].  [passes] repeats
       the pass (driver loops run several); the report aggregates all of
-      them. *)
+      them.  [scale] must echo the dataset scale [inst] was built with
+      (only consulted by [`Distributed], whose workers rebuild the
+      instance). *)
   let run (session : session) (inst : App.instance) ~(mode : mode)
-      ?(passes = 1) ?pipeline_depth () : report =
+      ?(passes = 1) ?pipeline_depth ?(scale = 1.0) () : report =
+    match mode with
+    | `Distributed { procs; transport } -> (
+        match !distributed_runner with
+        | Some f ->
+            f session inst ~procs ~transport ~passes ~pipeline_depth ~scale
+        | None ->
+            raise
+              (Distributed_error
+                 {
+                   de_rank = None;
+                   de_reason =
+                     "no distributed runner installed (link orion_net and \
+                      call Orion_apps.Registry.ensure ())";
+                 }))
+    | (`Sim | `Parallel _) as submode ->
     let plan = analyze_loop session inst.App.inst_loop in
     let compiled =
       compile session ~plan ~iter:inst.App.inst_iter ?pipeline_depth ()
@@ -628,7 +700,7 @@ module Engine = struct
         ~sp ~tp
     in
     let strategy = Plan.strategy_to_string plan.Plan.strategy in
-    match mode with
+    match submode with
     | `Sim ->
         let sim0 = Cluster.now session.cluster in
         let t0 = Unix.gettimeofday () in
@@ -653,6 +725,8 @@ module Engine = struct
           ep_steals = 0;
           ep_wall_seconds = Unix.gettimeofday () -. t0;
           ep_sim_time = Cluster.now session.cluster -. sim0;
+          ep_bytes_shipped = 0.0;
+          ep_bytes_by_array = [];
         }
     | `Parallel domains ->
         let domains = max 1 domains in
@@ -709,5 +783,7 @@ module Engine = struct
           ep_steals = !steals;
           ep_wall_seconds = Unix.gettimeofday () -. t0;
           ep_sim_time = 0.0;
+          ep_bytes_shipped = 0.0;
+          ep_bytes_by_array = [];
         }
 end

@@ -211,6 +211,11 @@ module App : sig
     inst_iter_name : string;
     inst_outputs : (string * float Dist_array.t) list;
         (** model arrays compared by equality/differential checks *)
+    inst_arrays : (string * float Dist_array.t) list;
+        (** every float model DistArray by name — outputs and read-only
+            inputs alike; what the distributed runtime ships as
+            partitions, serves prefetches from, and applies write
+            journals to *)
     inst_buffered : string list;
         (** buffer-written arrays, dependence-exempt; merged from
             per-domain shadows under parallel execution *)
@@ -253,9 +258,22 @@ end
     accumulation). *)
 
 module Engine : sig
-  type mode = [ `Sim | `Parallel of int ]
+  type transport = [ `Unix | `Tcp ]
 
+  type distributed = { procs : int; transport : transport }
+
+  type mode = [ `Sim | `Parallel of int | `Distributed of distributed ]
+
+  val transport_to_string : transport -> string
   val mode_to_string : mode -> string
+
+  (** Structured failure of a distributed run: a worker crashed, a
+      socket broke, the protocol was violated, or the deadline passed.
+      [de_rank] names the offending worker when one is known. *)
+  exception
+    Distributed_error of { de_rank : int option; de_reason : string }
+
+  val distributed_error_to_string : exn -> string
 
   type report = {
     ep_app : string;
@@ -270,18 +288,42 @@ module Engine : sig
     ep_steals : int;  (** 0 for [`Sim] *)
     ep_wall_seconds : float;
     ep_sim_time : float;  (** virtual cluster time ([`Sim] only) *)
+    ep_bytes_shipped : float;
+        (** wire bytes of serialized DistArray state ([`Distributed]
+            only: partition ship + prefetch + tokens + flushes) *)
+    ep_bytes_by_array : (string * float) list;
+        (** [ep_bytes_shipped] broken down per DistArray *)
   }
 
   val report_payload : report -> Report.json
 
+  (** The distributed master driver, installed by [lib/net]'s
+      [Dist_master] (via [Orion_apps.Registry.ensure ()]) so the core
+      library stays free of socket/process dependencies. *)
+  type distributed_runner =
+    session ->
+    App.instance ->
+    procs:int ->
+    transport:transport ->
+    passes:int ->
+    pipeline_depth:int option ->
+    scale:float ->
+    report
+
+  val distributed_runner : distributed_runner option ref
+
   (** Run [inst]'s parallel loop [passes] times under [mode], mutating
-      its DistArrays in place. *)
+      its DistArrays in place.  [scale] must echo the dataset scale
+      [inst] was built with (only consulted by [`Distributed], whose
+      workers rebuild the instance from the app registry).
+      @raise Distributed_error when a [`Distributed] run fails. *)
   val run :
     session ->
     App.instance ->
     mode:mode ->
     ?passes:int ->
     ?pipeline_depth:int ->
+    ?scale:float ->
     unit ->
     report
 end

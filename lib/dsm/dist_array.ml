@@ -423,6 +423,89 @@ let to_iter_extern ~to_value (t : 'a t) : Orion_lang.Value.extern =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Partition serialization                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* One self-describing, wire/disk-safe slice of a DistArray.  This is
+   the single serialized form shared by checkpointing and the
+   distributed runtime (lib/net): entries are (linearized key, value)
+   pairs in ascending key order, so round-tripping is deterministic and
+   float values survive bitwise (Marshal writes their exact bits). *)
+type 'a partition = {
+  pt_array : string;  (** source DistArray name *)
+  pt_dims : int array;
+  pt_default : 'a;
+  pt_sparse : bool;  (** storage kind of the source array *)
+  pt_entries : (int * 'a) array;
+      (** (linearized key, value), ascending key order *)
+}
+
+(** Serialize the entries of [t] selected by [select] (default: all
+    stored entries; dense arrays store every cell) as a partition. *)
+let to_partition ?select (t : 'a t) : 'a partition =
+  let keep =
+    match select with
+    | None -> fun _ _ -> true
+    | Some f -> fun lin v -> f (delinearize t lin) v
+  in
+  let out = ref [] in
+  let n = ref 0 in
+  Array.iter
+    (fun lin ->
+      let v = value_of_lin t lin in
+      if keep lin v then begin
+        out := (lin, v) :: !out;
+        incr n
+      end)
+    (sorted_keys t);
+  let entries = Array.make !n (0, t.default) in
+  List.iteri (fun i e -> entries.(!n - 1 - i) <- e) !out;
+  {
+    pt_array = t.name;
+    pt_dims = Array.copy t.dims;
+    pt_default = t.default;
+    pt_sparse = is_sparse t;
+    pt_entries = entries;
+  }
+
+(** Write a partition's entries into [t] (point sets; sparse arrays may
+    gain keys outside parallel sections).
+    @raise Dimension_mismatch when names or dims disagree. *)
+let apply_partition (t : 'a t) (p : 'a partition) =
+  if p.pt_array <> t.name then
+    raise
+      (Dimension_mismatch
+         (Printf.sprintf "apply_partition: partition of %s applied to %s"
+            p.pt_array t.name));
+  if p.pt_dims <> t.dims then
+    raise
+      (Dimension_mismatch
+         (Printf.sprintf "%s: partition dims do not match array dims" t.name));
+  Array.iter (fun (lin, v) -> set t (delinearize t lin) v) p.pt_entries
+
+(** Materialize a fresh DistArray holding exactly a partition's
+    entries, with the source's storage kind (dense cells missing from
+    the partition hold [pt_default]). *)
+let of_partition ?name (p : 'a partition) : 'a t =
+  let name = Option.value name ~default:p.pt_array in
+  let t =
+    if p.pt_sparse then
+      create_sparse ~name ~dims:(Array.copy p.pt_dims) ~default:p.pt_default
+    else fill_dense ~name ~dims:(Array.copy p.pt_dims) p.pt_default
+  in
+  Array.iter (fun (lin, v) -> set t (delinearize t lin) v) p.pt_entries;
+  t
+
+let partition_to_bytes (p : 'a partition) : bytes = Marshal.to_bytes p []
+
+let partition_of_bytes (b : bytes) : 'a partition =
+  (Marshal.from_bytes b 0 : 'a partition)
+
+(** Serialized size in bytes — the unit of the distributed runtime's
+    per-array communication accounting. *)
+let partition_size_bytes p = Bytes.length (partition_to_bytes p)
+
+(* ------------------------------------------------------------------ *)
 (* Text-file loading and checkpointing                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -442,20 +525,17 @@ let text_file ~name ~dims ~default ~parse_line path =
    with End_of_file -> close_in ic);
   of_entries ~name ~dims ~default (List.rev !entries)
 
-(** Checkpoint to disk (eagerly evaluated; paper §4.3 fault tolerance). *)
+(** Checkpoint to disk (eagerly evaluated; paper §4.3 fault tolerance).
+    The on-disk format is a whole-array {!partition}, the same
+    serialization the distributed runtime ships over sockets. *)
 let checkpoint t path =
   let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> Marshal.to_channel oc (t.name, t.dims, t.default, entries t) [])
+    (fun () -> Marshal.to_channel oc (to_partition t) [])
 
 let restore ~name path : 'a t =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let saved_name, dims, default, (entries : (int array * 'a) array) =
-        (Marshal.from_channel ic : string * int array * 'a * (int array * 'a) array)
-      in
-      ignore saved_name;
-      of_entries ~name ~dims ~default (Array.to_list entries))
+    (fun () -> of_partition ~name (Marshal.from_channel ic : 'a partition))

@@ -115,6 +115,40 @@ val to_extern :
 val to_iter_extern :
   to_value:('a -> Orion_lang.Value.t) -> 'a t -> Orion_lang.Value.extern
 
+(** {1 Partition serialization}
+
+    The single serialized form of (a slice of) a DistArray, shared by
+    checkpointing and the distributed runtime ([lib/net]): entries are
+    (linearized key, value) pairs in ascending key order; [Marshal]
+    preserves float bits exactly, so round trips are bitwise. *)
+
+type 'a partition = {
+  pt_array : string;  (** source DistArray name *)
+  pt_dims : int array;
+  pt_default : 'a;
+  pt_sparse : bool;  (** storage kind of the source array *)
+  pt_entries : (int * 'a) array;
+      (** (linearized key, value), ascending key order *)
+}
+
+(** Entries of [t] selected by [select] (structured key, value; default
+    all stored entries) as a partition. *)
+val to_partition : ?select:(int array -> 'a -> bool) -> 'a t -> 'a partition
+
+(** Write a partition's entries into an existing array.
+    @raise Dimension_mismatch when names or dims disagree. *)
+val apply_partition : 'a t -> 'a partition -> unit
+
+(** A fresh DistArray holding exactly the partition's entries, with the
+    source's storage kind. *)
+val of_partition : ?name:string -> 'a partition -> 'a t
+
+val partition_to_bytes : 'a partition -> bytes
+val partition_of_bytes : bytes -> 'a partition
+
+(** Serialized size — the unit of per-array communication accounting. *)
+val partition_size_bytes : 'a partition -> int
+
 (** {1 Text files and checkpointing} *)
 
 (** Load a sparse DistArray with a user-defined per-line parser

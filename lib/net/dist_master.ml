@@ -1,0 +1,596 @@
+(** The distributed master driver behind
+    [Orion.Engine.run ~mode:(`Distributed _)].
+
+    The master analyzes and compiles the loop exactly as the simulated
+    and domain-pool paths do, spawns one worker process per space
+    partition (fork for in-tree tests, exec of [orion_worker] for the
+    CLI), runs the startup protocol in a deterministic order
+    (per-worker: Hello → Plan → Listening → Prefetch_request →
+    Partition_ship → Prefetch_response; then one Peers broadcast), and
+    supervises execution with a select-based readiness loop plus
+    non-blocking [waitpid] and a hard deadline — a worker crash, broken
+    socket, or hang surfaces as a structured
+    {!Orion.Engine.Distributed_error}, never as a hang.
+
+    Its own instance stays untouched while the workers run; the final
+    state is assembled purely from the wire: every worker's own-block
+    write journal applied in (pass, natural-order) order — a valid
+    serialization of the happens-before order, so non-buffered arrays
+    reproduce the serial result bitwise — then buffered-array shadows
+    merged in ascending rank order ([+=] of nonzero entries, exactly
+    the domain pool's shadow merge), cross-checked against each
+    worker's reported accumulator totals. *)
+
+module Dist_array = Orion_dsm.Dist_array
+module Partitioner = Orion_dsm.Partitioner
+module Plan = Orion_analysis.Plan
+module Schedule = Orion_runtime.Schedule
+module Domain_exec = Orion_runtime.Domain_exec
+module Trace = Orion_sim.Trace
+module Cluster = Orion_sim.Cluster
+
+type spawn = [ `Fork | `Exec of string ]
+
+let spawn_env = "ORION_DIST_SPAWN"  (* "fork" or "exec:<path>" *)
+let worker_exe_env = "ORION_WORKER_EXE"
+let timeout_env = Dist_worker.timeout_env
+
+let master_timeout () =
+  match Sys.getenv_opt timeout_env with
+  | Some s -> ( match float_of_string_opt s with Some f -> f | None -> 120.0)
+  | None -> 120.0
+
+(** Pick how to start workers: [ORION_DIST_SPAWN] override, then
+    [ORION_WORKER_EXE], then the [orion_worker] executable next to the
+    running binary, else fork this very process (always available — the
+    in-tree tests and any host linking [orion_net] rely on it). *)
+let default_spawn () : spawn =
+  match Sys.getenv_opt spawn_env with
+  | Some "fork" -> `Fork
+  | Some s
+    when String.length s > 5 && String.sub s 0 5 = "exec:"
+         && Sys.file_exists (String.sub s 5 (String.length s - 5)) ->
+      `Exec (String.sub s 5 (String.length s - 5))
+  | _ -> (
+      match Sys.getenv_opt worker_exe_env with
+      | Some path when Sys.file_exists path -> `Exec path
+      | _ ->
+          let sibling =
+            Filename.concat
+              (Filename.dirname Sys.executable_name)
+              "orion_worker.exe"
+          in
+          if Sys.file_exists sibling then `Exec sibling else `Fork)
+
+let err ?rank fmt =
+  Printf.ksprintf
+    (fun s ->
+      raise
+        (Orion.Engine.Distributed_error { de_rank = rank; de_reason = s }))
+    fmt
+
+let status_reason = function
+  | Unix.WEXITED c -> Printf.sprintf "worker exited with code %d" c
+  | Unix.WSIGNALED s -> Printf.sprintf "worker killed by signal %d" s
+  | Unix.WSTOPPED s -> Printf.sprintf "worker stopped by signal %d" s
+
+(* ------------------------------------------------------------------ *)
+(* Worker process management                                           *)
+(* ------------------------------------------------------------------ *)
+
+let spawn_worker (spawn : spawn) ~(materialize : Dist_worker.materialize)
+    ~(listener : Transport.listener) ~rank ~master_addr : int =
+  match spawn with
+  | `Exec path ->
+      Unix.create_process path
+        [| path; "--rank"; string_of_int rank; "--master"; master_addr |]
+        Unix.stdin Unix.stdout Unix.stderr
+  | `Fork -> (
+      match Unix.fork () with
+      | 0 ->
+          (* the child must not touch the master's listener or buffers;
+             _exit skips at_exit / flushing inherited channels *)
+          (try Unix.close listener.Transport.lfd with Unix.Unix_error _ -> ());
+          let code =
+            try
+              Dist_worker.connect_and_serve ~materialize ~rank ~master_addr;
+              0
+            with _ -> 2
+          in
+          Unix._exit code
+      | pid -> pid)
+
+(** Terminate every still-running worker: SIGTERM, a short grace
+    period, then SIGKILL; reap all of them. *)
+let kill_workers (pids : (int * int) list) =
+  let alive (_, pid) =
+    match Unix.waitpid [ Unix.WNOHANG ] pid with
+    | 0, _ -> true
+    | _ -> false
+    | exception Unix.Unix_error (Unix.ECHILD, _, _) -> false
+  in
+  let rec reap deadline remaining =
+    match List.filter alive remaining with
+    | [] -> []
+    | remaining when Unix.gettimeofday () < deadline ->
+        Unix.sleepf 0.02;
+        reap deadline remaining
+    | remaining -> remaining
+  in
+  let term = List.filter alive pids in
+  List.iter
+    (fun (_, pid) -> try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ())
+    term;
+  let stubborn = reap (Unix.gettimeofday () +. 2.0) term in
+  List.iter
+    (fun (_, pid) ->
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+    stubborn
+
+(* ------------------------------------------------------------------ *)
+(* The master protocol                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type worker_state = {
+  mutable st_conn : Transport.conn option;
+  mutable st_addr : string option;  (** from Listening *)
+  mutable st_prefetch : string list option;  (** from Prefetch_request *)
+  mutable st_report : Wire.block_writes list option;
+  mutable st_flush : Wire.part list option;
+  mutable st_totals : (string * float) list option;
+  mutable st_done : Wire.worker_stats option;
+}
+
+let run ~(materialize : Dist_worker.materialize) ?spawn
+    (session : Orion.session) (inst : Orion.App.instance) ~procs
+    ~(transport : Orion.Engine.transport) ~passes ~pipeline_depth ~scale :
+    Orion.Engine.report =
+  if procs < 1 then err "procs must be >= 1, got %d" procs;
+  let cluster_workers = Cluster.num_workers session.Orion.cluster in
+  if cluster_workers <> procs then
+    err
+      "distributed instances must be built with num_machines = procs and \
+       workers_per_machine = 1 (procs = %d, session has %d workers)"
+      procs cluster_workers;
+  let t0 = Unix.gettimeofday () in
+  let deadline = t0 +. master_timeout () in
+  let plan = Orion.analyze_loop session inst.Orion.App.inst_loop in
+  let compiled =
+    Orion.compile session ~plan ~iter:inst.Orion.App.inst_iter
+      ?pipeline_depth ()
+  in
+  let sched = compiled.Orion.schedule in
+  let sp = sched.Schedule.space_parts and tp = sched.Schedule.time_parts in
+  let model =
+    Domain_exec.model_of_plan plan ~pipeline_depth:compiled.Orion.pipeline_depth
+      ~sp ~tp
+  in
+  let fingerprint = Schedule.fingerprint sched in
+  (* the partitioner may produce fewer space partitions than requested
+     workers on tiny data; spawn exactly one worker per partition *)
+  let nw = sp in
+  let like : Transport.addr =
+    match transport with
+    | `Unix -> `Unix ""
+    | `Tcp -> `Tcp ("127.0.0.1", 0)
+  in
+  let listener = Transport.listen (Transport.fresh_addr ~like) in
+  let master_addr = Transport.addr_to_string listener.Transport.laddr in
+  let spawn = match spawn with Some s -> s | None -> default_spawn () in
+  let trace = session.Orion.cluster.Cluster.trace in
+  let bytes_by_array : (string, float) Hashtbl.t = Hashtbl.create 8 in
+  let account name bytes =
+    Hashtbl.replace bytes_by_array name
+      (bytes
+      +. Option.value (Hashtbl.find_opt bytes_by_array name) ~default:0.0)
+  in
+  let states =
+    Array.init nw (fun _ ->
+        {
+          st_conn = None;
+          st_addr = None;
+          st_prefetch = None;
+          st_report = None;
+          st_flush = None;
+          st_totals = None;
+          st_done = None;
+        })
+  in
+  let pids =
+    List.init nw (fun rank ->
+        (rank, spawn_worker spawn ~materialize ~listener ~rank ~master_addr))
+  in
+  let cleanup () =
+    Array.iter
+      (fun st ->
+        match st.st_conn with
+        | Some c -> Transport.close_conn c
+        | None -> ())
+      states;
+    Transport.close_listener listener;
+    kill_workers pids
+  in
+  let fail_cleanup ?rank fmt =
+    Printf.ksprintf
+      (fun s ->
+        cleanup ();
+        raise
+          (Orion.Engine.Distributed_error { de_rank = rank; de_reason = s }))
+      fmt
+  in
+  try
+    (* raises if any child already died with a nonzero status *)
+    let monitor_children () =
+      List.iter
+        (fun (rank, pid) ->
+          if states.(rank).st_done = None then
+            match Unix.waitpid [ Unix.WNOHANG ] pid with
+            | 0, _ -> ()
+            | _, Unix.WEXITED 0 -> ()
+            | _, status -> fail_cleanup ~rank "%s" (status_reason status)
+            | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ())
+        pids
+    in
+    (* a worker (other than [except]) that already died abnormally — the
+       root cause to prefer when another rank merely reports collateral *)
+    let abnormal_exit ~except =
+      List.find_map
+        (fun (r, pid) ->
+          if r = except || states.(r).st_done <> None then None
+          else
+            match Unix.waitpid [ Unix.WNOHANG ] pid with
+            | 0, _ -> None
+            | _, Unix.WEXITED 0 -> None
+            | _, status -> Some (r, status)
+            | exception Unix.Unix_error (Unix.ECHILD, _, _) -> None)
+        pids
+    in
+    let check_deadline what =
+      if Unix.gettimeofday () > deadline then
+        fail_cleanup "timed out waiting for %s (%.0fs)" what
+          (master_timeout ())
+    in
+    (* -- accept + hello --------------------------------------------- *)
+    let connected = ref 0 in
+    while !connected < nw do
+      monitor_children ();
+      check_deadline "worker connections";
+      match Unix.select [ listener.Transport.lfd ] [] [] 0.1 with
+      | [], _, _ -> ()
+      | _ -> (
+          let c = Transport.accept listener in
+          match Transport.recv c with
+          | Some (Wire.Hello { h_rank; h_pid = _; h_version })
+            when h_version = Wire.version
+                 && h_rank >= 0 && h_rank < nw
+                 && states.(h_rank).st_conn = None ->
+              states.(h_rank).st_conn <- Some c;
+              incr connected
+          | Some (Wire.Hello { h_rank; h_version; _ }) ->
+              fail_cleanup ~rank:h_rank
+                "bad hello (rank %d, protocol version %d, expected %d)"
+                h_rank h_version Wire.version
+          | Some m -> fail_cleanup "expected hello, got %s" (Wire.tag m)
+          | None -> fail_cleanup "worker closed during handshake")
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done;
+    let conn rank =
+      match states.(rank).st_conn with
+      | Some c -> c
+      | None -> fail_cleanup ~rank "no connection"
+    in
+    (* -- plan ------------------------------------------------------- *)
+    for rank = 0 to nw - 1 do
+      Transport.send (conn rank)
+        (Wire.Plan
+           {
+             p_app = inst.Orion.App.inst_name;
+             p_scale = scale;
+             p_num_machines = session.Orion.cluster.Cluster.num_machines;
+             p_workers_per_machine =
+               session.Orion.cluster.Cluster.workers_per_machine;
+             p_rank = rank;
+             p_procs = nw;
+             p_passes = passes;
+             p_pipeline_depth = pipeline_depth;
+             p_sp = sp;
+             p_tp = tp;
+             p_model = model;
+             p_fingerprint = fingerprint;
+           })
+    done;
+    (* -- partition shipping + prefetch serving ---------------------- *)
+    let boundaries = sched.Schedule.space_boundaries in
+    let parts_for rank =
+      List.filter_map
+        (fun (name, arr) ->
+          if List.mem name inst.Orion.App.inst_buffered then None
+          else
+            match List.assoc_opt name plan.Plan.placements with
+            | Some (Plan.Local_partitioned { array_dim }) ->
+                Some
+                  (Dist_array.to_partition
+                     ~select:(fun key _ ->
+                       Partitioner.part_of ~boundaries key.(array_dim) = rank)
+                     arr)
+            | Some (Plan.Rotated _ | Plan.Replicated) ->
+                Some (Dist_array.to_partition arr)
+            | Some Plan.Server | None -> None)
+        inst.Orion.App.inst_arrays
+    in
+    let ship_parts rank (msg : Wire.part list -> Wire.msg) parts =
+      let t_send = Unix.gettimeofday () in
+      Transport.send (conn rank) (msg parts);
+      let elapsed = Unix.gettimeofday () -. t_send in
+      List.iter
+        (fun (part : Wire.part) ->
+          let bytes =
+            float_of_int (Dist_array.partition_size_bytes part)
+          in
+          account part.Dist_array.pt_array bytes;
+          Trace.add trace ~label:("net:" ^ part.Dist_array.pt_array) ~bytes
+            ~worker:rank ~category:Trace.Transfer
+            ~start_sec:(t_send -. t0)
+            ~duration_sec:(elapsed /. float_of_int (max 1 (List.length parts))))
+        parts
+    in
+    let handshake = Event_loop.create () in
+    for rank = 0 to nw - 1 do
+      Event_loop.add handshake rank (conn rank)
+    done;
+    let ready rank =
+      states.(rank).st_addr <> None && states.(rank).st_prefetch <> None
+    in
+    while not (Array.for_all (fun st -> st.st_prefetch <> None) states) do
+      monitor_children ();
+      check_deadline "worker startup";
+      List.iter
+        (function
+          | Event_loop.Message (rank, Wire.Listening { l_addr; _ }) ->
+              states.(rank).st_addr <- Some l_addr
+          | Event_loop.Message (rank, Wire.Prefetch_request { pr_arrays; _ })
+            ->
+              states.(rank).st_prefetch <- Some pr_arrays;
+              if not (ready rank) then
+                fail_cleanup ~rank "prefetch request before listening";
+              (* Listening is guaranteed first on this FIFO channel, so
+                 the rank is fully announced: ship its partitions, then
+                 serve the prefetch *)
+              ship_parts rank
+                (fun parts -> Wire.Partition_ship parts)
+                (parts_for rank);
+              ship_parts rank
+                (fun parts -> Wire.Prefetch_response parts)
+                (List.filter_map
+                   (fun name ->
+                     match
+                       List.assoc_opt name inst.Orion.App.inst_arrays
+                     with
+                     | Some arr -> Some (Dist_array.to_partition arr)
+                     | None -> None)
+                   pr_arrays)
+          | Event_loop.Message (rank, Wire.Fatal { f_reason; _ }) ->
+              fail_cleanup ~rank "%s" f_reason
+          | Event_loop.Message (rank, m) ->
+              fail_cleanup ~rank "unexpected %s during startup" (Wire.tag m)
+          | Event_loop.Closed rank ->
+              fail_cleanup ~rank "worker disconnected during startup")
+        (Event_loop.poll handshake ~timeout:0.1)
+    done;
+    let peers =
+      Array.init nw (fun rank ->
+          match states.(rank).st_addr with
+          | Some a -> a
+          | None -> fail_cleanup ~rank "no peer address")
+    in
+    for rank = 0 to nw - 1 do
+      Transport.send (conn rank) (Wire.Peers peers)
+    done;
+    (* -- supervise execution ---------------------------------------- *)
+    while not (Array.for_all (fun st -> st.st_done <> None) states) do
+      monitor_children ();
+      check_deadline "workers to finish";
+      List.iter
+        (function
+          | Event_loop.Message (rank, Wire.Block_report { br_entries; _ }) ->
+              states.(rank).st_report <- Some br_entries
+          | Event_loop.Message (rank, Wire.Buffer_flush { bf_parts; _ }) ->
+              states.(rank).st_flush <- Some bf_parts
+          | Event_loop.Message (rank, Wire.Acc_merge { am_totals; _ }) ->
+              states.(rank).st_totals <- Some am_totals
+          | Event_loop.Message (rank, Wire.Done stats) ->
+              if
+                states.(rank).st_report = None
+                || states.(rank).st_flush = None
+                || states.(rank).st_totals = None
+              then fail_cleanup ~rank "done before final reports";
+              states.(rank).st_done <- Some stats
+          | Event_loop.Message (rank, Wire.Fatal { f_reason; _ }) ->
+              (* a crashed worker makes its peers complain about closed
+                 sockets; blame the crash, not the collateral *)
+              (match abnormal_exit ~except:rank with
+              | Some (r, status) -> fail_cleanup ~rank:r "%s" (status_reason status)
+              | None -> fail_cleanup ~rank "%s" f_reason)
+          | Event_loop.Message (rank, m) ->
+              fail_cleanup ~rank "unexpected %s during execution" (Wire.tag m)
+          | Event_loop.Closed rank ->
+              (* give the exit status a moment to become reapable so the
+                 error names the real cause (e.g. the injected abort) *)
+              let _, pid = List.nth pids rank in
+              let rec status tries =
+                match Unix.waitpid [ Unix.WNOHANG ] pid with
+                | 0, _ when tries > 0 ->
+                    Unix.sleepf 0.05;
+                    status (tries - 1)
+                | 0, _ -> None
+                | _, st -> Some st
+                | exception Unix.Unix_error (Unix.ECHILD, _, _) -> None
+              in
+              (match status 20 with
+              | Some st -> fail_cleanup ~rank "%s" (status_reason st)
+              | None -> (
+                  match abnormal_exit ~except:rank with
+                  | Some (r, st) -> fail_cleanup ~rank:r "%s" (status_reason st)
+                  | None -> fail_cleanup ~rank "worker socket closed mid-run")))
+        (Event_loop.poll handshake ~timeout:0.1)
+    done;
+    (* -- orderly shutdown ------------------------------------------- *)
+    for rank = 0 to nw - 1 do
+      Transport.send (conn rank) Wire.Shutdown
+    done;
+    Array.iter
+      (fun st ->
+        match st.st_conn with
+        | Some c -> Transport.close_conn c
+        | None -> ())
+      states;
+    Transport.close_listener listener;
+    List.iter
+      (fun (rank, pid) ->
+        let rec reap deadline =
+          match Unix.waitpid [ Unix.WNOHANG ] pid with
+          | 0, _ when Unix.gettimeofday () < deadline ->
+              Unix.sleepf 0.01;
+              reap deadline
+          | 0, _ ->
+              (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+              ignore (Unix.waitpid [] pid)
+          | _, Unix.WEXITED 0 -> ()
+          | _, status -> err ~rank "%s after completion" (status_reason status)
+          | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+        in
+        reap (Unix.gettimeofday () +. 5.0))
+      pids;
+    (* -- assemble final state --------------------------------------- *)
+    let arr_tbl : (string, float Dist_array.t) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun (n, a) -> Hashtbl.replace arr_tbl n a)
+      inst.Orion.App.inst_arrays;
+    (* non-buffered writes: apply every worker's journal in (pass,
+       natural-order) order — a serialization of the happens-before
+       order, reproducing the serial element values bitwise *)
+    let order = Domain_exec.natural_order model ~sp ~tp in
+    let pos = Hashtbl.create (sp * tp) in
+    Array.iteri
+      (fun i (s, t) -> Hashtbl.replace pos ((s * tp) + t) i)
+      order;
+    let all_blocks =
+      Array.to_list states
+      |> List.concat_map (fun st -> Option.value st.st_report ~default:[])
+      |> List.sort
+           (fun (a : Wire.block_writes) (b : Wire.block_writes) ->
+             compare
+               (a.bw_pass, Hashtbl.find pos a.bw_block)
+               (b.bw_pass, Hashtbl.find pos b.bw_block))
+    in
+    List.iter
+      (fun (bw : Wire.block_writes) ->
+        Array.iter
+          (fun (w : Wire.write) ->
+            match Hashtbl.find_opt arr_tbl w.w_array with
+            | Some arr -> Dist_array.set arr w.w_key w.w_value
+            | None -> err "block report writes unknown array %S" w.w_array)
+          bw.bw_writes)
+      all_blocks;
+    (* buffered arrays: merge shadows in ascending rank order, exactly
+       the domain pool's deterministic shadow merge *)
+    Array.iteri
+      (fun rank st ->
+        let parts = Option.value st.st_flush ~default:[] in
+        let totals = Option.value st.st_totals ~default:[] in
+        List.iter
+          (fun (part : Wire.part) ->
+            let name = part.Dist_array.pt_array in
+            (match Hashtbl.find_opt arr_tbl name with
+            | Some arr ->
+                Array.iter
+                  (fun (lin, v) ->
+                    Dist_array.update arr (Dist_array.delinearize arr lin)
+                      (fun x -> x +. v))
+                  part.Dist_array.pt_entries
+            | None -> err "buffer flush for unknown array %S" name);
+            let flushed_total =
+              Array.fold_left
+                (fun acc (_, v) -> acc +. v)
+                0.0 part.Dist_array.pt_entries
+            in
+            let bytes = float_of_int (Dist_array.partition_size_bytes part) in
+            account name bytes;
+            Trace.add trace ~label:("net:" ^ name) ~bytes ~worker:rank
+              ~category:Trace.Transfer
+              ~start_sec:(Unix.gettimeofday () -. t0)
+              ~duration_sec:0.0;
+            (* the worker computed its accumulator total over the same
+               entries in the same order: must match bitwise *)
+            match List.assoc_opt name totals with
+            | Some reported when reported = flushed_total -> ()
+            | Some reported ->
+                err ~rank
+                  "accumulator total mismatch for %S: reported %h, flushed %h"
+                  name reported flushed_total
+            | None -> err ~rank "no accumulator total for %S" name)
+          parts)
+      states;
+    (* token traffic, as reported per worker *)
+    Array.iteri
+      (fun rank st ->
+        match st.st_done with
+        | Some stats ->
+            List.iter
+              (fun (name, bytes) ->
+                account name bytes;
+                Trace.add trace ~label:("net:" ^ name) ~bytes ~worker:rank
+                  ~category:Trace.Transfer
+                  ~start_sec:(Unix.gettimeofday () -. t0)
+                  ~duration_sec:0.0)
+              stats.Wire.ws_bytes_by_array
+        | None -> ())
+      states;
+    let stats rank =
+      match states.(rank).st_done with
+      | Some s -> s
+      | None -> err ~rank "missing worker stats"
+    in
+    let sum f =
+      let acc = ref 0 in
+      for rank = 0 to nw - 1 do
+        acc := !acc + f (stats rank)
+      done;
+      !acc
+    in
+    let bytes_list =
+      List.sort compare
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) bytes_by_array [])
+    in
+    {
+      Orion.Engine.ep_app = inst.Orion.App.inst_name;
+      ep_mode = `Distributed { Orion.Engine.procs; transport };
+      ep_strategy = Plan.strategy_to_string plan.Plan.strategy;
+      ep_model = Domain_exec.model_to_string model;
+      ep_domains = nw;
+      ep_space_parts = sp;
+      ep_time_parts = tp;
+      ep_entries = sum (fun s -> s.Wire.ws_entries);
+      ep_blocks = sum (fun s -> s.Wire.ws_blocks);
+      ep_steals = 0;
+      ep_wall_seconds = Unix.gettimeofday () -. t0;
+      ep_sim_time = 0.0;
+      ep_bytes_shipped = List.fold_left (fun acc (_, b) -> acc +. b) 0.0 bytes_list;
+      ep_bytes_by_array = bytes_list;
+    }
+  with
+  | Orion.Engine.Distributed_error _ as e -> raise e
+  | e ->
+      cleanup ();
+      raise
+        (Orion.Engine.Distributed_error
+           { de_rank = None; de_reason = Printexc.to_string e })
+
+(** Install {!run} as [Orion.Engine]'s distributed runner. *)
+let install ~(materialize : Dist_worker.materialize) =
+  Orion.Engine.distributed_runner :=
+    Some
+      (fun session inst ~procs ~transport ~passes ~pipeline_depth ~scale ->
+        run ~materialize session inst ~procs ~transport ~passes
+          ~pipeline_depth ~scale)

@@ -1,0 +1,564 @@
+(** The distributed worker runtime ([orion-worker]): one OS process per
+    space partition, executing its slice of the compiled schedule under
+    the {e same} happens-before edges the domain pool and the race
+    checker model ({!Orion_runtime.Domain_exec.block_edges}).
+
+    A worker never receives code: it rebuilds the app instance
+    deterministically from the registry ([materialize]) — host builtins
+    are closures and cannot travel over the wire — then verifies its
+    independently compiled schedule against the master's by structural
+    fingerprint.  DistArray {e contents} do travel: every placed
+    non-buffered array is zeroed locally and refilled from the wire
+    (partition ship for local/rotated/replicated placements, a bulk
+    prefetch for server-hosted ones), so the shipping path is
+    load-bearing, not decorative.
+
+    During execution the worker journals every non-buffered DistArray
+    element write (via the interpreter's access hook, in execution
+    order).  Each cross-worker happens-before edge [src → dst] is
+    realized as a {!Wire.Rotation_token} carrying {e all} block write
+    logs this worker knows and the destination has not seen — its own
+    and relayed ones — so a receiver learns everything that
+    happens-before the sending block, even transitively through ranks
+    that never touched the data.  Incoming writes are applied
+    last-writer-wins by (pass, natural-order position of the writing
+    block): all writers of one element are happens-before-ordered and
+    natural order linearizes happens-before, so this is exact no matter
+    how tokens from different peers interleave.  A pass ends with an
+    all-to-all {!Wire.Pass_sync} barrier flushing the rest.  Blocks
+    that wrote nothing still send tokens — edge satisfaction is tracked
+    by token arrival, not by journal content.
+
+    Buffered arrays get a local zero shadow (exactly the domain pool's
+    per-domain shadows); the nonzero entries are flushed to the master
+    at the end and merged in rank order. *)
+
+open Orion_lang
+module Dist_array = Orion_dsm.Dist_array
+module Plan = Orion_analysis.Plan
+module Schedule = Orion_runtime.Schedule
+module Domain_exec = Orion_runtime.Domain_exec
+
+type materialize =
+  string ->
+  scale:float ->
+  num_machines:int ->
+  workers_per_machine:int ->
+  Orion.App.instance option
+
+exception Worker_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Worker_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Environment knobs                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let timeout_env = "ORION_DIST_TIMEOUT"
+let abort_rank_env = "ORION_DIST_ABORT_RANK"
+let abort_after_env = "ORION_DIST_ABORT_AFTER"
+
+let deadline_seconds () =
+  match Sys.getenv_opt timeout_env with
+  | Some s -> ( match float_of_string_opt s with Some f -> f | None -> 300.0)
+  | None -> 300.0
+
+(** Fault injection for the failure-path tests: the designated rank
+    calls [Unix._exit 13] just before executing its [n]-th block. *)
+let abort_spec () =
+  match Sys.getenv_opt abort_rank_env with
+  | None -> None
+  | Some r -> (
+      match int_of_string_opt r with
+      | None -> None
+      | Some rank ->
+          let after =
+            match Sys.getenv_opt abort_after_env with
+            | Some s -> ( match int_of_string_opt s with Some n -> n | None -> 1)
+            | None -> 1
+          in
+          Some (rank, after))
+
+let abort_exit_code = 13
+
+(* ------------------------------------------------------------------ *)
+(* Deadline-bounded blocking receives                                  *)
+(* ------------------------------------------------------------------ *)
+
+let rec wait_readable fd ~deadline ~what =
+  let timeout = deadline -. Unix.gettimeofday () in
+  if timeout <= 0.0 then fail "timed out waiting for %s" what;
+  match Unix.select [ fd ] [] [] (Float.min timeout 0.5) with
+  | [], _, _ -> wait_readable fd ~deadline ~what
+  | _ -> ()
+  | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      wait_readable fd ~deadline ~what
+
+let recv_with_deadline (c : Transport.conn) ~deadline ~what : Wire.msg =
+  wait_readable (Transport.fd c) ~deadline ~what;
+  match Transport.recv c with
+  | Some m -> m
+  | None -> fail "connection closed while waiting for %s" what
+
+let accept_with_deadline (l : Transport.listener) ~deadline ~what :
+    Transport.conn =
+  wait_readable l.Transport.lfd ~deadline ~what;
+  Transport.accept l
+
+(* ------------------------------------------------------------------ *)
+(* Concrete-subscript expansion (as lib/verify's access log does)      *)
+(* ------------------------------------------------------------------ *)
+
+let expand_keys (dims : int array) (subs : Value.concrete_sub array) :
+    int array list =
+  let all_points =
+    Array.for_all (function Value.Cpoint _ -> true | _ -> false) subs
+  in
+  if all_points then
+    [ Array.map (function Value.Cpoint p -> p | _ -> 0) subs ]
+  else
+    let expand_sub dim = function
+      | Value.Cpoint p -> [ p ]
+      | Value.Crange (a, b) -> List.init (max 0 (b - a + 1)) (fun k -> a + k)
+      | Value.Call_dim -> List.init dim Fun.id
+    in
+    let rec cart i =
+      if i >= Array.length subs then [ [] ]
+      else
+        let tails = cart (i + 1) in
+        List.concat_map
+          (fun p -> List.map (fun tl -> p :: tl) tails)
+          (expand_sub dims.(i) subs.(i))
+    in
+    List.map Array.of_list (cart 0)
+
+(* ------------------------------------------------------------------ *)
+(* The worker protocol                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let serve (master : Transport.conn) ~(materialize : materialize) ~rank
+    ~(like : Transport.addr) : unit =
+  let deadline = Unix.gettimeofday () +. deadline_seconds () in
+  let recv_master what = recv_with_deadline master ~deadline ~what in
+  (* -- plan ------------------------------------------------------- *)
+  let p =
+    match recv_master "plan" with
+    | Wire.Plan p -> p
+    | m -> fail "expected plan, got %s" (Wire.tag m)
+  in
+  let inst =
+    match
+      materialize p.p_app ~scale:p.p_scale ~num_machines:p.p_num_machines
+        ~workers_per_machine:p.p_workers_per_machine
+    with
+    | Some i -> i
+    | None -> fail "unknown app %S" p.p_app
+  in
+  let session = inst.Orion.App.inst_session in
+  let plan = Orion.analyze_loop session inst.Orion.App.inst_loop in
+  let compiled =
+    Orion.compile session ~plan ~iter:inst.Orion.App.inst_iter
+      ?pipeline_depth:p.p_pipeline_depth ()
+  in
+  let sched = compiled.Orion.schedule in
+  let sp = sched.Schedule.space_parts and tp = sched.Schedule.time_parts in
+  let model =
+    Domain_exec.model_of_plan plan ~pipeline_depth:compiled.Orion.pipeline_depth
+      ~sp ~tp
+  in
+  if sp <> p.p_sp || tp <> p.p_tp then
+    fail "schedule shape mismatch: worker %dx%d, master %dx%d" sp tp p.p_sp
+      p.p_tp;
+  if model <> p.p_model then
+    fail "execution model mismatch: worker %s, master %s"
+      (Domain_exec.model_to_string model)
+      (Domain_exec.model_to_string p.p_model);
+  if Schedule.fingerprint sched <> p.p_fingerprint then
+    fail "schedule fingerprint mismatch (nondeterministic compile?)";
+  if rank < 0 || rank >= sp then fail "rank %d out of range (sp = %d)" rank sp;
+  if p.p_procs <> sp then
+    fail "worker count %d does not match space partitions %d" p.p_procs sp;
+  (* -- own listener + prefetch request ----------------------------- *)
+  let listener = Transport.listen (Transport.fresh_addr ~like) in
+  Transport.send master
+    (Wire.Listening
+       {
+         l_rank = rank;
+         l_addr = Transport.addr_to_string listener.Transport.laddr;
+       });
+  let arrays = inst.Orion.App.inst_arrays in
+  let buffered = inst.Orion.App.inst_buffered in
+  let arr_tbl : (string, float Dist_array.t) Hashtbl.t = Hashtbl.create 8 in
+  List.iter (fun (n, a) -> Hashtbl.replace arr_tbl n a) arrays;
+  let placement name = List.assoc_opt name plan.Plan.placements in
+  (* arrays whose contents the wire is responsible for *)
+  let managed name =
+    (not (List.mem name buffered)) && placement name <> None
+  in
+  let prefetch_names =
+    List.filter_map
+      (fun (n, _) ->
+        if managed n && placement n = Some Plan.Server then Some n else None)
+      arrays
+  in
+  (* always sent, possibly empty, so the master's serving path is
+     exercised every run *)
+  Transport.send master
+    (Wire.Prefetch_request { pr_rank = rank; pr_arrays = prefetch_names });
+  (* -- receive array contents ------------------------------------- *)
+  (* zero every managed array first: its initial contents must arrive
+     over the wire, which makes partition shipping load-bearing *)
+  List.iter
+    (fun (n, a) ->
+      if managed n then
+        Array.iter
+          (fun (key, _) -> Dist_array.set a key 0.0)
+          (Dist_array.entries a))
+    arrays;
+  let apply_parts what parts =
+    List.iter
+      (fun (part : Wire.part) ->
+        match Hashtbl.find_opt arr_tbl part.Dist_array.pt_array with
+        | Some a -> Dist_array.apply_partition a part
+        | None -> fail "%s for unknown array %S" what part.Dist_array.pt_array)
+      parts
+  in
+  (match recv_master "partition ship" with
+  | Wire.Partition_ship parts -> apply_parts "partition ship" parts
+  | m -> fail "expected partition-ship, got %s" (Wire.tag m));
+  (match recv_master "prefetch response" with
+  | Wire.Prefetch_response parts -> apply_parts "prefetch response" parts
+  | m -> fail "expected prefetch-response, got %s" (Wire.tag m));
+  let peer_addrs =
+    match recv_master "peers" with
+    | Wire.Peers a -> a
+    | m -> fail "expected peers, got %s" (Wire.tag m)
+  in
+  if Array.length peer_addrs <> sp then
+    fail "peers table has %d entries, expected %d" (Array.length peer_addrs) sp;
+  (* -- peer mesh: rank a connects to rank b iff a < b --------------- *)
+  let peers : Transport.conn option array = Array.make sp None in
+  let peer q =
+    match peers.(q) with
+    | Some c -> c
+    | None -> fail "no connection to peer %d" q
+  in
+  let loop = Event_loop.create () in
+  for b = rank + 1 to sp - 1 do
+    let c = Transport.connect (Transport.addr_of_string peer_addrs.(b)) in
+    Transport.send c (Wire.Peer_hello rank);
+    peers.(b) <- Some c;
+    Event_loop.add loop b c
+  done;
+  for _ = 1 to rank do
+    let c = accept_with_deadline listener ~deadline ~what:"peer mesh" in
+    match recv_with_deadline c ~deadline ~what:"peer hello" with
+    | Wire.Peer_hello a ->
+        peers.(a) <- Some c;
+        Event_loop.add loop a c
+    | m -> fail "expected peer-hello, got %s" (Wire.tag m)
+  done;
+  (* -- shadows for buffered arrays (as Engine.make_shadows) --------- *)
+  let env = inst.Orion.App.inst_env in
+  let shadows =
+    List.filter_map
+      (fun (name, arr) ->
+        if List.mem name buffered then begin
+          let shadow =
+            Dist_array.fill_dense ~name ~dims:(Dist_array.dims arr) 0.0
+          in
+          Interp.set_var env name
+            (Value.Vextern (Dist_array.to_extern shadow));
+          Some (name, shadow)
+        end
+        else None)
+      arrays
+  in
+  (* -- write journal ------------------------------------------------ *)
+  let order = Domain_exec.natural_order model ~sp ~tp in
+  let natpos : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri (fun i (s, t) -> Hashtbl.replace natpos ((s * tp) + t) i) order;
+  let pos blk = try Hashtbl.find natpos blk with Not_found -> max_int in
+  (* Version of the last write applied to each element, as
+     (pass, natural-order position of the writing block).  The analysis
+     guarantees all writers of one element are happens-before-ordered,
+     and natural order linearizes happens-before, so last-writer-wins by
+     version applies remote writes correctly regardless of the order
+     tokens from different peers arrive in. *)
+  let versions : (string * int array, int * int) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let apply_write ~version (w : Wire.write) =
+    match Hashtbl.find_opt arr_tbl w.w_array with
+    | None -> ()
+    | Some arr ->
+        let stale =
+          match Hashtbl.find_opt versions (w.w_array, w.w_key) with
+          | Some v -> v > version
+          | None -> false
+        in
+        if not stale then begin
+          Hashtbl.replace versions (w.w_array, w.w_key) version;
+          Dist_array.set arr w.w_key w.w_value
+        end
+  in
+  let cur_version = ref (0, 0) in
+  let current : Wire.write list ref = ref [] (* newest first *) in
+  env.Interp.on_array_access <-
+    Some
+      (fun ex ~write subs ->
+        if write then
+          match Hashtbl.find_opt arr_tbl ex.Value.ex_name with
+          | Some arr when not (List.mem ex.Value.ex_name buffered) ->
+              (* the hook fires after the write: [get] reads the
+                 just-written value *)
+              List.iter
+                (fun key ->
+                  Hashtbl.replace versions (ex.Value.ex_name, key)
+                    !cur_version;
+                  current :=
+                    {
+                      Wire.w_array = ex.Value.ex_name;
+                      w_key = key;
+                      w_value = Dist_array.get arr key;
+                    }
+                    :: !current)
+                (expand_keys ex.Value.ex_dims subs)
+          | _ -> ());
+  (* -- happens-before bookkeeping ----------------------------------- *)
+  let owner blk = blk / tp in
+  let incoming : (int, int list) Hashtbl.t = Hashtbl.create 16 in
+  let outgoing : (int, int list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (src, dst) ->
+      if owner src <> owner dst then begin
+        if owner dst = rank then
+          Hashtbl.replace incoming dst
+            (src :: Option.value (Hashtbl.find_opt incoming dst) ~default:[]);
+        if owner src = rank then
+          Hashtbl.replace outgoing src
+            (dst :: Option.value (Hashtbl.find_opt outgoing src) ~default:[])
+      end)
+    (Domain_exec.block_edges model ~sp ~tp);
+  let tokens : (int * int * int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let syncs : (int * int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let known : (int * int, unit) Hashtbl.t = Hashtbl.create 64 in
+  (* Everything this worker knows (own blocks and received ones), in
+     the order learned.  Tokens relay the whole unseen suffix, not just
+     own writes: a receiver thereby learns everything that
+     happens-before the sending block, even transitively through ranks
+     that never touched the data ([known] dedups the echoes). *)
+  let own : Wire.block_writes list ref = ref [] (* newest first *) in
+  let known_log : Wire.block_writes list ref = ref [] (* newest first *) in
+  let klen = ref 0 in
+  let learn (bw : Wire.block_writes) =
+    if not (Hashtbl.mem known (bw.bw_pass, bw.bw_block)) then begin
+      Hashtbl.replace known (bw.bw_pass, bw.bw_block) ();
+      known_log := bw :: !known_log;
+      incr klen;
+      let version = (bw.bw_pass, pos bw.bw_block) in
+      Array.iter (apply_write ~version) bw.bw_writes
+    end
+  in
+  let apply_entries entries = List.iter learn entries in
+  let handle = function
+    | Event_loop.Message (_, Wire.Rotation_token { rt_pass; rt_src; rt_dst; rt_entries })
+      ->
+        apply_entries rt_entries;
+        Hashtbl.replace tokens (rt_pass, rt_src, rt_dst) ()
+    | Event_loop.Message (_, Wire.Pass_sync { ps_pass; ps_rank; ps_entries }) ->
+        apply_entries ps_entries;
+        Hashtbl.replace syncs (ps_pass, ps_rank) ()
+    | Event_loop.Message (q, m) ->
+        fail "unexpected %s from peer %d" (Wire.tag m) q
+    | Event_loop.Closed q -> fail "peer %d closed its connection mid-run" q
+  in
+  let wait_for pred what =
+    let rec go () =
+      if not (pred ()) then begin
+        if Unix.gettimeofday () > deadline then
+          fail "timed out waiting for %s" what;
+        List.iter handle (Event_loop.poll loop ~timeout:0.1);
+        go ()
+      end
+    in
+    go ()
+  in
+  (* per-peer cursor into [known_log]; entries the peer authored itself
+     are filtered out of the payload (it has them by construction) *)
+  let sent_upto = Array.make sp 0 in
+  let bytes_by_array : (string, float) Hashtbl.t = Hashtbl.create 8 in
+  let fresh_entries q =
+    let n = !klen - sent_upto.(q) in
+    sent_upto.(q) <- !klen;
+    let rec take k l =
+      if k = 0 then []
+      else match l with [] -> [] | x :: tl -> x :: take (k - 1) tl
+    in
+    let entries =
+      List.filter
+        (fun (bw : Wire.block_writes) -> owner bw.bw_block <> q)
+        (List.rev (take n !known_log))
+    in
+    List.iter
+      (fun (bw : Wire.block_writes) ->
+        Array.iter
+          (fun (w : Wire.write) ->
+            let b =
+              float_of_int
+                (Bytes.length (Marshal.to_bytes (w.w_key, w.w_value) []))
+            in
+            Hashtbl.replace bytes_by_array w.w_array
+              (b
+              +. Option.value
+                   (Hashtbl.find_opt bytes_by_array w.w_array)
+                   ~default:0.0))
+          bw.bw_writes)
+      entries;
+    entries
+  in
+  (* -- execute ------------------------------------------------------ *)
+  let abort = abort_spec () in
+  let blocks_done = ref 0 and entries_done = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  for pass = 0 to p.p_passes - 1 do
+    Array.iter
+      (fun (s, t) ->
+        if s = rank then begin
+          let blk = (s * tp) + t in
+          (match abort with
+          | Some (r, after) when r = rank && !blocks_done >= after ->
+              (* injected fault: die abruptly, skipping all cleanup *)
+              Unix._exit abort_exit_code
+          | _ -> ());
+          let need =
+            Option.value (Hashtbl.find_opt incoming blk) ~default:[]
+          in
+          wait_for
+            (fun () ->
+              List.for_all
+                (fun src -> Hashtbl.mem tokens (pass, src, blk))
+                need)
+            (Printf.sprintf "tokens for block %d of pass %d" blk pass);
+          current := [];
+          cur_version := (pass, pos blk);
+          let b = sched.Schedule.blocks.(s).(t) in
+          Array.iter
+            (fun (key, value) ->
+              Interp.eval_body_for env
+                ~key_var:inst.Orion.App.inst_key_var
+                ~value_var:inst.Orion.App.inst_value_var ~key ~value
+                inst.Orion.App.inst_body;
+              incr entries_done)
+            b.Schedule.entries;
+          incr blocks_done;
+          Hashtbl.replace known (pass, blk) ();
+          let bw =
+            {
+              Wire.bw_pass = pass;
+              bw_block = blk;
+              bw_writes = Array.of_list (List.rev !current);
+            }
+          in
+          own := bw :: !own;
+          known_log := bw :: !known_log;
+          incr klen;
+          match Hashtbl.find_opt outgoing blk with
+          | None -> ()
+          | Some dsts ->
+              List.iter
+                (fun dst ->
+                  let q = owner dst in
+                  Transport.send (peer q)
+                    (Wire.Rotation_token
+                       {
+                         rt_pass = pass;
+                         rt_src = blk;
+                         rt_dst = dst;
+                         rt_entries = fresh_entries q;
+                       }))
+                (List.sort_uniq compare dsts)
+        end)
+      order;
+    (* pass barrier: flush the journal all-to-all so pass + 1 starts
+       from globally consistent DistArray state *)
+    for q = 0 to sp - 1 do
+      if q <> rank then
+        Transport.send (peer q)
+          (Wire.Pass_sync
+             { ps_pass = pass; ps_rank = rank; ps_entries = fresh_entries q })
+    done;
+    wait_for
+      (fun () ->
+        let ok = ref true in
+        for q = 0 to sp - 1 do
+          if q <> rank && not (Hashtbl.mem syncs (pass, q)) then ok := false
+        done;
+        !ok)
+      (Printf.sprintf "pass %d barrier" pass)
+  done;
+  let wall = Unix.gettimeofday () -. t0 in
+  (* -- final reports ------------------------------------------------ *)
+  Transport.send master
+    (Wire.Block_report { br_rank = rank; br_entries = List.rev !own });
+  let flush_parts, totals =
+    List.fold_left
+      (fun (parts, totals) (name, shadow) ->
+        let part = Dist_array.to_partition ~select:(fun _ v -> v <> 0.0) shadow in
+        let total =
+          Array.fold_left
+            (fun acc (_, v) -> acc +. v)
+            0.0 part.Dist_array.pt_entries
+        in
+        (part :: parts, (name, total) :: totals))
+      ([], []) shadows
+  in
+  Transport.send master
+    (Wire.Buffer_flush { bf_rank = rank; bf_parts = List.rev flush_parts });
+  Transport.send master
+    (Wire.Acc_merge { am_rank = rank; am_totals = List.rev totals });
+  let bytes_sent =
+    Array.fold_left
+      (fun acc c ->
+        match c with Some c -> acc +. c.Transport.bytes_out | None -> acc)
+      0.0 peers
+  in
+  Transport.send master
+    (Wire.Done
+       {
+         ws_rank = rank;
+         ws_blocks = !blocks_done;
+         ws_entries = !entries_done;
+         ws_wall_seconds = wall;
+         ws_bytes_sent = bytes_sent;
+         ws_bytes_by_array =
+           List.sort compare
+             (Hashtbl.fold (fun k v acc -> (k, v) :: acc) bytes_by_array []);
+       });
+  (* keep peer connections open until the master confirms every worker
+     is done — closing earlier would surface as a peer failure there *)
+  (match recv_master "shutdown" with
+  | Wire.Shutdown -> ()
+  | m -> fail "expected shutdown, got %s" (Wire.tag m));
+  Array.iter (function Some c -> Transport.close_conn c | None -> ()) peers;
+  Transport.close_listener listener
+
+(** Connect to the master, run the whole worker protocol, and return on
+    a clean shutdown.  Any failure is reported to the master as a
+    {!Wire.Fatal} before re-raising. *)
+let connect_and_serve ~(materialize : materialize) ~rank ~master_addr : unit =
+  let like = Transport.addr_of_string master_addr in
+  let master = Transport.connect like in
+  Transport.send master
+    (Wire.Hello
+       { h_rank = rank; h_pid = Unix.getpid (); h_version = Wire.version });
+  match serve master ~materialize ~rank ~like with
+  | () -> Transport.close_conn master
+  | exception e ->
+      let reason =
+        match e with Worker_error s -> s | e -> Printexc.to_string e
+      in
+      (try Transport.send master (Wire.Fatal { f_rank = rank; f_reason = reason })
+       with _ -> ());
+      Transport.close_conn master;
+      raise e

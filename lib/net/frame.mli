@@ -1,0 +1,13 @@
+(** Length-prefixed binary framing: 4-byte big-endian payload length,
+    then the payload.  Partial-I/O- and [EINTR]-safe. *)
+
+exception Frame_error of string
+
+val max_frame_bytes : int
+
+(** Write one complete frame (header + payload). *)
+val write_frame : Unix.file_descr -> bytes -> unit
+
+(** Read one complete frame; [None] on a clean EOF at a frame boundary.
+    @raise Frame_error on EOF mid-frame or a corrupt length. *)
+val read_frame : Unix.file_descr -> bytes option

@@ -1,0 +1,138 @@
+(** Socket transport for the distributed runtime: Unix-domain or
+    loopback TCP, framed {!Wire} messages, per-connection byte
+    counters.  Addresses print as ["unix:/path"] / ["tcp:host:port"] so
+    they can travel inside protocol messages and CLI flags. *)
+
+type addr = [ `Unix of string | `Tcp of string * int ]
+
+let addr_to_string = function
+  | `Unix path -> "unix:" ^ path
+  | `Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+let addr_of_string s : addr =
+  match String.index_opt s ':' with
+  | Some i when String.sub s 0 i = "unix" ->
+      `Unix (String.sub s (i + 1) (String.length s - i - 1))
+  | Some i when String.sub s 0 i = "tcp" -> (
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      match String.rindex_opt rest ':' with
+      | Some j ->
+          let host = String.sub rest 0 j in
+          let port = String.sub rest (j + 1) (String.length rest - j - 1) in
+          `Tcp (host, int_of_string port)
+      | None -> invalid_arg ("bad tcp address: " ^ s))
+  | _ -> invalid_arg ("bad transport address: " ^ s)
+
+type conn = {
+  fd : Unix.file_descr;
+  mutable bytes_out : float;
+  mutable bytes_in : float;
+  mutable closed : bool;
+}
+
+type listener = { lfd : Unix.file_descr; laddr : addr }
+
+let fd c = c.fd
+
+let sockaddr_of_addr = function
+  | `Unix path -> Unix.ADDR_UNIX path
+  | `Tcp (host, port) ->
+      Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
+
+let wrap fd = { fd; bytes_out = 0.0; bytes_in = 0.0; closed = false }
+
+let listen (addr : addr) : listener =
+  let domain =
+    match addr with `Unix _ -> Unix.PF_UNIX | `Tcp _ -> Unix.PF_INET
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (match addr with
+  | `Unix _ -> ()
+  | `Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true);
+  Unix.bind fd (sockaddr_of_addr addr);
+  (* backlog ≥ any worker count we spawn: the full mesh parks pending
+     connects here while peers finish their own handshakes *)
+  Unix.listen fd 64;
+  let laddr =
+    match addr with
+    | `Unix _ -> addr
+    | `Tcp (host, _) -> (
+        (* recover the kernel-chosen port when binding port 0 *)
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, port) -> `Tcp (host, port)
+        | _ -> addr)
+  in
+  { lfd = fd; laddr }
+
+let accept (l : listener) : conn =
+  let rec go () =
+    match Unix.accept l.lfd with
+    | fd, _ -> wrap fd
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+(** Connect, retrying while the listener is not up yet (the master
+    spawns workers before they listen, and peers mesh-connect in
+    arbitrary order). *)
+let connect ?(retries = 200) ?(retry_delay = 0.025) (addr : addr) : conn =
+  let domain =
+    match addr with `Unix _ -> Unix.PF_UNIX | `Tcp _ -> Unix.PF_INET
+  in
+  let rec go attempt =
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (sockaddr_of_addr addr) with
+    | () -> wrap fd
+    | exception
+        Unix.Unix_error
+          ((Unix.ECONNREFUSED | Unix.ENOENT | Unix.EINTR), _, _)
+      when attempt < retries ->
+        Unix.close fd;
+        Unix.sleepf retry_delay;
+        go (attempt + 1)
+    | exception e ->
+        Unix.close fd;
+        raise e
+  in
+  go 0
+
+let send (c : conn) (m : Wire.msg) =
+  let payload = Wire.to_bytes m in
+  Frame.write_frame c.fd payload;
+  c.bytes_out <- c.bytes_out +. float_of_int (Bytes.length payload + 4)
+
+(** [None] on a clean EOF (peer closed the connection). *)
+let recv (c : conn) : Wire.msg option =
+  match Frame.read_frame c.fd with
+  | None -> None
+  | Some payload ->
+      c.bytes_in <- c.bytes_in +. float_of_int (Bytes.length payload + 4);
+      Some (Wire.of_bytes payload)
+
+let close_conn (c : conn) =
+  if not c.closed then begin
+    c.closed <- true;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  end
+
+let close_listener (l : listener) =
+  (try Unix.close l.lfd with Unix.Unix_error _ -> ());
+  match l.laddr with
+  | `Unix path -> ( try Sys.remove path with Sys_error _ -> ())
+  | `Tcp _ -> ()
+
+(** A fresh address of the same kind as [like], for a new listener:
+    a unique temp-dir socket path, or loopback TCP with a
+    kernel-chosen port. *)
+let fresh_addr ~(like : addr) : addr =
+  match like with
+  | `Tcp _ -> `Tcp ("127.0.0.1", 0)
+  | `Unix _ ->
+      let path =
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "orion-%d-%x.sock" (Unix.getpid ())
+             (Hashtbl.hash (Unix.gettimeofday ())))
+      in
+      (try Sys.remove path with Sys_error _ -> ());
+      `Unix path

@@ -1,0 +1,119 @@
+(** The typed master ↔ worker / worker ↔ worker protocol.  Messages are
+    plain (closure-free) OCaml values encoded with [Marshal] inside a
+    {!Frame}; both ends are always the same binary built from the same
+    sources, which is the one regime where [Marshal] is sound.  A
+    [version] field in the handshake catches accidental mixes.
+
+    Protocol outline (master-centric):
+
+    {v
+    worker → master   Hello
+    master → worker   Plan                 (app name, shape, model, fp)
+    worker → master   Listening            (the worker's own peer addr)
+    worker → master   Prefetch_request     (Server-placed arrays)
+    master → worker   Partition_ship       (local / rotated / replicated)
+    master → worker   Prefetch_response
+    master → worker   Peers                (addr per rank)
+    worker ↔ worker   Peer_hello, Rotation_token, Pass_sync
+    worker → master   Block_report, Buffer_flush, Acc_merge, Done
+    master → worker   Shutdown
+    any    → master   Fatal
+    v} *)
+
+let version = 1
+
+(** One journaled DistArray element write, in execution order. *)
+type write = { w_array : string; w_key : int array; w_value : float }
+
+(** The write log of one executed schedule block.  [bw_block] is the
+    block id [s * tp + t] — the same ids {!Orion_runtime.Domain_exec}
+    uses for its happens-before edges. *)
+type block_writes = {
+  bw_pass : int;
+  bw_block : int;
+  bw_writes : write array;
+}
+
+type worker_stats = {
+  ws_rank : int;
+  ws_blocks : int;
+  ws_entries : int;
+  ws_wall_seconds : float;
+  ws_bytes_sent : float;  (** wire bytes this worker sent to peers *)
+  ws_bytes_by_array : (string * float) list;
+      (** journal bytes shipped to peers, per DistArray *)
+}
+
+type part = float Orion_dsm.Dist_array.partition
+
+(** The full run description a worker needs to rebuild and verify its
+    slice (a named record so workers can pass it around whole). *)
+type plan = {
+  p_app : string;
+  p_scale : float;
+  p_num_machines : int;
+  p_workers_per_machine : int;
+  p_rank : int;
+  p_procs : int;  (** workers actually spawned (= space partitions) *)
+  p_passes : int;
+  p_pipeline_depth : int option;
+  p_sp : int;
+  p_tp : int;
+  p_model : Orion_runtime.Domain_exec.model;
+  p_fingerprint : int;
+      (** {!Orion_runtime.Schedule.fingerprint} of the master's
+          schedule; the worker must compile an identical one *)
+}
+
+type msg =
+  | Hello of { h_rank : int; h_pid : int; h_version : int }
+  | Plan of plan
+  | Listening of { l_rank : int; l_addr : string }
+  | Prefetch_request of { pr_rank : int; pr_arrays : string list }
+  | Partition_ship of part list
+  | Prefetch_response of part list
+  | Peers of string array  (** peer address, indexed by rank *)
+  | Peer_hello of int  (** the connecting worker's rank *)
+  | Rotation_token of {
+      rt_pass : int;
+      rt_src : int;  (** source block id (just executed on the sender) *)
+      rt_dst : int;  (** destination block id (waiting on the receiver) *)
+      rt_entries : block_writes list;
+          (** the sender's journal entries this receiver has not seen
+              yet (per-peer cursor; FIFO channels make the receiver's
+              knowledge happens-before-closed) *)
+    }
+  | Pass_sync of { ps_pass : int; ps_rank : int; ps_entries : block_writes list }
+      (** all-to-all barrier at the end of each pass, flushing the
+          remaining journal entries *)
+  | Block_report of { br_rank : int; br_entries : block_writes list }
+      (** the worker's complete own-block write log, all passes *)
+  | Buffer_flush of { bf_rank : int; bf_parts : part list }
+      (** nonzero entries of each buffered array's local shadow *)
+  | Acc_merge of { am_rank : int; am_totals : (string * float) list }
+      (** per buffered array, the sum of the flushed shadow entries —
+          the master cross-checks them against the received partitions *)
+  | Done of worker_stats
+  | Fatal of { f_rank : int; f_reason : string }
+  | Shutdown
+
+let tag = function
+  | Hello _ -> "hello"
+  | Plan _ -> "plan"
+  | Listening _ -> "listening"
+  | Prefetch_request _ -> "prefetch-request"
+  | Partition_ship _ -> "partition-ship"
+  | Prefetch_response _ -> "prefetch-response"
+  | Peers _ -> "peers"
+  | Peer_hello _ -> "peer-hello"
+  | Rotation_token _ -> "rotation-token"
+  | Pass_sync _ -> "pass-sync"
+  | Block_report _ -> "block-report"
+  | Buffer_flush _ -> "buffer-flush"
+  | Acc_merge _ -> "acc-merge"
+  | Done _ -> "done"
+  | Fatal _ -> "fatal"
+  | Shutdown -> "shutdown"
+
+let to_bytes (m : msg) = Marshal.to_bytes m []
+let of_bytes (b : bytes) : msg = Marshal.from_bytes b 0

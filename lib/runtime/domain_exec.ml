@@ -101,17 +101,15 @@ let natural_order model ~sp ~tp =
 (* Dependence graph (immediate edges only; counters do the rest)       *)
 (* ------------------------------------------------------------------ *)
 
-(* Blocks are numbered s * tp + t.  [succs] lists each block's direct
-   successors; [pending] counts direct predecessors. *)
-let build_graph model ~sp ~tp =
-  let n = sp * tp in
+(* Blocks are numbered s * tp + t.  [block_edges] enumerates every
+   immediate happens-before edge of the model; the pool and the
+   distributed runtime both consume exactly this list, so a schedule
+   slice executed by a remote worker waits on the same predecessors a
+   domain would. *)
+let block_edges model ~sp ~tp : (int * int) list =
   let id s t = (s * tp) + t in
-  let succs = Array.make n [] in
-  let pending = Array.make n 0 in
-  let edge src dst =
-    succs.(src) <- dst :: succs.(src);
-    pending.(dst) <- pending.(dst) + 1
-  in
+  let edges = ref [] in
+  let edge src dst = edges := (src, dst) :: !edges in
   (match model with
   | M_1d -> ()
   | M_2d_ordered ->
@@ -156,6 +154,17 @@ let build_graph model ~sp ~tp =
           done
         done
       done);
+  List.rev !edges
+
+let build_graph model ~sp ~tp =
+  let n = sp * tp in
+  let succs = Array.make n [] in
+  let pending = Array.make n 0 in
+  List.iter
+    (fun (src, dst) ->
+      succs.(src) <- dst :: succs.(src);
+      pending.(dst) <- pending.(dst) + 1)
+    (block_edges model ~sp ~tp);
   (succs, pending)
 
 (* ------------------------------------------------------------------ *)

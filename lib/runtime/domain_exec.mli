@@ -24,6 +24,12 @@ val model_of_plan :
     (one dependence-respecting linearization of the model). *)
 val natural_order : model -> sp:int -> tp:int -> (int * int) array
 
+(** Every immediate happens-before edge [(src, dst)] between block ids
+    (id = s * tp + t) under [model] — the exact edge set the domain
+    pool's dependence counters and the distributed workers' rotation
+    tokens enforce.  Acyclic for every model and shape. *)
+val block_edges : model -> sp:int -> tp:int -> (int * int) list
+
 type stats = {
   domains : int;
   blocks_run : int;

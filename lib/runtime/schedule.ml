@@ -59,6 +59,33 @@ let total_entries t =
       Array.fold_left (fun acc b -> acc + Array.length b.entries) acc row)
     0 t.blocks
 
+(** A structural fingerprint of the schedule: FNV-1a over the partition
+    counts and every block's entry keys in scheduled order.  Master and
+    workers compile their schedules independently from the same plan and
+    data; comparing fingerprints catches any nondeterminism before a
+    distributed pass executes divergent slices. *)
+let fingerprint t =
+  (* FNV-1a-style; offset basis truncated to OCaml's 63-bit int *)
+  let h = ref 0x4BF29CE484222325 in
+  let mix x =
+    (* fold the int in byte-wise so key order matters *)
+    for shift = 0 to 7 do
+      let byte = (x lsr (shift * 8)) land 0xFF in
+      h := (!h lxor byte) * 0x100000001B3
+    done
+  in
+  mix t.space_parts;
+  mix t.time_parts;
+  Array.iter
+    (fun row ->
+      Array.iter
+        (fun b ->
+          mix (Array.length b.entries);
+          Array.iter (fun (key, _) -> Array.iter mix key) b.entries)
+        row)
+    t.blocks;
+  !h land max_int
+
 (* build blocks from entry classification functions *)
 let build ?shuffle_seed ~space_parts ~time_parts ~space_boundaries
     ~time_boundaries ~classify entries =

@@ -27,6 +27,12 @@ val reshuffle : 'v t -> seed:int -> unit
 
 val total_entries : 'v t -> int
 
+(** Structural fingerprint (partition counts + every block's entry keys
+    in scheduled order).  The distributed runtime compares the master's
+    and each worker's independently compiled schedules before
+    executing. *)
+val fingerprint : 'v t -> int
+
 val partition_1d :
   ?shuffle_seed:int ->
   'v Orion_dsm.Dist_array.t ->

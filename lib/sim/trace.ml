@@ -117,7 +117,14 @@ let escape s =
     lane per simulated machine. *)
 let to_chrome_json ?(pid_of_worker = fun _ -> 0) t =
   let b = Buffer.create (64 * t.len) in
-  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  (* extra top-level keys are legal trace_event metadata; viewers
+     ignore them, tooling gets the same versioning as every other
+     Orion report *)
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"schema_version\":%d,\"kind\":\"trace\",\"displayTimeUnit\":\"ms\",\
+        \"traceEvents\":["
+       Orion_report.schema_version);
   let first = ref true in
   iter
     (fun s ->
@@ -139,6 +146,8 @@ let csv_header = "worker,category,label,start_sec,duration_sec,bytes"
 
 let to_csv t =
   let b = Buffer.create (48 * t.len) in
+  Buffer.add_string b
+    (Printf.sprintf "# schema_version %d\n" Orion_report.schema_version);
   Buffer.add_string b csv_header;
   Buffer.add_char b '\n';
   iter

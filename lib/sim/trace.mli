@@ -43,8 +43,13 @@ val spans : t -> span array
 val reset : t -> unit
 
 (** Chrome trace-event JSON; [pid_of_worker] groups workers into
-    process lanes (pass the cluster's machine mapping). *)
+    process lanes (pass the cluster's machine mapping).  The top level
+    carries [schema_version] / [kind] alongside [traceEvents] — extra
+    metadata keys that viewers ignore and tooling can key on. *)
 val to_chrome_json : ?pid_of_worker:(int -> int) -> t -> string
 
 val csv_header : string
+
+(** CSV with a leading [# schema_version N] comment line, then
+    {!csv_header}, then one row per span. *)
 val to_csv : t -> string

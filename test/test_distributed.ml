@@ -1,0 +1,380 @@
+(* Tests for the multi-process distributed runtime (lib/net): partition
+   serialization, wire framing, happens-before acyclicity, end-to-end
+   equivalence of [`Distributed] runs against the simulated executor
+   for every registered app, transport/spawn variants, determinism, and
+   the structured failure path under fault injection. *)
+
+open Orion_dsm
+open Orion_runtime
+module Verify = Orion_verify.Verify
+
+let tc = Alcotest.test_case
+let qc = QCheck_alcotest.to_alcotest
+let () = Orion_apps.Registry.ensure ()
+
+(* keep the suite hermetic: in-process fork workers, bounded waits *)
+let () = Unix.putenv Orion_net.Dist_master.spawn_env "fork"
+let () = Unix.putenv Orion_net.Dist_worker.timeout_env "60"
+
+(* ------------------------------------------------------------------ *)
+(* Partition serialization round-trip (shared by lib/net and           *)
+(* checkpointing)                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let bits = Int64.bits_of_float
+
+let qcheck_partition_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"partition marshal round-trip"
+    QCheck.(
+      triple bool
+        (list_of_size (Gen.int_range 1 3) (int_range 1 5))
+        (small_list (pair small_nat (float_range (-1e6) 1e6))))
+    (fun (sparse, dims_l, seeds) ->
+      let dims = Array.of_list dims_l in
+      let a =
+        if sparse then Dist_array.create_sparse ~name:"rt" ~dims ~default:0.0
+        else Dist_array.fill_dense ~name:"rt" ~dims 0.0
+      in
+      List.iter
+        (fun (kseed, v) ->
+          let key = Array.mapi (fun i d -> (kseed + (i * 7)) mod d) dims in
+          Dist_array.set a key v)
+        seeds;
+      let part = Dist_array.to_partition a in
+      let part' =
+        Dist_array.partition_of_bytes (Dist_array.partition_to_bytes part)
+      in
+      (* bitwise equality of the wire image *)
+      part'.Dist_array.pt_array = part.Dist_array.pt_array
+      && part'.Dist_array.pt_dims = part.Dist_array.pt_dims
+      && part'.Dist_array.pt_sparse = part.Dist_array.pt_sparse
+      && bits part'.Dist_array.pt_default = bits part.Dist_array.pt_default
+      && Array.length part'.Dist_array.pt_entries
+         = Array.length part.Dist_array.pt_entries
+      && Array.for_all2
+           (fun (k, v) (k', v') -> k = k' && bits v = bits v')
+           part.Dist_array.pt_entries part'.Dist_array.pt_entries
+      &&
+      (* and of the rebuilt array *)
+      let b = Dist_array.of_partition part' in
+      Dist_array.is_sparse b = sparse
+      && Dist_array.fold
+           (fun ok key v -> ok && bits (Dist_array.get b key) = bits v)
+           true a)
+
+let qcheck_partition_select =
+  QCheck.Test.make ~count:100 ~name:"partition select filters entries"
+    QCheck.(small_list (pair (int_range 0 11) (float_range (-10.0) 10.0)))
+    (fun seeds ->
+      let a = Dist_array.fill_dense ~name:"sel" ~dims:[| 12 |] 0.0 in
+      List.iter (fun (k, v) -> Dist_array.set a [| k |] v) seeds;
+      let part =
+        Dist_array.to_partition ~select:(fun key _ -> key.(0) < 6) a
+      in
+      Array.for_all (fun (lin, _) -> lin < 6) part.Dist_array.pt_entries
+      &&
+      (* applying onto zeros reproduces exactly the selected half *)
+      let b = Dist_array.fill_dense ~name:"sel" ~dims:[| 12 |] 0.0 in
+      Dist_array.apply_partition b part;
+      Dist_array.fold
+        (fun ok key v ->
+          ok
+          && bits (Dist_array.get b key)
+             = bits (if key.(0) < 6 then v else 0.0))
+        true a)
+
+(* ------------------------------------------------------------------ *)
+(* Happens-before edge sets are acyclic for every model and shape      *)
+(* ------------------------------------------------------------------ *)
+
+let gen_model =
+  QCheck.Gen.(
+    oneof
+      [
+        return Domain_exec.M_1d;
+        return Domain_exec.M_2d_ordered;
+        map (fun d -> Domain_exec.M_2d_unordered { depth = d }) (int_range 1 3);
+        return Domain_exec.M_time_major;
+      ])
+
+let arb_model =
+  QCheck.make gen_model ~print:(fun m -> Domain_exec.model_to_string m)
+
+let qcheck_block_edges_acyclic =
+  QCheck.Test.make ~count:300 ~name:"block_edges acyclic (toposort completes)"
+    QCheck.(triple arb_model (int_range 1 6) (int_range 1 8))
+    (fun (model, sp, tp) ->
+      let n = sp * tp in
+      let edges = Domain_exec.block_edges model ~sp ~tp in
+      List.for_all (fun (s, d) -> s >= 0 && s < n && d >= 0 && d < n) edges
+      &&
+      (* Kahn's algorithm must consume every block *)
+      let succs = Array.make n [] and pending = Array.make n 0 in
+      List.iter
+        (fun (s, d) ->
+          succs.(s) <- d :: succs.(s);
+          pending.(d) <- pending.(d) + 1)
+        edges;
+      let ready = ref [] in
+      for b = n - 1 downto 0 do
+        if pending.(b) = 0 then ready := b :: !ready
+      done;
+      let visited = ref 0 in
+      let rec drain () =
+        match !ready with
+        | [] -> ()
+        | b :: rest ->
+            ready := rest;
+            incr visited;
+            List.iter
+              (fun d ->
+                pending.(d) <- pending.(d) - 1;
+                if pending.(d) = 0 then ready := d :: !ready)
+              succs.(b);
+            drain ()
+      in
+      drain ();
+      !visited = n)
+
+(* natural_order is one valid linearization of the edge set *)
+let qcheck_natural_order_linearizes =
+  QCheck.Test.make ~count:300 ~name:"natural_order respects block_edges"
+    QCheck.(triple arb_model (int_range 1 6) (int_range 1 8))
+    (fun (model, sp, tp) ->
+      let pos = Hashtbl.create 16 in
+      Array.iteri
+        (fun i (s, t) -> Hashtbl.replace pos ((s * tp) + t) i)
+        (Domain_exec.natural_order model ~sp ~tp);
+      List.for_all
+        (fun (src, dst) -> Hashtbl.find pos src < Hashtbl.find pos dst)
+        (Domain_exec.block_edges model ~sp ~tp))
+
+(* ------------------------------------------------------------------ *)
+(* Frame + wire round-trip over a real socketpair                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_wire_roundtrip () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let ca = Orion_net.Transport.wrap a and cb = Orion_net.Transport.wrap b in
+  let msgs =
+    [
+      Orion_net.Wire.Hello
+        { h_rank = 3; h_pid = 42; h_version = Orion_net.Wire.version };
+      Orion_net.Wire.Peers [| "unix:/tmp/w0"; "tcp:127.0.0.1:9999" |];
+      Orion_net.Wire.Rotation_token
+        {
+          rt_pass = 1;
+          rt_src = 5;
+          rt_dst = 6;
+          rt_entries =
+            [
+              {
+                bw_pass = 1;
+                bw_block = 5;
+                bw_writes =
+                  [|
+                    { w_array = "H"; w_key = [| 2; 3 |]; w_value = -0.125 };
+                  |];
+              };
+            ];
+        };
+      Orion_net.Wire.Shutdown;
+    ]
+  in
+  List.iter (fun m -> Orion_net.Transport.send ca m) msgs;
+  List.iter
+    (fun sent ->
+      match Orion_net.Transport.recv cb with
+      | Some got ->
+          Alcotest.(check string)
+            "same message kind" (Orion_net.Wire.tag sent)
+            (Orion_net.Wire.tag got);
+          Alcotest.(check bool) "same payload" true (got = sent)
+      | None -> Alcotest.fail "unexpected EOF")
+    msgs;
+  Unix.close a;
+  (match Orion_net.Transport.recv cb with
+  | None -> ()
+  | Some _ -> Alcotest.fail "expected EOF after close");
+  Unix.close b
+
+let test_addr_roundtrip () =
+  List.iter
+    (fun addr ->
+      Alcotest.(check string)
+        "addr round-trips"
+        (Orion_net.Transport.addr_to_string addr)
+        (Orion_net.Transport.addr_to_string
+           (Orion_net.Transport.addr_of_string
+              (Orion_net.Transport.addr_to_string addr))))
+    [ `Unix "/tmp/x.sock"; `Tcp ("127.0.0.1", 8080) ]
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: distributed runs match the simulated executor           *)
+(* ------------------------------------------------------------------ *)
+
+let find_app name =
+  match Orion.App.find name with
+  | Some a -> a
+  | None -> Alcotest.failf "app %s missing from registry" name
+
+(* the reference instance must have the same cluster shape as the
+   distributed one: schedule shape determines entry execution order,
+   which order-sensitive apps (sgd mf, lda) are bitwise sensitive to *)
+let run_sim (app : Orion.App.t) ~procs ~passes =
+  let inst =
+    app.Orion.App.app_make ~num_machines:procs ~workers_per_machine:1 ()
+  in
+  ignore (Orion.Engine.run inst.Orion.App.inst_session inst ~mode:`Sim ~passes ());
+  inst.Orion.App.inst_outputs
+
+let run_dist ?(transport = `Unix) (app : Orion.App.t) ~procs ~passes =
+  let inst =
+    app.Orion.App.app_make ~num_machines:procs ~workers_per_machine:1 ()
+  in
+  let report =
+    Orion.Engine.run inst.Orion.App.inst_session inst
+      ~mode:(`Distributed { Orion.Engine.procs; transport })
+      ~passes ()
+  in
+  (inst.Orion.App.inst_outputs, report)
+
+let check_outputs ~what ~tolerance a b =
+  List.iter2
+    (fun (name_a, arr_a) (_, arr_b) ->
+      let d = Verify.diff_arrays name_a arr_a arr_b in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %s equal (max abs %.3e, max rel %.3e)" what
+           name_a d.Verify.d_max_abs d.Verify.d_max_rel)
+        true
+        (Verify.diff_ok ~tolerance d))
+    a b
+
+let distributed_matches_sim name procs () =
+  let app = find_app name in
+  let sim = run_sim app ~procs ~passes:2 in
+  let dist, report = run_dist app ~procs ~passes:2 in
+  check_outputs
+    ~what:(Printf.sprintf "%s distributed(%d) vs sim" name procs)
+    ~tolerance:app.Orion.App.app_tolerance sim dist;
+  Alcotest.(check bool)
+    "workers executed every entry twice" true
+    (report.Orion.Engine.ep_entries > 0
+    && report.Orion.Engine.ep_entries mod 2 = 0);
+  Alcotest.(check bool)
+    "some DistArray state travelled the wire" true
+    (report.Orion.Engine.ep_bytes_shipped > 0.0
+    && report.Orion.Engine.ep_bytes_by_array <> [])
+
+(* rank-order accumulator merge makes even buffered apps bitwise
+   deterministic across distributed runs *)
+let distributed_deterministic name () =
+  let app = find_app name in
+  let r1, _ = run_dist app ~procs:2 ~passes:2 in
+  let r2, _ = run_dist app ~procs:2 ~passes:2 in
+  check_outputs ~what:(name ^ " run1 vs run2") ~tolerance:None r1 r2
+
+let tcp_smoke () =
+  let app = find_app "mf" in
+  let sim = run_sim app ~procs:2 ~passes:1 in
+  let dist, _ = run_dist ~transport:`Tcp app ~procs:2 ~passes:1 in
+  check_outputs ~what:"mf over tcp vs sim" ~tolerance:None sim dist
+
+(* spawn through the real orion_worker executable (exec path) *)
+let exec_spawn_smoke () =
+  let exe =
+    (* the test binary lives in _build/default/test; the worker is a
+       declared dep one directory over *)
+    let candidates =
+      [
+        Filename.concat
+          (Filename.dirname Sys.executable_name)
+          "../bin/orion_worker.exe";
+        Filename.concat (Sys.getcwd ()) "../bin/orion_worker.exe";
+        Filename.concat (Sys.getcwd ())
+          "_build/default/bin/orion_worker.exe";
+      ]
+    in
+    match List.find_opt Sys.file_exists candidates with
+    | Some p -> p
+    | None ->
+        Alcotest.failf "orion_worker.exe not found near %s"
+          Sys.executable_name
+  in
+  Unix.putenv Orion_net.Dist_master.spawn_env ("exec:" ^ exe);
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv Orion_net.Dist_master.spawn_env "fork")
+    (fun () ->
+      let app = find_app "mf" in
+      let sim = run_sim app ~procs:2 ~passes:1 in
+      let dist, _ = run_dist app ~procs:2 ~passes:1 in
+      check_outputs ~what:"mf via exec'd workers vs sim" ~tolerance:None sim
+        dist)
+
+(* ------------------------------------------------------------------ *)
+(* Failure path: a worker aborting mid-pass surfaces as a structured   *)
+(* error within a bounded time, with no leftover workers               *)
+(* ------------------------------------------------------------------ *)
+
+let fault_injection () =
+  Unix.putenv Orion_net.Dist_worker.abort_rank_env "1";
+  Unix.putenv Orion_net.Dist_worker.timeout_env "30";
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv Orion_net.Dist_worker.abort_rank_env "";
+      Unix.putenv Orion_net.Dist_worker.timeout_env "60")
+    (fun () ->
+      let app = find_app "mf" in
+      let t0 = Unix.gettimeofday () in
+      (match run_dist app ~procs:2 ~passes:2 with
+      | _ -> Alcotest.fail "aborting worker did not fail the run"
+      | exception Orion.Engine.Distributed_error { de_rank; de_reason } ->
+          Alcotest.(check (option int)) "failing rank identified" (Some 1)
+            de_rank;
+          Alcotest.(check bool)
+            (Printf.sprintf "reason names the abort: %S" de_reason)
+            true
+            (de_reason <> ""));
+      let elapsed = Unix.gettimeofday () -. t0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "failed fast (%.1fs)" elapsed)
+        true (elapsed < 25.0))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "distributed"
+    [
+      ( "serialization",
+        [
+          qc qcheck_partition_roundtrip;
+          qc qcheck_partition_select;
+          tc "wire round-trip over socketpair" `Quick test_wire_roundtrip;
+          tc "address strings round-trip" `Quick test_addr_roundtrip;
+        ] );
+      ( "happens_before",
+        [ qc qcheck_block_edges_acyclic; qc qcheck_natural_order_linearizes ]
+      );
+      ( "equivalence",
+        [
+          tc "mf procs=2" `Slow (distributed_matches_sim "mf" 2);
+          tc "mf procs=4" `Slow (distributed_matches_sim "mf" 4);
+          tc "slr procs=2" `Slow (distributed_matches_sim "slr" 2);
+          tc "slr procs=4" `Slow (distributed_matches_sim "slr" 4);
+          tc "lda procs=2" `Slow (distributed_matches_sim "lda" 2);
+          tc "lda procs=4" `Slow (distributed_matches_sim "lda" 4);
+          tc "gbt procs=2" `Quick (distributed_matches_sim "gbt" 2);
+          tc "gbt procs=4" `Slow (distributed_matches_sim "gbt" 4);
+        ] );
+      ( "determinism",
+        [
+          tc "mf" `Slow (distributed_deterministic "mf");
+          tc "slr" `Slow (distributed_deterministic "slr");
+        ] );
+      ( "transports",
+        [
+          tc "mf over tcp" `Slow tcp_smoke;
+          tc "mf via exec'd workers" `Slow exec_spawn_smoke;
+        ] );
+      ("failure", [ tc "worker abort mid-pass" `Quick fault_injection ]);
+    ]

@@ -62,6 +62,8 @@ let test_chrome_json_shape () =
     let rec go i = i + nl <= hl && (String.sub json i nl = needle || go (i + 1)) in
     Alcotest.(check bool) (Printf.sprintf "contains %s" needle) true (go 0)
   in
+  contains "\"schema_version\":";
+  contains "\"kind\":\"trace\"";
   contains "\"traceEvents\":[";
   contains "\"ph\":\"X\"";
   contains "\"cat\":\"transfer\"";
@@ -79,11 +81,14 @@ let test_csv_shape () =
     ~duration_sec:0.5;
   let csv = Trace.to_csv t in
   let lines = String.split_on_char '\n' (String.trim csv) in
-  Alcotest.(check int) "header + one row" 2 (List.length lines);
-  Alcotest.(check string) "header" Trace.csv_header (List.hd lines);
+  Alcotest.(check int) "version + header + one row" 3 (List.length lines);
+  Alcotest.(check string) "schema comment"
+    (Printf.sprintf "# schema_version %d" Orion_report.schema_version)
+    (List.hd lines);
+  Alcotest.(check string) "header" Trace.csv_header (List.nth lines 1);
   (* commas in labels must not break the column structure *)
   Alcotest.(check string) "row" "2,marshal,a;b,1.000000000,0.500000000,0"
-    (List.nth lines 1)
+    (List.nth lines 2)
 
 (* ------------------------------------------------------------------ *)
 (* Metrics over hand-built spans                                       *)
