@@ -298,7 +298,12 @@ let run_speedup () =
   print_endline "\nDomain-pool speedup (self-relative, vs simulated results)";
   print_endline "=========================================================";
   Printf.printf "available cores: %d\n" (Domain.recommended_domain_count ());
-  let results, json = Speedup.run () in
+  let scale =
+    match Sys.getenv_opt "ORION_BENCH_SCALE" with
+    | Some s -> ( try float_of_string s with _ -> 1.0)
+    | None -> 1.0
+  in
+  let results, json = Speedup.run ~scale () in
   Speedup.print_results results;
   let out = "BENCH_parallel.json" in
   let oc = open_out out in

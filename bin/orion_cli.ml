@@ -449,7 +449,7 @@ let apps_cmd =
     Term.(const run $ const ())
 
 let bench_cmd =
-  let run machines wpm log mode apps domains procs tcp passes out =
+  let run machines wpm log mode apps domains procs tcp passes scale out =
     setup_log log;
     let apps = match apps with [] -> None | l -> Some l in
     let write_json out json =
@@ -461,7 +461,7 @@ let bench_cmd =
     match mode with
     | `Speedup ->
         let results, json =
-          Orion_apps.Speedup.run ?apps ~domains_list:domains ~passes
+          Orion_apps.Speedup.run ?apps ~domains_list:domains ~passes ~scale
             ~num_machines:machines ~workers_per_machine:wpm ()
         in
         Orion_apps.Speedup.print_results results;
@@ -532,6 +532,15 @@ let bench_cmd =
       value & opt int 3
       & info [ "passes" ] ~docv:"N" ~doc:"training passes per measurement")
   in
+  let scale =
+    Arg.(
+      value & opt float 1.0
+      & info [ "scale" ] ~docv:"S"
+          ~doc:
+            "dataset scale factor — enlarge each app's synthetic input by \
+             this factor so per-entry work dominates pool overhead (speedup \
+             mode)")
+  in
   let out =
     Arg.(
       value
@@ -544,7 +553,7 @@ let bench_cmd =
   let term =
     Term.(
       const run $ machines_arg $ wpm_arg $ log_arg $ mode $ apps $ domains
-      $ procs $ tcp $ passes $ out)
+      $ procs $ tcp $ passes $ scale $ out)
   in
   Cmd.v
     (Cmd.info "bench"

@@ -4,11 +4,18 @@
     the 1-domain run, and check the results element-wise against a
     simulated ([`Sim]) execution of the same schedule.
 
+    [`Sim] always runs through the tree-walking interpreter while the
+    domain pool runs {!Orion.Compile} kernels (unless
+    [ORION_NO_COMPILE] is set), so every [equal_vs_sim] check here is
+    also a compiled-vs-interpreted differential test.
+
     Used by both [orion bench --mode speedup] and [bench/main.ml
     speedup]; the JSON (kind ["bench-speedup"]) lands in
     [BENCH_parallel.json].  Speedups are only meaningful on a machine
-    with enough cores — [available_cores] is recorded so a single-core
-    CI shard's flat numbers read as what they are. *)
+    with enough cores: runs where [domains] exceeds [available_cores]
+    are flagged [oversubscribed] and excluded from each app's headline
+    [best_speedup], so a single-core CI shard's flat numbers read as
+    what they are. *)
 
 module Report = Orion.Report
 module App = Orion.App
@@ -19,6 +26,10 @@ type run = {
   run_entries : int;
   run_steals : int;
   run_speedup : float;  (** wall(1 domain) / wall(n domains) *)
+  run_oversubscribed : bool;
+      (** more domains than available cores — wall time measures
+          scheduler thrash, not parallel speedup *)
+  run_compiled : bool;  (** bodies ran as {!Orion.Compile} kernels *)
   run_max_abs_vs_sim : float;
   run_max_rel_vs_sim : float;
   run_equal_vs_sim : bool;  (** within the app's tolerance *)
@@ -29,6 +40,9 @@ type app_result = {
   res_strategy : string;
   res_model : string;
   res_runs : run list;
+  res_best_speedup : float option;
+      (** best speedup over the non-oversubscribed multi-domain runs;
+          [None] when every multi-domain run was oversubscribed *)
 }
 
 (* element-wise max |a-b| / max rel over an output array pair *)
@@ -50,10 +64,13 @@ let diff_outputs (a : (string * float Orion_dsm.Dist_array.t) list)
     a b;
   (!max_abs, !max_rel)
 
-let bench_app (app : App.t) ~domains_list ~passes ~num_machines
-    ~workers_per_machine : app_result =
-  (* reference: the same schedule executed on the simulated cluster *)
-  let ref_inst = app.App.app_make ~num_machines ~workers_per_machine () in
+let bench_app (app : App.t) ~domains_list ~passes ~scale ~available_cores
+    ~num_machines ~workers_per_machine : app_result =
+  (* reference: the same schedule executed on the simulated cluster,
+     always interpreted *)
+  let ref_inst =
+    app.App.app_make ~scale ~num_machines ~workers_per_machine ()
+  in
   let ref_report =
     Orion.Engine.run ref_inst.App.inst_session ref_inst ~mode:`Sim ~passes ()
   in
@@ -61,7 +78,9 @@ let bench_app (app : App.t) ~domains_list ~passes ~num_machines
   let runs =
     List.map
       (fun domains ->
-        let inst = app.App.app_make ~num_machines ~workers_per_machine () in
+        let inst =
+          app.App.app_make ~scale ~num_machines ~workers_per_machine ()
+        in
         let r =
           Orion.Engine.run inst.App.inst_session inst
             ~mode:(`Parallel domains) ~passes ()
@@ -87,17 +106,28 @@ let bench_app (app : App.t) ~domains_list ~passes ~num_machines
           run_entries = r.Orion.Engine.ep_entries;
           run_steals = r.Orion.Engine.ep_steals;
           run_speedup = base /. Float.max r.Orion.Engine.ep_wall_seconds 1e-12;
+          run_oversubscribed = domains > available_cores;
+          run_compiled = r.Orion.Engine.ep_compiled;
           run_max_abs_vs_sim = max_abs;
           run_max_rel_vs_sim = max_rel;
           run_equal_vs_sim = equal;
         })
       domains_list
   in
+  let best_speedup =
+    List.fold_left
+      (fun acc r ->
+        if r.run_domains > 1 && not r.run_oversubscribed then
+          Some (Float.max r.run_speedup (Option.value acc ~default:0.0))
+        else acc)
+      None runs
+  in
   {
     res_app = app.App.app_name;
     res_strategy = ref_report.Orion.Engine.ep_strategy;
     res_model = ref_report.Orion.Engine.ep_model;
     res_runs = runs;
+    res_best_speedup = best_speedup;
   }
 
 let run_json (r : run) : Report.json =
@@ -108,6 +138,8 @@ let run_json (r : run) : Report.json =
       ("entries", Report.Int r.run_entries);
       ("steals", Report.Int r.run_steals);
       ("speedup", Report.Float r.run_speedup);
+      ("oversubscribed", Report.Bool r.run_oversubscribed);
+      ("compiled", Report.Bool r.run_compiled);
       ("max_abs_vs_sim", Report.Float r.run_max_abs_vs_sim);
       ("max_rel_vs_sim", Report.Float r.run_max_rel_vs_sim);
       ("equal_vs_sim", Report.Bool r.run_equal_vs_sim);
@@ -119,17 +151,23 @@ let app_result_json (a : app_result) : Report.json =
       ("app", Report.Str a.res_app);
       ("strategy", Report.Str a.res_strategy);
       ("model", Report.Str a.res_model);
+      ( "best_speedup",
+        match a.res_best_speedup with
+        | Some s -> Report.Float s
+        | None -> Report.Null );
       ("runs", Report.List (List.map run_json a.res_runs));
     ]
 
 (** Run the speedup benchmark over [apps] (default: every registered
     app) at each domain count of [domains_list], [passes] passes per
-    measurement.  Returns the results plus the ["bench-speedup"] JSON
-    envelope for [BENCH_parallel.json]. *)
-let run ?apps ?(domains_list = [ 1; 2; 4; 8 ]) ?(passes = 3)
+    measurement, datasets enlarged by [scale].  Returns the results
+    plus the ["bench-speedup"] JSON envelope for
+    [BENCH_parallel.json]. *)
+let run ?apps ?(domains_list = [ 1; 2; 4; 8 ]) ?(passes = 3) ?(scale = 1.0)
     ?(num_machines = 2) ?(workers_per_machine = 2) () :
     app_result list * string =
   Registry.ensure ();
+  let available_cores = Domain.recommended_domain_count () in
   let selected =
     match apps with
     | None -> App.all ()
@@ -146,16 +184,18 @@ let run ?apps ?(domains_list = [ 1; 2; 4; 8 ]) ?(passes = 3)
   let results =
     List.map
       (fun app ->
-        bench_app app ~domains_list ~passes ~num_machines ~workers_per_machine)
+        bench_app app ~domains_list ~passes ~scale ~available_cores
+          ~num_machines ~workers_per_machine)
       selected
   in
   let payload =
     Report.Obj
       [
-        ("available_cores", Report.Int (Domain.recommended_domain_count ()));
+        ("available_cores", Report.Int available_cores);
         ("num_machines", Report.Int num_machines);
         ("workers_per_machine", Report.Int workers_per_machine);
         ("passes", Report.Int passes);
+        ("scale", Report.Float scale);
         ("apps", Report.List (List.map app_result_json results));
       ]
   in
@@ -168,11 +208,19 @@ let print_results (results : app_result list) =
       List.iter
         (fun r ->
           Printf.printf
-            "  %d domain(s): %8.4fs  speedup %5.2fx  steals %4d  %s\n"
-            r.run_domains r.run_wall_seconds r.run_speedup r.run_steals
+            "  %d domain(s): %8.4fs  speedup %5.2fx%s  steals %4d  %s  %s\n"
+            r.run_domains r.run_wall_seconds r.run_speedup
+            (if r.run_oversubscribed then " (oversubscribed)" else "")
+            r.run_steals
+            (if r.run_compiled then "compiled" else "interpreted")
             (if r.run_equal_vs_sim then "results match sim"
              else
                Printf.sprintf "MISMATCH vs sim (max abs %.3e rel %.3e)"
                  r.run_max_abs_vs_sim r.run_max_rel_vs_sim))
-        a.res_runs)
+        a.res_runs;
+      match a.res_best_speedup with
+      | Some s -> Printf.printf "  best speedup (within cores): %.2fx\n" s
+      | None ->
+          Printf.printf
+            "  best speedup: n/a (all multi-domain runs oversubscribed)\n")
     results

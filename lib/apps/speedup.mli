@@ -1,7 +1,9 @@
 (** Self-relative multicore speedup benchmark over the registered apps,
     shared by [orion bench --mode speedup] and the bench harness.
     Results are checked element-wise against a simulated execution of
-    the same schedule; JSON output uses the versioned report envelope
+    the same schedule — which always interprets, so with compilation
+    enabled each check doubles as a compiled-vs-interpreted
+    differential test.  JSON output uses the versioned report envelope
     (kind ["bench-speedup"]). *)
 
 type run = {
@@ -10,6 +12,10 @@ type run = {
   run_entries : int;
   run_steals : int;
   run_speedup : float;  (** wall(1 domain) / wall(n domains) *)
+  run_oversubscribed : bool;
+      (** more domains than available cores — wall time measures
+          scheduler thrash, not parallel speedup *)
+  run_compiled : bool;  (** bodies ran as {!Orion.Compile} kernels *)
   run_max_abs_vs_sim : float;
   run_max_rel_vs_sim : float;
   run_equal_vs_sim : bool;  (** within the app's tolerance *)
@@ -20,6 +26,9 @@ type app_result = {
   res_strategy : string;
   res_model : string;
   res_runs : run list;
+  res_best_speedup : float option;
+      (** best speedup over the non-oversubscribed multi-domain runs;
+          [None] when every multi-domain run was oversubscribed *)
 }
 
 (** Element-wise (max |a-b|, max relative) difference over two output
@@ -31,12 +40,14 @@ val diff_outputs :
 
 (** Run the benchmark over [apps] (default: every registered app) at
     each domain count of [domains_list] (default [1; 2; 4; 8]),
-    [passes] passes per measurement.  Returns the results and the
-    ["bench-speedup"] JSON envelope for [BENCH_parallel.json]. *)
+    [passes] passes per measurement, datasets enlarged by [scale]
+    (default 1).  Returns the results and the ["bench-speedup"] JSON
+    envelope for [BENCH_parallel.json]. *)
 val run :
   ?apps:string list ->
   ?domains_list:int list ->
   ?passes:int ->
+  ?scale:float ->
   ?num_machines:int ->
   ?workers_per_machine:int ->
   unit ->

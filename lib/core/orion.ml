@@ -21,6 +21,7 @@ module Pretty = Orion_lang.Pretty
 module Interp = Orion_lang.Interp
 module Value = Orion_lang.Value
 module Check = Orion_lang.Check
+module Compile = Orion_lang.Compile
 module Subscript = Orion_analysis.Subscript
 module Depvec = Orion_analysis.Depvec
 module Depanalysis = Orion_analysis.Depanalysis
@@ -584,6 +585,10 @@ module Engine = struct
     ep_entries : int;
     ep_blocks : int;
     ep_steals : int;  (** 0 for [`Sim] *)
+    ep_compiled : bool;
+        (** loop bodies ran as {!Orion_lang.Compile} kernels rather than
+            through the tree-walking interpreter ([`Sim] always
+            interprets — it is the differential reference) *)
     ep_wall_seconds : float;  (** real elapsed time of the pass(es) *)
     ep_sim_time : float;  (** virtual cluster time ([`Sim] only) *)
     ep_bytes_shipped : float;
@@ -606,6 +611,7 @@ module Engine = struct
         ("entries", Report.Int r.ep_entries);
         ("blocks", Report.Int r.ep_blocks);
         ("steals", Report.Int r.ep_steals);
+        ("compiled", Report.Bool r.ep_compiled);
         ("wall_seconds", Report.Float r.ep_wall_seconds);
         ("sim_time", Report.Float r.ep_sim_time);
         ("bytes_shipped", Report.Float r.ep_bytes_shipped);
@@ -619,6 +625,26 @@ module Engine = struct
   let interp_body env (inst : App.instance) ~key ~value =
     Interp.eval_body_for env ~key_var:inst.App.inst_key_var
       ~value_var:inst.App.inst_value_var ~key ~value inst.App.inst_body
+
+  (** Compile [inst]'s loop body against [env] (call {e after} any
+      shadow rebinding — the kernel captures the environment's current
+      array bindings).  [None] when compilation is disabled
+      ([ORION_NO_COMPILE]) or the body uses an unsupported construct;
+      callers fall back to {!interp_body}. *)
+  let compile_kernel (inst : App.instance) (env : Interp.env) :
+      Compile.t option =
+    if not (Compile.enabled ()) then None
+    else begin
+      (* the unboxed value slot is only sound if every iterated value
+         is a float — scan the iteration space once *)
+      let value_float = ref true in
+      Dist_array.iter
+        (fun _ v -> match v with Value.Vfloat _ -> () | _ -> value_float := false)
+        inst.App.inst_iter;
+      Compile.compile_body env ~value_float:!value_float
+        ~key_var:inst.App.inst_key_var ~value_var:inst.App.inst_value_var
+        inst.App.inst_body
+    end
 
   (* Per-domain shadow for a buffered array: zero-filled same-shape
      dense storage rebound under the array's name in that domain's
@@ -723,6 +749,7 @@ module Engine = struct
           ep_entries = !entries;
           ep_blocks = passes * sp * tp;
           ep_steals = 0;
+          ep_compiled = false;
           ep_wall_seconds = Unix.gettimeofday () -. t0;
           ep_sim_time = Cluster.now session.cluster -. sim0;
           ep_bytes_shipped = 0.0;
@@ -739,9 +766,16 @@ module Engine = struct
         let shadows =
           Array.to_list (Array.map (fun env -> make_shadows inst env) envs)
         in
+        (* compile each domain's loop body once, after the shadow
+           rebinding above (the kernel captures env's array bindings);
+           any domain that fails to compile interprets instead *)
+        let kernels = Array.map (fun env -> compile_kernel inst env) envs in
         let bodies =
-          Array.map
-            (fun env -> fun ~key ~value -> interp_body env inst ~key ~value)
+          Array.mapi
+            (fun d env ->
+              match kernels.(d) with
+              | Some k -> fun ~key ~value -> Compile.run k ~key ~value
+              | None -> fun ~key ~value -> interp_body env inst ~key ~value)
             envs
         in
         let t0 = Unix.gettimeofday () in
@@ -758,6 +792,11 @@ module Engine = struct
               entries := !entries + st.Domain_exec.entries_run;
               steals := !steals + st.Domain_exec.steals
             done);
+        (* leak loop locals back into the envs, as the interpreter's
+           per-iteration [set_var]s would have *)
+        Array.iter
+          (function Some k -> Compile.flush_locals k | None -> ())
+          kernels;
         (* deterministic merge: domain 0's shadow first, then 1, ... *)
         List.iter merge_shadows shadows;
         (* rebind the shared buffered arrays in every env so a later
@@ -781,6 +820,7 @@ module Engine = struct
           ep_entries = !entries;
           ep_blocks = !blocks;
           ep_steals = !steals;
+          ep_compiled = Array.for_all Option.is_some kernels;
           ep_wall_seconds = Unix.gettimeofday () -. t0;
           ep_sim_time = 0.0;
           ep_bytes_shipped = 0.0;

@@ -18,6 +18,7 @@ module Pretty = Orion_lang.Pretty
 module Interp = Orion_lang.Interp
 module Value = Orion_lang.Value
 module Check = Orion_lang.Check
+module Compile = Orion_lang.Compile
 module Subscript = Orion_analysis.Subscript
 module Depvec = Orion_analysis.Depvec
 module Depanalysis = Orion_analysis.Depanalysis
@@ -286,6 +287,10 @@ module Engine : sig
     ep_entries : int;
     ep_blocks : int;
     ep_steals : int;  (** 0 for [`Sim] *)
+    ep_compiled : bool;
+        (** loop bodies ran as {!Orion_lang.Compile} kernels rather
+            than through the tree-walking interpreter ([`Sim] always
+            interprets — it is the differential reference) *)
     ep_wall_seconds : float;
     ep_sim_time : float;  (** virtual cluster time ([`Sim] only) *)
     ep_bytes_shipped : float;
@@ -296,6 +301,13 @@ module Engine : sig
   }
 
   val report_payload : report -> Report.json
+
+  (** Compile [inst]'s loop body against [env] with {!Compile} (call
+      {e after} any shadow rebinding — the kernel captures the
+      environment's current array bindings).  [None] when compilation
+      is disabled ([ORION_NO_COMPILE]) or the body uses an unsupported
+      construct; callers fall back to the interpreter. *)
+  val compile_kernel : App.instance -> Interp.env -> Compile.t option
 
   (** The distributed master driver, installed by [lib/net]'s
       [Dist_master] (via [Orion_apps.Registry.ensure ()]) so the core

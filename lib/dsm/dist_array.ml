@@ -377,10 +377,22 @@ let set_slice_vec (t : float t) (subs : Orion_lang.Value.concrete_sub array)
 
 (** Expose a float DistArray to interpreted OrionScript code.  Optional
     [on_get]/[on_set] hooks let the runtime charge communication or
-    record accesses. *)
-let to_extern ?(on_get = fun _ -> ()) ?(on_set = fun _ -> ()) (t : float t) :
-    Orion_lang.Value.extern =
+    record accesses.  When neither hook is supplied, the extern also
+    carries {!Orion_lang.Value.fast_access} point accessors so compiled
+    loop bodies bypass the boxed path entirely (a hooked extern must
+    not, because the fast path would skip the hooks). *)
+let to_extern ?on_get ?on_set (t : float t) : Orion_lang.Value.extern =
   let module V = Orion_lang.Value in
+  let fast =
+    match (on_get, on_set) with
+    | None, None ->
+        (* [get]/[set] linearize (and bounds-check) immediately and do
+           not retain the key array, so callers may reuse a key buffer *)
+        Some { V.fa_get = get t; fa_set = set t }
+    | _ -> None
+  in
+  let on_get = Option.value on_get ~default:(fun _ -> ()) in
+  let on_set = Option.value on_set ~default:(fun _ -> ()) in
   let all_points subs =
     Array.for_all (function V.Cpoint _ -> true | _ -> false) subs
   in
@@ -407,6 +419,7 @@ let to_extern ?(on_get = fun _ -> ()) ?(on_set = fun _ -> ()) (t : float t) :
         | _ -> set_slice_vec t subs (V.to_vec v));
     ex_iter = (fun f -> iter (fun key v -> f key (V.Vfloat v)) t);
     ex_count = (fun () -> count t);
+    ex_fast = fast;
   }
 
 (** Expose a sparse DistArray with arbitrary element type by converting
@@ -420,6 +433,7 @@ let to_iter_extern ~to_value (t : 'a t) : Orion_lang.Value.extern =
     ex_set = (fun _ _ -> raise (Out_of_bounds (t.name ^ ": iteration only")));
     ex_iter = (fun f -> iter (fun key v -> f key (to_value v)) t);
     ex_count = (fun () -> count t);
+    ex_fast = None;
   }
 
 (* ------------------------------------------------------------------ *)

@@ -166,8 +166,13 @@ let float_fun1 name f args =
 
 let eval_builtin env name args =
   match (name, args) with
+  (* conversions are sequenced left-to-right explicitly wherever a
+     builtin takes several arguments: {!Compile}'s devirtualized
+     closures replicate the order, so both paths raise the same error
+     first when several arguments are invalid *)
   | "dot", [ a; b ] ->
-      let x = to_vec a and y = to_vec b in
+      let x = to_vec a in
+      let y = to_vec b in
       let acc = ref 0.0 in
       Array.iteri (fun i v -> acc := !acc +. (v *. y.(i))) x;
       Vfloat !acc
@@ -200,8 +205,18 @@ let eval_builtin env name args =
   | "round", [ v ] -> Vint (int_of_float (Float.round (to_float v)))
   | "float", [ v ] -> Vfloat (to_float v)
   | "int", [ v ] -> Vint (to_int v)
-  | "min", [ a; b ] -> Vfloat (Float.min (to_float a) (to_float b))
-  | "max", [ a; b ] -> Vfloat (Float.max (to_float a) (to_float b))
+  (* two ints stay an int: [A[min(i, j)]] must not become a float
+     subscript by silent coercion *)
+  | "min", [ Vint a; Vint b ] -> Vint (min a b)
+  | "min", [ a; b ] ->
+      let x = to_float a in
+      let y = to_float b in
+      Vfloat (Float.min x y)
+  | "max", [ Vint a; Vint b ] -> Vint (max a b)
+  | "max", [ a; b ] ->
+      let x = to_float a in
+      let y = to_float b in
+      Vfloat (Float.max x y)
   | "rand", [] -> Vfloat (Rng.float env.rng)
   | "randn", [] -> Vfloat (Rng.gaussian env.rng)
   | "randn", [ n ] ->
@@ -226,6 +241,23 @@ let eval_builtin env name args =
 (* Subscript evaluation                                                *)
 (* ------------------------------------------------------------------ *)
 
+(** Validate a 0-based inclusive vector range before slicing: reversed
+    (empty) ranges and out-of-bounds ends surface as {!Runtime_error}s
+    (positioned by the enclosing statement) rather than a raw
+    [Invalid_argument] escaping from [Array.sub]/[Array.blit].
+    Messages quote the 1-based surface subscripts. *)
+let checked_vec_range ~len ~lo ~hi =
+  if lo > hi then
+    raise
+      (Runtime_error
+         (Printf.sprintf "empty vector range %d:%d (lo > hi)" (lo + 1)
+            (hi + 1)))
+  else if lo < 0 || hi >= len then
+    raise
+      (Runtime_error
+         (Printf.sprintf "vector range %d:%d out of bounds (length %d)"
+            (lo + 1) (hi + 1) len))
+
 (* Surface subscripts are 1-based (Julia); concrete subscripts are
    0-based. *)
 
@@ -233,7 +265,10 @@ let rec eval_concrete_sub env = function
   | Sub_all -> Call_dim
   | Sub_expr e -> Cpoint (to_int (eval_expr env e) - 1)
   | Sub_range (lo, hi) ->
-      Crange (to_int (eval_expr env lo) - 1, to_int (eval_expr env hi) - 1)
+      (* lo before hi, explicitly — compiled subscripts keep this order *)
+      let l = to_int (eval_expr env lo) - 1 in
+      let h = to_int (eval_expr env hi) - 1 in
+      Crange (l, h)
 
 (* ------------------------------------------------------------------ *)
 (* Expressions                                                         *)
@@ -253,7 +288,12 @@ and eval_expr env e =
   | Binop (Or, a, b) ->
       if to_bool (eval_expr env a) then Vbool true
       else Vbool (to_bool (eval_expr env b))
-  | Binop (op, a, b) -> eval_binop op (eval_expr env a) (eval_expr env b)
+  | Binop (op, a, b) ->
+      (* left operand first, explicitly — OCaml's argument order is
+         unspecified, and compiled kernels evaluate left-to-right *)
+      let va = eval_expr env a in
+      let vb = eval_expr env b in
+      eval_binop op va vb
   | Unop (Neg, a) -> (
       match eval_expr env a with
       | Vint n -> Vint (-n)
@@ -262,9 +302,24 @@ and eval_expr env e =
       | v -> raise (Type_error ("cannot negate " ^ type_name v)))
   | Unop (Not, a) -> Vbool (not (to_bool (eval_expr env a)))
   | Call (f, args) ->
-      let args = List.map (eval_expr env) args in
+      (* explicit left-to-right argument evaluation (matched by the
+         compiled kernels) *)
+      let rec eval_args = function
+        | [] -> []
+        | e :: tl ->
+            let v = eval_expr env e in
+            v :: eval_args tl
+      in
+      let args = eval_args args in
       eval_builtin env f args
-  | Tuple es -> Vtuple (List.map (eval_expr env) es)
+  | Tuple es ->
+      let rec eval_args = function
+        | [] -> []
+        | e :: tl ->
+            let v = eval_expr env e in
+            v :: eval_args tl
+      in
+      Vtuple (eval_args es)
   | Index (base, subs) -> (
       match eval_expr env base with
       | Vextern ex ->
@@ -284,6 +339,7 @@ and eval_expr env e =
           | [ Sub_range (lo, hi) ] ->
               let lo = to_int (eval_expr env lo) - 1 in
               let hi = to_int (eval_expr env hi) - 1 in
+              checked_vec_range ~len:(Array.length v) ~lo ~hi;
               Vvec (Array.sub v lo (hi - lo + 1))
           | _ -> raise (Runtime_error "vectors take exactly one subscript"))
       | Vindex idx -> (
@@ -317,7 +373,8 @@ let assign_lvalue env lhs v =
       | Vvec arr -> (
           match subs with
           | [ Sub_expr e ] ->
-              arr.(to_int (eval_expr env e) - 1) <- to_float v
+              let i = to_int (eval_expr env e) - 1 in
+              arr.(i) <- to_float v
           | [ Sub_all ] ->
               let src = to_vec v in
               if Array.length src <> Array.length arr then
@@ -326,6 +383,7 @@ let assign_lvalue env lhs v =
           | [ Sub_range (lo, hi) ] ->
               let lo = to_int (eval_expr env lo) - 1 in
               let hi = to_int (eval_expr env hi) - 1 in
+              checked_vec_range ~len:(Array.length arr) ~lo ~hi;
               let src = to_vec v in
               if Array.length src <> hi - lo + 1 then
                 raise (Runtime_error "vector length mismatch in assignment")
@@ -367,6 +425,10 @@ let rec exec_stmt env stmt =
   | Runtime_error msg when stmt.spos.line > 0 && not (has_pos_prefix msg) ->
       raise
         (Runtime_error
+           (Printf.sprintf "%d:%d: %s" stmt.spos.line stmt.spos.col msg))
+  | Type_error msg when stmt.spos.line > 0 && not (has_pos_prefix msg) ->
+      raise
+        (Type_error
            (Printf.sprintf "%d:%d: %s" stmt.spos.line stmt.spos.col msg))
 
 and exec_stmt_kind env stmt =

@@ -25,8 +25,9 @@ end
     [env] must only ever be driven by one OCaml domain at a time.
     Parallel execution gives each domain its own [env] over the same
     shared DistArrays and host builtins (see [Orion.App.inst_make_env]).
-    The [profile] hook MAY point at one shared {!Profile.t} — its
-    counters take an internal lock. *)
+    The [profile] field must likewise point at a per-domain
+    {!Profile.t} shard (merge shards after the pass with
+    {!Profile.merge}) — recording takes no lock. *)
 type env = {
   vars : (string, Value.t) Hashtbl.t;
   rng : Rng.t;
@@ -62,6 +63,19 @@ val var_opt : env -> string -> Value.t option
 (** Evaluate a binary operation on values (numeric promotion,
     element-wise vector arithmetic). *)
 val eval_binop : Ast.binop -> Value.t -> Value.t -> Value.t
+
+(** Evaluate a builtin (or host-supplied) function call on evaluated
+    arguments — the single dispatch point {!Compile} devirtualizes
+    against and falls back to. *)
+val eval_builtin : env -> string -> Value.t list -> Value.t
+
+(** Validate a 0-based inclusive vector range before slicing.
+    @raise Runtime_error on an empty/reversed or out-of-bounds range. *)
+val checked_vec_range : len:int -> lo:int -> hi:int -> unit
+
+(** Is [msg] already prefixed with a ["line:col: "] position?  Used to
+    keep the innermost statement's position when rewrapping errors. *)
+val has_pos_prefix : string -> bool
 
 val eval_expr : env -> Ast.expr -> Value.t
 val exec_stmt : env -> Ast.stmt -> unit

@@ -7,10 +7,10 @@
     *inclusive*: a loop header accumulates the time of its whole body,
     like a sampling profiler's "total" column.
 
-    A single [t] may be shared by interpreters running on several OCaml
-    domains (one profiler for a parallel pass): the record functions
-    take an internal lock, so counters never tear or lose increments.
-    Readers ([line_stats] etc.) are meant for after the pass. *)
+    A [t] is SINGLE-WRITER: recording takes no lock, so a parallel
+    pass gives each domain its own shard and combines them afterwards
+    with {!merge} (deterministic: plain counter addition).  Readers
+    ([line_stats] etc.) are meant for after the pass. *)
 
 type line_stat = { mutable hits : int; mutable seconds : float }
 type array_stat = { mutable reads : int; mutable writes : int }
@@ -18,20 +18,13 @@ type array_stat = { mutable reads : int; mutable writes : int }
 type t = {
   lines : (int, line_stat) Hashtbl.t;
   arrays : (string, array_stat) Hashtbl.t;
-  lock : Mutex.t;  (** guards all mutation (multi-domain interpreters) *)
 }
 
-let create () =
-  { lines = Hashtbl.create 64; arrays = Hashtbl.create 16; lock = Mutex.create () }
-
-let locked t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+let create () = { lines = Hashtbl.create 64; arrays = Hashtbl.create 16 }
 
 let reset t =
-  locked t (fun () ->
-      Hashtbl.reset t.lines;
-      Hashtbl.reset t.arrays)
+  Hashtbl.reset t.lines;
+  Hashtbl.reset t.arrays
 
 let line_stat t line =
   match Hashtbl.find_opt t.lines line with
@@ -50,20 +43,33 @@ let array_stat t name =
       s
 
 let record_line t ~line ~seconds =
-  locked t (fun () ->
-      let s = line_stat t line in
-      s.hits <- s.hits + 1;
-      s.seconds <- s.seconds +. seconds)
+  let s = line_stat t line in
+  s.hits <- s.hits + 1;
+  s.seconds <- s.seconds +. seconds
 
 let record_array_read t name =
-  locked t (fun () ->
-      let s = array_stat t name in
-      s.reads <- s.reads + 1)
+  let s = array_stat t name in
+  s.reads <- s.reads + 1
 
 let record_array_write t name =
-  locked t (fun () ->
-      let s = array_stat t name in
-      s.writes <- s.writes + 1)
+  let s = array_stat t name in
+  s.writes <- s.writes + 1
+
+let merge ~into src =
+  (* Accumulate line stats in line order and array stats in name order
+     so float addition sequencing is deterministic across runs. *)
+  Hashtbl.fold (fun line s acc -> (line, s) :: acc) src.lines []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.iter (fun (line, (s : line_stat)) ->
+         let d = line_stat into line in
+         d.hits <- d.hits + s.hits;
+         d.seconds <- d.seconds +. s.seconds);
+  Hashtbl.fold (fun name s acc -> (name, s) :: acc) src.arrays []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.iter (fun (name, (s : array_stat)) ->
+         let d = array_stat into name in
+         d.reads <- d.reads + s.reads;
+         d.writes <- d.writes + s.writes)
 
 let line_stats t =
   Hashtbl.fold (fun line s acc -> (line, s.hits, s.seconds) :: acc) t.lines []

@@ -4,7 +4,11 @@
     Install a [t] in an interpreter environment
     ([Interp.create_env ~profile:...]) and every executed statement is
     attributed to its source line.  Line times are {e inclusive}: a
-    loop header accumulates the time spent in its whole body. *)
+    loop header accumulates the time spent in its whole body.
+
+    A [t] is SINGLE-WRITER (recording takes no lock): a parallel pass
+    gives each domain its own shard and combines them afterwards with
+    {!merge}. *)
 
 type t
 
@@ -16,6 +20,11 @@ val record_line : t -> line:int -> seconds:float -> unit
 
 val record_array_read : t -> string -> unit
 val record_array_write : t -> string -> unit
+
+(** [merge ~into src] adds every counter in [src] into [into]
+    (deterministically: lines in line order, arrays in name order).
+    [src] is left untouched. *)
+val merge : into:t -> t -> unit
 
 (** [(line, hits, seconds)] sorted by line number. *)
 val line_stats : t -> (int * int * float) list

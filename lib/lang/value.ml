@@ -29,6 +29,19 @@ and extern = {
   ex_iter : (int array -> t -> unit) -> unit;
       (** iterate over stored entries with their (0-based) index vectors *)
   ex_count : unit -> int;  (** number of stored entries *)
+  ex_fast : fast_access option;
+      (** unboxed point-element accessors for float arrays — present
+          only when no host hook needs to observe individual accesses,
+          so compiled loop bodies (see [Compile]) may use them freely *)
+}
+
+(** Scalar fast path into a float-element array: point keys are passed
+    as 0-based per-dimension indices (the callee linearizes against its
+    strides and bounds-checks exactly like the boxed path, so the two
+    paths raise identical exceptions). *)
+and fast_access = {
+  fa_get : int array -> float;
+  fa_set : int array -> float -> unit;
 }
 
 exception Type_error of string

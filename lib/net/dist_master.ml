@@ -246,6 +246,20 @@ let run ~(materialize : Dist_worker.materialize) ?spawn
             | exception Unix.Unix_error (Unix.ECHILD, _, _) -> None)
         pids
     in
+    (* a peer's collateral complaint can arrive before the crasher's
+       exit status is reapable; poll briefly before giving up on
+       finding a root cause *)
+    let abnormal_exit_wait ~except =
+      let rec go tries =
+        match abnormal_exit ~except with
+        | Some _ as r -> r
+        | None when tries > 0 ->
+            Unix.sleepf 0.05;
+            go (tries - 1)
+        | None -> None
+      in
+      go 20
+    in
     let check_deadline what =
       if Unix.gettimeofday () > deadline then
         fail_cleanup "timed out waiting for %s (%.0fs)" what
@@ -409,7 +423,7 @@ let run ~(materialize : Dist_worker.materialize) ?spawn
           | Event_loop.Message (rank, Wire.Fatal { f_reason; _ }) ->
               (* a crashed worker makes its peers complain about closed
                  sockets; blame the crash, not the collateral *)
-              (match abnormal_exit ~except:rank with
+              (match abnormal_exit_wait ~except:rank with
               | Some (r, status) -> fail_cleanup ~rank:r "%s" (status_reason status)
               | None -> fail_cleanup ~rank "%s" f_reason)
           | Event_loop.Message (rank, m) ->
@@ -430,7 +444,7 @@ let run ~(materialize : Dist_worker.materialize) ?spawn
               (match status 20 with
               | Some st -> fail_cleanup ~rank "%s" (status_reason st)
               | None -> (
-                  match abnormal_exit ~except:rank with
+                  match abnormal_exit_wait ~except:rank with
                   | Some (r, st) -> fail_cleanup ~rank:r "%s" (status_reason st)
                   | None -> fail_cleanup ~rank "worker socket closed mid-run")))
         (Event_loop.poll handshake ~timeout:0.1)
@@ -574,6 +588,9 @@ let run ~(materialize : Dist_worker.materialize) ?spawn
       ep_entries = sum (fun s -> s.Wire.ws_entries);
       ep_blocks = sum (fun s -> s.Wire.ws_blocks);
       ep_steals = 0;
+      (* workers compile their own kernels (falling back per-worker if a
+         body is unsupported); report the master-side switch *)
+      ep_compiled = Orion.Compile.enabled ();
       ep_wall_seconds = Unix.gettimeofday () -. t0;
       ep_sim_time = 0.0;
       ep_bytes_shipped = List.fold_left (fun acc (_, b) -> acc +. b) 0.0 bytes_list;

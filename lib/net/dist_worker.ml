@@ -274,6 +274,22 @@ let serve (master : Transport.conn) ~(materialize : materialize) ~rank
         else None)
       arrays
   in
+  (* -- compiled kernel ----------------------------------------------
+     Compiled once, after the shadow rebinding (the kernel captures
+     env's current array bindings).  The write-journal hook installed
+     below is checked dynamically inside the kernel, so every DistArray
+     access still routes through the boxed, hook-calling path while the
+     journal is attached — the journal sees exactly what it would see
+     under the interpreter. *)
+  let kernel = Orion.Engine.compile_kernel inst env in
+  let exec_entry ~key ~value =
+    match kernel with
+    | Some k -> Orion.Compile.run k ~key ~value
+    | None ->
+        Interp.eval_body_for env ~key_var:inst.Orion.App.inst_key_var
+          ~value_var:inst.Orion.App.inst_value_var ~key ~value
+          inst.Orion.App.inst_body
+  in
   (* -- write journal ------------------------------------------------ *)
   let order = Domain_exec.natural_order model ~sp ~tp in
   let natpos : (int, int) Hashtbl.t = Hashtbl.create 64 in
@@ -445,10 +461,7 @@ let serve (master : Transport.conn) ~(materialize : materialize) ~rank
           let b = sched.Schedule.blocks.(s).(t) in
           Array.iter
             (fun (key, value) ->
-              Interp.eval_body_for env
-                ~key_var:inst.Orion.App.inst_key_var
-                ~value_var:inst.Orion.App.inst_value_var ~key ~value
-                inst.Orion.App.inst_body;
+              exec_entry ~key ~value;
               incr entries_done)
             b.Schedule.entries;
           incr blocks_done;
@@ -497,6 +510,8 @@ let serve (master : Transport.conn) ~(materialize : materialize) ~rank
         !ok)
       (Printf.sprintf "pass %d barrier" pass)
   done;
+  (* leak loop locals back into the env, as the interpreter would *)
+  Option.iter Orion.Compile.flush_locals kernel;
   let wall = Unix.gettimeofday () -. t0 in
   (* -- final reports ------------------------------------------------ *)
   Transport.send master

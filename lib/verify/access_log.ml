@@ -22,22 +22,20 @@ type t = {
   mutable rev_events : event list;  (** newest first *)
   mutable seq : int;
   mutable current_iter : int array;
-  lock : Mutex.t;
-      (** guards [rev_events]/[seq] so a log attached to interpreters on
-          several domains records every event (event order across
-          domains is then arbitrary — dependence reconstruction needs
-          the serial observation pass, which is single-domain) *)
 }
+(** A log is SINGLE-WRITER: recording takes no lock, so it must only be
+    attached to one interpreter environment (= one domain) at a time.
+    A parallel pass gives each domain its own shard and combines them
+    afterwards with {!merge} (dependence reconstruction still needs the
+    serial observation pass, which is single-domain by construction). *)
 
-let create () =
-  { rev_events = []; seq = 0; current_iter = [||]; lock = Mutex.create () }
+let create () = { rev_events = []; seq = 0; current_iter = [||] }
 
 (** Set the iteration vector that subsequent accesses belong to (called
     once per iteration by the serial observation pass). *)
 let set_iter t iter = t.current_iter <- Array.copy iter
 
 let record_key t ~array ~write key =
-  Mutex.lock t.lock;
   t.rev_events <-
     {
       ev_array = array;
@@ -47,8 +45,7 @@ let record_key t ~array ~write key =
       ev_seq = t.seq;
     }
     :: t.rev_events;
-  t.seq <- t.seq + 1;
-  Mutex.unlock t.lock
+  t.seq <- t.seq + 1
 
 (* expand a concrete subscript to the point indices it covers *)
 let expand_sub dim = function
@@ -79,6 +76,16 @@ let record t ~array ~(dims : int array) ~write
     List.iter
       (fun key -> record_key t ~array ~write (Array.of_list key))
       (cart 0)
+
+(** [merge ~into src] appends [src]'s events after [into]'s, re-stamping
+    [ev_seq] to continue [into]'s sequence.  Merging domain shards in
+    domain order is deterministic; cross-domain event order carries no
+    happens-before meaning. *)
+let merge ~into src =
+  List.rev src.rev_events
+  |> List.iter (fun ev ->
+         into.rev_events <- { ev with ev_seq = into.seq } :: into.rev_events;
+         into.seq <- into.seq + 1)
 
 (** Events in serial execution order. *)
 let events t = Array.of_list (List.rev t.rev_events)

@@ -31,6 +31,11 @@ val record :
 
 val record_key : t -> array:string -> write:bool -> int array -> unit
 
+(** [merge ~into src] appends [src]'s events after [into]'s,
+    re-stamping [ev_seq].  A log is single-writer (recording takes no
+    lock): give each domain its own shard and merge in domain order. *)
+val merge : into:t -> t -> unit
+
 (** Events in serial execution order. *)
 val events : t -> event array
 

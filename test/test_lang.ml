@@ -447,6 +447,7 @@ let test_interp_extern () =
         ex_set = set;
         ex_iter = iter;
         ex_count = (fun () -> 4);
+        ex_fast = None;
       }
   in
   let env =
@@ -514,6 +515,7 @@ let test_interp_mf_epoch () =
               done
             done);
         ex_count = (fun () -> 4);
+        ex_fast = None;
       }
   in
   let ratings_ex =
@@ -531,6 +533,7 @@ let test_interp_mf_epoch () =
               done
             done);
         ex_count = (fun () -> 4);
+        ex_fast = None;
       }
   in
   let loss () =
@@ -866,6 +869,7 @@ let test_profile_array_counters () =
             | _ -> Alcotest.fail "bad subs");
         ex_iter = (fun _ -> ());
         ex_count = (fun () -> 4);
+        ex_fast = None;
       }
   in
   let p = Profile.create () in
@@ -892,6 +896,406 @@ let test_profile_report_renders () =
   in
   Alcotest.(check bool) "has header" true (contains "Hot lines");
   Alcotest.(check bool) "shows source text" true (contains "t += i")
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter bugfix regressions                                      *)
+(* ------------------------------------------------------------------ *)
+
+let check_value name expected actual =
+  Alcotest.(check string)
+    name (Value.to_string expected) (Value.to_string actual)
+
+let test_min_max_preserve_int () =
+  let env =
+    run "a = min(3, 5)\nb = max(2, 7)\nc = min(3, 5.0)\nd = max(2.5, 1)"
+  in
+  check_value "min(3,5) stays int" (Value.Vint 3) (Interp.get_var env "a");
+  check_value "max(2,7) stays int" (Value.Vint 7) (Interp.get_var env "b");
+  check_value "min(3,5.0) is float" (Value.Vfloat 3.0) (Interp.get_var env "c");
+  check_value "max(2.5,1) is float" (Value.Vfloat 2.5)
+    (Interp.get_var env "d")
+
+let expect_error ~sub src =
+  match run src with
+  | exception Interp.Runtime_error msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S appears in %S" sub msg)
+        true
+        (let n = String.length sub and m = String.length msg in
+         let rec go i = i + n <= m && (String.sub msg i n = sub || go (i + 1)) in
+         go 0);
+      msg
+  | exception e -> Alcotest.failf "expected Runtime_error, got %s" (Printexc.to_string e)
+  | _ -> Alcotest.failf "expected Runtime_error from %S" src
+
+let test_reversed_range_read_positioned () =
+  let msg =
+    expect_error ~sub:"empty vector range 3:2 (lo > hi)"
+      "v = zeros(4)\nw = v[3:2]"
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "positioned at line 2: %S" msg)
+    true
+    (starts_with ~prefix:"2:" msg)
+
+let test_reversed_range_assign_positioned () =
+  let msg =
+    expect_error ~sub:"empty vector range 4:1 (lo > hi)"
+      "v = zeros(4)\nv[4:1] = zeros(2)"
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "positioned at line 2: %S" msg)
+    true
+    (starts_with ~prefix:"2:" msg)
+
+let test_out_of_bounds_range_positioned () =
+  let msg =
+    expect_error ~sub:"vector range 2:9 out of bounds (length 4)"
+      "v = zeros(4)\nw = v[2:9]"
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "positioned at line 2: %S" msg)
+    true
+    (starts_with ~prefix:"2:" msg)
+
+let test_type_error_positioned () =
+  (* a Type_error escaping a statement carries the statement position,
+     exactly like a Runtime_error *)
+  match run "x = zeros(2)\nif x\n  y = 1\nend" with
+  | exception Value.Type_error msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "positioned at line 2: %S" msg)
+        true
+        (starts_with ~prefix:"2:" msg)
+  | exception e ->
+      Alcotest.failf "expected Type_error, got %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "expected Type_error"
+
+(* ------------------------------------------------------------------ *)
+(* Profile shard merging                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_profile_merge () =
+  let a = Profile.create () and b = Profile.create () in
+  Profile.record_line a ~line:3 ~seconds:0.5;
+  Profile.record_line b ~line:3 ~seconds:0.25;
+  Profile.record_line b ~line:7 ~seconds:0.1;
+  Profile.record_array_read a "W";
+  Profile.record_array_write b "W";
+  Profile.record_array_read b "W";
+  Profile.merge ~into:a b;
+  (match Profile.line_stats a with
+  | [ (3, h3, s3); (7, h7, s7) ] ->
+      Alcotest.(check int) "line 3 hits summed" 2 h3;
+      Alcotest.(check (float 1e-9)) "line 3 seconds summed" 0.75 s3;
+      Alcotest.(check int) "line 7 hits" 1 h7;
+      Alcotest.(check (float 1e-9)) "line 7 seconds" 0.1 s7
+  | l -> Alcotest.failf "expected lines 3 and 7, got %d entries" (List.length l));
+  (match Profile.array_stats a with
+  | [ ("W", reads, writes) ] ->
+      Alcotest.(check int) "reads summed" 2 reads;
+      Alcotest.(check int) "writes summed" 1 writes
+  | l -> Alcotest.failf "expected stats for W only, got %d" (List.length l));
+  (* merging is deterministic: same shards in the same order give the
+     same totals *)
+  Alcotest.(check (float 1e-9)) "total" 0.85 (Profile.total_seconds a)
+
+(* ------------------------------------------------------------------ *)
+(* Compiled kernels match the interpreter                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A kernel environment: one 8-element float array [W] exposed as an
+   extern with a fast accessor (mirroring [Dist_array.to_extern]), a
+   seeded RNG, and nothing else. *)
+let kernel_len = 8
+
+let make_kernel_env ~seed () =
+  let data = Array.init kernel_len (fun i -> 0.25 *. float_of_int (i + 1)) in
+  let get_f key =
+    match key with
+    | [| i |] when i >= 0 && i < kernel_len -> data.(i)
+    | [| i |] ->
+        raise
+          (Interp.Runtime_error
+             (Printf.sprintf "W[%d] out of bounds (length %d)" (i + 1)
+                kernel_len))
+    | _ -> raise (Interp.Runtime_error "W: rank mismatch")
+  in
+  let set_f key v =
+    match key with
+    | [| i |] when i >= 0 && i < kernel_len -> data.(i) <- v
+    | [| i |] ->
+        raise
+          (Interp.Runtime_error
+             (Printf.sprintf "W[%d] out of bounds (length %d)" (i + 1)
+                kernel_len))
+    | _ -> raise (Interp.Runtime_error "W: rank mismatch")
+  in
+  let point = function
+    | Value.Cpoint i -> i
+    | _ -> raise (Interp.Runtime_error "W: range subscripts unsupported")
+  in
+  let ex =
+    Value.
+      {
+        ex_name = "W";
+        ex_dims = [| kernel_len |];
+        ex_get = (fun subs -> Vfloat (get_f (Array.map point subs)));
+        ex_set = (fun subs v -> set_f (Array.map point subs) (to_float v));
+        ex_iter =
+          (fun f ->
+            Array.iteri (fun i x -> f [| i |] (Value.Vfloat x)) data);
+        ex_count = (fun () -> kernel_len);
+        ex_fast = Some { fa_get = get_f; fa_set = set_f };
+      }
+  in
+  let env = Interp.create_env ~seed () in
+  Interp.set_var env "W" (Value.Vextern ex);
+  (env, data)
+
+(* bitwise float equality (also distinguishes -0. from 0. and compares
+   NaNs equal) *)
+let bits_eq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let outcome_to_string = function
+  | Ok () -> "ok"
+  | Error msg -> "error: " ^ msg
+
+(* Run [body] over keys 1..kernel_len interpreted and compiled, and
+   demand identical observable behavior: same exception (or none), same
+   final array contents bitwise, same leaked locals, same RNG state. *)
+let check_compiled_matches_interpreted body_src =
+  let body = parse body_src in
+  let keys = Array.init kernel_len (fun i -> [| i + 1 |]) in
+  let value_of i = Value.Vfloat (0.5 +. (0.125 *. float_of_int i)) in
+  let env_i, data_i = make_kernel_env ~seed:42 () in
+  let outcome_i =
+    try
+      Array.iteri
+        (fun i key ->
+          Interp.eval_body_for env_i ~key_var:"key" ~value_var:"v" ~key
+            ~value:(value_of i) body)
+        keys;
+      Ok ()
+    with
+    | Interp.Runtime_error m -> Error ("runtime: " ^ m)
+    | Value.Type_error m -> Error ("type: " ^ m)
+  in
+  let env_c, data_c = make_kernel_env ~seed:42 () in
+  let kernel =
+    match
+      Compile.compile_body env_c ~value_float:true ~key_var:"key"
+        ~value_var:"v" body
+    with
+    | Some k -> k
+    | None -> Alcotest.failf "body did not compile:\n%s" body_src
+  in
+  let outcome_c =
+    try
+      Array.iteri
+        (fun i key -> Compile.run kernel ~key ~value:(value_of i))
+        keys;
+      Ok ()
+    with
+    | Interp.Runtime_error m -> Error ("runtime: " ^ m)
+    | Value.Type_error m -> Error ("type: " ^ m)
+  in
+  Compile.flush_locals kernel;
+  Alcotest.(check string)
+    (Printf.sprintf "same outcome for:\n%s" body_src)
+    (outcome_to_string outcome_i)
+    (outcome_to_string outcome_c);
+  Array.iteri
+    (fun i x ->
+      if not (bits_eq x data_c.(i)) then
+        Alcotest.failf "W[%d]: interpreted %h <> compiled %h for:\n%s" (i + 1)
+          x data_c.(i) body_src)
+    data_i;
+  (* locals the loop leaks into the environment *)
+  List.iter
+    (fun name ->
+      let s v = match v with Some x -> Value.to_string x | None -> "<unset>" in
+      let vi = Interp.var_opt env_i name and vc = Interp.var_opt env_c name in
+      Alcotest.(check string)
+        (Printf.sprintf "leaked %s for:\n%s" name body_src)
+        (s vi) (s vc))
+    [ "t"; "n"; "u" ];
+  (* both sides consumed the same randomness *)
+  if outcome_i = Ok () then
+    let draw env = Value.to_float (Interp.eval_builtin env "rand" []) in
+    Alcotest.(check bool)
+      (Printf.sprintf "same RNG state for:\n%s" body_src)
+      true
+      (bits_eq (draw env_i) (draw env_c))
+
+let test_compile_handwritten_bodies () =
+  List.iter check_compiled_matches_interpreted
+    [
+      (* scalar arithmetic, int/float mixing, key access *)
+      "k = key[1]\nt = v * 2.0 + float(k)\nW[k] += t / 3.0";
+      (* control flow: if/elseif/else, while with break/continue *)
+      "k = key[1]\n\
+       if W[k] > 1.0\n\
+      \  W[k] = W[k] - 0.5\n\
+       elseif W[k] > 0.5\n\
+      \  W[k] = W[k] * 2.0\n\
+       else\n\
+      \  W[k] = W[k] + 0.25\n\
+       end";
+      "k = key[1]\n\
+       n = 0\n\
+       while true\n\
+      \  n += 1\n\
+      \  if n % 2 == 0\n\
+      \    continue\n\
+      \  end\n\
+      \  if n > 5\n\
+      \    break\n\
+      \  end\n\
+       end\n\
+       W[k] = float(n)";
+      (* nested range loops and vectors *)
+      "k = key[1]\n\
+       u = zeros(3)\n\
+       for j = 1:3\n\
+      \  u[j] = float(j) * v\n\
+       end\n\
+       t = dot(u, u) + norm(u)\n\
+       W[k] = t";
+      (* vector slices (checked ranges) *)
+      "k = key[1]\nu = zeros(4)\nu[2] = v\ns = u[2:3]\nW[k] = s[1]";
+      (* builtins: exp/log/sqrt/sigmoid/abs/min/max, int preservation *)
+      "k = key[1]\n\
+       a = min(k, 3)\n\
+       b = max(a, 2)\n\
+       t = exp(min(v, 1.0)) + log(v + 1.0) + sqrt(abs(v)) + sigmoid(v)\n\
+       W[b] += t * 0.001";
+      (* RNG consumption *)
+      "k = key[1]\nt = rand() + randn() * 0.1\nW[k] = t";
+      (* op-assign on array elements, euclidean mod, integer division *)
+      "k = key[1]\nn = (0 - k) % 3 + 1\nW[n] += v\nm = 7 / 2\nW[m] -= v";
+      (* error path: division by zero, same message and position *)
+      "k = key[1]\nz = 0\nt = 1 / z\nW[k] = float(t)";
+      (* error path: undefined variable *)
+      "k = key[1]\nW[k] = undefined_thing + 1.0";
+      (* error path: reversed vector range *)
+      "k = key[1]\nu = zeros(3)\ns = u[3:1]\nW[k] = s[1]";
+    ]
+
+(* random bodies from a tiny grammar: scalar float/int expressions over
+   the key, value, W, a float accumulator and an int counter, under
+   if/for control flow — enough to cover the compiler's fast and
+   generic paths *)
+let gen_kernel_body : string QCheck.Gen.t =
+  let open QCheck.Gen in
+  let int_atom =
+    oneof
+      [ map string_of_int (int_range 1 5); return "k"; return "n" ]
+  in
+  let int_expr =
+    oneof
+      [
+        int_atom;
+        map2 (fun a b -> "(" ^ a ^ " + " ^ b ^ ")") int_atom int_atom;
+        map2 (fun a b -> "(" ^ a ^ " * " ^ b ^ ")") int_atom int_atom;
+        map2 (fun a b -> "(" ^ a ^ " % " ^ b ^ ")") int_atom
+          (map string_of_int (int_range 2 5));
+      ]
+  in
+  let idx = map (fun e -> "((" ^ e ^ " % 8) + 1)") int_expr in
+  let float_atom =
+    oneof
+      [
+        map (Printf.sprintf "%.3f") (float_bound_inclusive 2.0);
+        return "v";
+        return "t";
+        return "rand()";
+        map (fun i -> "W[" ^ i ^ "]") idx;
+      ]
+  in
+  let float_expr =
+    oneof
+      [
+        float_atom;
+        map2 (fun a b -> "(" ^ a ^ " + " ^ b ^ ")") float_atom float_atom;
+        map2 (fun a b -> "(" ^ a ^ " - " ^ b ^ ")") float_atom float_atom;
+        map2 (fun a b -> "(" ^ a ^ " * " ^ b ^ ")") float_atom float_atom;
+        map (fun a -> "exp(min(" ^ a ^ ", 1.0))") float_atom;
+        map (fun a -> "sigmoid(" ^ a ^ ")") float_atom;
+        map (fun a -> "sqrt(abs(" ^ a ^ "))") float_atom;
+        map2 (fun a b -> "min(" ^ a ^ ", " ^ b ^ ")") float_atom float_atom;
+      ]
+  in
+  let cmp =
+    oneof
+      [
+        map2 (fun a b -> a ^ " < " ^ b) float_atom float_atom;
+        map2 (fun a b -> a ^ " >= " ^ b) float_atom float_atom;
+        map2 (fun a b -> a ^ " == " ^ b) int_atom int_atom;
+      ]
+  in
+  let simple_stmt =
+    oneof
+      [
+        map (fun e -> "t = " ^ e) float_expr;
+        map (fun e -> "t += " ^ e) float_expr;
+        map (fun e -> "t *= " ^ e) float_atom;
+        map (fun e -> "n = " ^ e) int_expr;
+        map2 (fun i e -> "W[" ^ i ^ "] = " ^ e) idx float_expr;
+        map2 (fun i e -> "W[" ^ i ^ "] += " ^ e) idx float_expr;
+        map2 (fun i e -> "W[" ^ i ^ "] -= " ^ e) idx float_atom;
+      ]
+  in
+  let stmt =
+    oneof
+      [
+        simple_stmt;
+        map3
+          (fun c a b -> "if " ^ c ^ "\n  " ^ a ^ "\nelse\n  " ^ b ^ "\nend")
+          cmp simple_stmt simple_stmt;
+        map2
+          (fun hi body -> "for j = 1:" ^ string_of_int hi ^ "\n  " ^ body
+                          ^ "\n  t += float(j)\nend")
+          (int_range 1 3) simple_stmt;
+      ]
+  in
+  let* n_stmts = int_range 1 6 in
+  let+ stmts = list_repeat n_stmts stmt in
+  String.concat "\n" ("k = key[1]" :: "t = v" :: "n = k" :: stmts)
+
+let test_compile_random_bodies_qcheck () =
+  QCheck.Test.make ~count:300
+    ~name:"compiled kernel bitwise-matches interpreter on random bodies"
+    (QCheck.make ~print:(fun s -> s) gen_kernel_body)
+    (fun body_src ->
+      check_compiled_matches_interpreted body_src;
+      true)
+
+let test_compile_disabled_env_var () =
+  (* ORION_NO_COMPILE turns the compiler off; unsetting turns it on *)
+  let with_env v f =
+    let old = try Unix.getenv "ORION_NO_COMPILE" with Not_found -> "" in
+    Unix.putenv "ORION_NO_COMPILE" v;
+    Fun.protect ~finally:(fun () -> Unix.putenv "ORION_NO_COMPILE" old) f
+  in
+  with_env "1" (fun () ->
+      Alcotest.(check bool) "disabled" false (Compile.enabled ()));
+  with_env "0" (fun () ->
+      Alcotest.(check bool) "0 means enabled" true (Compile.enabled ()));
+  with_env "" (fun () ->
+      Alcotest.(check bool) "empty means enabled" true (Compile.enabled ()))
+
+let test_compile_rejects_nested_parallel_for () =
+  let body =
+    parse "k = key[1]\n@parallel_for for i = 1:3\n  W[i] = 0.0\nend"
+  in
+  let env, _ = make_kernel_env ~seed:1 () in
+  match
+    Compile.compile_body env ~value_float:true ~key_var:"key" ~value_var:"v"
+      body
+  with
+  | None -> ()
+  | Some _ -> Alcotest.fail "nested @parallel_for should not compile"
 
 (* ------------------------------------------------------------------ *)
 
@@ -961,6 +1365,22 @@ let () =
           tc "unknown function" `Quick test_interp_unknown_function_error;
           tc "error position" `Quick test_interp_error_position;
           tc "error position nested" `Quick test_interp_error_position_nested;
+          tc "min/max preserve int" `Quick test_min_max_preserve_int;
+          tc "reversed range read positioned" `Quick
+            test_reversed_range_read_positioned;
+          tc "reversed range assign positioned" `Quick
+            test_reversed_range_assign_positioned;
+          tc "out-of-bounds range positioned" `Quick
+            test_out_of_bounds_range_positioned;
+          tc "type error positioned" `Quick test_type_error_positioned;
+        ] );
+      ( "compile",
+        [
+          tc "handwritten bodies" `Quick test_compile_handwritten_bodies;
+          qc (test_compile_random_bodies_qcheck ());
+          tc "ORION_NO_COMPILE" `Quick test_compile_disabled_env_var;
+          tc "rejects nested parallel_for" `Quick
+            test_compile_rejects_nested_parallel_for;
         ] );
       ( "check",
         [
@@ -983,5 +1403,6 @@ let () =
           tc "interp line hits" `Quick test_profile_interp_line_hits;
           tc "array counters" `Quick test_profile_array_counters;
           tc "report renders" `Quick test_profile_report_renders;
+          tc "shard merge" `Quick test_profile_merge;
         ] );
     ]

@@ -208,6 +208,11 @@ let run_app (app : Orion.App.t) ~mode ~passes =
   ignore (Orion.Engine.run inst.Orion.App.inst_session inst ~mode ~passes ());
   inst.Orion.App.inst_outputs
 
+let run_app_report (app : Orion.App.t) ~mode ~passes =
+  let inst = app.Orion.App.app_make ~num_machines:2 ~workers_per_machine:2 () in
+  let r = Orion.Engine.run inst.Orion.App.inst_session inst ~mode ~passes () in
+  (inst.Orion.App.inst_outputs, r)
+
 let check_outputs ~what ~tolerance a b =
   List.iter2
     (fun (name_a, arr_a) (_, arr_b) ->
@@ -226,6 +231,26 @@ let parallel_matches_sim name () =
   check_outputs
     ~what:(name ^ " parallel(4) vs sim")
     ~tolerance:app.Orion.App.app_tolerance sim par
+
+(* the domain pool runs compiled kernels by default; with
+   ORION_NO_COMPILE it falls back to the interpreter and must produce
+   the same results — so compilation is a pure performance change *)
+let compiled_matches_interpreted name () =
+  let app = find_app name in
+  let outs_c, rep_c = run_app_report app ~mode:(`Parallel 4) ~passes:2 in
+  Alcotest.(check bool) "kernels compiled" true rep_c.Orion.Engine.ep_compiled;
+  let old = try Unix.getenv "ORION_NO_COMPILE" with Not_found -> "" in
+  Unix.putenv "ORION_NO_COMPILE" "1";
+  let outs_i, rep_i =
+    Fun.protect
+      ~finally:(fun () -> Unix.putenv "ORION_NO_COMPILE" old)
+      (fun () -> run_app_report app ~mode:(`Parallel 4) ~passes:2)
+  in
+  Alcotest.(check bool)
+    "kernels interpreted" false rep_i.Orion.Engine.ep_compiled;
+  check_outputs
+    ~what:(name ^ " compiled vs interpreted")
+    ~tolerance:app.Orion.App.app_tolerance outs_c outs_i
 
 (* three parallel runs of the same app are deterministic: bitwise for
    direct-update apps; buffered slr merges per-domain shadows whose
@@ -262,6 +287,11 @@ let () =
           tc "slr" `Slow (parallel_matches_sim "slr");
           tc "lda" `Slow (parallel_matches_sim "lda");
           tc "gbt" `Quick (parallel_matches_sim "gbt");
+        ] );
+      ( "no_compile_fallback",
+        [
+          tc "mf" `Slow (compiled_matches_interpreted "mf");
+          tc "gbt" `Quick (compiled_matches_interpreted "gbt");
         ] );
       ( "determinism",
         [

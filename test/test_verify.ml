@@ -161,6 +161,31 @@ let test_forced_2d_on_1d_space_errors () =
 (* Report rendering                                                    *)
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Access-log shard merging                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_access_log_merge () =
+  let a = Access_log.create () and b = Access_log.create () in
+  Access_log.set_iter a [| 0 |];
+  Access_log.record_key a ~array:"W" ~write:false [| 3 |];
+  Access_log.record_key a ~array:"W" ~write:true [| 3 |];
+  Access_log.set_iter b [| 1 |];
+  Access_log.record_key b ~array:"W" ~write:false [| 4 |];
+  Access_log.merge ~into:a b;
+  let evs = Access_log.events a in
+  Alcotest.(check int) "merged length" 3 (Array.length evs);
+  Array.iteri
+    (fun i (e : Access_log.event) ->
+      Alcotest.(check int) "seq re-stamped contiguously" i e.Access_log.ev_seq)
+    evs;
+  Alcotest.(check (array int)) "src events keep their iter" [| 1 |]
+    evs.(2).Access_log.ev_iter;
+  Alcotest.(check bool) "order preserved" true
+    (evs.(0).Access_log.ev_write = false
+    && evs.(1).Access_log.ev_write = true
+    && evs.(2).Access_log.ev_key = [| 4 |])
+
 let test_json_report () =
   match Verify.verify_app "gbt" with
   | Error e -> Alcotest.failf "verify gbt errored: %s" e
@@ -186,6 +211,7 @@ let () =
       ( "soundness",
         [ tc "weakened vector reports pair" `Quick
             test_weakened_vector_reports_pair ] );
+      ("access_log", [ tc "shard merge" `Quick test_access_log_merge ]);
       ( "apps",
         [
           tc "mf" `Slow (verify_passes "mf");
