@@ -288,6 +288,17 @@ let run_app name ~machines ~wpm ~domains ~procs ~tcp ~passes =
             if r.Orion.Engine.ep_sim_time > 0.0 then
               Printf.printf "simulated time: %.4f s\n"
                 r.Orion.Engine.ep_sim_time;
+            (match r.Orion.Engine.ep_telemetry with
+            | None -> ()
+            | Some sm ->
+                let m = sm.Orion.Telemetry.sm_overall in
+                Printf.printf
+                  "telemetry: straggler %.2f, barrier wait %.1f%%, %d \
+                   span(s), %d dropped\n"
+                  m.Orion.Metrics.straggler_ratio
+                  (100.0 *. m.Orion.Metrics.barrier_wait_fraction)
+                  (Orion.Trace.length sm.Orion.Telemetry.sm_trace)
+                  sm.Orion.Telemetry.sm_dropped);
             0)
 
 let run_cmd =
@@ -601,7 +612,83 @@ let generate_cmd =
     Term.(const run $ kind $ out $ scale)
 
 let trace_cmd =
-  let run machines wpm strategy passes scale cost_per_entry out csv =
+  (* --mode parallel | distributed: run a registered app on a real
+     runtime with telemetry forced on and export the merged wall-clock
+     timeline (Chrome trace-event JSON with metrics and per-block
+     costs as metadata) plus optional per-pass metrics CSV. *)
+  let run_real ~kind ~app ~machines ~wpm ~domains ~procs ~tcp ~passes ~scale
+      ~out ~csv =
+    match Orion.App.find app with
+    | None ->
+        Printf.eprintf "orion trace: %s\n" (unknown_app_msg app);
+        1
+    | Some a -> (
+        let inst, mode, label =
+          match kind with
+          | `Parallel ->
+              ( a.Orion.App.app_make ~scale ~num_machines:machines
+                  ~workers_per_machine:wpm (),
+                `Parallel domains,
+                Printf.sprintf "parallel (%d domains)" domains )
+          | `Distributed ->
+              ( a.Orion.App.app_make ~scale ~num_machines:procs
+                  ~workers_per_machine:1 (),
+                `Distributed
+                  {
+                    Orion.Engine.procs;
+                    transport = (if tcp then `Tcp else `Unix);
+                  },
+                Printf.sprintf "distributed (%d procs)" procs )
+        in
+        match
+          Orion.Engine.run inst.Orion.App.inst_session inst ~mode ~passes
+            ~telemetry:true ()
+        with
+        | exception (Orion.Engine.Distributed_error _ as exn) ->
+            Printf.eprintf "orion trace: %s\n"
+              (Orion.Engine.distributed_error_to_string exn);
+            1
+        | r -> (
+            match r.Orion.Engine.ep_telemetry with
+            | None ->
+                prerr_endline "orion trace: run produced no telemetry";
+                1
+            | Some sm ->
+                let oc = open_out out in
+                output_string oc (Orion.Telemetry.to_chrome_json sm);
+                close_out oc;
+                Printf.printf "app %s, %s: %d pass(es), wall %.4f s\n" app
+                  label passes r.Orion.Engine.ep_wall_seconds;
+                Printf.printf
+                  "wrote %d spans (%d dropped) to %s (chrome://tracing)\n"
+                  (Orion.Trace.length sm.Orion.Telemetry.sm_trace)
+                  sm.Orion.Telemetry.sm_dropped out;
+                if sm.Orion.Telemetry.sm_dropped > 0 then
+                  Printf.eprintf
+                    "orion trace: warning: trace buffer overflow — %d \
+                     span(s) dropped\n"
+                    sm.Orion.Telemetry.sm_dropped;
+                (match csv with
+                | None -> ()
+                | Some path ->
+                    let oc = open_out path in
+                    Printf.fprintf oc "# schema_version %d\n"
+                      Orion.Report.schema_version;
+                    Printf.fprintf oc "# dropped %d\n"
+                      sm.Orion.Telemetry.sm_dropped;
+                    output_string oc
+                      ("pass," ^ Orion.Metrics.csv_header ^ "\n");
+                    List.iter
+                      (fun (pass, m) ->
+                        Printf.fprintf oc "%d,%s\n" pass
+                          (Orion.Metrics.csv_row m))
+                      sm.Orion.Telemetry.sm_pass_metrics;
+                    close_out oc;
+                    Printf.printf "wrote per-pass metrics to %s\n" path);
+                0))
+  in
+  let run_sim ~machines ~wpm ~strategy ~passes ~scale ~cost_per_entry ~out
+      ~csv =
     let d = Orion_data.Ratings.netflix_like ~scale () in
     let cluster =
       Orion.Cluster.create ~num_machines:machines ~workers_per_machine:wpm
@@ -678,12 +765,18 @@ let trace_cmd =
     close_out oc;
     Printf.printf "wrote %d spans (%d dropped) to %s (chrome://tracing)\n"
       (Orion.Trace.length trace) (Orion.Trace.dropped trace) out;
+    if Orion.Trace.dropped trace > 0 then
+      Printf.eprintf
+        "orion trace: warning: trace buffer overflow — %d span(s) dropped\n"
+        (Orion.Trace.dropped trace);
     (match csv with
     | None -> ()
     | Some path ->
         let oc = open_out path in
         output_string oc
           (Printf.sprintf "# schema_version %d\n" Orion.Report.schema_version);
+        output_string oc
+          (Printf.sprintf "# dropped %d\n" (Orion.Trace.dropped trace));
         output_string oc (Orion.Metrics.csv_header ^ "\n");
         List.iter
           (fun m -> output_string oc (Orion.Metrics.csv_row m ^ "\n"))
@@ -691,6 +784,60 @@ let trace_cmd =
         close_out oc;
         Printf.printf "wrote per-pass metrics to %s\n" path);
     0
+  in
+  let run machines wpm mode app domains procs tcp strategy passes scale
+      cost_per_entry out csv =
+    match mode with
+    | `Sim -> run_sim ~machines ~wpm ~strategy ~passes ~scale ~cost_per_entry
+                ~out ~csv
+    | (`Parallel | `Distributed) as kind ->
+        run_real ~kind ~app ~machines ~wpm ~domains ~procs ~tcp ~passes
+          ~scale ~out ~csv
+  in
+  let mode =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("sim", `Sim);
+               ("parallel", `Parallel);
+               ("distributed", `Distributed);
+             ])
+          `Sim
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:
+            "what to trace: sim (virtual-time SGD MF on the simulated \
+             cluster), parallel (wall-clock --app run on the domain pool), \
+             or distributed (wall-clock --app run on real worker processes)")
+  in
+  let trace_app =
+    Arg.(
+      value & opt string "mf"
+      & info [ "app" ] ~docv:"NAME"
+          ~doc:
+            "registered app to trace under --mode parallel|distributed \
+             (`list` prints the registry)")
+  in
+  let domains =
+    Arg.(
+      value & opt int 2
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"OCaml domains for --mode parallel")
+  in
+  let procs =
+    Arg.(
+      value & opt int 2
+      & info [ "procs" ] ~docv:"N"
+          ~doc:"worker processes for --mode distributed")
+  in
+  let tcp =
+    Arg.(
+      value & flag
+      & info [ "tcp" ]
+          ~doc:
+            "use TCP loopback instead of Unix domain sockets (--mode \
+             distributed)")
   in
   let strategy =
     let choices =
@@ -705,7 +852,9 @@ let trace_cmd =
       value
       & opt (enum choices) `Unordered_2d
       & info [ "strategy"; "s" ] ~docv:"STRATEGY"
-          ~doc:"execution strategy: serial | 1d | 2d-ordered | 2d-unordered")
+          ~doc:
+            "execution strategy for --mode sim: serial | 1d | 2d-ordered | \
+             2d-unordered")
   in
   let passes =
     Arg.(value & opt int 3 & info [ "passes"; "p" ] ~docv:"N" ~doc:"training passes")
@@ -731,14 +880,16 @@ let trace_cmd =
   in
   let term =
     Term.(
-      const run $ machines_arg $ wpm_arg $ strategy $ passes $ scale
-      $ cost_per_entry $ out $ csv)
+      const run $ machines_arg $ wpm_arg $ mode $ trace_app $ domains $ procs
+      $ tcp $ strategy $ passes $ scale $ cost_per_entry $ out $ csv)
   in
   Cmd.v
     (Cmd.info "trace"
        ~doc:
-         "Run SGD MF under an execution strategy and export a worker \
-          timeline (Chrome trace-event JSON) plus per-pass metrics")
+         "Export a worker timeline (Chrome trace-event JSON) plus per-pass \
+          metrics — from simulated SGD MF (--mode sim), a real domain-pool \
+          run (--mode parallel), or a real multi-process run (--mode \
+          distributed)")
     term
 
 let verify_cmd =

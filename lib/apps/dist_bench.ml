@@ -21,6 +21,12 @@ type run = {
   run_bytes_shipped : float;  (** total wire bytes of DistArray state *)
   run_bytes_by_array : (string * float) list;
   run_speedup : float;  (** wall(1 proc) / wall(n procs) *)
+  run_straggler_ratio : float option;
+      (** max/mean busy time over workers, from the merged wall-clock
+          telemetry ([None] when telemetry was disabled) *)
+  run_barrier_wait_fraction : float option;
+      (** fraction of worker time spent in pass barriers, from
+          telemetry *)
   run_max_abs_vs_sim : float;
   run_max_rel_vs_sim : float;
   run_equal_vs_sim : bool;  (** within the app's tolerance *)
@@ -71,6 +77,11 @@ let bench_app (app : App.t) ~procs_list ~passes ~transport : app_result =
               base_wall := Some r.Orion.Engine.ep_wall_seconds;
               r.Orion.Engine.ep_wall_seconds
         in
+        let overall =
+          Option.map
+            (fun sm -> sm.Orion.Telemetry.sm_overall)
+            r.Orion.Engine.ep_telemetry
+        in
         {
           run_procs = procs;
           run_wall_seconds = r.Orion.Engine.ep_wall_seconds;
@@ -78,6 +89,10 @@ let bench_app (app : App.t) ~procs_list ~passes ~transport : app_result =
           run_bytes_shipped = r.Orion.Engine.ep_bytes_shipped;
           run_bytes_by_array = r.Orion.Engine.ep_bytes_by_array;
           run_speedup = base /. Float.max r.Orion.Engine.ep_wall_seconds 1e-12;
+          run_straggler_ratio =
+            Option.map (fun m -> m.Orion.Metrics.straggler_ratio) overall;
+          run_barrier_wait_fraction =
+            Option.map (fun m -> m.Orion.Metrics.barrier_wait_fraction) overall;
           run_max_abs_vs_sim = max_abs;
           run_max_rel_vs_sim = max_rel;
           run_equal_vs_sim = equal;
@@ -103,6 +118,14 @@ let run_json (r : run) : Report.json =
           (List.map (fun (n, b) -> (n, Report.Float b)) r.run_bytes_by_array)
       );
       ("speedup", Report.Float r.run_speedup);
+      ( "straggler_ratio",
+        match r.run_straggler_ratio with
+        | Some v -> Report.Float v
+        | None -> Report.Null );
+      ( "barrier_wait_fraction",
+        match r.run_barrier_wait_fraction with
+        | Some v -> Report.Float v
+        | None -> Report.Null );
       ("max_abs_vs_sim", Report.Float r.run_max_abs_vs_sim);
       ("max_rel_vs_sim", Report.Float r.run_max_rel_vs_sim);
       ("equal_vs_sim", Report.Bool r.run_equal_vs_sim);
@@ -155,12 +178,20 @@ let print_results (results : app_result list) =
       Printf.printf "%s (%s, %s):\n" a.res_app a.res_strategy a.res_model;
       List.iter
         (fun r ->
+          let tel =
+            match (r.run_straggler_ratio, r.run_barrier_wait_fraction) with
+            | Some s, Some b ->
+                Printf.sprintf "  straggler %.2f  barrier %4.1f%%" s
+                  (100.0 *. b)
+            | _ -> ""
+          in
           Printf.printf
-            "  %d proc(s): %8.4fs  speedup %5.2fx  shipped %9.0f B  %s\n"
+            "  %d proc(s): %8.4fs  speedup %5.2fx  shipped %9.0f B  %s%s\n"
             r.run_procs r.run_wall_seconds r.run_speedup r.run_bytes_shipped
             (if r.run_equal_vs_sim then "results match sim"
              else
                Printf.sprintf "MISMATCH vs sim (max abs %.3e rel %.3e)"
-                 r.run_max_abs_vs_sim r.run_max_rel_vs_sim))
+                 r.run_max_abs_vs_sim r.run_max_rel_vs_sim)
+            tel)
         a.res_runs)
     results

@@ -11,6 +11,12 @@ type run = {
   run_bytes_shipped : float;  (** total wire bytes of DistArray state *)
   run_bytes_by_array : (string * float) list;
   run_speedup : float;  (** wall(1 proc) / wall(n procs) *)
+  run_straggler_ratio : float option;
+      (** max/mean busy time over workers, from the merged wall-clock
+          telemetry ([None] when telemetry was disabled) *)
+  run_barrier_wait_fraction : float option;
+      (** fraction of worker time spent in pass barriers, from
+          telemetry *)
   run_max_abs_vs_sim : float;
   run_max_rel_vs_sim : float;
   run_equal_vs_sim : bool;  (** within the app's tolerance *)

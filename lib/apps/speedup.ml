@@ -30,6 +30,11 @@ type run = {
       (** more domains than available cores — wall time measures
           scheduler thrash, not parallel speedup *)
   run_compiled : bool;  (** bodies ran as {!Orion.Compile} kernels *)
+  run_straggler_ratio : float option;
+      (** max/mean busy time over domains, from wall-clock telemetry
+          ([None] when telemetry was disabled) *)
+  run_barrier_wait_fraction : float option;
+      (** fraction of domain time spent waiting, from telemetry *)
   run_max_abs_vs_sim : float;
   run_max_rel_vs_sim : float;
   run_equal_vs_sim : bool;  (** within the app's tolerance *)
@@ -43,6 +48,8 @@ type app_result = {
   res_best_speedup : float option;
       (** best speedup over the non-oversubscribed multi-domain runs;
           [None] when every multi-domain run was oversubscribed *)
+  res_best_speedup_reason : string option;
+      (** why [res_best_speedup] is [None], naming the core count *)
 }
 
 (* element-wise max |a-b| / max rel over an output array pair *)
@@ -100,6 +107,11 @@ let bench_app (app : App.t) ~domains_list ~passes ~scale ~available_cores
               base_wall := Some r.Orion.Engine.ep_wall_seconds;
               r.Orion.Engine.ep_wall_seconds
         in
+        let overall =
+          Option.map
+            (fun sm -> sm.Orion.Telemetry.sm_overall)
+            r.Orion.Engine.ep_telemetry
+        in
         {
           run_domains = domains;
           run_wall_seconds = r.Orion.Engine.ep_wall_seconds;
@@ -108,6 +120,10 @@ let bench_app (app : App.t) ~domains_list ~passes ~scale ~available_cores
           run_speedup = base /. Float.max r.Orion.Engine.ep_wall_seconds 1e-12;
           run_oversubscribed = domains > available_cores;
           run_compiled = r.Orion.Engine.ep_compiled;
+          run_straggler_ratio =
+            Option.map (fun m -> m.Orion.Metrics.straggler_ratio) overall;
+          run_barrier_wait_fraction =
+            Option.map (fun m -> m.Orion.Metrics.barrier_wait_fraction) overall;
           run_max_abs_vs_sim = max_abs;
           run_max_rel_vs_sim = max_rel;
           run_equal_vs_sim = equal;
@@ -122,12 +138,22 @@ let bench_app (app : App.t) ~domains_list ~passes ~scale ~available_cores
         else acc)
       None runs
   in
+  let best_speedup_reason =
+    match best_speedup with
+    | Some _ -> None
+    | None ->
+        Some
+          (Printf.sprintf
+             "all multi-domain runs oversubscribed (available_cores=%d)"
+             available_cores)
+  in
   {
     res_app = app.App.app_name;
     res_strategy = ref_report.Orion.Engine.ep_strategy;
     res_model = ref_report.Orion.Engine.ep_model;
     res_runs = runs;
     res_best_speedup = best_speedup;
+    res_best_speedup_reason = best_speedup_reason;
   }
 
 let run_json (r : run) : Report.json =
@@ -140,6 +166,14 @@ let run_json (r : run) : Report.json =
       ("speedup", Report.Float r.run_speedup);
       ("oversubscribed", Report.Bool r.run_oversubscribed);
       ("compiled", Report.Bool r.run_compiled);
+      ( "straggler_ratio",
+        match r.run_straggler_ratio with
+        | Some v -> Report.Float v
+        | None -> Report.Null );
+      ( "barrier_wait_fraction",
+        match r.run_barrier_wait_fraction with
+        | Some v -> Report.Float v
+        | None -> Report.Null );
       ("max_abs_vs_sim", Report.Float r.run_max_abs_vs_sim);
       ("max_rel_vs_sim", Report.Float r.run_max_rel_vs_sim);
       ("equal_vs_sim", Report.Bool r.run_equal_vs_sim);
@@ -154,6 +188,10 @@ let app_result_json (a : app_result) : Report.json =
       ( "best_speedup",
         match a.res_best_speedup with
         | Some s -> Report.Float s
+        | None -> Report.Null );
+      ( "best_speedup_reason",
+        match a.res_best_speedup_reason with
+        | Some reason -> Report.Str reason
         | None -> Report.Null );
       ("runs", Report.List (List.map run_json a.res_runs));
     ]
@@ -207,8 +245,15 @@ let print_results (results : app_result list) =
       Printf.printf "%s (%s, %s):\n" a.res_app a.res_strategy a.res_model;
       List.iter
         (fun r ->
+          let tel =
+            match (r.run_straggler_ratio, r.run_barrier_wait_fraction) with
+            | Some s, Some b ->
+                Printf.sprintf "  straggler %.2f  barrier %4.1f%%" s
+                  (100.0 *. b)
+            | _ -> ""
+          in
           Printf.printf
-            "  %d domain(s): %8.4fs  speedup %5.2fx%s  steals %4d  %s  %s\n"
+            "  %d domain(s): %8.4fs  speedup %5.2fx%s  steals %4d  %s  %s%s\n"
             r.run_domains r.run_wall_seconds r.run_speedup
             (if r.run_oversubscribed then " (oversubscribed)" else "")
             r.run_steals
@@ -216,11 +261,16 @@ let print_results (results : app_result list) =
             (if r.run_equal_vs_sim then "results match sim"
              else
                Printf.sprintf "MISMATCH vs sim (max abs %.3e rel %.3e)"
-                 r.run_max_abs_vs_sim r.run_max_rel_vs_sim))
+                 r.run_max_abs_vs_sim r.run_max_rel_vs_sim)
+            tel)
         a.res_runs;
-      match a.res_best_speedup with
-      | Some s -> Printf.printf "  best speedup (within cores): %.2fx\n" s
-      | None ->
-          Printf.printf
-            "  best speedup: n/a (all multi-domain runs oversubscribed)\n")
+      match (a.res_best_speedup, a.res_best_speedup_reason) with
+      | Some s, _ -> Printf.printf "  best speedup (within cores): %.2fx\n" s
+      | None, reason ->
+          let reason =
+            Option.value reason ~default:"all multi-domain runs oversubscribed"
+          in
+          Printf.printf "  best speedup: n/a (%s)\n" reason;
+          Printf.eprintf "warning: %s: no meaningful speedup — %s\n" a.res_app
+            reason)
     results

@@ -16,6 +16,11 @@ type run = {
       (** more domains than available cores — wall time measures
           scheduler thrash, not parallel speedup *)
   run_compiled : bool;  (** bodies ran as {!Orion.Compile} kernels *)
+  run_straggler_ratio : float option;
+      (** max/mean busy time over domains, from wall-clock telemetry
+          ([None] when telemetry was disabled) *)
+  run_barrier_wait_fraction : float option;
+      (** fraction of domain time spent waiting, from telemetry *)
   run_max_abs_vs_sim : float;
   run_max_rel_vs_sim : float;
   run_equal_vs_sim : bool;  (** within the app's tolerance *)
@@ -29,6 +34,8 @@ type app_result = {
   res_best_speedup : float option;
       (** best speedup over the non-oversubscribed multi-domain runs;
           [None] when every multi-domain run was oversubscribed *)
+  res_best_speedup_reason : string option;
+      (** why [res_best_speedup] is [None], naming the core count *)
 }
 
 (** Element-wise (max |a-b|, max relative) difference over two output

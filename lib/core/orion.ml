@@ -34,6 +34,8 @@ module Cluster = Orion_sim.Cluster
 module Recorder = Orion_sim.Recorder
 module Trace = Orion_sim.Trace
 module Metrics = Orion_sim.Metrics
+module Clock = Orion_obs.Clock
+module Telemetry = Orion_obs.Telemetry
 module Dist_array = Orion_dsm.Dist_array
 module Partitioner = Orion_dsm.Partitioner
 module Pipeline = Orion_dsm.Pipeline
@@ -596,6 +598,10 @@ module Engine = struct
             only: partition ship + prefetch + tokens + flushes) *)
     ep_bytes_by_array : (string * float) list;
         (** [ep_bytes_shipped] broken down per DistArray *)
+    ep_telemetry : Telemetry.summary option;
+        (** wall-clock telemetry of the real run: merged span timeline,
+            per-pass metrics, measured block costs ([None] for [`Sim] —
+            its trace lives on the cluster — or when disabled) *)
   }
 
   let report_payload (r : report) : Report.json =
@@ -620,6 +626,10 @@ module Engine = struct
             (List.map
                (fun (name, b) -> (name, Report.Float b))
                r.ep_bytes_by_array) );
+        ( "telemetry",
+          match r.ep_telemetry with
+          | Some sm -> Telemetry.summary_json sm
+          | None -> Report.Null );
       ]
 
   let interp_body env (inst : App.instance) ~key ~value =
@@ -689,6 +699,7 @@ module Engine = struct
     passes:int ->
     pipeline_depth:int option ->
     scale:float ->
+    telemetry:bool ->
     report
 
   let distributed_runner : distributed_runner option ref = ref None
@@ -699,12 +710,14 @@ module Engine = struct
       (only consulted by [`Distributed], whose workers rebuild the
       instance). *)
   let run (session : session) (inst : App.instance) ~(mode : mode)
-      ?(passes = 1) ?pipeline_depth ?(scale = 1.0) () : report =
+      ?(passes = 1) ?pipeline_depth ?(scale = 1.0)
+      ?(telemetry = Telemetry.default_enabled ()) () : report =
     match mode with
     | `Distributed { procs; transport } -> (
         match !distributed_runner with
         | Some f ->
             f session inst ~procs ~transport ~passes ~pipeline_depth ~scale
+              ~telemetry
         | None ->
             raise
               (Distributed_error
@@ -729,7 +742,7 @@ module Engine = struct
     match submode with
     | `Sim ->
         let sim0 = Cluster.now session.cluster in
-        let t0 = Unix.gettimeofday () in
+        let t0 = Clock.now () in
         let entries = ref 0 in
         for _ = 1 to passes do
           let body ~worker:_ ~key ~value =
@@ -750,10 +763,11 @@ module Engine = struct
           ep_blocks = passes * sp * tp;
           ep_steals = 0;
           ep_compiled = false;
-          ep_wall_seconds = Unix.gettimeofday () -. t0;
+          ep_wall_seconds = Clock.elapsed t0;
           ep_sim_time = Cluster.now session.cluster -. sim0;
           ep_bytes_shipped = 0.0;
           ep_bytes_by_array = [];
+          ep_telemetry = None;
         }
     | `Parallel domains ->
         let domains = max 1 domains in
@@ -778,16 +792,22 @@ module Engine = struct
               | None -> fun ~key ~value -> interp_body env inst ~key ~value)
             envs
         in
-        let t0 = Unix.gettimeofday () in
+        let tel = Telemetry.create ~enabled:telemetry ~workers:domains () in
+        let windows = ref [] in
+        let t0 = Clock.now () in
         let blocks = ref 0 and entries = ref 0 and steals = ref 0 in
         Dist_array.enter_parallel ();
         Fun.protect
           ~finally:(fun () -> Dist_array.exit_parallel ())
           (fun () ->
-            for _ = 1 to passes do
+            for pass = 0 to passes - 1 do
+              let w0 = if telemetry then Telemetry.now tel else 0.0 in
               let st =
-                Domain_exec.run_schedule ~domains ~model sched ~bodies
+                Domain_exec.run_schedule ~telemetry:tel ~pass ~domains ~model
+                  sched ~bodies
               in
+              if telemetry then
+                windows := (pass, w0, Telemetry.now tel) :: !windows;
               blocks := !blocks + st.Domain_exec.blocks_run;
               entries := !entries + st.Domain_exec.entries_run;
               steals := !steals + st.Domain_exec.steals
@@ -821,9 +841,15 @@ module Engine = struct
           ep_blocks = !blocks;
           ep_steals = !steals;
           ep_compiled = Array.for_all Option.is_some kernels;
-          ep_wall_seconds = Unix.gettimeofday () -. t0;
+          ep_wall_seconds = Clock.elapsed t0;
           ep_sim_time = 0.0;
           ep_bytes_shipped = 0.0;
           ep_bytes_by_array = [];
+          ep_telemetry =
+            (if telemetry then
+               Some
+                 (Telemetry.summarize tel ~mode:"parallel"
+                    ~windows:(List.rev !windows))
+             else None);
         }
 end

@@ -31,6 +31,8 @@ module Cluster = Orion_sim.Cluster
 module Recorder = Orion_sim.Recorder
 module Trace = Orion_sim.Trace
 module Metrics = Orion_sim.Metrics
+module Clock = Orion_obs.Clock
+module Telemetry = Orion_obs.Telemetry
 module Dist_array = Orion_dsm.Dist_array
 module Partitioner = Orion_dsm.Partitioner
 module Pipeline = Orion_dsm.Pipeline
@@ -298,6 +300,10 @@ module Engine : sig
             only: partition ship + prefetch + tokens + flushes) *)
     ep_bytes_by_array : (string * float) list;
         (** [ep_bytes_shipped] broken down per DistArray *)
+    ep_telemetry : Telemetry.summary option;
+        (** wall-clock telemetry of the real run: merged span timeline,
+            per-pass metrics, measured block costs ([None] for [`Sim] —
+            its trace lives on the cluster — or when disabled) *)
   }
 
   val report_payload : report -> Report.json
@@ -320,6 +326,7 @@ module Engine : sig
     passes:int ->
     pipeline_depth:int option ->
     scale:float ->
+    telemetry:bool ->
     report
 
   val distributed_runner : distributed_runner option ref
@@ -328,6 +335,9 @@ module Engine : sig
       its DistArrays in place.  [scale] must echo the dataset scale
       [inst] was built with (only consulted by [`Distributed], whose
       workers rebuild the instance from the app registry).
+      [telemetry] (default {!Telemetry.default_enabled}) turns
+      wall-clock span recording on for the real modes; the summary
+      lands in [ep_telemetry].
       @raise Distributed_error when a [`Distributed] run fails. *)
   val run :
     session ->
@@ -336,6 +346,7 @@ module Engine : sig
     ?passes:int ->
     ?pipeline_depth:int ->
     ?scale:float ->
+    ?telemetry:bool ->
     unit ->
     report
 end

@@ -28,6 +28,7 @@ module Schedule = Orion_runtime.Schedule
 module Domain_exec = Orion_runtime.Domain_exec
 module Trace = Orion_sim.Trace
 module Cluster = Orion_sim.Cluster
+module Telemetry = Orion_obs.Telemetry
 
 type spawn = [ `Fork | `Exec of string ]
 
@@ -144,9 +145,13 @@ type worker_state = {
 
 let run ~(materialize : Dist_worker.materialize) ?spawn
     (session : Orion.session) (inst : Orion.App.instance) ~procs
-    ~(transport : Orion.Engine.transport) ~passes ~pipeline_depth ~scale :
-    Orion.Engine.report =
+    ~(transport : Orion.Engine.transport) ~passes ~pipeline_depth ~scale
+    ~telemetry : Orion.Engine.report =
   if procs < 1 then err "procs must be >= 1, got %d" procs;
+  (* a worker dying mid-run must surface as EPIPE on our next send to
+     it (handled by the supervision loop), not kill the master *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
   let cluster_workers = Cluster.num_workers session.Orion.cluster in
   if cluster_workers <> procs then
     err
@@ -154,6 +159,7 @@ let run ~(materialize : Dist_worker.materialize) ?spawn
        workers_per_machine = 1 (procs = %d, session has %d workers)"
       procs cluster_workers;
   let t0 = Unix.gettimeofday () in
+  let w0 = Orion_obs.Clock.now () in
   let deadline = t0 +. master_timeout () in
   let plan = Orion.analyze_loop session inst.Orion.App.inst_loop in
   let compiled =
@@ -179,6 +185,15 @@ let run ~(materialize : Dist_worker.materialize) ?spawn
   let master_addr = Transport.addr_to_string listener.Transport.laddr in
   let spawn = match spawn with Some s -> s | None -> default_spawn () in
   let trace = session.Orion.cluster.Cluster.trace in
+  (* One telemetry shard per rank.  Workers record spans on their own
+     monotonic clocks and ship them per pass with their absolute epoch;
+     the shared per-machine monotonic origin makes
+     [offset = worker_epoch - master_epoch] exact, so the merged
+     timeline is one consistent multi-process view. *)
+  let mtel = Telemetry.create ~enabled:telemetry ~workers:nw () in
+  (* per-pass [(start, finish)] on the master's telemetry clock, as the
+     union of the aligned worker windows *)
+  let pass_windows : (int, float * float) Hashtbl.t = Hashtbl.create 8 in
   let bytes_by_array : (string, float) Hashtbl.t = Hashtbl.create 8 in
   let account name bytes =
     Hashtbl.replace bytes_by_array name
@@ -220,17 +235,45 @@ let run ~(materialize : Dist_worker.materialize) ?spawn
       fmt
   in
   try
-    (* raises if any child already died with a nonzero status *)
+    (* raises if any child already died with a nonzero status.  A
+       suddenly-dead worker (signal, [_exit]) makes its peers die of
+       collateral damage moments later through the guarded
+       uncaught-exception path (exit code 2); when both corpses are on
+       the floor, blame the sudden death, whatever the reap order —
+       and when only guarded corpses are visible, wait briefly for the
+       root cause to become reapable *)
     let monitor_children () =
-      List.iter
-        (fun (rank, pid) ->
-          if states.(rank).st_done = None then
-            match Unix.waitpid [ Unix.WNOHANG ] pid with
-            | 0, _ -> ()
-            | _, Unix.WEXITED 0 -> ()
-            | _, status -> fail_cleanup ~rank "%s" (status_reason status)
-            | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ())
-        pids
+      let reap_dead () =
+        List.filter_map
+          (fun (rank, pid) ->
+            if states.(rank).st_done <> None then None
+            else
+              match Unix.waitpid [ Unix.WNOHANG ] pid with
+              | 0, _ -> None
+              | _, Unix.WEXITED 0 -> None
+              | _, status -> Some (rank, status)
+              | exception Unix.Unix_error (Unix.ECHILD, _, _) -> None)
+          pids
+      in
+      let guarded = function Unix.WEXITED 2 -> true | _ -> false in
+      match reap_dead () with
+      | [] -> ()
+      | dead ->
+          let rec settle tries dead =
+            if tries = 0 || List.exists (fun (_, st) -> not (guarded st)) dead
+            then dead
+            else begin
+              Unix.sleepf 0.05;
+              settle (tries - 1) (dead @ reap_dead ())
+            end
+          in
+          let dead = settle 20 dead in
+          let rank, status =
+            match List.find_opt (fun (_, st) -> not (guarded st)) dead with
+            | Some root -> root
+            | None -> List.hd dead
+          in
+          fail_cleanup ~rank "%s" (status_reason status)
     in
     (* a worker (other than [except]) that already died abnormally — the
        root cause to prefer when another rank merely reports collateral *)
@@ -312,6 +355,7 @@ let run ~(materialize : Dist_worker.materialize) ?spawn
              p_tp = tp;
              p_model = model;
              p_fingerprint = fingerprint;
+             p_telemetry = telemetry;
            })
     done;
     (* -- partition shipping + prefetch serving ---------------------- *)
@@ -413,6 +457,29 @@ let run ~(materialize : Dist_worker.materialize) ?spawn
               states.(rank).st_flush <- Some bf_parts
           | Event_loop.Message (rank, Wire.Acc_merge { am_totals; _ }) ->
               states.(rank).st_totals <- Some am_totals
+          | Event_loop.Message
+              ( rank,
+                Wire.Pass_telemetry
+                  {
+                    pt_epoch;
+                    pt_pass;
+                    pt_window = pw0, pw1;
+                    pt_dropped;
+                    pt_spans;
+                    pt_costs;
+                    _;
+                  } ) ->
+              if telemetry then begin
+                let offset = pt_epoch -. Telemetry.epoch mtel in
+                Telemetry.import_spans mtel ~shard:rank ~offset pt_spans;
+                Telemetry.import_costs mtel ~shard:rank pt_costs;
+                Telemetry.note_dropped mtel ~shard:rank pt_dropped;
+                let s = pw0 +. offset and f = pw1 +. offset in
+                Hashtbl.replace pass_windows pt_pass
+                  (match Hashtbl.find_opt pass_windows pt_pass with
+                  | Some (s0, f0) -> (Float.min s0 s, Float.max f0 f)
+                  | None -> (s, f))
+              end
           | Event_loop.Message (rank, Wire.Done stats) ->
               if
                 states.(rank).st_report = None
@@ -591,10 +658,20 @@ let run ~(materialize : Dist_worker.materialize) ?spawn
       (* workers compile their own kernels (falling back per-worker if a
          body is unsupported); report the master-side switch *)
       ep_compiled = Orion.Compile.enabled ();
-      ep_wall_seconds = Unix.gettimeofday () -. t0;
+      ep_wall_seconds = Orion_obs.Clock.elapsed w0;
       ep_sim_time = 0.0;
       ep_bytes_shipped = List.fold_left (fun acc (_, b) -> acc +. b) 0.0 bytes_list;
       ep_bytes_by_array = bytes_list;
+      ep_telemetry =
+        (if telemetry then
+           let windows =
+             Hashtbl.fold
+               (fun pass (s, f) acc -> (pass, s, f) :: acc)
+               pass_windows []
+             |> List.sort compare
+           in
+           Some (Telemetry.summarize mtel ~mode:"distributed" ~windows)
+         else None);
     }
   with
   | Orion.Engine.Distributed_error _ as e -> raise e
@@ -608,6 +685,7 @@ let run ~(materialize : Dist_worker.materialize) ?spawn
 let install ~(materialize : Dist_worker.materialize) =
   Orion.Engine.distributed_runner :=
     Some
-      (fun session inst ~procs ~transport ~passes ~pipeline_depth ~scale ->
+      (fun session inst ~procs ~transport ~passes ~pipeline_depth ~scale
+           ~telemetry ->
         run ~materialize session inst ~procs ~transport ~passes
-          ~pipeline_depth ~scale)
+          ~pipeline_depth ~scale ~telemetry)

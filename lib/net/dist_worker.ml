@@ -38,6 +38,7 @@ module Dist_array = Orion_dsm.Dist_array
 module Plan = Orion_analysis.Plan
 module Schedule = Orion_runtime.Schedule
 module Domain_exec = Orion_runtime.Domain_exec
+module Telemetry = Orion_obs.Telemetry
 
 type materialize =
   string ->
@@ -178,6 +179,19 @@ let serve (master : Transport.conn) ~(materialize : materialize) ~rank
   if rank < 0 || rank >= sp then fail "rank %d out of range (sp = %d)" rank sp;
   if p.p_procs <> sp then
     fail "worker count %d does not match space partitions %d" p.p_procs sp;
+  (* -- telemetry ----------------------------------------------------
+     One local shard (this process is one worker).  Spans are recorded
+     on this process's monotonic clock and drained to the master after
+     every pass, together with the absolute epoch that lets the master
+     align them onto its own timeline. *)
+  let tel = Telemetry.create ~enabled:p.p_telemetry ~workers:1 () in
+  let tel_on = p.p_telemetry in
+  let tel_now () = if tel_on then Telemetry.now tel else 0.0 in
+  let tel_span ~category ~label ~bytes ~start =
+    if tel_on then
+      Telemetry.span tel ~shard:0 ~worker:rank ~category ~label ~bytes ~start
+        ~finish:(tel_now ())
+  in
   (* -- own listener + prefetch request ----------------------------- *)
   let listener = Transport.listen (Transport.fresh_addr ~like) in
   Transport.send master
@@ -401,7 +415,10 @@ let serve (master : Transport.conn) ~(materialize : materialize) ~rank
     go ()
   in
   (* per-peer cursor into [known_log]; entries the peer authored itself
-     are filtered out of the payload (it has them by construction) *)
+     are filtered out of the payload (it has them by construction).
+     Returns the entries plus their total payload bytes (also
+     accumulated per array for the final stats), which label the
+     telemetry Transfer span around the send. *)
   let sent_upto = Array.make sp 0 in
   let bytes_by_array : (string, float) Hashtbl.t = Hashtbl.create 8 in
   let fresh_entries q =
@@ -416,6 +433,7 @@ let serve (master : Transport.conn) ~(materialize : materialize) ~rank
         (fun (bw : Wire.block_writes) -> owner bw.bw_block <> q)
         (List.rev (take n !known_log))
     in
+    let payload = ref 0.0 in
     List.iter
       (fun (bw : Wire.block_writes) ->
         Array.iter
@@ -424,6 +442,7 @@ let serve (master : Transport.conn) ~(materialize : materialize) ~rank
               float_of_int
                 (Bytes.length (Marshal.to_bytes (w.w_key, w.w_value) []))
             in
+            payload := !payload +. b;
             Hashtbl.replace bytes_by_array w.w_array
               (b
               +. Option.value
@@ -431,13 +450,14 @@ let serve (master : Transport.conn) ~(materialize : materialize) ~rank
                    ~default:0.0))
           bw.bw_writes)
       entries;
-    entries
+    (entries, !payload)
   in
   (* -- execute ------------------------------------------------------ *)
   let abort = abort_spec () in
   let blocks_done = ref 0 and entries_done = ref 0 in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Orion_obs.Clock.now () in
   for pass = 0 to p.p_passes - 1 do
+    let pass_start = tel_now () in
     Array.iter
       (fun (s, t) ->
         if s = rank then begin
@@ -450,20 +470,28 @@ let serve (master : Transport.conn) ~(materialize : materialize) ~rank
           let need =
             Option.value (Hashtbl.find_opt incoming blk) ~default:[]
           in
+          let wait_start = tel_now () in
           wait_for
             (fun () ->
               List.for_all
                 (fun src -> Hashtbl.mem tokens (pass, src, blk))
                 need)
             (Printf.sprintf "tokens for block %d of pass %d" blk pass);
+          tel_span ~category:Orion_obs.Trace.Idle ~label:"wait-tokens"
+            ~bytes:0.0 ~start:wait_start;
           current := [];
           cur_version := (pass, pos blk);
           let b = sched.Schedule.blocks.(s).(t) in
+          let blk_start = tel_now () in
           Array.iter
             (fun (key, value) ->
               exec_entry ~key ~value;
               incr entries_done)
             b.Schedule.entries;
+          if tel_on then
+            Telemetry.block tel ~shard:0 ~worker:rank ~pass ~space:s ~time:t
+              ~start:blk_start ~finish:(tel_now ())
+              ~entries:(Array.length b.Schedule.entries);
           incr blocks_done;
           Hashtbl.replace known (pass, blk) ();
           let bw =
@@ -482,25 +510,37 @@ let serve (master : Transport.conn) ~(materialize : materialize) ~rank
               List.iter
                 (fun dst ->
                   let q = owner dst in
+                  let entries, bytes = fresh_entries q in
+                  let send_start = tel_now () in
                   Transport.send (peer q)
                     (Wire.Rotation_token
                        {
                          rt_pass = pass;
                          rt_src = blk;
                          rt_dst = dst;
-                         rt_entries = fresh_entries q;
-                       }))
+                         rt_entries = entries;
+                       });
+                  tel_span ~category:Orion_obs.Trace.Transfer
+                    ~label:(Printf.sprintf "token->%d" q)
+                    ~bytes ~start:send_start)
                 (List.sort_uniq compare dsts)
         end)
       order;
     (* pass barrier: flush the journal all-to-all so pass + 1 starts
        from globally consistent DistArray state *)
     for q = 0 to sp - 1 do
-      if q <> rank then
+      if q <> rank then begin
+        let entries, bytes = fresh_entries q in
+        let send_start = tel_now () in
         Transport.send (peer q)
           (Wire.Pass_sync
-             { ps_pass = pass; ps_rank = rank; ps_entries = fresh_entries q })
+             { ps_pass = pass; ps_rank = rank; ps_entries = entries });
+        tel_span ~category:Orion_obs.Trace.Transfer
+          ~label:(Printf.sprintf "sync->%d" q)
+          ~bytes ~start:send_start
+      end
     done;
+    let barrier_start = tel_now () in
     wait_for
       (fun () ->
         let ok = ref true in
@@ -508,11 +548,29 @@ let serve (master : Transport.conn) ~(materialize : materialize) ~rank
           if q <> rank && not (Hashtbl.mem syncs (pass, q)) then ok := false
         done;
         !ok)
-      (Printf.sprintf "pass %d barrier" pass)
+      (Printf.sprintf "pass %d barrier" pass);
+    tel_span ~category:Orion_obs.Trace.Barrier_wait ~label:"pass-sync"
+      ~bytes:0.0 ~start:barrier_start;
+    (* ship this pass's telemetry shard to the master: spans on the
+       worker's clock plus the absolute epoch the master aligns with *)
+    if tel_on then begin
+      let spans, costs, dropped = Telemetry.drain tel ~shard:0 in
+      Transport.send master
+        (Wire.Pass_telemetry
+           {
+             pt_rank = rank;
+             pt_pass = pass;
+             pt_epoch = Telemetry.epoch tel;
+             pt_window = (pass_start, tel_now ());
+             pt_dropped = dropped;
+             pt_spans = spans;
+             pt_costs = costs;
+           })
+    end
   done;
   (* leak loop locals back into the env, as the interpreter would *)
   Option.iter Orion.Compile.flush_locals kernel;
-  let wall = Unix.gettimeofday () -. t0 in
+  let wall = Orion_obs.Clock.elapsed t0 in
   (* -- final reports ------------------------------------------------ *)
   Transport.send master
     (Wire.Block_report { br_rank = rank; br_entries = List.rev !own });
@@ -562,6 +620,10 @@ let serve (master : Transport.conn) ~(materialize : materialize) ~rank
     a clean shutdown.  Any failure is reported to the master as a
     {!Wire.Fatal} before re-raising. *)
 let connect_and_serve ~(materialize : materialize) ~rank ~master_addr : unit =
+  (* a dead peer must surface as an EPIPE exception (and so the guarded
+     Fatal path below), not kill the worker silently via SIGPIPE *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
   let like = Transport.addr_of_string master_addr in
   let master = Transport.connect like in
   Transport.send master

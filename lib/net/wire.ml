@@ -15,12 +15,14 @@
     master → worker   Prefetch_response
     master → worker   Peers                (addr per rank)
     worker ↔ worker   Peer_hello, Rotation_token, Pass_sync
+    worker → master   Pass_telemetry       (per-pass spans + block costs)
     worker → master   Block_report, Buffer_flush, Acc_merge, Done
     master → worker   Shutdown
     any    → master   Fatal
     v} *)
 
-let version = 1
+(* v2: plan carries [p_telemetry]; workers ship [Pass_telemetry] *)
+let version = 2
 
 (** One journaled DistArray element write, in execution order. *)
 type write = { w_array : string; w_key : int array; w_value : float }
@@ -63,6 +65,9 @@ type plan = {
   p_fingerprint : int;
       (** {!Orion_runtime.Schedule.fingerprint} of the master's
           schedule; the worker must compile an identical one *)
+  p_telemetry : bool;
+      (** record wall-clock telemetry and ship {!Pass_telemetry}
+          messages after each pass *)
 }
 
 type msg =
@@ -86,6 +91,22 @@ type msg =
   | Pass_sync of { ps_pass : int; ps_rank : int; ps_entries : block_writes list }
       (** all-to-all barrier at the end of each pass, flushing the
           remaining journal entries *)
+  | Pass_telemetry of {
+      pt_rank : int;
+      pt_pass : int;
+      pt_epoch : float;
+          (** the worker telemetry's absolute monotonic epoch; the
+              master aligns shipped span timestamps onto its own clock
+              with [offset = pt_epoch - master_epoch] (the monotonic
+              origin is shared by all processes on one machine) *)
+      pt_window : float * float;
+          (** the pass's [(start, finish)] on the worker's clock *)
+      pt_dropped : int;
+      pt_spans : Orion_obs.Trace.span array;
+      pt_costs : Orion_obs.Telemetry.block_cost list;
+    }
+      (** the worker's telemetry shard for one pass, drained and
+          shipped to the master right after the pass barrier *)
   | Block_report of { br_rank : int; br_entries : block_writes list }
       (** the worker's complete own-block write log, all passes *)
   | Buffer_flush of { bf_rank : int; bf_parts : part list }
@@ -108,6 +129,7 @@ let tag = function
   | Peer_hello _ -> "peer-hello"
   | Rotation_token _ -> "rotation-token"
   | Pass_sync _ -> "pass-sync"
+  | Pass_telemetry _ -> "pass-telemetry"
   | Block_report _ -> "block-report"
   | Buffer_flush _ -> "buffer-flush"
   | Acc_merge _ -> "acc-merge"

@@ -1,0 +1,12 @@
+(** Monotonic wall clock (seconds since an arbitrary origin, usually
+    boot).  All real-runtime telemetry spans and every [wall_seconds]
+    measurement use this instead of [Unix.gettimeofday], which can step
+    backwards under NTP adjustment and corrupt span durations and
+    speedups.  On one machine the origin is shared by every process, so
+    cross-process timestamps can be aligned by a plain offset. *)
+
+external now : unit -> float = "orion_obs_monotonic_seconds"
+
+(** Elapsed seconds since [t0] (a value previously returned by
+    {!now}); never negative. *)
+let elapsed t0 = Float.max 0.0 (now () -. t0)

@@ -1,0 +1,10 @@
+(** Monotonic wall clock for telemetry spans and [wall_seconds]
+    measurements ([CLOCK_MONOTONIC]; never steps backwards, shared
+    across processes on one machine). *)
+
+val now : unit -> float
+(** Seconds since an arbitrary fixed origin (usually boot). *)
+
+val elapsed : float -> float
+(** [elapsed t0] is seconds since [t0] (a prior {!now}); never
+    negative. *)

@@ -1,0 +1,24 @@
+/* Monotonic clock for wall-clock telemetry spans.
+ *
+ * CLOCK_MONOTONIC never steps backwards (gettimeofday can, under NTP
+ * adjustment), and on one machine it is shared by every process since
+ * boot, which is what lets the distributed master align worker span
+ * timestamps by a plain epoch offset. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+#include <sys/time.h>
+
+CAMLprim value orion_obs_monotonic_seconds(value unit)
+{
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec * 1e-9);
+  /* no monotonic clock: degrade to wall time rather than fail */
+  {
+    struct timeval tv;
+    gettimeofday(&tv, NULL);
+    return caml_copy_double((double)tv.tv_sec + (double)tv.tv_usec * 1e-6);
+  }
+}

@@ -23,9 +23,10 @@ type t = {
   total_bytes : float;
 }
 
-(** Aggregate the spans starting at or after [since] (capture
-    [Cluster.now] before a pass to scope metrics to that pass). *)
-val of_trace : ?since:float -> num_workers:int -> Trace.t -> t
+(** Aggregate the spans starting inside [\[since, until)] — capture
+    [Cluster.now] (sim) or the telemetry clock (real runs) at the pass
+    boundaries to scope metrics to one pass. *)
+val of_trace : ?since:float -> ?until:float -> num_workers:int -> Trace.t -> t
 
 (** One-line human summary. *)
 val summary : t -> string

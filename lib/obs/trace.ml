@@ -1,0 +1,176 @@
+(** Span-based worker-timeline tracer — the backend-neutral span store
+    shared by the simulated cluster and the real runtimes.
+
+    Every charge to a worker's clock (and some things that do not
+    occupy the clock, such as background transfers) can be recorded as
+    a *span*: a worker, a category, a half-open time interval, an
+    optional label (e.g. the block's space/time indices or the
+    DistArray being shipped) and an optional byte count.  The time axis
+    is whatever the producer charges: the simulated cluster records
+    {e virtual} seconds, the domain pool and the distributed runtime
+    record {e monotonic wall-clock} seconds ({!Clock}) relative to a
+    run epoch.  {!Metrics} derives per-pass aggregates either way, and
+    the exporters below produce Chrome [trace_event] JSON (loadable in
+    chrome://tracing / Perfetto) and CSV.
+
+    Spans are stored in a flat growable buffer capped at [max_spans]
+    (default 500k) so that long benchmark runs cannot exhaust memory;
+    once the cap is hit further spans are counted in [dropped] but not
+    stored.  Every export carries the drop count (["dropped"] in the
+    Chrome JSON, a [# dropped N] comment in the CSV) so a truncated
+    trace is never silently read as complete. *)
+
+type category = Compute | Marshal | Transfer | Barrier_wait | Idle
+
+let category_to_string = function
+  | Compute -> "compute"
+  | Marshal -> "marshal"
+  | Transfer -> "transfer"
+  | Barrier_wait -> "barrier_wait"
+  | Idle -> "idle"
+
+type span = {
+  worker : int;
+  category : category;
+  label : string;  (** "" means "just the category" *)
+  start_sec : float;
+  duration_sec : float;
+  bytes : float;  (** 0 for non-communication spans *)
+}
+
+type t = {
+  mutable spans : span array;
+  mutable len : int;
+  mutable dropped : int;
+  mutable enabled : bool;
+  max_spans : int;
+}
+
+let dummy =
+  {
+    worker = 0;
+    category = Idle;
+    label = "";
+    start_sec = 0.0;
+    duration_sec = 0.0;
+    bytes = 0.0;
+  }
+
+let create ?(enabled = true) ?(max_spans = 500_000) () =
+  { spans = Array.make 256 dummy; len = 0; dropped = 0; enabled; max_spans }
+
+let set_enabled t enabled = t.enabled <- enabled
+let length t = t.len
+let dropped t = t.dropped
+let add_dropped t n = t.dropped <- t.dropped + n
+
+let add_span t (s : span) =
+  if t.enabled && (s.duration_sec > 0.0 || s.bytes > 0.0) then
+    if t.len >= t.max_spans then t.dropped <- t.dropped + 1
+    else begin
+      if t.len >= Array.length t.spans then begin
+        let spans =
+          Array.make (min t.max_spans (2 * Array.length t.spans)) dummy
+        in
+        Array.blit t.spans 0 spans 0 t.len;
+        t.spans <- spans
+      end;
+      t.spans.(t.len) <- s;
+      t.len <- t.len + 1
+    end
+
+(** Record one span.  Zero-length spans carrying no bytes are elided;
+    so is everything while the tracer is disabled. *)
+let add ?(label = "") ?(bytes = 0.0) t ~worker ~category ~start_sec
+    ~duration_sec =
+  add_span t { worker; category; label; start_sec; duration_sec; bytes }
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.spans.(i)
+  done
+
+let spans t = Array.sub t.spans 0 t.len
+
+let reset t =
+  t.len <- 0;
+  t.dropped <- 0
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let span_name s =
+  if s.label = "" then category_to_string s.category else s.label
+
+(* minimal JSON string escaping: labels are program-generated but may
+   contain user-chosen DistArray names *)
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(** Chrome [trace_event] JSON ("X" complete events; seconds become
+    microseconds).  [pid_of_worker] groups workers into processes —
+    pass the cluster's machine mapping (or the distributed rank map) to
+    get one process lane per machine.  [extra] key/value pairs join
+    [schema_version] / [kind] / [dropped] as top-level metadata —
+    legal trace_event keys that viewers ignore and tooling can key
+    on. *)
+let to_chrome_json ?(pid_of_worker = fun _ -> 0) ?(extra = []) t =
+  let b = Buffer.create (64 * t.len) in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"schema_version\":%d,\"kind\":\"trace\",\"dropped\":%d,\
+        \"displayTimeUnit\":\"ms\""
+       Orion_report.schema_version t.dropped);
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string b
+        (Printf.sprintf ",\"%s\":%s" (escape k) (Orion_report.json_to_string v)))
+    extra;
+  Buffer.add_string b ",\"traceEvents\":[";
+  let first = ref true in
+  iter
+    (fun s ->
+      if not !first then Buffer.add_char b ',';
+      first := false;
+      Buffer.add_string b
+        (Printf.sprintf
+           "\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\
+            \"dur\":%.3f,\"pid\":%d,\"tid\":%d,\"args\":{\"bytes\":%.0f}}"
+           (escape (span_name s))
+           (category_to_string s.category)
+           (s.start_sec *. 1e6) (s.duration_sec *. 1e6)
+           (pid_of_worker s.worker) s.worker s.bytes))
+    t;
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b
+
+let csv_header = "worker,category,label,start_sec,duration_sec,bytes"
+
+let to_csv t =
+  let b = Buffer.create (48 * t.len) in
+  Buffer.add_string b
+    (Printf.sprintf "# schema_version %d\n" Orion_report.schema_version);
+  Buffer.add_string b (Printf.sprintf "# dropped %d\n" t.dropped);
+  Buffer.add_string b csv_header;
+  Buffer.add_char b '\n';
+  iter
+    (fun s ->
+      Buffer.add_string b
+        (Printf.sprintf "%d,%s,%s,%.9f,%.9f,%.0f\n" s.worker
+           (category_to_string s.category)
+           (String.map (fun c -> if c = ',' then ';' else c) s.label)
+           s.start_sec s.duration_sec s.bytes))
+    t;
+  Buffer.contents b

@@ -1,7 +1,9 @@
-(** Span-based worker-timeline tracer: per-worker virtual-time spans
-    tagged with a category, emitted by the cluster primitives and the
-    executor.  Export as Chrome [trace_event] JSON (chrome://tracing /
-    Perfetto) or CSV; {!Metrics} derives per-pass aggregates. *)
+(** Span-based worker-timeline tracer: per-worker spans tagged with a
+    category, emitted by the simulated cluster primitives (virtual
+    time) and by the real runtimes (monotonic wall-clock time, see
+    {!Telemetry}).  Export as Chrome [trace_event] JSON
+    (chrome://tracing / Perfetto) or CSV; {!Metrics} derives per-pass
+    aggregates. *)
 
 type category = Compute | Marshal | Transfer | Barrier_wait | Idle
 
@@ -26,6 +28,10 @@ val set_enabled : t -> bool -> unit
 val length : t -> int
 val dropped : t -> int
 
+(** Fold extra drops into the count (used when merging shard traces:
+    the merged trace must not under-report what its shards dropped). *)
+val add_dropped : t -> int -> unit
+
 (** Record one span.  Zero-duration spans carrying no bytes are elided;
     so is everything while disabled. *)
 val add :
@@ -38,18 +44,26 @@ val add :
   duration_sec:float ->
   unit
 
+(** {!add}, from an existing span record (shard merging, wire import). *)
+val add_span : t -> span -> unit
+
 val iter : (span -> unit) -> t -> unit
 val spans : t -> span array
 val reset : t -> unit
 
 (** Chrome trace-event JSON; [pid_of_worker] groups workers into
-    process lanes (pass the cluster's machine mapping).  The top level
-    carries [schema_version] / [kind] alongside [traceEvents] — extra
+    process lanes (the cluster's machine mapping, or the distributed
+    rank map).  The top level carries [schema_version] / [kind] /
+    [dropped] plus any [extra] pairs alongside [traceEvents] — extra
     metadata keys that viewers ignore and tooling can key on. *)
-val to_chrome_json : ?pid_of_worker:(int -> int) -> t -> string
+val to_chrome_json :
+  ?pid_of_worker:(int -> int) ->
+  ?extra:(string * Orion_report.json) list ->
+  t ->
+  string
 
 val csv_header : string
 
-(** CSV with a leading [# schema_version N] comment line, then
-    {!csv_header}, then one row per span. *)
+(** CSV with leading [# schema_version N] and [# dropped N] comment
+    lines, then {!csv_header}, then one row per span. *)
 val to_csv : t -> string

@@ -188,12 +188,29 @@ type stats = {
     by domain [d] (give each domain its own closure/state — see the
     module comment).  Blocks execute their entries in scheduled order;
     the pass returns only when every block has completed.  An exception
-    raised by any body cancels the pass and is re-raised here. *)
-let run_schedule ~domains ~model (sched : 'v Schedule.t)
+    raised by any body cancels the pass and is re-raised here.
+
+    When [telemetry] is enabled (and sized for at least [domains]
+    shards), each domain records into its own shard: a Compute span
+    plus a measured-cost entry per block (tagged with [pass] and the
+    block's space/time indices), an Idle span for each wait on the pool
+    (labeled ["steal"] when it ended by taking another domain's work),
+    and a Barrier_wait span labeled ["join"] for the final wait until
+    the pass completes.  Disabled telemetry costs nothing — the hot
+    path never reads the clock. *)
+let run_schedule ?(telemetry = Orion_obs.Telemetry.disabled) ?(pass = 0)
+    ~domains ~model (sched : 'v Schedule.t)
     ~(bodies : (key:int array -> value:'v -> unit) array) : stats =
   let sp = sched.Schedule.space_parts and tp = sched.Schedule.time_parts in
   let n = sp * tp in
   let domains = max 1 (min domains (Array.length bodies)) in
+  let tel_on =
+    Orion_obs.Telemetry.enabled telemetry
+    && Orion_obs.Telemetry.workers telemetry >= domains
+  in
+  let tel_now () =
+    if tel_on then Orion_obs.Telemetry.now telemetry else 0.0
+  in
   let succs, pending0 = build_graph model ~sp ~tp in
   let pending = Array.map Atomic.make pending0 in
   let remaining = Atomic.make n in
@@ -218,12 +235,13 @@ let run_schedule ~domains ~model (sched : 'v Schedule.t)
     end
   in
   let finished () = Atomic.get remaining = 0 in
-  (* take own work first (LIFO), then steal from the other stacks *)
+  (* take own work first (LIFO), then steal from the other stacks; the
+     flag says whether the block was stolen (for the wait-span label) *)
   let take who =
     match stacks.(who) with
     | id :: rest ->
         stacks.(who) <- rest;
-        Some id
+        Some (id, false)
     | [] ->
         let found = ref None in
         let d = ref 1 in
@@ -233,26 +251,46 @@ let run_schedule ~domains ~model (sched : 'v Schedule.t)
           | id :: rest ->
               stacks.(v) <- rest;
               incr steals;
-              found := Some id
+              found := Some (id, true)
           | [] -> ());
           incr d
         done;
         !found
   in
+  (* Pop or steal the next ready block, blocking on the pool while
+     empty.  The whole acquisition is one telemetry wait span on the
+     calling domain's shard: Idle (labeled "steal" when it ended by
+     taking another domain's work) when a block arrives, Barrier_wait
+     "join" when the pass is over and the domain just waited for the
+     stragglers. *)
   let next who =
+    let wait_start = tel_now () in
     Mutex.lock m;
     let rec loop () =
       if !failed <> None || finished () then None
       else
         match take who with
-        | Some id -> Some id
+        | Some r -> Some r
         | None ->
             Condition.wait cv m;
             loop ()
     in
     let r = loop () in
     Mutex.unlock m;
-    r
+    if tel_on then begin
+      let finish = tel_now () in
+      match r with
+      | Some (_, stolen) ->
+          Orion_obs.Telemetry.span telemetry ~shard:who ~worker:who
+            ~category:Orion_obs.Trace.Idle
+            ?label:(if stolen then Some "steal" else None)
+            ~start:wait_start ~finish
+      | None ->
+          Orion_obs.Telemetry.span telemetry ~shard:who ~worker:who
+            ~category:Orion_obs.Trace.Barrier_wait ~label:"join"
+            ~start:wait_start ~finish
+    end;
+    Option.map fst r
   in
   let fail e =
     Mutex.lock m;
@@ -265,10 +303,16 @@ let run_schedule ~domains ~model (sched : 'v Schedule.t)
      block, no shared counter), and the successor decrements are
      batched into a single filter pass over the edge list. *)
   let run_block who id =
-    let b = Schedule.block sched ~space:(id / tp) ~time:(id mod tp) in
+    let space = id / tp and time = id mod tp in
+    let b = Schedule.block sched ~space ~time in
     let body = bodies.(who) in
     let entries = b.Schedule.entries in
+    let block_start = tel_now () in
     Array.iter (fun (key, value) -> body ~key ~value) entries;
+    if tel_on then
+      Orion_obs.Telemetry.block telemetry ~shard:who ~worker:who ~pass ~space
+        ~time ~start:block_start ~finish:(tel_now ())
+        ~entries:(Array.length entries);
     entries_run.(who) <- entries_run.(who) + Array.length entries;
     let ready =
       List.filter
@@ -313,14 +357,14 @@ let run_schedule ~domains ~model (sched : 'v Schedule.t)
       seeds.(id mod domains) <- id :: seeds.(id mod domains)
   done;
   Array.iteri (fun d ids -> stacks.(d) <- ids) seeds;
-  let t0 = Unix.gettimeofday () in
+  let t0 = Orion_obs.Clock.now () in
   let spawned =
     Array.init (domains - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1)))
   in
   (* the calling domain is worker 0 *)
   worker 0;
   Array.iter Domain.join spawned;
-  let wall = Unix.gettimeofday () -. t0 in
+  let wall = Orion_obs.Clock.elapsed t0 in
   (match !failed with Some e -> raise e | None -> ());
   {
     domains;

@@ -44,8 +44,17 @@ type stats = {
     runs on domain [d] (one closure per domain — interpreter
     environments are single-writer).  Returns after all blocks
     complete; an exception from any body cancels the pass and is
-    re-raised. *)
+    re-raised.
+
+    With [telemetry] enabled (sized for ≥ [domains] shards), each
+    domain records into its own shard: a Compute span + measured-cost
+    entry per block (tagged [pass] and the block's space/time indices),
+    Idle spans for pool waits (labeled ["steal"] when resolved by
+    stealing) and a Barrier_wait ["join"] span for the final wait.
+    Disabled telemetry costs nothing on the hot path. *)
 val run_schedule :
+  ?telemetry:Orion_obs.Telemetry.t ->
+  ?pass:int ->
   domains:int ->
   model:model ->
   'v Schedule.t ->

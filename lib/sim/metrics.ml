@@ -1,200 +1,5 @@
-(** Per-pass aggregates derived from a {!Trace} (the Fig. 7/8/11/12
-    style breakdowns: where does each worker's time go, who straggles,
-    how much communication hides behind computation, and which
-    DistArray the bytes belong to).
+(** Alias of the backend-neutral metrics in [Orion_obs] (see
+    {!Trace} for why they moved); keeps [Orion_sim.Metrics] paths and
+    type equalities valid. *)
 
-    "Busy" time is Compute + Marshal + Transfer; Barrier_wait and Idle
-    are waiting.  All aggregates are computed over the spans that start
-    at or after [since], so callers can scope them to one data pass by
-    capturing [Cluster.now] before the pass. *)
-
-type t = {
-  window_start : float;
-  window_end : float;
-  busy_per_worker : float array;
-  compute_sec : float;
-  marshal_sec : float;
-  transfer_sec : float;
-  barrier_wait_sec : float;
-  idle_sec : float;
-  straggler_ratio : float;
-      (** max over workers of busy time / mean busy time (1.0 when
-          perfectly balanced or when nothing ran) *)
-  barrier_wait_fraction : float;
-      (** barrier-wait time / total span time (busy + waiting) *)
-  comm_compute_overlap : float;
-      (** fraction of transfer-interval time (union over workers)
-          overlapped by some compute interval; 0 when no transfers *)
-  bytes_by_label : (string * float) list;
-      (** communication bytes grouped by span label (e.g. per rotated
-          DistArray or parameter server), largest first *)
-  total_bytes : float;
-}
-
-(* interval-union length plus two-list intersection, both on merged
-   (sorted, disjoint) interval lists *)
-let merge_intervals l =
-  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) l in
-  let rec go acc = function
-    | [] -> List.rev acc
-    | (s, e) :: rest -> (
-        match acc with
-        | (ps, pe) :: tail when s <= pe -> go ((ps, max pe e) :: tail) rest
-        | _ -> go ((s, e) :: acc) rest)
-  in
-  go [] sorted
-
-let union_length l =
-  List.fold_left (fun acc (s, e) -> acc +. (e -. s)) 0.0 (merge_intervals l)
-
-let intersection_length a b =
-  let a = merge_intervals a and b = merge_intervals b in
-  let rec go acc a b =
-    match (a, b) with
-    | [], _ | _, [] -> acc
-    | (sa, ea) :: ra, (sb, eb) :: rb ->
-        let lo = max sa sb and hi = min ea eb in
-        let acc = if hi > lo then acc +. (hi -. lo) else acc in
-        if ea < eb then go acc ra b else go acc a rb
-  in
-  go 0.0 a b
-
-let of_trace ?(since = 0.0) ~num_workers trace =
-  let busy = Array.make (max num_workers 1) 0.0 in
-  let compute_sec = ref 0.0
-  and marshal_sec = ref 0.0
-  and transfer_sec = ref 0.0
-  and barrier_wait_sec = ref 0.0
-  and idle_sec = ref 0.0 in
-  let window_start = ref infinity and window_end = ref since in
-  let compute_ivals = ref [] and transfer_ivals = ref [] in
-  let bytes_tbl : (string, float ref) Hashtbl.t = Hashtbl.create 16 in
-  let total_bytes = ref 0.0 in
-  Trace.iter
-    (fun s ->
-      if s.Trace.start_sec >= since then begin
-        let finish = s.Trace.start_sec +. s.Trace.duration_sec in
-        window_start := min !window_start s.Trace.start_sec;
-        window_end := max !window_end finish;
-        let d = s.Trace.duration_sec in
-        (match s.Trace.category with
-        | Trace.Compute ->
-            compute_sec := !compute_sec +. d;
-            compute_ivals := (s.Trace.start_sec, finish) :: !compute_ivals
-        | Trace.Marshal -> marshal_sec := !marshal_sec +. d
-        | Trace.Transfer ->
-            transfer_sec := !transfer_sec +. d;
-            transfer_ivals := (s.Trace.start_sec, finish) :: !transfer_ivals
-        | Trace.Barrier_wait -> barrier_wait_sec := !barrier_wait_sec +. d
-        | Trace.Idle -> idle_sec := !idle_sec +. d);
-        (match s.Trace.category with
-        | Trace.Compute | Trace.Marshal | Trace.Transfer ->
-            if s.Trace.worker < Array.length busy then
-              busy.(s.Trace.worker) <- busy.(s.Trace.worker) +. d
-        | Trace.Barrier_wait | Trace.Idle -> ());
-        if s.Trace.bytes > 0.0 then begin
-          total_bytes := !total_bytes +. s.Trace.bytes;
-          let key = if s.Trace.label = "" then "(unlabeled)" else s.Trace.label in
-          match Hashtbl.find_opt bytes_tbl key with
-          | Some r -> r := !r +. s.Trace.bytes
-          | None -> Hashtbl.add bytes_tbl key (ref s.Trace.bytes)
-        end
-      end)
-    trace;
-  let total_busy = Array.fold_left ( +. ) 0.0 busy in
-  let mean_busy = total_busy /. float_of_int (Array.length busy) in
-  let max_busy = Array.fold_left max 0.0 busy in
-  let straggler_ratio = if mean_busy > 0.0 then max_busy /. mean_busy else 1.0 in
-  let span_total =
-    total_busy +. !barrier_wait_sec +. !idle_sec
-  in
-  let barrier_wait_fraction =
-    if span_total > 0.0 then !barrier_wait_sec /. span_total else 0.0
-  in
-  let comm_compute_overlap =
-    let tr = union_length !transfer_ivals in
-    if tr > 0.0 then intersection_length !transfer_ivals !compute_ivals /. tr
-    else 0.0
-  in
-  let bytes_by_label =
-    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) bytes_tbl []
-    |> List.sort (fun (_, a) (_, b) -> compare b a)
-  in
-  {
-    window_start = (if !window_start = infinity then since else !window_start);
-    window_end = !window_end;
-    busy_per_worker = busy;
-    compute_sec = !compute_sec;
-    marshal_sec = !marshal_sec;
-    transfer_sec = !transfer_sec;
-    barrier_wait_sec = !barrier_wait_sec;
-    idle_sec = !idle_sec;
-    straggler_ratio;
-    barrier_wait_fraction;
-    comm_compute_overlap;
-    bytes_by_label;
-    total_bytes = !total_bytes;
-  }
-
-let bytes_pretty b =
-  if b >= 1e9 then Printf.sprintf "%.2fGB" (b /. 1e9)
-  else if b >= 1e6 then Printf.sprintf "%.2fMB" (b /. 1e6)
-  else if b >= 1e3 then Printf.sprintf "%.1fkB" (b /. 1e3)
-  else Printf.sprintf "%.0fB" b
-
-(** One-line human summary (what the bench harness prints per pass). *)
-let summary t =
-  let arrays =
-    match t.bytes_by_label with
-    | [] -> "none"
-    | l ->
-        String.concat ", "
-          (List.map (fun (name, b) -> name ^ " " ^ bytes_pretty b) l)
-  in
-  Printf.sprintf
-    "straggler %.3f | barrier-wait %4.1f%% | comm/compute overlap %4.1f%% | \
-     bytes: %s"
-    t.straggler_ratio
-    (100.0 *. t.barrier_wait_fraction)
-    (100.0 *. t.comm_compute_overlap)
-    arrays
-
-let csv_header =
-  "window_start,window_end,compute_sec,marshal_sec,transfer_sec,\
-   barrier_wait_sec,idle_sec,straggler_ratio,barrier_wait_fraction,\
-   comm_compute_overlap,total_bytes"
-
-let csv_row t =
-  Printf.sprintf "%.9f,%.9f,%.9f,%.9f,%.9f,%.9f,%.9f,%.6f,%.6f,%.6f,%.0f"
-    t.window_start t.window_end t.compute_sec t.marshal_sec t.transfer_sec
-    t.barrier_wait_sec t.idle_sec t.straggler_ratio t.barrier_wait_fraction
-    t.comm_compute_overlap t.total_bytes
-
-(* the metrics as an Orion_report payload (kind "metrics" when enveloped) *)
-let to_json_value t : Orion_report.json =
-  Orion_report.Obj
-    [
-      ("window_start", Orion_report.Float t.window_start);
-      ("window_end", Orion_report.Float t.window_end);
-      ( "busy_per_worker",
-        Orion_report.List
-          (Array.to_list
-             (Array.map (fun s -> Orion_report.Float s) t.busy_per_worker)) );
-      ("compute_sec", Orion_report.Float t.compute_sec);
-      ("marshal_sec", Orion_report.Float t.marshal_sec);
-      ("transfer_sec", Orion_report.Float t.transfer_sec);
-      ("barrier_wait_sec", Orion_report.Float t.barrier_wait_sec);
-      ("idle_sec", Orion_report.Float t.idle_sec);
-      ("straggler_ratio", Orion_report.Float t.straggler_ratio);
-      ("barrier_wait_fraction", Orion_report.Float t.barrier_wait_fraction);
-      ("comm_compute_overlap", Orion_report.Float t.comm_compute_overlap);
-      ( "bytes_by_label",
-        Orion_report.Obj
-          (List.map
-             (fun (name, b) -> (name, Orion_report.Float b))
-             t.bytes_by_label) );
-      ("total_bytes", Orion_report.Float t.total_bytes);
-    ]
-
-(** The metrics in the versioned JSON envelope (kind ["metrics"]). *)
-let to_json t = Orion_report.emit ~kind:"metrics" (to_json_value t)
+include Orion_obs.Metrics

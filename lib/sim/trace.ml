@@ -1,161 +1,6 @@
-(** Span-based worker-timeline tracer.
+(** The tracer lives in [Orion_obs] since it became backend-neutral
+    (the real runtimes record wall-clock spans into the same store the
+    simulator fills with virtual-time spans).  This alias keeps every
+    [Orion_sim.Trace] path — and its type equalities — valid. *)
 
-    Every charge to a worker's virtual clock (and some things that do
-    not occupy the clock, such as background transfers) can be recorded
-    as a *span*: a worker, a category, a half-open virtual-time
-    interval, an optional label (e.g. the block's space/time indices or
-    the DistArray being shipped) and an optional byte count.  The
-    cluster primitives emit spans automatically; {!Metrics} derives
-    per-pass aggregates and the exporters below produce Chrome
-    [trace_event] JSON (loadable in chrome://tracing / Perfetto) and
-    CSV.
-
-    Spans are stored in a flat growable buffer capped at [max_spans]
-    (default 500k) so that long benchmark runs cannot exhaust memory;
-    once the cap is hit further spans are counted in [dropped] but not
-    stored. *)
-
-type category = Compute | Marshal | Transfer | Barrier_wait | Idle
-
-let category_to_string = function
-  | Compute -> "compute"
-  | Marshal -> "marshal"
-  | Transfer -> "transfer"
-  | Barrier_wait -> "barrier_wait"
-  | Idle -> "idle"
-
-type span = {
-  worker : int;
-  category : category;
-  label : string;  (** "" means "just the category" *)
-  start_sec : float;
-  duration_sec : float;
-  bytes : float;  (** 0 for non-communication spans *)
-}
-
-type t = {
-  mutable spans : span array;
-  mutable len : int;
-  mutable dropped : int;
-  mutable enabled : bool;
-  max_spans : int;
-}
-
-let dummy =
-  {
-    worker = 0;
-    category = Idle;
-    label = "";
-    start_sec = 0.0;
-    duration_sec = 0.0;
-    bytes = 0.0;
-  }
-
-let create ?(enabled = true) ?(max_spans = 500_000) () =
-  { spans = Array.make 256 dummy; len = 0; dropped = 0; enabled; max_spans }
-
-let set_enabled t enabled = t.enabled <- enabled
-let length t = t.len
-let dropped t = t.dropped
-
-(** Record one span.  Zero-length spans carrying no bytes are elided;
-    so is everything while the tracer is disabled. *)
-let add ?(label = "") ?(bytes = 0.0) t ~worker ~category ~start_sec
-    ~duration_sec =
-  if t.enabled && (duration_sec > 0.0 || bytes > 0.0) then
-    if t.len >= t.max_spans then t.dropped <- t.dropped + 1
-    else begin
-      if t.len >= Array.length t.spans then begin
-        let spans =
-          Array.make (min t.max_spans (2 * Array.length t.spans)) dummy
-        in
-        Array.blit t.spans 0 spans 0 t.len;
-        t.spans <- spans
-      end;
-      t.spans.(t.len) <-
-        { worker; category; label; start_sec; duration_sec; bytes };
-      t.len <- t.len + 1
-    end
-
-let iter f t =
-  for i = 0 to t.len - 1 do
-    f t.spans.(i)
-  done
-
-let spans t = Array.sub t.spans 0 t.len
-
-let reset t =
-  t.len <- 0;
-  t.dropped <- 0
-
-(* ------------------------------------------------------------------ *)
-(* Exporters                                                           *)
-(* ------------------------------------------------------------------ *)
-
-let span_name s =
-  if s.label = "" then category_to_string s.category else s.label
-
-(* minimal JSON string escaping: labels are program-generated but may
-   contain user-chosen DistArray names *)
-let escape s =
-  let b = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-(** Chrome [trace_event] JSON ("X" complete events; virtual seconds
-    become microseconds).  [pid_of_worker] groups workers into
-    processes — pass the cluster's machine mapping to get one process
-    lane per simulated machine. *)
-let to_chrome_json ?(pid_of_worker = fun _ -> 0) t =
-  let b = Buffer.create (64 * t.len) in
-  (* extra top-level keys are legal trace_event metadata; viewers
-     ignore them, tooling gets the same versioning as every other
-     Orion report *)
-  Buffer.add_string b
-    (Printf.sprintf
-       "{\"schema_version\":%d,\"kind\":\"trace\",\"displayTimeUnit\":\"ms\",\
-        \"traceEvents\":["
-       Orion_report.schema_version);
-  let first = ref true in
-  iter
-    (fun s ->
-      if not !first then Buffer.add_char b ',';
-      first := false;
-      Buffer.add_string b
-        (Printf.sprintf
-           "\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\
-            \"dur\":%.3f,\"pid\":%d,\"tid\":%d,\"args\":{\"bytes\":%.0f}}"
-           (escape (span_name s))
-           (category_to_string s.category)
-           (s.start_sec *. 1e6) (s.duration_sec *. 1e6)
-           (pid_of_worker s.worker) s.worker s.bytes))
-    t;
-  Buffer.add_string b "\n]}\n";
-  Buffer.contents b
-
-let csv_header = "worker,category,label,start_sec,duration_sec,bytes"
-
-let to_csv t =
-  let b = Buffer.create (48 * t.len) in
-  Buffer.add_string b
-    (Printf.sprintf "# schema_version %d\n" Orion_report.schema_version);
-  Buffer.add_string b csv_header;
-  Buffer.add_char b '\n';
-  iter
-    (fun s ->
-      Buffer.add_string b
-        (Printf.sprintf "%d,%s,%s,%.9f,%.9f,%.0f\n" s.worker
-           (category_to_string s.category)
-           (String.map (fun c -> if c = ',' then ';' else c) s.label)
-           s.start_sec s.duration_sec s.bytes))
-    t;
-  Buffer.contents b
+include Orion_obs.Trace

@@ -312,6 +312,66 @@ let exec_spawn_smoke () =
         dist)
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry: worker spans shipped over the wire merge into one        *)
+(* clock-aligned multi-process timeline                                *)
+(* ------------------------------------------------------------------ *)
+
+let distributed_telemetry_merged_timeline () =
+  let app = find_app "mf" in
+  let inst =
+    app.Orion.App.app_make ~num_machines:2 ~workers_per_machine:1 ()
+  in
+  let passes = 2 in
+  let r =
+    Orion.Engine.run inst.Orion.App.inst_session inst
+      ~mode:(`Distributed { Orion.Engine.procs = 2; transport = `Unix })
+      ~passes ~telemetry:true ()
+  in
+  match r.Orion.Engine.ep_telemetry with
+  | None -> Alcotest.fail "distributed run produced no telemetry"
+  | Some sm ->
+      Alcotest.(check string) "mode" "distributed" sm.Orion.Telemetry.sm_mode;
+      Alcotest.(check int) "one shard per worker" 2
+        sm.Orion.Telemetry.sm_workers;
+      let spans = Orion.Trace.spans sm.Orion.Telemetry.sm_trace in
+      Alcotest.(check bool) "merged timeline is non-empty" true
+        (Array.length spans > 0);
+      (* each worker's spans are recorded sequentially, so after the
+         master shifts them by the epoch offset they must still read as
+         a monotone per-worker timeline on the master clock *)
+      let last = Hashtbl.create 4 in
+      let workers_seen = Hashtbl.create 4 in
+      Array.iter
+        (fun s ->
+          Hashtbl.replace workers_seen s.Orion.Trace.worker ();
+          Alcotest.(check bool) "span start is on the master timeline" true
+            (s.Orion.Trace.start_sec >= 0.0);
+          (match Hashtbl.find_opt last s.Orion.Trace.worker with
+          | Some prev ->
+              Alcotest.(check bool)
+                (Printf.sprintf "worker %d timeline is monotone"
+                   s.Orion.Trace.worker)
+                true
+                (s.Orion.Trace.start_sec >= prev)
+          | None -> ());
+          Hashtbl.replace last s.Orion.Trace.worker
+            s.Orion.Trace.start_sec)
+        spans;
+      Alcotest.(check int) "both workers contributed spans" 2
+        (Hashtbl.length workers_seen);
+      Alcotest.(check int) "one metrics row per pass" passes
+        (List.length sm.Orion.Telemetry.sm_pass_metrics);
+      let overall = sm.Orion.Telemetry.sm_overall in
+      Alcotest.(check bool) "nonzero compute time" true
+        (overall.Orion.Metrics.compute_sec > 0.0);
+      Alcotest.(check bool) "finite straggler ratio" true
+        (Float.is_finite overall.Orion.Metrics.straggler_ratio);
+      Alcotest.(check bool) "rotation traffic carries bytes" true
+        (overall.Orion.Metrics.total_bytes > 0.0);
+      Alcotest.(check bool) "per-block cost table is non-empty" true
+        (sm.Orion.Telemetry.sm_block_costs <> [])
+
+(* ------------------------------------------------------------------ *)
 (* Failure path: a worker aborting mid-pass surfaces as a structured   *)
 (* error within a bounded time, with no leftover workers               *)
 (* ------------------------------------------------------------------ *)
@@ -375,6 +435,11 @@ let () =
         [
           tc "mf over tcp" `Slow tcp_smoke;
           tc "mf via exec'd workers" `Slow exec_spawn_smoke;
+        ] );
+      ( "telemetry",
+        [
+          tc "2-proc merged timeline is clock-aligned" `Quick
+            distributed_telemetry_merged_timeline;
         ] );
       ("failure", [ tc "worker abort mid-pass" `Quick fault_injection ]);
     ]

@@ -1,0 +1,285 @@
+(* Tests for the backend-neutral observability layer (lib/obs): metrics
+   derived from synthetic span sets with known answers, pass-window
+   filtering, deterministic shard merging in {!Telemetry}, the measured
+   per-block cost table, drain/import clock alignment for distributed
+   shipping, monotonic-clock sanity, and drop-count surfacing in every
+   export format. *)
+
+module Clock = Orion_obs.Clock
+module Trace = Orion_obs.Trace
+module Metrics = Orion_obs.Metrics
+module Telemetry = Orion_obs.Telemetry
+
+let tc = Alcotest.test_case
+let feq what expected got = Alcotest.(check (float 1e-9)) what expected got
+
+(* ------------------------------------------------------------------ *)
+(* Metrics from synthetic spans                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* worker 0 computes for 3s; worker 1 computes for 1s then waits 2s at
+   a barrier: straggler ratio 3/mean(3,1) = 1.5, barrier fraction
+   2/(3+1+2) = 1/3 *)
+let test_known_straggler_and_barrier () =
+  let tr = Trace.create () in
+  Trace.add tr ~worker:0 ~category:Trace.Compute ~start_sec:0.0
+    ~duration_sec:3.0;
+  Trace.add tr ~worker:1 ~category:Trace.Compute ~start_sec:0.0
+    ~duration_sec:1.0;
+  Trace.add tr ~worker:1 ~category:Trace.Barrier_wait ~start_sec:1.0
+    ~duration_sec:2.0;
+  let m = Metrics.of_trace ~num_workers:2 tr in
+  feq "compute seconds" 4.0 m.Metrics.compute_sec;
+  feq "barrier seconds" 2.0 m.Metrics.barrier_wait_sec;
+  feq "worker 0 busy" 3.0 m.Metrics.busy_per_worker.(0);
+  feq "worker 1 busy" 1.0 m.Metrics.busy_per_worker.(1);
+  feq "straggler ratio" 1.5 m.Metrics.straggler_ratio;
+  feq "barrier-wait fraction" (2.0 /. 6.0) m.Metrics.barrier_wait_fraction
+
+(* transfer union [1,3) against compute [0,2): half the transfer time
+   is overlapped by compute *)
+let test_overlap_and_bytes () =
+  let tr = Trace.create () in
+  Trace.add tr ~worker:0 ~category:Trace.Compute ~start_sec:0.0
+    ~duration_sec:2.0;
+  Trace.add tr ~label:"H" ~bytes:100.0 ~worker:1 ~category:Trace.Transfer
+    ~start_sec:1.0 ~duration_sec:2.0;
+  let m = Metrics.of_trace ~num_workers:2 tr in
+  feq "overlap" 0.5 m.Metrics.comm_compute_overlap;
+  feq "total bytes" 100.0 m.Metrics.total_bytes;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "bytes by label"
+    [ ("H", 100.0) ]
+    m.Metrics.bytes_by_label
+
+(* [since, until) scopes metrics to one pass window *)
+let test_pass_window_filter () =
+  let tr = Trace.create () in
+  Trace.add tr ~worker:0 ~category:Trace.Compute ~start_sec:0.5
+    ~duration_sec:1.0;
+  Trace.add tr ~worker:0 ~category:Trace.Compute ~start_sec:1.5
+    ~duration_sec:2.0;
+  let first = Metrics.of_trace ~since:0.0 ~until:1.0 ~num_workers:1 tr in
+  let second = Metrics.of_trace ~since:1.0 ~num_workers:1 tr in
+  feq "first window sees only the first span" 1.0 first.Metrics.compute_sec;
+  feq "second window sees only the second span" 2.0
+    second.Metrics.compute_sec;
+  feq "empty window has balanced straggler ratio" 1.0
+    (Metrics.of_trace ~since:10.0 ~num_workers:1 tr).Metrics.straggler_ratio
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry: shard merging, block costs, drain/import                 *)
+(* ------------------------------------------------------------------ *)
+
+(* the same per-shard spans recorded under different cross-shard
+   interleavings merge to the same timeline (shard order) *)
+let test_shard_merge_deterministic () =
+  let record order =
+    let t = Telemetry.create ~enabled:true ~workers:3 () in
+    List.iter
+      (fun shard ->
+        Telemetry.span t ~shard ~worker:shard ~category:Trace.Compute
+          ~label:(Printf.sprintf "w%d" shard)
+          ~start:(float_of_int shard) ~finish:(float_of_int shard +. 1.0))
+      order;
+    Trace.spans (Telemetry.merged_trace t)
+  in
+  let a = record [ 0; 1; 2 ] and b = record [ 2; 0; 1 ] in
+  Alcotest.(check int) "same span count" (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i sa ->
+      Alcotest.(check bool)
+        (Printf.sprintf "span %d identical" i)
+        true (sa = b.(i)))
+    a
+
+let test_block_costs_summed_and_sorted () =
+  let t = Telemetry.create ~enabled:true ~workers:2 () in
+  Telemetry.block t ~shard:0 ~worker:0 ~pass:0 ~space:1 ~time:0 ~start:0.0
+    ~finish:0.5 ~entries:10;
+  Telemetry.block t ~shard:1 ~worker:1 ~pass:0 ~space:0 ~time:1 ~start:0.0
+    ~finish:0.25 ~entries:5;
+  (* same (pass, space, time) key again, from the other shard *)
+  Telemetry.block t ~shard:1 ~worker:1 ~pass:0 ~space:1 ~time:0 ~start:1.0
+    ~finish:1.5 ~entries:10;
+  match Telemetry.block_costs t with
+  | [ a; b ] ->
+      Alcotest.(check (list int))
+        "sorted by (pass, space, time)"
+        [ 0; 0; 1; 0; 1; 0 ]
+        [
+          a.Telemetry.bc_pass;
+          a.Telemetry.bc_space;
+          a.Telemetry.bc_time;
+          b.Telemetry.bc_pass;
+          b.Telemetry.bc_space;
+          b.Telemetry.bc_time;
+        ];
+      feq "cost (0,0,1)" 0.25 a.Telemetry.bc_seconds;
+      Alcotest.(check int) "entries (0,0,1)" 5 a.Telemetry.bc_entries;
+      feq "cost (0,1,0) summed across shards" 1.0 b.Telemetry.bc_seconds;
+      Alcotest.(check int) "entries (0,1,0) summed" 20 b.Telemetry.bc_entries
+  | l -> Alcotest.failf "expected 2 cost rows, got %d" (List.length l)
+
+(* the block span carries the (pass, time, space) label the cost table
+   is keyed by *)
+let test_block_span_label () =
+  let t = Telemetry.create ~enabled:true ~workers:1 () in
+  Telemetry.block t ~shard:0 ~worker:0 ~pass:2 ~space:3 ~time:1 ~start:0.0
+    ~finish:0.5 ~entries:1;
+  match Trace.spans (Telemetry.merged_trace t) with
+  | [| s |] ->
+      Alcotest.(check string) "block label" "p2/t1/sp3" s.Trace.label;
+      Alcotest.(check bool) "compute category" true
+        (s.Trace.category = Trace.Compute)
+  | spans -> Alcotest.failf "expected 1 span, got %d" (Array.length spans)
+
+(* worker-side drain hands spans over exactly once; master-side import
+   shifts starts by the epoch offset (clock alignment) *)
+let test_drain_then_import_aligns () =
+  let worker = Telemetry.create ~enabled:true ~workers:1 () in
+  Telemetry.span worker ~shard:0 ~worker:7 ~category:Trace.Compute
+    ~start:1.0 ~finish:2.5;
+  Telemetry.block worker ~shard:0 ~worker:7 ~pass:0 ~space:0 ~time:0
+    ~start:2.5 ~finish:3.0 ~entries:4;
+  let spans, costs, dropped = Telemetry.drain worker ~shard:0 in
+  Alcotest.(check int) "drained both spans" 2 (Array.length spans);
+  Alcotest.(check int) "drained the cost row" 1 (List.length costs);
+  Alcotest.(check int) "no drops" 0 dropped;
+  let again, costs2, _ = Telemetry.drain worker ~shard:0 in
+  Alcotest.(check int) "second drain is empty" 0 (Array.length again);
+  Alcotest.(check int) "costs drained once" 0 (List.length costs2);
+  let master = Telemetry.create ~enabled:true ~workers:2 () in
+  Telemetry.import_spans master ~shard:1 ~offset:10.0 spans;
+  Telemetry.import_costs master ~shard:1 costs;
+  Telemetry.note_dropped master ~shard:1 dropped;
+  let merged = Trace.spans (Telemetry.merged_trace master) in
+  Alcotest.(check int) "both spans imported" 2 (Array.length merged);
+  feq "start shifted by the epoch offset" 11.0 merged.(0).Trace.start_sec;
+  feq "duration preserved" 1.5 merged.(0).Trace.duration_sec;
+  Alcotest.(check int) "worker id preserved" 7 merged.(0).Trace.worker;
+  feq "cost preserved" 0.5
+    (List.hd (Telemetry.block_costs master)).Telemetry.bc_seconds
+
+(* disabled telemetry records nothing and never advances *)
+let test_disabled_records_nothing () =
+  let t = Telemetry.disabled in
+  Telemetry.span t ~shard:0 ~worker:0 ~category:Trace.Compute ~start:0.0
+    ~finish:1.0;
+  Telemetry.block t ~shard:0 ~worker:0 ~pass:0 ~space:0 ~time:0 ~start:0.0
+    ~finish:1.0 ~entries:3;
+  Alcotest.(check bool) "disabled" false (Telemetry.enabled t);
+  Alcotest.(check int) "no spans" 0
+    (Trace.length (Telemetry.merged_trace t));
+  Alcotest.(check int) "no costs" 0 (List.length (Telemetry.block_costs t));
+  feq "clock reads as zero" 0.0 (Telemetry.now t)
+
+let test_summarize_windows () =
+  let t = Telemetry.create ~enabled:true ~workers:2 () in
+  Telemetry.block t ~shard:0 ~worker:0 ~pass:0 ~space:0 ~time:0 ~start:0.0
+    ~finish:1.0 ~entries:1;
+  Telemetry.block t ~shard:0 ~worker:0 ~pass:1 ~space:0 ~time:0 ~start:2.0
+    ~finish:2.5 ~entries:1;
+  let sm =
+    Telemetry.summarize t ~mode:"parallel"
+      ~windows:[ (0, 0.0, 1.5); (1, 1.5, 3.0) ]
+  in
+  Alcotest.(check string) "mode" "parallel" sm.Telemetry.sm_mode;
+  Alcotest.(check int) "one metrics row per pass" 2
+    (List.length sm.Telemetry.sm_pass_metrics);
+  (match sm.Telemetry.sm_pass_metrics with
+  | [ (0, m0); (1, m1) ] ->
+      feq "pass 0 compute" 1.0 m0.Metrics.compute_sec;
+      feq "pass 1 compute" 0.5 m1.Metrics.compute_sec
+  | _ -> Alcotest.fail "unexpected pass metrics shape");
+  feq "overall compute spans both passes" 1.5
+    sm.Telemetry.sm_overall.Metrics.compute_sec;
+  Alcotest.(check int) "cost table in summary" 2
+    (List.length sm.Telemetry.sm_block_costs)
+
+(* ------------------------------------------------------------------ *)
+(* Monotonic clock                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_clock_monotone () =
+  let t0 = Clock.now () in
+  let samples = Array.init 1000 (fun _ -> Clock.now ()) in
+  Alcotest.(check bool) "positive" true (t0 > 0.0);
+  let prev = ref t0 in
+  Array.iter
+    (fun t ->
+      Alcotest.(check bool) "non-decreasing" true (t >= !prev);
+      prev := t)
+    samples;
+  Alcotest.(check bool) "elapsed is non-negative" true (Clock.elapsed t0 >= 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Drop counts surface in every export                                 *)
+(* ------------------------------------------------------------------ *)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_dropped_surfaces_in_exports () =
+  let tr = Trace.create ~max_spans:2 () in
+  for i = 0 to 4 do
+    Trace.add tr ~worker:0 ~category:Trace.Compute
+      ~start_sec:(float_of_int i) ~duration_sec:1.0
+  done;
+  Alcotest.(check int) "capped at max_spans" 2 (Trace.length tr);
+  Alcotest.(check int) "overflow counted" 3 (Trace.dropped tr);
+  let chrome = Trace.to_chrome_json tr in
+  Alcotest.(check bool) "chrome metadata carries dropped" true
+    (contains ~needle:"\"dropped\":3" chrome);
+  Alcotest.(check bool) "chrome metadata carries schema_version" true
+    (contains
+       ~needle:
+         (Printf.sprintf "\"schema_version\":%d"
+            Orion_report.schema_version)
+       chrome);
+  let csv = Trace.to_csv tr in
+  Alcotest.(check bool) "csv comment carries dropped" true
+    (contains ~needle:"# dropped 3" csv)
+
+let test_merged_trace_inherits_shard_drops () =
+  let t = Telemetry.create ~enabled:true ~workers:1 () in
+  Telemetry.note_dropped t ~shard:0 5;
+  Alcotest.(check int) "telemetry drop count" 5 (Telemetry.dropped t);
+  Alcotest.(check int) "merged trace re-reports shard drops" 5
+    (Trace.dropped (Telemetry.merged_trace t))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          tc "known straggler and barrier values" `Quick
+            test_known_straggler_and_barrier;
+          tc "overlap and bytes" `Quick test_overlap_and_bytes;
+          tc "pass-window filtering" `Quick test_pass_window_filter;
+        ] );
+      ( "telemetry",
+        [
+          tc "shard merge is deterministic" `Quick
+            test_shard_merge_deterministic;
+          tc "block costs summed and sorted" `Quick
+            test_block_costs_summed_and_sorted;
+          tc "block span label" `Quick test_block_span_label;
+          tc "drain/import clock alignment" `Quick
+            test_drain_then_import_aligns;
+          tc "disabled records nothing" `Quick test_disabled_records_nothing;
+          tc "summarize pass windows" `Quick test_summarize_windows;
+        ] );
+      ("clock", [ tc "monotone" `Quick test_clock_monotone ]);
+      ( "drops",
+        [
+          tc "surfaced in chrome and csv exports" `Quick
+            test_dropped_surfaces_in_exports;
+          tc "merged trace inherits shard drops" `Quick
+            test_merged_trace_inherits_shard_drops;
+        ] );
+    ]

@@ -266,6 +266,101 @@ let parallel_deterministic name () =
   check_outputs ~what:(name ^ " run1 vs run3") ~tolerance r1 r3
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry: real runs yield wall-clock timelines and metrics         *)
+(* ------------------------------------------------------------------ *)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* a real domain-pool run produces a merged timeline with nonzero
+   compute time, finite per-pass metrics, and a measured cost entry per
+   (pass, t, sp) block *)
+let test_parallel_telemetry () =
+  let app = find_app "gbt" in
+  let inst =
+    app.Orion.App.app_make ~num_machines:2 ~workers_per_machine:2 ()
+  in
+  let passes = 2 in
+  let r =
+    Orion.Engine.run inst.Orion.App.inst_session inst ~mode:(`Parallel 2)
+      ~passes ~telemetry:true ()
+  in
+  match r.Orion.Engine.ep_telemetry with
+  | None -> Alcotest.fail "parallel run produced no telemetry"
+  | Some sm ->
+      Alcotest.(check string) "mode" "parallel" sm.Orion.Telemetry.sm_mode;
+      Alcotest.(check int) "workers" 2 sm.Orion.Telemetry.sm_workers;
+      Alcotest.(check int) "no drops" 0 sm.Orion.Telemetry.sm_dropped;
+      Alcotest.(check bool) "timeline is non-empty" true
+        (Orion.Trace.length sm.Orion.Telemetry.sm_trace > 0);
+      Alcotest.(check int) "one metrics row per pass" passes
+        (List.length sm.Orion.Telemetry.sm_pass_metrics);
+      let overall = sm.Orion.Telemetry.sm_overall in
+      Alcotest.(check bool) "nonzero compute time" true
+        (overall.Orion.Metrics.compute_sec > 0.0);
+      Alcotest.(check bool) "finite straggler ratio" true
+        (Float.is_finite overall.Orion.Metrics.straggler_ratio
+        && overall.Orion.Metrics.straggler_ratio >= 1.0);
+      let costs = sm.Orion.Telemetry.sm_block_costs in
+      Alcotest.(check bool) "cost table is non-empty" true (costs <> []);
+      List.iter
+        (fun c ->
+          Alcotest.(check bool) "cost pass within run" true
+            (c.Orion.Telemetry.bc_pass >= 0
+            && c.Orion.Telemetry.bc_pass < passes);
+          Alcotest.(check bool) "cost is positive" true
+            (c.Orion.Telemetry.bc_seconds > 0.0))
+        costs;
+      Alcotest.(check int) "cost entries account for every entry run"
+        r.Orion.Engine.ep_entries
+        (List.fold_left
+           (fun acc c -> acc + c.Orion.Telemetry.bc_entries)
+           0 costs)
+
+(* telemetry off: no summary, and nothing recorded *)
+let test_parallel_telemetry_disabled () =
+  let app = find_app "gbt" in
+  let inst =
+    app.Orion.App.app_make ~num_machines:2 ~workers_per_machine:2 ()
+  in
+  let r =
+    Orion.Engine.run inst.Orion.App.inst_session inst ~mode:(`Parallel 2)
+      ~passes:1 ~telemetry:false ()
+  in
+  Alcotest.(check bool) "no telemetry summary" true
+    (r.Orion.Engine.ep_telemetry = None)
+
+(* golden for the `orion trace --mode parallel` envelope: versioned
+   metadata before the events, drop count surfaced *)
+let test_trace_envelope_golden () =
+  let app = find_app "gbt" in
+  let inst =
+    app.Orion.App.app_make ~num_machines:2 ~workers_per_machine:2 ()
+  in
+  let r =
+    Orion.Engine.run inst.Orion.App.inst_session inst ~mode:(`Parallel 2)
+      ~passes:1 ~telemetry:true ()
+  in
+  let sm = Option.get r.Orion.Engine.ep_telemetry in
+  let chrome = Orion.Telemetry.to_chrome_json sm in
+  let expected_prefix =
+    Printf.sprintf
+      "{\"schema_version\":%d,\"kind\":\"trace\",\"dropped\":0,\"displayTimeUnit\":\"ms\",\"mode\":\"parallel\",\"workers\":2,"
+      Orion.Report.schema_version
+  in
+  Alcotest.(check string) "envelope prefix" expected_prefix
+    (String.sub chrome 0 (String.length expected_prefix));
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " present") true
+        (contains ~needle chrome))
+    [
+      "\"overall\":"; "\"per_pass\":"; "\"block_costs\":"; "\"traceEvents\":[";
+    ]
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "parallel"
@@ -299,5 +394,13 @@ let () =
           tc "slr" `Slow (parallel_deterministic "slr");
           tc "lda" `Slow (parallel_deterministic "lda");
           tc "gbt" `Quick (parallel_deterministic "gbt");
+        ] );
+      ( "telemetry",
+        [
+          tc "real run yields metrics and block costs" `Quick
+            test_parallel_telemetry;
+          tc "disabled leaves no summary" `Quick
+            test_parallel_telemetry_disabled;
+          tc "chrome envelope golden" `Quick test_trace_envelope_golden;
         ] );
     ]

@@ -81,14 +81,16 @@ let test_csv_shape () =
     ~duration_sec:0.5;
   let csv = Trace.to_csv t in
   let lines = String.split_on_char '\n' (String.trim csv) in
-  Alcotest.(check int) "version + header + one row" 3 (List.length lines);
+  Alcotest.(check int)
+    "version + dropped + header + one row" 4 (List.length lines);
   Alcotest.(check string) "schema comment"
     (Printf.sprintf "# schema_version %d" Orion_report.schema_version)
     (List.hd lines);
-  Alcotest.(check string) "header" Trace.csv_header (List.nth lines 1);
+  Alcotest.(check string) "dropped comment" "# dropped 0" (List.nth lines 1);
+  Alcotest.(check string) "header" Trace.csv_header (List.nth lines 2);
   (* commas in labels must not break the column structure *)
   Alcotest.(check string) "row" "2,marshal,a;b,1.000000000,0.500000000,0"
-    (List.nth lines 2)
+    (List.nth lines 3)
 
 (* ------------------------------------------------------------------ *)
 (* Metrics over hand-built spans                                       *)
