@@ -232,12 +232,26 @@ let explain_cmd =
           strategy decision tree")
     term
 
+(* --scale falls back to ORION_BENCH_SCALE so scripted runs can grow
+   every subcommand's dataset uniformly *)
+let env_scale () =
+  match Sys.getenv_opt "ORION_BENCH_SCALE" with
+  | Some v -> ( try float_of_string v with Failure _ -> 1.0)
+  | None -> 1.0
+
+let resolve_scale = function Some s -> s | None -> env_scale ()
+
 (* run a registered app's parallel loop through the unified engine:
    simulated, on the domain pool, or on real worker processes *)
-let run_app name ~machines ~wpm ~domains ~procs ~tcp ~passes =
+let run_app name ~machines ~wpm ~domains ~procs ~tcp ~passes ~scale ~ckpt_dir
+    ~ckpt_every ~resume =
   if name = "list" then begin
     print_registry ();
     0
+  end
+  else if resume && ckpt_dir = None then begin
+    prerr_endline "orion run: --resume needs --checkpoint DIR";
+    1
   end
   else
     match Orion.App.find name with
@@ -245,12 +259,13 @@ let run_app name ~machines ~wpm ~domains ~procs ~tcp ~passes =
         Printf.eprintf "orion run: %s\n" (unknown_app_msg name);
         1
     | Some a -> (
+        let scale = resolve_scale scale in
         let inst, mode =
           match procs with
           | Some procs ->
               (* distributed instances are shaped one worker process
                  per simulated machine *)
-              ( a.Orion.App.app_make ~num_machines:procs
+              ( a.Orion.App.app_make ~scale ~num_machines:procs
                   ~workers_per_machine:1 (),
                 `Distributed
                   {
@@ -258,12 +273,66 @@ let run_app name ~machines ~wpm ~domains ~procs ~tcp ~passes =
                     transport = (if tcp then `Tcp else `Unix);
                   } )
           | None ->
-              ( a.Orion.App.app_make ~num_machines:machines
+              ( a.Orion.App.app_make ~scale ~num_machines:machines
                   ~workers_per_machine:wpm (),
                 if domains <= 1 then `Sim else `Parallel domains )
         in
+        (* resume picks up from the newest checkpoint: restore the
+           arrays and RNG into the freshly built instance, then run only
+           the passes the interrupted run never finished *)
+        let done_passes =
+          match (resume, ckpt_dir) with
+          | true, Some dir -> (
+              match Orion_store.Checkpoint.latest dir with
+              | None ->
+                  Printf.printf "no checkpoint in %s; starting from pass 0\n"
+                    dir;
+                  0
+              | Some (path, s) ->
+                  if s.Orion_store.Checkpoint.ck_app <> name then begin
+                    Printf.eprintf
+                      "orion run: checkpoint %s is for app %s, not %s\n" path
+                      s.Orion_store.Checkpoint.ck_app name;
+                    exit 1
+                  end;
+                  Orion_store.Checkpoint.restore s inst.Orion.App.inst_arrays;
+                  Orion.Interp.Rng.set_state
+                    inst.Orion.App.inst_env.Orion.Interp.rng
+                    s.Orion_store.Checkpoint.ck_rng;
+                  Printf.printf "resumed %s from %s (pass %d/%d)\n" name path
+                    s.Orion_store.Checkpoint.ck_pass
+                    s.Orion_store.Checkpoint.ck_total_passes;
+                  s.Orion_store.Checkpoint.ck_pass)
+          | _ -> 0
+        in
+        let remaining = max 0 (passes - done_passes) in
+        let checkpoint =
+          match ckpt_dir with
+          | None -> None
+          | Some dir ->
+              let sink ~pass_done arrays =
+                let s =
+                  Orion_store.Checkpoint.snapshot ~app:name ~scale
+                    ~pass:(done_passes + pass_done) ~total_passes:passes
+                    ~rng:
+                      (Orion.Interp.Rng.state
+                         inst.Orion.App.inst_env.Orion.Interp.rng)
+                    arrays
+                in
+                let path = Orion_store.Checkpoint.save ~dir s in
+                Printf.printf "checkpoint: %s\n%!" path
+              in
+              Some (ckpt_every, sink)
+        in
+        if remaining = 0 then begin
+          Printf.printf "app %s: all %d pass(es) already checkpointed\n" name
+            passes;
+          0
+        end
+        else
         match
-          Orion.Engine.run inst.Orion.App.inst_session inst ~mode ~passes ()
+          Orion.Engine.run inst.Orion.App.inst_session inst ~mode
+            ~passes:remaining ~scale ?checkpoint ()
         with
         | exception (Orion.Engine.Distributed_error _ as exn) ->
             Printf.eprintf "orion run: %s\n"
@@ -303,14 +372,15 @@ let run_app name ~machines ~wpm ~domains ~procs ~tcp ~passes =
 
 let run_cmd =
   let run arrays machines wpm log seed profile app domains procs tcp passes
-      file =
+      scale ckpt_dir ckpt_every resume file =
     setup_log log;
     match (app, file) with
     | Some _, Some _ ->
         prerr_endline "orion run: give either FILE or --app, not both";
         1
     | Some name, None ->
-        run_app name ~machines ~wpm ~domains ~procs ~tcp ~passes
+        run_app name ~machines ~wpm ~domains ~procs ~tcp ~passes ~scale
+          ~ckpt_dir ~ckpt_every ~resume
     | None, None ->
         prerr_endline "orion run: need an OrionScript FILE or --app NAME";
         1
@@ -389,6 +459,38 @@ let run_cmd =
       value & opt int 1
       & info [ "passes" ] ~docv:"N" ~doc:"training passes for --app")
   in
+  let scale =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "scale" ] ~docv:"S"
+          ~doc:
+            "dataset scale factor for --app (default: ORION_BENCH_SCALE, or \
+             1.0)")
+  in
+  let ckpt_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"DIR"
+          ~doc:
+            "checkpoint the model arrays, pass counter and RNG state into \
+             $(docv) at pass boundaries (--app only)")
+  in
+  let ckpt_every =
+    Arg.(
+      value & opt int 1
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:"checkpoint every $(docv) passes")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "restore the newest checkpoint in --checkpoint DIR and run only \
+             the remaining passes")
+  in
   let file_pos =
     Arg.(
       value & pos 0 (some file) None
@@ -397,7 +499,8 @@ let run_cmd =
   let term =
     Term.(
       const run $ arrays_arg $ machines_arg $ wpm_arg $ log_arg $ seed $ profile
-      $ app_arg $ domains $ procs $ tcp $ passes $ file_pos)
+      $ app_arg $ domains $ procs $ tcp $ passes $ scale $ ckpt_dir
+      $ ckpt_every $ resume $ file_pos)
   in
   Cmd.v
     (Cmd.info "run"
@@ -462,6 +565,7 @@ let apps_cmd =
 let bench_cmd =
   let run machines wpm log mode apps domains procs tcp passes scale out =
     setup_log log;
+    let scale = resolve_scale scale in
     let apps = match apps with [] -> None | l -> Some l in
     let write_json out json =
       let oc = open_out out in
@@ -481,7 +585,7 @@ let bench_cmd =
     | `SpeedupDist -> (
         let transport = if tcp then `Tcp else `Unix in
         match
-          Orion_apps.Dist_bench.run ?apps ~procs_list:procs ~passes
+          Orion_apps.Dist_bench.run ?apps ~procs_list:procs ~passes ~scale
             ~transport ()
         with
         | exception (Orion.Engine.Distributed_error _ as exn) ->
@@ -494,18 +598,78 @@ let bench_cmd =
               (Option.value out ~default:"BENCH_distributed.json")
               json;
             0)
+    | `Convergence -> (
+        (* one loss-vs-wall-time curve per (app, domain count); domain
+           count 1 measures the simulated cluster *)
+        let names =
+          match apps with Some l -> l | None -> Orion.App.names ()
+        in
+        let selected =
+          List.filter_map
+            (fun n ->
+              match Orion.App.find n with
+              | Some a when Option.is_some a.Orion.App.app_loss -> Some a
+              | Some a ->
+                  Printf.eprintf
+                    "bench convergence: app %s declares no loss (skipped)\n"
+                    a.Orion.App.app_name;
+                  None
+              | None ->
+                  Printf.eprintf "orion bench: %s\n" (unknown_app_msg n);
+                  exit 1)
+            names
+        in
+        match
+          List.concat_map
+            (fun a ->
+              List.map
+                (fun d ->
+                  let mode = if d <= 1 then `Sim else `Parallel d in
+                  let r =
+                    Orion_apps.Convergence.run a ~mode ~passes ~scale
+                      ~num_machines:machines ~workers_per_machine:wpm ()
+                  in
+                  List.iter
+                    (fun p ->
+                      Printf.printf
+                        "%-4s %-10s pass %2d | loss %14.6f | %8.4f s\n"
+                        r.Orion_apps.Convergence.cv_app
+                        r.Orion_apps.Convergence.cv_mode
+                        p.Orion_apps.Convergence.pt_pass
+                        p.Orion_apps.Convergence.pt_loss
+                        p.Orion_apps.Convergence.pt_wall)
+                    r.Orion_apps.Convergence.cv_points;
+                  r)
+                domains)
+            selected
+        with
+        | exception (Orion.Engine.Distributed_error _ as exn) ->
+            Printf.eprintf "orion bench: %s\n"
+              (Orion.Engine.distributed_error_to_string exn);
+            1
+        | results ->
+            write_json
+              (Option.value out ~default:"BENCH_convergence.json")
+              (Orion_apps.Convergence.emit results);
+            0)
   in
   let mode =
     Arg.(
       value
       & opt
           (enum
-             [ ("speedup", `Speedup); ("speedup-distributed", `SpeedupDist) ])
+             [
+               ("speedup", `Speedup);
+               ("speedup-distributed", `SpeedupDist);
+               ("convergence", `Convergence);
+             ])
           `Speedup
       & info [ "mode" ] ~docv:"MODE"
           ~doc:
-            "benchmark mode: speedup (domain-pool wall-clock scaling) or \
-             speedup-distributed (multi-process socket runtime scaling)")
+            "benchmark mode: speedup (domain-pool wall-clock scaling), \
+             speedup-distributed (multi-process socket runtime scaling), or \
+             convergence (per-pass training loss versus monotonic wall \
+             time)")
   in
   let apps =
     Arg.(
@@ -545,12 +709,13 @@ let bench_cmd =
   in
   let scale =
     Arg.(
-      value & opt float 1.0
+      value
+      & opt (some float) None
       & info [ "scale" ] ~docv:"S"
           ~doc:
             "dataset scale factor — enlarge each app's synthetic input by \
-             this factor so per-entry work dominates pool overhead (speedup \
-             mode)")
+             this factor so per-entry work dominates pool overhead (default: \
+             ORION_BENCH_SCALE, or 1.0)")
   in
   let out =
     Arg.(
@@ -610,6 +775,147 @@ let generate_cmd =
   Cmd.v
     (Cmd.info "generate" ~doc:"Write a synthetic dataset to a text file")
     Term.(const run $ kind $ out $ scale)
+
+(* orion data gen|info — the out-of-core path (lib/store): streaming
+   binary shards instead of `generate`'s in-memory text dumps *)
+let data_cmd =
+  let handle_corrupt f =
+    match f () with
+    | n -> n
+    | exception Orion_store.Shard.Corrupt { path; offset; reason } ->
+        Printf.eprintf "orion data: %s: corrupt at byte %d: %s\n" path offset
+          reason;
+        1
+  in
+  let gen_cmd =
+    let run kind out scale shards seed =
+      let scale = resolve_scale scale in
+      let spec =
+        match kind with
+        | `Ratings -> Orion_store.Gen.movielens_spec ~scale ()
+        | `Features -> Orion_store.Gen.kdd_spec ~scale ()
+        | `Corpus -> Orion_store.Gen.nytimes_spec ~scale ()
+      in
+      handle_corrupt (fun () ->
+          let headers = Orion_store.Gen.generate ~dir:out ~seed ~shards spec in
+          let total =
+            List.fold_left
+              (fun acc h -> acc + h.Orion_store.Shard.h_count)
+              0 headers
+          in
+          Printf.printf "wrote %d %s records (%s) in %d shard(s) to %s\n"
+            total
+            (Orion_store.Gen.spec_kind spec)
+            (Orion_store.Gen.schema_of_spec spec)
+            shards out;
+          0)
+    in
+    let kind =
+      Arg.(
+        required
+        & pos 0
+            (some
+               (enum
+                  [
+                    ("ratings", `Ratings);
+                    ("features", `Features);
+                    ("corpus", `Corpus);
+                  ]))
+            None
+        & info [] ~docv:"KIND"
+            ~doc:
+              "ratings (MovieLens-shaped Zipf matrix), features (KDD-shaped \
+               sparse samples), or corpus (NYTimes-shaped bags of words)")
+    in
+    let out =
+      Arg.(
+        required
+        & opt (some string) None
+        & info [ "out"; "o" ] ~docv:"DIR" ~doc:"dataset directory to write")
+    in
+    let scale =
+      Arg.(
+        value
+        & opt (some float) None
+        & info [ "scale" ] ~docv:"S"
+            ~doc:
+              "dataset scale factor (1.0 is full paper scale, e.g. ~10M \
+               ratings; default: ORION_BENCH_SCALE, or 1.0)")
+    in
+    let shards =
+      Arg.(
+        value & opt int 8
+        & info [ "shards" ] ~docv:"N" ~doc:"number of shard files")
+    in
+    let seed =
+      Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"dataset seed")
+    in
+    Cmd.v
+      (Cmd.info "gen"
+         ~doc:
+           "Stream a synthetic Zipf-skewed dataset into binary shards \
+            (bounded memory: records never materialize in the heap)")
+      Term.(const run $ kind $ out $ scale $ shards $ seed)
+  in
+  let info_cmd =
+    let run dir verify =
+      handle_corrupt (fun () ->
+          let headers = Orion_store.Shard.dataset_headers dir in
+          let h0 = List.hd headers in
+          Printf.printf "dataset %s\n" dir;
+          Printf.printf "  schema      %s (container v%d)\n"
+            h0.Orion_store.Shard.h_schema Orion_store.Shard.version;
+          Printf.printf "  seed        %d\n" h0.Orion_store.Shard.h_seed;
+          Printf.printf "  shards      %d\n" h0.Orion_store.Shard.h_num_shards;
+          List.iter
+            (fun (k, v) -> Printf.printf "  %-11s %s\n" k v)
+            h0.Orion_store.Shard.h_meta;
+          let total = ref 0 in
+          List.iter
+            (fun h ->
+              let path =
+                Orion_store.Shard.shard_path ~dir h.Orion_store.Shard.h_shard
+              in
+              let size =
+                let ic = open_in_bin path in
+                Fun.protect
+                  ~finally:(fun () -> close_in ic)
+                  (fun () -> in_channel_length ic)
+              in
+              total := !total + h.Orion_store.Shard.h_count;
+              (* --verify streams every record back through the CRC *)
+              if verify then
+                Orion_store.Shard.iter path ~f:(fun _ -> ());
+              Printf.printf "  shard %04d  %8d records  %10d bytes%s\n"
+                h.Orion_store.Shard.h_shard h.Orion_store.Shard.h_count size
+                (if verify then "  crc ok" else ""))
+            headers;
+          Printf.printf "  total       %d records\n" !total;
+          0)
+    in
+    let dir =
+      Arg.(
+        required
+        & pos 0 (some dir) None
+        & info [] ~docv:"DIR" ~doc:"dataset directory")
+    in
+    let verify =
+      Arg.(
+        value & flag
+        & info [ "verify" ]
+            ~doc:"stream every record back and verify counts and CRCs")
+    in
+    Cmd.v
+      (Cmd.info "info"
+         ~doc:"Describe a sharded dataset: schema, seed, shards, metadata")
+      Term.(const run $ dir $ verify)
+  in
+  Cmd.group
+    (Cmd.info "data"
+       ~doc:
+         "Out-of-core datasets: generate and inspect versioned binary \
+          shards (CRC-checked, streaming)")
+    [ gen_cmd; info_cmd ]
 
 let trace_cmd =
   (* --mode parallel | distributed: run a registered app on a real
@@ -893,7 +1199,7 @@ let trace_cmd =
     term
 
 let verify_cmd =
-  let run machines wpm log app json schedule pipeline_depth =
+  let run machines wpm log app json schedule pipeline_depth scale =
     setup_log log;
     if app = "list" then begin
       print_registry ();
@@ -909,8 +1215,8 @@ let verify_cmd =
     in
     match
       Orion_verify.Verify.verify_app ~num_machines:machines
-        ~workers_per_machine:wpm ?pipeline_depth ?schedule_override:override
-        app
+        ~workers_per_machine:wpm ?pipeline_depth
+        ~scale:(resolve_scale scale) ?schedule_override:override app
     with
     | Error e ->
         prerr_endline ("orion verify: " ^ e);
@@ -952,6 +1258,14 @@ let verify_cmd =
       & info [ "pipeline-depth" ] ~docv:"N"
           ~doc:"pipeline depth for unordered 2-D schedules")
   in
+  let scale =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "scale" ] ~docv:"S"
+          ~doc:
+            "dataset scale factor (default: ORION_BENCH_SCALE, or 1.0)")
+  in
   let machines =
     Arg.(
       value & opt int 2
@@ -964,7 +1278,8 @@ let verify_cmd =
   in
   let term =
     Term.(
-      const run $ machines $ wpm $ log_arg $ app_arg $ json $ schedule $ depth)
+      const run $ machines $ wpm $ log_arg $ app_arg $ json $ schedule $ depth
+      $ scale)
   in
   Cmd.v
     (Cmd.info "verify"
@@ -990,6 +1305,7 @@ let () =
             apps_cmd;
             bench_cmd;
             generate_cmd;
+            data_cmd;
             trace_cmd;
             verify_cmd;
           ]))

@@ -39,20 +39,20 @@ type app_result = {
   res_runs : run list;
 }
 
-let bench_app (app : App.t) ~procs_list ~passes ~transport : app_result =
+let bench_app (app : App.t) ~procs_list ~passes ~scale ~transport : app_result =
   let strategy = ref "" and model = ref "" in
   let base_wall = ref None in
   let runs =
     List.map
       (fun procs ->
         let ref_inst =
-          app.App.app_make ~num_machines:procs ~workers_per_machine:1 ()
+          app.App.app_make ~scale ~num_machines:procs ~workers_per_machine:1 ()
         in
         ignore
           (Orion.Engine.run ref_inst.App.inst_session ref_inst ~mode:`Sim
              ~passes ());
         let inst =
-          app.App.app_make ~num_machines:procs ~workers_per_machine:1 ()
+          app.App.app_make ~scale ~num_machines:procs ~workers_per_machine:1 ()
         in
         let r =
           Orion.Engine.run inst.App.inst_session inst
@@ -140,8 +140,8 @@ let app_result_json (a : app_result) : Report.json =
       ("runs", Report.List (List.map run_json a.res_runs));
     ]
 
-let run ?apps ?(procs_list = [ 1; 2; 4 ]) ?(passes = 3) ?(transport = `Unix)
-    () : app_result list * string =
+let run ?apps ?(procs_list = [ 1; 2; 4 ]) ?(passes = 3) ?(scale = 1.0)
+    ?(transport = `Unix) () : app_result list * string =
   Registry.ensure ();
   let selected =
     match apps with
@@ -158,7 +158,9 @@ let run ?apps ?(procs_list = [ 1; 2; 4 ]) ?(passes = 3) ?(transport = `Unix)
           names
   in
   let results =
-    List.map (fun app -> bench_app app ~procs_list ~passes ~transport) selected
+    List.map
+      (fun app -> bench_app app ~procs_list ~passes ~scale ~transport)
+      selected
   in
   let payload =
     Report.Obj
@@ -167,6 +169,7 @@ let run ?apps ?(procs_list = [ 1; 2; 4 ]) ?(passes = 3) ?(transport = `Unix)
         ( "transport",
           Report.Str (Orion.Engine.transport_to_string transport) );
         ("passes", Report.Int passes);
+        ("scale", Report.Float scale);
         ("apps", Report.List (List.map app_result_json results));
       ]
   in

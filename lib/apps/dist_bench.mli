@@ -38,6 +38,7 @@ val run :
   ?apps:string list ->
   ?procs_list:int list ->
   ?passes:int ->
+  ?scale:float ->
   ?transport:Orion.Engine.transport ->
   unit ->
   app_result list * string

@@ -42,6 +42,130 @@ let mix x =
 let scaled scale n = max 2 (int_of_float (Float.round (float_of_int n *. scale)))
 
 (* ------------------------------------------------------------------ *)
+(* Out-of-core datasets                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* When set, [app_make] loads the dataset from a sharded directory
+   ([lib/store]) instead of generating it in memory.  Environment
+   variables — not parameters — so forked/exec'd distributed workers
+   rebuild bit-identical instances from the same shards. *)
+let ratings_dir_env = "ORION_DATA_RATINGS"
+let features_dir_env = "ORION_DATA_FEATURES"
+let corpus_dir_env = "ORION_DATA_CORPUS"
+
+let data_dir env_var =
+  match Sys.getenv_opt env_var with
+  | Some dir when dir <> "" -> Some dir
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Training losses (convergence benchmarking)                          *)
+(* ------------------------------------------------------------------ *)
+
+let arr inst name = List.assoc name inst.Orion.App.inst_arrays
+
+(* mean squared error over the observed ratings, V ~ Wᵀ H *)
+let mf_loss inst =
+  let w = arr inst "W" and h = arr inst "H" in
+  let rank = (Dist_array.dims w).(0) in
+  let n = ref 0 and acc = ref 0.0 in
+  Dist_array.iter
+    (fun key v ->
+      match v with
+      | Value.Vfloat r ->
+          let u = key.(0) and i = key.(1) in
+          let pred = ref 0.0 in
+          for k = 0 to rank - 1 do
+            pred :=
+              !pred +. (Dist_array.get w [| k; u |] *. Dist_array.get h [| k; i |])
+          done;
+          let e = r -. !pred in
+          acc := !acc +. (e *. e);
+          incr n
+      | _ -> ())
+    inst.Orion.App.inst_iter;
+  !acc /. float_of_int (max 1 !n)
+
+(* mean binary cross-entropy under the current weights *)
+let slr_loss inst =
+  let w = arr inst "w" in
+  let n = ref 0 and acc = ref 0.0 in
+  Dist_array.iter
+    (fun _ v ->
+      match v with
+      | Value.Vtuple
+          [ Value.Vfloat label; Value.Vvec features; Value.Vvec values ] ->
+          let margin = ref 0.0 in
+          Array.iteri
+            (fun k f ->
+              (* the script subscripts w 1-based: w[int(idx[k])] *)
+              margin :=
+                !margin +. (values.(k) *. Dist_array.get w [| int_of_float f - 1 |]))
+            features;
+          let p = Losses.sigmoid !margin in
+          acc := !acc +. Losses.log_loss ~label ~p;
+          incr n
+      | _ -> ())
+    inst.Orion.App.inst_iter;
+  !acc /. float_of_int (max 1 !n)
+
+(* negative collapsed joint log-likelihood of the topic assignment
+   counts (standard LDA Gibbs diagnostic, constants dropped) *)
+let lda_loss inst =
+  let doc_topic = arr inst "doc_topic" and word_topic = arr inst "word_topic" in
+  let num_docs = (Dist_array.dims doc_topic).(0) in
+  let k = (Dist_array.dims doc_topic).(1) in
+  let vocab = (Dist_array.dims word_topic).(0) in
+  let alpha = 50.0 /. float_of_int k and beta = 0.01 in
+  let lg = Losses.lgamma in
+  let ll = ref 0.0 in
+  for z = 0 to k - 1 do
+    let nz = ref 0.0 in
+    for w = 0 to vocab - 1 do
+      let c = Dist_array.get word_topic [| w; z |] in
+      nz := !nz +. c;
+      ll := !ll +. lg (c +. beta) -. lg beta
+    done;
+    ll :=
+      !ll
+      -. (lg (!nz +. (float_of_int vocab *. beta))
+         -. lg (float_of_int vocab *. beta))
+  done;
+  for d = 0 to num_docs - 1 do
+    let nd = ref 0.0 in
+    for z = 0 to k - 1 do
+      let c = Dist_array.get doc_topic [| d; z |] in
+      nd := !nd +. c;
+      ll := !ll +. lg (c +. alpha) -. lg alpha
+    done;
+    ll :=
+      !ll
+      -. (lg (!nd +. (float_of_int k *. alpha)) -. lg (float_of_int k *. alpha))
+  done;
+  -. !ll
+
+(* negated total split gain: more gain found = lower loss *)
+let gbt_loss inst =
+  let split_gain = arr inst "split_gain" in
+  let acc = ref 0.0 in
+  Dist_array.iter (fun _ v -> acc := !acc -. v) split_gain;
+  !acc
+
+(* SLR trains through the w_buf gradient buffer; between passes the
+   buffer is applied to w and cleared, turning pass-at-a-time driving
+   into batch gradient descent.  (Never called inside a single
+   Engine.run, so the equivalence paths are untouched.) *)
+let slr_prepare_pass inst =
+  let w = arr inst "w" and w_buf = arr inst "w_buf" in
+  Dist_array.iter
+    (fun key v ->
+      if v <> 0.0 then begin
+        Dist_array.update w key (fun x -> x +. v);
+        Dist_array.set w_buf key 0.0
+      end)
+    w_buf
+
+(* ------------------------------------------------------------------ *)
 (* SGD matrix factorization                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -50,10 +174,13 @@ let mf_make ?(scale = 1.0) ~num_machines ~workers_per_machine () =
     Orion.create_session ~num_machines ~workers_per_machine ()
   in
   let data =
-    Orion_data.Ratings.generate ~seed:3
-      ~num_users:(scaled scale 24)
-      ~num_items:(scaled scale 20)
-      ~num_ratings:(scaled scale 240) ()
+    match data_dir ratings_dir_env with
+    | Some dir -> Orion_store.Loader.ratings dir
+    | None ->
+        Orion_data.Ratings.generate ~seed:3
+          ~num_users:(scaled scale 24)
+          ~num_items:(scaled scale 20)
+          ~num_ratings:(scaled scale 240) ()
   in
   let rank = 4 in
   let cell k =
@@ -110,9 +237,12 @@ let slr_make ?(scale = 1.0) ~num_machines ~workers_per_machine () =
     Orion.create_session ~num_machines ~workers_per_machine ()
   in
   let data =
-    Orion_data.Sparse_features.generate ~seed:7
-      ~num_samples:(scaled scale 120)
-      ~num_features:30 ~nnz_per_sample:6 ()
+    match data_dir features_dir_env with
+    | Some dir -> Orion_store.Loader.features dir
+    | None ->
+        Orion_data.Sparse_features.generate ~seed:7
+          ~num_samples:(scaled scale 120)
+          ~num_features:30 ~nnz_per_sample:6 ()
   in
   let w =
     Dist_array.init_dense ~name:"w"
@@ -178,9 +308,12 @@ let lda_make ?(scale = 1.0) ~num_machines ~workers_per_machine () =
     Orion.create_session ~num_machines ~workers_per_machine ()
   in
   let corpus =
-    Orion_data.Corpus.generate ~seed:5
-      ~num_docs:(scaled scale 18)
-      ~vocab_size:15 ~avg_doc_len:20 ()
+    match data_dir corpus_dir_env with
+    | Some dir -> Orion_store.Loader.corpus dir
+    | None ->
+        Orion_data.Corpus.generate ~seed:5
+          ~num_docs:(scaled scale 18)
+          ~vocab_size:15 ~avg_doc_len:20 ()
   in
   let k = 5 in
   let alpha = 50.0 /. float_of_int k and beta = 0.01 in
@@ -379,6 +512,8 @@ let () =
         app_tolerance = None;
         app_make = mf_make;
         app_register_meta = mf_register_meta;
+        app_loss = Some mf_loss;
+        app_prepare_pass = None;
       };
       {
         Orion.App.app_name = "slr";
@@ -389,6 +524,8 @@ let () =
         app_tolerance = Some 1e-9;
         app_make = slr_make;
         app_register_meta = slr_register_meta;
+        app_loss = Some slr_loss;
+        app_prepare_pass = Some slr_prepare_pass;
       };
       {
         Orion.App.app_name = "lda";
@@ -399,6 +536,8 @@ let () =
         app_tolerance = None;
         app_make = lda_make;
         app_register_meta = lda_register_meta;
+        app_loss = Some lda_loss;
+        app_prepare_pass = None;
       };
       {
         Orion.App.app_name = "gbt";
@@ -407,6 +546,8 @@ let () =
         app_tolerance = None;
         app_make = gbt_make;
         app_register_meta = gbt_register_meta;
+        app_loss = Some gbt_loss;
+        app_prepare_pass = None;
       };
     ]
 

@@ -5,6 +5,20 @@
     also installs [lib/net]'s distributed master as
     [Orion.Engine]'s [`Distributed] runner. *)
 
+(** When these environment variables name a sharded dataset directory
+    ({!Orion_store.Gen}), [app_make] streams the dataset from the shards
+    instead of generating it in memory — environment (not parameters) so
+    forked/exec'd distributed workers rebuild identical instances. *)
+
+val ratings_dir_env : string
+(** ["ORION_DATA_RATINGS"] — mf *)
+
+val features_dir_env : string
+(** ["ORION_DATA_FEATURES"] — slr *)
+
+val corpus_dir_env : string
+(** ["ORION_DATA_CORPUS"] — lda *)
+
 (** Build a fresh deterministic instance of app [name] ([None] if
     unknown).  Distributed workers rebuild the master's instance through
     this — every [app_make] is deterministic, so master and workers

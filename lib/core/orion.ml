@@ -517,6 +517,15 @@ module App = struct
     app_register_meta : session -> unit;
         (** register the paper-scale array shapes (Table 2) so the
             analysis pipeline can run without materializing data *)
+    app_loss : (instance -> float) option;
+        (** training objective over the instance's current model state,
+            for convergence benchmarking ([None]: no scalar loss) *)
+    app_prepare_pass : (instance -> unit) option;
+        (** fold buffered accumulators into the model between separate
+            [Engine.run] calls (e.g. apply a gradient buffer and zero
+            it) — only used by drivers that run pass-at-a-time, like
+            the convergence bench; single-run equivalence paths never
+            call it *)
   }
 
   let registered : t list ref = ref []
@@ -686,6 +695,14 @@ module Engine = struct
           shadow)
       shadows
 
+  (** Called at pass boundaries with [pass_done] completed passes and
+      the model arrays as they would stand if the run ended there
+      (buffered arrays merged into temporary copies).  The sink decides
+      what to persist — [lib/store]'s [Checkpoint] writes them to disk
+      — so the core stays free of file-format dependencies. *)
+  type checkpoint_sink =
+    pass_done:int -> (string * float Dist_array.t) list -> unit
+
   (** The distributed master driver, installed by [lib/net]'s
       [Dist_master] (via [Orion_apps.Registry.ensure]) so the core
       library stays free of any socket/process dependency.  Receives
@@ -700,6 +717,7 @@ module Engine = struct
     pipeline_depth:int option ->
     scale:float ->
     telemetry:bool ->
+    checkpoint:(int * checkpoint_sink) option ->
     report
 
   let distributed_runner : distributed_runner option ref = ref None
@@ -711,13 +729,18 @@ module Engine = struct
       instance). *)
   let run (session : session) (inst : App.instance) ~(mode : mode)
       ?(passes = 1) ?pipeline_depth ?(scale = 1.0)
-      ?(telemetry = Telemetry.default_enabled ()) () : report =
+      ?(telemetry = Telemetry.default_enabled ()) ?checkpoint () : report =
+    let checkpoint_due pass_done =
+      match checkpoint with
+      | Some (every, _) when every > 0 -> pass_done mod every = 0
+      | _ -> false
+    in
     match mode with
     | `Distributed { procs; transport } -> (
         match !distributed_runner with
         | Some f ->
             f session inst ~procs ~transport ~passes ~pipeline_depth ~scale
-              ~telemetry
+              ~telemetry ~checkpoint
         | None ->
             raise
               (Distributed_error
@@ -744,12 +767,17 @@ module Engine = struct
         let sim0 = Cluster.now session.cluster in
         let t0 = Clock.now () in
         let entries = ref 0 in
-        for _ = 1 to passes do
+        for p = 1 to passes do
           let body ~worker:_ ~key ~value =
             interp_body inst.App.inst_env inst ~key ~value
           in
           let st = execute session compiled ~body () in
-          entries := !entries + st.Executor.entries_executed
+          entries := !entries + st.Executor.entries_executed;
+          (* sim arrays are live and serial — hand them over directly *)
+          if checkpoint_due p then
+            match checkpoint with
+            | Some (_, sink) -> sink ~pass_done:p inst.App.inst_arrays
+            | None -> ()
         done;
         {
           ep_app = inst.App.inst_name;
@@ -793,6 +821,33 @@ module Engine = struct
             envs
         in
         let tel = Telemetry.create ~enabled:telemetry ~workers:domains () in
+        (* pass-boundary view of the model: shared arrays are live;
+           buffered arrays become temporary copies with every domain's
+           shadow merged in (domain order, matching the final merge) *)
+        let checkpoint_view () =
+          List.map
+            (fun (name, arr) ->
+              if List.mem name inst.App.inst_buffered then begin
+                let copy =
+                  Dist_array.of_partition (Dist_array.to_partition arr)
+                in
+                List.iter
+                  (fun env_shadows ->
+                    List.iter
+                      (fun (n, _, shadow) ->
+                        if n = name then
+                          Dist_array.iter
+                            (fun key v ->
+                              if v <> 0.0 then
+                                Dist_array.update copy key (fun x -> x +. v))
+                            shadow)
+                      env_shadows)
+                  shadows;
+                (name, copy)
+              end
+              else (name, arr))
+            inst.App.inst_arrays
+        in
         let windows = ref [] in
         let t0 = Clock.now () in
         let blocks = ref 0 and entries = ref 0 and steals = ref 0 in
@@ -810,7 +865,13 @@ module Engine = struct
                 windows := (pass, w0, Telemetry.now tel) :: !windows;
               blocks := !blocks + st.Domain_exec.blocks_run;
               entries := !entries + st.Domain_exec.entries_run;
-              steals := !steals + st.Domain_exec.steals
+              steals := !steals + st.Domain_exec.steals;
+              (* domains are joined between run_schedule calls, so the
+                 boundary state is quiescent *)
+              if checkpoint_due (pass + 1) then
+                match checkpoint with
+                | Some (_, sink) -> sink ~pass_done:(pass + 1) (checkpoint_view ())
+                | None -> ()
             done);
         (* leak loop locals back into the envs, as the interpreter's
            per-iteration [set_var]s would have *)

@@ -240,6 +240,14 @@ module App : sig
     app_register_meta : session -> unit;
         (** register the paper-scale array shapes so the analysis
             pipeline can run without materializing data *)
+    app_loss : (instance -> float) option;
+        (** training objective over the instance's current model state,
+            for convergence benchmarking ([None]: no scalar loss) *)
+    app_prepare_pass : (instance -> unit) option;
+        (** fold buffered accumulators into the model between separate
+            [Engine.run] calls (e.g. apply a gradient buffer and zero
+            it) — only used by pass-at-a-time drivers such as the
+            convergence bench *)
   }
 
   (** Register (or replace, by name) an app. *)
@@ -315,6 +323,15 @@ module Engine : sig
       construct; callers fall back to the interpreter. *)
   val compile_kernel : App.instance -> Interp.env -> Compile.t option
 
+  (** Called at pass boundaries — every [every] completed passes when
+      [run] gets [~checkpoint:(every, sink)] — with the model arrays as
+      they would stand if the run ended there: shared arrays live,
+      buffered arrays merged into temporary copies.  The sink decides
+      what to persist ([lib/store]'s [Checkpoint.save] writes them to
+      disk), so the core stays free of file-format dependencies. *)
+  type checkpoint_sink =
+    pass_done:int -> (string * float Dist_array.t) list -> unit
+
   (** The distributed master driver, installed by [lib/net]'s
       [Dist_master] (via [Orion_apps.Registry.ensure ()]) so the core
       library stays free of socket/process dependencies. *)
@@ -327,6 +344,7 @@ module Engine : sig
     pipeline_depth:int option ->
     scale:float ->
     telemetry:bool ->
+    checkpoint:(int * checkpoint_sink) option ->
     report
 
   val distributed_runner : distributed_runner option ref
@@ -337,7 +355,9 @@ module Engine : sig
       workers rebuild the instance from the app registry).
       [telemetry] (default {!Telemetry.default_enabled}) turns
       wall-clock span recording on for the real modes; the summary
-      lands in [ep_telemetry].
+      lands in [ep_telemetry].  [checkpoint] registers a pass-boundary
+      {!checkpoint_sink} invoked every [every] completed passes, in all
+      three modes.
       @raise Distributed_error when a [`Distributed] run fails. *)
   val run :
     session ->
@@ -347,6 +367,7 @@ module Engine : sig
     ?pipeline_depth:int ->
     ?scale:float ->
     ?telemetry:bool ->
+    ?checkpoint:int * checkpoint_sink ->
     unit ->
     report
 end

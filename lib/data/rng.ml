@@ -5,6 +5,8 @@
 type t = { mutable state : int64 }
 
 let create seed = { state = Int64.of_int seed }
+let state t = t.state
+let set_state t s = t.state <- s
 
 let next t =
   let open Int64 in
@@ -13,6 +15,15 @@ let next t =
   let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
   logxor z (shift_right_logical z 31)
+
+(* mix seed and index through one extra splitmix64 scramble so nearby
+   (seed, index) pairs land on unrelated streams *)
+let split ~seed ~index =
+  let t = { state = Int64.of_int seed } in
+  let a = next t in
+  let t2 = { state = Int64.logxor a (Int64.of_int ((index * 0x9E3779B9) lxor 0x5DEECE66D)) } in
+  let b = next t2 in
+  { state = b }
 
 (** uniform float in [0, 1) *)
 let float t =

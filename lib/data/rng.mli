@@ -6,6 +6,18 @@ type t
 val create : int -> t
 val next : t -> int64
 
+(** The full generator state (splitmix64 keeps all of it in one
+    [int64]); [state]/[set_state] round-trip it through checkpoints. *)
+val state : t -> int64
+
+val set_state : t -> int64 -> unit
+
+(** A generator whose seed is a strong mix of [t]'s original seed and
+    [index] — the per-shard streams of [Orion_store]: shard [k]'s
+    stream is a pure function of (seed, k), independent of whether any
+    other shard was generated. *)
+val split : seed:int -> index:int -> t
+
 (** Uniform in [0, 1). *)
 val float : t -> float
 

@@ -22,6 +22,8 @@ module Rng = struct
   type t = { mutable state : int64 }
 
   let create seed = { state = Int64.of_int seed }
+  let state t = t.state
+  let set_state t s = t.state <- s
 
   let next t =
     let open Int64 in

@@ -18,6 +18,11 @@ module Rng : sig
   val create : int -> t
   val float : t -> float  (** uniform in [0, 1) *)
   val gaussian : t -> float  (** standard normal *)
+
+  (** The full splitmix64 state, for checkpoint capture/restore. *)
+  val state : t -> int64
+
+  val set_state : t -> int64 -> unit
 end
 
 (** An interpreter environment is SINGLE-WRITER: [vars] is a plain

@@ -146,7 +146,8 @@ type worker_state = {
 let run ~(materialize : Dist_worker.materialize) ?spawn
     (session : Orion.session) (inst : Orion.App.instance) ~procs
     ~(transport : Orion.Engine.transport) ~passes ~pipeline_depth ~scale
-    ~telemetry : Orion.Engine.report =
+    ~telemetry ?(checkpoint : (int * Orion.Engine.checkpoint_sink) option) ()
+    : Orion.Engine.report =
   if procs < 1 then err "procs must be >= 1, got %d" procs;
   (* a worker dying mid-run must surface as EPIPE on our next send to
      it (handled by the supervision loop), not kill the master *)
@@ -176,6 +177,117 @@ let run ~(materialize : Dist_worker.materialize) ?spawn
   (* the partitioner may produce fewer space partitions than requested
      workers on tiny data; spawn exactly one worker per partition *)
   let nw = sp in
+  (* (pass, natural-order position) ordering shared by pass-boundary
+     checkpoints and the final assembly *)
+  let order = Domain_exec.natural_order model ~sp ~tp in
+  let pos = Hashtbl.create (sp * tp) in
+  Array.iteri (fun i (s, t) -> Hashtbl.replace pos ((s * tp) + t) i) order;
+  (* -- pass-boundary checkpoint assembly ----------------------------
+     When a checkpoint sink is registered, workers ship a Pass_report
+     after every pass barrier.  The master folds them into shadow
+     copies of the model arrays — never its own instance, which the
+     final assembly owns — applying each pass's writes in natural block
+     order (as the final assembly would), and keeping each rank's
+     latest cumulative buffered shadows.  When every rank has reported
+     a pass, the boundary state is complete and the sink fires. *)
+  let ck_copies : (string, float Dist_array.t) Hashtbl.t = Hashtbl.create 8 in
+  if checkpoint <> None then
+    List.iter
+      (fun (n, a) ->
+        Hashtbl.replace ck_copies n
+          (Dist_array.of_partition (Dist_array.to_partition a)))
+      inst.Orion.App.inst_arrays;
+  let ck_pending :
+      (int, Wire.block_writes list option array * Wire.part list option array)
+      Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let ck_latest_shadows : Wire.part list array = Array.make nw [] in
+  let ck_next = ref 0 in
+  let note_pass_report ~rank ~pass entries parts =
+    match checkpoint with
+    | None -> ()
+    | Some (every, sink) ->
+        let slot =
+          match Hashtbl.find_opt ck_pending pass with
+          | Some s -> s
+          | None ->
+              let s = (Array.make nw None, Array.make nw None) in
+              Hashtbl.replace ck_pending pass s;
+              s
+        in
+        (fst slot).(rank) <- Some entries;
+        (snd slot).(rank) <- Some parts;
+        let rec drain () =
+          match Hashtbl.find_opt ck_pending !ck_next with
+          | Some (es, ps) when Array.for_all Option.is_some es ->
+              let pass = !ck_next in
+              Hashtbl.remove ck_pending pass;
+              incr ck_next;
+              let all =
+                Array.to_list es
+                |> List.concat_map (fun o -> Option.value o ~default:[])
+                |> List.sort
+                     (fun (a : Wire.block_writes) (b : Wire.block_writes) ->
+                       compare
+                         (Hashtbl.find pos a.bw_block)
+                         (Hashtbl.find pos b.bw_block))
+              in
+              List.iter
+                (fun (bw : Wire.block_writes) ->
+                  Array.iter
+                    (fun (w : Wire.write) ->
+                      match Hashtbl.find_opt ck_copies w.w_array with
+                      | Some arr -> Dist_array.set arr w.w_key w.w_value
+                      | None -> ())
+                    bw.bw_writes)
+                all;
+              Array.iteri
+                (fun r p ->
+                  match p with
+                  | Some parts -> ck_latest_shadows.(r) <- parts
+                  | None -> ())
+                ps;
+              if every > 0 && (pass + 1) mod every = 0 then begin
+                let view =
+                  List.map
+                    (fun (name, arr) ->
+                      if List.mem name inst.Orion.App.inst_buffered then begin
+                        (* base (untouched on the master) + every rank's
+                           cumulative shadow, in rank order — the same
+                           merge the end of the run performs *)
+                        let copy =
+                          Dist_array.of_partition (Dist_array.to_partition arr)
+                        in
+                        Array.iter
+                          (fun parts ->
+                            List.iter
+                              (fun (part : Wire.part) ->
+                                if part.Dist_array.pt_array = name then
+                                  Array.iter
+                                    (fun (lin, v) ->
+                                      Dist_array.update copy
+                                        (Dist_array.delinearize copy lin)
+                                        (fun x -> x +. v))
+                                    part.Dist_array.pt_entries)
+                              parts)
+                          ck_latest_shadows;
+                        (name, copy)
+                      end
+                      else
+                        ( name,
+                          Option.value
+                            (Hashtbl.find_opt ck_copies name)
+                            ~default:arr ))
+                    inst.Orion.App.inst_arrays
+                in
+                sink ~pass_done:(pass + 1) view
+              end;
+              drain ()
+          | _ -> ()
+        in
+        drain ()
+  in
   let like : Transport.addr =
     match transport with
     | `Unix -> `Unix ""
@@ -356,6 +468,7 @@ let run ~(materialize : Dist_worker.materialize) ?spawn
              p_model = model;
              p_fingerprint = fingerprint;
              p_telemetry = telemetry;
+             p_report_passes = checkpoint <> None;
            })
     done;
     (* -- partition shipping + prefetch serving ---------------------- *)
@@ -480,6 +593,10 @@ let run ~(materialize : Dist_worker.materialize) ?spawn
                   | Some (s0, f0) -> (Float.min s0 s, Float.max f0 f)
                   | None -> (s, f))
               end
+          | Event_loop.Message
+              (rank, Wire.Pass_report { pp_pass; pp_entries; pp_buffered; _ })
+            ->
+              note_pass_report ~rank ~pass:pp_pass pp_entries pp_buffered
           | Event_loop.Message (rank, Wire.Done stats) ->
               if
                 states.(rank).st_report = None
@@ -551,11 +668,6 @@ let run ~(materialize : Dist_worker.materialize) ?spawn
     (* non-buffered writes: apply every worker's journal in (pass,
        natural-order) order — a serialization of the happens-before
        order, reproducing the serial element values bitwise *)
-    let order = Domain_exec.natural_order model ~sp ~tp in
-    let pos = Hashtbl.create (sp * tp) in
-    Array.iteri
-      (fun i (s, t) -> Hashtbl.replace pos ((s * tp) + t) i)
-      order;
     let all_blocks =
       Array.to_list states
       |> List.concat_map (fun st -> Option.value st.st_report ~default:[])
@@ -686,6 +798,6 @@ let install ~(materialize : Dist_worker.materialize) =
   Orion.Engine.distributed_runner :=
     Some
       (fun session inst ~procs ~transport ~passes ~pipeline_depth ~scale
-           ~telemetry ->
+           ~telemetry ~checkpoint ->
         run ~materialize session inst ~procs ~transport ~passes
-          ~pipeline_depth ~scale ~telemetry)
+          ~pipeline_depth ~scale ~telemetry ?checkpoint ())

@@ -566,6 +566,29 @@ let serve (master : Transport.conn) ~(materialize : materialize) ~rank
              pt_spans = spans;
              pt_costs = costs;
            })
+    end;
+    (* ship the pass-boundary state for master-side checkpoints: this
+       pass's own writes plus the cumulative buffered shadows *)
+    if p.p_report_passes then begin
+      let entries =
+        List.filter
+          (fun (bw : Wire.block_writes) -> bw.bw_pass = pass)
+          (List.rev !own)
+      in
+      let parts =
+        List.map
+          (fun (_, shadow) ->
+            Dist_array.to_partition ~select:(fun _ v -> v <> 0.0) shadow)
+          shadows
+      in
+      Transport.send master
+        (Wire.Pass_report
+           {
+             pp_rank = rank;
+             pp_pass = pass;
+             pp_entries = entries;
+             pp_buffered = parts;
+           })
     end
   done;
   (* leak loop locals back into the env, as the interpreter would *)

@@ -21,8 +21,10 @@
     any    → master   Fatal
     v} *)
 
-(* v2: plan carries [p_telemetry]; workers ship [Pass_telemetry] *)
-let version = 2
+(* v2: plan carries [p_telemetry]; workers ship [Pass_telemetry]
+   v3: plan carries [p_report_passes]; workers ship [Pass_report] after
+       each pass barrier so the master can checkpoint pass boundaries *)
+let version = 3
 
 (** One journaled DistArray element write, in execution order. *)
 type write = { w_array : string; w_key : int array; w_value : float }
@@ -68,6 +70,9 @@ type plan = {
   p_telemetry : bool;
       (** record wall-clock telemetry and ship {!Pass_telemetry}
           messages after each pass *)
+  p_report_passes : bool;
+      (** ship a {!Pass_report} after each pass barrier so the master
+          can assemble pass-boundary checkpoints *)
 }
 
 type msg =
@@ -107,6 +112,18 @@ type msg =
     }
       (** the worker's telemetry shard for one pass, drained and
           shipped to the master right after the pass barrier *)
+  | Pass_report of {
+      pp_rank : int;
+      pp_pass : int;
+      pp_entries : block_writes list;
+          (** this worker's own-block write log for the pass just
+              finished (the master applies them in natural block
+              order, so checkpoints match an uninterrupted run) *)
+      pp_buffered : part list;
+          (** the {e cumulative} nonzero entries of each buffered
+              array's local shadow at this boundary (shadows persist
+              across passes, so later reports supersede earlier) *)
+    }
   | Block_report of { br_rank : int; br_entries : block_writes list }
       (** the worker's complete own-block write log, all passes *)
   | Buffer_flush of { bf_rank : int; bf_parts : part list }
@@ -130,6 +147,7 @@ let tag = function
   | Rotation_token _ -> "rotation-token"
   | Pass_sync _ -> "pass-sync"
   | Pass_telemetry _ -> "pass-telemetry"
+  | Pass_report _ -> "pass-report"
   | Block_report _ -> "block-report"
   | Buffer_flush _ -> "buffer-flush"
   | Acc_merge _ -> "acc-merge"

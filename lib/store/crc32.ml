@@ -1,0 +1,44 @@
+(* CRC-32 (IEEE 802.3), table-driven, reflected, init/xorout 0xFFFFFFFF
+   — bit-identical to zlib's crc32().  The table is built once at
+   module initialization. *)
+
+let table =
+  lazy
+    (let t = Array.make 256 0l in
+     for n = 0 to 255 do
+       let c = ref (Int32.of_int n) in
+       for _ = 0 to 7 do
+         if Int32.logand !c 1l <> 0l then
+           c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+         else c := Int32.shift_right_logical !c 1
+       done;
+       t.(n) <- !c
+     done;
+     t)
+
+type t = { mutable crc : int32 }
+
+let create () = { crc = 0xFFFFFFFFl }
+
+let update t b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Crc32.update: out of range";
+  let tbl = Lazy.force table in
+  let c = ref t.crc in
+  for i = pos to pos + len - 1 do
+    let idx =
+      Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code (Bytes.unsafe_get b i)))) 0xFFl)
+    in
+    c := Int32.logxor tbl.(idx) (Int32.shift_right_logical !c 8)
+  done;
+  t.crc <- !c
+
+let update_string t s =
+  update t (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)
+
+let value t = Int32.logxor t.crc 0xFFFFFFFFl
+
+let digest b =
+  let t = create () in
+  update t b ~pos:0 ~len:(Bytes.length b);
+  value t

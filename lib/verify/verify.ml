@@ -418,7 +418,7 @@ let forced_schedule ov (inst : App.instance) ~workers ~depth :
     with a forced one (to demonstrate race detection on wrong
     schedules). *)
 let verify_app ?(num_machines = 2) ?(workers_per_machine = 2) ?pipeline_depth
-    ?schedule_override app : (app_report, string) result =
+    ?(scale = 1.0) ?schedule_override app : (app_report, string) result =
   Orion_apps.Registry.ensure ();
   match App.find app with
   | None ->
@@ -426,7 +426,7 @@ let verify_app ?(num_machines = 2) ?(workers_per_machine = 2) ?pipeline_depth
         (Printf.sprintf "unknown app %S (expected one of: %s)" app
            (String.concat " " (App.names ())))
   | Some a -> (
-      let make () = a.App.app_make ~num_machines ~workers_per_machine () in
+      let make () = a.App.app_make ~scale ~num_machines ~workers_per_machine () in
       (* run A: serial ascending observation *)
       let inst_a = make () in
       let log = observe inst_a in

@@ -95,6 +95,7 @@ val verify_app :
   ?num_machines:int ->
   ?workers_per_machine:int ->
   ?pipeline_depth:int ->
+  ?scale:float ->
   ?schedule_override:schedule_override ->
   string ->
   (app_report, string) result

@@ -401,6 +401,96 @@ let fault_injection () =
         true (elapsed < 25.0))
 
 (* ------------------------------------------------------------------ *)
+(* Kill-and-resume: a run checkpointed every pass and killed mid-pass  *)
+(* by fault injection resumes from the newest checkpoint to the same   *)
+(* final state as the uninterrupted run                                *)
+(* ------------------------------------------------------------------ *)
+
+module Checkpoint = Orion_store.Checkpoint
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let dist_kill_and_resume name ~tolerance () =
+  let app = find_app name in
+  let procs = 2 and passes = 3 in
+  let mode = `Distributed { Orion.Engine.procs; transport = `Unix } in
+  let make () =
+    app.Orion.App.app_make ~num_machines:procs ~workers_per_machine:1 ()
+  in
+  (* truth: uninterrupted run; its report also tells us how many blocks
+     one rank executes per pass (ep_time_parts), which positions the
+     fault injection at the start of pass 2 *)
+  let truth = make () in
+  let report =
+    Orion.Engine.run truth.Orion.App.inst_session truth ~mode ~passes ()
+  in
+  let blocks_per_pass = report.Orion.Engine.ep_time_parts in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "orion-dist-resume-%d-%s" (Unix.getpid ()) name)
+  in
+  rm_rf dir;
+  Fun.protect
+    ~finally:(fun () ->
+      rm_rf dir;
+      Unix.putenv Orion_net.Dist_worker.abort_rank_env "";
+      Unix.putenv Orion_net.Dist_worker.abort_after_env "")
+    (fun () ->
+      (* killed run: rank 1 exits just before its first block of pass 2,
+         after its pass-0 and pass-1 reports reached the master *)
+      Unix.putenv Orion_net.Dist_worker.abort_rank_env "1";
+      Unix.putenv Orion_net.Dist_worker.abort_after_env
+        (string_of_int (2 * blocks_per_pass));
+      let inst1 = make () in
+      let sink ~pass_done arrays =
+        ignore
+          (Checkpoint.save ~dir
+             (Checkpoint.snapshot ~app:name ~scale:1.0 ~pass:pass_done
+                ~total_passes:passes
+                ~rng:
+                  (Orion.Interp.Rng.state
+                     inst1.Orion.App.inst_env.Orion.Interp.rng)
+                arrays))
+      in
+      (match
+         Orion.Engine.run inst1.Orion.App.inst_session inst1 ~mode ~passes
+           ~checkpoint:(1, sink) ()
+       with
+      | _ -> Alcotest.fail "aborting worker did not fail the run"
+      | exception Orion.Engine.Distributed_error _ -> ());
+      Unix.putenv Orion_net.Dist_worker.abort_rank_env "";
+      Unix.putenv Orion_net.Dist_worker.abort_after_env "";
+      (* resume from whatever the master managed to checkpoint before
+         the crash surfaced (at least pass 1) *)
+      match Checkpoint.latest dir with
+      | None -> Alcotest.fail "killed run left no checkpoint"
+      | Some (_, s) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "checkpoint is mid-run (pass %d)"
+               s.Checkpoint.ck_pass)
+            true
+            (s.Checkpoint.ck_pass >= 1 && s.Checkpoint.ck_pass < passes);
+          let inst2 = make () in
+          Checkpoint.restore s inst2.Orion.App.inst_arrays;
+          Orion.Interp.Rng.set_state
+            inst2.Orion.App.inst_env.Orion.Interp.rng s.Checkpoint.ck_rng;
+          ignore
+            (Orion.Engine.run inst2.Orion.App.inst_session inst2 ~mode
+               ~passes:(passes - s.Checkpoint.ck_pass) ());
+          check_outputs
+            ~what:(Printf.sprintf "%s killed-and-resumed vs uninterrupted"
+                     name)
+            ~tolerance truth.Orion.App.inst_outputs
+            inst2.Orion.App.inst_outputs)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "distributed"
@@ -442,4 +532,9 @@ let () =
             distributed_telemetry_merged_timeline;
         ] );
       ("failure", [ tc "worker abort mid-pass" `Quick fault_injection ]);
+      ( "kill_and_resume",
+        [
+          tc "mf" `Quick (dist_kill_and_resume "mf" ~tolerance:None);
+          tc "lda" `Quick (dist_kill_and_resume "lda" ~tolerance:None);
+        ] );
     ]

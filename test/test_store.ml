@@ -1,0 +1,466 @@
+(* Tests for the out-of-core data path (lib/store): shard container
+   round-trips, positioned corruption reports, per-shard deterministic
+   generation, shard-backed dataset loading, and checkpoint/restore —
+   including resume-equivalence of interrupted training runs in sim and
+   parallel modes. *)
+
+module Shard = Orion_store.Shard
+module Gen = Orion_store.Gen
+module Loader = Orion_store.Loader
+module Checkpoint = Orion_store.Checkpoint
+module Dist_array = Orion_dsm.Dist_array
+module Verify = Orion_verify.Verify
+
+let tc = Alcotest.test_case
+let qc = QCheck_alcotest.to_alcotest
+let () = Orion_apps.Registry.ensure ()
+
+(* every test gets its own scratch directory under the system temp dir *)
+let scratch =
+  let n = ref 0 in
+  fun prefix ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "orion-store-test-%d-%s-%d" (Unix.getpid ()) prefix !n)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let with_dir prefix f =
+  let dir = scratch prefix in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Shard container: write records, stream them back bitwise            *)
+(* ------------------------------------------------------------------ *)
+
+let write_shard ~dir ?(shard = 0) ?(num_shards = 1) ?(meta = []) records =
+  let path = Shard.shard_path ~dir shard in
+  Sys.mkdir dir 0o755;
+  let w =
+    Shard.create_writer ~path ~schema:"test-v1" ~shard ~num_shards ~seed:7
+      ~meta ()
+  in
+  List.iter (fun r -> Shard.write_record w (Bytes.of_string r)) records;
+  (path, Shard.close_writer w)
+
+let qcheck_shard_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"shard codec round-trip (bitwise)"
+    QCheck.(small_list string)
+    (fun records ->
+      with_dir "roundtrip" (fun dir ->
+          let path, hdr = write_shard ~dir ~meta:[ ("k", "v") ] records in
+          hdr.Shard.h_count = List.length records
+          && (Shard.read_header path).Shard.h_meta = [ ("k", "v") ]
+          &&
+          let got =
+            List.rev
+              (Shard.fold path ~init:[] ~f:(fun acc b ->
+                   Bytes.to_string b :: acc))
+          in
+          got = records))
+
+let test_shard_header () =
+  with_dir "header" (fun dir ->
+      let path, _ =
+        write_shard ~dir ~shard:0 ~num_shards:3
+          ~meta:[ ("num_users", "12"); ("num_items", "5") ]
+          [ "a"; "bb"; "" ]
+      in
+      let h = Shard.read_header path in
+      Alcotest.(check string) "schema" "test-v1" h.Shard.h_schema;
+      Alcotest.(check int) "shard" 0 h.Shard.h_shard;
+      Alcotest.(check int) "num_shards" 3 h.Shard.h_num_shards;
+      Alcotest.(check int) "seed" 7 h.Shard.h_seed;
+      Alcotest.(check int) "count" 3 h.Shard.h_count;
+      Alcotest.(check (list (pair string string)))
+        "meta order preserved"
+        [ ("num_users", "12"); ("num_items", "5") ]
+        h.Shard.h_meta)
+
+(* corruption must be rejected with the offset where the file stopped
+   making sense, never silently decoded *)
+let expect_corrupt what f =
+  match f () with
+  | _ -> Alcotest.failf "%s: corrupt shard was accepted" what
+  | exception Shard.Corrupt { path; offset; reason } ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: positioned error (%s at %d: %s)" what path offset
+           reason)
+        true
+        (path <> "" && offset >= 0 && reason <> "")
+
+let test_shard_corruption () =
+  with_dir "corrupt" (fun dir ->
+      let path, _ = write_shard ~dir [ "hello"; "world"; "again" ] in
+      let image = read_file path in
+      let len = String.length image in
+      (* truncation: chop mid-record / mid-footer *)
+      List.iter
+        (fun keep ->
+          let p = Filename.concat dir "trunc.orshard" in
+          write_file p (String.sub image 0 keep);
+          expect_corrupt
+            (Printf.sprintf "truncated to %d/%d bytes" keep len)
+            (fun () -> Shard.fold p ~init:0 ~f:(fun n _ -> n + 1)))
+        [ len - 1; len - 8; len - 15; 10 ];
+      (* bit flip in a record body: caught by the CRC *)
+      let flipped = Bytes.of_string image in
+      let mid = (len / 2) + 1 in
+      Bytes.set flipped mid (Char.chr (Char.code (Bytes.get flipped mid) lxor 1));
+      let p = Filename.concat dir "flip.orshard" in
+      write_file p (Bytes.to_string flipped);
+      expect_corrupt "bit flip" (fun () ->
+          Shard.fold p ~init:0 ~f:(fun n _ -> n + 1));
+      (* wrong magic: rejected before any record is decoded *)
+      let p2 = Filename.concat dir "magic.orshard" in
+      write_file p2 ("XXXX" ^ String.sub image 4 (len - 4));
+      expect_corrupt "bad magic" (fun () -> ignore (Shard.read_header p2)))
+
+let test_writer_is_atomic () =
+  with_dir "atomic" (fun dir ->
+      Sys.mkdir dir 0o755;
+      let path = Shard.shard_path ~dir 0 in
+      let w =
+        Shard.create_writer ~path ~schema:"test-v1" ~shard:0 ~num_shards:1
+          ~seed:1 ()
+      in
+      Shard.write_record w (Bytes.of_string "partial");
+      (* before close_writer only the temp file exists *)
+      Alcotest.(check bool) "shard not yet published" false
+        (Sys.file_exists path);
+      Shard.discard_writer w;
+      Alcotest.(check (list string)) "discard leaves nothing" []
+        (Shard.list_shards dir))
+
+(* ------------------------------------------------------------------ *)
+(* Generators: deterministic and shard-independent                     *)
+(* ------------------------------------------------------------------ *)
+
+let small_ratings =
+  Gen.Ratings
+    {
+      num_users = 50;
+      num_items = 30;
+      num_ratings = 600;
+      skew = 1.1;
+      rank = 4;
+      noise = 0.1;
+    }
+
+let test_gen_shard_independent () =
+  with_dir "full" (fun full_dir ->
+      with_dir "solo" (fun solo_dir ->
+          let seed = 99 and shards = 4 in
+          ignore (Gen.generate ~dir:full_dir ~seed ~shards small_ratings);
+          (* shard 2 regenerated alone, nothing before it *)
+          ignore
+            (Gen.generate_shard ~dir:solo_dir ~seed ~shards ~shard:2
+               small_ratings);
+          Alcotest.(check string)
+            "shard 2 bitwise-identical whether or not shards 0..1 were \
+             generated"
+            (read_file (Shard.shard_path ~dir:full_dir 2))
+            (read_file (Shard.shard_path ~dir:solo_dir 2))))
+
+let test_gen_deterministic () =
+  with_dir "a" (fun a ->
+      with_dir "b" (fun b ->
+          ignore (Gen.generate ~dir:a ~seed:5 ~shards:3 small_ratings);
+          ignore (Gen.generate ~dir:b ~seed:5 ~shards:3 small_ratings);
+          List.iter2
+            (fun pa pb ->
+              Alcotest.(check string)
+                (Filename.basename pa ^ " reproducible") (read_file pa)
+                (read_file pb))
+            (Shard.list_shards a) (Shard.list_shards b);
+          (* a different seed must actually change the stream *)
+          with_dir "c" (fun c ->
+              ignore (Gen.generate ~dir:c ~seed:6 ~shards:3 small_ratings);
+              Alcotest.(check bool) "seed changes the records" false
+                (read_file (Shard.shard_path ~dir:a 0)
+                = read_file (Shard.shard_path ~dir:c 0)))))
+
+let test_gen_counts () =
+  with_dir "counts" (fun dir ->
+      let headers = Gen.generate ~dir ~seed:3 ~shards:4 small_ratings in
+      let total =
+        List.fold_left (fun acc h -> acc + h.Shard.h_count) 0 headers
+      in
+      Alcotest.(check int) "shards partition the record range" 600 total;
+      let hs = Shard.dataset_headers dir in
+      Alcotest.(check int) "dataset_headers sees every shard" 4
+        (List.length hs))
+
+(* ------------------------------------------------------------------ *)
+(* Loaders: shards stream into lib/data structures                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_loader_ratings () =
+  with_dir "load-r" (fun dir ->
+      ignore (Gen.generate ~dir ~seed:11 ~shards:3 small_ratings);
+      let d = Loader.ratings dir in
+      Alcotest.(check int) "num_users" 50 d.Orion_data.Ratings.num_users;
+      Alcotest.(check int) "num_items" 30 d.Orion_data.Ratings.num_items;
+      Alcotest.(check bool) "ratings materialized (dups collapse)" true
+        (d.Orion_data.Ratings.num_ratings > 0
+        && d.Orion_data.Ratings.num_ratings <= 600);
+      Dist_array.iter
+        (fun key v ->
+          Alcotest.(check bool) "key in bounds" true
+            (key.(0) >= 0 && key.(0) < 50 && key.(1) >= 0 && key.(1) < 30);
+          Alcotest.(check bool) "value finite" true (Float.is_finite v))
+        d.Orion_data.Ratings.ratings)
+
+let test_loader_features_corpus () =
+  with_dir "load-f" (fun dir ->
+      let spec =
+        Gen.Features
+          {
+            num_samples = 40;
+            num_features = 25;
+            nnz_per_sample = 5;
+            skew = 1.0;
+            noise = 0.1;
+          }
+      in
+      ignore (Gen.generate ~dir ~seed:2 ~shards:2 spec);
+      let d = Loader.features dir in
+      Alcotest.(check int) "num_samples" 40
+        d.Orion_data.Sparse_features.num_samples;
+      Alcotest.(check int) "num_features" 25
+        d.Orion_data.Sparse_features.num_features);
+  with_dir "load-c" (fun dir ->
+      let spec =
+        Gen.Corpus
+          {
+            num_docs = 20;
+            vocab_size = 40;
+            avg_doc_len = 12;
+            num_topics = 3;
+            skew = 1.0;
+          }
+      in
+      ignore (Gen.generate ~dir ~seed:2 ~shards:2 spec);
+      let d = Loader.corpus dir in
+      Alcotest.(check int) "num_docs" 20 d.Orion_data.Corpus.num_docs;
+      Alcotest.(check int) "vocab_size" 40 d.Orion_data.Corpus.vocab_size;
+      Alcotest.(check bool) "tokens streamed" true
+        (d.Orion_data.Corpus.num_tokens > 0))
+
+let find_app name =
+  match Orion.App.find name with
+  | Some a -> a
+  | None -> Alcotest.failf "app %s missing from registry" name
+
+(* an app built from a sharded dataset (ORION_DATA_RATINGS) trains *)
+let test_store_backed_app () =
+  with_dir "backed" (fun dir ->
+      ignore (Gen.generate ~dir ~seed:17 ~shards:2 small_ratings);
+      Unix.putenv Orion_apps.Registry.ratings_dir_env dir;
+      Fun.protect
+        ~finally:(fun () ->
+          Unix.putenv Orion_apps.Registry.ratings_dir_env "")
+        (fun () ->
+          let app = find_app "mf" in
+          let inst =
+            app.Orion.App.app_make ~num_machines:2 ~workers_per_machine:2 ()
+          in
+          let r =
+            Orion.Engine.run inst.Orion.App.inst_session inst ~mode:`Sim
+              ~passes:1 ()
+          in
+          Alcotest.(check bool) "entries came from the shards" true
+            (r.Orion.Engine.ep_entries > 0);
+          let loss =
+            match app.Orion.App.app_loss with
+            | Some f -> f inst
+            | None -> Alcotest.fail "mf has a loss"
+          in
+          Alcotest.(check bool) "loss finite on shard-backed data" true
+            (Float.is_finite loss)))
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoints                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let bits = Int64.bits_of_float
+
+let test_checkpoint_roundtrip () =
+  with_dir "ck" (fun dir ->
+      let dense = Dist_array.fill_dense ~name:"d" ~dims:[| 4; 3 |] 0.0 in
+      Dist_array.set dense [| 1; 2 |] 0.1;
+      Dist_array.set dense [| 3; 0 |] (-7.25);
+      let sparse =
+        Dist_array.create_sparse ~name:"s" ~dims:[| 100 |] ~default:0.0
+      in
+      Dist_array.set sparse [| 42 |] 1e-9;
+      let arrays = [ ("d", dense); ("s", sparse) ] in
+      let s =
+        Checkpoint.snapshot ~app:"mf" ~scale:2.0 ~pass:3 ~total_passes:5
+          ~rng:123456789L arrays
+      in
+      let path = Checkpoint.save ~dir s in
+      (* a second, older checkpoint must not win [latest] *)
+      ignore
+        (Checkpoint.save ~dir
+           (Checkpoint.snapshot ~app:"mf" ~scale:2.0 ~pass:1 ~total_passes:5
+              ~rng:1L arrays));
+      (match Checkpoint.latest dir with
+      | Some (p, got) ->
+          Alcotest.(check string) "latest is the highest pass" path p;
+          Alcotest.(check int) "pass" 3 got.Checkpoint.ck_pass;
+          Alcotest.(check int) "total passes" 5 got.Checkpoint.ck_total_passes;
+          Alcotest.(check string) "app" "mf" got.Checkpoint.ck_app;
+          Alcotest.(check int64) "rng" 123456789L got.Checkpoint.ck_rng;
+          let d2 = Dist_array.fill_dense ~name:"d" ~dims:[| 4; 3 |] 0.0 in
+          let s2 =
+            Dist_array.create_sparse ~name:"s" ~dims:[| 100 |] ~default:0.0
+          in
+          Checkpoint.restore got [ ("d", d2); ("s", s2) ];
+          Alcotest.(check int64) "dense bits" (bits 0.1)
+            (bits (Dist_array.get d2 [| 1; 2 |]));
+          Alcotest.(check int64) "dense bits 2" (bits (-7.25))
+            (bits (Dist_array.get d2 [| 3; 0 |]));
+          Alcotest.(check int64) "sparse bits" (bits 1e-9)
+            (bits (Dist_array.get s2 [| 42 |]))
+      | None -> Alcotest.fail "no checkpoint found");
+      (* corruption: a flipped payload byte must fail the CRC *)
+      let image = read_file path in
+      let flipped = Bytes.of_string image in
+      let mid = String.length image / 2 in
+      Bytes.set flipped mid
+        (Char.chr (Char.code (Bytes.get flipped mid) lxor 0x40));
+      let bad = Filename.concat dir "bad.orck" in
+      write_file bad (Bytes.to_string flipped);
+      match Checkpoint.load bad with
+      | _ -> Alcotest.fail "corrupt checkpoint was accepted"
+      | exception Checkpoint.Corrupt _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Resume equivalence: a run checkpointed at pass k and resumed from   *)
+(* the checkpoint reaches the same final state as the uninterrupted    *)
+(* run — bitwise for unbuffered apps, within tolerance for buffered    *)
+(* FP accumulation whose merge association differs across the cut      *)
+(* ------------------------------------------------------------------ *)
+
+let check_outputs ~what ~tolerance a b =
+  List.iter2
+    (fun (name_a, arr_a) (_, arr_b) ->
+      let d = Verify.diff_arrays name_a arr_a arr_b in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %s equal (max abs %.3e, max rel %.3e)" what
+           name_a d.Verify.d_max_abs d.Verify.d_max_rel)
+        true
+        (Verify.diff_ok ~tolerance d))
+    a b
+
+let rng_state inst =
+  Orion.Interp.Rng.state inst.Orion.App.inst_env.Orion.Interp.rng
+
+let resume_matches name ~mode ~tolerance () =
+  let app = find_app name in
+  let passes = 4 and cut = 2 in
+  let make () =
+    app.Orion.App.app_make ~num_machines:2 ~workers_per_machine:2 ()
+  in
+  (* truth: uninterrupted *)
+  let truth = make () in
+  ignore
+    (Orion.Engine.run truth.Orion.App.inst_session truth ~mode ~passes ());
+  with_dir ("resume-" ^ name) (fun dir ->
+      (* interrupted: checkpoint every pass, stop after [cut] *)
+      let inst1 = make () in
+      let sink ~pass_done arrays =
+        ignore
+          (Checkpoint.save ~dir
+             (Checkpoint.snapshot ~app:name ~scale:1.0 ~pass:pass_done
+                ~total_passes:passes ~rng:(rng_state inst1) arrays))
+      in
+      ignore
+        (Orion.Engine.run inst1.Orion.App.inst_session inst1 ~mode
+           ~passes:cut ~checkpoint:(1, sink) ());
+      (* resume: fresh instance, newest checkpoint, remaining passes *)
+      match Checkpoint.latest dir with
+      | None -> Alcotest.fail "no checkpoint written"
+      | Some (_, s) ->
+          Alcotest.(check int) "checkpointed at the cut" cut
+            s.Checkpoint.ck_pass;
+          let inst2 = make () in
+          Checkpoint.restore s inst2.Orion.App.inst_arrays;
+          Orion.Interp.Rng.set_state
+            inst2.Orion.App.inst_env.Orion.Interp.rng s.Checkpoint.ck_rng;
+          ignore
+            (Orion.Engine.run inst2.Orion.App.inst_session inst2 ~mode
+               ~passes:(passes - s.Checkpoint.ck_pass) ());
+          check_outputs
+            ~what:
+              (Printf.sprintf "%s %s resumed-vs-uninterrupted" name
+                 (Orion.Engine.mode_to_string mode))
+            ~tolerance truth.Orion.App.inst_outputs
+            inst2.Orion.App.inst_outputs)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "shard",
+        [
+          qc qcheck_shard_roundtrip;
+          tc "header fields round-trip" `Quick test_shard_header;
+          tc "corruption is rejected with a position" `Quick
+            test_shard_corruption;
+          tc "writer publishes atomically" `Quick test_writer_is_atomic;
+        ] );
+      ( "gen",
+        [
+          tc "shard k independent of shards 0..k-1" `Quick
+            test_gen_shard_independent;
+          tc "generation is deterministic per seed" `Quick
+            test_gen_deterministic;
+          tc "shards partition the record range" `Quick test_gen_counts;
+        ] );
+      ( "loader",
+        [
+          tc "ratings stream back from shards" `Quick test_loader_ratings;
+          tc "features and corpus stream back" `Quick
+            test_loader_features_corpus;
+          tc "mf trains on a shard-backed dataset" `Quick
+            test_store_backed_app;
+        ] );
+      ( "checkpoint",
+        [ tc "save/load/restore round-trip" `Quick test_checkpoint_roundtrip ]
+      );
+      ( "resume",
+        [
+          tc "mf sim" `Quick (resume_matches "mf" ~mode:`Sim ~tolerance:None);
+          tc "lda sim" `Quick
+            (resume_matches "lda" ~mode:`Sim ~tolerance:None);
+          tc "gbt sim" `Quick
+            (resume_matches "gbt" ~mode:`Sim ~tolerance:None);
+          tc "slr sim" `Quick
+            (resume_matches "slr" ~mode:`Sim ~tolerance:(Some 1e-9));
+          tc "mf parallel" `Slow
+            (resume_matches "mf" ~mode:(`Parallel 2) ~tolerance:None);
+          tc "slr parallel" `Slow
+            (resume_matches "slr" ~mode:(`Parallel 2) ~tolerance:(Some 1e-9));
+        ] );
+    ]
