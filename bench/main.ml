@@ -303,14 +303,7 @@ let run_speedup () =
     | Some s -> ( try float_of_string s with _ -> 1.0)
     | None -> 1.0
   in
-  let results, json = Speedup.run ~scale () in
-  Speedup.print_results results;
-  let out = "BENCH_parallel.json" in
-  let oc = open_out out in
-  output_string oc json;
-  output_char oc '\n';
-  close_out oc;
-  Printf.printf "wrote %s\n" out
+  ignore (Bench.run ~mode:`Speedup ~scale ~out:"BENCH_parallel.json" ())
 
 (* ------------------------------------------------------------------ *)
 

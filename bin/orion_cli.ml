@@ -243,8 +243,8 @@ let resolve_scale = function Some s -> s | None -> env_scale ()
 
 (* run a registered app's parallel loop through the unified engine:
    simulated, on the domain pool, or on real worker processes *)
-let run_app name ~machines ~wpm ~domains ~procs ~tcp ~passes ~scale ~ckpt_dir
-    ~ckpt_every ~resume =
+let run_app name ~machines ~wpm ~domains ~procs ~tcp ~comms ~passes ~scale
+    ~ckpt_dir ~ckpt_every ~resume =
   if name = "list" then begin
     print_registry ();
     0
@@ -332,7 +332,7 @@ let run_app name ~machines ~wpm ~domains ~procs ~tcp ~passes ~scale ~ckpt_dir
         else
         match
           Orion.Engine.run inst.Orion.App.inst_session inst ~mode
-            ~passes:remaining ~scale ?checkpoint ()
+            ~passes:remaining ~scale ?comms ?checkpoint ()
         with
         | exception (Orion.Engine.Distributed_error _ as exn) ->
             Printf.eprintf "orion run: %s\n"
@@ -348,10 +348,27 @@ let run_app name ~machines ~wpm ~domains ~procs ~tcp ~passes ~scale ~ckpt_dir
               r.Orion.Engine.ep_entries r.Orion.Engine.ep_steals
               r.Orion.Engine.ep_wall_seconds;
             if r.Orion.Engine.ep_bytes_shipped > 0.0 then begin
-              Printf.printf "bytes shipped: %.0f\n"
-                r.Orion.Engine.ep_bytes_shipped;
+              let full = r.Orion.Engine.ep_bytes_full in
+              let saved =
+                if full > 0.0 then
+                  100.0 *. (1.0 -. (r.Orion.Engine.ep_bytes_shipped /. full))
+                else 0.0
+              in
+              Printf.printf
+                "bytes shipped (--comms %s): %.0f  (full-policy %.0f, saved \
+                 %.1f%%)\n"
+                r.Orion.Engine.ep_comms r.Orion.Engine.ep_bytes_shipped full
+                saved;
               List.iter
-                (fun (arr, b) -> Printf.printf "  %-16s %.0f\n" arr b)
+                (fun (arr, b) ->
+                  let policy =
+                    match
+                      List.assoc_opt arr r.Orion.Engine.ep_policy_by_array
+                    with
+                    | Some p -> Printf.sprintf "  [%s]" p
+                    | None -> ""
+                  in
+                  Printf.printf "  %-16s %.0f%s\n" arr b policy)
                 r.Orion.Engine.ep_bytes_by_array
             end;
             if r.Orion.Engine.ep_sim_time > 0.0 then
@@ -371,16 +388,16 @@ let run_app name ~machines ~wpm ~domains ~procs ~tcp ~passes ~scale ~ckpt_dir
             0)
 
 let run_cmd =
-  let run arrays machines wpm log seed profile app domains procs tcp passes
-      scale ckpt_dir ckpt_every resume file =
+  let run arrays machines wpm log seed profile app domains procs tcp comms
+      passes scale ckpt_dir ckpt_every resume file =
     setup_log log;
     match (app, file) with
     | Some _, Some _ ->
         prerr_endline "orion run: give either FILE or --app, not both";
         1
     | Some name, None ->
-        run_app name ~machines ~wpm ~domains ~procs ~tcp ~passes ~scale
-          ~ckpt_dir ~ckpt_every ~resume
+        run_app name ~machines ~wpm ~domains ~procs ~tcp ~comms ~passes
+          ~scale ~ckpt_dir ~ckpt_every ~resume
     | None, None ->
         prerr_endline "orion run: need an OrionScript FILE or --app NAME";
         1
@@ -454,6 +471,15 @@ let run_cmd =
           ~doc:
             "use TCP loopback instead of Unix domain sockets for --procs")
   in
+  let comms =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "comms" ] ~docv:"POLICY"
+          ~doc:
+            "communication policy for --procs: auto | full | delta | topk:K \
+             | budget:BYTES (default: ORION_COMMS, or auto)")
+  in
   let passes =
     Arg.(
       value & opt int 1
@@ -499,7 +525,7 @@ let run_cmd =
   let term =
     Term.(
       const run $ arrays_arg $ machines_arg $ wpm_arg $ log_arg $ seed $ profile
-      $ app_arg $ domains $ procs $ tcp $ passes $ scale $ ckpt_dir
+      $ app_arg $ domains $ procs $ tcp $ comms $ passes $ scale $ ckpt_dir
       $ ckpt_every $ resume $ file_pos)
   in
   Cmd.v
@@ -563,95 +589,28 @@ let apps_cmd =
     Term.(const run $ const ())
 
 let bench_cmd =
-  let run machines wpm log mode apps domains procs tcp passes scale out =
+  let run machines wpm log mode apps domains procs tcp comms passes scale out
+      =
     setup_log log;
     let scale = resolve_scale scale in
     let apps = match apps with [] -> None | l -> Some l in
-    let write_json out json =
-      let oc = open_out out in
-      output_string oc (json ^ "\n");
-      close_out oc;
-      Printf.printf "wrote %s\n" out
+    let out =
+      Option.value out ~default:(Orion_apps.Bench.default_out mode)
     in
-    match mode with
-    | `Speedup ->
-        let results, json =
-          Orion_apps.Speedup.run ?apps ~domains_list:domains ~passes ~scale
-            ~num_machines:machines ~workers_per_machine:wpm ()
-        in
-        Orion_apps.Speedup.print_results results;
-        write_json (Option.value out ~default:"BENCH_parallel.json") json;
-        0
-    | `SpeedupDist -> (
-        let transport = if tcp then `Tcp else `Unix in
-        match
-          Orion_apps.Dist_bench.run ?apps ~procs_list:procs ~passes ~scale
-            ~transport ()
-        with
-        | exception (Orion.Engine.Distributed_error _ as exn) ->
-            Printf.eprintf "orion bench: %s\n"
-              (Orion.Engine.distributed_error_to_string exn);
-            1
-        | results, json ->
-            Orion_apps.Dist_bench.print_results results;
-            write_json
-              (Option.value out ~default:"BENCH_distributed.json")
-              json;
-            0)
-    | `Convergence -> (
-        (* one loss-vs-wall-time curve per (app, domain count); domain
-           count 1 measures the simulated cluster *)
-        let names =
-          match apps with Some l -> l | None -> Orion.App.names ()
-        in
-        let selected =
-          List.filter_map
-            (fun n ->
-              match Orion.App.find n with
-              | Some a when Option.is_some a.Orion.App.app_loss -> Some a
-              | Some a ->
-                  Printf.eprintf
-                    "bench convergence: app %s declares no loss (skipped)\n"
-                    a.Orion.App.app_name;
-                  None
-              | None ->
-                  Printf.eprintf "orion bench: %s\n" (unknown_app_msg n);
-                  exit 1)
-            names
-        in
-        match
-          List.concat_map
-            (fun a ->
-              List.map
-                (fun d ->
-                  let mode = if d <= 1 then `Sim else `Parallel d in
-                  let r =
-                    Orion_apps.Convergence.run a ~mode ~passes ~scale
-                      ~num_machines:machines ~workers_per_machine:wpm ()
-                  in
-                  List.iter
-                    (fun p ->
-                      Printf.printf
-                        "%-4s %-10s pass %2d | loss %14.6f | %8.4f s\n"
-                        r.Orion_apps.Convergence.cv_app
-                        r.Orion_apps.Convergence.cv_mode
-                        p.Orion_apps.Convergence.pt_pass
-                        p.Orion_apps.Convergence.pt_loss
-                        p.Orion_apps.Convergence.pt_wall)
-                    r.Orion_apps.Convergence.cv_points;
-                  r)
-                domains)
-            selected
-        with
-        | exception (Orion.Engine.Distributed_error _ as exn) ->
-            Printf.eprintf "orion bench: %s\n"
-              (Orion.Engine.distributed_error_to_string exn);
-            1
-        | results ->
-            write_json
-              (Option.value out ~default:"BENCH_convergence.json")
-              (Orion_apps.Convergence.emit results);
-            0)
+    match
+      Orion_apps.Bench.run ~mode ~scale ~out ?apps ~domains_list:domains
+        ~procs_list:procs ~comms ~passes
+        ~transport:(if tcp then `Tcp else `Unix)
+        ~num_machines:machines ~workers_per_machine:wpm ()
+    with
+    | exception (Orion.Engine.Distributed_error _ as exn) ->
+        Printf.eprintf "orion bench: %s\n"
+          (Orion.Engine.distributed_error_to_string exn);
+        1
+    | exception Invalid_argument msg ->
+        Printf.eprintf "orion bench: %s\n" msg;
+        1
+    | _rows -> 0
   in
   let mode =
     Arg.(
@@ -660,7 +619,7 @@ let bench_cmd =
           (enum
              [
                ("speedup", `Speedup);
-               ("speedup-distributed", `SpeedupDist);
+               ("speedup-distributed", `Speedup_distributed);
                ("convergence", `Convergence);
              ])
           `Speedup
@@ -702,6 +661,17 @@ let bench_cmd =
             "use TCP loopback instead of Unix domain sockets \
              (speedup-distributed)")
   in
+  let comms =
+    Arg.(
+      value
+      & opt (list string) [ "auto" ]
+      & info [ "comms" ] ~docv:"POLICIES"
+          ~doc:
+            "comma-separated communication policies to measure \
+             (speedup-distributed): auto | full | delta | topk:K | \
+             budget:BYTES — a full-policy baseline row always runs first \
+             so bytes-saved and loss-drift columns have a reference")
+  in
   let passes =
     Arg.(
       value & opt int 3
@@ -729,7 +699,7 @@ let bench_cmd =
   let term =
     Term.(
       const run $ machines_arg $ wpm_arg $ log_arg $ mode $ apps $ domains
-      $ procs $ tcp $ passes $ scale $ out)
+      $ procs $ tcp $ comms $ passes $ scale $ out)
   in
   Cmd.v
     (Cmd.info "bench"

@@ -24,10 +24,15 @@ type result = {
   cv_domains : int;
   cv_passes : int;
   cv_scale : float;
+  cv_comms : string;
+      (** communication policy in effect (["local"] off the wire) *)
+  cv_bytes_shipped : float;  (** summed over all measured passes *)
+  cv_bytes_full : float;
   cv_points : point list;  (** pass order, starting at pass 0 *)
 }
 
-(** Run [app] for [passes] passes under [mode], measuring after each.
+(** Run [app] for [passes] passes under [mode], measuring after each;
+    [comms] selects the distributed communication policy.
     @raise Invalid_argument when the app declares no [app_loss] *)
 val run :
   Orion.App.t ->
@@ -37,10 +42,14 @@ val run :
   ?num_machines:int ->
   ?workers_per_machine:int ->
   ?pipeline_depth:int ->
+  ?comms:string ->
   unit ->
   result
 
 val result_payload : result -> Orion_report.json
+
+(** All results as one un-enveloped ["bench-convergence"] payload. *)
+val payload : result list -> Orion_report.json
 
 (** All results as one ["bench-convergence"] envelope (the
     [BENCH_convergence.json] contents). *)

@@ -22,9 +22,14 @@ module App = Orion.App
 
 type run = {
   run_domains : int;
+  run_comms : string;
+      (** communication policy — always ["local"]: the domain pool
+          shares memory, nothing crosses a wire *)
   run_wall_seconds : float;
   run_entries : int;
   run_steals : int;
+  run_bytes_shipped : float;  (** 0 for in-process runs *)
+  run_bytes_full : float;  (** 0 for in-process runs *)
   run_speedup : float;  (** wall(1 domain) / wall(n domains) *)
   run_oversubscribed : bool;
       (** more domains than available cores — wall time measures
@@ -114,9 +119,12 @@ let bench_app (app : App.t) ~domains_list ~passes ~scale ~available_cores
         in
         {
           run_domains = domains;
+          run_comms = r.Orion.Engine.ep_comms;
           run_wall_seconds = r.Orion.Engine.ep_wall_seconds;
           run_entries = r.Orion.Engine.ep_entries;
           run_steals = r.Orion.Engine.ep_steals;
+          run_bytes_shipped = r.Orion.Engine.ep_bytes_shipped;
+          run_bytes_full = r.Orion.Engine.ep_bytes_full;
           run_speedup = base /. Float.max r.Orion.Engine.ep_wall_seconds 1e-12;
           run_oversubscribed = domains > available_cores;
           run_compiled = r.Orion.Engine.ep_compiled;
@@ -160,9 +168,12 @@ let run_json (r : run) : Report.json =
   Report.Obj
     [
       ("domains", Report.Int r.run_domains);
+      ("comms", Report.Str r.run_comms);
       ("wall_seconds", Report.Float r.run_wall_seconds);
       ("entries", Report.Int r.run_entries);
       ("steals", Report.Int r.run_steals);
+      ("bytes_shipped", Report.Float r.run_bytes_shipped);
+      ("bytes_full", Report.Float r.run_bytes_full);
       ("speedup", Report.Float r.run_speedup);
       ("oversubscribed", Report.Bool r.run_oversubscribed);
       ("compiled", Report.Bool r.run_compiled);
@@ -199,11 +210,11 @@ let app_result_json (a : app_result) : Report.json =
 (** Run the speedup benchmark over [apps] (default: every registered
     app) at each domain count of [domains_list], [passes] passes per
     measurement, datasets enlarged by [scale].  Returns the results
-    plus the ["bench-speedup"] JSON envelope for
-    [BENCH_parallel.json]. *)
+    plus the un-enveloped ["bench-speedup"] payload ({!Bench.run}
+    envelopes and writes it). *)
 let run ?apps ?(domains_list = [ 1; 2; 4; 8 ]) ?(passes = 3) ?(scale = 1.0)
     ?(num_machines = 2) ?(workers_per_machine = 2) () :
-    app_result list * string =
+    app_result list * Report.json =
   Registry.ensure ();
   let available_cores = Domain.recommended_domain_count () in
   let selected =
@@ -237,7 +248,7 @@ let run ?apps ?(domains_list = [ 1; 2; 4; 8 ]) ?(passes = 3) ?(scale = 1.0)
         ("apps", Report.List (List.map app_result_json results));
       ]
   in
-  (results, Report.emit ~kind:"bench-speedup" payload)
+  (results, payload)
 
 let print_results (results : app_result list) =
   List.iter

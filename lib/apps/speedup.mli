@@ -8,9 +8,14 @@
 
 type run = {
   run_domains : int;
+  run_comms : string;
+      (** communication policy — always ["local"]: the domain pool
+          shares memory, nothing crosses a wire *)
   run_wall_seconds : float;
   run_entries : int;
   run_steals : int;
+  run_bytes_shipped : float;  (** 0 for in-process runs *)
+  run_bytes_full : float;  (** 0 for in-process runs *)
   run_speedup : float;  (** wall(1 domain) / wall(n domains) *)
   run_oversubscribed : bool;
       (** more domains than available cores — wall time measures
@@ -48,8 +53,9 @@ val diff_outputs :
 (** Run the benchmark over [apps] (default: every registered app) at
     each domain count of [domains_list] (default [1; 2; 4; 8]),
     [passes] passes per measurement, datasets enlarged by [scale]
-    (default 1).  Returns the results and the ["bench-speedup"] JSON
-    envelope for [BENCH_parallel.json]. *)
+    (default 1).  Returns the results and the un-enveloped
+    ["bench-speedup"] payload ({!Bench.run} envelopes and writes it
+    to [BENCH_parallel.json]). *)
 val run :
   ?apps:string list ->
   ?domains_list:int list ->
@@ -58,7 +64,7 @@ val run :
   ?num_machines:int ->
   ?workers_per_machine:int ->
   unit ->
-  app_result list * string
+  app_result list * Orion.Report.json
 
 (** Human-readable per-app/per-domain-count table on stdout. *)
 val print_results : app_result list -> unit

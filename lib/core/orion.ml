@@ -607,6 +607,17 @@ module Engine = struct
             only: partition ship + prefetch + tokens + flushes) *)
     ep_bytes_by_array : (string * float) list;
         (** [ep_bytes_shipped] broken down per DistArray *)
+    ep_comms : string;
+        (** the communication policy the run used ([`Distributed]
+            only; ["local"] for [`Sim] / [`Parallel], which never
+            touch the wire) *)
+    ep_bytes_full : float;
+        (** what the same traffic would have cost under the [full]
+            policy — the before side of bytes-saved accounting
+            ([`Distributed] only) *)
+    ep_policy_by_array : (string * string) list;
+        (** the per-DistArray encode decision the policy settled on
+            (empty under [full] and for the local modes) *)
     ep_telemetry : Telemetry.summary option;
         (** wall-clock telemetry of the real run: merged span timeline,
             per-pass metrics, measured block costs ([None] for [`Sim] —
@@ -635,6 +646,13 @@ module Engine = struct
             (List.map
                (fun (name, b) -> (name, Report.Float b))
                r.ep_bytes_by_array) );
+        ("comms", Report.Str r.ep_comms);
+        ("bytes_full", Report.Float r.ep_bytes_full);
+        ( "policy_by_array",
+          Report.Obj
+            (List.map
+               (fun (name, label) -> (name, Report.Str label))
+               r.ep_policy_by_array) );
         ( "telemetry",
           match r.ep_telemetry with
           | Some sm -> Telemetry.summary_json sm
@@ -717,6 +735,7 @@ module Engine = struct
     pipeline_depth:int option ->
     scale:float ->
     telemetry:bool ->
+    comms:string option ->
     checkpoint:(int * checkpoint_sink) option ->
     report
 
@@ -729,7 +748,8 @@ module Engine = struct
       instance). *)
   let run (session : session) (inst : App.instance) ~(mode : mode)
       ?(passes = 1) ?pipeline_depth ?(scale = 1.0)
-      ?(telemetry = Telemetry.default_enabled ()) ?checkpoint () : report =
+      ?(telemetry = Telemetry.default_enabled ()) ?comms ?checkpoint () :
+      report =
     let checkpoint_due pass_done =
       match checkpoint with
       | Some (every, _) when every > 0 -> pass_done mod every = 0
@@ -740,7 +760,7 @@ module Engine = struct
         match !distributed_runner with
         | Some f ->
             f session inst ~procs ~transport ~passes ~pipeline_depth ~scale
-              ~telemetry ~checkpoint
+              ~telemetry ~comms ~checkpoint
         | None ->
             raise
               (Distributed_error
@@ -795,6 +815,9 @@ module Engine = struct
           ep_sim_time = Cluster.now session.cluster -. sim0;
           ep_bytes_shipped = 0.0;
           ep_bytes_by_array = [];
+          ep_comms = "local";
+          ep_bytes_full = 0.0;
+          ep_policy_by_array = [];
           ep_telemetry = None;
         }
     | `Parallel domains ->
@@ -906,11 +929,14 @@ module Engine = struct
           ep_sim_time = 0.0;
           ep_bytes_shipped = 0.0;
           ep_bytes_by_array = [];
+          ep_comms = "local";
+          ep_bytes_full = 0.0;
+          ep_policy_by_array = [];
           ep_telemetry =
             (if telemetry then
                Some
                  (Telemetry.summarize tel ~mode:"parallel"
-                    ~windows:(List.rev !windows))
+                    ~windows:(List.rev !windows) ())
              else None);
         }
 end

@@ -308,6 +308,15 @@ module Engine : sig
             only: partition ship + prefetch + tokens + flushes) *)
     ep_bytes_by_array : (string * float) list;
         (** [ep_bytes_shipped] broken down per DistArray *)
+    ep_comms : string;
+        (** the communication policy the run used ([`Distributed]
+            only; ["local"] for [`Sim] / [`Parallel]) *)
+    ep_bytes_full : float;
+        (** what the same traffic would have cost under the [full]
+            policy ([`Distributed] only) *)
+    ep_policy_by_array : (string * string) list;
+        (** the per-DistArray encode decision the policy settled on
+            (empty under [full] and for the local modes) *)
     ep_telemetry : Telemetry.summary option;
         (** wall-clock telemetry of the real run: merged span timeline,
             per-pass metrics, measured block costs ([None] for [`Sim] —
@@ -344,6 +353,7 @@ module Engine : sig
     pipeline_depth:int option ->
     scale:float ->
     telemetry:bool ->
+    comms:string option ->
     checkpoint:(int * checkpoint_sink) option ->
     report
 
@@ -355,9 +365,12 @@ module Engine : sig
       workers rebuild the instance from the app registry).
       [telemetry] (default {!Telemetry.default_enabled}) turns
       wall-clock span recording on for the real modes; the summary
-      lands in [ep_telemetry].  [checkpoint] registers a pass-boundary
-      {!checkpoint_sink} invoked every [every] completed passes, in all
-      three modes.
+      lands in [ep_telemetry].  [comms] selects the [`Distributed]
+      communication policy ([Orion_net.Policy.spec_of_string] syntax:
+      ["auto" | "full" | "delta" | "topk:K" | "budget:BYTES"]; default
+      the [ORION_COMMS] environment variable, then ["auto"]).
+      [checkpoint] registers a pass-boundary {!checkpoint_sink} invoked
+      every [every] completed passes, in all three modes.
       @raise Distributed_error when a [`Distributed] run fails. *)
   val run :
     session ->
@@ -367,6 +380,7 @@ module Engine : sig
     ?pipeline_depth:int ->
     ?scale:float ->
     ?telemetry:bool ->
+    ?comms:string ->
     ?checkpoint:int * checkpoint_sink ->
     unit ->
     report

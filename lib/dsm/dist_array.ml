@@ -143,6 +143,42 @@ let count t =
 
 let is_sparse t = match t.storage with Dense _ -> false | Sparse _ -> true
 
+type stats = {
+  st_cells : int;
+  st_stored : int;
+  st_nnz : int;
+  st_density : float;
+  st_sparse : bool;
+}
+
+(* One linear scan of the stored entries; callers (the distributed
+   policy layer) are expected to take it once per pass, not per
+   message.  [st_density] is nnz over the full cell count, guarded so
+   zero-dimensional / empty arrays report 0 instead of dividing by
+   zero. *)
+let stats t =
+  let cells = Array.fold_left (fun acc d -> acc * d) 1 t.dims in
+  let cells = if Array.length t.dims = 0 then 0 else cells in
+  let stored, nnz =
+    match t.storage with
+    | Dense d ->
+        let nnz = ref 0 in
+        Array.iter (fun v -> if v <> t.default then incr nnz) d;
+        (Array.length d, !nnz)
+    | Sparse s ->
+        let nnz = ref 0 in
+        Hashtbl.iter (fun _ v -> if v <> t.default then incr nnz) s.table;
+        (Hashtbl.length s.table, !nnz)
+  in
+  {
+    st_cells = cells;
+    st_stored = stored;
+    st_nnz = nnz;
+    st_density =
+      (if cells <= 0 then 0.0 else float_of_int nnz /. float_of_int cells);
+    st_sparse = is_sparse t;
+  }
+
 (** Element count × 8 bytes: the communication size of a partition is
     derived from this (values are floats or similarly-sized scalars). *)
 let bytes_per_element = 8.0

@@ -54,6 +54,22 @@ val count : 'a t -> int
 
 val is_sparse : 'a t -> bool
 
+(** Density / occupancy statistics, the input to the distributed
+    communication-policy choice ([lib/net]'s [Policy]). *)
+type stats = {
+  st_cells : int;  (** product of [dims] (0 for zero-dim arrays) *)
+  st_stored : int;  (** stored entries (dense: every cell) *)
+  st_nnz : int;  (** stored entries whose value differs from default *)
+  st_density : float;
+      (** [nnz / cells]; 0 when the array has no cells (no division by
+          zero on empty arrays) *)
+  st_sparse : bool;
+}
+
+(** One linear scan of the stored entries.  Intended to be sampled
+    once per pass, not per message. *)
+val stats : 'a t -> stats
+
 val bytes_per_element : float
 val size_bytes : 'a t -> float
 

@@ -35,6 +35,7 @@ type spawn = [ `Fork | `Exec of string ]
 let spawn_env = "ORION_DIST_SPAWN"  (* "fork" or "exec:<path>" *)
 let worker_exe_env = "ORION_WORKER_EXE"
 let timeout_env = Dist_worker.timeout_env
+let comms_env = "ORION_COMMS"  (* default --comms when none is given *)
 
 let master_timeout () =
   match Sys.getenv_opt timeout_env with
@@ -143,12 +144,25 @@ type worker_state = {
   mutable st_done : Wire.worker_stats option;
 }
 
-let run ~(materialize : Dist_worker.materialize) ?spawn
+let run ~(materialize : Dist_worker.materialize) ?spawn ?comms
     (session : Orion.session) (inst : Orion.App.instance) ~procs
     ~(transport : Orion.Engine.transport) ~passes ~pipeline_depth ~scale
     ~telemetry ?(checkpoint : (int * Orion.Engine.checkpoint_sink) option) ()
     : Orion.Engine.report =
   if procs < 1 then err "procs must be >= 1, got %d" procs;
+  (* explicit argument, then the environment (which exec'd/forked
+     workers of nested tools inherit), then auto *)
+  let comms_str =
+    match comms with
+    | Some c -> c
+    | None -> Option.value (Sys.getenv_opt comms_env) ~default:"auto"
+  in
+  let comms_spec =
+    match Policy.spec_of_string comms_str with
+    | Ok spec -> spec
+    | Error e -> err "bad comms policy: %s" e
+  in
+  let comms_str = Policy.spec_to_string comms_spec in
   (* a worker dying mid-run must surface as EPIPE on our next send to
      it (handled by the supervision loop), not kill the master *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
@@ -307,11 +321,14 @@ let run ~(materialize : Dist_worker.materialize) ?spawn
      union of the aligned worker windows *)
   let pass_windows : (int, float * float) Hashtbl.t = Hashtbl.create 8 in
   let bytes_by_array : (string, float) Hashtbl.t = Hashtbl.create 8 in
-  let account name bytes =
-    Hashtbl.replace bytes_by_array name
-      (bytes
-      +. Option.value (Hashtbl.find_opt bytes_by_array name) ~default:0.0)
+  let bytes_full_by_array : (string, float) Hashtbl.t = Hashtbl.create 8 in
+  let policy_by_array : (string, string) Hashtbl.t = Hashtbl.create 8 in
+  let bump tbl name bytes =
+    Hashtbl.replace tbl name
+      (bytes +. Option.value (Hashtbl.find_opt tbl name) ~default:0.0)
   in
+  let account name bytes = bump bytes_by_array name bytes in
+  let account_full name bytes = bump bytes_full_by_array name bytes in
   let states =
     Array.init nw (fun _ ->
         {
@@ -469,6 +486,7 @@ let run ~(materialize : Dist_worker.materialize) ?spawn
              p_fingerprint = fingerprint;
              p_telemetry = telemetry;
              p_report_passes = checkpoint <> None;
+             p_comms = comms_str;
            })
     done;
     (* -- partition shipping + prefetch serving ---------------------- *)
@@ -490,21 +508,23 @@ let run ~(materialize : Dist_worker.materialize) ?spawn
             | Some Plan.Server | None -> None)
         inst.Orion.App.inst_arrays
     in
-    let ship_parts rank (msg : Wire.part list -> Wire.msg) parts =
+    let ship_parts rank (msg : Wire.part_payload list -> Wire.msg) parts =
+      (* the policy picks the encoding (raw Marshal under [full], the
+         packed sparse index/value codec otherwise); both the encoded
+         bytes and the full-policy equivalent are accounted *)
+      let payloads, accounts = Policy.prepare_parts comms_spec parts in
       let t_send = Unix.gettimeofday () in
-      Transport.send (conn rank) (msg parts);
+      Transport.send (conn rank) (msg payloads);
       let elapsed = Unix.gettimeofday () -. t_send in
       List.iter
-        (fun (part : Wire.part) ->
-          let bytes =
-            float_of_int (Dist_array.partition_size_bytes part)
-          in
-          account part.Dist_array.pt_array bytes;
-          Trace.add trace ~label:("net:" ^ part.Dist_array.pt_array) ~bytes
-            ~worker:rank ~category:Trace.Transfer
+        (fun (name, bytes, full) ->
+          account name bytes;
+          account_full name full;
+          Trace.add trace ~label:("net:" ^ name) ~bytes ~worker:rank
+            ~category:Trace.Transfer
             ~start_sec:(t_send -. t0)
             ~duration_sec:(elapsed /. float_of_int (max 1 (List.length parts))))
-        parts
+        accounts
     in
     let handshake = Event_loop.create () in
     for rank = 0 to nw - 1 do
@@ -710,6 +730,8 @@ let run ~(materialize : Dist_worker.materialize) ?spawn
             in
             let bytes = float_of_int (Dist_array.partition_size_bytes part) in
             account name bytes;
+            (* buffer flushes are always raw Marshal — actual = full *)
+            account_full name bytes;
             Trace.add trace ~label:("net:" ^ name) ~bytes ~worker:rank
               ~category:Trace.Transfer
               ~start_sec:(Unix.gettimeofday () -. t0)
@@ -737,7 +759,13 @@ let run ~(materialize : Dist_worker.materialize) ?spawn
                   ~category:Trace.Transfer
                   ~start_sec:(Unix.gettimeofday () -. t0)
                   ~duration_sec:0.0)
-              stats.Wire.ws_bytes_by_array
+              stats.Wire.ws_bytes_by_array;
+            List.iter
+              (fun (name, bytes) -> account_full name bytes)
+              stats.Wire.ws_bytes_full_by_array;
+            List.iter
+              (fun (name, label) -> Hashtbl.replace policy_by_array name label)
+              stats.Wire.ws_policy_by_array
         | None -> ())
       states;
     let stats rank =
@@ -752,10 +780,11 @@ let run ~(materialize : Dist_worker.materialize) ?spawn
       done;
       !acc
     in
-    let bytes_list =
-      List.sort compare
-        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) bytes_by_array [])
+    let sorted_bindings tbl =
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
     in
+    let bytes_list = sorted_bindings bytes_by_array in
+    let bytes_full_list = sorted_bindings bytes_full_by_array in
     {
       Orion.Engine.ep_app = inst.Orion.App.inst_name;
       ep_mode = `Distributed { Orion.Engine.procs; transport };
@@ -774,6 +803,10 @@ let run ~(materialize : Dist_worker.materialize) ?spawn
       ep_sim_time = 0.0;
       ep_bytes_shipped = List.fold_left (fun acc (_, b) -> acc +. b) 0.0 bytes_list;
       ep_bytes_by_array = bytes_list;
+      ep_comms = comms_str;
+      ep_bytes_full =
+        List.fold_left (fun acc (_, b) -> acc +. b) 0.0 bytes_full_list;
+      ep_policy_by_array = sorted_bindings policy_by_array;
       ep_telemetry =
         (if telemetry then
            let windows =
@@ -782,7 +815,19 @@ let run ~(materialize : Dist_worker.materialize) ?spawn
                pass_windows []
              |> List.sort compare
            in
-           Some (Telemetry.summarize mtel ~mode:"distributed" ~windows)
+           let comms =
+             {
+               Telemetry.cs_policy = comms_str;
+               cs_bytes_shipped =
+                 List.fold_left (fun acc (_, b) -> acc +. b) 0.0 bytes_list;
+               cs_bytes_full =
+                 List.fold_left
+                   (fun acc (_, b) -> acc +. b)
+                   0.0 bytes_full_list;
+               cs_by_array = sorted_bindings policy_by_array;
+             }
+           in
+           Some (Telemetry.summarize mtel ~mode:"distributed" ~comms ~windows ())
          else None);
     }
   with
@@ -798,6 +843,6 @@ let install ~(materialize : Dist_worker.materialize) =
   Orion.Engine.distributed_runner :=
     Some
       (fun session inst ~procs ~transport ~passes ~pipeline_depth ~scale
-           ~telemetry ~checkpoint ->
-        run ~materialize session inst ~procs ~transport ~passes
+           ~telemetry ~comms ~checkpoint ->
+        run ~materialize ?comms session inst ~procs ~transport ~passes
           ~pipeline_depth ~scale ~telemetry ?checkpoint ())

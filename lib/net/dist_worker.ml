@@ -147,6 +147,11 @@ let serve (master : Transport.conn) ~(materialize : materialize) ~rank
     | Wire.Plan p -> p
     | m -> fail "expected plan, got %s" (Wire.tag m)
   in
+  let comms =
+    match Policy.spec_of_string p.p_comms with
+    | Ok spec -> spec
+    | Error e -> fail "bad comms policy in plan: %s" e
+  in
   let inst =
     match
       materialize p.p_app ~scale:p.p_scale ~num_machines:p.p_num_machines
@@ -229,13 +234,13 @@ let serve (master : Transport.conn) ~(materialize : materialize) ~rank
           (fun (key, _) -> Dist_array.set a key 0.0)
           (Dist_array.entries a))
     arrays;
-  let apply_parts what parts =
+  let apply_parts what payloads =
     List.iter
       (fun (part : Wire.part) ->
         match Hashtbl.find_opt arr_tbl part.Dist_array.pt_array with
         | Some a -> Dist_array.apply_partition a part
         | None -> fail "%s for unknown array %S" what part.Dist_array.pt_array)
-      parts
+      (Policy.decode_parts payloads)
   in
   (match recv_master "partition ship" with
   | Wire.Partition_ship parts -> apply_parts "partition ship" parts
@@ -260,14 +265,20 @@ let serve (master : Transport.conn) ~(materialize : materialize) ~rank
   let loop = Event_loop.create () in
   for b = rank + 1 to sp - 1 do
     let c = Transport.connect (Transport.addr_of_string peer_addrs.(b)) in
-    Transport.send c (Wire.Peer_hello rank);
+    Transport.send c
+      (Wire.Peer_hello { ph_rank = rank; ph_version = Wire.version });
     peers.(b) <- Some c;
     Event_loop.add loop b c
   done;
   for _ = 1 to rank do
     let c = accept_with_deadline listener ~deadline ~what:"peer mesh" in
     match recv_with_deadline c ~deadline ~what:"peer hello" with
-    | Wire.Peer_hello a ->
+    | Wire.Peer_hello { ph_rank = a; ph_version } ->
+        if ph_version <> Wire.version then
+          fail
+            "peer %d speaks wire protocol version %d, this worker speaks %d \
+             (mixed builds?)"
+            a ph_version Wire.version;
         peers.(a) <- Some c;
         Event_loop.add loop a c
     | m -> fail "expected peer-hello, got %s" (Wire.tag m)
@@ -385,19 +396,34 @@ let serve (master : Transport.conn) ~(materialize : materialize) ~rank
     if not (Hashtbl.mem known (bw.bw_pass, bw.bw_block)) then begin
       Hashtbl.replace known (bw.bw_pass, bw.bw_block) ();
       known_log := bw :: !known_log;
-      incr klen;
-      let version = (bw.bw_pass, pos bw.bw_block) in
-      Array.iter (apply_write ~version) bw.bw_writes
-    end
+      incr klen
+    end;
+    (* apply unconditionally, not only on first sight: a lossy policy's
+       pass-sync flush re-delivers residual writes for blocks learned
+       earlier, and last-writer-wins application is idempotent *)
+    let version = (bw.bw_pass, pos bw.bw_block) in
+    Array.iter (apply_write ~version) bw.bw_writes
   in
   let apply_entries entries = List.iter learn entries in
+  (* -- communication policy ----------------------------------------- *)
+  let linearize name key =
+    match Hashtbl.find_opt arr_tbl name with
+    | Some a -> Dist_array.linearize a key
+    | None -> fail "journaled write to unknown array %S" name
+  in
+  let delinearize name lin =
+    match Hashtbl.find_opt arr_tbl name with
+    | Some a -> Dist_array.delinearize a lin
+    | None -> fail "packed payload for unknown array %S" name
+  in
+  let sender = Policy.sender comms ~peers:sp ~linearize ~pos in
   let handle = function
     | Event_loop.Message (_, Wire.Rotation_token { rt_pass; rt_src; rt_dst; rt_entries })
       ->
-        apply_entries rt_entries;
+        apply_entries (Policy.decode_entries ~delinearize rt_entries);
         Hashtbl.replace tokens (rt_pass, rt_src, rt_dst) ()
     | Event_loop.Message (_, Wire.Pass_sync { ps_pass; ps_rank; ps_entries }) ->
-        apply_entries ps_entries;
+        apply_entries (Policy.decode_entries ~delinearize ps_entries);
         Hashtbl.replace syncs (ps_pass, ps_rank) ()
     | Event_loop.Message (q, m) ->
         fail "unexpected %s from peer %d" (Wire.tag m) q
@@ -414,13 +440,26 @@ let serve (master : Transport.conn) ~(materialize : materialize) ~rank
     in
     go ()
   in
+  (* Peer sends must drain while writing: two peers pushing multi-MB
+     frames at each other with both socket buffers full would block in
+     plain [Transport.send] forever.  [handle] never sends, so pumping
+     the event loop from inside a send cannot reenter. *)
+  let send_peer q m =
+    Transport.send_draining (peer q) m ~drain:(fun () ->
+        if Unix.gettimeofday () > deadline then
+          fail "timed out sending %s to peer %d" (Wire.tag m) q;
+        List.iter handle (Event_loop.poll loop ~timeout:0.05))
+  in
   (* per-peer cursor into [known_log]; entries the peer authored itself
      are filtered out of the payload (it has them by construction).
-     Returns the entries plus their total payload bytes (also
-     accumulated per array for the final stats), which label the
-     telemetry Transfer span around the send. *)
+     The comms policy then decides what actually goes on the wire:
+     [prepare_payload] returns the encoded payload plus its actual
+     bytes (which label the telemetry Transfer span around the send),
+     accumulating both the actual and the full-policy-equivalent bytes
+     per array for the final stats. *)
   let sent_upto = Array.make sp 0 in
   let bytes_by_array : (string, float) Hashtbl.t = Hashtbl.create 8 in
+  let bytes_full_by_array : (string, float) Hashtbl.t = Hashtbl.create 8 in
   let fresh_entries q =
     let n = !klen - sent_upto.(q) in
     sent_upto.(q) <- !klen;
@@ -428,29 +467,26 @@ let serve (master : Transport.conn) ~(materialize : materialize) ~rank
       if k = 0 then []
       else match l with [] -> [] | x :: tl -> x :: take (k - 1) tl
     in
-    let entries =
-      List.filter
-        (fun (bw : Wire.block_writes) -> owner bw.bw_block <> q)
-        (List.rev (take n !known_log))
+    List.filter
+      (fun (bw : Wire.block_writes) -> owner bw.bw_block <> q)
+      (List.rev (take n !known_log))
+  in
+  let prepare_payload q ~sync =
+    let payload, accounts =
+      Policy.prepare sender ~peer:q ~sync (fresh_entries q)
     in
-    let payload = ref 0.0 in
+    let bytes = ref 0.0 in
     List.iter
-      (fun (bw : Wire.block_writes) ->
-        Array.iter
-          (fun (w : Wire.write) ->
-            let b =
-              float_of_int
-                (Bytes.length (Marshal.to_bytes (w.w_key, w.w_value) []))
-            in
-            payload := !payload +. b;
-            Hashtbl.replace bytes_by_array w.w_array
-              (b
-              +. Option.value
-                   (Hashtbl.find_opt bytes_by_array w.w_array)
-                   ~default:0.0))
-          bw.bw_writes)
-      entries;
-    (entries, !payload)
+      (fun (name, actual, full) ->
+        bytes := !bytes +. actual;
+        let bump tbl v =
+          Hashtbl.replace tbl name
+            (v +. Option.value (Hashtbl.find_opt tbl name) ~default:0.0)
+        in
+        bump bytes_by_array actual;
+        bump bytes_full_by_array full)
+      accounts;
+    (payload, !bytes)
   in
   (* -- execute ------------------------------------------------------ *)
   let abort = abort_spec () in
@@ -458,6 +494,14 @@ let serve (master : Transport.conn) ~(materialize : materialize) ~rank
   let t0 = Orion_obs.Clock.now () in
   for pass = 0 to p.p_passes - 1 do
     let pass_start = tel_now () in
+    (* refresh the policy's per-array stats once per pass (not per
+       token): density decides the packed key encoding, and the
+       per-pass byte budget resets here *)
+    Policy.note_pass sender
+      (List.filter_map
+         (fun (n, a) ->
+           if List.mem n buffered then None else Some (n, Dist_array.stats a))
+         arrays);
     Array.iter
       (fun (s, t) ->
         if s = rank then begin
@@ -510,15 +554,15 @@ let serve (master : Transport.conn) ~(materialize : materialize) ~rank
               List.iter
                 (fun dst ->
                   let q = owner dst in
-                  let entries, bytes = fresh_entries q in
+                  let payload, bytes = prepare_payload q ~sync:false in
                   let send_start = tel_now () in
-                  Transport.send (peer q)
+                  send_peer q
                     (Wire.Rotation_token
                        {
                          rt_pass = pass;
                          rt_src = blk;
                          rt_dst = dst;
-                         rt_entries = entries;
+                         rt_entries = payload;
                        });
                   tel_span ~category:Orion_obs.Trace.Transfer
                     ~label:(Printf.sprintf "token->%d" q)
@@ -530,11 +574,14 @@ let serve (master : Transport.conn) ~(materialize : materialize) ~rank
        from globally consistent DistArray state *)
     for q = 0 to sp - 1 do
       if q <> rank then begin
-        let entries, bytes = fresh_entries q in
+        (* the barrier flush bypasses ranking and budgets and folds in
+           every residual held for this peer, so pass + 1 starts from
+           globally consistent state under every policy *)
+        let payload, bytes = prepare_payload q ~sync:true in
         let send_start = tel_now () in
-        Transport.send (peer q)
+        send_peer q
           (Wire.Pass_sync
-             { ps_pass = pass; ps_rank = rank; ps_entries = entries });
+             { ps_pass = pass; ps_rank = rank; ps_entries = payload });
         tel_span ~category:Orion_obs.Trace.Transfer
           ~label:(Printf.sprintf "sync->%d" q)
           ~bytes ~start:send_start
@@ -619,6 +666,9 @@ let serve (master : Transport.conn) ~(materialize : materialize) ~rank
         match c with Some c -> acc +. c.Transport.bytes_out | None -> acc)
       0.0 peers
   in
+  let sorted_bindings tbl =
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  in
   Transport.send master
     (Wire.Done
        {
@@ -627,9 +677,9 @@ let serve (master : Transport.conn) ~(materialize : materialize) ~rank
          ws_entries = !entries_done;
          ws_wall_seconds = wall;
          ws_bytes_sent = bytes_sent;
-         ws_bytes_by_array =
-           List.sort compare
-             (Hashtbl.fold (fun k v acc -> (k, v) :: acc) bytes_by_array []);
+         ws_bytes_by_array = sorted_bindings bytes_by_array;
+         ws_bytes_full_by_array = sorted_bindings bytes_full_by_array;
+         ws_policy_by_array = Policy.decisions sender;
        });
   (* keep peer connections open until the master confirms every worker
      is done — closing earlier would surface as a peer failure there *)

@@ -36,9 +36,13 @@ let poll (t : 'a t) ~(timeout : float) : 'a event list =
         (fun (tag, c) ->
           if not (List.mem (Transport.fd c) readable) then []
           else
-            match Transport.recv c with
-            | Some m -> [ Message (tag, m) ]
-            | None | (exception _) ->
+            (* recv_step, not a blocking recv: a large frame may span
+               many polls, and blocking here mid-frame can deadlock
+               against a peer that is itself draining mid-send *)
+            match Transport.recv_step c with
+            | `Msg m -> [ Message (tag, m) ]
+            | `Pending -> []
+            | `Eof | (exception _) ->
                 remove t c;
                 Transport.close_conn c;
                 [ Closed tag ])

@@ -20,8 +20,16 @@ let rec really_write fd buf ofs len =
   end
 
 (* [false] iff EOF arrived before the first byte; EOF after a partial
-   read raises. *)
+   read raises.  Waits out EWOULDBLOCK so reads keep frame-blocking
+   semantics even while the fd is temporarily non-blocking (a peer
+   mid-[Transport.send_draining] polls its event loop with writes in
+   flight). *)
 let really_read fd buf ofs len =
+  let rec wait () =
+    match Unix.select [ fd ] [] [] (-1.0) with
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+  in
   let rec go ofs len =
     if len = 0 then true
     else
@@ -31,6 +39,10 @@ let really_read fd buf ofs len =
           else raise (Frame_error "unexpected EOF inside a frame")
       | n -> go (ofs + n) (len - n)
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ofs len
+      | exception
+          Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) ->
+          wait ();
+          go ofs len
   in
   go ofs len
 

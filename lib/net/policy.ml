@@ -1,0 +1,670 @@
+(** Pluggable communication policies: see [policy.mli] for the model.
+
+    Layout of the packed codecs (all integers are unsigned LEB128
+    varints, float values are 8 little-endian bytes of IEEE-754 bits,
+    so round trips are bitwise):
+
+    {v
+    entries  := ngroups group*
+    group    := namelen name pass block nwrites keymode keys valmode values
+    part     := namelen name ndims dim* default sparse keymode nentries
+                keys valmode values
+    keys     := k0 delta*                     (keymode 0: sparse)
+              | nruns (gap len)*              (keymode 1: dense runs)
+    values   := bits*                         (valmode 0: raw)
+              | nruns (count bits)*           (valmode 1: RLE)
+    v}
+
+    Keys are ascending linearized (row-major) element indices; both
+    ends rebuild identical arrays from the same registry, so indices
+    agree across processes. *)
+
+module Dist_array = Orion_dsm.Dist_array
+
+type spec = Auto | Full | Delta | Topk of int | Budget of float
+
+let spec_to_string = function
+  | Auto -> "auto"
+  | Full -> "full"
+  | Delta -> "delta"
+  | Topk k -> Printf.sprintf "topk:%d" k
+  | Budget b -> Printf.sprintf "budget:%.0f" b
+
+let usage = "expected full | delta | topk:K | budget:BYTES | auto"
+
+let spec_of_string s =
+  let s = String.trim (String.lowercase_ascii s) in
+  match s with
+  | "" | "auto" -> Ok Auto
+  | "full" -> Ok Full
+  | "delta" -> Ok Delta
+  | _ -> (
+      match String.index_opt s ':' with
+      | Some i -> (
+          let head = String.sub s 0 i
+          and arg = String.sub s (i + 1) (String.length s - i - 1) in
+          match head with
+          | "topk" -> (
+              match int_of_string_opt arg with
+              | Some k when k > 0 -> Ok (Topk k)
+              | _ -> Error (Printf.sprintf "bad top-k count %S: %s" arg usage))
+          | "budget" -> (
+              match float_of_string_opt arg with
+              | Some b when b > 0.0 -> Ok (Budget b)
+              | _ ->
+                  Error (Printf.sprintf "bad byte budget %S: %s" arg usage))
+          | _ -> Error (Printf.sprintf "unknown comms policy %S: %s" s usage))
+      | None -> Error (Printf.sprintf "unknown comms policy %S: %s" s usage))
+
+let spec_of_string_exn s =
+  match spec_of_string s with Ok p -> p | Error e -> invalid_arg e
+
+(* ------------------------------------------------------------------ *)
+(* Varints and float bits                                              *)
+(* ------------------------------------------------------------------ *)
+
+let put_varint buf n =
+  if n < 0 then invalid_arg "Policy: negative varint";
+  let n = ref n in
+  let continue = ref true in
+  while !continue do
+    let b = !n land 0x7f in
+    n := !n lsr 7;
+    if !n = 0 then begin
+      Buffer.add_char buf (Char.chr b);
+      continue := false
+    end
+    else Buffer.add_char buf (Char.chr (b lor 0x80))
+  done
+
+let varint_len n =
+  let rec go n acc = if n < 0x80 then acc else go (n lsr 7) (acc + 1) in
+  go (max 0 n) 1
+
+let get_varint bytes pos =
+  let n = ref 0 and shift = ref 0 and continue = ref true in
+  while !continue do
+    if !pos >= Bytes.length bytes then failwith "Policy: truncated varint";
+    let b = Char.code (Bytes.get bytes !pos) in
+    incr pos;
+    n := !n lor ((b land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    if b land 0x80 = 0 then continue := false
+  done;
+  !n
+
+let put_float buf v =
+  let bits = Int64.bits_of_float v in
+  for i = 0 to 7 do
+    Buffer.add_char buf
+      (Char.chr
+         (Int64.to_int (Int64.logand (Int64.shift_right_logical bits (8 * i)) 0xFFL)))
+  done
+
+let get_float bytes pos =
+  if !pos + 8 > Bytes.length bytes then failwith "Policy: truncated float";
+  let bits = ref 0L in
+  for i = 0 to 7 do
+    bits :=
+      Int64.logor !bits
+        (Int64.shift_left
+           (Int64.of_int (Char.code (Bytes.get bytes (!pos + i))))
+           (8 * i))
+  done;
+  pos := !pos + 8;
+  Int64.float_of_bits !bits
+
+let put_string buf s =
+  put_varint buf (String.length s);
+  Buffer.add_string buf s
+
+let get_string bytes pos =
+  let n = get_varint bytes pos in
+  if !pos + n > Bytes.length bytes then failwith "Policy: truncated string";
+  let s = Bytes.sub_string bytes !pos n in
+  pos := !pos + n;
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Key and value sections                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* [keys] ascending and distinct. *)
+let put_keys buf ~(mode : [ `Sparse | `Dense ]) (keys : int array) =
+  match mode with
+  | `Sparse ->
+      Buffer.add_char buf '\000';
+      Array.iteri
+        (fun i k -> put_varint buf (if i = 0 then k else k - keys.(i - 1) - 1))
+        keys
+  | `Dense ->
+      (* runs of consecutive keys: (gap from previous run's end, length) *)
+      Buffer.add_char buf '\001';
+      let runs = ref [] in
+      Array.iter
+        (fun k ->
+          match !runs with
+          | (start, len) :: tl when k = start + len -> runs := (start, len + 1) :: tl
+          | _ -> runs := (k, 1) :: !runs)
+        keys;
+      let runs = List.rev !runs in
+      put_varint buf (List.length runs);
+      let prev_end = ref (-1) in
+      List.iter
+        (fun (start, len) ->
+          put_varint buf (start - !prev_end - 1);
+          put_varint buf len;
+          prev_end := start + len - 1)
+        runs
+
+let get_keys bytes pos ~n =
+  match Char.code (Bytes.get bytes !pos) with
+  | 0 ->
+      incr pos;
+      let keys = Array.make n 0 in
+      let prev = ref (-1) in
+      for i = 0 to n - 1 do
+        let d = get_varint bytes pos in
+        keys.(i) <- (if i = 0 then d else !prev + 1 + d);
+        prev := keys.(i)
+      done;
+      keys
+  | 1 ->
+      incr pos;
+      let nruns = get_varint bytes pos in
+      let keys = Array.make n 0 in
+      let i = ref 0 and prev_end = ref (-1) in
+      for _ = 1 to nruns do
+        let gap = get_varint bytes pos in
+        let len = get_varint bytes pos in
+        let start = !prev_end + 1 + gap in
+        for j = 0 to len - 1 do
+          if !i >= n then failwith "Policy: key runs overflow count";
+          keys.(!i) <- start + j;
+          incr i
+        done;
+        prev_end := start + len - 1
+      done;
+      if !i <> n then failwith "Policy: key runs underflow count";
+      keys
+  | _ -> failwith "Policy: bad key mode"
+
+(* Raw or RLE, whichever is smaller for these values. *)
+let put_values buf (values : float array) =
+  let n = Array.length values in
+  let runs = ref [] in
+  Array.iter
+    (fun v ->
+      match !runs with
+      | (v0, c) :: tl when Int64.bits_of_float v0 = Int64.bits_of_float v ->
+          runs := (v0, c + 1) :: tl
+      | _ -> runs := (v, 1) :: !runs)
+    values;
+  let runs = List.rev !runs in
+  let rle_size =
+    List.fold_left (fun acc (_, c) -> acc + varint_len c + 8) (varint_len (List.length runs)) runs
+  in
+  if rle_size < n * 8 then begin
+    Buffer.add_char buf '\001';
+    put_varint buf (List.length runs);
+    List.iter
+      (fun (v, c) ->
+        put_varint buf c;
+        put_float buf v)
+      runs
+  end
+  else begin
+    Buffer.add_char buf '\000';
+    Array.iter (put_float buf) values
+  end
+
+let get_values bytes pos ~n =
+  match Char.code (Bytes.get bytes !pos) with
+  | 0 ->
+      incr pos;
+      Array.init n (fun _ -> get_float bytes pos)
+  | 1 ->
+      incr pos;
+      let nruns = get_varint bytes pos in
+      let values = Array.make n 0.0 in
+      let i = ref 0 in
+      for _ = 1 to nruns do
+        let c = get_varint bytes pos in
+        let v = get_float bytes pos in
+        for _ = 1 to c do
+          if !i >= n then failwith "Policy: value runs overflow count";
+          values.(!i) <- v;
+          incr i
+        done
+      done;
+      if !i <> n then failwith "Policy: value runs underflow count";
+      values
+  | _ -> failwith "Policy: bad value mode"
+
+(* ------------------------------------------------------------------ *)
+(* Partition codec                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let encode_part ~mode (p : Wire.part) : bytes =
+  let buf = Buffer.create 256 in
+  put_string buf p.Dist_array.pt_array;
+  put_varint buf (Array.length p.Dist_array.pt_dims);
+  Array.iter (put_varint buf) p.Dist_array.pt_dims;
+  put_float buf p.Dist_array.pt_default;
+  Buffer.add_char buf (if p.Dist_array.pt_sparse then '\001' else '\000');
+  let n = Array.length p.Dist_array.pt_entries in
+  put_varint buf n;
+  if n > 0 then begin
+    put_keys buf ~mode (Array.map fst p.Dist_array.pt_entries);
+    put_values buf (Array.map snd p.Dist_array.pt_entries)
+  end;
+  Buffer.to_bytes buf
+
+let decode_part (b : bytes) : Wire.part =
+  let pos = ref 0 in
+  let name = get_string b pos in
+  let ndims = get_varint b pos in
+  let dims = Array.init ndims (fun _ -> get_varint b pos) in
+  let default = get_float b pos in
+  let sparse = Char.code (Bytes.get b !pos) = 1 in
+  incr pos;
+  let n = get_varint b pos in
+  let entries =
+    if n = 0 then [||]
+    else
+      let keys = get_keys b pos ~n in
+      let values = get_values b pos ~n in
+      Array.init n (fun i -> (keys.(i), values.(i)))
+  in
+  {
+    Dist_array.pt_array = name;
+    pt_dims = dims;
+    pt_default = default;
+    pt_sparse = sparse;
+    pt_entries = entries;
+  }
+
+let part_mode (p : Wire.part) : [ `Sparse | `Dense ] =
+  let cells = Array.fold_left (fun a d -> a * d) 1 p.Dist_array.pt_dims in
+  let cells = if Array.length p.Dist_array.pt_dims = 0 then 0 else cells in
+  if
+    cells > 0
+    && float_of_int (Array.length p.Dist_array.pt_entries)
+       /. float_of_int cells
+       >= 0.5
+  then `Dense
+  else `Sparse
+
+let prepare_parts spec (parts : Wire.part list) :
+    Wire.part_payload list * (string * float * float) list =
+  let accounts = ref [] in
+  let payloads =
+    List.map
+      (fun (p : Wire.part) ->
+        let full = float_of_int (Dist_array.partition_size_bytes p) in
+        match spec with
+        | Full ->
+            accounts := (p.Dist_array.pt_array, full, full) :: !accounts;
+            Wire.Part p
+        | Auto | Delta | Topk _ | Budget _ ->
+            let b = encode_part ~mode:(part_mode p) p in
+            accounts :=
+              (p.Dist_array.pt_array, float_of_int (Bytes.length b), full)
+              :: !accounts;
+            Wire.Packed_part b)
+      parts
+  in
+  (payloads, List.rev !accounts)
+
+let decode_parts (payloads : Wire.part_payload list) : Wire.part list =
+  List.map
+    (function Wire.Part p -> p | Wire.Packed_part b -> decode_part b)
+    payloads
+
+(* ------------------------------------------------------------------ *)
+(* Journal-entry codec                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* One encode group: the deduplicated writes of one (pass, block) to
+   one array, ascending by linearized key. *)
+type group = {
+  g_array : string;
+  g_pass : int;
+  g_block : int;
+  g_keys : int array;  (** linearized, ascending *)
+  g_values : float array;
+}
+
+let encode_groups ~(mode_for : string -> [ `Sparse | `Dense ])
+    (groups : group list) : bytes * (string * float) list =
+  let buf = Buffer.create 512 in
+  put_varint buf (List.length groups);
+  let per_array = Hashtbl.create 8 in
+  List.iter
+    (fun g ->
+      let before = Buffer.length buf in
+      put_string buf g.g_array;
+      put_varint buf g.g_pass;
+      put_varint buf g.g_block;
+      put_varint buf (Array.length g.g_keys);
+      put_keys buf ~mode:(mode_for g.g_array) g.g_keys;
+      put_values buf g.g_values;
+      let sz = float_of_int (Buffer.length buf - before) in
+      Hashtbl.replace per_array g.g_array
+        (sz +. Option.value (Hashtbl.find_opt per_array g.g_array) ~default:0.0))
+    groups;
+  ( Buffer.to_bytes buf,
+    List.sort compare
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) per_array []) )
+
+let decode_groups ~(delinearize : string -> int -> int array) (b : bytes) :
+    Wire.block_writes list =
+  let pos = ref 0 in
+  let ngroups = get_varint b pos in
+  let groups =
+    List.init ngroups (fun _ ->
+        let name = get_string b pos in
+        let pass = get_varint b pos in
+        let block = get_varint b pos in
+        let n = get_varint b pos in
+        let keys = if n = 0 then [||] else get_keys b pos ~n in
+        let values = if n = 0 then [||] else get_values b pos ~n in
+        let writes =
+          Array.init n (fun i ->
+              {
+                Wire.w_array = name;
+                w_key = delinearize name keys.(i);
+                w_value = values.(i);
+              })
+        in
+        (pass, block, writes))
+  in
+  (* merge adjacent groups of the same (pass, block) — the encoder
+     emits one group per array, but the receiver must see one
+     [block_writes] per block so relay (keyed by block) stays whole *)
+  List.fold_left
+    (fun acc (pass, block, writes) ->
+      match acc with
+      | { Wire.bw_pass; bw_block; bw_writes } :: tl
+        when bw_pass = pass && bw_block = block ->
+          { Wire.bw_pass; bw_block; bw_writes = Array.append bw_writes writes }
+          :: tl
+      | _ -> { Wire.bw_pass = pass; bw_block = block; bw_writes = writes } :: acc)
+    [] groups
+  |> List.rev
+
+let decode_entries ~delinearize = function
+  | Wire.Entries l -> l
+  | Wire.Packed_entries b -> decode_groups ~delinearize b
+
+(* ------------------------------------------------------------------ *)
+(* The sender: dedup, ranking, residual carryover, budgets             *)
+(* ------------------------------------------------------------------ *)
+
+(* A deduplicated candidate write. *)
+type cand = {
+  c_array : string;
+  c_lin : int;
+  c_value : float;
+  c_pass : int;
+  c_block : int;
+  c_vpos : int;  (** natural-order position of [c_block] *)
+}
+
+type sender = {
+  s_spec : spec;
+  s_linearize : string -> int array -> int;
+  s_pos : int -> int;
+  (* per-peer: last value shipped per (array, linearized key) — the
+     baseline the top-k magnitude ranking measures change against *)
+  s_shipped : (string * int, float) Hashtbl.t array;
+  (* per-peer suppressed residuals, merged into the next send *)
+  s_residuals : (string * int, cand) Hashtbl.t array;
+  (* per-array key-encoding decision, refreshed once per pass *)
+  s_modes : (string, [ `Sparse | `Dense ]) Hashtbl.t;
+  mutable s_budget_left : float;  (** per-pass, [Budget] only *)
+}
+
+let sender spec ~peers ~linearize ~pos =
+  {
+    s_spec = spec;
+    s_linearize = linearize;
+    s_pos = pos;
+    s_shipped = Array.init peers (fun _ -> Hashtbl.create 64);
+    s_residuals = Array.init peers (fun _ -> Hashtbl.create 16);
+    s_modes = Hashtbl.create 8;
+    s_budget_left = (match spec with Budget b -> b | _ -> infinity);
+  }
+
+let mode_label = function `Sparse -> "sparse" | `Dense -> "dense"
+
+let spec_label = function
+  | Auto -> "delta"
+  | Full -> "full"
+  | Delta -> "delta"
+  | Topk _ -> "topk"
+  | Budget _ -> "budget"
+
+let note_pass s stats =
+  (match s.s_spec with
+  | Budget b -> s.s_budget_left <- b
+  | _ -> ());
+  match s.s_spec with
+  | Full ->
+      (* nothing to decide, but remember the array names so the
+         per-array policy report covers [full] runs too *)
+      List.iter
+        (fun (name, _) -> Hashtbl.replace s.s_modes name `Sparse)
+        stats
+  | Delta ->
+      (* fixed sparse index/value encoding for every array *)
+      List.iter
+        (fun (name, _) -> Hashtbl.replace s.s_modes name `Sparse)
+        stats
+  | Auto | Topk _ | Budget _ ->
+      (* density-driven: run-length keys pay off once most cells are
+         populated; index/value wins below that *)
+      List.iter
+        (fun (name, (st : Dist_array.stats)) ->
+          Hashtbl.replace s.s_modes name
+            (if st.Dist_array.st_density >= 0.5 then `Dense else `Sparse))
+        stats
+
+let decisions s =
+  let label mode =
+    match s.s_spec with
+    (* no encode decision under [full]; everything is Marshal *)
+    | Full -> spec_label s.s_spec
+    | _ -> spec_label s.s_spec ^ "+" ^ mode_label mode
+  in
+  Hashtbl.fold (fun name mode acc -> (name, label mode) :: acc) s.s_modes []
+  |> List.sort compare
+
+let mode_for s name =
+  Option.value (Hashtbl.find_opt s.s_modes name) ~default:`Sparse
+
+(* The [full] policy's cost of one write: the per-write Marshal size
+   the v3 runtime charged (and still charges under [full]). *)
+let full_write_bytes (w : Wire.write) =
+  float_of_int (Bytes.length (Marshal.to_bytes (w.w_key, w.w_value) []))
+
+let full_bytes_by_array (entries : Wire.block_writes list) =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (bw : Wire.block_writes) ->
+      Array.iter
+        (fun (w : Wire.write) ->
+          Hashtbl.replace tbl w.Wire.w_array
+            (full_write_bytes w
+            +. Option.value (Hashtbl.find_opt tbl w.Wire.w_array) ~default:0.0))
+        bw.bw_writes)
+    entries;
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+(* Estimated packed cost of one candidate, used by the budget
+   admission check (the exact size is only known after encoding). *)
+let est_cand_bytes (c : cand) = float_of_int (varint_len c.c_lin + 9)
+
+let prepare s ~peer ~sync (entries : Wire.block_writes list) :
+    Wire.entries_payload * (string * float * float) list =
+  let full = full_bytes_by_array entries in
+  match s.s_spec with
+  | Full ->
+      (Wire.Entries entries, List.map (fun (n, b) -> (n, b, b)) full)
+  | _ ->
+      (* -- dedup to the newest write per (array, element) ----------- *)
+      let cands : (string * int, cand) Hashtbl.t = Hashtbl.create 64 in
+      List.iter
+        (fun (bw : Wire.block_writes) ->
+          Array.iter
+            (fun (w : Wire.write) ->
+              let lin = s.s_linearize w.Wire.w_array w.Wire.w_key in
+              let c =
+                {
+                  c_array = w.Wire.w_array;
+                  c_lin = lin;
+                  c_value = w.Wire.w_value;
+                  c_pass = bw.bw_pass;
+                  c_block = bw.bw_block;
+                  c_vpos = s.s_pos bw.bw_block;
+                }
+              in
+              match Hashtbl.find_opt cands (c.c_array, lin) with
+              | Some prev
+                when (prev.c_pass, prev.c_vpos) > (c.c_pass, c.c_vpos) ->
+                  ()
+              | _ -> Hashtbl.replace cands (c.c_array, lin) c)
+            bw.bw_writes)
+        entries;
+      (* -- fold in this peer's residuals at the pass barrier -------- *)
+      let residuals = s.s_residuals.(peer) in
+      if sync then begin
+        Hashtbl.iter
+          (fun key (r : cand) ->
+            match Hashtbl.find_opt cands key with
+            | Some c when (c.c_pass, c.c_vpos) >= (r.c_pass, r.c_vpos) -> ()
+            | _ -> Hashtbl.replace cands key r)
+          residuals;
+        Hashtbl.reset residuals
+      end;
+      let all = Hashtbl.fold (fun _ c acc -> c :: acc) cands [] in
+      (* -- rank and select under the policy ------------------------- *)
+      let shipped = s.s_shipped.(peer) in
+      let kept, suppressed =
+        let lossless l = (l, []) in
+        if sync then lossless all
+        else
+          match s.s_spec with
+          | Full | Auto | Delta -> lossless all
+          | Topk k ->
+              let ranked =
+                List.sort
+                  (fun a b ->
+                    let mag c =
+                      match Hashtbl.find_opt shipped (c.c_array, c.c_lin) with
+                      | Some prev -> Float.abs (c.c_value -. prev)
+                      | None -> Float.abs c.c_value
+                    in
+                    compare
+                      (-.mag a, a.c_array, a.c_lin)
+                      (-.mag b, b.c_array, b.c_lin))
+                  all
+              in
+              let rec split i acc = function
+                | [] -> (List.rev acc, [])
+                | l when i >= k -> (List.rev acc, l)
+                | c :: tl -> split (i + 1) (c :: acc) tl
+              in
+              split 0 [] ranked
+          | Budget _ ->
+              let ranked =
+                List.sort
+                  (fun a b ->
+                    let mag c =
+                      match Hashtbl.find_opt shipped (c.c_array, c.c_lin) with
+                      | Some prev -> Float.abs (c.c_value -. prev)
+                      | None -> Float.abs c.c_value
+                    in
+                    compare
+                      (-.mag a, a.c_array, a.c_lin)
+                      (-.mag b, b.c_array, b.c_lin))
+                  all
+              in
+              let kept = ref [] and dropped = ref [] in
+              List.iter
+                (fun c ->
+                  let cost = est_cand_bytes c in
+                  if cost <= s.s_budget_left then begin
+                    s.s_budget_left <- s.s_budget_left -. cost;
+                    kept := c :: !kept
+                  end
+                  else dropped := c :: !dropped)
+                ranked;
+              (List.rev !kept, List.rev !dropped)
+      in
+      (* -- carry suppressed writes as residuals; note kept ones ----- *)
+      List.iter
+        (fun (c : cand) ->
+          let key = (c.c_array, c.c_lin) in
+          match Hashtbl.find_opt residuals key with
+          | Some prev when (prev.c_pass, prev.c_vpos) > (c.c_pass, c.c_vpos) ->
+              ()
+          | _ -> Hashtbl.replace residuals key c)
+        suppressed;
+      List.iter
+        (fun (c : cand) ->
+          let key = (c.c_array, c.c_lin) in
+          Hashtbl.replace shipped key c.c_value;
+          (* a kept write supersedes any older residual for the cell *)
+          match Hashtbl.find_opt residuals key with
+          | Some prev when (c.c_pass, c.c_vpos) >= (prev.c_pass, prev.c_vpos)
+            ->
+              Hashtbl.remove residuals key
+          | _ -> ())
+        kept;
+      (* -- group by (pass, block, array), ascending ----------------- *)
+      let sorted =
+        List.sort
+          (fun a b ->
+            compare
+              (a.c_pass, a.c_vpos, a.c_array, a.c_lin)
+              (b.c_pass, b.c_vpos, b.c_array, b.c_lin))
+          kept
+      in
+      let groups =
+        List.fold_left
+          (fun acc c ->
+            match acc with
+            | (p, blk, name, cs) :: tl
+              when p = c.c_pass && blk = c.c_block && name = c.c_array ->
+                (p, blk, name, c :: cs) :: tl
+            | _ -> (c.c_pass, c.c_block, c.c_array, [ c ]) :: acc)
+          [] sorted
+        |> List.rev_map (fun (p, blk, name, cs) ->
+               let cs = Array.of_list (List.rev cs) in
+               {
+                 g_array = name;
+                 g_pass = p;
+                 g_block = blk;
+                 g_keys = Array.map (fun c -> c.c_lin) cs;
+                 g_values = Array.map (fun c -> c.c_value) cs;
+               })
+        |> List.rev
+      in
+      let bytes, per_array = encode_groups ~mode_for:(mode_for s) groups in
+      let actual name =
+        Option.value (List.assoc_opt name per_array) ~default:0.0
+      in
+      (* every array that had traffic (kept or not) appears in the
+         accounting, so the full-policy baseline stays comparable *)
+      let names =
+        List.sort_uniq compare
+          (List.map fst full @ List.map fst per_array)
+      in
+      let accounts =
+        List.map
+          (fun n ->
+            (n, actual n, Option.value (List.assoc_opt n full) ~default:0.0))
+          names
+      in
+      (Wire.Packed_entries bytes, accounts)

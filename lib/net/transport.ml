@@ -28,6 +28,16 @@ type conn = {
   mutable bytes_out : float;
   mutable bytes_in : float;
   mutable closed : bool;
+  (* incremental read state ({!recv_step}): the frame header or payload
+     being filled, how much of it has arrived, and which of the two it
+     is.  Lets the event loop make partial progress on a large frame
+     without blocking — required to break symmetric send deadlocks. *)
+  mutable rbuf : bytes;
+  mutable rgot : int;
+  mutable rhdr : bool;
+  (* current O_NONBLOCK state, tracked here because Unix exposes no
+     getter; {!send_draining} and {!recv_step} toggle it cooperatively *)
+  mutable nb : bool;
 }
 
 type listener = { lfd : Unix.file_descr; laddr : addr }
@@ -39,7 +49,24 @@ let sockaddr_of_addr = function
   | `Tcp (host, port) ->
       Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
 
-let wrap fd = { fd; bytes_out = 0.0; bytes_in = 0.0; closed = false }
+let wrap fd =
+  {
+    fd;
+    bytes_out = 0.0;
+    bytes_in = 0.0;
+    closed = false;
+    rbuf = Bytes.create 4;
+    rgot = 0;
+    rhdr = true;
+    nb = false;
+  }
+
+let set_nb c b =
+  if c.nb <> b then begin
+    (try (if b then Unix.set_nonblock else Unix.clear_nonblock) c.fd
+     with Unix.Unix_error _ -> ());
+    c.nb <- b
+  end
 
 let listen (addr : addr) : listener =
   let domain =
@@ -101,13 +128,112 @@ let send (c : conn) (m : Wire.msg) =
   Frame.write_frame c.fd payload;
   c.bytes_out <- c.bytes_out +. float_of_int (Bytes.length payload + 4)
 
-(** [None] on a clean EOF (peer closed the connection). *)
+(** [send] for symmetric mesh traffic: write non-blocking and call
+    [drain] whenever the kernel buffer is full.  Two peers blocking in
+    plain [send] to each other with both socket buffers full deadlock —
+    neither ever reads; [drain] (which should pump the caller's event
+    loop) lets the opposite direction empty so both writes complete. *)
+let send_draining (c : conn) (m : Wire.msg) ~(drain : unit -> unit) =
+  let payload = Wire.to_bytes m in
+  let len = Bytes.length payload in
+  if len > Frame.max_frame_bytes then
+    raise
+      (Frame.Frame_error (Printf.sprintf "frame too large: %d bytes" len));
+  let total = len + 4 in
+  let buf = Bytes.create total in
+  Bytes.set_int32_be buf 0 (Int32.of_int len);
+  Bytes.blit payload 0 buf 4 len;
+  set_nb c true;
+  Fun.protect
+    ~finally:(fun () -> set_nb c false)
+    (fun () ->
+      let ofs = ref 0 in
+      while !ofs < total do
+        (* single_write, not write: Unix.write loops over internal
+           chunks and on EAGAIN loses how many it already sent, which
+           would desync the frame stream on retry *)
+        match Unix.single_write c.fd buf !ofs (total - !ofs) with
+        | n -> ofs := !ofs + n
+        | exception
+            Unix.Unix_error
+              ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _) ->
+            drain ()
+      done);
+  c.bytes_out <- c.bytes_out +. float_of_int total
+
+(** One non-blocking receive step: consume whatever bytes the kernel
+    has buffered, return [`Msg] once a whole frame has accumulated
+    (across any number of calls), [`Pending] when more bytes are still
+    in flight, [`Eof] on a clean close at a frame boundary.  An EOF
+    mid-frame raises {!Frame.Frame_error}.  This is what lets an event
+    loop stay responsive while a peer trickles a multi-megabyte frame —
+    and, symmetrically, what lets {!send_draining}'s drain callback
+    free the peer's send buffer without committing to a full blocking
+    frame read. *)
+let recv_step (c : conn) : [ `Msg of Wire.msg | `Pending | `Eof ] =
+  let was = c.nb in
+  set_nb c true;
+  Fun.protect
+    ~finally:(fun () -> set_nb c was)
+    (fun () ->
+      let rec fill () =
+        let want = Bytes.length c.rbuf - c.rgot in
+        if want = 0 then complete ()
+        else
+          match Unix.read c.fd c.rbuf c.rgot want with
+          | 0 ->
+              if c.rhdr && c.rgot = 0 then `Eof
+              else raise (Frame.Frame_error "unexpected EOF inside a frame")
+          | n ->
+              c.rgot <- c.rgot + n;
+              fill ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> fill ()
+          | exception
+              Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) ->
+              `Pending
+      and complete () =
+        if c.rhdr then begin
+          let len = Int32.to_int (Bytes.get_int32_be c.rbuf 0) in
+          if len < 0 || len > Frame.max_frame_bytes then
+            raise
+              (Frame.Frame_error (Printf.sprintf "bad frame length: %d" len));
+          c.rhdr <- false;
+          c.rbuf <- Bytes.create len;
+          c.rgot <- 0;
+          complete_or_fill ()
+        end
+        else begin
+          let payload = c.rbuf in
+          c.rhdr <- true;
+          c.rbuf <- Bytes.create 4;
+          c.rgot <- 0;
+          c.bytes_in <-
+            c.bytes_in +. float_of_int (Bytes.length payload + 4);
+          `Msg (Wire.of_bytes payload)
+        end
+      and complete_or_fill () =
+        if Bytes.length c.rbuf = c.rgot then complete () else fill ()
+      in
+      fill ())
+
+(** [None] on a clean EOF (peer closed the connection).  Blocking, but
+    built on the same incremental state as {!recv_step} so the two can
+    interleave on one connection. *)
 let recv (c : conn) : Wire.msg option =
-  match Frame.read_frame c.fd with
-  | None -> None
-  | Some payload ->
-      c.bytes_in <- c.bytes_in +. float_of_int (Bytes.length payload + 4);
-      Some (Wire.of_bytes payload)
+  let rec wait () =
+    match Unix.select [ c.fd ] [] [] (-1.0) with
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+  in
+  let rec go () =
+    match recv_step c with
+    | `Msg m -> Some m
+    | `Eof -> None
+    | `Pending ->
+        wait ();
+        go ()
+  in
+  go ()
 
 let close_conn (c : conn) =
   if not c.closed then begin

@@ -23,8 +23,12 @@
 
 (* v2: plan carries [p_telemetry]; workers ship [Pass_telemetry]
    v3: plan carries [p_report_passes]; workers ship [Pass_report] after
-       each pass barrier so the master can checkpoint pass boundaries *)
-let version = 3
+       each pass barrier so the master can checkpoint pass boundaries
+   v4: communication policies ([Policy]) — plan carries [p_comms];
+       rotation tokens, pass syncs, partition ships and prefetch
+       responses carry policy-encoded payload variants; [Peer_hello]
+       carries the protocol version so peers negotiate explicitly *)
+let version = 4
 
 (** One journaled DistArray element write, in execution order. *)
 type write = { w_array : string; w_key : int array; w_value : float }
@@ -38,6 +42,13 @@ type block_writes = {
   bw_writes : write array;
 }
 
+(** Journal entries as a comms policy put them on the wire: either the
+    raw block logs ([Marshal]; the [full] policy) or the [Policy] codec
+    (deduplicated, sparse index/value, varint/RLE). *)
+type entries_payload =
+  | Entries of block_writes list
+  | Packed_entries of bytes
+
 type worker_stats = {
   ws_rank : int;
   ws_blocks : int;
@@ -45,10 +56,21 @@ type worker_stats = {
   ws_wall_seconds : float;
   ws_bytes_sent : float;  (** wire bytes this worker sent to peers *)
   ws_bytes_by_array : (string * float) list;
-      (** journal bytes shipped to peers, per DistArray *)
+      (** journal bytes shipped to peers, per DistArray, as encoded by
+          the active comms policy *)
+  ws_bytes_full_by_array : (string * float) list;
+      (** what the same journal traffic would have cost under the
+          [full] policy (per-write [Marshal]) — the before side of the
+          bytes-saved accounting *)
+  ws_policy_by_array : (string * string) list;
+      (** the per-DistArray encode decision the policy settled on *)
 }
 
 type part = float Orion_dsm.Dist_array.partition
+
+(** A shipped partition: raw ([Marshal]; the [full] policy) or the
+    [Policy] sparse index/value codec. *)
+type part_payload = Part of part | Packed_part of bytes
 
 (** The full run description a worker needs to rebuild and verify its
     slice (a named record so workers can pass it around whole). *)
@@ -73,6 +95,9 @@ type plan = {
   p_report_passes : bool;
       (** ship a {!Pass_report} after each pass barrier so the master
           can assemble pass-boundary checkpoints *)
+  p_comms : string;
+      (** the communication policy spec ([Policy.spec_of_string]) every
+          worker must apply to its peer traffic *)
 }
 
 type msg =
@@ -80,22 +105,33 @@ type msg =
   | Plan of plan
   | Listening of { l_rank : int; l_addr : string }
   | Prefetch_request of { pr_rank : int; pr_arrays : string list }
-  | Partition_ship of part list
-  | Prefetch_response of part list
+  | Partition_ship of part_payload list
+  | Prefetch_response of part_payload list
   | Peers of string array  (** peer address, indexed by rank *)
-  | Peer_hello of int  (** the connecting worker's rank *)
+  | Peer_hello of { ph_rank : int; ph_version : int }
+      (** the connecting worker's rank and protocol version; the
+          accepting worker refuses a mismatched peer with a clear
+          error instead of relying on implicit [Marshal]
+          compatibility *)
   | Rotation_token of {
       rt_pass : int;
       rt_src : int;  (** source block id (just executed on the sender) *)
       rt_dst : int;  (** destination block id (waiting on the receiver) *)
-      rt_entries : block_writes list;
+      rt_entries : entries_payload;
           (** the sender's journal entries this receiver has not seen
               yet (per-peer cursor; FIFO channels make the receiver's
-              knowledge happens-before-closed) *)
+              knowledge happens-before-closed), encoded and possibly
+              filtered by the active comms policy *)
     }
-  | Pass_sync of { ps_pass : int; ps_rank : int; ps_entries : block_writes list }
+  | Pass_sync of {
+      ps_pass : int;
+      ps_rank : int;
+      ps_entries : entries_payload;
+    }
       (** all-to-all barrier at the end of each pass, flushing the
-          remaining journal entries *)
+          remaining journal entries {e and} every residual the policy
+          suppressed mid-pass (pass boundaries are globally
+          consistent under every policy) *)
   | Pass_telemetry of {
       pt_rank : int;
       pt_pass : int;

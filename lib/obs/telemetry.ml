@@ -191,6 +191,16 @@ let block_costs t =
 (* Summaries                                                           *)
 (* ------------------------------------------------------------------ *)
 
+(** What the run's communication policy did to the wire: the policy
+    name, actual bytes shipped vs the [full]-policy equivalent of the
+    same traffic, and the per-array encode decisions. *)
+type comms_summary = {
+  cs_policy : string;
+  cs_bytes_shipped : float;
+  cs_bytes_full : float;
+  cs_by_array : (string * string) list;
+}
+
 type summary = {
   sm_mode : string;  (** "parallel" or "distributed" *)
   sm_workers : int;
@@ -199,12 +209,13 @@ type summary = {
   sm_pass_metrics : (int * Metrics.t) list;  (** one per pass window *)
   sm_block_costs : block_cost list;
   sm_overall : Metrics.t;
+  sm_comms : comms_summary option;  (** distributed runs only *)
 }
 
 (** Fold a finished run into a summary.  [windows] gives each pass's
     [(pass, start, finish)] on the telemetry clock; pass metrics are
     scoped to those windows, [sm_overall] covers the whole trace. *)
-let summarize t ~mode ~windows =
+let summarize t ~mode ?comms ~windows () =
   let trace = merged_trace t in
   let num_workers = workers t in
   {
@@ -219,7 +230,26 @@ let summarize t ~mode ~windows =
         windows;
     sm_block_costs = block_costs t;
     sm_overall = Metrics.of_trace ~num_workers trace;
+    sm_comms = comms;
   }
+
+let comms_summary_json cs : Orion_report.json =
+  Orion_report.Obj
+    [
+      ("policy", Orion_report.Str cs.cs_policy);
+      ("bytes_shipped", Orion_report.Float cs.cs_bytes_shipped);
+      ("bytes_full", Orion_report.Float cs.cs_bytes_full);
+      ( "savings_fraction",
+        Orion_report.Float
+          (if cs.cs_bytes_full > 0.0 then
+             1.0 -. (cs.cs_bytes_shipped /. cs.cs_bytes_full)
+           else 0.0) );
+      ( "by_array",
+        Orion_report.Obj
+          (List.map
+             (fun (name, label) -> (name, Orion_report.Str label))
+             cs.cs_by_array) );
+    ]
 
 let block_cost_json c : Orion_report.json =
   Orion_report.Obj
@@ -254,6 +284,10 @@ let summary_json sm : Orion_report.json =
              sm.sm_pass_metrics) );
       ( "block_costs",
         Orion_report.List (List.map block_cost_json sm.sm_block_costs) );
+      ( "comms",
+        match sm.sm_comms with
+        | Some cs -> comms_summary_json cs
+        | None -> Orion_report.Null );
     ]
 
 (** Chrome trace-event JSON for the merged timeline, with the metrics

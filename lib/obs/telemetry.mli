@@ -87,6 +87,16 @@ val dropped : t -> int
     re-planning. *)
 val block_costs : t -> block_cost list
 
+(** What the run's communication policy did to the wire: the policy
+    name, actual bytes shipped vs the [full]-policy equivalent of the
+    same traffic, and the per-array encode decisions. *)
+type comms_summary = {
+  cs_policy : string;
+  cs_bytes_shipped : float;
+  cs_bytes_full : float;
+  cs_by_array : (string * string) list;
+}
+
 type summary = {
   sm_mode : string;  (** "parallel" or "distributed" *)
   sm_workers : int;
@@ -95,12 +105,19 @@ type summary = {
   sm_pass_metrics : (int * Metrics.t) list;  (** one per pass window *)
   sm_block_costs : block_cost list;
   sm_overall : Metrics.t;
+  sm_comms : comms_summary option;  (** distributed runs only *)
 }
 
 (** Fold a finished run into a summary; [windows] lists each pass's
-    [(pass, start, finish)] on the telemetry clock. *)
+    [(pass, start, finish)] on the telemetry clock; [comms] attaches
+    the communication-policy byte accounting (distributed runs). *)
 val summarize :
-  t -> mode:string -> windows:(int * float * float) list -> summary
+  t ->
+  mode:string ->
+  ?comms:comms_summary ->
+  windows:(int * float * float) list ->
+  unit ->
+  summary
 
 val block_cost_json : block_cost -> Orion_report.json
 

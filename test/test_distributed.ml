@@ -161,22 +161,31 @@ let test_wire_roundtrip () =
       Orion_net.Wire.Hello
         { h_rank = 3; h_pid = 42; h_version = Orion_net.Wire.version };
       Orion_net.Wire.Peers [| "unix:/tmp/w0"; "tcp:127.0.0.1:9999" |];
+      Orion_net.Wire.Peer_hello
+        { ph_rank = 1; ph_version = Orion_net.Wire.version };
       Orion_net.Wire.Rotation_token
         {
           rt_pass = 1;
           rt_src = 5;
           rt_dst = 6;
           rt_entries =
-            [
-              {
-                bw_pass = 1;
-                bw_block = 5;
-                bw_writes =
-                  [|
-                    { w_array = "H"; w_key = [| 2; 3 |]; w_value = -0.125 };
-                  |];
-              };
-            ];
+            Orion_net.Wire.Entries
+              [
+                {
+                  bw_pass = 1;
+                  bw_block = 5;
+                  bw_writes =
+                    [|
+                      { w_array = "H"; w_key = [| 2; 3 |]; w_value = -0.125 };
+                    |];
+                };
+              ];
+        };
+      Orion_net.Wire.Pass_sync
+        {
+          ps_pass = 0;
+          ps_rank = 1;
+          ps_entries = Orion_net.Wire.Packed_entries (Bytes.of_string "xyz");
         };
       Orion_net.Wire.Shutdown;
     ]
@@ -210,6 +219,227 @@ let test_addr_roundtrip () =
     [ `Unix "/tmp/x.sock"; `Tcp ("127.0.0.1", 8080) ]
 
 (* ------------------------------------------------------------------ *)
+(* Communication policies: codec round-trips and filter semantics      *)
+(* ------------------------------------------------------------------ *)
+
+module Policy = Orion_net.Policy
+
+(* a fixed two-array model for the sender/receiver properties *)
+let pol_dims = [ ("W", [| 4; 5 |]); ("h", [| 16 |]) ]
+
+let pol_lin name (key : int array) =
+  let dims = List.assoc name pol_dims in
+  let lin = ref 0 in
+  Array.iteri (fun i _ -> lin := (!lin * dims.(i)) + key.(i)) dims;
+  !lin
+
+let pol_delin name lin =
+  let dims = List.assoc name pol_dims in
+  let n = Array.length dims in
+  let key = Array.make n 0 in
+  let rem = ref lin in
+  for i = n - 1 downto 0 do
+    key.(i) <- !rem mod dims.(i);
+    rem := !rem / dims.(i)
+  done;
+  key
+
+let pol_stats =
+  (* one dense-ish and one sparse array, so [auto] exercises both key
+     modes (the records are plain data — no need to build arrays) *)
+  [
+    ( "W",
+      {
+        Dist_array.st_cells = 20;
+        st_stored = 20;
+        st_nnz = 16;
+        st_density = 0.8;
+        st_sparse = false;
+      } );
+    ( "h",
+      {
+        Dist_array.st_cells = 16;
+        st_stored = 2;
+        st_nnz = 2;
+        st_density = 0.125;
+        st_sparse = true;
+      } );
+  ]
+
+(* random journal: writes chunked into blocks 0, 1, ... of pass 0 *)
+let mk_entries seeds : Orion_net.Wire.block_writes list =
+  let writes =
+    List.map
+      (fun (w, kseed, v) ->
+        let name = if w then "W" else "h" in
+        let key = pol_delin name (kseed mod 20) in
+        { Orion_net.Wire.w_array = name; w_key = key; w_value = v })
+      seeds
+  in
+  let rec chunk b = function
+    | [] -> []
+    | ws ->
+        let n = min 3 (List.length ws) in
+        let head = List.filteri (fun i _ -> i < n) ws
+        and tail = List.filteri (fun i _ -> i >= n) ws in
+        { Orion_net.Wire.bw_pass = 0; bw_block = b; bw_writes = Array.of_list head }
+        :: chunk (b + 1) tail
+  in
+  chunk 0 writes
+
+(* last-writer-wins state of a journal, keyed (array, key) *)
+let lww_state (entries : Orion_net.Wire.block_writes list) =
+  let st = Hashtbl.create 32 in
+  List.iter
+    (fun (bw : Orion_net.Wire.block_writes) ->
+      Array.iter
+        (fun (w : Orion_net.Wire.write) ->
+          Hashtbl.replace st (w.w_array, Array.to_list w.w_key) (bits w.w_value))
+        bw.bw_writes)
+    entries;
+  st
+
+let same_state a b =
+  Hashtbl.length a = Hashtbl.length b
+  && Hashtbl.fold (fun k v ok -> ok && Hashtbl.find_opt b k = Some v) a true
+
+(* every decoded write is some journaled write, bitwise, in its own
+   (pass, block) group *)
+let subset_of entries decoded =
+  List.for_all
+    (fun (bw : Orion_net.Wire.block_writes) ->
+      Array.for_all
+        (fun (w : Orion_net.Wire.write) ->
+          List.exists
+            (fun (bw' : Orion_net.Wire.block_writes) ->
+              bw'.bw_pass = bw.bw_pass
+              && bw'.bw_block = bw.bw_block
+              && Array.exists
+                   (fun (w' : Orion_net.Wire.write) ->
+                     w'.w_array = w.w_array && w'.w_key = w.w_key
+                     && bits w'.w_value = bits w.w_value)
+                   bw'.bw_writes)
+            entries)
+        bw.bw_writes)
+    decoded
+
+let pol_specs =
+  [ Policy.Auto; Policy.Full; Policy.Delta; Policy.Topk 2; Policy.Budget 64.0 ]
+
+let gen_seeds =
+  QCheck.(
+    small_list (triple bool small_nat (float_range (-1e3) 1e3)))
+
+(* decode ∘ encode round-trips exactly the writes the policy chose to
+   send, and a pass-sync flush is state-complete under every policy *)
+let qcheck_policy_sync_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"policy sync flush round-trips LWW state"
+    gen_seeds
+    (fun seeds ->
+      let entries = mk_entries seeds in
+      List.for_all
+        (fun spec ->
+          let sender =
+            Policy.sender spec ~peers:1 ~linearize:pol_lin ~pos:(fun b -> b)
+          in
+          Policy.note_pass sender pol_stats;
+          let payload, accounts =
+            Policy.prepare sender ~peer:0 ~sync:true entries
+          in
+          let decoded = Policy.decode_entries ~delinearize:pol_delin payload in
+          subset_of entries decoded
+          && same_state (lww_state entries) (lww_state decoded)
+          && List.for_all (fun (_, b, f) -> b >= 0.0 && f >= 0.0) accounts)
+        pol_specs)
+
+(* mid-pass, a lossy policy sends a bounded subset; the suppressed
+   residuals complete the state at the next sync flush *)
+let qcheck_policy_residual_flush =
+  QCheck.Test.make ~count:200 ~name:"suppressed residuals flush at pass sync"
+    gen_seeds
+    (fun seeds ->
+      let entries = mk_entries seeds in
+      List.for_all
+        (fun (spec, cap) ->
+          let sender =
+            Policy.sender spec ~peers:1 ~linearize:pol_lin ~pos:(fun b -> b)
+          in
+          Policy.note_pass sender pol_stats;
+          let mid, _ = Policy.prepare sender ~peer:0 ~sync:false entries in
+          let flush, _ = Policy.prepare sender ~peer:0 ~sync:true [] in
+          let dm = Policy.decode_entries ~delinearize:pol_delin mid in
+          let df = Policy.decode_entries ~delinearize:pol_delin flush in
+          let sent =
+            List.fold_left
+              (fun acc (bw : Orion_net.Wire.block_writes) ->
+                acc + Array.length bw.bw_writes)
+              0 dm
+          in
+          (match cap with Some k -> sent <= k | None -> true)
+          && subset_of entries dm
+          && subset_of entries df
+          (* kept and residual element sets are disjoint, so applying
+             the two payloads in order reconstructs the LWW state *)
+          && same_state (lww_state entries) (lww_state (dm @ df)))
+        [ (Policy.Topk 2, Some 2); (Policy.Budget 64.0, None) ])
+
+let qcheck_packed_partition_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"packed partition codec round-trip"
+    QCheck.(
+      triple bool
+        (list_of_size (Gen.int_range 1 3) (int_range 1 5))
+        (small_list (pair small_nat (float_range (-1e6) 1e6))))
+    (fun (sparse, dims_l, seeds) ->
+      let dims = Array.of_list dims_l in
+      let a =
+        if sparse then Dist_array.create_sparse ~name:"pk" ~dims ~default:0.0
+        else Dist_array.fill_dense ~name:"pk" ~dims 0.0
+      in
+      List.iter
+        (fun (kseed, v) ->
+          let key = Array.mapi (fun i d -> (kseed + (i * 7)) mod d) dims in
+          Dist_array.set a key v)
+        seeds;
+      let part = Dist_array.to_partition a in
+      List.for_all
+        (fun mode ->
+          let part' = Policy.decode_part (Policy.encode_part ~mode part) in
+          part'.Dist_array.pt_array = part.Dist_array.pt_array
+          && part'.Dist_array.pt_dims = part.Dist_array.pt_dims
+          && part'.Dist_array.pt_sparse = part.Dist_array.pt_sparse
+          && bits part'.Dist_array.pt_default = bits part.Dist_array.pt_default
+          && Array.length part'.Dist_array.pt_entries
+             = Array.length part.Dist_array.pt_entries
+          && Array.for_all2
+               (fun (k, v) (k', v') -> k = k' && bits v = bits v')
+               part.Dist_array.pt_entries part'.Dist_array.pt_entries)
+        [ `Sparse; `Dense ])
+
+let test_policy_spec_strings () =
+  List.iter
+    (fun (s, expect) ->
+      match Policy.spec_of_string s with
+      | Ok spec ->
+          Alcotest.(check string)
+            (Printf.sprintf "%S parses" s)
+            expect (Policy.spec_to_string spec)
+      | Error e -> Alcotest.failf "%S should parse, got: %s" s e)
+    [
+      ("auto", "auto");
+      ("", "auto");
+      ("full", "full");
+      ("delta", "delta");
+      ("topk:16", "topk:16");
+      ("budget:65536", "budget:65536");
+    ];
+  List.iter
+    (fun s ->
+      match Policy.spec_of_string s with
+      | Ok _ -> Alcotest.failf "%S should not parse" s
+      | Error _ -> ())
+    [ "bogus"; "topk:"; "topk:0"; "topk:x"; "budget:-1"; "budget:" ]
+
+(* ------------------------------------------------------------------ *)
 (* End-to-end: distributed runs match the simulated executor           *)
 (* ------------------------------------------------------------------ *)
 
@@ -228,16 +458,32 @@ let run_sim (app : Orion.App.t) ~procs ~passes =
   ignore (Orion.Engine.run inst.Orion.App.inst_session inst ~mode:`Sim ~passes ());
   inst.Orion.App.inst_outputs
 
-let run_dist ?(transport = `Unix) (app : Orion.App.t) ~procs ~passes =
+let run_dist ?(transport = `Unix) ?comms (app : Orion.App.t) ~procs ~passes =
   let inst =
     app.Orion.App.app_make ~num_machines:procs ~workers_per_machine:1 ()
   in
   let report =
     Orion.Engine.run inst.Orion.App.inst_session inst
       ~mode:(`Distributed { Orion.Engine.procs; transport })
-      ~passes ()
+      ~passes ?comms ()
   in
   (inst.Orion.App.inst_outputs, report)
+
+let run_dist_loss ?comms (app : Orion.App.t) ~procs ~passes =
+  let inst =
+    app.Orion.App.app_make ~num_machines:procs ~workers_per_machine:1 ()
+  in
+  let report =
+    Orion.Engine.run inst.Orion.App.inst_session inst
+      ~mode:(`Distributed { Orion.Engine.procs; transport = `Unix })
+      ~passes ?comms ()
+  in
+  let loss =
+    match app.Orion.App.app_loss with
+    | Some f -> f inst
+    | None -> Alcotest.failf "%s has no loss" app.Orion.App.app_name
+  in
+  (loss, report)
 
 let check_outputs ~what ~tolerance a b =
   List.iter2
@@ -273,6 +519,48 @@ let distributed_deterministic name () =
   let r1, _ = run_dist app ~procs:2 ~passes:2 in
   let r2, _ = run_dist app ~procs:2 ~passes:2 in
   check_outputs ~what:(name ^ " run1 vs run2") ~tolerance:None r1 r2
+
+(* [delta] only drops writes that a newer write in the same payload
+   supersedes; under last-writer-wins receivers that is invisible, so
+   the run must be bitwise-equal to [full] *)
+let delta_matches_full name () =
+  let app = find_app name in
+  let full, rf = run_dist ~comms:"full" app ~procs:2 ~passes:2 in
+  let delta, rd = run_dist ~comms:"delta" app ~procs:2 ~passes:2 in
+  check_outputs
+    ~what:(name ^ " delta vs full")
+    ~tolerance:None full delta;
+  Alcotest.(check string) "report names the policy" "delta"
+    rd.Orion.Engine.ep_comms;
+  Alcotest.(check string) "full report names the policy" "full"
+    rf.Orion.Engine.ep_comms;
+  Alcotest.(check bool) "delta reports per-array decisions" true
+    (rd.Orion.Engine.ep_policy_by_array <> []);
+  Alcotest.(check bool)
+    (Printf.sprintf "delta ships fewer bytes (%.0f vs full %.0f)"
+       rd.Orion.Engine.ep_bytes_shipped rf.Orion.Engine.ep_bytes_shipped)
+    true
+    (rd.Orion.Engine.ep_bytes_shipped < rf.Orion.Engine.ep_bytes_shipped)
+
+(* the lossy policies trade mid-pass staleness for bandwidth: strictly
+   fewer bytes on the wire, final loss within a small relative drift *)
+let lossy_policy_drift name spec () =
+  let app = find_app name in
+  let procs = 2 and passes = 2 in
+  let loss_full, rf = run_dist_loss ~comms:"full" app ~procs ~passes in
+  let loss, r = run_dist_loss ~comms:spec app ~procs ~passes in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s %s ships fewer bytes (%.0f vs full %.0f)" name spec
+       r.Orion.Engine.ep_bytes_shipped rf.Orion.Engine.ep_bytes_shipped)
+    true
+    (r.Orion.Engine.ep_bytes_shipped < rf.Orion.Engine.ep_bytes_shipped);
+  let drift =
+    Float.abs (loss -. loss_full) /. Float.max 1e-12 (Float.abs loss_full)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s %s final-loss drift %.2e <= 1e-3 (loss %.6f vs %.6f)"
+       name spec drift loss loss_full)
+    true (drift <= 1e-3)
 
 let tcp_smoke () =
   let app = find_app "mf" in
@@ -505,6 +793,21 @@ let () =
       ( "happens_before",
         [ qc qcheck_block_edges_acyclic; qc qcheck_natural_order_linearizes ]
       );
+      ( "comms_policies",
+        [
+          tc "spec strings parse and print" `Quick test_policy_spec_strings;
+          qc qcheck_policy_sync_roundtrip;
+          qc qcheck_policy_residual_flush;
+          qc qcheck_packed_partition_roundtrip;
+          tc "mf delta == full" `Slow (delta_matches_full "mf");
+          tc "slr delta == full" `Slow (delta_matches_full "slr");
+          tc "lda delta == full" `Slow (delta_matches_full "lda");
+          tc "gbt delta == full" `Slow (delta_matches_full "gbt");
+          tc "mf topk drift" `Slow (lossy_policy_drift "mf" "topk:256");
+          tc "mf budget drift" `Slow (lossy_policy_drift "mf" "budget:65536");
+          tc "lda budget drift" `Slow
+            (lossy_policy_drift "lda" "budget:65536");
+        ] );
       ( "equivalence",
         [
           tc "mf procs=2" `Slow (distributed_matches_sim "mf" 2);

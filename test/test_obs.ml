@@ -183,6 +183,7 @@ let test_summarize_windows () =
   let sm =
     Telemetry.summarize t ~mode:"parallel"
       ~windows:[ (0, 0.0, 1.5); (1, 1.5, 3.0) ]
+      ()
   in
   Alcotest.(check string) "mode" "parallel" sm.Telemetry.sm_mode;
   Alcotest.(check int) "one metrics row per pass" 2
