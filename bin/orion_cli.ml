@@ -147,12 +147,47 @@ let builtin_app session name =
       Some a.Orion.App.app_script
   | None -> None
 
+(* --scale falls back to ORION_BENCH_SCALE so scripted runs can grow
+   every subcommand's dataset uniformly *)
+let env_scale () =
+  match Sys.getenv_opt "ORION_BENCH_SCALE" with
+  | Some v -> ( try float_of_string v with Failure _ -> 1.0)
+  | None -> 1.0
+
+let resolve_scale = function Some s -> s | None -> env_scale ()
+
 let explain_cmd =
-  let run arrays machines wpm log app json file =
+  let run arrays machines wpm log app json measured domains passes file =
     setup_log log;
     if app = Some "list" then begin
       print_registry ();
       0
+    end
+    else if measured then begin
+      (* --measured re-costs the decision tree from a real measured run,
+         so it needs an app instance with data, not just array shapes *)
+      match (app, file) with
+      | None, _ | Some _, Some _ ->
+          prerr_endline "orion explain: --measured needs --app NAME (no FILE)";
+          1
+      | Some name, None -> (
+          match
+            Orion_tune.Measured.run_app ~name ~domains ~passes
+              ~scale:(env_scale ()) ~num_machines:machines
+              ~workers_per_machine:wpm
+          with
+          | Error e ->
+              Printf.eprintf "orion explain: %s\n" e;
+              1
+          | Ok report ->
+              if json then
+                print_endline
+                  (Orion.Report.emit ~kind:"explain-measured"
+                     (Orion_tune.Measured.report_json report))
+              else
+                print_string
+                  (Orion_tune.Measured.report_to_string report);
+              0)
     end
     else
     let session = make_session arrays ~machines ~wpm in
@@ -214,6 +249,28 @@ let explain_cmd =
       & info [ "json" ]
           ~doc:"emit one machine-readable JSON object per loop instead of text")
   in
+  let measured_arg =
+    Arg.(
+      value & flag
+      & info [ "measured" ]
+          ~doc:
+            "run --app briefly on the domain pool with telemetry and render \
+             the strategy decision tree with measured, calibrated costs \
+             side-by-side with the static model, flagging decisions that \
+             flip")
+  in
+  let domains_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"OCaml domains for the --measured calibration run")
+  in
+  let passes_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "passes" ] ~docv:"N"
+          ~doc:"training passes for the --measured calibration run")
+  in
   let file_pos =
     Arg.(
       value & pos 0 (some file) None
@@ -222,24 +279,15 @@ let explain_cmd =
   let term =
     Term.(
       const run $ arrays_arg $ machines_arg $ wpm_arg $ log_arg $ app_arg
-      $ json_arg $ file_pos)
+      $ json_arg $ measured_arg $ domains_arg $ passes_arg $ file_pos)
   in
   Cmd.v
     (Cmd.info "explain"
        ~doc:
          "Show the full analysis provenance for each parallel loop: \
           per-reference-pair dependence derivation (Algorithm 2) and the \
-          strategy decision tree")
+          strategy decision tree (--measured re-costs it from a real run)")
     term
-
-(* --scale falls back to ORION_BENCH_SCALE so scripted runs can grow
-   every subcommand's dataset uniformly *)
-let env_scale () =
-  match Sys.getenv_opt "ORION_BENCH_SCALE" with
-  | Some v -> ( try float_of_string v with Failure _ -> 1.0)
-  | None -> 1.0
-
-let resolve_scale = function Some s -> s | None -> env_scale ()
 
 (* run a registered app's parallel loop through the unified engine:
    simulated, on the domain pool, or on real worker processes *)
@@ -594,14 +642,25 @@ let bench_cmd =
     setup_log log;
     let scale = resolve_scale scale in
     let apps = match apps with [] -> None | l -> Some l in
-    let out =
-      Option.value out ~default:(Orion_apps.Bench.default_out mode)
-    in
+    let transport = if tcp then `Tcp else `Unix in
     match
-      Orion_apps.Bench.run ~mode ~scale ~out ?apps ~domains_list:domains
-        ~procs_list:procs ~comms ~passes
-        ~transport:(if tcp then `Tcp else `Unix)
-        ~num_machines:machines ~workers_per_machine:wpm ()
+      match mode with
+      | `Tune ->
+          let out =
+            Option.value out ~default:Orion_tune.Tune_bench.default_out
+          in
+          Orion_tune.Tune_bench.run ?apps ~domains_list:domains
+            ~procs_list:procs
+            ~comms:(match comms with c :: _ -> c | [] -> "auto")
+            ~passes ~transport ~scale ~out ~num_machines:machines
+            ~workers_per_machine:wpm ()
+      | #Orion_apps.Bench.mode as mode ->
+          let out =
+            Option.value out ~default:(Orion_apps.Bench.default_out mode)
+          in
+          Orion_apps.Bench.run ~mode ~scale ~out ?apps ~domains_list:domains
+            ~procs_list:procs ~comms ~passes ~transport
+            ~num_machines:machines ~workers_per_machine:wpm ()
     with
     | exception (Orion.Engine.Distributed_error _ as exn) ->
         Printf.eprintf "orion bench: %s\n"
@@ -621,14 +680,16 @@ let bench_cmd =
                ("speedup", `Speedup);
                ("speedup-distributed", `Speedup_distributed);
                ("convergence", `Convergence);
+               ("tune", `Tune);
              ])
           `Speedup
       & info [ "mode" ] ~docv:"MODE"
           ~doc:
             "benchmark mode: speedup (domain-pool wall-clock scaling), \
-             speedup-distributed (multi-process socket runtime scaling), or \
+             speedup-distributed (multi-process socket runtime scaling), \
              convergence (per-pass training loss versus monotonic wall \
-             time)")
+             time), or tune (static vs adaptive re-planning on skewed \
+             inputs, BENCH_tune.json)")
   in
   let apps =
     Arg.(
@@ -936,9 +997,11 @@ let trace_cmd =
                 Printf.printf "app %s, %s: %d pass(es), wall %.4f s\n" app
                   label passes r.Orion.Engine.ep_wall_seconds;
                 Printf.printf
-                  "wrote %d spans (%d dropped) to %s (chrome://tracing)\n"
+                  "%d spans (%d dropped), open in chrome://tracing\n"
                   (Orion.Trace.length sm.Orion.Telemetry.sm_trace)
-                  sm.Orion.Telemetry.sm_dropped out;
+                  sm.Orion.Telemetry.sm_dropped;
+                (* same "wrote PATH" line every bench mode prints *)
+                Printf.printf "wrote %s\n" out;
                 if sm.Orion.Telemetry.sm_dropped > 0 then
                   Printf.eprintf
                     "orion trace: warning: trace buffer overflow — %d \
@@ -1039,8 +1102,11 @@ let trace_cmd =
          ~pid_of_worker:(Orion.Cluster.machine_of cluster)
          trace);
     close_out oc;
-    Printf.printf "wrote %d spans (%d dropped) to %s (chrome://tracing)\n"
-      (Orion.Trace.length trace) (Orion.Trace.dropped trace) out;
+    Printf.printf "%d spans (%d dropped), open in chrome://tracing\n"
+      (Orion.Trace.length trace)
+      (Orion.Trace.dropped trace);
+    (* same "wrote PATH" line every bench mode prints *)
+    Printf.printf "wrote %s\n" out;
     if Orion.Trace.dropped trace > 0 then
       Printf.eprintf
         "orion trace: warning: trace buffer overflow — %d span(s) dropped\n"
@@ -1168,6 +1234,142 @@ let trace_cmd =
           distributed)")
     term
 
+let tune_cmd =
+  (* static vs adaptive on one app/backend: run the planner's schedule,
+     run again with the measurement-driven re-planner, then replay the
+     adopted schedule sequence and require equal results.  Exit 1 when
+     an adopted re-plan was not race-checker-validated or the replay
+     diverges. *)
+  let run machines wpm log app mode domains procs tcp comms passes scale
+      json out =
+    setup_log log;
+    if app = "list" then begin
+      print_registry ();
+      0
+    end
+    else
+      match Orion.App.find app with
+      | None ->
+          Printf.eprintf "orion tune: %s\n" (unknown_app_msg app);
+          1
+      | Some a -> (
+          let scale = resolve_scale scale in
+          let mode =
+            match mode with
+            | `Parallel -> `Parallel domains
+            | `Distributed ->
+                `Distributed (procs, if tcp then `Tcp else `Unix)
+          in
+          match
+            Orion_tune.Tune_bench.run_app ~app:a ~mode ~passes ~scale
+              ~num_machines:machines ~workers_per_machine:wpm ?comms ()
+          with
+          | exception (Orion.Engine.Distributed_error _ as exn) ->
+              Printf.eprintf "orion tune: %s\n"
+                (Orion.Engine.distributed_error_to_string exn);
+              1
+          | r ->
+              if json then
+                print_endline
+                  (Orion.Report.emit ~kind:"tune"
+                     (Orion_tune.Tune_bench.result_json r))
+              else
+                print_string
+                  (Fmt.str "%a" Orion_tune.Tune_bench.pp_result r);
+              (match out with
+              | None -> ()
+              | Some path ->
+                  let oc = open_out path in
+                  output_string oc
+                    (Orion.Report.emit ~kind:"tune"
+                       (Orion_tune.Tune_bench.result_json r));
+                  output_char oc '\n';
+                  close_out oc;
+                  Printf.printf "wrote %s\n" path);
+              if
+                r.Orion_tune.Tune_bench.tb_adopted_unvalidated > 0
+                || not r.Orion_tune.Tune_bench.tb_replay_equal
+              then 1
+              else 0)
+  in
+  let app_arg =
+    Arg.(
+      value & opt string "slrskew"
+      & info [ "app" ] ~docv:"NAME"
+          ~doc:
+            "registered app to tune (`list` prints the registry); slrskew \
+             is the Zipf-skewed workload adaptive re-planning exists for")
+  in
+  let mode =
+    Arg.(
+      value
+      & opt (enum [ ("parallel", `Parallel); ("distributed", `Distributed) ])
+          `Parallel
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:"backend to tune on: parallel (domain pool) or distributed \
+                (worker processes)")
+  in
+  let domains =
+    Arg.(
+      value & opt int 2
+      & info [ "domains" ] ~docv:"N" ~doc:"OCaml domains for --mode parallel")
+  in
+  let procs =
+    Arg.(
+      value & opt int 2
+      & info [ "procs" ] ~docv:"N"
+          ~doc:"worker processes for --mode distributed")
+  in
+  let tcp =
+    Arg.(
+      value & flag
+      & info [ "tcp" ]
+          ~doc:
+            "use TCP loopback instead of Unix domain sockets (--mode \
+             distributed)")
+  in
+  let comms =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "comms" ] ~docv:"POLICY"
+          ~doc:"communication policy for --mode distributed")
+  in
+  let passes =
+    Arg.(value & opt int 3 & info [ "passes" ] ~docv:"N" ~doc:"training passes")
+  in
+  let scale =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "scale" ] ~docv:"S"
+          ~doc:"dataset scale factor (default: ORION_BENCH_SCALE, or 1.0)")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"emit the comparison as JSON")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:"also write the JSON comparison to $(docv)")
+  in
+  let term =
+    Term.(
+      const run $ machines_arg $ wpm_arg $ log_arg $ app_arg $ mode $ domains
+      $ procs $ tcp $ comms $ passes $ scale $ json $ out)
+  in
+  Cmd.v
+    (Cmd.info "tune"
+       ~doc:
+         "Profile-guided adaptive re-planning: run an app with the static \
+          plan and with the measurement-driven re-planner (weighted space \
+          cut from measured block costs, race-checked before adoption), \
+          compare wall time and straggler ratio, and verify the adaptive \
+          result against a static replay of the adopted schedule sequence")
+    term
+
 let verify_cmd =
   let run machines wpm log app json schedule pipeline_depth scale =
     setup_log log;
@@ -1277,5 +1479,6 @@ let () =
             generate_cmd;
             data_cmd;
             trace_cmd;
+            tune_cmd;
             verify_cmd;
           ]))

@@ -37,6 +37,14 @@ type row = {
 
 val row_json : row -> Orion.Report.json
 
+(** Append the uniform ["rows"] section to a suite payload — shared
+    with out-of-tree suites (e.g. [lib/tune]'s [bench-tune]) so every
+    BENCH_*.json stays uniformly readable. *)
+val with_rows : Orion.Report.json -> row list -> Orion.Report.json
+
+(** Write an enveloped report (plus trailing newline) to a path. *)
+val write_file : string -> string -> unit
+
 (** Run one benchmark suite and write its enveloped JSON (with the
     uniform ["rows"] section appended) to [out] (see {!default_out}
     for the conventional paths).  [domains_list] drives [`Speedup] and

@@ -283,6 +283,64 @@ let slr_make ?(scale = 1.0) ~num_machines ~workers_per_machine () =
     inst_buffered = [ "w_buf" ];
   }
 
+(* SLR over length-skewed data: identical script, losses, and array
+   shapes to "slr", but per-sample nnz follows a front-loaded power law
+   — so the histogram-balanced (count-even) space partition is badly
+   work-imbalanced and profile-guided re-planning has real skew to
+   correct.  A separate registered app (not a flag on "slr") so
+   distributed workers materialize the identical dataset by name. *)
+let slrskew_make ?(scale = 1.0) ~num_machines ~workers_per_machine () =
+  let session =
+    Orion.create_session ~num_machines ~workers_per_machine ()
+  in
+  let data =
+    (* max_nnz well above the floor so per-sample compute is dominated
+       by the nnz-proportional part, not fixed dispatch overhead —
+       otherwise the head:tail work ratio flattens and a measured
+       re-balance has nothing to win *)
+    Orion_data.Sparse_features.generate_skewed ~seed:7
+      ~num_samples:(scaled scale 120)
+      ~num_features:96 ~max_nnz:80 ()
+  in
+  let w =
+    Dist_array.init_dense ~name:"w"
+      ~dims:[| data.num_features |]
+      ~f:(fun k -> 0.01 *. float_of_int ((k.(0) mod 7) - 3))
+  in
+  let w_buf =
+    Dist_array.fill_dense ~name:"w_buf" ~dims:[| data.num_features |] 0.0
+  in
+  Orion.register_iterable session data.samples
+    ~to_value:Orion_data.Sparse_features.sample_to_value;
+  Orion.register session w;
+  Orion.register session ~buffered:true w_buf;
+  let loop_stmt = parse_loop Slr.script in
+  let key_var, value_var, iter_name, body = loop_parts loop_stmt in
+  let make_env () =
+    let env = Interp.create_env ~seed:1 () in
+    Interp.set_var env "step_size" (Value.Vfloat 0.1);
+    bind_extern env w;
+    bind_extern env w_buf;
+    env
+  in
+  {
+    Orion.App.inst_name = "slrskew";
+    inst_session = session;
+    inst_env = make_env ();
+    inst_make_env = make_env;
+    inst_loop = loop_stmt;
+    inst_key_var = key_var;
+    inst_value_var = value_var;
+    inst_body = body;
+    inst_iter =
+      Dist_array.map ~name:iter_name
+        ~f:Orion_data.Sparse_features.sample_to_value data.samples;
+    inst_iter_name = iter_name;
+    inst_outputs = [ ("w_buf", w_buf) ];
+    inst_arrays = [ ("w", w); ("w_buf", w_buf) ];
+    inst_buffered = [ "w_buf" ];
+  }
+
 let slr_register_meta session =
   Orion.register_meta session ~name:"samples"
     ~dims:[| 20_000_000 |]
@@ -523,6 +581,18 @@ let () =
         (* buffered FP accumulation is order-sensitive in the last bits *)
         app_tolerance = Some 1e-9;
         app_make = slr_make;
+        app_register_meta = slr_register_meta;
+        app_loss = Some slr_loss;
+        app_prepare_pass = Some slr_prepare_pass;
+      };
+      {
+        Orion.App.app_name = "slrskew";
+        app_description =
+          "Sparse logistic regression, length-skewed samples (re-planning \
+           target)";
+        app_script = Slr.script;
+        app_tolerance = Some 1e-9;
+        app_make = slrskew_make;
         app_register_meta = slr_register_meta;
         app_loss = Some slr_loss;
         app_prepare_pass = Some slr_prepare_pass;

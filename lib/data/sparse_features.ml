@@ -66,6 +66,70 @@ let generate ?(seed = 777) ~num_samples ~num_features ~nnz_per_sample
     avg_nnz = float_of_int !total_nnz /. float_of_int num_samples;
   }
 
+(* the shared body of [generate] and [generate_skewed]: draw each
+   sample's active-feature set Zipf-skewed with a caller-chosen
+   per-sample nnz *)
+let generate_with_nnz ~seed ~num_samples ~num_features ~nnz_of_sample
+    ~feature_skew ~noise () =
+  let rng = Rng.create seed in
+  let zipf = Rng.zipf_create ~n:num_features ~s:feature_skew in
+  let perm = Rng.permutation rng num_features in
+  let truth =
+    Array.init num_features (fun _ ->
+        if Rng.float rng < 0.2 then Rng.gaussian rng else 0.0)
+  in
+  let total_nnz = ref 0 in
+  let entries =
+    List.init num_samples (fun s ->
+        let n = min (num_features - 1) (nnz_of_sample rng s) in
+        let set = Hashtbl.create n in
+        while Hashtbl.length set < n do
+          Hashtbl.replace set perm.(Rng.zipf_draw rng zipf) ()
+        done;
+        let features =
+          Hashtbl.fold (fun f () acc -> f :: acc) set []
+          |> List.sort compare |> Array.of_list
+        in
+        let values = Array.make (Array.length features) 1.0 in
+        let margin =
+          Array.fold_left (fun acc f -> acc +. truth.(f)) 0.0 features
+        in
+        let label =
+          if margin +. (noise *. Rng.gaussian rng) > 0.0 then 1.0 else 0.0
+        in
+        total_nnz := !total_nnz + Array.length features;
+        ([| s |], { label; features; values }))
+  in
+  let samples =
+    Dist_array.of_entries ~name:"samples" ~dims:[| num_samples |]
+      ~default:{ label = 0.0; features = [||]; values = [||] }
+      entries
+  in
+  {
+    samples;
+    num_samples;
+    num_features;
+    avg_nnz = float_of_int !total_nnz /. float_of_int num_samples;
+  }
+
+(** Length-skewed variant: per-sample nnz follows a Zipf-like power
+    law [max_nnz / (s + 1)^alpha], front-loaded (sample 0 is heaviest).
+    One sample = one iteration-space entry, so a count-balanced space
+    partition over samples is even in entries but badly uneven in
+    work — the workload the measurement-driven re-planner targets. *)
+let generate_skewed ?(seed = 777) ~num_samples ~num_features ~max_nnz
+    ?(alpha = 1.0) ?(feature_skew = 1.1) ?(noise = 0.05) () =
+  (* decay with rank *fraction*, not absolute rank: the head:tail
+     density ratio (up to 20^alpha, floored at 4 nonzeros) survives any
+     dataset scale, so count-balanced partitions stay work-imbalanced *)
+  let n = float_of_int (max 1 num_samples) in
+  let nnz_of_sample _rng s =
+    let rank = 1.0 +. (19.0 *. float_of_int s /. n) in
+    max 4 (int_of_float (float_of_int max_nnz /. (rank ** alpha)))
+  in
+  generate_with_nnz ~seed ~num_samples ~num_features ~nnz_of_sample
+    ~feature_skew ~noise ()
+
 let kdd_like ?(scale = 1.0) () =
   generate
     ~num_samples:(max 64 (int_of_float (2_000.0 *. scale)))

@@ -25,6 +25,24 @@ val generate :
   unit ->
   t
 
+(** Length-skewed variant: per-sample nnz decays Zipf-like with the
+    sample's {e rank fraction}, [max_nnz / (1 + 19 s/n)^alpha] (clamped
+    to [4, num_features - 1]), so the head of the sample range is up to
+    [20^alpha] times denser than the tail at {e every} dataset scale.
+    Entry counts stay one per sample, so count-balanced space
+    partitions over samples are even in entries but skewed in work —
+    the workload profile-guided re-planning targets. *)
+val generate_skewed :
+  ?seed:int ->
+  num_samples:int ->
+  num_features:int ->
+  max_nnz:int ->
+  ?alpha:float ->
+  ?feature_skew:float ->
+  ?noise:float ->
+  unit ->
+  t
+
 val kdd_like : ?scale:float -> unit -> t
 
 (** Interpreter value [(label, 1-based indices, values)] for the SLR

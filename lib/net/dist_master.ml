@@ -147,9 +147,11 @@ type worker_state = {
 let run ~(materialize : Dist_worker.materialize) ?spawn ?comms
     (session : Orion.session) (inst : Orion.App.instance) ~procs
     ~(transport : Orion.Engine.transport) ~passes ~pipeline_depth ~scale
-    ~telemetry ?(checkpoint : (int * Orion.Engine.checkpoint_sink) option) ()
-    : Orion.Engine.report =
+    ~telemetry ?(checkpoint : (int * Orion.Engine.checkpoint_sink) option)
+    ?(replanner : Orion.Engine.replanner option) () : Orion.Engine.report =
   if procs < 1 then err "procs must be >= 1, got %d" procs;
+  (* the re-planner decides from shipped block costs *)
+  let telemetry = telemetry || replanner <> None in
   (* explicit argument, then the environment (which exec'd/forked
      workers of nested tools inherit), then auto *)
   let comms_str =
@@ -191,6 +193,34 @@ let run ~(materialize : Dist_worker.materialize) ?spawn ?comms
   (* the partitioner may produce fewer space partitions than requested
      workers on tiny data; spawn exactly one worker per partition *)
   let nw = sp in
+  (* -- adaptive re-planning ------------------------------------------
+     A [Repartition] ships the new cut plus the fingerprint of the
+     master's rebuilt schedule.  Only space-boundary re-balancing is
+     honored distributed: tp and the model pin the happens-before edges
+     and the (pass, natural-order) final assembly, so they never change
+     mid-run. *)
+  let rebuild_schedule new_boundaries =
+    match plan.Plan.strategy with
+    | Plan.One_d { space_dim } ->
+        Some
+          (Schedule.partition_1d_with ~shuffle_seed:17
+             inst.Orion.App.inst_iter ~space_dim
+             ~space_boundaries:new_boundaries)
+    | Plan.Data_parallel ->
+        Some
+          (Schedule.partition_1d_with ~shuffle_seed:17
+             inst.Orion.App.inst_iter ~space_dim:0
+             ~space_boundaries:new_boundaries)
+    | Plan.Two_d { space_dim; time_dim } ->
+        Some
+          (Schedule.partition_2d_with ~shuffle_seed:17
+             inst.Orion.App.inst_iter ~space_dim ~time_dim
+             ~space_boundaries:new_boundaries ~time_parts:tp)
+    | Plan.Two_d_unimodular _ -> None
+  in
+  (* ranks whose pass-N telemetry has arrived; the directive broadcasts
+     once all [nw] have reported *)
+  let tel_ranks : (int * int, unit) Hashtbl.t = Hashtbl.create 16 in
   (* (pass, natural-order position) ordering shared by pass-boundary
      checkpoints and the final assembly *)
   let order = Domain_exec.natural_order model ~sp ~tp in
@@ -487,6 +517,7 @@ let run ~(materialize : Dist_worker.materialize) ?spawn ?comms
              p_telemetry = telemetry;
              p_report_passes = checkpoint <> None;
              p_comms = comms_str;
+             p_adapt = replanner <> None;
            })
     done;
     (* -- partition shipping + prefetch serving ---------------------- *)
@@ -611,7 +642,43 @@ let run ~(materialize : Dist_worker.materialize) ?spawn ?comms
                 Hashtbl.replace pass_windows pt_pass
                   (match Hashtbl.find_opt pass_windows pt_pass with
                   | Some (s0, f0) -> (Float.min s0 s, Float.max f0 f)
-                  | None -> (s, f))
+                  | None -> (s, f));
+                (* adaptive: once every rank's pass costs are in,
+                   decide and broadcast the directive the workers are
+                   gated on *)
+                match replanner with
+                | Some f when pt_pass < passes - 1 ->
+                    Hashtbl.replace tel_ranks (pt_pass, rank) ();
+                    let all_in = ref true in
+                    for r = 0 to nw - 1 do
+                      if not (Hashtbl.mem tel_ranks (pt_pass, r)) then
+                        all_in := false
+                    done;
+                    if !all_in then begin
+                      let costs =
+                        Telemetry.block_costs_for_pass mtel ~pass:pt_pass
+                      in
+                      let directive =
+                        match f ~pass:pt_pass ~costs with
+                        | Some
+                            { Orion.Engine.rp_space_boundaries = Some sb; _ }
+                          -> (
+                            match rebuild_schedule sb with
+                            | Some ns ->
+                                Wire.Repartition
+                                  {
+                                    rp_pass = pt_pass;
+                                    rp_boundaries = sb;
+                                    rp_fingerprint = Schedule.fingerprint ns;
+                                  }
+                            | None -> Wire.Continue { c_pass = pt_pass })
+                        | Some _ | None -> Wire.Continue { c_pass = pt_pass }
+                      in
+                      for r = 0 to nw - 1 do
+                        Transport.send (conn r) directive
+                      done
+                    end
+                | _ -> ()
               end
           | Event_loop.Message
               (rank, Wire.Pass_report { pp_pass; pp_entries; pp_buffered; _ })
@@ -843,6 +910,6 @@ let install ~(materialize : Dist_worker.materialize) =
   Orion.Engine.distributed_runner :=
     Some
       (fun session inst ~procs ~transport ~passes ~pipeline_depth ~scale
-           ~telemetry ~comms ~checkpoint ->
+           ~telemetry ~comms ~checkpoint ~replanner ->
         run ~materialize ?comms session inst ~procs ~transport ~passes
-          ~pipeline_depth ~scale ~telemetry ?checkpoint ())
+          ~pipeline_depth ~scale ~telemetry ?checkpoint ?replanner ())

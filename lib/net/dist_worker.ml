@@ -166,8 +166,11 @@ let serve (master : Transport.conn) ~(materialize : materialize) ~rank
     Orion.compile session ~plan ~iter:inst.Orion.App.inst_iter
       ?pipeline_depth:p.p_pipeline_depth ()
   in
-  let sched = compiled.Orion.schedule in
-  let sp = sched.Schedule.space_parts and tp = sched.Schedule.time_parts in
+  (* re-planning swaps the schedule at pass boundaries; sp / tp / model
+     never change mid-run (the master's final assembly depends on them) *)
+  let sched = ref compiled.Orion.schedule in
+  let sp = !sched.Schedule.space_parts
+  and tp = !sched.Schedule.time_parts in
   let model =
     Domain_exec.model_of_plan plan ~pipeline_depth:compiled.Orion.pipeline_depth
       ~sp ~tp
@@ -179,11 +182,33 @@ let serve (master : Transport.conn) ~(materialize : materialize) ~rank
     fail "execution model mismatch: worker %s, master %s"
       (Domain_exec.model_to_string model)
       (Domain_exec.model_to_string p.p_model);
-  if Schedule.fingerprint sched <> p.p_fingerprint then
+  if Schedule.fingerprint !sched <> p.p_fingerprint then
     fail "schedule fingerprint mismatch (nondeterministic compile?)";
+  (* rebuild under a re-balanced space cut, with [Orion.compile]'s
+     shuffle seed so master and workers fingerprint identically *)
+  let rebuild_schedule new_boundaries =
+    match plan.Plan.strategy with
+    | Plan.One_d { space_dim } ->
+        Schedule.partition_1d_with ~shuffle_seed:17
+          inst.Orion.App.inst_iter ~space_dim
+          ~space_boundaries:new_boundaries
+    | Plan.Data_parallel ->
+        Schedule.partition_1d_with ~shuffle_seed:17
+          inst.Orion.App.inst_iter ~space_dim:0
+          ~space_boundaries:new_boundaries
+    | Plan.Two_d { space_dim; time_dim } ->
+        Schedule.partition_2d_with ~shuffle_seed:17
+          inst.Orion.App.inst_iter ~space_dim ~time_dim
+          ~space_boundaries:new_boundaries ~time_parts:tp
+    | Plan.Two_d_unimodular _ ->
+        fail "repartition is unsupported for unimodular schedules"
+  in
   if rank < 0 || rank >= sp then fail "rank %d out of range (sp = %d)" rank sp;
   if p.p_procs <> sp then
     fail "worker count %d does not match space partitions %d" p.p_procs sp;
+  if p.p_adapt && not p.p_telemetry then
+    fail "adaptive re-planning requires telemetry (the master decides \
+          from shipped block costs)";
   (* -- telemetry ----------------------------------------------------
      One local shard (this process is one worker).  Spans are recorded
      on this process's monotonic clock and drained to the master after
@@ -417,6 +442,8 @@ let serve (master : Transport.conn) ~(materialize : materialize) ~rank
     | None -> fail "packed payload for unknown array %S" name
   in
   let sender = Policy.sender comms ~peers:sp ~linearize ~pos in
+  (* migration shipments, keyed (pass, sending rank) *)
+  let reparts : (int * int, Wire.part list) Hashtbl.t = Hashtbl.create 16 in
   let handle = function
     | Event_loop.Message (_, Wire.Rotation_token { rt_pass; rt_src; rt_dst; rt_entries })
       ->
@@ -425,6 +452,9 @@ let serve (master : Transport.conn) ~(materialize : materialize) ~rank
     | Event_loop.Message (_, Wire.Pass_sync { ps_pass; ps_rank; ps_entries }) ->
         apply_entries (Policy.decode_entries ~delinearize ps_entries);
         Hashtbl.replace syncs (ps_pass, ps_rank) ()
+    | Event_loop.Message (_, Wire.Repart_ship { rs_pass; rs_rank; rs_parts })
+      ->
+        Hashtbl.replace reparts (rs_pass, rs_rank) rs_parts
     | Event_loop.Message (q, m) ->
         fail "unexpected %s from peer %d" (Wire.tag m) q
     | Event_loop.Closed q -> fail "peer %d closed its connection mid-run" q
@@ -488,6 +518,100 @@ let serve (master : Transport.conn) ~(materialize : materialize) ~rank
       accounts;
     (payload, !bytes)
   in
+  (* -- live partition migration (adaptive re-planning) ---------------
+     At a pass barrier all journal traffic for the finished pass has
+     been applied, so each rank's locally-partitioned regions are
+     authoritative.  Ownership follows the space cut: entries moving
+     from this rank's old region into peer [q]'s new region ship to
+     [q]; a shipment goes to {e every} peer (possibly empty) because
+     arrival itself is the synchronization.  Early next-pass tokens
+     from faster peers only carry writes of non-locally-partitioned
+     arrays, so applying shipments after them cannot lose a write. *)
+  let migrate ~pass ~new_boundaries ~fingerprint =
+    let old_boundaries = !sched.Schedule.space_boundaries in
+    let migrating =
+      List.filter_map
+        (fun (name, arr) ->
+          if List.mem name buffered then None
+          else
+            match placement name with
+            | Some (Plan.Local_partitioned { array_dim }) ->
+                Some (name, arr, array_dim)
+            | _ -> None)
+        arrays
+    in
+    for q = 0 to sp - 1 do
+      if q <> rank then begin
+        let parts =
+          List.map
+            (fun (_, arr, array_dim) ->
+              Dist_array.to_partition
+                ~select:(fun key _ ->
+                  let d = key.(array_dim) in
+                  Orion_dsm.Partitioner.part_of ~boundaries:old_boundaries d
+                  = rank
+                  && Orion_dsm.Partitioner.part_of ~boundaries:new_boundaries
+                       d
+                     = q)
+                arr)
+            migrating
+        in
+        let bytes =
+          List.fold_left
+            (fun acc part ->
+              acc +. float_of_int (Dist_array.partition_size_bytes part))
+            0.0 parts
+        in
+        List.iter
+          (fun (part : Wire.part) ->
+            let name = part.Dist_array.pt_array in
+            let b = float_of_int (Dist_array.partition_size_bytes part) in
+            let bump tbl =
+              Hashtbl.replace tbl name
+                (b +. Option.value (Hashtbl.find_opt tbl name) ~default:0.0)
+            in
+            (* migration ships raw partitions — actual = full *)
+            bump bytes_by_array;
+            bump bytes_full_by_array)
+          parts;
+        let send_start = tel_now () in
+        send_peer q
+          (Wire.Repart_ship { rs_pass = pass; rs_rank = rank; rs_parts = parts });
+        tel_span ~category:Orion_obs.Trace.Transfer
+          ~label:(Printf.sprintf "repart->%d" q)
+          ~bytes ~start:send_start
+      end
+    done;
+    let wait_start = tel_now () in
+    wait_for
+      (fun () ->
+        let ok = ref true in
+        for q = 0 to sp - 1 do
+          if q <> rank && not (Hashtbl.mem reparts (pass, q)) then ok := false
+        done;
+        !ok)
+      (Printf.sprintf "repartition shipments for pass %d" pass);
+    tel_span ~category:Orion_obs.Trace.Barrier_wait ~label:"repart-wait"
+      ~bytes:0.0 ~start:wait_start;
+    for q = 0 to sp - 1 do
+      if q <> rank then
+        List.iter
+          (fun (part : Wire.part) ->
+            match Hashtbl.find_opt arr_tbl part.Dist_array.pt_array with
+            | Some a -> Dist_array.apply_partition a part
+            | None ->
+                fail "repartition ship for unknown array %S"
+                  part.Dist_array.pt_array)
+          (Option.value (Hashtbl.find_opt reparts (pass, q)) ~default:[])
+    done;
+    let ns = rebuild_schedule new_boundaries in
+    if ns.Schedule.space_parts <> sp || ns.Schedule.time_parts <> tp then
+      fail "re-planned schedule changed shape: %dx%d, expected %dx%d"
+        ns.Schedule.space_parts ns.Schedule.time_parts sp tp;
+    if Schedule.fingerprint ns <> fingerprint then
+      fail "re-planned schedule fingerprint mismatch";
+    sched := ns
+  in
   (* -- execute ------------------------------------------------------ *)
   let abort = abort_spec () in
   let blocks_done = ref 0 and entries_done = ref 0 in
@@ -525,7 +649,7 @@ let serve (master : Transport.conn) ~(materialize : materialize) ~rank
             ~bytes:0.0 ~start:wait_start;
           current := [];
           cur_version := (pass, pos blk);
-          let b = sched.Schedule.blocks.(s).(t) in
+          let b = !sched.Schedule.blocks.(s).(t) in
           let blk_start = tel_now () in
           Array.iter
             (fun (key, value) ->
@@ -636,6 +760,26 @@ let serve (master : Transport.conn) ~(materialize : materialize) ~rank
              pp_entries = entries;
              pp_buffered = parts;
            })
+    end;
+    (* adaptive runs gate every pass boundary but the last on the
+       master's directive: it needs all ranks' shipped block costs
+       before it can decide, and a [Repartition] must be fully applied
+       before any rank starts the next pass's blocks *)
+    if p.p_adapt && pass < p.p_passes - 1 then begin
+      let gate_start = tel_now () in
+      (match recv_master "re-plan directive" with
+      | Wire.Continue { c_pass } ->
+          if c_pass <> pass then
+            fail "continue for pass %d at the pass-%d boundary" c_pass pass
+      | Wire.Repartition { rp_pass; rp_boundaries; rp_fingerprint } ->
+          if rp_pass <> pass then
+            fail "repartition for pass %d at the pass-%d boundary" rp_pass
+              pass;
+          migrate ~pass ~new_boundaries:rp_boundaries
+            ~fingerprint:rp_fingerprint
+      | m -> fail "expected re-plan directive, got %s" (Wire.tag m));
+      tel_span ~category:Orion_obs.Trace.Barrier_wait ~label:"replan-gate"
+        ~bytes:0.0 ~start:gate_start
     end
   done;
   (* leak loop locals back into the env, as the interpreter would *)

@@ -16,6 +16,8 @@
     master → worker   Peers                (addr per rank)
     worker ↔ worker   Peer_hello, Rotation_token, Pass_sync
     worker → master   Pass_telemetry       (per-pass spans + block costs)
+    master → worker   Continue | Repartition   (adaptive runs, per pass)
+    worker ↔ worker   Repart_ship          (migrating partitions)
     worker → master   Block_report, Buffer_flush, Acc_merge, Done
     master → worker   Shutdown
     any    → master   Fatal
@@ -27,8 +29,14 @@
    v4: communication policies ([Policy]) — plan carries [p_comms];
        rotation tokens, pass syncs, partition ships and prefetch
        responses carry policy-encoded payload variants; [Peer_hello]
-       carries the protocol version so peers negotiate explicitly *)
-let version = 4
+       carries the protocol version so peers negotiate explicitly
+   v5: profile-guided re-planning — plan carries [p_adapt]; adaptive
+       workers gate each pass boundary on a master directive
+       ([Continue] or [Repartition]); a [Repartition] re-balances the
+       space cut from measured block costs, workers migrating
+       locally-partitioned array regions peer-to-peer ([Repart_ship])
+       and re-verifying the rebuilt schedule by fingerprint *)
+let version = 5
 
 (** One journaled DistArray element write, in execution order. *)
 type write = { w_array : string; w_key : int array; w_value : float }
@@ -98,6 +106,11 @@ type plan = {
   p_comms : string;
       (** the communication policy spec ([Policy.spec_of_string]) every
           worker must apply to its peer traffic *)
+  p_adapt : bool;
+      (** adaptive re-planning: after every pass but the last, wait at
+          the barrier for the master's [Continue] / [Repartition]
+          directive instead of free-running (implies [p_telemetry] —
+          the re-planner feeds on shipped block costs) *)
 }
 
 type msg =
@@ -160,6 +173,32 @@ type msg =
               array's local shadow at this boundary (shadows persist
               across passes, so later reports supersede earlier) *)
     }
+  | Continue of { c_pass : int }
+      (** adaptive runs: the master saw every rank's pass-[c_pass]
+          telemetry and keeps the current schedule — proceed *)
+  | Repartition of {
+      rp_pass : int;  (** the pass just finished *)
+      rp_boundaries : int array;
+          (** the new space cut (same number of partitions; re-balanced
+              from measured per-block seconds) *)
+      rp_fingerprint : int;
+          (** {!Orion_runtime.Schedule.fingerprint} of the master's
+              rebuilt schedule; every worker must rebuild an identical
+              one before executing another pass *)
+    }
+      (** adaptive runs: adopt a re-balanced space cut for the
+          remaining passes.  Workers migrate the locally-partitioned
+          array regions whose ownership moves ({!Repart_ship},
+          all-to-all), rebuild their schedules under the new
+          boundaries, and re-verify by fingerprint *)
+  | Repart_ship of {
+      rs_pass : int;
+      rs_rank : int;  (** sending rank *)
+      rs_parts : part list;
+          (** entries of each locally-partitioned array moving from the
+              sender's old region into the receiver's new region (may
+              be empty — arrival itself is the synchronization) *)
+    }
   | Block_report of { br_rank : int; br_entries : block_writes list }
       (** the worker's complete own-block write log, all passes *)
   | Buffer_flush of { bf_rank : int; bf_parts : part list }
@@ -184,6 +223,9 @@ let tag = function
   | Pass_sync _ -> "pass-sync"
   | Pass_telemetry _ -> "pass-telemetry"
   | Pass_report _ -> "pass-report"
+  | Continue _ -> "continue"
+  | Repartition _ -> "repartition"
+  | Repart_ship _ -> "repart-ship"
   | Block_report _ -> "block-report"
   | Buffer_flush _ -> "buffer-flush"
   | Acc_merge _ -> "acc-merge"

@@ -187,6 +187,13 @@ let block_costs t =
          compare (a.bc_pass, a.bc_space, a.bc_time)
            (b.bc_pass, b.bc_space, b.bc_time))
 
+(** The per-pass view of {!block_costs}: only entries measured during
+    [pass], so re-planning after pass N consumes exactly pass-N
+    measurements (earlier passes ran under possibly different
+    partitions and would skew the calibration). *)
+let block_costs_for_pass t ~pass =
+  List.filter (fun c -> c.bc_pass = pass) (block_costs t)
+
 (* ------------------------------------------------------------------ *)
 (* Summaries                                                           *)
 (* ------------------------------------------------------------------ *)

@@ -87,6 +87,11 @@ val dropped : t -> int
     re-planning. *)
 val block_costs : t -> block_cost list
 
+(** Only the entries measured during [pass] — what the adaptive
+    re-planner consumes at the pass-N boundary (earlier passes may
+    have run under different partitions). *)
+val block_costs_for_pass : t -> pass:int -> block_cost list
+
 (** What the run's communication policy did to the wire: the policy
     name, actual bytes shipped vs the [full]-policy equivalent of the
     same traffic, and the per-array encode decisions. *)

@@ -142,6 +142,36 @@ let partition_2d ?shuffle_seed iter ~space_dim ~time_dim ~space_parts
         Partitioner.part_of ~boundaries:tb key.(time_dim) ))
     (Dist_array.entries iter)
 
+(** 1D partitioning with caller-supplied boundaries (adaptive
+    re-planning: the boundaries come from measured block costs instead
+    of the entry histogram).  Master and workers rebuild re-balanced
+    schedules through this entry point with the same shuffle seed, so
+    fingerprints still agree. *)
+let partition_1d_with ?shuffle_seed iter ~space_dim ~space_boundaries:sb =
+  let space_parts = Partitioner.num_parts sb in
+  build ?shuffle_seed ~space_parts ~time_parts:1 ~space_boundaries:sb
+    ~time_boundaries:None
+    ~classify:(fun key ->
+      (Partitioner.part_of ~boundaries:sb key.(space_dim), 0))
+    (Dist_array.entries iter)
+
+(** 2D partitioning with caller-supplied space boundaries; time
+    boundaries stay histogram-balanced (the distributed runtime keeps
+    [time_parts] and the model fixed across a re-plan, so only the
+    space cut moves). *)
+let partition_2d_with ?shuffle_seed iter ~space_dim ~time_dim
+    ~space_boundaries:sb ~time_parts =
+  let t_counts = Partitioner.histogram iter ~dim:time_dim in
+  let tb = Partitioner.balanced_ranges ~counts:t_counts ~parts:time_parts in
+  let space_parts = Partitioner.num_parts sb in
+  let time_parts = Partitioner.num_parts tb in
+  build ?shuffle_seed ~space_parts ~time_parts ~space_boundaries:sb
+    ~time_boundaries:(Some tb)
+    ~classify:(fun key ->
+      ( Partitioner.part_of ~boundaries:sb key.(space_dim),
+        Partitioner.part_of ~boundaries:tb key.(time_dim) ))
+    (Dist_array.entries iter)
+
 (** Partition the image of the iteration space under a unimodular
     transformation [matrix]: transformed dim 0 is time, dim 1 is
     space.  Transformed coordinates may be negative; boundaries are

@@ -49,6 +49,27 @@ val partition_2d :
   time_parts:int ->
   'v t
 
+(** 1D partitioning with caller-supplied space boundaries (adaptive
+    re-planning).  Pass the same [shuffle_seed] the original compile
+    used so fingerprints of independently rebuilt schedules agree. *)
+val partition_1d_with :
+  ?shuffle_seed:int ->
+  'v Orion_dsm.Dist_array.t ->
+  space_dim:int ->
+  space_boundaries:Orion_dsm.Partitioner.boundaries ->
+  'v t
+
+(** 2D partitioning with caller-supplied space boundaries; time
+    boundaries stay histogram-balanced over [time_parts]. *)
+val partition_2d_with :
+  ?shuffle_seed:int ->
+  'v Orion_dsm.Dist_array.t ->
+  space_dim:int ->
+  time_dim:int ->
+  space_boundaries:Orion_dsm.Partitioner.boundaries ->
+  time_parts:int ->
+  'v t
+
 (** Partition the transformed iteration space: time = transformed dim
     0 with one partition per distinct value (dependences may connect
     consecutive values across space partitions), space = transformed
